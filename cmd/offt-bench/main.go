@@ -1,0 +1,83 @@
+// Command offt-bench reproduces the paper's evaluation artifacts: every
+// table and figure of §5 has an experiment id (fig5, table2a…c, fig7a…c,
+// fig8a…c, table3a…c, fig9a/b, table4a…c).
+//
+// Usage:
+//
+//	offt-bench [-scale small|paper] [-seed N] [-v] all
+//	offt-bench [-scale small|paper] table2a fig8b ...
+//	offt-bench -list
+//
+// Results within one invocation share tuned configurations per
+// (machine, p, N) setting, so "offt-bench all" tunes each setting once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"offt/internal/harness"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
+	seed := flag.Int64("seed", 1, "seed for the random-search experiments")
+	verbose := flag.Bool("v", false, "print progress while tuning")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csv", "", "also write times/breakdowns/params/tuning CSVs to this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.AllWithExtensions() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: offt-bench [-scale small|paper] [-v] all | <experiment-id>...")
+		fmt.Fprintln(os.Stderr, "       offt-bench -list")
+		os.Exit(2)
+	}
+
+	scale, err := harness.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	r := harness.NewRunner(harness.Config{
+		Scale:   scale,
+		Out:     os.Stdout,
+		Seed:    *seed,
+		Verbose: *verbose,
+	})
+
+	var exps []harness.Experiment
+	if len(args) == 1 && args[0] == "all" {
+		exps = harness.AllWithExtensions()
+	} else {
+		for _, id := range args {
+			e, err := harness.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+	for _, e := range exps {
+		fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
+		if err := e.Run(r); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+	if *csvDir != "" {
+		if err := r.WriteCSV(*csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "csv export failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csvDir)
+	}
+}

@@ -1,0 +1,213 @@
+// Command offt-run executes one parallel 3-D FFT and prints the Fig-8
+// style per-step breakdown.
+//
+// Two engines:
+//
+//	-engine sim   cost-model run on the simulated cluster (any p/N)
+//	-engine mem   real-data run in-process (laptop sizes), verified against
+//	              the serial reference transform
+//
+// Usage:
+//
+//	offt-run -engine sim -machine hopper -p 32 -n 640 -variant NEW
+//	offt-run -engine mem -p 4 -n 64 -variant NEW -verify
+//	offt-run ... -T 32 -W 3 -Px 16 ... (override tuned/default parameters)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"offt/internal/fft"
+	"offt/internal/layout"
+	"offt/internal/machine"
+	"offt/internal/model"
+	"offt/internal/mpi/mem"
+	"offt/internal/pfft"
+)
+
+func main() {
+	engine := flag.String("engine", "sim", "engine: sim (virtual time) or mem (real data)")
+	machName := flag.String("machine", "umd-cluster", "machine model (sim engine)")
+	p := flag.Int("p", 8, "number of ranks")
+	n := flag.Int("n", 64, "per-dimension size (N³ elements)")
+	variantName := flag.String("variant", "NEW", "variant: FFTW, NEW, NEW-0, TH, TH-0")
+	verify := flag.Bool("verify", false, "mem engine: check the result against the serial transform")
+	timeline := flag.Bool("timeline", false, "mem engine: print rank 0's Fig-3-style overlap timeline")
+	tFlag := flag.Int("T", 0, "tile size override (0 = default)")
+	wFlag := flag.Int("W", 0, "window size override")
+	pxFlag := flag.Int("Px", 0, "pack sub-tile x override")
+	pzFlag := flag.Int("Pz", 0, "pack sub-tile z override")
+	uyFlag := flag.Int("Uy", 0, "unpack sub-tile y override")
+	uzFlag := flag.Int("Uz", 0, "unpack sub-tile z override")
+	fyFlag := flag.Int("Fy", -1, "Test calls during FFTy override (-1 = default)")
+	fpFlag := flag.Int("Fp", -1, "Test calls during Pack override")
+	fuFlag := flag.Int("Fu", -1, "Test calls during Unpack override")
+	fxFlag := flag.Int("Fx", -1, "Test calls during FFTx override")
+	flag.Parse()
+
+	variant, err := parseVariant(*variantName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := layout.NewGrid(*n, *n, *n, *p, 0)
+	if err != nil {
+		fatal(err)
+	}
+	prm := pfft.DefaultParams(g)
+	override := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	override(&prm.T, *tFlag)
+	override(&prm.W, *wFlag)
+	override(&prm.Px, *pxFlag)
+	override(&prm.Pz, *pzFlag)
+	override(&prm.Uy, *uyFlag)
+	override(&prm.Uz, *uzFlag)
+	overrideF := func(dst *int, v int) {
+		if v >= 0 {
+			*dst = v
+		}
+	}
+	overrideF(&prm.Fy, *fyFlag)
+	overrideF(&prm.Fp, *fpFlag)
+	overrideF(&prm.Fu, *fuFlag)
+	overrideF(&prm.Fx, *fxFlag)
+
+	switch *engine {
+	case "sim":
+		runSim(*machName, *p, *n, variant, prm)
+	case "mem":
+		runMem(*p, *n, variant, prm, *verify, *timeline)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+func parseVariant(s string) (pfft.Variant, error) {
+	for _, v := range pfft.Variants() {
+		if strings.EqualFold(v.String(), s) {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown variant %q (want FFTW, NEW, NEW-0, TH, TH-0)", s)
+}
+
+func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params) {
+	m, err := machine.ByName(machName)
+	if err != nil {
+		fatal(err)
+	}
+	spec := model.Spec{Variant: variant, Params: prm}
+	if variant == pfft.TH || variant == pfft.TH0 {
+		spec.TH = pfft.THParams{T: prm.T, W: prm.W, F: prm.Fy}
+	}
+	start := time.Now()
+	res, err := model.SimulateCube(m, p, n, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("engine=sim machine=%s p=%d N=%d³ variant=%v\n", m.Name, p, n, variant)
+	fmt.Printf("params: %v\n", prm)
+	fmt.Printf("simulated job time: %.4f s (wall %v)\n", float64(res.MaxTotal)/1e9, time.Since(start).Round(time.Millisecond))
+	printBreakdown(res.Avg)
+}
+
+func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bool) {
+	rng := rand.New(rand.NewSource(42))
+	full := make([]complex128, n*n*n)
+	for i := range full {
+		full[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	var ref []complex128
+	if verify {
+		ref = append([]complex128(nil), full...)
+		fft.NewPlan3D(n, n, n, fft.Forward).Transform(ref)
+	}
+
+	w := mem.NewWorld(p)
+	outs := make([][]complex128, p)
+	bs := make([]pfft.Breakdown, p)
+	var trace []pfft.StepEvent
+	start := time.Now()
+	err := w.Run(func(c *mem.Comm) {
+		g, err := layout.NewGrid(n, n, n, p, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		slab := layout.ScatterX(full, g)
+		if timeline && c.Rank() == 0 {
+			e, err := pfft.NewForwardEngine(g, c, slab)
+			if err != nil {
+				panic(err)
+			}
+			te := pfft.NewTraceEngine(e, prm)
+			b, err := pfft.Run(te, variant, prm)
+			if err != nil {
+				panic(err)
+			}
+			outs[0], bs[0], trace = e.Output(), b, te.Events
+			return
+		}
+		out, b, err := pfft.Forward3D(c, g, slab, variant, prm, fft.Estimate)
+		if err != nil {
+			panic(err)
+		}
+		outs[c.Rank()] = out
+		bs[c.Rank()] = b
+	})
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+	fmt.Printf("engine=mem p=%d N=%d³ variant=%v\n", p, n, variant)
+	fmt.Printf("params: %v\n", prm)
+	fmt.Printf("wall time: %v\n", wall.Round(time.Microsecond))
+	var avg pfft.Breakdown
+	for _, b := range bs {
+		avg.Add(b)
+	}
+	avg.Scale(int64(p))
+	printBreakdown(avg)
+	if timeline {
+		fmt.Println("rank 0 timeline (digits = tile index mod 10):")
+		pfft.RenderTimeline(os.Stdout, trace, 100)
+	}
+
+	if verify {
+		g0, _ := layout.NewGrid(n, n, n, p, 0)
+		got := layout.GatherY(outs, n, n, n, p, pfft.OutputFast(variant, g0))
+		worst := 0.0
+		for i := range got {
+			if d := cmplx.Abs(got[i] - ref[i]); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("verification vs serial 3-D FFT: max abs error %.3e\n", worst)
+		if worst > 1e-6 {
+			fatal(fmt.Errorf("verification FAILED"))
+		}
+		fmt.Println("verification PASSED")
+	}
+}
+
+func printBreakdown(b pfft.Breakdown) {
+	names := pfft.StepNames()
+	fmt.Println("per-rank breakdown:")
+	for i, v := range b.Steps() {
+		fmt.Printf("  %-10s %.4f s\n", names[i], float64(v)/1e9)
+	}
+	fmt.Printf("  %-10s %.4f s\n", "Total", float64(b.Total)/1e9)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

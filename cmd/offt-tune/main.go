@@ -1,0 +1,91 @@
+// Command offt-tune runs the auto-tuner (§4) for one setting and prints
+// the tuned parameters (a Table-3-style row), the achieved time, and the
+// tuning cost — optionally comparing against random search (§5.3.1).
+//
+// Usage:
+//
+//	offt-tune -machine umd-cluster -p 16 -n 256 [-evals 50] [-random 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"offt/internal/layout"
+	"offt/internal/machine"
+	"offt/internal/model"
+	"offt/internal/pfft"
+	"offt/internal/stats"
+	"offt/internal/tuner"
+)
+
+func main() {
+	machName := flag.String("machine", "umd-cluster", "machine model: umd-cluster, hopper, laptop")
+	p := flag.Int("p", 16, "number of ranks")
+	n := flag.Int("n", 256, "per-dimension size (N³ elements)")
+	evals := flag.Int("evals", 50, "Nelder-Mead evaluation budget")
+	random := flag.Int("random", 0, "also run random search with this many samples")
+	seed := flag.Int64("seed", 1, "random search seed")
+	flag.Parse()
+
+	m, err := machine.ByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := layout.NewGrid(*n, *n, *n, *p, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	def := pfft.DefaultParams(g)
+	defRes, err := model.SimulateCube(m, *p, *n, model.Spec{Variant: pfft.NEW, Params: def})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("setting: %s p=%d N=%d³ (search space %d configurations)\n",
+		m.Name, *p, *n, tuner.FFTSpace(g).Size())
+	fmt.Printf("default point: %v\n", def)
+	fmt.Printf("default time (excl. FFTz+Transpose): %.4f s\n", float64(defRes.MaxTuned)/1e9)
+
+	prm, out, err := tuner.TuneNEW(m, *p, *n, *evals)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nNelder-Mead result after %d evaluations (%d suggestions, %d cache hits, %d infeasible):\n",
+		out.Search.Evals, out.Search.Suggestions, out.Search.CacheHits, out.Search.Infeasible)
+	fmt.Printf("  %v\n", prm)
+	fmt.Printf("  tuned time: %.4f s (%.2fx better than default)\n",
+		float64(out.BestTime())/1e9, float64(defRes.MaxTuned)/float64(out.BestTime()))
+	fmt.Printf("  tuning cost: %.2f simulated s, %v wall\n",
+		float64(out.VirtualNs)/1e9, time.Duration(out.WallNs).Round(time.Millisecond))
+
+	full, err := model.SimulateCube(m, *p, *n, model.Spec{Variant: pfft.NEW, Params: prm})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  full 3-D FFT time with tuned parameters: %.4f s\n", float64(full.MaxTotal)/1e9)
+
+	if *random > 0 {
+		rnd, err := tuner.RandomNEW(m, *p, *n, *random, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		var xs []float64
+		for _, smp := range rnd.Search.History {
+			if smp.Cost < 1e18 {
+				xs = append(xs, smp.Cost/1e9)
+			}
+		}
+		fmt.Printf("\nrandom search (%d samples): best %.4f s, median %.4f s, worst %.4f s\n",
+			*random, stats.Min(xs), stats.Percentile(xs, 50), stats.Max(xs))
+		fmt.Printf("NM result ranks in percentile %.1f of the random distribution\n",
+			stats.PercentileRank(xs, float64(out.BestTime())/1e9))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Package offt is a reproduction of "Designing and Auto-Tuning Parallel
+// 3-D FFT for Computation-Communication Overlap" (Song & Hollingsworth,
+// PPoPP 2014) as a production-quality Go library.
+//
+// The library layers are:
+//
+//   - internal/fft       — from-scratch 1-D/3-D complex FFT (the FFTW role)
+//   - internal/layout    — 1-D decomposition geometry, tiling, pack/unpack
+//   - internal/vclock    — deterministic virtual-time scheduler
+//   - internal/simnet    — simulated interconnect with manual progression
+//   - internal/mpi       — MPI-flavoured API; engines mpi/mem (real data)
+//     and mpi/sim (virtual time)
+//   - internal/machine   — UMD-Cluster / Hopper / Laptop platform models
+//   - internal/model     — cost-model kernels for the simulated engine
+//   - internal/pfft      — the paper's contribution: the overlapped,
+//     auto-tunable parallel 3-D FFT (and its comparison variants)
+//   - internal/tuner     — Nelder–Mead auto-tuning (the Active Harmony role)
+//   - internal/harness   — one experiment per table/figure of the paper
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go exercise each experiment path; the
+// cmd/offt-bench command regenerates the full tables and figures.
+package offt

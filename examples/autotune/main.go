@@ -1,0 +1,75 @@
+// Autotune: end-to-end auto-tuning demo on the simulated cluster (§4).
+// It prints the search-space size, the default-point performance, the
+// Nelder–Mead trajectory, and how the tuned configuration compares with
+// random search — the workflow behind Tables 3 and 4.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"offt/internal/layout"
+	"offt/internal/machine"
+	"offt/internal/model"
+	"offt/internal/pfft"
+	"offt/internal/stats"
+	"offt/internal/tuner"
+)
+
+func main() {
+	const (
+		pRanks = 16
+		n      = 256 // the Fig. 5 setting; the search takes a few seconds
+	)
+	m := machine.UMDCluster()
+	g, err := layout.NewGrid(n, n, n, pRanks, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	space := tuner.FFTSpace(g)
+	fmt.Printf("tuning NEW on %s, p=%d, N=%d³\n", m.Name, pRanks, n)
+	fmt.Printf("search space: %d configurations across %d parameters\n\n", space.Size(), len(space.Dims))
+
+	def := pfft.DefaultParams(g)
+	defRes, err := model.SimulateCube(m, pRanks, n, model.Spec{Variant: pfft.NEW, Params: def})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("default point %v\n  → %.4f s (excl. FFTz+Transpose)\n\n", def, float64(defRes.MaxTuned)/1e9)
+
+	prm, out, err := tuner.TuneNEW(m, pRanks, n, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Nelder–Mead trajectory (improvements only):")
+	best := math.Inf(1)
+	for i, s := range out.Search.History {
+		if s.Cost < best {
+			best = s.Cost
+			fmt.Printf("  eval %3d: %.4f s  %v\n", i+1, s.Cost/1e9, tuner.DecodeParams(s.Cfg))
+		}
+	}
+	fmt.Printf("\ntuned point %v\n  → %.4f s (%.2fx over default; %d evaluations, %d cache hits, %d infeasible penalized)\n",
+		prm, float64(out.BestTime())/1e9,
+		float64(defRes.MaxTuned)/float64(out.BestTime()),
+		out.Search.Evals, out.Search.CacheHits, out.Search.Infeasible)
+
+	rnd, err := tuner.RandomNEW(m, pRanks, n, 50, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var xs []float64
+	for _, s := range rnd.Search.History {
+		if !math.IsInf(s.Cost, 1) {
+			xs = append(xs, s.Cost/1e9)
+		}
+	}
+	fmt.Printf("\nrandom search with the same budget: best %.4f s, median %.4f s\n",
+		stats.Min(xs), stats.Percentile(xs, 50))
+	fmt.Printf("NM result ranks in percentile %.1f of the random distribution\n",
+		stats.PercentileRank(xs, out.Search.BestCost/1e9))
+}

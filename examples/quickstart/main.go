@@ -1,0 +1,73 @@
+// Quickstart: run a distributed forward 3-D FFT across in-process ranks
+// and verify it against the serial reference transform.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"math/rand"
+
+	"offt/internal/fft"
+	"offt/internal/layout"
+	"offt/internal/mpi/mem"
+	"offt/internal/pfft"
+)
+
+func main() {
+	const (
+		n = 64 // N³ array
+		p = 4  // ranks
+	)
+
+	// Build a random input and the serial reference answer.
+	rng := rand.New(rand.NewSource(1))
+	full := make([]complex128, n*n*n)
+	for i := range full {
+		full[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	ref := append([]complex128(nil), full...)
+	fft.NewPlan3D(n, n, n, fft.Forward).Transform(ref)
+
+	// Run the paper's NEW algorithm across p ranks (goroutines exchanging
+	// real data through the in-memory MPI engine).
+	world := mem.NewWorld(p)
+	outs := make([][]complex128, p)
+	breakdowns := make([]pfft.Breakdown, p)
+	err := world.Run(func(c *mem.Comm) {
+		g, err := layout.NewGrid(n, n, n, p, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		slab := layout.ScatterX(full, g) // this rank's x-slab
+		prm := pfft.DefaultParams(g)     // or tune with package tuner
+		out, b, err := pfft.Forward3D(c, g, slab, pfft.NEW, prm, fft.Estimate)
+		if err != nil {
+			panic(err)
+		}
+		outs[c.Rank()] = out
+		breakdowns[c.Rank()] = b
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reassemble and compare.
+	g0, _ := layout.NewGrid(n, n, n, p, 0)
+	got := layout.GatherY(outs, n, n, n, p, pfft.OutputFast(pfft.NEW, g0))
+	worst := 0.0
+	for i := range got {
+		if d := cmplx.Abs(got[i] - ref[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("distributed 3-D FFT of %d³ across %d ranks\n", n, p)
+	fmt.Printf("max abs error vs serial reference: %.3e\n", worst)
+	fmt.Printf("rank 0 breakdown: %v\n", breakdowns[0])
+	if worst > 1e-8 {
+		log.Fatal("verification failed")
+	}
+	fmt.Println("OK")
+}

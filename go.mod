@@ -1,0 +1,3 @@
+module offt
+
+go 1.24

@@ -1,0 +1,119 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// rmsError runs a forward+backward roundtrip and returns the RMS relative
+// error, the standard accuracy metric for FFT implementations.
+func rmsError(n int, seed int64) float64 {
+	x := randVec(n, seed)
+	orig := append([]complex128(nil), x...)
+	NewPlan(n, Forward).InPlace(x)
+	NewPlan(n, Backward).InPlace(x)
+	Scale(x)
+	var num, den float64
+	for i := range x {
+		d := x[i] - orig[i]
+		num += real(d)*real(d) + imag(d)*imag(d)
+		den += real(orig[i])*real(orig[i]) + imag(orig[i])*imag(orig[i])
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestAccuracyGrowsSlowly checks the numerical error stays at the
+// O(ε·√log N) level expected of a correctly implemented FFT: even at
+// N = 2²⁰ the roundtrip RMS error must stay below 1e-14, and Bluestein
+// lengths below 1e-12 (they run three transforms at ~2N).
+func TestAccuracyGrowsSlowly(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 17, 1 << 20} {
+		if e := rmsError(n, int64(n)); e > 1e-14 {
+			t.Errorf("N=%d: RMS roundtrip error %g", n, e)
+		}
+	}
+	for _, n := range []int{10007, 65521} { // primes → Bluestein
+		if e := rmsError(n, int64(n)); e > 1e-12 {
+			t.Errorf("bluestein N=%d: RMS roundtrip error %g", n, e)
+		}
+	}
+}
+
+// TestLargeMixedRadixForwardSpotCheck verifies a handful of bins of a big
+// mixed-radix transform against direct evaluation (full O(N²) is too slow).
+func TestLargeMixedRadixForwardSpotCheck(t *testing.T) {
+	n := 1920 // 2^7 · 3 · 5
+	x := randVec(n, 77)
+	got := make([]complex128, n)
+	NewPlan(n, Forward).Transform(got, x)
+	for _, k := range []int{0, 1, n / 3, n / 2, n - 1} {
+		var want complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64((j*k)%n) / float64(n)
+			want += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		if cmplx.Abs(got[k]-want) > 1e-8*float64(n) {
+			t.Errorf("bin %d: got %v want %v", k, got[k], want)
+		}
+	}
+}
+
+// TestPlanReuseStable transforms through one plan many times; results must
+// be identical on every use (no state leaks between calls).
+func TestPlanReuseStable(t *testing.T) {
+	n := 384
+	p := NewPlan(n, Forward)
+	x := randVec(n, 5)
+	first := make([]complex128, n)
+	p.Transform(first, x)
+	for i := 0; i < 50; i++ {
+		got := make([]complex128, n)
+		p.Transform(got, x)
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("iteration %d: plan state leaked at element %d", i, j)
+			}
+		}
+		// Interleave other uses of the same plan.
+		tmp := randVec(n, int64(i))
+		p.InPlace(tmp)
+	}
+}
+
+// TestExtremeMagnitudes checks the transform handles huge and tiny values
+// without producing NaNs or Infs.
+func TestExtremeMagnitudes(t *testing.T) {
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		switch i % 3 {
+		case 0:
+			x[i] = complex(1e150, -1e150)
+		case 1:
+			x[i] = complex(1e-300, 1e-300)
+		default:
+			x[i] = 0
+		}
+	}
+	p := NewPlan(n, Forward)
+	p.InPlace(x)
+	for i, v := range x {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			t.Fatalf("element %d is %v", i, v)
+		}
+	}
+}
+
+// TestZeroInputStaysZero ensures no numerical noise is injected.
+func TestZeroInputStaysZero(t *testing.T) {
+	for _, n := range []int{8, 12, 31, 37, 100} {
+		x := make([]complex128, n)
+		NewPlan(n, Forward).InPlace(x)
+		for i, v := range x {
+			if v != 0 {
+				t.Fatalf("n=%d: element %d = %v, want 0", n, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package fft
+
+import "math"
+
+// DFT computes the discrete Fourier transform of src by the O(N²)
+// definition and returns a fresh slice. It is the correctness oracle for
+// the fast transforms and is exported for use by tests in other packages.
+func DFT(src []complex128, dir Direction) []complex128 {
+	n := len(src)
+	dst := make([]complex128, n)
+	sign := float64(dir)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64((j*k)%n) / float64(n)
+			sum += src[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		dst[k] = sum
+	}
+	return dst
+}
+
+// DFT3D computes the 3-D discrete Fourier transform of an nx×ny×nz array in
+// x-y-z row-major layout (z contiguous) by composing 1-D O(N²) DFTs along
+// each dimension. It is the oracle for the serial and parallel 3-D FFTs.
+func DFT3D(src []complex128, nx, ny, nz int, dir Direction) []complex128 {
+	if len(src) != nx*ny*nz {
+		panic("fft: DFT3D size mismatch")
+	}
+	out := make([]complex128, len(src))
+	copy(out, src)
+	row := make([]complex128, 0, max3(nx, ny, nz))
+
+	// Along z (stride 1).
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			base := (x*ny + y) * nz
+			copy(out[base:base+nz], DFT(out[base:base+nz], dir))
+		}
+	}
+	// Along y (stride nz).
+	for x := 0; x < nx; x++ {
+		for z := 0; z < nz; z++ {
+			row = row[:ny]
+			for y := 0; y < ny; y++ {
+				row[y] = out[(x*ny+y)*nz+z]
+			}
+			r := DFT(row, dir)
+			for y := 0; y < ny; y++ {
+				out[(x*ny+y)*nz+z] = r[y]
+			}
+		}
+	}
+	// Along x (stride ny*nz).
+	for y := 0; y < ny; y++ {
+		for z := 0; z < nz; z++ {
+			row = row[:nx]
+			for x := 0; x < nx; x++ {
+				row[x] = out[(x*ny+y)*nz+z]
+			}
+			r := DFT(row, dir)
+			for x := 0; x < nx; x++ {
+				out[(x*ny+y)*nz+z] = r[x]
+			}
+		}
+	}
+	return out
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,61 @@
+package fft
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPlan3DMatchesOracle(t *testing.T) {
+	shapes := [][3]int{
+		{4, 4, 4}, {8, 8, 8}, {4, 6, 8}, {3, 5, 7}, {8, 4, 2},
+		{16, 16, 16}, {12, 10, 6}, {2, 2, 2}, {1, 8, 8}, {8, 1, 8}, {8, 8, 1},
+	}
+	for _, s := range shapes {
+		nx, ny, nz := s[0], s[1], s[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", nx, ny, nz), func(t *testing.T) {
+			x := randVec(nx*ny*nz, int64(nx*100+ny*10+nz))
+			want := DFT3D(x, nx, ny, nz, Forward)
+			NewPlan3D(nx, ny, nz, Forward).Transform(x)
+			if e := maxErr(x, want); e > tol {
+				t.Errorf("error %g", e)
+			}
+		})
+	}
+}
+
+func TestPlan3DRoundTrip(t *testing.T) {
+	nx, ny, nz := 12, 8, 10
+	x := randVec(nx*ny*nz, 44)
+	orig := append([]complex128(nil), x...)
+	fwd := NewPlan3D(nx, ny, nz, Forward)
+	bwd := NewPlan3D(nx, ny, nz, Backward)
+	fwd.Transform(x)
+	bwd.Transform(x)
+	bwd.Normalize(x)
+	if e := maxErr(x, orig); e > tol {
+		t.Errorf("3-D roundtrip error %g", e)
+	}
+}
+
+func TestPlan3DShape(t *testing.T) {
+	p := NewPlan3D(2, 3, 4, Forward)
+	nx, ny, nz := p.Shape()
+	if nx != 2 || ny != 3 || nz != 4 {
+		t.Errorf("Shape() = %d,%d,%d", nx, ny, nz)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong input length")
+		}
+	}()
+	p.Transform(make([]complex128, 5))
+}
+
+func TestPlan3DInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPlan3D(0, 4, 4, Forward)
+}

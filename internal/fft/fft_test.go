@@ -1,0 +1,383 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// maxErr returns the largest elementwise magnitude difference, scaled by the
+// vector's norm so tolerances are size-independent.
+func maxErr(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var norm float64 = 1
+	for i := range a {
+		if m := cmplx.Abs(a[i]); m > norm {
+			norm = m
+		}
+	}
+	var worst float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d/norm > worst {
+			worst = d / norm
+		}
+	}
+	return worst
+}
+
+func randVec(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+const tol = 1e-9
+
+// testLengths covers powers of two, mixed radices, generic primes,
+// Bluestein lengths, and the per-dimension sizes used by the paper's
+// evaluation (256, 384, 512, 640, 1280, 1536, 1792, 2048).
+var testLengths = []int{
+	1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 17, 20, 21, 24, 25,
+	27, 29, 31, 32, 35, 36, 37, 41, 48, 49, 53, 60, 64, 81, 97, 100, 101,
+	120, 125, 127, 128, 211, 243, 256, 384, 512, 625, 640, 1024, 1280,
+	1536, 1792, 2048,
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	for _, n := range testLengths {
+		if n > 512 {
+			continue // O(N²) oracle gets slow; larger sizes covered by roundtrip
+		}
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			x := randVec(n, int64(n))
+			want := DFT(x, Forward)
+			p := NewPlan(n, Forward)
+			got := make([]complex128, n)
+			p.Transform(got, x)
+			if e := maxErr(got, want); e > tol {
+				t.Errorf("n=%d: max relative error %g", n, e)
+			}
+		})
+	}
+}
+
+func TestBackwardMatchesDFT(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 12, 16, 29, 31, 37, 60, 64, 101, 128, 384} {
+		x := randVec(n, int64(n)+100)
+		want := DFT(x, Backward)
+		p := NewPlan(n, Backward)
+		got := make([]complex128, n)
+		p.Transform(got, x)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("n=%d: max relative error %g", n, e)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range testLengths {
+		x := randVec(n, int64(n)*3+1)
+		orig := append([]complex128(nil), x...)
+		fwd := NewPlan(n, Forward)
+		bwd := NewPlan(n, Backward)
+		fwd.InPlace(x)
+		bwd.InPlace(x)
+		Scale(x)
+		if e := maxErr(x, orig); e > tol {
+			t.Errorf("n=%d: roundtrip error %g", n, e)
+		}
+	}
+}
+
+func TestInPlaceMatchesOutOfPlace(t *testing.T) {
+	for _, n := range []int{8, 12, 27, 64, 100, 384, 1024} {
+		x := randVec(n, int64(n)+7)
+		p := NewPlan(n, Forward)
+		out := make([]complex128, n)
+		p.Transform(out, x)
+		p.InPlace(x)
+		if e := maxErr(x, out); e > 0 {
+			t.Errorf("n=%d: in-place differs from out-of-place by %g", n, e)
+		}
+	}
+}
+
+func TestOutOfPlacePreservesSource(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 24, 64, 384} {
+		x := randVec(n, 5)
+		orig := append([]complex128(nil), x...)
+		p := NewPlan(n, Forward)
+		dst := make([]complex128, n)
+		p.Transform(dst, x)
+		if e := maxErr(x, orig); e > 0 {
+			t.Errorf("n=%d: Transform modified src (err %g)", n, e)
+		}
+	}
+}
+
+func TestImpulseAndConstant(t *testing.T) {
+	for _, n := range []int{4, 7, 16, 31, 60, 128} {
+		// Impulse at 0 transforms to all ones.
+		x := make([]complex128, n)
+		x[0] = 1
+		p := NewPlan(n, Forward)
+		p.InPlace(x)
+		for k := range x {
+			if cmplx.Abs(x[k]-1) > tol {
+				t.Fatalf("n=%d: impulse FFT[%d]=%v, want 1", n, k, x[k])
+			}
+		}
+		// Constant 1 transforms to N·δ₀.
+		for i := range x {
+			x[i] = 1
+		}
+		p.InPlace(x)
+		if cmplx.Abs(x[0]-complex(float64(n), 0)) > tol*float64(n) {
+			t.Fatalf("n=%d: const FFT[0]=%v, want %d", n, x[0], n)
+		}
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(x[k]) > tol*float64(n) {
+				t.Fatalf("n=%d: const FFT[%d]=%v, want 0", n, k, x[k])
+			}
+		}
+	}
+}
+
+func TestSingleFrequency(t *testing.T) {
+	n := 48
+	for f := 0; f < n; f += 5 {
+		x := make([]complex128, n)
+		for j := range x {
+			ang := 2 * math.Pi * float64(f*j%n) / float64(n)
+			x[j] = complex(math.Cos(ang), math.Sin(ang)) // e^{+2πi f j/n}
+		}
+		p := NewPlan(n, Forward)
+		p.InPlace(x)
+		for k := range x {
+			want := complex(0, 0)
+			if k == f {
+				want = complex(float64(n), 0)
+			}
+			if cmplx.Abs(x[k]-want) > 1e-8*float64(n) {
+				t.Fatalf("f=%d: FFT[%d]=%v, want %v", f, k, x[k], want)
+			}
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	n, count, dist := 16, 5, 20
+	x := randVec(count*dist, 9)
+	want := append([]complex128(nil), x...)
+	for i := 0; i < count; i++ {
+		row := want[i*dist : i*dist+n]
+		copy(row, DFT(row, Forward))
+	}
+	p := NewPlan(n, Forward)
+	p.Batch(x, count, dist)
+	if e := maxErr(x, want); e > tol {
+		t.Errorf("batch error %g", e)
+	}
+	// Gap elements untouched: indices [n, dist) of each row.
+	for i := 0; i < count; i++ {
+		for j := n; j < dist; j++ {
+			if x[i*dist+j] != want[i*dist+j] {
+				t.Fatalf("batch touched gap element row %d col %d", i, j)
+			}
+		}
+	}
+}
+
+func TestStrided(t *testing.T) {
+	n, stride := 12, 7
+	total := n*stride + 3
+	x := randVec(total, 11)
+	orig := append([]complex128(nil), x...)
+	row := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		row[i] = x[2+i*stride]
+	}
+	want := DFT(row, Forward)
+	p := NewPlan(n, Forward)
+	p.Strided(x, 2, stride)
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(x[2+i*stride]-want[i]) > tol {
+			t.Fatalf("strided element %d: got %v want %v", i, x[2+i*stride], want[i])
+		}
+	}
+	// Everything off the stride untouched.
+	for j := range x {
+		if (j-2)%stride == 0 && j >= 2 && j < 2+n*stride {
+			continue
+		}
+		if x[j] != orig[j] {
+			t.Fatalf("strided touched unrelated element %d", j)
+		}
+	}
+}
+
+func TestCloneConcurrentSafe(t *testing.T) {
+	n := 256
+	p := NewPlan(n, Forward)
+	x := randVec(n, 13)
+	want := make([]complex128, n)
+	p.Transform(want, x)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			c := p.Clone()
+			for i := 0; i < 20; i++ {
+				y := append([]complex128(nil), x...)
+				c.InPlace(y)
+				if e := maxErr(y, want); e > 0 {
+					done <- fmt.Errorf("clone result differs by %g", e)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+		rest int
+	}{
+		{8, []int{4, 2}, 1},
+		{16, []int{4, 4}, 1},
+		{12, []int{4, 3}, 1},
+		{384, []int{4, 4, 4, 2, 3}, 1},
+		{640, []int{4, 4, 4, 2, 5}, 1},
+		{31, []int{31}, 1},
+		{37, nil, 37},
+		{2 * 37, []int{2}, 37},
+	}
+	for _, c := range cases {
+		got, rest := factorize(c.n)
+		if rest != c.rest {
+			t.Errorf("factorize(%d) rest=%d want %d", c.n, rest, c.rest)
+		}
+		if rest == 1 {
+			prod := 1
+			for _, r := range got {
+				prod *= r
+			}
+			if prod != c.n {
+				t.Errorf("factorize(%d) = %v, product %d", c.n, got, prod)
+			}
+		}
+		if c.want != nil && fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("factorize(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHasLargePrimeFactor(t *testing.T) {
+	for _, n := range []int{2, 31, 62, 1024, 384} {
+		if HasLargePrimeFactor(n) {
+			t.Errorf("HasLargePrimeFactor(%d) = true, want false", n)
+		}
+	}
+	for _, n := range []int{37, 41 * 2, 101, 2 * 3 * 37} {
+		if !HasLargePrimeFactor(n) {
+			t.Errorf("HasLargePrimeFactor(%d) = false, want true", n)
+		}
+	}
+}
+
+func TestBluesteinLengths(t *testing.T) {
+	for _, n := range []int{37, 41, 74, 97, 101, 127, 211} {
+		x := randVec(n, int64(n))
+		want := DFT(x, Forward)
+		p := NewPlan(n, Forward)
+		if p.blue == nil {
+			t.Fatalf("n=%d expected Bluestein plan", n)
+		}
+		got := make([]complex128, n)
+		p.Transform(got, x)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("bluestein n=%d: error %g", n, e)
+		}
+	}
+}
+
+func TestNewPlanFactorsValidation(t *testing.T) {
+	if _, err := newPlanFactors(8, Forward, []int{2, 2}); err == nil {
+		t.Error("expected error: factors do not multiply to n")
+	}
+	if _, err := newPlanFactors(8, Forward, []int{8}); err != nil {
+		t.Errorf("radix 8 should be accepted by the generic butterfly: %v", err)
+	}
+	if _, err := newPlanFactors(64, Forward, []int{64}); err == nil {
+		t.Error("expected error: radix above maxGenericRadix")
+	}
+}
+
+func TestGenericRadixMatchesSpecialized(t *testing.T) {
+	// Force the generic butterfly for composite radices and compare.
+	for _, c := range []struct{ n, r int }{{8, 8}, {16, 16}, {27, 27}, {25, 25}, {36, 6}} {
+		var factors []int
+		m := c.n
+		for m%c.r == 0 {
+			factors = append(factors, c.r)
+			m /= c.r
+		}
+		if m != 1 {
+			t.Fatalf("bad case %v", c)
+		}
+		p, err := newPlanFactors(c.n, Forward, factors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randVec(c.n, 99)
+		want := DFT(x, Forward)
+		got := make([]complex128, c.n)
+		p.Transform(got, x)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("generic radix %d (n=%d): error %g", c.r, c.n, e)
+		}
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	p := NewPlan(8, Forward)
+	mustPanic("short dst", func() { p.Transform(make([]complex128, 4), make([]complex128, 8)) })
+	mustPanic("short src", func() { p.Transform(make([]complex128, 8), make([]complex128, 4)) })
+	mustPanic("bad dist", func() { p.Batch(make([]complex128, 8), 1, 4) })
+	mustPanic("bad length", func() { NewPlan(0, Forward) })
+}
+
+func TestScale(t *testing.T) {
+	x := []complex128{complex(2, 4), complex(-6, 8)}
+	Scale(x)
+	if x[0] != complex(1, 2) || x[1] != complex(-3, 4) {
+		t.Errorf("Scale: got %v", x)
+	}
+	ScaleBy(x, 2)
+	if x[0] != complex(2, 4) {
+		t.Errorf("ScaleBy: got %v", x)
+	}
+}

@@ -1,0 +1,107 @@
+package fft
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlan1DEstimateNoMeasurement(t *testing.T) {
+	p, info := Plan1D(256, Forward, Estimate)
+	if info.Elapsed != 0 || info.Candidates != 1 {
+		t.Errorf("Estimate should not measure: %+v", info)
+	}
+	x := randVec(256, 1)
+	want := DFT(x, Forward)
+	got := make([]complex128, 256)
+	p.Transform(got, x)
+	if e := maxErr(got, want); e > tol {
+		t.Errorf("estimate plan wrong: %g", e)
+	}
+}
+
+func TestPlan1DMeasureCorrectAndTimed(t *testing.T) {
+	for _, flag := range []Flag{Measure, Patient} {
+		p, info := Plan1D(384, Forward, flag)
+		if info.Candidates < 2 {
+			t.Errorf("%v: expected multiple candidates, got %d", flag, info.Candidates)
+		}
+		if info.Elapsed <= 0 {
+			t.Errorf("%v: expected nonzero planning time", flag)
+		}
+		x := randVec(384, 2)
+		want := DFT(x, Forward)
+		got := make([]complex128, 384)
+		p.Transform(got, x)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("%v plan incorrect: %g", flag, e)
+		}
+	}
+}
+
+func TestPlan1DPatientTriesMoreThanMeasure(t *testing.T) {
+	_, m := Plan1D(768, Forward, Measure)
+	_, p := Plan1D(768, Forward, Patient)
+	if p.Candidates < m.Candidates {
+		t.Errorf("patient candidates %d < measure candidates %d", p.Candidates, m.Candidates)
+	}
+	if p.Reps <= m.Reps {
+		t.Errorf("patient reps %d <= measure reps %d", p.Reps, m.Reps)
+	}
+}
+
+func TestPlan1DBluesteinFallback(t *testing.T) {
+	p, info := Plan1D(101, Forward, Patient)
+	if info.Factors != nil && len(info.Factors) != 0 {
+		t.Errorf("prime length should have no factor order, got %v", info.Factors)
+	}
+	x := randVec(101, 3)
+	want := DFT(x, Forward)
+	got := make([]complex128, 101)
+	p.Transform(got, x)
+	if e := maxErr(got, want); e > tol {
+		t.Errorf("bluestein via planner: %g", e)
+	}
+}
+
+func TestPlan1DCached(t *testing.T) {
+	a := Plan1DCached(320, Forward, Estimate)
+	b := Plan1DCached(320, Forward, Estimate)
+	if a != b {
+		t.Error("cache miss for identical key")
+	}
+	c := Plan1DCached(320, Backward, Estimate)
+	if a == c {
+		t.Error("cache collided across directions")
+	}
+}
+
+func TestCandidateOrdersDistinctAndValid(t *testing.T) {
+	def, rest := factorize(384) // {4,4,4,2,3}
+	if rest != 1 {
+		t.Fatal("bad test setup")
+	}
+	cands := candidateOrders(def, Patient)
+	seen := map[string]bool{key(def): true}
+	for _, f := range cands {
+		k := key(f)
+		if seen[k] {
+			t.Errorf("duplicate candidate %v", f)
+		}
+		seen[k] = true
+		prod := 1
+		for _, r := range f {
+			prod *= r
+		}
+		if prod != 384 {
+			t.Errorf("candidate %v multiplies to %d", f, prod)
+		}
+	}
+}
+
+func TestTimePlanPositive(t *testing.T) {
+	p := NewPlan(128, Forward)
+	d := timePlan(p, make([]complex128, 128), randVec(128, 4), 2)
+	if d <= 0 || d > time.Second {
+		t.Errorf("implausible plan timing %v", d)
+	}
+}

@@ -1,0 +1,175 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the FFT algebra using testing/quick. Sizes are
+// drawn from a mix of smooth and awkward lengths so every code path
+// (radix-2/3/4, generic primes, Bluestein) gets exercised.
+
+var quickSizes = []int{2, 3, 4, 5, 6, 8, 9, 12, 15, 16, 24, 29, 31, 32, 37, 48, 60, 64, 97, 120, 128}
+
+func quickConfig(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+func genVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+// Linearity: FFT(αx + y) == α·FFT(x) + FFT(y).
+func TestQuickLinearity(t *testing.T) {
+	f := func(sizeIdx uint8, seed int64, ar, ai float64) bool {
+		n := quickSizes[int(sizeIdx)%len(quickSizes)]
+		rng := rand.New(rand.NewSource(seed))
+		alpha := complex(math.Mod(ar, 4), math.Mod(ai, 4))
+		x := genVec(rng, n)
+		y := genVec(rng, n)
+		p := NewPlan(n, Forward)
+
+		comb := make([]complex128, n)
+		for i := range comb {
+			comb[i] = alpha*x[i] + y[i]
+		}
+		p.InPlace(comb)
+
+		fx := make([]complex128, n)
+		fy := make([]complex128, n)
+		p.Transform(fx, x)
+		p.Transform(fy, y)
+		for i := range fx {
+			fx[i] = alpha*fx[i] + fy[i]
+		}
+		return maxErr(comb, fx) < 1e-8
+	}
+	if err := quick.Check(f, quickConfig(1)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parseval: Σ|x|² == (1/N)·Σ|X|².
+func TestQuickParseval(t *testing.T) {
+	f := func(sizeIdx uint8, seed int64) bool {
+		n := quickSizes[int(sizeIdx)%len(quickSizes)]
+		rng := rand.New(rand.NewSource(seed))
+		x := genVec(rng, n)
+		var tsum float64
+		for _, v := range x {
+			tsum += real(v)*real(v) + imag(v)*imag(v)
+		}
+		p := NewPlan(n, Forward)
+		p.InPlace(x)
+		var fsum float64
+		for _, v := range x {
+			fsum += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fsum /= float64(n)
+		return math.Abs(tsum-fsum) <= 1e-8*(1+tsum)
+	}
+	if err := quick.Check(f, quickConfig(2)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Circular shift theorem: FFT(shift(x, s))[k] == FFT(x)[k]·e^{-2πi·sk/N}.
+func TestQuickShiftTheorem(t *testing.T) {
+	f := func(sizeIdx uint8, seed int64, shift uint8) bool {
+		n := quickSizes[int(sizeIdx)%len(quickSizes)]
+		s := int(shift) % n
+		rng := rand.New(rand.NewSource(seed))
+		x := genVec(rng, n)
+		shifted := make([]complex128, n)
+		for i := range x {
+			shifted[(i+s)%n] = x[i]
+		}
+		p := NewPlan(n, Forward)
+		fx := make([]complex128, n)
+		fs := make([]complex128, n)
+		p.Transform(fx, x)
+		p.Transform(fs, shifted)
+		for k := range fx {
+			ang := -2 * math.Pi * float64((s*k)%n) / float64(n)
+			fx[k] *= complex(math.Cos(ang), math.Sin(ang))
+		}
+		return maxErr(fs, fx) < 1e-8
+	}
+	if err := quick.Check(f, quickConfig(3)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Conjugate symmetry for real inputs: X[N-k] == conj(X[k]).
+func TestQuickRealInputSymmetry(t *testing.T) {
+	f := func(sizeIdx uint8, seed int64) bool {
+		n := quickSizes[int(sizeIdx)%len(quickSizes)]
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+		}
+		p := NewPlan(n, Forward)
+		p.InPlace(x)
+		for k := 1; k < n; k++ {
+			if cmplx.Abs(x[n-k]-cmplx.Conj(x[k])) > 1e-8*(1+cmplx.Abs(x[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Roundtrip: Backward(Forward(x))/N == x for arbitrary sizes, including
+// Bluestein lengths.
+func TestQuickRoundTripArbitraryN(t *testing.T) {
+	f := func(rawN uint16, seed int64) bool {
+		n := int(rawN)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := genVec(rng, n)
+		orig := append([]complex128(nil), x...)
+		NewPlan(n, Forward).InPlace(x)
+		NewPlan(n, Backward).InPlace(x)
+		Scale(x)
+		return maxErr(x, orig) < 1e-8
+	}
+	cfg := quickConfig(5)
+	cfg.MaxCount = 40
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The 3-D transform is separable: transforming with Plan3D equals composing
+// per-axis DFTs (checked against DFT3D on random small shapes).
+func TestQuick3DMatchesOracle(t *testing.T) {
+	f := func(a, b, c uint8, seed int64) bool {
+		shapes := []int{1, 2, 3, 4, 5, 6, 8}
+		nx := shapes[int(a)%len(shapes)]
+		ny := shapes[int(b)%len(shapes)]
+		nz := shapes[int(c)%len(shapes)]
+		rng := rand.New(rand.NewSource(seed))
+		x := genVec(rng, nx*ny*nz)
+		want := DFT3D(x, nx, ny, nz, Forward)
+		NewPlan3D(nx, ny, nz, Forward).Transform(x)
+		return maxErr(x, want) < 1e-8
+	}
+	cfg := quickConfig(6)
+	cfg.MaxCount = 30
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

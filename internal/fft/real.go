@@ -1,0 +1,194 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Real-to-complex transforms (§2.3 of the paper notes that the overlap
+// method applies to the faster real-input techniques of Sorensen et al.;
+// this file provides those transforms for the serial substrate).
+//
+// For even n, the r2c transform computes the DFT of n real samples with
+// one complex FFT of length n/2 (packing even samples into the real parts
+// and odd samples into the imaginary parts, then untangling). For odd n it
+// falls back to a full complex transform. Only the n/2+1 non-redundant
+// outputs are produced; the remaining bins follow from Hermitian symmetry
+// X[n−k] = conj(X[k]).
+
+// PlanR2C computes forward real-to-complex DFTs of a fixed length.
+type PlanR2C struct {
+	n    int
+	half *Plan // length n/2 complex plan (even n)
+	full *Plan // fallback for odd n
+	tw   []complex128
+	buf  []complex128
+}
+
+// NewPlanR2C creates a real-to-complex plan for length n >= 1.
+func NewPlanR2C(n int) *PlanR2C {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid r2c length %d", n))
+	}
+	p := &PlanR2C{n: n}
+	if n == 1 {
+		return p
+	}
+	if n%2 != 0 {
+		p.full = NewPlan(n, Forward)
+		p.buf = make([]complex128, n)
+		return p
+	}
+	m := n / 2
+	p.half = NewPlan(m, Forward)
+	p.buf = make([]complex128, m)
+	p.tw = make([]complex128, m+1)
+	for k := 0; k <= m; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.tw[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return p
+}
+
+// Len returns the input length n.
+func (p *PlanR2C) Len() int { return p.n }
+
+// OutLen returns the number of non-redundant outputs, n/2+1.
+func (p *PlanR2C) OutLen() int { return p.n/2 + 1 }
+
+// Transform computes the DFT of the real input src into dst, which must
+// have length OutLen(). Not safe for concurrent use on one plan.
+func (p *PlanR2C) Transform(dst []complex128, src []float64) {
+	if len(src) != p.n || len(dst) != p.OutLen() {
+		panic(fmt.Sprintf("fft: r2c size mismatch: src %d (want %d), dst %d (want %d)",
+			len(src), p.n, len(dst), p.OutLen()))
+	}
+	if p.n == 1 {
+		dst[0] = complex(src[0], 0)
+		return
+	}
+	if p.full != nil { // odd n fallback
+		for i, v := range src {
+			p.buf[i] = complex(v, 0)
+		}
+		p.full.InPlace(p.buf)
+		copy(dst, p.buf[:p.OutLen()])
+		return
+	}
+	m := p.n / 2
+	z := p.buf
+	for k := 0; k < m; k++ {
+		z[k] = complex(src[2*k], src[2*k+1])
+	}
+	p.half.InPlace(z)
+	// Untangle: X[k] = E[k] + w^k·O[k] where E and O are the DFTs of the
+	// even and odd samples, recovered from Z by Hermitian splitting.
+	for k := 0; k <= m; k++ {
+		zk := z[k%m]
+		zmk := cmplx.Conj(z[(m-k)%m])
+		e := (zk + zmk) / 2
+		o := (zk - zmk) / 2
+		o = complex(imag(o), -real(o)) // divide by i
+		dst[k] = e + p.tw[k]*o
+	}
+}
+
+// PlanC2R computes inverse complex-to-real DFTs of a fixed length: the
+// unnormalized inverse of PlanR2C (C2R(R2C(x)) == n·x). The input is the
+// n/2+1 non-redundant spectrum; entries 1..n/2−1 may be arbitrary complex
+// values, but dst is real, so the implied symmetry is assumed.
+type PlanC2R struct {
+	n    int
+	half *Plan // length n/2 backward plan (even n)
+	full *Plan
+	tw   []complex128
+	buf  []complex128
+}
+
+// NewPlanC2R creates a complex-to-real plan for length n >= 1.
+func NewPlanC2R(n int) *PlanC2R {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid c2r length %d", n))
+	}
+	p := &PlanC2R{n: n}
+	if n == 1 {
+		return p
+	}
+	if n%2 != 0 {
+		p.full = NewPlan(n, Backward)
+		p.buf = make([]complex128, n)
+		return p
+	}
+	m := n / 2
+	p.half = NewPlan(m, Backward)
+	p.buf = make([]complex128, m)
+	p.tw = make([]complex128, m+1)
+	for k := 0; k <= m; k++ {
+		ang := 2 * math.Pi * float64(k) / float64(n) // conjugate twiddles
+		p.tw[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return p
+}
+
+// Len returns the output length n.
+func (p *PlanC2R) Len() int { return p.n }
+
+// InLen returns the expected spectrum length, n/2+1.
+func (p *PlanC2R) InLen() int { return p.n/2 + 1 }
+
+// Transform computes the unnormalized inverse DFT of the Hermitian
+// spectrum src into the real output dst. Not safe for concurrent use on
+// one plan.
+func (p *PlanC2R) Transform(dst []float64, src []complex128) {
+	if len(src) != p.InLen() || len(dst) != p.n {
+		panic(fmt.Sprintf("fft: c2r size mismatch: src %d (want %d), dst %d (want %d)",
+			len(src), p.InLen(), len(dst), p.n))
+	}
+	if p.n == 1 {
+		dst[0] = real(src[0])
+		return
+	}
+	if p.full != nil { // odd n fallback: rebuild the full spectrum
+		p.buf[0] = complex(real(src[0]), 0)
+		for k := 1; k <= p.n/2; k++ {
+			p.buf[k] = src[k]
+			p.buf[p.n-k] = cmplx.Conj(src[k])
+		}
+		p.full.InPlace(p.buf)
+		for i := range dst {
+			dst[i] = real(p.buf[i])
+		}
+		return
+	}
+	// Retangle: X[k] = E[k] + w^k·O[k] and X[m−k]* = E[k] − w^k·O[k]
+	// (E, O are DFTs of real sequences), so E and O are recoverable and
+	// Z[k] = E[k] + i·O[k]. Working at twice the natural amplitude folds
+	// the backward transform's missing 1/m into the n·x contract.
+	m := p.n / 2
+	z := p.buf
+	for k := 0; k < m; k++ {
+		xk := src[k]
+		xmk := cmplx.Conj(src[m-k])
+		e := xk + xmk                  // 2·E[k]
+		o := (xk - xmk) * p.tw[k]      // 2·O[k] (tw[k] = w^{−k})
+		o = complex(-imag(o), real(o)) // multiply by i
+		z[k] = e + o                   // 2·Z[k]
+	}
+	p.half.InPlace(z) // backward, unnormalized: yields 2m·z = n·z
+	for k := 0; k < m; k++ {
+		dst[2*k] = real(z[k])
+		dst[2*k+1] = imag(z[k])
+	}
+}
+
+// DFTReal computes the r2c DFT by definition (the test oracle).
+func DFTReal(src []float64) []complex128 {
+	n := len(src)
+	x := make([]complex128, n)
+	for i, v := range src {
+		x[i] = complex(v, 0)
+	}
+	full := DFT(x, Forward)
+	return full[:n/2+1]
+}

@@ -1,0 +1,148 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randReal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestR2CMatchesOracle(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 8, 10, 16, 24, 32, 48, 64, 100, 128, 256, 3, 5, 7, 9, 15, 21} {
+		x := randReal(n, int64(n))
+		want := DFTReal(x)
+		p := NewPlanR2C(n)
+		if p.OutLen() != n/2+1 {
+			t.Fatalf("n=%d: OutLen %d", n, p.OutLen())
+		}
+		got := make([]complex128, p.OutLen())
+		p.Transform(got, x)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("r2c n=%d: error %g", n, e)
+		}
+	}
+}
+
+func TestC2RInvertsR2C(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 12, 16, 32, 64, 100, 256, 3, 5, 9, 15} {
+		x := randReal(n, int64(n)+50)
+		fwd := NewPlanR2C(n)
+		spec := make([]complex128, fwd.OutLen())
+		fwd.Transform(spec, x)
+		bwd := NewPlanC2R(n)
+		back := make([]float64, n)
+		bwd.Transform(back, spec)
+		worst := 0.0
+		for i := range x {
+			if d := math.Abs(back[i]/float64(n) - x[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-9 {
+			t.Errorf("c2r n=%d: roundtrip error %g", n, worst)
+		}
+	}
+}
+
+func TestC2RMatchesFullInverse(t *testing.T) {
+	// c2r of an arbitrary Hermitian spectrum must equal the full complex
+	// backward transform.
+	n := 32
+	rng := rand.New(rand.NewSource(9))
+	full := make([]complex128, n)
+	full[0] = complex(rng.NormFloat64(), 0)
+	full[n/2] = complex(rng.NormFloat64(), 0)
+	for k := 1; k < n/2; k++ {
+		full[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+		full[n-k] = cmplx.Conj(full[k])
+	}
+	want := DFT(full, Backward)
+	p := NewPlanC2R(n)
+	got := make([]float64, n)
+	p.Transform(got, full[:n/2+1])
+	for i := range got {
+		if math.Abs(got[i]-real(want[i])) > 1e-9 {
+			t.Fatalf("elem %d: got %v want %v", i, got[i], want[i])
+		}
+		if math.Abs(imag(want[i])) > 1e-9 {
+			t.Fatalf("oracle not real at %d: %v", i, want[i])
+		}
+	}
+}
+
+func TestQuickR2CHalfSpectrumSufficient(t *testing.T) {
+	// The dropped bins are redundant: X[n−k] == conj(X[k]).
+	f := func(sizeIdx uint8, seed int64) bool {
+		sizes := []int{2, 4, 6, 8, 12, 16, 20, 32, 48}
+		n := sizes[int(sizeIdx)%len(sizes)]
+		x := randReal(n, seed)
+		fullIn := make([]complex128, n)
+		for i, v := range x {
+			fullIn[i] = complex(v, 0)
+		}
+		full := DFT(fullIn, Forward)
+		for k := 1; k < n/2; k++ {
+			if cmplx.Abs(full[n-k]-cmplx.Conj(full[k])) > 1e-8*(1+cmplx.Abs(full[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(11)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickR2CRoundTrip(t *testing.T) {
+	f := func(rawN uint8, seed int64) bool {
+		n := int(rawN)%120 + 1
+		x := randReal(n, seed)
+		fwd := NewPlanR2C(n)
+		spec := make([]complex128, fwd.OutLen())
+		fwd.Transform(spec, x)
+		back := make([]float64, n)
+		NewPlanC2R(n).Transform(back, spec)
+		for i := range x {
+			if math.Abs(back[i]/float64(n)-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := quickConfig(12)
+	cfg.MaxCount = 50
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealPlanValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("r2c n=0", func() { NewPlanR2C(0) })
+	mustPanic("c2r n=0", func() { NewPlanC2R(0) })
+	p := NewPlanR2C(8)
+	mustPanic("r2c short dst", func() { p.Transform(make([]complex128, 3), make([]float64, 8)) })
+	mustPanic("r2c short src", func() { p.Transform(make([]complex128, 5), make([]float64, 4)) })
+	q := NewPlanC2R(8)
+	mustPanic("c2r short dst", func() { q.Transform(make([]float64, 4), make([]complex128, 5)) })
+	if p.Len() != 8 || q.Len() != 8 || q.InLen() != 5 {
+		t.Error("length accessors wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package fft
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Wisdom records planner decisions (the chosen factor order per transform
+// length and direction) so that expensive Measure/Patient planning can be
+// done once and reused across processes — the role of FFTW's wisdom files.
+// The paper's methodology tunes FFTW with FFTW_PATIENT once per
+// system/size and reuses the result for all timed runs; Wisdom is how this
+// library supports the same workflow.
+type Wisdom struct {
+	mu sync.Mutex
+	m  map[wisdomKey][]int
+}
+
+type wisdomKey struct {
+	n   int
+	dir Direction
+}
+
+// NewWisdom creates an empty wisdom store.
+func NewWisdom() *Wisdom {
+	return &Wisdom{m: make(map[wisdomKey][]int)}
+}
+
+// Learn runs the planner at the given effort and records the decision.
+// It returns the plan.
+func (w *Wisdom) Learn(n int, dir Direction, flag Flag) (*Plan, PlanInfo) {
+	p, info := Plan1D(n, dir, flag)
+	w.mu.Lock()
+	w.m[wisdomKey{n, dir}] = p.Factors()
+	w.mu.Unlock()
+	return p, info
+}
+
+// Plan returns a plan for (n, dir) using recorded wisdom when available,
+// falling back to the Estimate heuristic otherwise. The second result
+// reports whether wisdom was used.
+func (w *Wisdom) Plan(n int, dir Direction) (*Plan, bool) {
+	w.mu.Lock()
+	factors, ok := w.m[wisdomKey{n, dir}]
+	w.mu.Unlock()
+	if ok && len(factors) > 0 {
+		if p, err := newPlanFactors(n, dir, factors); err == nil {
+			return p, true
+		}
+	}
+	return NewPlan(n, dir), false
+}
+
+// Export writes the wisdom in a stable line format:
+// "offt-wisdom <n> <dir> <f1>,<f2>,..." sorted by (n, dir).
+func (w *Wisdom) Export(out io.Writer) error {
+	w.mu.Lock()
+	keys := make([]wisdomKey, 0, len(w.m))
+	for k := range w.m {
+		keys = append(keys, k)
+	}
+	w.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].n != keys[j].n {
+			return keys[i].n < keys[j].n
+		}
+		return keys[i].dir < keys[j].dir
+	})
+	for _, k := range keys {
+		w.mu.Lock()
+		factors := w.m[k]
+		w.mu.Unlock()
+		strs := make([]string, len(factors))
+		for i, f := range factors {
+			strs[i] = strconv.Itoa(f)
+		}
+		line := fmt.Sprintf("offt-wisdom %d %d %s\n", k.n, int(k.dir), strings.Join(strs, ","))
+		if len(factors) == 0 {
+			line = fmt.Sprintf("offt-wisdom %d %d -\n", k.n, int(k.dir))
+		}
+		if _, err := io.WriteString(out, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Import merges wisdom lines previously produced by Export. Unknown or
+// malformed lines are rejected with an error; entries whose factorization
+// no longer validates are skipped silently (they fall back to Estimate).
+func (w *Wisdom) Import(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "offt-wisdom" {
+			return fmt.Errorf("fft: malformed wisdom line %q", line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("fft: bad wisdom length in %q", line)
+		}
+		d, err := strconv.Atoi(fields[2])
+		if err != nil || (d != int(Forward) && d != int(Backward)) {
+			return fmt.Errorf("fft: bad wisdom direction in %q", line)
+		}
+		var factors []int
+		if fields[3] != "-" {
+			for _, fs := range strings.Split(fields[3], ",") {
+				f, err := strconv.Atoi(fs)
+				if err != nil {
+					return fmt.Errorf("fft: bad wisdom factor in %q", line)
+				}
+				factors = append(factors, f)
+			}
+			if _, err := newPlanFactors(n, Direction(d), factors); err != nil {
+				continue // stale entry: skip rather than poison the store
+			}
+		}
+		w.mu.Lock()
+		w.m[wisdomKey{n, Direction(d)}] = factors
+		w.mu.Unlock()
+	}
+	return sc.Err()
+}
+
+// Len returns the number of recorded entries.
+func (w *Wisdom) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.m)
+}

@@ -1,0 +1,94 @@
+package fft
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWisdomLearnAndPlan(t *testing.T) {
+	w := NewWisdom()
+	p1, info := w.Learn(384, Forward, Measure)
+	if info.Candidates < 2 {
+		t.Error("Learn did not measure")
+	}
+	p2, used := w.Plan(384, Forward)
+	if !used {
+		t.Error("wisdom not used for a learned size")
+	}
+	// The wise plan must use the learned factor order and be correct.
+	if strings.Join(fmtInts(p2.Factors()), ",") != strings.Join(fmtInts(p1.Factors()), ",") {
+		t.Errorf("wisdom order %v != learned %v", p2.Factors(), p1.Factors())
+	}
+	x := randVec(384, 1)
+	want := DFT(x, Forward)
+	got := make([]complex128, 384)
+	p2.Transform(got, x)
+	if e := maxErr(got, want); e > tol {
+		t.Errorf("wise plan wrong: %g", e)
+	}
+	// Unlearned size falls back.
+	if _, used := w.Plan(128, Forward); used {
+		t.Error("wisdom claimed for unlearned size")
+	}
+}
+
+func TestWisdomExportImportRoundTrip(t *testing.T) {
+	w := NewWisdom()
+	w.Learn(64, Forward, Estimate)
+	w.Learn(64, Backward, Estimate)
+	w.Learn(101, Forward, Estimate) // Bluestein: empty factor list
+	var sb strings.Builder
+	if err := w.Export(&sb); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWisdom()
+	if err := w2.Import(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != w.Len() {
+		t.Errorf("imported %d entries, want %d", w2.Len(), w.Len())
+	}
+	if _, used := w2.Plan(64, Backward); !used {
+		t.Error("imported wisdom not used")
+	}
+	// Bluestein entry: Plan falls back (empty factors) but stays correct.
+	p, _ := w2.Plan(101, Forward)
+	x := randVec(101, 2)
+	want := DFT(x, Forward)
+	got := make([]complex128, 101)
+	p.Transform(got, x)
+	if e := maxErr(got, want); e > tol {
+		t.Errorf("bluestein via wisdom fallback: %g", e)
+	}
+}
+
+func TestWisdomImportRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"not-wisdom 4 -1 2,2",
+		"offt-wisdom x -1 2,2",
+		"offt-wisdom 4 9 2,2",
+		"offt-wisdom 4 -1 a,b",
+		"offt-wisdom 4 -1",
+	} {
+		w := NewWisdom()
+		if err := w.Import(strings.NewReader(line)); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	// Stale (non-multiplying) entries are skipped, not fatal.
+	w := NewWisdom()
+	if err := w.Import(strings.NewReader("offt-wisdom 8 -1 3,3\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, used := w.Plan(8, Forward); used {
+		t.Error("stale wisdom should not be used")
+	}
+}
+
+func fmtInts(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, v := range xs {
+		out[i] = string(rune('0' + v%10))
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"offt/internal/pfft"
+)
+
+// WriteCSV dumps every cached setting's measurements to one CSV file per
+// data family under dir (created if needed): times.csv (Table 2 / Fig. 7),
+// breakdowns.csv (Fig. 8), params.csv (Table 3), and tuning.csv (Table 4).
+// Call it after running experiments so plots can be regenerated outside Go.
+func (r *Runner) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	settings := make([]*Tuned, 0, len(r.cache))
+	for _, t := range r.cache {
+		settings = append(settings, t)
+	}
+	r.mu.Unlock()
+	// Deterministic order: machine, p, N.
+	for i := 0; i < len(settings); i++ {
+		for j := i + 1; j < len(settings); j++ {
+			a, b := settings[i].Setting, settings[j].Setting
+			if b.Mach < a.Mach || (b.Mach == a.Mach && (b.P < a.P || (b.P == a.P && b.N < a.N))) {
+				settings[i], settings[j] = settings[j], settings[i]
+			}
+		}
+	}
+
+	if err := writeCSVFile(filepath.Join(dir, "times.csv"),
+		[]string{"machine", "p", "n", "fftw_s", "new_s", "new0_s", "th_s", "th0_s", "speedup_new", "speedup_th"},
+		func(emit func([]string)) {
+			for _, t := range settings {
+				s := t.Setting
+				emit([]string{
+					s.Mach, itoa(s.P), itoa(s.N),
+					secs(t.FFTW.MaxTotal), secs(t.NEW.MaxTotal), secs(t.NEW0.MaxTotal),
+					secs(t.THR.MaxTotal), secs(t.TH0.MaxTotal),
+					ratio(t.FFTW.MaxTotal, t.NEW.MaxTotal), ratio(t.FFTW.MaxTotal, t.THR.MaxTotal),
+				})
+			}
+		}); err != nil {
+		return err
+	}
+
+	if err := writeCSVFile(filepath.Join(dir, "breakdowns.csv"),
+		append([]string{"machine", "p", "n", "variant"}, lower(pfft.StepNames())...),
+		func(emit func([]string)) {
+			for _, t := range settings {
+				s := t.Setting
+				for _, v := range []struct {
+					name string
+					b    pfft.Breakdown
+				}{
+					{"NEW", t.NEW.Avg}, {"NEW-0", t.NEW0.Avg}, {"TH", t.THR.Avg}, {"TH-0", t.TH0.Avg}, {"FFTW", t.FFTW.Avg},
+				} {
+					row := []string{s.Mach, itoa(s.P), itoa(s.N), v.name}
+					for _, step := range v.b.Steps() {
+						row = append(row, secs(step))
+					}
+					emit(row)
+				}
+			}
+		}); err != nil {
+		return err
+	}
+
+	if err := writeCSVFile(filepath.Join(dir, "params.csv"),
+		[]string{"machine", "p", "n", "T", "W", "Px", "Pz", "Uy", "Uz", "Fy", "Fp", "Fu", "Fx"},
+		func(emit func([]string)) {
+			for _, t := range settings {
+				s, q := t.Setting, t.Params
+				emit([]string{s.Mach, itoa(s.P), itoa(s.N),
+					itoa(q.T), itoa(q.W), itoa(q.Px), itoa(q.Pz), itoa(q.Uy), itoa(q.Uz),
+					itoa(q.Fy), itoa(q.Fp), itoa(q.Fu), itoa(q.Fx)})
+			}
+		}); err != nil {
+		return err
+	}
+
+	return writeCSVFile(filepath.Join(dir, "tuning.csv"),
+		[]string{"machine", "p", "n", "fftw_tune_s", "new_tune_s", "th_tune_s", "new_evals", "th_evals"},
+		func(emit func([]string)) {
+			for _, t := range settings {
+				s := t.Setting
+				emit([]string{s.Mach, itoa(s.P), itoa(s.N),
+					fmt.Sprintf("%.3f", float64(t.FFTW.MaxTotal)*fftwPatientFactor/1e9),
+					secs(t.NewTune.VirtualNs), secs(t.THTune.VirtualNs),
+					itoa(t.NewTune.Search.Evals), itoa(t.THTune.Search.Evals)})
+			}
+		})
+}
+
+func writeCSVFile(path string, header []string, rows func(emit func([]string))) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	var writeErr error
+	rows(func(row []string) {
+		if writeErr == nil {
+			writeErr = w.Write(row)
+		}
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func secs(ns int64) string { return fmt.Sprintf("%.6f", float64(ns)/1e9) }
+
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3f", float64(a)/float64(b))
+}
+
+func lower(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		b := []byte(s)
+		for j := range b {
+			if b[j] >= 'A' && b[j] <= 'Z' {
+				b[j] += 'a' - 'A'
+			}
+		}
+		out[i] = string(b)
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"text/tabwriter"
+
+	"offt/internal/machine"
+	"offt/internal/pfft"
+	"offt/internal/stats"
+	"offt/internal/tuner"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig5", "Fig. 5: CDF of execution time over 200 random configurations", Fig5},
+		{"table2a", "Table 2(a): parallel 3-D FFT time, UMD-Cluster", func(r *Runner) error { return Table2(r, "a") }},
+		{"table2b", "Table 2(b): parallel 3-D FFT time, Hopper", func(r *Runner) error { return Table2(r, "b") }},
+		{"table2c", "Table 2(c): parallel 3-D FFT time, Hopper large scale", func(r *Runner) error { return Table2(r, "c") }},
+		{"fig7a", "Fig. 7(a): speedup over FFTW, UMD-Cluster", func(r *Runner) error { return Fig7(r, "a") }},
+		{"fig7b", "Fig. 7(b): speedup over FFTW, Hopper", func(r *Runner) error { return Fig7(r, "b") }},
+		{"fig7c", "Fig. 7(c): speedup over FFTW, Hopper large scale", func(r *Runner) error { return Fig7(r, "c") }},
+		{"fig8a", "Fig. 8(a): performance breakdown, UMD-Cluster p=32 N=640³", func(r *Runner) error { return Fig8(r, "a") }},
+		{"fig8b", "Fig. 8(b): performance breakdown, Hopper p=32 N=640³", func(r *Runner) error { return Fig8(r, "b") }},
+		{"fig8c", "Fig. 8(c): performance breakdown, Hopper p=256 N=2048³", func(r *Runner) error { return Fig8(r, "c") }},
+		{"table3a", "Table 3(a): parameter values found via auto-tuning, UMD-Cluster", func(r *Runner) error { return Table3(r, "a") }},
+		{"table3b", "Table 3(b): parameter values found via auto-tuning, Hopper", func(r *Runner) error { return Table3(r, "b") }},
+		{"table3c", "Table 3(c): parameter values found via auto-tuning, Hopper large scale", func(r *Runner) error { return Table3(r, "c") }},
+		{"fig9a", "Fig. 9(a): cross-platform test, UMD-Cluster", func(r *Runner) error { return Fig9(r, "a") }},
+		{"fig9b", "Fig. 9(b): cross-platform test, Hopper", func(r *Runner) error { return Fig9(r, "b") }},
+		{"table4a", "Table 4(a): auto-tuning time, UMD-Cluster", func(r *Runner) error { return Table4(r, "a") }},
+		{"table4b", "Table 4(b): auto-tuning time, Hopper", func(r *Runner) error { return Table4(r, "b") }},
+		{"table4c", "Table 4(c): auto-tuning time, Hopper large scale", func(r *Runner) error { return Table4(r, "c") }},
+	}
+}
+
+// AllWithExtensions returns the paper experiments followed by the
+// beyond-paper extensions.
+func AllWithExtensions() []Experiment {
+	return append(All(), Extensions()...)
+}
+
+// ByID finds an experiment (paper artifacts and extensions).
+func ByID(id string) (Experiment, error) {
+	for _, e := range AllWithExtensions() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// settingsFor maps the a/b/c panel letter to its grid.
+func settingsFor(panel string, s Scale) ([]Setting, error) {
+	switch panel {
+	case "a":
+		return UMDSettings(s), nil
+	case "b":
+		return HopperSettings(s), nil
+	case "c":
+		return HopperLargeSettings(s), nil
+	}
+	return nil, fmt.Errorf("harness: unknown panel %q", panel)
+}
+
+func sec(ns int64) float64 { return float64(ns) / 1e9 }
+
+// Table2 reproduces Table 2: FFTW/NEW/TH execution times with the paper's
+// published numbers alongside (paper columns are zero at small scale).
+func Table2(r *Runner, panel string) error {
+	sets, err := settingsFor(panel, r.Cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "== Table 2(%s) — 3-D FFT time (seconds), scale=%v ==\n", panel, r.Cfg.Scale)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tN³\tFFTW\tNEW\tTH\t|\tpaper FFTW\tpaper NEW\tpaper TH")
+	for _, s := range sets {
+		t, err := r.TunedFor(s)
+		if err != nil {
+			return err
+		}
+		pf, pn, pt := PaperTable2(s)
+		fmt.Fprintf(tw, "%d\t%d³\t%.3f\t%.3f\t%.3f\t|\t%.3f\t%.3f\t%.3f\n",
+			s.P, s.N, sec(t.FFTW.MaxTotal), sec(t.NEW.MaxTotal), sec(t.THR.MaxTotal), pf, pn, pt)
+	}
+	return tw.Flush()
+}
+
+// Fig7 reproduces Fig. 7: NEW and TH speedup over FFTW per setting.
+func Fig7(r *Runner, panel string) error {
+	sets, err := settingsFor(panel, r.Cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "== Fig. 7(%s) — speedup over FFTW, scale=%v ==\n", panel, r.Cfg.Scale)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tN³\tNEW\tTH\t|\tpaper NEW\tpaper TH")
+	for _, s := range sets {
+		t, err := r.TunedFor(s)
+		if err != nil {
+			return err
+		}
+		pf, pn, pt := PaperTable2(s)
+		paperNew, paperTH := 0.0, 0.0
+		if pn > 0 {
+			paperNew, paperTH = pf/pn, pf/pt
+		}
+		fmt.Fprintf(tw, "%d\t%d³\t%.2f\t%.2f\t|\t%.2f\t%.2f\n",
+			s.P, s.N,
+			stats.Speedup(float64(t.FFTW.MaxTotal), float64(t.NEW.MaxTotal)),
+			stats.Speedup(float64(t.FFTW.MaxTotal), float64(t.THR.MaxTotal)),
+			paperNew, paperTH)
+	}
+	return tw.Flush()
+}
+
+// Fig8 reproduces one Fig. 8 panel: the per-step breakdown of NEW, NEW-0,
+// TH and TH-0 (per-rank averages, seconds).
+func Fig8(r *Runner, panel string) error {
+	s, err := Fig8Setting(panel, r.Cfg.Scale)
+	if err != nil {
+		return err
+	}
+	t, err := r.TunedFor(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "== Fig. 8(%s) — performance breakdown, %v, scale=%v ==\n", panel, s, r.Cfg.Scale)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "step\tNEW\tNEW-0\tTH\tTH-0")
+	cols := []pfft.Breakdown{t.NEW.Avg, t.NEW0.Avg, t.THR.Avg, t.TH0.Avg}
+	names := pfft.StepNames()
+	for i, name := range names {
+		fmt.Fprintf(tw, "%s", name)
+		for _, b := range cols {
+			fmt.Fprintf(tw, "\t%.3f", sec(b.Steps()[i]))
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "Total")
+	for _, b := range cols {
+		fmt.Fprintf(tw, "\t%.3f", sec(b.Total))
+	}
+	fmt.Fprintln(tw)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "overlappable computation (FFTy+Pack+Unpack+FFTx) in NEW-0: %.3fs; Wait in NEW-0: %.3fs; Wait in NEW: %.3fs\n",
+		sec(t.NEW0.Avg.Overlappable()), sec(t.NEW0.Avg.Wait), sec(t.NEW.Avg.Wait))
+	return nil
+}
+
+// Table3 reproduces Table 3: the parameter values auto-tuning found.
+func Table3(r *Runner, panel string) error {
+	sets, err := settingsFor(panel, r.Cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "== Table 3(%s) — parameter values found via auto-tuning, scale=%v ==\n", panel, r.Cfg.Scale)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tN³\tT\tW\tPx\tPz\tUy\tUz\tFy\tFp\tFu\tFx")
+	for _, s := range sets {
+		t, err := r.TunedFor(s)
+		if err != nil {
+			return err
+		}
+		p := t.Params
+		fmt.Fprintf(tw, "%d\t%d³\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.P, s.N, p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx)
+	}
+	return tw.Flush()
+}
+
+// Fig9 reproduces the cross-platform test: each platform runs with the
+// other platform's tuned configuration (CROSS) versus its own (NEW), both
+// as speedup over FFTW.
+func Fig9(r *Runner, panel string) error {
+	var native, foreign []Setting
+	var err error
+	switch panel {
+	case "a": // run on UMD with Hopper-tuned configs
+		native, err = settingsFor("a", r.Cfg.Scale)
+		if err != nil {
+			return err
+		}
+		foreign, err = settingsFor("b", r.Cfg.Scale)
+	case "b": // run on Hopper with UMD-tuned configs
+		native, err = settingsFor("b", r.Cfg.Scale)
+		if err != nil {
+			return err
+		}
+		foreign, err = settingsFor("a", r.Cfg.Scale)
+	default:
+		return fmt.Errorf("harness: unknown fig9 panel %q", panel)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "== Fig. 9(%s) — cross-platform test on %s, scale=%v ==\n", panel, native[0].Mach, r.Cfg.Scale)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tN³\tNEW speedup\tCROSS speedup\tNEW/CROSS")
+	for i, s := range native {
+		t, err := r.TunedFor(s)
+		if err != nil {
+			return err
+		}
+		ft, err := r.TunedFor(foreign[i])
+		if err != nil {
+			return err
+		}
+		cross, err := r.MeasureWith(s, ft.Params)
+		if err != nil {
+			return err
+		}
+		nativeSpd := stats.Speedup(float64(t.FFTW.MaxTotal), float64(t.NEW.MaxTotal))
+		crossSpd := stats.Speedup(float64(t.FFTW.MaxTotal), float64(cross.MaxTotal))
+		fmt.Fprintf(tw, "%d\t%d³\t%.2f\t%.2f\t%.2f\n", s.P, s.N, nativeSpd, crossSpd, nativeSpd/crossSpd)
+	}
+	return tw.Flush()
+}
+
+// fftwPatientFactor models the FFTW_PATIENT planning cost of the baseline:
+// patient planning measures many candidate whole-transform plans; the
+// paper's own Table 4 shows tuning/run ratios of roughly 30–190, so the
+// analogue charges 60 baseline executions. This is a documented
+// substitution, not a measurement of FFTW.
+const fftwPatientFactor = 60
+
+// Table4 reproduces Table 4: auto-tuning time per approach.
+func Table4(r *Runner, panel string) error {
+	sets, err := settingsFor(panel, r.Cfg.Scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "== Table 4(%s) — auto-tuning time (simulated seconds), scale=%v ==\n", panel, r.Cfg.Scale)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tN³\tFFTW\tNEW\tTH\t|\tpaper FFTW\tpaper NEW\tpaper TH\t|\tNEW evals\tTH evals")
+	for _, s := range sets {
+		t, err := r.TunedFor(s)
+		if err != nil {
+			return err
+		}
+		fftwTune := float64(t.FFTW.MaxTotal) * fftwPatientFactor / 1e9
+		pf, pn, pt := PaperTable4(s)
+		fmt.Fprintf(tw, "%d\t%d³\t%.3f\t%.3f\t%.3f\t|\t%.3f\t%.3f\t%.3f\t|\t%d\t%d\n",
+			s.P, s.N, fftwTune, sec(t.NewTune.VirtualNs), sec(t.THTune.VirtualNs),
+			pf, pn, pt, t.NewTune.Search.Evals, t.THTune.Search.Evals)
+	}
+	return tw.Flush()
+}
+
+// Fig5 reproduces Fig. 5 (the CDF of 200 random configurations) plus the
+// §5.3.1 statistic: where the Nelder–Mead result ranks in that
+// distribution and after how many evaluations it got there.
+func Fig5(r *Runner) error {
+	s := Fig5Setting(r.Cfg.Scale)
+	fmt.Fprintf(r.Cfg.Out, "== Fig. 5 — execution-time CDF of 200 random configurations, %v, scale=%v ==\n", s, r.Cfg.Scale)
+	fmt.Fprintln(r.Cfg.Out, "(times exclude FFTz and Transpose, as in the paper)")
+	m, err := machine.ByName(s.Mach)
+	if err != nil {
+		return err
+	}
+	rnd, err := tuner.RandomNEW(m, s.P, s.N, 200, r.Cfg.Seed)
+	if err != nil {
+		return err
+	}
+	var samples []float64
+	for _, smp := range rnd.Search.History {
+		if !math.IsInf(smp.Cost, 1) {
+			samples = append(samples, smp.Cost/1e9)
+		}
+	}
+	sort.Float64s(samples)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "time (s)\tcumulative fraction")
+	for _, pt := range stats.CDFAt(samples, 10) {
+		fmt.Fprintf(tw, "%.4f\t%.2f\n", pt.Value, pt.Fraction)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "range: %.4f – %.4f s (%.2fx spread), %d feasible of 200 sampled\n",
+		stats.Min(samples), stats.Max(samples), stats.Max(samples)/stats.Min(samples), len(samples))
+
+	// §5.3.1: the NM result's percentile in the random distribution.
+	newEvals, _ := evalBudget(s)
+	_, nm, err := tuner.TuneNEW(m, s.P, s.N, newEvals)
+	if err != nil {
+		return err
+	}
+	rank := stats.PercentileRank(samples, nm.Search.BestCost/1e9)
+	fmt.Fprintf(r.Cfg.Out, "Nelder-Mead best %.4f s ranks in percentile %.1f of the random distribution after %d evaluations\n",
+		nm.Search.BestCost/1e9, rank, nm.Search.Evals)
+	return nil
+}

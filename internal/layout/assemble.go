@@ -1,0 +1,81 @@
+package layout
+
+import "fmt"
+
+// ScatterX extracts this rank's input x-slab (x-y-z layout) from a full
+// Nx×Ny×Nz array in x-y-z layout. It is the distribution step applications
+// and tests use to feed the parallel transform.
+func ScatterX(full []complex128, g Grid) []complex128 {
+	if len(full) != g.Nx*g.Ny*g.Nz {
+		panic(fmt.Sprintf("layout: ScatterX: full array length %d != %d", len(full), g.Nx*g.Ny*g.Nz))
+	}
+	x0 := g.X0()
+	n := g.XC() * g.Ny * g.Nz
+	slab := make([]complex128, n)
+	copy(slab, full[x0*g.Ny*g.Nz:x0*g.Ny*g.Nz+n])
+	return slab
+}
+
+// GatherY assembles a full Nx×Ny×Nz array in x-y-z layout from the per-rank
+// output y-slabs produced by the parallel forward transform. fast selects
+// the y-z-x output layout (§3.5 path) instead of z-y-x. slabs[r] must be
+// rank r's output slab.
+func GatherY(slabs [][]complex128, nx, ny, nz, p int, fast bool) []complex128 {
+	full := make([]complex128, nx*ny*nz)
+	for r := 0; r < p; r++ {
+		g, err := NewGrid(nx, ny, nz, p, r)
+		if err != nil {
+			panic(err)
+		}
+		slab := slabs[r]
+		if len(slab) < g.OutSize() {
+			panic(fmt.Sprintf("layout: GatherY: rank %d slab length %d < %d", r, len(slab), g.OutSize()))
+		}
+		y0, yc := g.Y0(), g.YC()
+		for ly := 0; ly < yc; ly++ {
+			for z := 0; z < nz; z++ {
+				rb := g.RowXBase(fast, ly, z)
+				for x := 0; x < nx; x++ {
+					full[(x*ny+(y0+ly))*nz+z] = slab[rb+x]
+				}
+			}
+		}
+	}
+	return full
+}
+
+// ScatterY splits a full array (x-y-z layout) into per-rank y-slabs in the
+// post-forward layout (z-y-x, or y-z-x when fast). It is the inverse of
+// GatherY and feeds the parallel backward transform.
+func ScatterY(full []complex128, g Grid, fast bool) []complex128 {
+	if len(full) != g.Nx*g.Ny*g.Nz {
+		panic(fmt.Sprintf("layout: ScatterY: full array length %d != %d", len(full), g.Nx*g.Ny*g.Nz))
+	}
+	slab := make([]complex128, g.OutSize())
+	y0, yc := g.Y0(), g.YC()
+	for ly := 0; ly < yc; ly++ {
+		for z := 0; z < g.Nz; z++ {
+			rb := g.RowXBase(fast, ly, z)
+			for x := 0; x < g.Nx; x++ {
+				slab[rb+x] = full[(x*g.Ny+(y0+ly))*g.Nz+z]
+			}
+		}
+	}
+	return slab
+}
+
+// GatherX assembles a full array in x-y-z layout from per-rank input
+// x-slabs. It is the inverse of ScatterX.
+func GatherX(slabs [][]complex128, nx, ny, nz, p int) []complex128 {
+	full := make([]complex128, nx*ny*nz)
+	for r := 0; r < p; r++ {
+		g, err := NewGrid(nx, ny, nz, p, r)
+		if err != nil {
+			panic(err)
+		}
+		x0 := g.X0()
+		n := g.XC() * ny * nz
+		copy(full[x0*ny*nz:x0*ny*nz+n], slabs[r][:n])
+	}
+	return full
+}

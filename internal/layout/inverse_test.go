@@ -1,0 +1,112 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRepackInvertsUnpackSubtiled(t *testing.T) {
+	g, err := NewGrid(10, 9, 8, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zt0, ztl := 2, 4
+	buf := randSlab(g.RecvBufLen(ztl), 1)
+	out := make([]complex128, g.OutSize())
+	// Unpack with one sub-tiling, repack with a different one; the buffer
+	// must reassemble exactly.
+	SubTiles(ztl, 3, func(zlo, zhi int) {
+		SubTiles(g.YC(), 2, func(ylo, yhi int) {
+			g.UnpackSubtile(out, buf, false, zt0, ztl, ylo, yhi, zlo, zhi)
+		})
+	})
+	buf2 := make([]complex128, g.RecvBufLen(ztl))
+	SubTiles(ztl, 2, func(zlo, zhi int) {
+		SubTiles(g.YC(), 3, func(ylo, yhi int) {
+			g.RepackSubtile(buf2, out, false, zt0, ztl, ylo, yhi, zlo, zhi)
+		})
+	})
+	for i := range buf {
+		if buf[i] != buf2[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestScatterInvertsPackFastPath(t *testing.T) {
+	g, err := NewGrid(8, 8, 6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zt0, ztl := 3, 3
+	work := randSlab(g.InSize(), 2)
+	buf := make([]complex128, g.SendBufLen(ztl))
+	g.PackTile(buf, work, true, zt0, ztl)
+	back := make([]complex128, g.InSize())
+	g.ScatterTile(back, buf, true, zt0, ztl)
+	for z := zt0; z < zt0+ztl; z++ {
+		for lx := 0; lx < g.XC(); lx++ {
+			rb := g.RowYBase(true, z, lx)
+			for y := 0; y < g.Ny; y++ {
+				if back[rb+y] != work[rb+y] {
+					t.Fatalf("fast-path scatter mismatch z=%d x=%d y=%d", z, lx, y)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickInverseTransposes(t *testing.T) {
+	f := func(a, b, c uint8, seed int64) bool {
+		dims := []int{1, 2, 3, 5, 8, 33, 40}
+		xc := dims[int(a)%len(dims)]
+		ny := dims[int(b)%len(dims)]
+		nz := dims[int(c)%len(dims)]
+		src := randSlab(xc*ny*nz, seed)
+		tmp := make([]complex128, len(src))
+		back := make([]complex128, len(src))
+		TransposeZXY(tmp, src, xc, ny, nz)
+		TransposeZXYInv(back, tmp, xc, ny, nz)
+		for i := range src {
+			if back[i] != src[i] {
+				return false
+			}
+		}
+		TransposeXZY(tmp, src, xc, ny, nz)
+		TransposeXZYInv(back, tmp, xc, ny, nz)
+		for i := range src {
+			if back[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(44))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssemblePanicsOnBadLengths(t *testing.T) {
+	g, _ := NewGrid(4, 4, 4, 2, 0)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ScatterX", func() { ScatterX(make([]complex128, 3), g) })
+	mustPanic("ScatterY", func() { ScatterY(make([]complex128, 3), g, false) })
+	mustPanic("GatherY short slab", func() {
+		GatherY([][]complex128{{}, {}}, 4, 4, 4, 2, false)
+	})
+	mustPanic("transpose short", func() {
+		TransposeZXY(make([]complex128, 3), make([]complex128, 3), 2, 2, 2)
+	})
+	mustPanic("inv transpose short", func() {
+		TransposeXZYInv(make([]complex128, 3), make([]complex128, 3), 2, 2, 2)
+	})
+}

@@ -1,0 +1,239 @@
+// Package machine defines the parametric models of the two evaluation
+// platforms from the paper — UMD-Cluster (64-node Myrinet 2000 Linux
+// cluster, one core per node) and Hopper (Cray XE6, Gemini network, eight
+// ranks per node in the paper's runs) — plus a Laptop model for real-data
+// runs. A Machine bundles the network constants used by the simulated
+// fabric (package simnet) and the computation cost coefficients used by the
+// cost-model kernels (package model).
+//
+// The constants are calibrated so the simulated comm/compute balance
+// reproduces the *shape* of the paper's results (who wins, by what factor,
+// where crossovers fall); absolute times are in the right ballpark but are
+// not expected to match a 2013 production system exactly.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network holds the fabric model parameters.
+type Network struct {
+	// LatencyIntraNs / LatencyInterNs are the per-message latencies for
+	// same-node and cross-node transfers.
+	LatencyIntraNs int64
+	LatencyInterNs int64
+	// NsPerByteIntra / NsPerByteInter are the per-byte serialization costs
+	// (inverse bandwidth) before contention.
+	NsPerByteIntra float64
+	NsPerByteInter float64
+	// FabricAlpha scales inter-node bandwidth contention with the number of
+	// occupied nodes: effective ns/B = NsPerByteInter · (1 + FabricAlpha·√(nodes−1)).
+	// This models the bisection limit that makes the all-to-all relatively
+	// more expensive at larger p (§5.2 of the paper).
+	FabricAlpha float64
+	// EagerThreshold is the message size (bytes) at or below which the
+	// eager protocol applies; larger messages use rendezvous and therefore
+	// depend on manual progression via MPI_Test.
+	EagerThreshold int
+	// RendezvousChunkBytes is the pipeline granularity of rendezvous data:
+	// each chunk's injection requires the sender to enter an MPI call, so
+	// long computation phases without MPI_Test stall transfers mid-flight
+	// (0 means unchunked).
+	RendezvousChunkBytes int
+	// MsgSetupNs is the per-message wire/DMA setup occupancy charged to the
+	// sender NIC and receiver drain for every message (and rendezvous
+	// chunk). It models the message-rate limit of the fabric: floods of
+	// tiny messages cannot reach link bandwidth.
+	MsgSetupNs int64
+}
+
+// Compute holds the computation cost coefficients (all per rank).
+type Compute struct {
+	// FFTNsPerUnit is the cost of one element·log2(N) unit of a 1-D FFT.
+	FFTNsPerUnit float64
+	// MemNsPerElem is the streaming per-element cost of Pack/Unpack when
+	// the working set is cache resident.
+	MemNsPerElem float64
+	// CacheBytes is the per-core cache the loop tiling targets (512 KB L2
+	// on both of the paper's platforms).
+	CacheBytes int64
+	// MissPenaltyFactor multiplies MemNsPerElem when the sub-tile working
+	// set completely overflows the cache.
+	MissPenaltyFactor float64
+	// SubtileOverheadNs is the fixed loop/call overhead per sub-tile; it
+	// penalizes absurdly small Px/Pz/Uy/Uz choices.
+	SubtileOverheadNs float64
+	// TransposeNsPerElem / TransposeFastNsPerElem are the per-element costs
+	// of the z-x-y transpose and the cheaper §3.5 x-z-y transpose.
+	TransposeNsPerElem     float64
+	TransposeFastNsPerElem float64
+	// TestCallNs is the fixed CPU cost of one MPI_Test call;
+	// TestPerReqNs is added per active subrequest the call inspects.
+	TestCallNs   float64
+	TestPerReqNs float64
+	// SendPostNs / RecvPostNs are the per-message CPU costs of posting a
+	// point-to-point send/receive inside the (i)alltoall.
+	SendPostNs float64
+	RecvPostNs float64
+	// LocalCopyNsPerByte is the memcpy cost charged for the rank's own
+	// block in an all-to-all (the self "message").
+	LocalCopyNsPerByte float64
+	// PackPerDestNs is the per-destination-rank overhead of packing or
+	// unpacking one sub-tile (the pack loop visits every rank's block).
+	PackPerDestNs float64
+}
+
+// Machine is one platform model.
+type Machine struct {
+	Name         string
+	CoresPerNode int // ranks placed per node
+	Net          Network
+	Cmp          Compute
+}
+
+// NodeOf returns the node index hosting the given rank (ranks are placed
+// in blocks, as with a default MPI host file).
+func (m Machine) NodeOf(rank int) int { return rank / m.CoresPerNode }
+
+// Nodes returns the number of nodes occupied by p ranks.
+func (m Machine) Nodes(p int) int { return (p + m.CoresPerNode - 1) / m.CoresPerNode }
+
+// EffNsPerByte returns the effective per-byte cost between two ranks given
+// the number of occupied nodes (contention applies to inter-node traffic).
+func (m Machine) EffNsPerByte(rankA, rankB, nodes int) float64 {
+	if m.NodeOf(rankA) == m.NodeOf(rankB) {
+		return m.Net.NsPerByteIntra
+	}
+	f := 1 + m.Net.FabricAlpha*math.Sqrt(float64(nodes-1))
+	return m.Net.NsPerByteInter * f
+}
+
+// Latency returns the per-message latency between two ranks.
+func (m Machine) Latency(rankA, rankB int) int64 {
+	if m.NodeOf(rankA) == m.NodeOf(rankB) {
+		return m.Net.LatencyIntraNs
+	}
+	return m.Net.LatencyInterNs
+}
+
+// UMDCluster models the paper's first platform: 64 nodes of Intel Xeon
+// 2.66 GHz (512 KB L2), one rank per node, Myrinet 2000 (~250 MB/s per
+// link, ~10 µs latency) with heavy fabric contention under all-to-all.
+func UMDCluster() Machine {
+	return Machine{
+		Name:         "umd-cluster",
+		CoresPerNode: 1,
+		Net: Network{
+			LatencyIntraNs:       600,
+			LatencyInterNs:       10_000,
+			NsPerByteIntra:       0.35,
+			NsPerByteInter:       4.0, // ~250 MB/s per link
+			FabricAlpha:          0.45,
+			EagerThreshold:       32 << 10,
+			RendezvousChunkBytes: 64 << 10,
+			MsgSetupNs:           15_000, // Myrinet-era message rate ≈ 60K msgs/s
+		},
+		Cmp: Compute{
+			FFTNsPerUnit:           5.0,
+			MemNsPerElem:           5.0,
+			CacheBytes:             512 << 10,
+			MissPenaltyFactor:      3.0,
+			SubtileOverheadNs:      220,
+			TransposeNsPerElem:     9.0,
+			TransposeFastNsPerElem: 4.0,
+			TestCallNs:             600,
+			TestPerReqNs:           120,
+			SendPostNs:             900,
+			RecvPostNs:             700,
+			LocalCopyNsPerByte:     0.25,
+			PackPerDestNs:          10,
+		},
+	}
+}
+
+// Hopper models the paper's second platform: Cray XE6 nodes with two
+// 12-core AMD MagnyCours 2.1 GHz processors (512 KB L2 per core); the
+// paper used eight ranks per node over the Gemini 3-D torus (fast links,
+// low latency, strong intra-node paths).
+func Hopper() Machine {
+	return Machine{
+		Name:         "hopper",
+		CoresPerNode: 8,
+		Net: Network{
+			LatencyIntraNs:       400,
+			LatencyInterNs:       1_500,
+			NsPerByteIntra:       0.25,
+			NsPerByteInter:       0.70, // ~1.4 GB/s per rank before contention
+			FabricAlpha:          1.68,
+			EagerThreshold:       8 << 10,
+			RendezvousChunkBytes: 64 << 10,
+			MsgSetupNs:           2_000, // Gemini sustains high message rates
+		},
+		Cmp: Compute{
+			FFTNsPerUnit:           2.6,
+			MemNsPerElem:           4.5,
+			CacheBytes:             512 << 10,
+			MissPenaltyFactor:      3.0,
+			SubtileOverheadNs:      150,
+			TransposeNsPerElem:     6.0,
+			TransposeFastNsPerElem: 2.5,
+			TestCallNs:             400,
+			TestPerReqNs:           80,
+			SendPostNs:             600,
+			RecvPostNs:             500,
+			LocalCopyNsPerByte:     0.15,
+			PackPerDestNs:          7,
+		},
+	}
+}
+
+// Laptop models a single modern machine for small real-data demo runs with
+// emulated link delays (see the mem engine).
+func Laptop() Machine {
+	return Machine{
+		Name:         "laptop",
+		CoresPerNode: 8,
+		Net: Network{
+			LatencyIntraNs:       300,
+			LatencyInterNs:       5_000,
+			NsPerByteIntra:       0.20,
+			NsPerByteInter:       1.0,
+			FabricAlpha:          0.05,
+			EagerThreshold:       16 << 10,
+			RendezvousChunkBytes: 64 << 10,
+			MsgSetupNs:           1_000,
+		},
+		Cmp: Compute{
+			FFTNsPerUnit:           1.0,
+			MemNsPerElem:           2.0,
+			CacheBytes:             1 << 20,
+			MissPenaltyFactor:      2.5,
+			SubtileOverheadNs:      100,
+			TransposeNsPerElem:     4.0,
+			TransposeFastNsPerElem: 1.8,
+			TestCallNs:             250,
+			TestPerReqNs:           60,
+			SendPostNs:             400,
+			RecvPostNs:             350,
+			LocalCopyNsPerByte:     0.10,
+			PackPerDestNs:          5,
+		},
+	}
+}
+
+// ByName returns a predefined machine model.
+func ByName(name string) (Machine, error) {
+	switch name {
+	case "umd-cluster", "umd":
+		return UMDCluster(), nil
+	case "hopper":
+		return Hopper(), nil
+	case "laptop":
+		return Laptop(), nil
+	}
+	return Machine{}, fmt.Errorf("machine: unknown machine %q (want umd-cluster, hopper, or laptop)", name)
+}
+
+// Names lists the predefined machine model names.
+func Names() []string { return []string{"umd-cluster", "hopper", "laptop"} }

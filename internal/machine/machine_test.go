@@ -1,0 +1,73 @@
+package machine
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	if m, err := ByName("umd"); err != nil || m.Name != "umd-cluster" {
+		t.Errorf("alias umd: %v %v", m.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown machine")
+	}
+}
+
+func TestNodePlacement(t *testing.T) {
+	h := Hopper()
+	if h.NodeOf(0) != 0 || h.NodeOf(7) != 0 || h.NodeOf(8) != 1 || h.NodeOf(31) != 3 {
+		t.Error("Hopper node placement wrong")
+	}
+	if h.Nodes(32) != 4 || h.Nodes(33) != 5 || h.Nodes(1) != 1 {
+		t.Error("Hopper Nodes() wrong")
+	}
+	u := UMDCluster()
+	if u.NodeOf(5) != 5 || u.Nodes(16) != 16 {
+		t.Error("UMD is one rank per node")
+	}
+}
+
+func TestEffNsPerByteContention(t *testing.T) {
+	h := Hopper()
+	intra := h.EffNsPerByte(0, 1, 4)
+	inter4 := h.EffNsPerByte(0, 8, 4)
+	inter32 := h.EffNsPerByte(0, 8, 32)
+	if intra != h.Net.NsPerByteIntra {
+		t.Errorf("intra-node rate should be uncontended: %v", intra)
+	}
+	if !(inter4 > intra) {
+		t.Errorf("inter-node should be slower than intra: %v vs %v", inter4, intra)
+	}
+	if !(inter32 > inter4) {
+		t.Errorf("contention must grow with nodes: %v vs %v", inter32, inter4)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	h := Hopper()
+	if h.Latency(0, 1) != h.Net.LatencyIntraNs {
+		t.Error("same-node latency")
+	}
+	if h.Latency(0, 8) != h.Net.LatencyInterNs {
+		t.Error("cross-node latency")
+	}
+}
+
+func TestPlatformBalanceShape(t *testing.T) {
+	// The paper's central cross-platform fact: UMD's network is much slower
+	// relative to its compute than Hopper's, which is why overlap buys more
+	// on UMD. Check the model encodes that ordering.
+	u, h := UMDCluster(), Hopper()
+	uRatio := u.Net.NsPerByteInter / u.Cmp.FFTNsPerUnit
+	hRatio := h.Net.NsPerByteInter / h.Cmp.FFTNsPerUnit
+	if uRatio <= hRatio {
+		t.Errorf("UMD comm/comp ratio %v should exceed Hopper's %v", uRatio, hRatio)
+	}
+}

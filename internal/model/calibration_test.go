@@ -1,0 +1,70 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"offt/internal/machine"
+	"offt/internal/pfft"
+)
+
+// TestCalibrationReport logs simulated times for a slice of the paper's
+// Table 2 settings next to the published numbers. Run with -v to inspect.
+// It asserts only the shape constraints; absolute values are informative.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	type row struct {
+		mach           string
+		p, n           int
+		fftw, new_, th float64 // paper numbers, seconds
+	}
+	rows := []row{
+		{"umd-cluster", 16, 256, 0.369, 0.245, 0.319},
+		{"umd-cluster", 32, 256, 0.189, 0.153, 0.197},
+		{"umd-cluster", 16, 384, 1.207, 0.725, 1.063},
+		{"umd-cluster", 32, 640, 3.129, 2.158, 3.061},
+		{"hopper", 16, 256, 0.096, 0.087, 0.106},
+		{"hopper", 32, 256, 0.061, 0.046, 0.061},
+		{"hopper", 32, 640, 0.920, 0.747, 0.930},
+	}
+	for _, r := range rows {
+		m, err := machine.ByName(r.mach)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := gridFor(t, r.p, r.n)
+		prm := pfft.DefaultParams(g)
+		th := pfft.DefaultTHParams(g)
+
+		fftw, err := SimulateCube(m, r.p, r.n, Spec{Variant: pfft.Baseline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newRes, err := SimulateCube(m, r.p, r.n, Spec{Variant: pfft.NEW, Params: prm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		thRes, err := SimulateCube(m, r.p, r.n, Spec{Variant: pfft.TH, TH: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec := func(ns int64) float64 { return time.Duration(ns).Seconds() }
+		t.Logf("%-12s p=%-3d N=%4d  FFTW %.3f (paper %.3f)  NEW %.3f (paper %.3f)  TH %.3f (paper %.3f)  speedup %.2fx (paper %.2fx)",
+			r.mach, r.p, r.n,
+			sec(fftw.MaxTotal), r.fftw,
+			sec(newRes.MaxTotal), r.new_,
+			sec(thRes.MaxTotal), r.th,
+			sec(fftw.MaxTotal)/sec(newRes.MaxTotal), r.fftw/r.new_)
+
+		if !(newRes.MaxTotal < fftw.MaxTotal) {
+			t.Errorf("%s p=%d N=%d: NEW (%v) not faster than FFTW (%v)", r.mach, r.p, r.n,
+				time.Duration(newRes.MaxTotal), time.Duration(fftw.MaxTotal))
+		}
+		if !(newRes.MaxTotal < thRes.MaxTotal) {
+			t.Errorf("%s p=%d N=%d: NEW (%v) not faster than TH (%v)", r.mach, r.p, r.n,
+				time.Duration(newRes.MaxTotal), time.Duration(thRes.MaxTotal))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"fmt"
+
+	"offt/internal/layout"
+	"offt/internal/machine"
+	"offt/internal/mpi/sim"
+	"offt/internal/pfft"
+)
+
+// Spec describes one simulated 3-D FFT run.
+type Spec struct {
+	Variant pfft.Variant
+	Params  pfft.Params   // used by NEW / NEW0
+	TH      pfft.THParams // used by TH / TH0
+}
+
+// NewSpec builds a Spec for the paper's design.
+func NewSpec(prm pfft.Params) Spec { return Spec{Variant: pfft.NEW, Params: prm} }
+
+// Result aggregates the per-rank breakdowns of one simulated run.
+type Result struct {
+	PerRank []pfft.Breakdown
+	// Avg is the per-step average over ranks (what Fig. 8 plots).
+	Avg pfft.Breakdown
+	// MaxTotal is the job completion time: the slowest rank's total.
+	MaxTotal int64
+	// MaxTuned is the slowest rank's total excluding FFTz and Transpose —
+	// the auto-tuner's objective (§4.4 technique 3).
+	MaxTuned int64
+}
+
+// Simulate runs one 3-D FFT of shape nx×ny×nz over p simulated ranks on
+// machine m and returns the aggregated result. It is deterministic.
+func Simulate(m machine.Machine, p, nx, ny, nz int, spec Spec) (Result, error) {
+	if _, err := layout.NewGrid(nx, ny, nz, p, 0); err != nil {
+		return Result{}, err
+	}
+	w := sim.NewWorld(m, p)
+	res := Result{PerRank: make([]pfft.Breakdown, p)}
+	var runErr error
+	err := w.Run(func(c *sim.Comm) {
+		g, err := layout.NewGrid(nx, ny, nz, p, c.Rank())
+		if err != nil {
+			panic(err) // checked above for rank 0; identical for others
+		}
+		e := NewEngine(m, g, c)
+		var b pfft.Breakdown
+		switch spec.Variant {
+		case pfft.TH:
+			b, err = pfft.RunTH(e, spec.TH)
+		case pfft.TH0:
+			b, err = pfft.RunTH0(e, spec.TH)
+		case pfft.NEW0:
+			b, err = pfft.RunNEW0(e, spec.Params)
+		default:
+			b, err = pfft.Run(e, spec.Variant, spec.Params)
+		}
+		if err != nil {
+			if c.Rank() == 0 {
+				runErr = err
+			}
+			return
+		}
+		res.PerRank[c.Rank()] = b
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("model: simulation failed: %w", err)
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	for _, b := range res.PerRank {
+		res.Avg.Add(b)
+		if b.Total > res.MaxTotal {
+			res.MaxTotal = b.Total
+		}
+		if t := b.TunedPortion(); t > res.MaxTuned {
+			res.MaxTuned = t
+		}
+	}
+	res.Avg.Scale(int64(p))
+	return res, nil
+}
+
+// SimulateCube is Simulate for the paper's cubic N³ arrays.
+func SimulateCube(m machine.Machine, p, n int, spec Spec) (Result, error) {
+	return Simulate(m, p, n, n, n, spec)
+}

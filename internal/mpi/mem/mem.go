@@ -1,0 +1,315 @@
+// Package mem implements the mpi.Comm interface for real in-process runs:
+// ranks are goroutines, payloads are real complex128 slices routed through
+// a shared in-memory mailbox. Optionally, message delivery is delayed
+// according to a machine model's latency/bandwidth so that computation-
+// communication overlap produces genuine wall-clock savings even on one
+// core (the delay is idle time, not CPU time).
+//
+// This engine is the numerical-correctness and demo substrate; the sim
+// engine (package mpi/sim) is the performance-reproduction substrate.
+package mem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"offt/internal/machine"
+	"offt/internal/mpi"
+)
+
+// Option configures a World.
+type Option func(*World)
+
+// WithDelay enables emulated link delays from the given machine model.
+func WithDelay(m machine.Machine) Option {
+	return func(w *World) {
+		w.mach = m
+		w.delayed = true
+	}
+}
+
+// World is an in-process job of p ranks.
+type World struct {
+	p       int
+	mach    machine.Machine
+	delayed bool
+	epoch   time.Time
+
+	mu    sync.Mutex
+	conds []*sync.Cond
+	boxes []map[mkey][]message
+
+	barGen   int
+	barCount int
+	barCond  *sync.Cond
+}
+
+type mkey struct{ src, tag int }
+
+type message struct {
+	data []complex128
+}
+
+// NewWorld creates an in-process world of p ranks.
+func NewWorld(p int, opts ...Option) *World {
+	if p < 1 {
+		panic("mem: need at least one rank")
+	}
+	w := &World{p: p, mach: machine.Laptop(), epoch: time.Now()}
+	w.conds = make([]*sync.Cond, p)
+	w.boxes = make([]map[mkey][]message, p)
+	for i := range w.conds {
+		w.conds[i] = sync.NewCond(&w.mu)
+		w.boxes[i] = make(map[mkey][]message)
+	}
+	w.barCond = sync.NewCond(&w.mu)
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Run executes body once per rank in its own goroutine and returns when
+// every rank finishes. A panic in any rank is returned as an error (the
+// remaining ranks may be left blocked; the world must be discarded).
+func (w *World) Run(body func(c *Comm)) error {
+	errs := make(chan error, w.p)
+	for r := 0; r < w.p; r++ {
+		r := r
+		go func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs <- fmt.Errorf("mem: rank %d panicked: %v", r, rec)
+					w.mu.Lock()
+					for _, c := range w.conds {
+						c.Broadcast()
+					}
+					w.barCond.Broadcast()
+					w.mu.Unlock()
+					return
+				}
+				errs <- nil
+			}()
+			body(&Comm{world: w, rank: r})
+		}()
+	}
+	for i := 0; i < w.p; i++ {
+		if err := <-errs; err != nil {
+			// Other ranks may be blocked forever on the failed rank; return
+			// immediately and let their goroutines leak (the world is dead).
+			return err
+		}
+	}
+	return nil
+}
+
+// deposit delivers a message to dst's mailbox (called from the sender
+// goroutine or a delay timer).
+func (w *World) deposit(dst int, k mkey, m message) {
+	w.mu.Lock()
+	w.boxes[dst][k] = append(w.boxes[dst][k], m)
+	w.conds[dst].Broadcast()
+	w.mu.Unlock()
+}
+
+// send routes one block from src to dst, copying the payload at call time
+// (eager-buffered semantics) and applying the emulated link delay if
+// enabled.
+func (w *World) send(src, dst, tag int, block []complex128) {
+	data := make([]complex128, len(block))
+	copy(data, block)
+	k := mkey{src, tag}
+	if !w.delayed {
+		w.deposit(dst, k, message{data: data})
+		return
+	}
+	bytes := len(block) * mpi.Elem16
+	d := time.Duration(w.mach.Latency(src, dst) + int64(float64(bytes)*w.mach.EffNsPerByte(src, dst, w.mach.Nodes(w.p))))
+	time.AfterFunc(d, func() { w.deposit(dst, k, message{data: data}) })
+}
+
+// tryClaim removes and returns the first message matching k from dst's
+// mailbox, if present.
+func (w *World) tryClaim(dst int, k mkey) ([]complex128, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	q := w.boxes[dst][k]
+	if len(q) == 0 {
+		return nil, false
+	}
+	m := q[0]
+	if len(q) == 1 {
+		delete(w.boxes[dst], k)
+	} else {
+		w.boxes[dst][k] = q[1:]
+	}
+	return m.data, true
+}
+
+// Comm is one in-process rank's communicator.
+type Comm struct {
+	world *World
+	rank  int
+	seq   int
+}
+
+var _ mpi.Comm = (*Comm)(nil)
+
+// Rank returns this rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.p }
+
+// Now returns wall time since the world was created, in nanoseconds.
+func (c *Comm) Now() int64 { return time.Since(c.world.epoch).Nanoseconds() }
+
+// request tracks a pending all-to-all: which source blocks are still
+// outstanding and where to copy them.
+type request struct {
+	tag        int
+	recv       []complex128
+	recvCounts []int
+	offsets    []int
+	pending    map[int]bool // source ranks not yet copied in
+}
+
+func (c *Comm) nextTag() int {
+	t := c.seq
+	c.seq++
+	return t
+}
+
+// Ialltoallv starts a non-blocking all-to-all with real payloads. The send
+// buffer is copied out immediately; inbound blocks are copied into recv
+// during Test/Wait (the caller's CPU does the "progression" work, like the
+// paper's manual progression).
+func (c *Comm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) mpi.Request {
+	w, p, rank := c.world, c.Size(), c.rank
+	if len(sendCounts) != p || len(recvCounts) != p {
+		panic(fmt.Sprintf("mem: counts length %d/%d, want %d", len(sendCounts), len(recvCounts), p))
+	}
+	tag := c.nextTag()
+	// Copy the counts: callers may reuse the backing arrays for the next
+	// collective while this request is still in flight.
+	rc := append([]int(nil), recvCounts...)
+	req := &request{tag: tag, recv: recv, recvCounts: rc, pending: make(map[int]bool, p)}
+	req.offsets = make([]int, p)
+	off := 0
+	for s := 0; s < p; s++ {
+		req.offsets[s] = off
+		off += recvCounts[s]
+	}
+	if off > len(recv) {
+		panic(fmt.Sprintf("mem: recv buffer %d too small for counts (%d)", len(recv), off))
+	}
+	// Send blocks (round-robin order), self block copied in place.
+	soff := make([]int, p)
+	o := 0
+	for r := 0; r < p; r++ {
+		soff[r] = o
+		o += sendCounts[r]
+	}
+	if o > len(send) {
+		panic(fmt.Sprintf("mem: send buffer %d too small for counts (%d)", len(send), o))
+	}
+	// Zero-count blocks are skipped on both sides, so sub-grid collectives
+	// only touch their real peers.
+	for i := 1; i < p; i++ {
+		dst := (rank + i) % p
+		if sendCounts[dst] > 0 {
+			w.send(rank, dst, tag, send[soff[dst]:soff[dst]+sendCounts[dst]])
+		}
+	}
+	copy(recv[req.offsets[rank]:req.offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
+	for s := 0; s < p; s++ {
+		if s != rank && recvCounts[s] > 0 {
+			req.pending[s] = true
+		}
+	}
+	return req
+}
+
+// Alltoallv performs a blocking all-to-all.
+func (c *Comm) Alltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) {
+	r := c.Ialltoallv(send, sendCounts, recv, recvCounts)
+	c.Wait(r)
+}
+
+// drain claims every available pending block of req, copying payloads into
+// the receive buffer. Returns true when the request is complete.
+func (c *Comm) drain(req *request) bool {
+	w := c.world
+	for s := range req.pending {
+		if data, ok := w.tryClaim(c.rank, mkey{s, req.tag}); ok {
+			if len(data) != req.recvCounts[s] {
+				panic(fmt.Sprintf("mem: rank %d got %d elements from %d, want %d", c.rank, len(data), s, req.recvCounts[s]))
+			}
+			copy(req.recv[req.offsets[s]:req.offsets[s]+len(data)], data)
+			delete(req.pending, s)
+		}
+	}
+	return len(req.pending) == 0
+}
+
+// Test drains whatever has arrived and reports completion.
+func (c *Comm) Test(reqs ...mpi.Request) bool {
+	all := true
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		req := r.(*request)
+		if !c.drain(req) {
+			all = false
+		}
+	}
+	return all
+}
+
+// Wait blocks until all requests complete, draining as messages arrive.
+func (c *Comm) Wait(reqs ...mpi.Request) {
+	w := c.world
+	for {
+		if c.Test(reqs...) {
+			return
+		}
+		// Block until something new lands in our mailbox.
+		w.mu.Lock()
+		empty := true
+		for _, r := range reqs {
+			if r == nil {
+				continue
+			}
+			req := r.(*request)
+			for s := range req.pending {
+				if len(w.boxes[c.rank][mkey{s, req.tag}]) > 0 {
+					empty = false
+				}
+			}
+		}
+		if empty {
+			w.conds[c.rank].Wait()
+		}
+		w.mu.Unlock()
+	}
+}
+
+// Barrier blocks until all ranks arrive (reusable generation barrier).
+func (c *Comm) Barrier() {
+	w := c.world
+	w.mu.Lock()
+	gen := w.barGen
+	w.barCount++
+	if w.barCount == w.p {
+		w.barCount = 0
+		w.barGen++
+		w.barCond.Broadcast()
+	} else {
+		for gen == w.barGen {
+			w.barCond.Wait()
+		}
+	}
+	w.mu.Unlock()
+}

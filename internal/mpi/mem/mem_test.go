@@ -1,0 +1,313 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"offt/internal/machine"
+	"offt/internal/mpi"
+)
+
+// fillBlocks builds a send buffer where the block destined for rank r
+// contains values encoding (sender, receiver, index), so misrouted data is
+// detectable.
+func fillBlocks(rank int, counts []int) []complex128 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	buf := make([]complex128, total)
+	off := 0
+	for r, c := range counts {
+		for i := 0; i < c; i++ {
+			buf[off+i] = complex(float64(rank*1000+r), float64(i))
+		}
+		off += c
+	}
+	return buf
+}
+
+func checkBlocks(t *testing.T, rank int, counts []int, recv []complex128) {
+	t.Helper()
+	off := 0
+	for s, c := range counts {
+		for i := 0; i < c; i++ {
+			want := complex(float64(s*1000+rank), float64(i))
+			if recv[off+i] != want {
+				t.Fatalf("rank %d block from %d elem %d: got %v want %v", rank, s, i, recv[off+i], want)
+			}
+		}
+		off += c
+	}
+}
+
+func TestAlltoallvUniform(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		counts := []int{5, 5, 5, 5}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 20)
+		c.Alltoallv(send, counts, recv, counts)
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvRagged(t *testing.T) {
+	// Non-uniform counts: rank r sends r+1 elements to everyone, so rank r
+	// receives s+1 elements from rank s.
+	p := 3
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		sendCounts := make([]int, p)
+		recvCounts := make([]int, p)
+		for r := 0; r < p; r++ {
+			sendCounts[r] = c.Rank() + 1
+			recvCounts[r] = r + 1
+		}
+		send := fillBlocks(c.Rank(), sendCounts)
+		recv := make([]complex128, 1+2+3)
+		c.Alltoallv(send, sendCounts, recv, recvCounts)
+		checkBlocks(t, c.Rank(), recvCounts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIalltoallvTestWait(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		counts := []int{3, 3, 3, 3}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 12)
+		req := c.Ialltoallv(send, counts, recv, counts)
+		for i := 0; i < 1000 && !c.Test(req); i++ {
+		}
+		c.Wait(req)
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleOutstandingRequests(t *testing.T) {
+	p := 3
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		counts := []int{2, 2, 2}
+		const k = 5
+		recvs := make([][]complex128, k)
+		var reqs []mpi.Request
+		for i := 0; i < k; i++ {
+			send := fillBlocks(c.Rank(), counts)
+			for j := range send {
+				send[j] += complex(0, float64(i)*100) // per-round marker
+			}
+			recvs[i] = make([]complex128, 6)
+			reqs = append(reqs, c.Ialltoallv(send, counts, recvs[i], counts))
+		}
+		c.Wait(reqs...)
+		for i := 0; i < k; i++ {
+			off := 0
+			for s := range counts {
+				for e := 0; e < counts[s]; e++ {
+					want := complex(float64(s*1000+c.Rank()), float64(e)) + complex(0, float64(i)*100)
+					if recvs[i][off+e] != want {
+						t.Errorf("round %d block %d elem %d: got %v want %v", i, s, e, recvs[i][off+e], want)
+					}
+				}
+				off += counts[s]
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendBufferReusableAfterPost(t *testing.T) {
+	// The engine copies eagerly, so clobbering the send buffer right after
+	// posting must not corrupt the transfer.
+	p := 2
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		counts := []int{4, 4}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 8)
+		req := c.Ialltoallv(send, counts, recv, counts)
+		for i := range send {
+			send[i] = complex(-999, -999)
+		}
+		c.Wait(req)
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	p := 6
+	w := NewWorld(p)
+	var before, after int32
+	err := w.Run(func(c *Comm) {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if got := atomic.LoadInt32(&before); got != int32(p) {
+			t.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), got)
+		}
+		atomic.AddInt32(&after, 1)
+		c.Barrier()
+		if got := atomic.LoadInt32(&after); got != int32(p) {
+			t.Errorf("rank %d passed second barrier with only %d arrivals (barrier not reusable)", c.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedWorldStillCorrect(t *testing.T) {
+	p := 4
+	m := machine.Laptop()
+	m.Net.LatencyInterNs = 200_000 // 0.2 ms: visible but test stays fast
+	w := NewWorld(p, WithDelay(m))
+	err := w.Run(func(c *Comm) {
+		counts := []int{2, 2, 2, 2}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 8)
+		c.Alltoallv(send, counts, recv, counts)
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicSurfacesAsError(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("rank 1 exploded")
+		}
+		// rank 0 returns immediately; no cross-rank dependency
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if want := "rank 1 exploded"; !contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || fmt.Sprintf("%s", s) != "" && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNowAdvances(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) {
+		a := c.Now()
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+		b := c.Now()
+		if b < a {
+			t.Error("clock went backwards")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStressManyRoundsRace(t *testing.T) {
+	// Exercised under -race in CI: many concurrent rounds across ranks.
+	p := 5
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		counts := []int{7, 7, 7, 7, 7}
+		for round := 0; round < 30; round++ {
+			send := fillBlocks(c.Rank(), counts)
+			recv := make([]complex128, 35)
+			c.Alltoallv(send, counts, recv, counts)
+			checkBlocks(t, c.Rank(), counts, recv)
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlltoallvRandomCounts fuzzes the engine with arbitrary
+// per-pair counts (including zeros) and checks every delivered element
+// against the direct permutation.
+func TestQuickAlltoallvRandomCounts(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := 2 + int(pRaw)%4
+		rng := rand.New(rand.NewSource(seed))
+		// counts[a][b]: elements a sends to b.
+		counts := make([][]int, p)
+		for a := range counts {
+			counts[a] = make([]int, p)
+			for b := range counts[a] {
+				counts[a][b] = rng.Intn(5)
+			}
+		}
+		ok := true
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			me := c.Rank()
+			sendCounts := counts[me]
+			recvCounts := make([]int, p)
+			for s := 0; s < p; s++ {
+				recvCounts[s] = counts[s][me]
+			}
+			send := fillBlocks(me, sendCounts)
+			recv := make([]complex128, total(recvCounts))
+			c.Alltoallv(send, sendCounts, recv, recvCounts)
+			off := 0
+			for s := 0; s < p; s++ {
+				for i := 0; i < recvCounts[s]; i++ {
+					want := complex(float64(s*1000+me), float64(i))
+					if recv[off+i] != want {
+						ok = false
+					}
+				}
+				off += recvCounts[s]
+			}
+		})
+		return err == nil && ok
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func total(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

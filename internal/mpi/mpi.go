@@ -1,0 +1,61 @@
+// Package mpi defines the message-passing interface the parallel 3-D FFT
+// is written against, mirroring the slice of MPI-3.0 the paper uses:
+// blocking and non-blocking all-to-all (MPI_Alltoallv / MPI_Ialltoallv),
+// MPI_Test for manual progression, MPI_Wait, and a barrier.
+//
+// Two engines implement the interface:
+//
+//   - mpi/sim: ranks run in virtual time over the simulated fabric of
+//     package simnet. Buffers are optional (no payload is moved); this
+//     engine reproduces the paper's performance phenomena at paper scale.
+//   - mpi/mem: ranks are goroutines exchanging real data through an
+//     in-memory router, optionally with emulated link delays. This engine
+//     is used for end-to-end numerical verification and demos.
+//
+// Collective calls must be issued in the same order by every rank of a
+// world (the usual MPI requirement); the engines match collectives across
+// ranks by call sequence number.
+package mpi
+
+// Request is a handle to a pending non-blocking collective operation.
+type Request interface{}
+
+// Comm is one rank's communicator. Counts are in complex128 elements
+// (16 bytes each on the wire). Send/recv blocks are laid out contiguously
+// in rank order: rank r's block starts at the prefix sum of counts[0:r].
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Now returns the engine clock in nanoseconds (virtual time for the
+	// sim engine, wall time since world start for the mem engine).
+	Now() int64
+	// Barrier blocks until every rank reaches it.
+	Barrier()
+	// Alltoallv performs a blocking all-to-all: block r of send goes to
+	// rank r; block s of recv is filled from rank s.
+	Alltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int)
+	// Ialltoallv starts a non-blocking all-to-all and returns immediately.
+	// The send buffer must not be modified and the recv buffer must not be
+	// read until the request completes.
+	Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) Request
+	// Test models one MPI_Test call: it progresses pending communication
+	// and reports whether all the given requests (nil entries ignored)
+	// have completed.
+	Test(reqs ...Request) bool
+	// Wait blocks until all the given requests have completed.
+	Wait(reqs ...Request)
+}
+
+// Elem16 is the wire size of one element in bytes.
+const Elem16 = 16
+
+// TotalCount sums a counts vector.
+func TotalCount(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package mpi
+
+import "testing"
+
+func TestTotalCount(t *testing.T) {
+	if TotalCount(nil) != 0 {
+		t.Error("nil counts")
+	}
+	if TotalCount([]int{1, 2, 3}) != 6 {
+		t.Error("sum wrong")
+	}
+}
+
+func TestElemSize(t *testing.T) {
+	var v complex128
+	if Elem16 != 16 || Elem16 != int(sizeOf(v)) {
+		t.Errorf("Elem16 = %d, want the wire size of complex128", Elem16)
+	}
+}
+
+func sizeOf(complex128) uintptr { return 16 }

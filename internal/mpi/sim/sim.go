@@ -1,0 +1,168 @@
+// Package sim implements the mpi.Comm interface on top of the virtual-time
+// fabric of package simnet. No payload moves: operations carry byte counts
+// only, and every cost (posting, transfer, progression, MPI_Test overhead)
+// is charged to the rank's virtual clock from the machine model. The
+// simulation is deterministic.
+package sim
+
+import (
+	"fmt"
+
+	"offt/internal/machine"
+	"offt/internal/mpi"
+	"offt/internal/simnet"
+	"offt/internal/vclock"
+)
+
+// World is a simulated job: p ranks in virtual time on one machine model.
+type World struct {
+	Mach   machine.Machine
+	P      int
+	fabric *simnet.Fabric
+	sched  *vclock.Scheduler
+}
+
+// NewWorld creates a simulated world of p ranks on machine m.
+func NewWorld(m machine.Machine, p int) *World {
+	return &World{
+		Mach:   m,
+		P:      p,
+		fabric: simnet.NewFabric(m, p),
+		sched:  vclock.New(p),
+	}
+}
+
+// Fabric exposes the underlying fabric (for statistics).
+func (w *World) Fabric() *simnet.Fabric { return w.fabric }
+
+// Run executes body once per rank and returns when all ranks finish. It
+// must be called exactly once per World.
+func (w *World) Run(body func(c *Comm)) error {
+	return w.sched.Run(func(proc *vclock.Proc) {
+		ep := w.fabric.Endpoint(proc.ID(), proc)
+		body(&Comm{world: w, ep: ep, proc: proc})
+	})
+}
+
+// Comm is one simulated rank's communicator.
+type Comm struct {
+	world *World
+	ep    *simnet.Endpoint
+	proc  *vclock.Proc
+	seq   int // collective sequence number, consumed as the tag space
+}
+
+var _ mpi.Comm = (*Comm)(nil)
+
+// Rank returns this rank.
+func (c *Comm) Rank() int { return c.ep.Rank() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.P }
+
+// Now returns the rank's virtual time in nanoseconds.
+func (c *Comm) Now() int64 { return c.proc.Now() }
+
+// Advance charges d nanoseconds of local computation to this rank. It is
+// the hook the cost-model kernels use.
+func (c *Comm) Advance(d int64) { c.proc.Advance(d) }
+
+// Proc exposes the vclock process (for advanced uses in tests).
+func (c *Comm) Proc() *vclock.Proc { return c.proc }
+
+// request implements mpi.Request for this engine: one completion group
+// covering all the collective's point-to-point halves.
+type request struct {
+	grp *simnet.Group
+}
+
+func (c *Comm) nextTag() int {
+	t := c.seq
+	c.seq++
+	return t
+}
+
+// Ialltoallv starts a non-blocking all-to-all. Buffers are ignored (may be
+// nil); only the counts matter. The local block is charged as a memcpy.
+func (c *Comm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) mpi.Request {
+	p, rank := c.Size(), c.Rank()
+	if len(sendCounts) != p || len(recvCounts) != p {
+		panic(fmt.Sprintf("sim: counts length %d/%d, want %d", len(sendCounts), len(recvCounts), p))
+	}
+	tag := c.nextTag()
+	req := &request{grp: &simnet.Group{}}
+	// Round-robin peer schedule (libNBC style): receives posted before the
+	// matching-distance send so inbound RTS always finds a posted receive.
+	// Zero-count blocks are skipped entirely, so sub-grid collectives (the
+	// pencil decomposition's row/column exchanges) cost only their real
+	// peers.
+	for i := 1; i < p; i++ {
+		src := (rank - i + p) % p
+		dst := (rank + i) % p
+		if recvCounts[src] > 0 {
+			c.ep.IrecvGrp(src, tag, recvCounts[src]*mpi.Elem16, req.grp)
+		}
+		if sendCounts[dst] > 0 {
+			c.ep.IsendGrp(dst, tag, sendCounts[dst]*mpi.Elem16, req.grp)
+		}
+	}
+	if sendCounts[rank] > 0 {
+		c.ep.LocalCopy(sendCounts[rank] * mpi.Elem16)
+	}
+	return req
+}
+
+// Alltoallv performs a blocking all-to-all.
+func (c *Comm) Alltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) {
+	r := c.Ialltoallv(send, sendCounts, recv, recvCounts)
+	c.Wait(r)
+}
+
+// Test progresses communication and reports whether all requests are done.
+func (c *Comm) Test(reqs ...mpi.Request) bool {
+	active := 0
+	for _, r := range reqs {
+		if r != nil {
+			active += toRequest(r).grp.Pending()
+		}
+	}
+	c.ep.TestN(active)
+	for _, r := range reqs {
+		if r != nil && !toRequest(r).grp.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until all requests complete.
+func (c *Comm) Wait(reqs ...mpi.Request) {
+	groups := make([]*simnet.Group, 0, len(reqs))
+	for _, r := range reqs {
+		if r != nil {
+			groups = append(groups, toRequest(r).grp)
+		}
+	}
+	c.ep.WaitGroups(groups...)
+}
+
+func toRequest(r mpi.Request) *request {
+	rr, ok := r.(*request)
+	if !ok {
+		panic(fmt.Sprintf("sim: foreign request type %T", r))
+	}
+	return rr
+}
+
+// Barrier is a dissemination barrier over 1-byte eager messages.
+func (c *Comm) Barrier() {
+	p, rank := c.Size(), c.Rank()
+	for k := 1; k < p; k <<= 1 {
+		tag := c.nextTag()
+		dst := (rank + k) % p
+		src := (rank - k + p) % p
+		rr := c.ep.Irecv(src, tag, 1)
+		sr := c.ep.Isend(dst, tag, 1)
+		c.ep.WaitAll(rr, sr)
+	}
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+
+	"offt/internal/machine"
+	"offt/internal/mpi"
+)
+
+func flat() machine.Machine {
+	return machine.Machine{
+		Name:         "flat",
+		CoresPerNode: 1,
+		Net: machine.Network{
+			LatencyIntraNs: 100, LatencyInterNs: 100,
+			NsPerByteIntra: 1, NsPerByteInter: 1,
+			EagerThreshold: 1000,
+		},
+	}
+}
+
+func uniform(p, n int) []int {
+	c := make([]int, p)
+	for i := range c {
+		c[i] = n
+	}
+	return c
+}
+
+func TestBlockingAlltoallCompletes(t *testing.T) {
+	p := 4
+	w := NewWorld(flat(), p)
+	ends := make([]int64, p)
+	err := w.Run(func(c *Comm) {
+		counts := uniform(p, 500) // 8000 bytes per pair: rendezvous
+		c.Alltoallv(nil, counts, nil, counts)
+		ends[c.Rank()] = c.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, e := range ends {
+		if e <= 0 {
+			t.Errorf("rank %d finished at %d", r, e)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	p := 8
+	w := NewWorld(flat(), p)
+	after := make([]int64, p)
+	err := w.Run(func(c *Comm) {
+		// Rank r computes r·10µs, then barrier.
+		c.Advance(int64(c.Rank()) * 10_000)
+		c.Barrier()
+		after[c.Rank()] = c.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone must leave the barrier no earlier than the slowest arrival.
+	slowest := int64((p - 1)) * 10_000
+	for r, a := range after {
+		if a < slowest {
+			t.Errorf("rank %d left barrier at %d, before slowest arrival %d", r, a, slowest)
+		}
+	}
+}
+
+func TestNonblockingOverlapsComputation(t *testing.T) {
+	// One rank pair exchanging a large message while computing: total time
+	// with overlap (Ialltoall → compute with tests → wait) must be well
+	// below compute + blocking-alltoall time.
+	p := 2
+	const compute = 2_000_000                            // 2 ms
+	counts := func() []int { return uniform(p, 60_000) } // ~1 MB blocks
+
+	blocking := func() int64 {
+		w := NewWorld(flat(), p)
+		var end int64
+		if err := w.Run(func(c *Comm) {
+			c.Alltoallv(nil, counts(), nil, counts())
+			c.Advance(compute)
+			if c.Rank() == 0 {
+				end = c.Now()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}()
+
+	overlapped := func() int64 {
+		w := NewWorld(flat(), p)
+		var end int64
+		if err := w.Run(func(c *Comm) {
+			req := c.Ialltoallv(nil, counts(), nil, counts())
+			const chunks = 20
+			for i := 0; i < chunks; i++ {
+				c.Advance(compute / chunks)
+				c.Test(req)
+			}
+			c.Wait(req)
+			if c.Rank() == 0 {
+				end = c.Now()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}()
+
+	if !(overlapped < blocking*9/10) {
+		t.Errorf("overlap did not help: overlapped=%d blocking=%d", overlapped, blocking)
+	}
+}
+
+func TestNoTestsMeansNoProgress(t *testing.T) {
+	// With rendezvous traffic and zero Test calls during the compute
+	// phase, communication only progresses at the final Wait, so the total
+	// is ~compute + comm (no overlap benefit).
+	p := 2
+	const compute = 2_000_000
+	counts := func() []int { return uniform(p, 60_000) }
+
+	run := func(tests int) int64 {
+		w := NewWorld(flat(), p)
+		var end int64
+		if err := w.Run(func(c *Comm) {
+			req := c.Ialltoallv(nil, counts(), nil, counts())
+			if tests == 0 {
+				c.Advance(compute)
+			} else {
+				for i := 0; i < tests; i++ {
+					c.Advance(compute / int64(tests))
+					c.Test(req)
+				}
+			}
+			c.Wait(req)
+			if c.Rank() == 0 {
+				end = c.Now()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if zero, some := run(0), run(16); !(some < zero) {
+		t.Errorf("manual progression had no effect: 0 tests → %d, 16 tests → %d", zero, some)
+	}
+}
+
+func TestDeterministicEndTimes(t *testing.T) {
+	runOnce := func() [4]int64 {
+		p := 4
+		w := NewWorld(machine.Hopper(), p)
+		var ends [4]int64
+		if err := w.Run(func(c *Comm) {
+			counts := uniform(p, 4096)
+			for iter := 0; iter < 3; iter++ {
+				req := c.Ialltoallv(nil, counts, nil, counts)
+				c.Advance(50_000)
+				c.Test(req)
+				c.Advance(50_000)
+				c.Wait(req)
+			}
+			ends[c.Rank()] = c.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return ends
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Errorf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSelfOnlyWorld(t *testing.T) {
+	w := NewWorld(flat(), 1)
+	err := w.Run(func(c *Comm) {
+		c.Alltoallv(nil, []int{100}, nil, []int{100})
+		c.Barrier()
+		if c.Size() != 1 || c.Rank() != 0 {
+			t.Error("bad self world")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForeignRequestPanics(t *testing.T) {
+	w := NewWorld(flat(), 1)
+	err := w.Run(func(c *Comm) {
+		c.Test(mpi.Request("bogus"))
+	})
+	if err == nil {
+		t.Error("expected error for foreign request type")
+	}
+}
+
+func TestCountsValidation(t *testing.T) {
+	w := NewWorld(flat(), 2)
+	err := w.Run(func(c *Comm) {
+		c.Ialltoallv(nil, []int{1}, nil, []int{1, 1}) // wrong length
+	})
+	if err == nil {
+		t.Error("expected error for wrong counts length")
+	}
+}
+
+func TestWindowedAlltoallsAllComplete(t *testing.T) {
+	// Multiple outstanding ialltoalls (a window), tested and waited out of
+	// order, as the NEW algorithm does.
+	p := 4
+	w := NewWorld(flat(), p)
+	err := w.Run(func(c *Comm) {
+		counts := uniform(p, 2000)
+		var reqs []mpi.Request
+		for i := 0; i < 3; i++ {
+			reqs = append(reqs, c.Ialltoallv(nil, counts, nil, counts))
+			c.Advance(10_000)
+			c.Test(reqs...)
+		}
+		c.Wait(reqs...)
+		if !c.Test(reqs...) {
+			t.Error("requests not complete after Wait")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

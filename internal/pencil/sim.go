@@ -1,0 +1,223 @@
+package pencil
+
+import (
+	"math"
+
+	"offt/internal/machine"
+	"offt/internal/mpi"
+	"offt/internal/mpi/sim"
+)
+
+// Simulate runs the blocking pencil-decomposed 3-D FFT of an n³ array on a
+// pr×pc simulated process grid and returns the job completion time
+// (slowest rank, virtual nanoseconds). It mirrors Forward3D's control flow
+// with cost-model kernels, enabling the 1-D-vs-2-D decomposition
+// comparison of §2.2: one all-to-all over p ranks versus two all-to-alls
+// over pc and pr ranks.
+func Simulate(m machine.Machine, pr, pc, n int) (int64, error) {
+	if _, err := NewGrid2D(n, n, n, pr, pc, 0); err != nil {
+		return 0, err
+	}
+	p := pr * pc
+	w := sim.NewWorld(m, p)
+	ends := make([]int64, p)
+	err := w.Run(func(c *sim.Comm) {
+		g, err := NewGrid2D(n, n, n, pr, pc, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		cmp := m.Cmp
+		fftCost := func(rows, length int) int64 {
+			if length < 2 {
+				return int64(cmp.FFTNsPerUnit * float64(rows))
+			}
+			return int64(cmp.FFTNsPerUnit * float64(rows) * float64(length) * math.Log2(float64(length)))
+		}
+		// Pack/unpack of a whole pencil: streaming copies with a modest
+		// cache penalty (the copies stride through the pencil).
+		copyCost := func(elems int) int64 {
+			return int64(cmp.MemNsPerElem * 1.5 * float64(elems))
+		}
+		xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
+
+		// FFTz.
+		c.Advance(fftCost(xc*yc, g.Nz))
+
+		// Transpose A within the row group.
+		sendCounts := make([]int, p)
+		recvCounts := make([]int, p)
+		for cj := 0; cj < g.PC; cj++ {
+			sendCounts[g.GlobalRank(g.RI, cj)] = xc * yc * g.ZD.Count(cj)
+			recvCounts[g.GlobalRank(g.RI, cj)] = xc * g.YD.Count(cj) * zc
+		}
+		c.Advance(copyCost(g.InSize())) // pack
+		c.Alltoallv(nil, sendCounts, nil, recvCounts)
+		c.Advance(copyCost(g.MidSize())) // unpack
+
+		// FFTy.
+		c.Advance(fftCost(xc*zc, g.Ny))
+
+		// Transpose B within the column group.
+		for i := range sendCounts {
+			sendCounts[i], recvCounts[i] = 0, 0
+		}
+		for ri := 0; ri < g.PR; ri++ {
+			sendCounts[g.GlobalRank(ri, g.CI)] = xc * zc * g.YD2.Count(ri)
+			recvCounts[g.GlobalRank(ri, g.CI)] = g.XD.Count(ri) * zc * y2c
+		}
+		c.Advance(copyCost(g.MidSize()))
+		c.Alltoallv(nil, sendCounts, nil, recvCounts)
+		c.Advance(copyCost(g.OutSize()))
+
+		// FFTx.
+		c.Advance(fftCost(y2c*zc, g.Nx))
+		ends[c.Rank()] = c.Now()
+	})
+	if err != nil {
+		return 0, err
+	}
+	var max int64
+	for _, e := range ends {
+		if e > max {
+			max = e
+		}
+	}
+	return max, nil
+}
+
+// SimulateOverlapped runs the overlapped pencil transform (the paper's §7
+// future work realized: overlap + 2-D decomposition) on the simulated
+// cluster and returns the job completion time. Comparing it against
+// Simulate quantifies how much of the two exchange phases the pipeline
+// hides.
+func SimulateOverlapped(m machine.Machine, pr, pc, n int, prm Params2D) (int64, error) {
+	g0, err := NewGrid2D(n, n, n, pr, pc, 0)
+	if err != nil {
+		return 0, err
+	}
+	if err := prm.Validate(g0); err != nil {
+		return 0, err
+	}
+	p := pr * pc
+	w := sim.NewWorld(m, p)
+	ends := make([]int64, p)
+	err = w.Run(func(c *sim.Comm) {
+		g, err := NewGrid2D(n, n, n, pr, pc, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		cmp := m.Cmp
+		fftCost := func(rows, length int) int64 {
+			if rows <= 0 {
+				return 0
+			}
+			if length < 2 {
+				return int64(cmp.FFTNsPerUnit * float64(rows))
+			}
+			return int64(cmp.FFTNsPerUnit * float64(rows) * float64(length) * math.Log2(float64(length)))
+		}
+		copyCost := func(elems int) int64 {
+			return int64(cmp.MemNsPerElem * 1.5 * float64(elems))
+		}
+		xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
+		sendCounts := make([]int, p)
+		recvCounts := make([]int, p)
+		doTests := func(window []mpi.Request) {
+			if len(window) == 0 {
+				return
+			}
+			for j := 0; j < prm.F; j++ {
+				c.Test(window...)
+			}
+		}
+
+		// Phase A: tiles along x.
+		kA := (g.XD.MaxCount() + prm.TA - 1) / prm.TA
+		boundsA := func(i int) (int, int) {
+			lo, hi := i*prm.TA, i*prm.TA+prm.TA
+			if lo > xc {
+				lo = xc
+			}
+			if hi > xc {
+				hi = xc
+			}
+			return lo, hi
+		}
+		reqsA := make([]mpi.Request, kA)
+		runPhase(kA, prm.WA, reqsA, c,
+			func(i int, window []mpi.Request) {
+				x0, x1 := boundsA(i)
+				c.Advance(fftCost((x1-x0)*yc, g.Nz))
+				doTests(window)
+				c.Advance(copyCost((x1 - x0) * yc * g.Nz))
+				doTests(window)
+			},
+			func(i int) mpi.Request {
+				x0, x1 := boundsA(i)
+				for j := range sendCounts {
+					sendCounts[j], recvCounts[j] = 0, 0
+				}
+				for cj := 0; cj < g.PC; cj++ {
+					sendCounts[g.GlobalRank(g.RI, cj)] = (x1 - x0) * yc * g.ZD.Count(cj)
+					recvCounts[g.GlobalRank(g.RI, cj)] = (x1 - x0) * g.YD.Count(cj) * zc
+				}
+				return c.Ialltoallv(nil, sendCounts, nil, recvCounts)
+			},
+			func(i int, window []mpi.Request) {
+				x0, x1 := boundsA(i)
+				c.Advance(copyCost((x1 - x0) * g.Ny * zc))
+				doTests(window)
+				c.Advance(fftCost((x1-x0)*zc, g.Ny))
+				doTests(window)
+			})
+
+		// Phase B: tiles along z.
+		kB := (g.ZD.MaxCount() + prm.TB - 1) / prm.TB
+		boundsB := func(i int) (int, int) {
+			lo, hi := i*prm.TB, i*prm.TB+prm.TB
+			if lo > zc {
+				lo = zc
+			}
+			if hi > zc {
+				hi = zc
+			}
+			return lo, hi
+		}
+		reqsB := make([]mpi.Request, kB)
+		runPhase(kB, prm.WB, reqsB, c,
+			func(i int, window []mpi.Request) {
+				z0, z1 := boundsB(i)
+				c.Advance(copyCost(xc * g.Ny * (z1 - z0)))
+				doTests(window)
+			},
+			func(i int) mpi.Request {
+				z0, z1 := boundsB(i)
+				for j := range sendCounts {
+					sendCounts[j], recvCounts[j] = 0, 0
+				}
+				for ri := 0; ri < g.PR; ri++ {
+					sendCounts[g.GlobalRank(ri, g.CI)] = xc * g.YD2.Count(ri) * (z1 - z0)
+					recvCounts[g.GlobalRank(ri, g.CI)] = g.XD.Count(ri) * y2c * (z1 - z0)
+				}
+				return c.Ialltoallv(nil, sendCounts, nil, recvCounts)
+			},
+			func(i int, window []mpi.Request) {
+				z0, z1 := boundsB(i)
+				c.Advance(copyCost(g.Nx * y2c * (z1 - z0)))
+				doTests(window)
+				c.Advance(fftCost(y2c*(z1-z0), g.Nx))
+				doTests(window)
+			})
+		ends[c.Rank()] = c.Now()
+	})
+	if err != nil {
+		return 0, err
+	}
+	var max int64
+	for _, e := range ends {
+		if e > max {
+			max = e
+		}
+	}
+	return max, nil
+}

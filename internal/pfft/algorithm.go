@@ -1,0 +1,143 @@
+package pfft
+
+import (
+	"offt/internal/layout"
+	"offt/internal/mpi"
+)
+
+// runOverlapped is Algorithm 1: the pipelined loop overlapping FFTy+Pack
+// and Unpack+FFTx on some tiles with the non-blocking all-to-all on others.
+// Iteration i packs tile i, waits for tile i−W, posts tile i, and unpacks
+// tile i−W, so at most W tiles have communication in flight.
+func runOverlapped(e Engine, prm Params, fast bool, b *Breakdown) {
+	g := e.Grid()
+	c := e.Comm()
+	tl, err := layout.NewTiling(g.Nz, prm.T)
+	if err != nil {
+		panic(err) // unreachable: Validate checked T
+	}
+	k := tl.NumTiles()
+	w := prm.W
+	slots := w + 1
+	reqs := make([]mpi.Request, k)
+
+	for i := 0; i < k+w; i++ {
+		if i < k {
+			// Test targets during FFTy+Pack: the W previous tiles (Alg. 2).
+			lo := i - w
+			if lo < 0 {
+				lo = 0
+			}
+			fftyPack(e, c, g, prm, tl, i, i%slots, fast, reqs[lo:i], b)
+		}
+		if i >= w {
+			t := c.Now()
+			c.Wait(reqs[i-w])
+			b.Wait += c.Now() - t
+		}
+		if i < k {
+			t := c.Now()
+			reqs[i] = e.PostTile(i%slots, tl.TileLen(i))
+			b.Ialltoall += c.Now() - t
+		}
+		if i >= w {
+			// Test targets during Unpack+FFTx: the W next tiles already
+			// posted (Alg. 3).
+			j := i - w
+			hi := j + w + 1
+			if hi > k {
+				hi = k
+			}
+			if i+1 < hi {
+				hi = i + 1
+			}
+			unpackFFTx(e, c, g, prm, tl, j, j%slots, fast, reqs[j+1:hi], b)
+		}
+	}
+}
+
+// runBlocking is the non-overlapped path shared by Baseline, NEW-0 and
+// TH-0: per tile, FFTy+Pack, a blocking all-to-all, then Unpack+FFTx. The
+// Baseline uses a single tile spanning the whole slab (one big
+// MPI_Alltoall, like FFTW).
+func runBlocking(e Engine, prm Params, fast bool, b *Breakdown) {
+	g := e.Grid()
+	c := e.Comm()
+	tl, err := layout.NewTiling(g.Nz, prm.T)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < tl.NumTiles(); i++ {
+		fftyPack(e, c, g, prm, tl, i, 0, fast, nil, b)
+		t := c.Now()
+		e.AlltoallTile(0, tl.TileLen(i))
+		b.Wait += c.Now() - t
+		unpackFFTx(e, c, g, prm, tl, i, 0, fast, nil, b)
+	}
+}
+
+// fftyPack is Algorithm 2: loop-tiled FFTy and Pack over one communication
+// tile, with Fy Test calls distributed across the FFTy portions and Fp
+// across the Pack portions.
+func fftyPack(e Engine, c mpi.Comm, g layout.Grid, prm Params, tl layout.Tiling, tile, slot int, fast bool, window []mpi.Request, b *Breakdown) {
+	zt0, ztl := tl.TileStart(tile), tl.TileLen(tile)
+	nSub := layout.NumSubTiles(ztl, prm.Pz) * layout.NumSubTiles(g.XC(), prm.Px)
+	u := 0
+	layout.SubTiles(ztl, prm.Pz, func(z0, z1 int) {
+		layout.SubTiles(g.XC(), prm.Px, func(x0, x1 int) {
+			t := c.Now()
+			e.FFTySub(fast, zt0, z0, z1, x0, x1)
+			b.FFTy += c.Now() - t
+			doTests(c, window, testsDue(prm.Fy, u, nSub), b)
+			t = c.Now()
+			e.PackSub(slot, fast, zt0, ztl, z0, z1, x0, x1)
+			b.Pack += c.Now() - t
+			doTests(c, window, testsDue(prm.Fp, u, nSub), b)
+			u++
+		})
+	})
+}
+
+// unpackFFTx is Algorithm 3: loop-tiled Unpack and FFTx over one
+// communication tile, with Fu Test calls during Unpack portions and Fx
+// during FFTx portions.
+func unpackFFTx(e Engine, c mpi.Comm, g layout.Grid, prm Params, tl layout.Tiling, tile, slot int, fast bool, window []mpi.Request, b *Breakdown) {
+	zt0, ztl := tl.TileStart(tile), tl.TileLen(tile)
+	nSub := layout.NumSubTiles(ztl, prm.Uz) * layout.NumSubTiles(g.YC(), prm.Uy)
+	u := 0
+	layout.SubTiles(ztl, prm.Uz, func(z0, z1 int) {
+		layout.SubTiles(g.YC(), prm.Uy, func(y0, y1 int) {
+			t := c.Now()
+			e.UnpackSub(slot, fast, zt0, ztl, z0, z1, y0, y1)
+			b.Unpack += c.Now() - t
+			doTests(c, window, testsDue(prm.Fu, u, nSub), b)
+			t = c.Now()
+			e.FFTxSub(fast, zt0, z0, z1, y0, y1)
+			b.FFTx += c.Now() - t
+			doTests(c, window, testsDue(prm.Fx, u, nSub), b)
+			u++
+		})
+	})
+}
+
+// testsDue spreads f Test calls evenly over n units: it returns how many
+// are due right after unit u.
+func testsDue(f, u, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return f*(u+1)/n - f*u/n
+}
+
+// doTests issues n MPI_Test calls over the window of active requests,
+// accounting the time to the Test bucket.
+func doTests(c mpi.Comm, window []mpi.Request, n int, b *Breakdown) {
+	if len(window) == 0 || n <= 0 {
+		return
+	}
+	t := c.Now()
+	for j := 0; j < n; j++ {
+		c.Test(window...)
+	}
+	b.Test += c.Now() - t
+}

@@ -1,0 +1,244 @@
+package pfft
+
+import (
+	"fmt"
+
+	"offt/internal/fft"
+	"offt/internal/layout"
+	"offt/internal/mpi"
+)
+
+// Backward3D executes the distributed inverse 3-D FFT, mirroring the
+// forward pipeline (§2.3 of the paper notes the approach applies directly
+// backward). slab is this rank's y-slab in the forward output layout of
+// the same variant (z-y-x, or y-z-x on the §3.5 fast path); the returned
+// slice is the rank's x-slab in x-y-z layout. The transform is
+// unnormalized: Forward3D followed by Backward3D multiplies by Nx·Ny·Nz.
+//
+// The NEW variant overlaps the inverse computation steps (FFTx⁻¹, Repack,
+// Scatter, FFTy⁻¹) with the reverse non-blocking all-to-all using the same
+// ten parameters; Baseline and NEW-0 run the blocking pipeline. The TH
+// variants are forward-only comparison models and are rejected.
+func Backward3D(c mpi.Comm, g layout.Grid, slab []complex128, v Variant, prm Params, flag fft.Flag) ([]complex128, Breakdown, error) {
+	switch v {
+	case TH, TH0:
+		return nil, Breakdown{}, fmt.Errorf("pfft: backward transform does not support the %v comparison model", v)
+	case Baseline:
+		prm = DefaultParams(g)
+		prm.T, prm.W = g.Nz, 1
+		prm.Fy, prm.Fp, prm.Fu, prm.Fx = 0, 0, 0, 0
+	default:
+		if err := prm.Validate(g); err != nil {
+			return nil, Breakdown{}, err
+		}
+	}
+	if len(slab) != g.OutSize() {
+		return nil, Breakdown{}, fmt.Errorf("pfft: backward slab length %d, want %d", len(slab), g.OutSize())
+	}
+	if c.Rank() != g.Rank || c.Size() != g.P {
+		return nil, Breakdown{}, fmt.Errorf("pfft: comm rank/size %d/%d does not match grid %d/%d", c.Rank(), c.Size(), g.Rank, g.P)
+	}
+	e := &backEngine{
+		g:     g,
+		comm:  c,
+		out:   slab,
+		work:  make([]complex128, g.InSize()),
+		in:    make([]complex128, g.InSize()),
+		planZ: fft.Plan1DCached(g.Nz, fft.Backward, flag).Clone(),
+		planY: fft.Plan1DCached(g.Ny, fft.Backward, flag).Clone(),
+		planX: fft.Plan1DCached(g.Nx, fft.Backward, flag).Clone(),
+	}
+	e.sendCounts = make([]int, g.P)
+	e.recvCounts = make([]int, g.P)
+
+	var b Breakdown
+	start := c.Now()
+	fast := OutputFast(v, g)
+	if v == NEW {
+		e.runOverlapped(prm, fast, &b)
+	} else {
+		e.runBlocking(prm, fast, &b)
+	}
+
+	// Inverse transpose back to x-y-z, then inverse FFTz.
+	t := c.Now()
+	if fast {
+		layout.TransposeXZYInv(e.in, e.work, g.XC(), g.Ny, g.Nz)
+	} else {
+		layout.TransposeZXYInv(e.in, e.work, g.XC(), g.Ny, g.Nz)
+	}
+	b.Transpose += c.Now() - t
+
+	t = c.Now()
+	e.planZ.Batch(e.in, g.XC()*g.Ny, g.Nz)
+	b.FFTz += c.Now() - t
+
+	b.Total = c.Now() - start
+	return e.in, b, nil
+}
+
+// backEngine holds the backward pipeline's state for one rank. In the
+// breakdown, Repack time is accounted under Pack and Scatter under Unpack
+// (they are the corresponding copy steps of the reverse direction).
+type backEngine struct {
+	g    layout.Grid
+	comm mpi.Comm
+
+	out  []complex128 // input y-slab (forward output), consumed by FFTx⁻¹
+	work []complex128 // post-scatter z-x-y (or x-z-y) slab
+	in   []complex128 // final x-y-z slab
+
+	planZ, planY, planX *fft.Plan
+
+	sendBufs, recvBufs [][]complex128
+	sendCounts         []int
+	recvCounts         []int
+}
+
+// fftxRepack runs FFTx⁻¹ and Repack over one tile with Uy/Uz loop tiling,
+// interleaving Fx and Fu Test calls over the window.
+func (e *backEngine) fftxRepack(prm Params, tl layout.Tiling, tile, slot int, fast bool, window []mpi.Request, b *Breakdown) {
+	c, g := e.comm, e.g
+	zt0, ztl := tl.TileStart(tile), tl.TileLen(tile)
+	nSub := layout.NumSubTiles(ztl, prm.Uz) * layout.NumSubTiles(g.YC(), prm.Uy)
+	u := 0
+	buf := e.sendBuf(slot, ztl)
+	layout.SubTiles(ztl, prm.Uz, func(z0, z1 int) {
+		layout.SubTiles(g.YC(), prm.Uy, func(y0, y1 int) {
+			t := c.Now()
+			for z := zt0 + z0; z < zt0+z1; z++ {
+				for ly := y0; ly < y1; ly++ {
+					base := g.RowXBase(fast, ly, z)
+					row := e.out[base : base+g.Nx]
+					e.planX.Transform(row, row)
+				}
+			}
+			b.FFTx += c.Now() - t
+			doTests(c, window, testsDue(prm.Fx, u, nSub), b)
+			t = c.Now()
+			g.RepackSubtile(buf, e.out, fast, zt0, ztl, y0, y1, z0, z1)
+			b.Pack += c.Now() - t
+			doTests(c, window, testsDue(prm.Fu, u, nSub), b)
+			u++
+		})
+	})
+}
+
+// scatterFFTy runs Scatter and FFTy⁻¹ over one tile with Px/Pz loop
+// tiling, interleaving Fp and Fy Test calls over the window.
+func (e *backEngine) scatterFFTy(prm Params, tl layout.Tiling, tile, slot int, fast bool, window []mpi.Request, b *Breakdown) {
+	c, g := e.comm, e.g
+	zt0, ztl := tl.TileStart(tile), tl.TileLen(tile)
+	nSub := layout.NumSubTiles(ztl, prm.Pz) * layout.NumSubTiles(g.XC(), prm.Px)
+	u := 0
+	buf := e.recvBuf(slot, ztl)
+	layout.SubTiles(ztl, prm.Pz, func(z0, z1 int) {
+		layout.SubTiles(g.XC(), prm.Px, func(x0, x1 int) {
+			t := c.Now()
+			g.ScatterSubtile(e.work, buf, fast, zt0, ztl, z0, z1, x0, x1)
+			b.Unpack += c.Now() - t
+			doTests(c, window, testsDue(prm.Fp, u, nSub), b)
+			t = c.Now()
+			for z := zt0 + z0; z < zt0+z1; z++ {
+				for lx := x0; lx < x1; lx++ {
+					base := g.RowYBase(fast, z, lx)
+					row := e.work[base : base+g.Ny]
+					e.planY.Transform(row, row)
+				}
+			}
+			b.FFTy += c.Now() - t
+			doTests(c, window, testsDue(prm.Fy, u, nSub), b)
+			u++
+		})
+	})
+}
+
+// postTile starts the reverse non-blocking all-to-all for one tile: the
+// send side carries the forward transform's receive-format blocks.
+func (e *backEngine) postTile(slot, ztl int) mpi.Request {
+	e.g.RecvCounts(ztl, e.sendCounts) // reverse direction
+	e.g.SendCounts(ztl, e.recvCounts)
+	return e.comm.Ialltoallv(e.sendBuf(slot, ztl), e.sendCounts, e.recvBuf(slot, ztl), e.recvCounts)
+}
+
+func (e *backEngine) alltoallTile(slot, ztl int) {
+	e.g.RecvCounts(ztl, e.sendCounts)
+	e.g.SendCounts(ztl, e.recvCounts)
+	e.comm.Alltoallv(e.sendBuf(slot, ztl), e.sendCounts, e.recvBuf(slot, ztl), e.recvCounts)
+}
+
+func (e *backEngine) runOverlapped(prm Params, fast bool, b *Breakdown) {
+	c := e.comm
+	tl, err := layout.NewTiling(e.g.Nz, prm.T)
+	if err != nil {
+		panic(err)
+	}
+	k := tl.NumTiles()
+	w := prm.W
+	slots := w + 1
+	reqs := make([]mpi.Request, k)
+	for i := 0; i < k+w; i++ {
+		if i < k {
+			lo := i - w
+			if lo < 0 {
+				lo = 0
+			}
+			e.fftxRepack(prm, tl, i, i%slots, fast, reqs[lo:i], b)
+		}
+		if i >= w {
+			t := c.Now()
+			c.Wait(reqs[i-w])
+			b.Wait += c.Now() - t
+		}
+		if i < k {
+			t := c.Now()
+			reqs[i] = e.postTile(i%slots, tl.TileLen(i))
+			b.Ialltoall += c.Now() - t
+		}
+		if i >= w {
+			j := i - w
+			hi := j + w + 1
+			if hi > k {
+				hi = k
+			}
+			e.scatterFFTy(prm, tl, j, j%slots, fast, reqs[j+1:hi], b)
+		}
+	}
+}
+
+func (e *backEngine) runBlocking(prm Params, fast bool, b *Breakdown) {
+	c := e.comm
+	tl, err := layout.NewTiling(e.g.Nz, prm.T)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < tl.NumTiles(); i++ {
+		e.fftxRepack(prm, tl, i, 0, fast, nil, b)
+		t := c.Now()
+		e.alltoallTile(0, tl.TileLen(i))
+		b.Wait += c.Now() - t
+		e.scatterFFTy(prm, tl, i, 0, fast, nil, b)
+	}
+}
+
+func (e *backEngine) sendBuf(slot, ztl int) []complex128 {
+	for len(e.sendBufs) <= slot {
+		e.sendBufs = append(e.sendBufs, nil)
+	}
+	n := e.g.RecvBufLen(ztl) // reverse direction: recv-format on the way out
+	if cap(e.sendBufs[slot]) < n {
+		e.sendBufs[slot] = make([]complex128, n)
+	}
+	return e.sendBufs[slot][:n]
+}
+
+func (e *backEngine) recvBuf(slot, ztl int) []complex128 {
+	for len(e.recvBufs) <= slot {
+		e.recvBufs = append(e.recvBufs, nil)
+	}
+	n := e.g.SendBufLen(ztl)
+	if cap(e.recvBufs[slot]) < n {
+		e.recvBufs[slot] = make([]complex128, n)
+	}
+	return e.recvBufs[slot][:n]
+}

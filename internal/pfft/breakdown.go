@@ -1,0 +1,104 @@
+package pfft
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Breakdown records per-step time for one rank's 3-D FFT, in nanoseconds
+// (virtual time on the sim engine, wall time on the real engine). The step
+// names match Fig. 8 of the paper.
+type Breakdown struct {
+	FFTz      int64
+	Transpose int64
+	FFTy      int64
+	Pack      int64
+	Unpack    int64
+	FFTx      int64
+	Ialltoall int64 // time spent posting the non-blocking all-to-alls
+	Wait      int64 // time blocked in MPI_Wait
+	Test      int64 // time spent in MPI_Test calls
+	Total     int64
+}
+
+// StepNames lists the breakdown components in Fig. 8 order.
+func StepNames() []string {
+	return []string{"FFTz", "Transpose", "FFTy", "Pack", "Unpack", "FFTx", "Ialltoall", "Wait", "Test"}
+}
+
+// Steps returns the components in StepNames order.
+func (b Breakdown) Steps() []int64 {
+	return []int64{b.FFTz, b.Transpose, b.FFTy, b.Pack, b.Unpack, b.FFTx, b.Ialltoall, b.Wait, b.Test}
+}
+
+// Sum returns the sum of all step times (≈ Total; small gaps are loop
+// bookkeeping outside any step).
+func (b Breakdown) Sum() int64 {
+	var s int64
+	for _, v := range b.Steps() {
+		s += v
+	}
+	return s
+}
+
+// Overlappable returns the computation time the paper's design hides
+// behind communication: FFTy + Pack + Unpack + FFTx (§5.2.1).
+func (b Breakdown) Overlappable() int64 {
+	return b.FFTy + b.Pack + b.Unpack + b.FFTx
+}
+
+// CommVisible returns the communication time not hidden behind
+// computation: Ialltoall posting + Wait + Test overhead.
+func (b Breakdown) CommVisible() int64 {
+	return b.Ialltoall + b.Wait + b.Test
+}
+
+// TunedPortion returns Total minus the parameter-independent FFTz and
+// Transpose steps — the quantity the auto-tuner minimizes (§4.4 technique
+// 3 skips FFTz/Transpose during tuning).
+func (b Breakdown) TunedPortion() int64 {
+	return b.Total - b.FFTz - b.Transpose
+}
+
+// Add accumulates another rank's or run's breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.FFTz += o.FFTz
+	b.Transpose += o.Transpose
+	b.FFTy += o.FFTy
+	b.Pack += o.Pack
+	b.Unpack += o.Unpack
+	b.FFTx += o.FFTx
+	b.Ialltoall += o.Ialltoall
+	b.Wait += o.Wait
+	b.Test += o.Test
+	b.Total += o.Total
+}
+
+// Scale divides every component by n (for averaging across ranks).
+func (b *Breakdown) Scale(n int64) {
+	if n == 0 {
+		return
+	}
+	b.FFTz /= n
+	b.Transpose /= n
+	b.FFTy /= n
+	b.Pack /= n
+	b.Unpack /= n
+	b.FFTx /= n
+	b.Ialltoall /= n
+	b.Wait /= n
+	b.Test /= n
+	b.Total /= n
+}
+
+// String renders a one-line human-readable breakdown.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	names := StepNames()
+	for i, v := range b.Steps() {
+		fmt.Fprintf(&sb, "%s=%v ", names[i], time.Duration(v).Round(time.Microsecond))
+	}
+	fmt.Fprintf(&sb, "Total=%v", time.Duration(b.Total).Round(time.Microsecond))
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+package pfft
+
+import (
+	"offt/internal/layout"
+	"offt/internal/mpi"
+)
+
+// Engine is what the algorithm body runs on. The real engine (NewRealEngine)
+// performs the arithmetic; the cost-model engine (package model) charges
+// virtual time. Sub-tile coordinates follow package layout's conventions:
+// zt0/ztl identify the communication tile (absolute start and length on z),
+// z ranges are tile-local [z0, z1) ⊆ [0, ztl), x/y ranges are rank-local.
+//
+// Communication buffers are managed per slot: the algorithm assigns slot
+// i mod (W+1) to tile i, guaranteeing a slot's previous tile has been
+// waited for and unpacked before reuse.
+type Engine interface {
+	// Grid returns the rank's geometry.
+	Grid() layout.Grid
+	// Comm returns the rank's communicator.
+	Comm() mpi.Comm
+
+	// FFTz computes all 1-D FFTs along z on the input slab (step 1).
+	FFTz()
+	// Transpose rearranges x-y-z to z-x-y, or to x-z-y when fast (§3.5).
+	// optimized selects the cache-blocked kernel (NEW uses FFTW's tuned
+	// rearrangement in the paper; TH's plain version is slower).
+	Transpose(fast, optimized bool)
+	// FFTySub computes the 1-D FFTs along y for sub-tile x∈[x0,x1),
+	// tile-local z∈[z0,z1) of the tile starting at zt0.
+	FFTySub(fast bool, zt0, z0, z1, x0, x1 int)
+	// PackSub packs the same sub-tile into slot's send buffer.
+	PackSub(slot int, fast bool, zt0, ztl, z0, z1, x0, x1 int)
+	// PostTile starts the non-blocking all-to-all for the tile in slot.
+	PostTile(slot int, ztl int) mpi.Request
+	// AlltoallTile performs the blocking all-to-all for the tile in slot.
+	AlltoallTile(slot int, ztl int)
+	// UnpackSub unpacks sub-tile y∈[y0,y1), tile-local z∈[z0,z1) from
+	// slot's receive buffer into the output slab.
+	UnpackSub(slot int, fast bool, zt0, ztl, z0, z1, y0, y1 int)
+	// FFTxSub computes the 1-D FFTs along x for the same sub-tile.
+	FFTxSub(fast bool, zt0, z0, z1, y0, y1 int)
+}
+
+// Run executes one forward 3-D FFT with the given variant and parameters
+// and returns this rank's per-step breakdown. For TH/TH0 use RunTH, which
+// takes the three-parameter set; Run accepts the full set for them too.
+// Baseline ignores prm. Every rank of the world must call Run with the
+// same arguments (SPMD).
+func Run(e Engine, v Variant, prm Params) (Breakdown, error) {
+	g := e.Grid()
+	switch v {
+	case Baseline:
+		// FFTW's local steps are as optimized as NEW's (the paper observes
+		// FFTW ≈ NEW-0): one whole-slab tile, blocking all-to-all, but
+		// cache-friendly tiled pack/unpack.
+		prm = DefaultParams(g)
+		prm.T, prm.W = g.Nz, 1
+		prm.Fy, prm.Fp, prm.Fu, prm.Fx = 0, 0, 0, 0
+	case NEW, NEW0, TH, TH0:
+		if err := prm.Validate(g); err != nil {
+			return Breakdown{}, err
+		}
+	}
+	var b Breakdown
+	c := e.Comm()
+	start := c.Now()
+
+	// The §3.5 fast transpose applies only to NEW (and its ablation) when
+	// Nx == Ny; TH and the FFTW baseline always use the standard layout.
+	fast := g.FastPathOK() && (v == NEW || v == NEW0)
+	optimizedTranspose := v != TH && v != TH0
+
+	t := c.Now()
+	e.FFTz()
+	b.FFTz = c.Now() - t
+
+	t = c.Now()
+	e.Transpose(fast, optimizedTranspose)
+	b.Transpose += c.Now() - t
+
+	switch v {
+	case Baseline:
+		runBlocking(e, prm, fast, &b)
+	case NEW0, TH0:
+		runBlocking(e, prm, fast, &b)
+	case NEW, TH:
+		runOverlapped(e, prm, fast, &b)
+	}
+	b.Total = c.Now() - start
+	return b, nil
+}
+
+// RunTH executes the Hoefler-style comparison model with its three
+// parameters (overlap only during FFTy and Pack, whole-tile pack/unpack).
+func RunTH(e Engine, prm THParams) (Breakdown, error) {
+	if err := prm.Validate(e.Grid()); err != nil {
+		return Breakdown{}, err
+	}
+	return Run(e, TH, prm.expand(e.Grid()))
+}
+
+// RunTH0 executes the non-overlapped TH ablation.
+func RunTH0(e Engine, prm THParams) (Breakdown, error) {
+	if err := prm.Validate(e.Grid()); err != nil {
+		return Breakdown{}, err
+	}
+	p := prm.expand(e.Grid())
+	p.Fy, p.Fp = 0, 0
+	return Run(e, TH0, p)
+}
+
+// RunNEW0 executes the non-overlapped NEW ablation (same tiling and loop
+// tiling as prm, no window, no Test calls, blocking per-tile all-to-all).
+func RunNEW0(e Engine, prm Params) (Breakdown, error) {
+	if err := prm.Validate(e.Grid()); err != nil {
+		return Breakdown{}, err
+	}
+	p := prm
+	p.Fy, p.Fp, p.Fu, p.Fx = 0, 0, 0, 0
+	return Run(e, NEW0, p)
+}

@@ -1,0 +1,158 @@
+// Package pfft implements the paper's primary contribution: a parallel 3-D
+// FFT with 1-D domain decomposition whose FFTy, Pack, Unpack and FFTx steps
+// all overlap with a non-blocking all-to-all, progressed manually through
+// MPI_Test calls, with loop-tiled Pack/Unpack for cache reuse and ten
+// tunable parameters (Table 1 of the paper).
+//
+// The algorithm body (Algorithms 1–3) is written once against the Engine
+// interface: the real engine (this package) performs the arithmetic on
+// complex128 slabs over any mpi.Comm, and the cost-model engine (package
+// model) charges calibrated virtual time over the simulated fabric. Five
+// variants are provided: the paper's NEW, its non-overlapped ablation
+// NEW-0, the Hoefler-style comparison TH and its ablation TH-0, and the
+// FFTW-style blocking Baseline.
+package pfft
+
+import (
+	"fmt"
+
+	"offt/internal/layout"
+)
+
+// Params are the ten tunable parameters of Table 1.
+type Params struct {
+	T  int // elements on z per communication tile (tile size)
+	W  int // max tiles with concurrent all-to-all (window size)
+	Px int // sub-tile x extent during Pack
+	Pz int // sub-tile z extent during Pack
+	Uy int // sub-tile y extent during Unpack
+	Uz int // sub-tile z extent during Unpack
+	Fy int // MPI_Test calls during FFTy per tile
+	Fp int // MPI_Test calls during Pack per tile
+	Fu int // MPI_Test calls during Unpack per tile
+	Fx int // MPI_Test calls during FFTx per tile
+}
+
+// String renders the parameters in Table-3 column order.
+func (p Params) String() string {
+	return fmt.Sprintf("T=%d W=%d Px=%d Pz=%d Uy=%d Uz=%d Fy=%d Fp=%d Fu=%d Fx=%d",
+		p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx)
+}
+
+// Validate reports whether the parameters are feasible for the given
+// geometry. The constraints are the ones the auto-tuner penalizes (§4.4):
+// ranges depend on other parameters (e.g. Pz ≤ T).
+func (p Params) Validate(g layout.Grid) error {
+	switch {
+	case p.T < 1 || p.T > g.Nz:
+		return fmt.Errorf("pfft: T=%d out of range [1,%d]", p.T, g.Nz)
+	case p.W < 1:
+		return fmt.Errorf("pfft: W=%d out of range [1,∞)", p.W)
+	case p.Px < 1 || p.Px > g.XC():
+		return fmt.Errorf("pfft: Px=%d out of range [1,%d]", p.Px, g.XC())
+	case p.Pz < 1 || p.Pz > p.T:
+		return fmt.Errorf("pfft: Pz=%d out of range [1,T=%d]", p.Pz, p.T)
+	case p.Uy < 1 || p.Uy > g.YC():
+		return fmt.Errorf("pfft: Uy=%d out of range [1,%d]", p.Uy, g.YC())
+	case p.Uz < 1 || p.Uz > p.T:
+		return fmt.Errorf("pfft: Uz=%d out of range [1,T=%d]", p.Uz, p.T)
+	case p.Fy < 0 || p.Fp < 0 || p.Fu < 0 || p.Fx < 0:
+		return fmt.Errorf("pfft: negative test frequency in %v", p)
+	}
+	return nil
+}
+
+// DefaultParams is the §4.4 default point used as the center of the
+// auto-tuner's initial simplex: T = Nz/16 for some overlap, W = 2 for some
+// communication parallelism, sub-tiles sized to half a 256 KB cache (8K
+// complex elements), and p/2 Test calls per step.
+func DefaultParams(g layout.Grid) Params {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	t := clamp(g.Nz/16, 1, g.Nz)
+	px := clamp(8192/g.Ny, 1, g.XC())
+	pz := clamp(8192/g.Ny/px, 1, t)
+	uy := clamp(8192/g.Nx, 1, g.YC())
+	uz := clamp(8192/g.Nx/uy, 1, t)
+	f := g.P / 2
+	if f < 1 {
+		f = 1
+	}
+	return Params{T: t, W: 2, Px: px, Pz: pz, Uy: uy, Uz: uz, Fy: f, Fp: f, Fu: f, Fx: f}
+}
+
+// THParams are the three parameters of the tuned Hoefler-style comparison
+// model TH (§5.1): tile size, window size, and one Test frequency used
+// during FFTy and Pack.
+type THParams struct {
+	T, W, F int
+}
+
+func (p THParams) String() string {
+	return fmt.Sprintf("T=%d W=%d F=%d", p.T, p.W, p.F)
+}
+
+// expand converts TH's three parameters into the full parameter set with
+// TH's restrictions: whole-tile pack/unpack (no loop tiling) and no Test
+// calls during Unpack/FFTx (no overlap there).
+func (p THParams) expand(g layout.Grid) Params {
+	return Params{
+		T: p.T, W: p.W,
+		Px: g.XC(), Pz: p.T, Uy: g.YC(), Uz: p.T,
+		Fy: p.F, Fp: p.F, Fu: 0, Fx: 0,
+	}
+}
+
+// Validate checks TH's parameters.
+func (p THParams) Validate(g layout.Grid) error {
+	if p.F < 0 {
+		return fmt.Errorf("pfft: negative F in %v", p)
+	}
+	return p.expand(g).Validate(g)
+}
+
+// DefaultTHParams mirrors DefaultParams for the TH model.
+func DefaultTHParams(g layout.Grid) THParams {
+	d := DefaultParams(g)
+	return THParams{T: d.T, W: d.W, F: d.Fy}
+}
+
+// Variant selects the algorithm.
+type Variant int
+
+const (
+	// Baseline is the FFTW-style method: whole-slab pack, one blocking
+	// all-to-all, no overlap, no loop tiling.
+	Baseline Variant = iota
+	// NEW is the paper's design (Algorithms 1–3).
+	NEW
+	// NEW0 is NEW with overlap disabled (window and frequencies zero,
+	// blocking per-tile all-to-all); the ablation in Fig. 8.
+	NEW0
+	// TH is the tuned Hoefler-style comparison: overlaps only FFTy and
+	// Pack with the all-to-all, whole-tile pack/unpack, plain transpose.
+	TH
+	// TH0 is TH with overlap disabled.
+	TH0
+)
+
+var variantNames = map[Variant]string{
+	Baseline: "FFTW", NEW: "NEW", NEW0: "NEW-0", TH: "TH", TH0: "TH-0",
+}
+
+func (v Variant) String() string {
+	if s, ok := variantNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists all algorithm variants in display order.
+func Variants() []Variant { return []Variant{Baseline, NEW, NEW0, TH, TH0} }

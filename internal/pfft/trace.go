@@ -1,0 +1,177 @@
+package pfft
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"offt/internal/layout"
+	"offt/internal/mpi"
+)
+
+// StepEvent records one kernel or communication interval on a rank's
+// timeline, in engine-clock nanoseconds.
+type StepEvent struct {
+	Name       string
+	Start, End int64
+	Tile       int // communication tile index, −1 when not applicable
+}
+
+// TraceEngine wraps an Engine and records a StepEvent per kernel call,
+// reconstructing the paper's Fig. 3 view of how computation on some tiles
+// overlaps communication on others. Wrap the communicator's Wait/Test via
+// TraceComm to capture the communication side too.
+type TraceEngine struct {
+	Inner  Engine
+	Events []StepEvent
+	tile   func(zt0 int) int
+}
+
+// NewTraceEngine wraps inner, deriving tile indices from tile starts using
+// the tiling of parameter T.
+func NewTraceEngine(inner Engine, prm Params) *TraceEngine {
+	tl, err := layout.NewTiling(inner.Grid().Nz, prm.T)
+	if err != nil {
+		tl = layout.Tiling{Nz: inner.Grid().Nz, T: inner.Grid().Nz}
+	}
+	return &TraceEngine{
+		Inner: inner,
+		tile:  func(zt0 int) int { return zt0 / tl.T },
+	}
+}
+
+var _ Engine = (*TraceEngine)(nil)
+
+func (t *TraceEngine) record(name string, tile int, fn func()) {
+	start := t.Inner.Comm().Now()
+	fn()
+	t.Events = append(t.Events, StepEvent{Name: name, Start: start, End: t.Inner.Comm().Now(), Tile: tile})
+}
+
+// Grid returns the inner engine's geometry.
+func (t *TraceEngine) Grid() layout.Grid { return t.Inner.Grid() }
+
+// Comm returns a communicator that also records Wait and Test intervals.
+func (t *TraceEngine) Comm() mpi.Comm { return &traceComm{Comm: t.Inner.Comm(), t: t} }
+
+// FFTz records and forwards.
+func (t *TraceEngine) FFTz() { t.record("FFTz", -1, t.Inner.FFTz) }
+
+// Transpose records and forwards.
+func (t *TraceEngine) Transpose(fast, optimized bool) {
+	t.record("Transpose", -1, func() { t.Inner.Transpose(fast, optimized) })
+}
+
+// FFTySub records and forwards.
+func (t *TraceEngine) FFTySub(fast bool, zt0, z0, z1, x0, x1 int) {
+	t.record("FFTy", t.tile(zt0), func() { t.Inner.FFTySub(fast, zt0, z0, z1, x0, x1) })
+}
+
+// PackSub records and forwards.
+func (t *TraceEngine) PackSub(slot int, fast bool, zt0, ztl, z0, z1, x0, x1 int) {
+	t.record("Pack", t.tile(zt0), func() { t.Inner.PackSub(slot, fast, zt0, ztl, z0, z1, x0, x1) })
+}
+
+// PostTile records and forwards.
+func (t *TraceEngine) PostTile(slot int, ztl int) mpi.Request {
+	var req mpi.Request
+	t.record("Ialltoall", -1, func() { req = t.Inner.PostTile(slot, ztl) })
+	return req
+}
+
+// AlltoallTile records and forwards.
+func (t *TraceEngine) AlltoallTile(slot int, ztl int) {
+	t.record("Alltoall", -1, func() { t.Inner.AlltoallTile(slot, ztl) })
+}
+
+// UnpackSub records and forwards.
+func (t *TraceEngine) UnpackSub(slot int, fast bool, zt0, ztl, z0, z1, y0, y1 int) {
+	t.record("Unpack", t.tile(zt0), func() { t.Inner.UnpackSub(slot, fast, zt0, ztl, z0, z1, y0, y1) })
+}
+
+// FFTxSub records and forwards.
+func (t *TraceEngine) FFTxSub(fast bool, zt0, z0, z1, y0, y1 int) {
+	t.record("FFTx", t.tile(zt0), func() { t.Inner.FFTxSub(fast, zt0, z0, z1, y0, y1) })
+}
+
+// traceComm intercepts Wait and Test to record their intervals.
+type traceComm struct {
+	mpi.Comm
+	t *TraceEngine
+}
+
+func (c *traceComm) Wait(reqs ...mpi.Request) {
+	c.t.record("Wait", -1, func() { c.Comm.Wait(reqs...) })
+}
+
+func (c *traceComm) Test(reqs ...mpi.Request) bool {
+	var ok bool
+	start := c.Comm.Now()
+	ok = c.Comm.Test(reqs...)
+	c.t.Events = append(c.t.Events, StepEvent{Name: "Test", Start: start, End: c.Comm.Now(), Tile: -1})
+	return ok
+}
+
+// RenderTimeline prints an ASCII Gantt chart of the recorded events, one
+// row per step name (Fig. 3 style), with the given number of columns.
+func RenderTimeline(w io.Writer, events []StepEvent, cols int) {
+	if len(events) == 0 || cols < 10 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	var t0, t1 int64 = events[0].Start, events[0].End
+	for _, e := range events {
+		if e.Start < t0 {
+			t0 = e.Start
+		}
+		if e.End > t1 {
+			t1 = e.End
+		}
+	}
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	names := make([]string, 0, 8)
+	seen := map[string]bool{}
+	for _, e := range events {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			names = append(names, e.Name)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool {
+		order := map[string]int{"FFTz": 0, "Transpose": 1, "FFTy": 2, "Pack": 3,
+			"Ialltoall": 4, "Alltoall": 4, "Test": 5, "Wait": 6, "Unpack": 7, "FFTx": 8}
+		return order[names[i]] < order[names[j]]
+	})
+	scale := float64(cols) / float64(t1-t0)
+	for _, name := range names {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, e := range events {
+			if e.Name != name {
+				continue
+			}
+			lo := int(float64(e.Start-t0) * scale)
+			hi := int(float64(e.End-t0) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > cols {
+				hi = cols
+			}
+			mark := byte('#')
+			if e.Tile >= 0 {
+				mark = byte('0' + e.Tile%10)
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(w, "%-10s|%s|\n", name, strings.TrimRight(string(row), " ")+"")
+	}
+	fmt.Fprintf(w, "%-10s 0%*s\n", "", cols, fmt.Sprintf("%.3fms", float64(t1-t0)/1e6))
+}

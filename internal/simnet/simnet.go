@@ -1,0 +1,578 @@
+// Package simnet simulates a cluster interconnect in virtual time (package
+// vclock), reproducing the communication behaviour the paper's design and
+// auto-tuning revolve around:
+//
+//   - Eager protocol for small messages: the transfer starts as soon as the
+//     sender's NIC is free, independent of the receiver's MPI activity.
+//   - Rendezvous protocol for messages above the eager threshold: the
+//     ready-to-send (RTS) and clear-to-send (CTS) handshake steps advance
+//     only while the owning rank is inside an MPI call (posting, Test, or
+//     Wait) — the "manual progression" of §3.3. A rank that computes for a
+//     long stretch without calling MPI_Test therefore stalls every inbound
+//     and outbound rendezvous transfer, which is exactly why the paper
+//     auto-tunes the Fy/Fp/Fu/Fx test frequencies.
+//   - NIC injection and receiver drain serialization plus a fabric
+//     contention factor that grows with the number of occupied nodes, so
+//     the all-to-all becomes relatively more expensive at higher p (§5.2).
+//
+// All costs (per-call CPU overheads, latencies, per-byte rates) come from a
+// machine.Machine model. The simulation is deterministic.
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"offt/internal/machine"
+	"offt/internal/vclock"
+)
+
+const never = math.MaxInt64
+
+// scheduler abstracts the two vclock contexts that can drive protocol
+// transitions: a running process (*vclock.Proc) and an event callback
+// (vclock.Waker). Both provide Schedule and Wake.
+type scheduler interface {
+	Schedule(t int64, fn func(now int64, w vclock.Waker))
+	Wake(q *vclock.Proc, t int64)
+}
+
+// wakerCtx adapts a vclock.Waker to the scheduler interface.
+type wakerCtx struct{ w vclock.Waker }
+
+func (c wakerCtx) Schedule(t int64, fn func(now int64, w vclock.Waker)) { c.w.Schedule(t, fn) }
+func (c wakerCtx) Wake(q *vclock.Proc, t int64)                         { c.w.Wake(q, t) }
+
+// Fabric is the shared interconnect state for one simulated job.
+type Fabric struct {
+	Mach  machine.Machine
+	P     int
+	nodes int
+	eps   []*Endpoint
+	// nicFree[r] is when rank r's NIC finishes its current injection;
+	// rxFree[r] is when rank r's inbound pipe finishes draining.
+	nicFree []int64
+	rxFree  []int64
+
+	// Stats, aggregated over the whole job.
+	Stats Stats
+}
+
+// Stats counts fabric-level activity for assertions and reporting.
+type Stats struct {
+	EagerMsgs      int64
+	RendezvousMsgs int64
+	BytesMoved     int64
+	TestCalls      int64
+}
+
+// NewFabric creates the interconnect for p ranks on machine m.
+func NewFabric(m machine.Machine, p int) *Fabric {
+	if p < 1 {
+		panic("simnet: need at least one rank")
+	}
+	return &Fabric{
+		Mach:    m,
+		P:       p,
+		nodes:   m.Nodes(p),
+		eps:     make([]*Endpoint, p),
+		nicFree: make([]int64, p),
+		rxFree:  make([]int64, p),
+	}
+}
+
+// Endpoint binds a rank to its vclock process. Must be called exactly once
+// per rank, from that rank's process body, before any communication.
+func (f *Fabric) Endpoint(rank int, proc *vclock.Proc) *Endpoint {
+	if rank < 0 || rank >= f.P {
+		panic(fmt.Sprintf("simnet: rank %d out of range", rank))
+	}
+	if f.eps[rank] != nil {
+		panic(fmt.Sprintf("simnet: endpoint for rank %d already exists", rank))
+	}
+	ep := &Endpoint{
+		f:           f,
+		rank:        rank,
+		proc:        proc,
+		postedRecvs: make(map[pkey][]*Req),
+		arrivals:    make(map[pkey][]arrival),
+	}
+	f.eps[rank] = ep
+	return ep
+}
+
+// Req is one point-to-point operation (half of a message).
+type Req struct {
+	ep          *Endpoint
+	isSend      bool
+	peer, tag   int
+	bytes       int
+	completed   bool
+	completedAt int64 // virtual completion time; never == not yet known
+	group       *Group
+	waited      bool // currently counted by an active WaitAll
+}
+
+// Done reports whether the request has completed by time now.
+func (r *Req) Done(now int64) bool { return r.completedAt <= now }
+
+// Group counts the incomplete requests of one collective operation, giving
+// O(1) completion checks however many point-to-point halves it contains.
+type Group struct {
+	pending int
+}
+
+// Pending returns the number of incomplete requests in the group.
+func (g *Group) Pending() int { return g.pending }
+
+// Done reports whether every request in the group has completed.
+func (g *Group) Done() bool { return g.pending == 0 }
+
+// CompletedAt returns the completion time (math.MaxInt64 if unknown).
+func (r *Req) CompletedAt() int64 { return r.completedAt }
+
+type pkey struct{ peer, tag int }
+
+// arrival records protocol input waiting for a matching posted receive.
+type arrival struct {
+	rts     bool  // true: rendezvous RTS; false: eager data
+	t       int64 // arrival time
+	sendReq *Req  // rendezvous: the sender-side request
+	bytes   int
+}
+
+// action is a progression step gated on the owning rank being inside MPI.
+type action struct {
+	enabledAt int64
+	fire      func(now int64, sc scheduler)
+}
+
+// Endpoint is one rank's view of the fabric.
+type Endpoint struct {
+	f    *Fabric
+	rank int
+	proc *vclock.Proc
+
+	inWait        bool
+	parked        bool
+	waitOn        map[*Req]bool
+	waitRemaining int
+	actions       []action
+	// open tracks incomplete group-attached requests so WaitGroups can
+	// flag them; completed entries are pruned lazily.
+	open []*Req
+
+	postedRecvs map[pkey][]*Req
+	arrivals    map[pkey][]arrival
+}
+
+// Rank returns the endpoint's rank.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Proc returns the endpoint's vclock process.
+func (ep *Endpoint) Proc() *vclock.Proc { return ep.proc }
+
+// Now returns the rank's current virtual time.
+func (ep *Endpoint) Now() int64 { return ep.proc.Now() }
+
+// rate returns the effective ns/byte from ep's rank to dst.
+func (f *Fabric) rate(src, dst int) float64 {
+	return f.Mach.EffNsPerByte(src, dst, f.nodes)
+}
+
+// Isend posts a non-blocking send of `bytes` bytes to rank dst with the
+// given tag. It charges the posting CPU cost and runs the progress engine
+// (posting is an MPI call).
+func (ep *Endpoint) Isend(dst, tag, bytes int) *Req {
+	return ep.IsendGrp(dst, tag, bytes, nil)
+}
+
+// IsendGrp is Isend with the request attached to a completion group.
+func (ep *Endpoint) IsendGrp(dst, tag, bytes int, grp *Group) *Req {
+	if dst < 0 || dst >= ep.f.P {
+		panic(fmt.Sprintf("simnet: Isend to invalid rank %d", dst))
+	}
+	ep.proc.Advance(int64(ep.f.Mach.Cmp.SendPostNs))
+	now := ep.proc.Now()
+	req := &Req{ep: ep, isSend: true, peer: dst, tag: tag, bytes: bytes, completedAt: never, group: grp}
+	if grp != nil {
+		grp.pending++
+	}
+	f := ep.f
+	if bytes <= f.Mach.Net.EagerThreshold {
+		// Eager: buffered send completes locally right away; the transfer
+		// is scheduled immediately regardless of the receiver's state.
+		f.Stats.EagerMsgs++
+		f.Stats.BytesMoved += int64(bytes)
+		ep.markComplete(req, now)
+		arrivalT := f.transfer(now, ep.rank, dst, bytes)
+		src := ep.rank
+		ep.proc.Schedule(arrivalT, func(t int64, w vclock.Waker) {
+			f.eps[dst].deliver(src, tag, bytes, false, nil, t, wakerCtx{w})
+		})
+	} else {
+		// Rendezvous: RTS control message (latency only).
+		f.Stats.RendezvousMsgs++
+		f.Stats.BytesMoved += int64(bytes)
+		rtsArr := now + f.Mach.Latency(ep.rank, dst)
+		src := ep.rank
+		ep.proc.Schedule(rtsArr, func(t int64, w vclock.Waker) {
+			f.eps[dst].deliver(src, tag, bytes, true, req, t, wakerCtx{w})
+		})
+	}
+	if grp != nil && !req.completed {
+		ep.open = append(ep.open, req)
+	}
+	ep.progress(ep.proc.Now(), ep.proc)
+	return req
+}
+
+// transfer books NIC injection and receiver drain for a data transfer
+// starting no earlier than `from`, and returns the arrival time. Each
+// message pays the per-message setup occupancy on both sides in addition
+// to its byte serialization, so tiny-message floods are rate-limited.
+func (f *Fabric) transfer(from int64, src, dst, bytes int) int64 {
+	txStart := from
+	if f.nicFree[src] > txStart {
+		txStart = f.nicFree[src]
+	}
+	dur := f.Mach.Net.MsgSetupNs + int64(float64(bytes)*f.rate(src, dst))
+	f.nicFree[src] = txStart + dur
+	arr := txStart + f.Mach.Latency(src, dst)
+	if f.rxFree[dst] > arr {
+		arr = f.rxFree[dst]
+	}
+	arr += dur
+	f.rxFree[dst] = arr
+	return arr
+}
+
+// Irecv posts a non-blocking receive matching (src, tag). Charges the
+// posting CPU cost and runs the progress engine.
+func (ep *Endpoint) Irecv(src, tag, bytes int) *Req {
+	return ep.IrecvGrp(src, tag, bytes, nil)
+}
+
+// IrecvGrp is Irecv with the request attached to a completion group.
+func (ep *Endpoint) IrecvGrp(src, tag, bytes int, grp *Group) *Req {
+	if src < 0 || src >= ep.f.P {
+		panic(fmt.Sprintf("simnet: Irecv from invalid rank %d", src))
+	}
+	ep.proc.Advance(int64(ep.f.Mach.Cmp.RecvPostNs))
+	now := ep.proc.Now()
+	req := &Req{ep: ep, peer: src, tag: tag, bytes: bytes, completedAt: never, group: grp}
+	if grp != nil {
+		grp.pending++
+	}
+	k := pkey{src, tag}
+	if q := ep.arrivals[k]; len(q) > 0 {
+		a := q[0]
+		ep.popArrival(k)
+		if a.rts {
+			// RTS already here: the CTS step becomes enabled now. Since
+			// posting is an MPI call, progress below fires it immediately.
+			ep.enable(now, ep.ctsAction(req, a.sendReq))
+		} else {
+			t := a.t
+			if now > t {
+				t = now
+			}
+			ep.markComplete(req, t)
+		}
+	} else {
+		ep.postedRecvs[k] = append(ep.postedRecvs[k], req)
+	}
+	if grp != nil && !req.completed {
+		ep.open = append(ep.open, req)
+	}
+	ep.progress(ep.proc.Now(), ep.proc)
+	return req
+}
+
+func (ep *Endpoint) popArrival(k pkey) {
+	q := ep.arrivals[k]
+	if len(q) == 1 {
+		delete(ep.arrivals, k)
+	} else {
+		ep.arrivals[k] = q[1:]
+	}
+}
+
+func (ep *Endpoint) popRecv(k pkey) *Req {
+	q := ep.postedRecvs[k]
+	if len(q) == 0 {
+		return nil
+	}
+	r := q[0]
+	if len(q) == 1 {
+		delete(ep.postedRecvs, k)
+	} else {
+		ep.postedRecvs[k] = q[1:]
+	}
+	return r
+}
+
+// deliver handles an inbound protocol message (eager data or RTS) at the
+// receiver, from event context.
+func (ep *Endpoint) deliver(src, tag, bytes int, rts bool, sendReq *Req, t int64, sc scheduler) {
+	k := pkey{src, tag}
+	if recv := ep.popRecv(k); recv != nil {
+		if rts {
+			ep.enableFromEvent(t, ep.ctsAction(recv, sendReq), sc)
+		} else {
+			ep.complete(recv, t, sc)
+		}
+		return
+	}
+	ep.arrivals[k] = append(ep.arrivals[k], arrival{rts: rts, t: t, sendReq: sendReq, bytes: bytes})
+}
+
+// ctsAction returns the progression step "receiver sends CTS": it fires
+// only when this rank is inside an MPI call, then schedules the CTS arrival
+// at the sender, where the data-start step is again progress-gated.
+func (ep *Endpoint) ctsAction(recv, send *Req) func(now int64, sc scheduler) {
+	return func(now int64, sc scheduler) {
+		f := ep.f
+		ctsArr := now + f.Mach.Latency(ep.rank, send.ep.rank)
+		sender := send.ep
+		sc.Schedule(ctsArr, func(t int64, w vclock.Waker) {
+			sender.enableFromEvent(t, sender.dataAction(recv, send), wakerCtx{w})
+		})
+	}
+}
+
+// dataAction returns the progression step "sender starts the data
+// transfer" of a rendezvous message. The transfer is chunked: the start is
+// gated on the sender's MPI activity and every subsequent chunk on the
+// receiver's, modelling the continuous two-sided progression real MPI
+// rendezvous pipelines need — whichever rank computes without calling
+// MPI_Test stalls its transfers, not just the handshake.
+func (ep *Endpoint) dataAction(recv, send *Req) func(now int64, sc scheduler) {
+	return ep.chunkAction(recv, send, 0)
+}
+
+// chunkAction injects the chunk of send starting at byte offset off.
+func (ep *Endpoint) chunkAction(recv, send *Req, off int) func(now int64, sc scheduler) {
+	return func(now int64, sc scheduler) {
+		f := ep.f
+		chunk := f.Mach.Net.RendezvousChunkBytes
+		if chunk <= 0 {
+			chunk = send.bytes
+		}
+		bytes := send.bytes - off
+		if bytes > chunk {
+			bytes = chunk
+		}
+		txStart := now
+		if f.nicFree[ep.rank] > txStart {
+			txStart = f.nicFree[ep.rank]
+		}
+		dur := f.Mach.Net.MsgSetupNs + int64(float64(bytes)*f.rate(ep.rank, recv.ep.rank))
+		txEnd := txStart + dur
+		f.nicFree[ep.rank] = txEnd
+		arr := txStart + f.Mach.Latency(ep.rank, recv.ep.rank)
+		if f.rxFree[recv.ep.rank] > arr {
+			arr = f.rxFree[recv.ep.rank]
+		}
+		arr += dur
+		f.rxFree[recv.ep.rank] = arr
+		next := off + bytes
+		if next < send.bytes {
+			// The next chunk becomes eligible once this one is injected,
+			// but continues only at the RECEIVER's next MPI call: after the
+			// sender-gated start, the pipeline is receiver-driven (an
+			// RDMA-get-style pull), so a receiving rank that computes
+			// without MPI_Test stalls its inbound transfers mid-flight —
+			// which is why the paper tunes Fu and Fx, the Test frequencies
+			// of the receive-side Unpack and FFTx phases.
+			receiver := recv.ep
+			sc.Schedule(txEnd, func(t int64, w vclock.Waker) {
+				receiver.enableFromEvent(t, ep.chunkAction(recv, send, next), wakerCtx{w})
+			})
+			return
+		}
+		// Last chunk: local completion at injection end, remote at arrival.
+		sc.Schedule(txEnd, func(t int64, w vclock.Waker) {
+			ep.complete(send, t, wakerCtx{w})
+		})
+		receiver := recv.ep
+		sc.Schedule(arr, func(t int64, w vclock.Waker) {
+			receiver.complete(recv, t, wakerCtx{w})
+		})
+	}
+}
+
+// enable records a progression step. If the rank is currently blocked in
+// Wait (which continuously progresses, like MPI_Wait's internal loop), the
+// step fires immediately.
+func (ep *Endpoint) enable(t int64, fire func(now int64, sc scheduler)) {
+	// Called from process context (the rank itself is inside an MPI call),
+	// so the step can fire right away via progress; queue it.
+	ep.actions = append(ep.actions, action{enabledAt: t, fire: fire})
+}
+
+// enableFromEvent records a progression step from event context; if the
+// rank is blocked in Wait the step fires immediately, otherwise it waits
+// for the rank's next MPI call.
+func (ep *Endpoint) enableFromEvent(t int64, fire func(now int64, sc scheduler), sc scheduler) {
+	if ep.inWait {
+		fire(t, sc)
+		return
+	}
+	ep.actions = append(ep.actions, action{enabledAt: t, fire: fire})
+}
+
+// progress fires every enabled progression step. now is the rank's current
+// time: steps enabled earlier fire now — the gap is the manual-progression
+// delay the paper's Test-frequency parameters exist to shrink.
+func (ep *Endpoint) progress(now int64, sc scheduler) {
+	for len(ep.actions) > 0 {
+		a := ep.actions[0]
+		if a.enabledAt > now {
+			break
+		}
+		ep.actions = ep.actions[1:]
+		a.fire(now, sc)
+	}
+}
+
+// markComplete records a request's completion without any wakeup (used on
+// paths where the owning rank is the one running).
+func (ep *Endpoint) markComplete(r *Req, t int64) {
+	if r.completed {
+		return
+	}
+	r.completed = true
+	r.completedAt = t
+	if r.group != nil {
+		r.group.pending--
+	}
+	if r.waited {
+		r.waited = false
+		ep.waitRemaining--
+	}
+}
+
+// complete marks a request finished at time t and wakes the owning rank if
+// it is parked in a Wait that includes this request.
+func (ep *Endpoint) complete(r *Req, t int64, sc scheduler) {
+	if r.completed {
+		return
+	}
+	ep.markComplete(r, t)
+	if ep.parked && ep.waitRemaining == 0 {
+		ep.parked = false
+		sc.Wake(ep.proc, t)
+	}
+}
+
+// Test models one MPI_Test call over the given requests: it charges the
+// call cost, runs the progress engine, and reports whether all requests
+// have completed. nil requests are ignored.
+func (ep *Endpoint) Test(reqs ...*Req) bool {
+	active := 0
+	for _, r := range reqs {
+		if r != nil && !r.completed {
+			active++
+		}
+	}
+	ep.TestN(active)
+	for _, r := range reqs {
+		if r != nil && !r.completed {
+			return false
+		}
+	}
+	return true
+}
+
+// TestN charges one MPI_Test call inspecting `active` incomplete requests
+// and runs the progress engine. Callers tracking completion through Groups
+// use this O(1) path instead of Test's request scan.
+func (ep *Endpoint) TestN(active int) {
+	cmp := ep.f.Mach.Cmp
+	ep.proc.Advance(int64(cmp.TestCallNs + float64(active)*cmp.TestPerReqNs))
+	ep.f.Stats.TestCalls++
+	ep.progress(ep.proc.Now(), ep.proc)
+}
+
+// WaitAll blocks until every request has completed, continuously running
+// the progress engine (like MPI_Waitall). It returns the rank's time when
+// the last request finished.
+func (ep *Endpoint) WaitAll(reqs ...*Req) int64 {
+	cmp := ep.f.Mach.Cmp
+	ep.proc.Advance(int64(cmp.TestCallNs))
+	now := ep.proc.Now()
+	ep.progress(now, ep.proc)
+	ep.waitRemaining = 0
+	for _, r := range reqs {
+		if r != nil && !r.completed {
+			r.waited = true
+			ep.waitRemaining++
+		}
+	}
+	for ep.waitRemaining > 0 {
+		ep.inWait = true
+		ep.parked = true
+		ep.proc.Park()
+		ep.parked = false
+		ep.inWait = false
+		ep.progress(ep.proc.Now(), ep.proc)
+	}
+	return ep.proc.Now()
+}
+
+// LocalCopy charges the memcpy cost for a rank's self-block in an
+// all-to-all.
+func (ep *Endpoint) LocalCopy(bytes int) {
+	ep.proc.Advance(int64(float64(bytes) * ep.f.Mach.Cmp.LocalCopyNsPerByte))
+}
+
+// WaitGroups blocks until every group's requests have completed,
+// continuously running the progress engine (like MPI_Waitall over the
+// groups' requests), with O(1) completion checks.
+func (ep *Endpoint) WaitGroups(groups ...*Group) int64 {
+	cmp := ep.f.Mach.Cmp
+	ep.proc.Advance(int64(cmp.TestCallNs))
+	ep.progress(ep.proc.Now(), ep.proc)
+	for {
+		ep.waitRemaining = 0
+		for _, g := range groups {
+			ep.waitRemaining += g.pending
+		}
+		if ep.waitRemaining == 0 {
+			return ep.proc.Now()
+		}
+		// Count every pending request of the waited groups; completions
+		// decrement waitRemaining via markComplete (the waited flag is not
+		// needed here because group membership already identifies them —
+		// but markComplete only decrements flagged requests, so flag them).
+		ep.flagGroupReqs(groups)
+		ep.inWait = true
+		ep.parked = true
+		ep.proc.Park()
+		ep.parked = false
+		ep.inWait = false
+		ep.progress(ep.proc.Now(), ep.proc)
+	}
+}
+
+// flagGroupReqs marks the incomplete requests of the groups as waited so
+// their completions decrement waitRemaining. Requests are tracked on the
+// endpoint's open request list.
+func (ep *Endpoint) flagGroupReqs(groups []*Group) {
+	want := make(map[*Group]bool, len(groups))
+	for _, g := range groups {
+		want[g] = true
+	}
+	kept := ep.open[:0]
+	for _, r := range ep.open {
+		if r.completed {
+			continue
+		}
+		kept = append(kept, r)
+		if r.group != nil && want[r.group] {
+			r.waited = true
+		}
+	}
+	ep.open = kept
+}

@@ -1,0 +1,133 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: empirical CDFs (Fig. 5), percentiles and percentile ranks
+// (§5.3.1), and speedup arithmetic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDFPoint is one point of an empirical distribution function.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF returns the empirical CDF of the samples, one point per sample,
+// sorted ascending. NaN and +Inf samples are dropped.
+func CDF(samples []float64) []CDFPoint {
+	xs := clean(samples)
+	out := make([]CDFPoint, len(xs))
+	n := float64(len(xs))
+	for i, v := range xs {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / n}
+	}
+	return out
+}
+
+// CDFAt returns k evenly spaced points of the empirical CDF (for compact
+// printing of Fig. 5).
+func CDFAt(samples []float64, k int) []CDFPoint {
+	full := CDF(samples)
+	if k <= 0 || len(full) == 0 {
+		return nil
+	}
+	if k > len(full) {
+		k = len(full)
+	}
+	out := make([]CDFPoint, 0, k)
+	for i := 1; i <= k; i++ {
+		idx := i*len(full)/k - 1
+		out = append(out, full[idx])
+	}
+	return out
+}
+
+// Percentile returns the q-th percentile (0..100) by nearest-rank.
+func Percentile(samples []float64, q float64) float64 {
+	xs := clean(samples)
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 100 {
+		return xs[len(xs)-1]
+	}
+	rank := int(math.Ceil(q/100*float64(len(xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return xs[rank]
+}
+
+// PercentileRank returns the percentage of samples <= v (the "ranks in the
+// first percentile" statistic of §5.3.1).
+func PercentileRank(samples []float64, v float64) float64 {
+	xs := clean(samples)
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := sort.SearchFloat64s(xs, math.Nextafter(v, math.Inf(1)))
+	return 100 * float64(n) / float64(len(xs))
+}
+
+// Min returns the smallest finite sample.
+func Min(samples []float64) float64 {
+	xs := clean(samples)
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return xs[0]
+}
+
+// Max returns the largest finite sample.
+func Max(samples []float64) float64 {
+	xs := clean(samples)
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return xs[len(xs)-1]
+}
+
+// Mean returns the average of the finite samples.
+func Mean(samples []float64) float64 {
+	xs := clean(samples)
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Speedup formats a/b as a speedup factor, guarding against zero.
+func Speedup(base, improved float64) float64 {
+	if improved == 0 {
+		return math.Inf(1)
+	}
+	return base / improved
+}
+
+// FormatSeconds renders nanoseconds as seconds with millisecond precision,
+// the unit of the paper's Table 2.
+func FormatSeconds(ns int64) string {
+	return fmt.Sprintf("%.3f", float64(ns)/1e9)
+}
+
+// clean returns the finite samples, sorted ascending.
+func clean(samples []float64) []float64 {
+	xs := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			xs = append(xs, v)
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}

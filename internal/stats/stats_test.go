@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2, math.Inf(1), math.NaN()})
+	if len(pts) != 3 {
+		t.Fatalf("expected 3 finite points, got %d", len(pts))
+	}
+	if pts[0].Value != 1 || pts[0].Fraction != 1.0/3 {
+		t.Errorf("first point %+v", pts[0])
+	}
+	if pts[2].Value != 3 || pts[2].Fraction != 1 {
+		t.Errorf("last point %+v", pts[2])
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	pts := CDFAt(samples, 4)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[3].Fraction != 1 {
+		t.Errorf("last fraction %v", pts[3].Fraction)
+	}
+	if pts[0].Value != 24 { // 25th of 100
+		t.Errorf("first quarter value %v", pts[0].Value)
+	}
+	if CDFAt(nil, 5) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if v := Percentile(xs, 50); v != 50 {
+		t.Errorf("P50 = %v", v)
+	}
+	if v := Percentile(xs, 0); v != 10 {
+		t.Errorf("P0 = %v", v)
+	}
+	if v := Percentile(xs, 100); v != 100 {
+		t.Errorf("P100 = %v", v)
+	}
+	if v := Percentile(xs, 10); v != 10 {
+		t.Errorf("P10 = %v", v)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileRank(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if r := PercentileRank(xs, 1); r != 10 {
+		t.Errorf("rank of min = %v, want 10", r)
+	}
+	if r := PercentileRank(xs, 10); r != 100 {
+		t.Errorf("rank of max = %v", r)
+	}
+	if r := PercentileRank(xs, 0.5); r != 0 {
+		t.Errorf("rank below min = %v", r)
+	}
+	if r := PercentileRank(xs, 5.5); r != 50 {
+		t.Errorf("rank of 5.5 = %v", r)
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	xs := []float64{4, 2, 6}
+	if Min(xs) != 2 || Max(xs) != 6 || Mean(xs) != 4 {
+		t.Errorf("min/max/mean wrong: %v %v %v", Min(xs), Max(xs), Mean(xs))
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean should be NaN")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(2, 1) != 2 {
+		t.Error("speedup 2/1")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("speedup by zero should be +Inf")
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	if s := FormatSeconds(1_234_000_000); s != "1.234" {
+		t.Errorf("FormatSeconds = %q", s)
+	}
+}

@@ -1,0 +1,290 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"offt/internal/layout"
+	"offt/internal/machine"
+	"offt/internal/model"
+	"offt/internal/pencil"
+	"offt/internal/pfft"
+)
+
+// FFTSpace builds the ten-dimensional log-reduced search space of the
+// paper's design for geometry g (Table 1, with §4.4's reduction: powers of
+// two plus boundary values; W keeps its small dense range).
+func FFTSpace(g layout.Grid) Space {
+	maxF := 16 * g.P
+	if maxF < 64 {
+		maxF = 64
+	}
+	return Space{Dims: []Dim{
+		{Name: "T", Values: PowersOfTwoUpTo(g.Nz)},
+		{Name: "W", Values: IntRange(1, 6)},
+		{Name: "Px", Values: PowersOfTwoUpTo(g.XC())},
+		{Name: "Pz", Values: PowersOfTwoUpTo(g.Nz)},
+		{Name: "Uy", Values: PowersOfTwoUpTo(g.YC())},
+		{Name: "Uz", Values: PowersOfTwoUpTo(g.Nz)},
+		{Name: "Fy", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+		{Name: "Fp", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+		{Name: "Fu", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+		{Name: "Fx", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+	}}
+}
+
+// DecodeParams converts an FFTSpace configuration into Params.
+func DecodeParams(cfg []int) pfft.Params {
+	return pfft.Params{
+		T: cfg[0], W: cfg[1], Px: cfg[2], Pz: cfg[3], Uy: cfg[4], Uz: cfg[5],
+		Fy: cfg[6], Fp: cfg[7], Fu: cfg[8], Fx: cfg[9],
+	}
+}
+
+// EncodeParams is the inverse of DecodeParams.
+func EncodeParams(p pfft.Params) []int {
+	return []int{p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx}
+}
+
+// THSpace builds the three-dimensional space for the TH comparison model.
+func THSpace(g layout.Grid) Space {
+	maxF := 16 * g.P
+	if maxF < 64 {
+		maxF = 64
+	}
+	return Space{Dims: []Dim{
+		{Name: "T", Values: PowersOfTwoUpTo(g.Nz)},
+		{Name: "W", Values: IntRange(1, 6)},
+		{Name: "F", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+	}}
+}
+
+// DecodeTHParams converts a THSpace configuration into THParams.
+func DecodeTHParams(cfg []int) pfft.THParams {
+	return pfft.THParams{T: cfg[0], W: cfg[1], F: cfg[2]}
+}
+
+// snapDown returns the largest space value of dimension d that is <= v
+// (the default point must land on the log-reduced grid).
+func snapDown(d Dim, v int) int {
+	best := d.Values[0]
+	for _, x := range d.Values {
+		if x <= v {
+			best = x
+		}
+	}
+	return best
+}
+
+// InitialSimplex builds the §4.4 starting simplex: the default point plus
+// one neighbor per dimension (the next value up, or down when already at
+// the top of the range).
+func InitialSimplex(space Space, def []int) [][]int {
+	d := len(space.Dims)
+	base := make([]int, d)
+	for i, dim := range space.Dims {
+		base[i] = snapDown(dim, def[i])
+	}
+	simplex := [][]int{base}
+	for i, dim := range space.Dims {
+		pt := append([]int(nil), base...)
+		idx := 0
+		for j, v := range dim.Values {
+			if v == base[i] {
+				idx = j
+				break
+			}
+		}
+		switch {
+		case idx+1 < len(dim.Values):
+			pt[i] = dim.Values[idx+1]
+		case idx > 0:
+			pt[i] = dim.Values[idx-1]
+		}
+		simplex = append(simplex, pt)
+	}
+	return simplex
+}
+
+// TuneOutcome reports an FFT tuning run.
+type TuneOutcome struct {
+	Search Result
+	// VirtualNs is the simulated time consumed by objective executions
+	// (what "auto-tuning time" means on the simulated cluster; FFTz and
+	// Transpose are skipped per §4.4 technique 3).
+	VirtualNs int64
+	// WallNs is the real time the tuning loop took on this host.
+	WallNs int64
+}
+
+// BestTime returns the tuned objective value (TunedPortion, ns).
+func (o TuneOutcome) BestTime() int64 { return int64(o.Search.BestCost) }
+
+// Strategy runs one search over a space from a default starting point
+// with an evaluation budget.
+type Strategy func(space Space, obj Objective, def []int, budget int) Result
+
+// NelderMeadStrategy adapts NelderMead (with the §4.4 initial simplex) to
+// the Strategy signature.
+func NelderMeadStrategy(space Space, obj Objective, def []int, budget int) Result {
+	return NelderMead(space, obj, Options{
+		MaxEvals:       budget,
+		InitialSimplex: InitialSimplex(space, def),
+	})
+}
+
+// CoordinateStrategy adapts CoordinateDescent to the Strategy signature.
+func CoordinateStrategy(space Space, obj Objective, def []int, budget int) Result {
+	return CoordinateDescent(space, obj, def, budget)
+}
+
+// TuneNEW auto-tunes the paper's design for (machine, p, N³) with
+// Nelder–Mead and returns the best parameters found.
+func TuneNEW(m machine.Machine, p, n, maxEvals int) (pfft.Params, TuneOutcome, error) {
+	return TuneNEWWith(m, p, n, maxEvals, NelderMeadStrategy)
+}
+
+// TuneNEWWith is TuneNEW with a pluggable search strategy (§7's "other
+// optimization strategies").
+func TuneNEWWith(m machine.Machine, p, n, maxEvals int, strat Strategy) (pfft.Params, TuneOutcome, error) {
+	g, err := layout.NewGrid(n, n, n, p, 0)
+	if err != nil {
+		return pfft.Params{}, TuneOutcome{}, err
+	}
+	space := FFTSpace(g)
+	var virtual int64
+	obj := func(cfg []int) float64 {
+		prm := DecodeParams(cfg)
+		if prm.Validate(g) != nil {
+			return math.Inf(1)
+		}
+		res, err := model.SimulateCube(m, p, n, model.Spec{Variant: pfft.NEW, Params: prm})
+		if err != nil {
+			return math.Inf(1)
+		}
+		virtual += res.MaxTuned
+		return float64(res.MaxTuned)
+	}
+	start := time.Now()
+	sr := strat(space, obj, EncodeParams(pfft.DefaultParams(g)), maxEvals)
+	out := TuneOutcome{Search: sr, VirtualNs: virtual, WallNs: time.Since(start).Nanoseconds()}
+	if sr.Best == nil {
+		return pfft.Params{}, out, fmt.Errorf("tuner: no feasible configuration found")
+	}
+	return DecodeParams(sr.Best), out, nil
+}
+
+// TuneTH auto-tunes the TH comparison model's three parameters.
+func TuneTH(m machine.Machine, p, n, maxEvals int) (pfft.THParams, TuneOutcome, error) {
+	g, err := layout.NewGrid(n, n, n, p, 0)
+	if err != nil {
+		return pfft.THParams{}, TuneOutcome{}, err
+	}
+	space := THSpace(g)
+	var virtual int64
+	obj := func(cfg []int) float64 {
+		prm := DecodeTHParams(cfg)
+		if prm.Validate(g) != nil {
+			return math.Inf(1)
+		}
+		res, err := model.SimulateCube(m, p, n, model.Spec{Variant: pfft.TH, TH: prm})
+		if err != nil {
+			return math.Inf(1)
+		}
+		virtual += res.MaxTuned
+		return float64(res.MaxTuned)
+	}
+	def := pfft.DefaultTHParams(g)
+	start := time.Now()
+	sr := NelderMead(space, obj, Options{
+		MaxEvals:       maxEvals,
+		InitialSimplex: InitialSimplex(space, []int{def.T, def.W, def.F}),
+	})
+	out := TuneOutcome{Search: sr, VirtualNs: virtual, WallNs: time.Since(start).Nanoseconds()}
+	if sr.Best == nil {
+		return pfft.THParams{}, out, fmt.Errorf("tuner: no feasible configuration found")
+	}
+	return DecodeTHParams(sr.Best), out, nil
+}
+
+// RandomNEW evaluates n random configurations (the §5.3.1 comparison and
+// the Fig. 5 distribution) and returns the search record.
+func RandomNEW(m machine.Machine, p, n, samples int, seed int64) (TuneOutcome, error) {
+	g, err := layout.NewGrid(n, n, n, p, 0)
+	if err != nil {
+		return TuneOutcome{}, err
+	}
+	space := FFTSpace(g)
+	var virtual int64
+	obj := func(cfg []int) float64 {
+		prm := DecodeParams(cfg)
+		if prm.Validate(g) != nil {
+			return math.Inf(1)
+		}
+		res, err := model.SimulateCube(m, p, n, model.Spec{Variant: pfft.NEW, Params: prm})
+		if err != nil {
+			return math.Inf(1)
+		}
+		virtual += res.MaxTuned
+		return float64(res.MaxTuned)
+	}
+	start := time.Now()
+	sr := RandomSearch(space, obj, samples, seed)
+	return TuneOutcome{Search: sr, VirtualNs: virtual, WallNs: time.Since(start).Nanoseconds()}, nil
+}
+
+// PencilSpace builds the search space for the overlapped 2-D pencil
+// transform's five parameters (TA, WA, TB, WB, F).
+func PencilSpace(g pencil.Grid2D) Space {
+	maxF := 8 * g.P()
+	if maxF < 64 {
+		maxF = 64
+	}
+	return Space{Dims: []Dim{
+		{Name: "TA", Values: PowersOfTwoUpTo(g.XD.MaxCount())},
+		{Name: "WA", Values: IntRange(1, 6)},
+		{Name: "TB", Values: PowersOfTwoUpTo(g.ZD.MaxCount())},
+		{Name: "WB", Values: IntRange(1, 6)},
+		{Name: "F", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+	}}
+}
+
+// DecodePencilParams converts a PencilSpace configuration into Params2D.
+func DecodePencilParams(cfg []int) pencil.Params2D {
+	return pencil.Params2D{TA: cfg[0], WA: cfg[1], TB: cfg[2], WB: cfg[3], F: cfg[4]}
+}
+
+// TunePencil auto-tunes the overlapped pencil transform for a pr×pc grid
+// on machine m — auto-tuning applied to the paper's §7 future work.
+func TunePencil(m machine.Machine, pr, pc, n, maxEvals int) (pencil.Params2D, TuneOutcome, error) {
+	g, err := pencil.NewGrid2D(n, n, n, pr, pc, 0)
+	if err != nil {
+		return pencil.Params2D{}, TuneOutcome{}, err
+	}
+	space := PencilSpace(g)
+	var virtual int64
+	obj := func(cfg []int) float64 {
+		prm := DecodePencilParams(cfg)
+		if prm.Validate(g) != nil {
+			return math.Inf(1)
+		}
+		v, err := pencil.SimulateOverlapped(m, pr, pc, n, prm)
+		if err != nil {
+			return math.Inf(1)
+		}
+		virtual += v
+		return float64(v)
+	}
+	def := pencil.DefaultParams2D(g)
+	start := time.Now()
+	sr := NelderMead(space, obj, Options{
+		MaxEvals:       maxEvals,
+		InitialSimplex: InitialSimplex(space, []int{def.TA, def.WA, def.TB, def.WB, def.F}),
+	})
+	out := TuneOutcome{Search: sr, VirtualNs: virtual, WallNs: time.Since(start).Nanoseconds()}
+	if sr.Best == nil {
+		return pencil.Params2D{}, out, fmt.Errorf("tuner: no feasible configuration found")
+	}
+	return DecodePencilParams(sr.Best), out, nil
+}

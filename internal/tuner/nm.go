@@ -1,0 +1,257 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective evaluates one discrete configuration and returns its cost.
+// Return +Inf for an infeasible configuration (the paper's penalty
+// technique); the framework never "executes" anything itself.
+type Objective func(cfg []int) float64
+
+// Sample records one suggested configuration and its cost.
+type Sample struct {
+	Cfg  []int
+	Cost float64
+}
+
+// Result summarizes a search.
+type Result struct {
+	Best     []int
+	BestCost float64
+	// Evals counts objective calls that actually ran (cache misses on
+	// feasible points — the expensive part).
+	Evals int
+	// Suggestions counts every configuration the strategy proposed,
+	// including cache hits and infeasible points.
+	Suggestions int
+	// CacheHits counts suggestions answered from the history cache
+	// (the paper's technique 2).
+	CacheHits int
+	// Infeasible counts suggestions rejected by the +Inf penalty.
+	Infeasible int
+	// History holds every distinct evaluated configuration in suggestion
+	// order (including infeasible ones, with +Inf cost).
+	History []Sample
+}
+
+// Options controls the Nelder–Mead search.
+type Options struct {
+	// MaxEvals bounds the number of real objective executions
+	// (default 100).
+	MaxEvals int
+	// InitialSimplex gives the d+1 starting configurations (value space,
+	// not index space). Required: the §4.4 construction supplies it for
+	// the FFT; tests build their own.
+	InitialSimplex [][]int
+}
+
+// nmState carries the bookkeeping shared by the searches.
+type nmState struct {
+	space Space
+	obj   Objective
+	cache map[string]float64
+	res   *Result
+	max   int
+}
+
+func (st *nmState) eval(x []float64) float64 {
+	cfg := st.space.Clamp(x)
+	return st.evalCfg(cfg)
+}
+
+func (st *nmState) evalCfg(cfg []int) float64 {
+	st.res.Suggestions++
+	k := Key(cfg)
+	if c, ok := st.cache[k]; ok {
+		st.res.CacheHits++
+		return c
+	}
+	var cost float64
+	if st.res.Evals >= st.max {
+		// Budget exhausted: treat as worst so the search winds down.
+		cost = math.Inf(1)
+	} else {
+		cost = st.obj(cfg)
+		if !math.IsInf(cost, 1) {
+			st.res.Evals++
+		}
+	}
+	if math.IsInf(cost, 1) {
+		st.res.Infeasible++
+	}
+	st.cache[k] = cost
+	st.res.History = append(st.res.History, Sample{Cfg: append([]int(nil), cfg...), Cost: cost})
+	if cost < st.res.BestCost {
+		st.res.BestCost = cost
+		st.res.Best = append([]int(nil), cfg...)
+	}
+	return cost
+}
+
+func (st *nmState) budgetLeft() bool { return st.res.Evals < st.max }
+
+// NelderMead minimizes the objective over the space with the downhill
+// simplex method of Nelder & Mead (1965), adapted to the discrete integer
+// domain the way Active Harmony does: simplex points live in continuous
+// index coordinates and are rounded to the closest configuration for
+// evaluation, with the history cache absorbing repeated suggestions. When
+// the simplex collapses onto one configuration before the budget runs out,
+// the search restarts from a fresh simplex around the best point — the
+// rounding granularity otherwise freezes dimensions prematurely.
+func NelderMead(space Space, obj Objective, opt Options) Result {
+	d := len(space.Dims)
+	if opt.MaxEvals <= 0 {
+		opt.MaxEvals = 100
+	}
+	if len(opt.InitialSimplex) != d+1 {
+		panic("tuner: initial simplex must have d+1 points")
+	}
+	res := Result{BestCost: math.Inf(1)}
+	st := &nmState{space: space, obj: obj, cache: map[string]float64{}, res: &res, max: opt.MaxEvals}
+
+	simplex := opt.InitialSimplex
+	for restart := 0; restart < 16 && st.budgetLeft(); restart++ {
+		before := res.BestCost
+		nmRun(st, space, simplex)
+		if res.Best == nil || !(res.BestCost < before) {
+			break // no improvement from this start: stop
+		}
+		if !st.budgetLeft() {
+			break
+		}
+		simplex = restartSimplex(space, res.Best)
+	}
+	return res
+}
+
+// restartSimplex builds a fresh simplex around cfg: the point itself plus
+// one ±1-index neighbor per dimension.
+func restartSimplex(space Space, cfg []int) [][]int {
+	return InitialSimplex(space, cfg)
+}
+
+// nmRun performs one Nelder–Mead descent from the given starting simplex.
+func nmRun(st *nmState, space Space, simplex [][]int) {
+	d := len(space.Dims)
+	pts := make([][]float64, d+1)
+	costs := make([]float64, d+1)
+	for i, cfg := range simplex {
+		x, err := space.IndexOf(cfg)
+		if err != nil {
+			panic(err)
+		}
+		pts[i] = x
+		costs[i] = st.evalCfg(cfg)
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	order := make([]int, d+1)
+
+	for iter := 0; iter < 400 && st.budgetLeft(); iter++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] < costs[order[b]] })
+		perm := make([][]float64, d+1)
+		permC := make([]float64, d+1)
+		for i, o := range order {
+			perm[i], permC[i] = pts[o], costs[o]
+		}
+		pts, costs = perm, permC
+
+		if converged(space, pts) {
+			break
+		}
+
+		// Centroid of all but the worst.
+		c := make([]float64, d)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				c[j] += pts[i][j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			c[j] /= float64(d)
+		}
+		worst := pts[d]
+
+		xr := lerp(c, worst, -alpha)
+		fr := st.eval(xr)
+		switch {
+		case fr < costs[0]:
+			xe := lerp(c, worst, -gamma)
+			if fe := st.eval(xe); fe < fr {
+				pts[d], costs[d] = xe, fe
+			} else {
+				pts[d], costs[d] = xr, fr
+			}
+		case fr < costs[d-1]:
+			pts[d], costs[d] = xr, fr
+		default:
+			var xc []float64
+			if fr < costs[d] {
+				xc = lerp(c, xr, rho) // outside contraction
+			} else {
+				xc = lerp(c, worst, rho) // inside contraction
+			}
+			fc := st.eval(xc)
+			if fc < math.Min(fr, costs[d]) {
+				pts[d], costs[d] = xc, fc
+			} else {
+				// Shrink toward the best point.
+				for i := 1; i <= d; i++ {
+					for j := 0; j < d; j++ {
+						pts[i][j] = pts[0][j] + sigma*(pts[i][j]-pts[0][j])
+					}
+					costs[i] = st.eval(pts[i])
+				}
+			}
+		}
+	}
+}
+
+// lerp returns c + t·(x − c).
+func lerp(c, x []float64, t float64) []float64 {
+	out := make([]float64, len(c))
+	for j := range c {
+		out[j] = c[j] + t*(x[j]-c[j])
+	}
+	return out
+}
+
+// converged reports whether every simplex point rounds to the same
+// configuration ("all the points are close to each other", §4.3).
+func converged(space Space, pts [][]float64) bool {
+	ref := Key(space.Clamp(pts[0]))
+	for _, p := range pts[1:] {
+		if Key(space.Clamp(p)) != ref {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomSearch samples n configurations uniformly from the space (the
+// comparison strategy of §5.3.1). Infeasible samples are recorded but do
+// not count against the evaluation budget; duplicates hit the cache.
+func RandomSearch(space Space, obj Objective, n int, seed int64) Result {
+	res := Result{BestCost: math.Inf(1)}
+	st := &nmState{space: space, obj: obj, cache: map[string]float64{}, res: &res, max: n}
+	rng := rand.New(rand.NewSource(seed))
+	cfg := make([]int, len(space.Dims))
+	for guard := 0; st.budgetLeft() && guard < 100*n; guard++ {
+		for i, d := range space.Dims {
+			cfg[i] = d.Values[rng.Intn(len(d.Values))]
+		}
+		st.evalCfg(cfg)
+	}
+	return res
+}

@@ -1,0 +1,421 @@
+// Package vclock provides a deterministic discrete-event scheduler for
+// simulating parallel processes in virtual time.
+//
+// Each simulated process (rank) runs in its own goroutine with a private
+// virtual clock measured in integer nanoseconds. The scheduler serializes
+// execution so that exactly one process runs at any real moment and all
+// timed operations across the whole simulation execute in a single total
+// order: ascending virtual time, with events before processes at equal
+// times, events tie-broken by creation sequence, and processes tie-broken
+// by id. This makes every simulation bit-for-bit reproducible regardless of
+// the Go runtime's goroutine scheduling.
+//
+// The network model in package simnet and the simulated MPI engine are
+// built on three primitives: Advance (charge local compute time), Park/Wake
+// (block until another entity wakes the process), and Schedule (run a
+// callback at an absolute virtual time).
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+type procState int
+
+const (
+	stateReady   procState = iota // parked, runnable at wakeAt
+	stateRunning                  // holds the baton, executing user code
+	stateWaiting                  // parked until Wake
+	stateDone                     // body returned
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateWaiting:
+		return "waiting"
+	default:
+		return "done"
+	}
+}
+
+// Proc is one simulated process. All methods must be called only from the
+// goroutine running the process body.
+type Proc struct {
+	sched  *Scheduler
+	id     int
+	clock  int64
+	state  procState
+	wakeAt int64
+	cv     *sync.Cond
+}
+
+// ID returns the process id (0..n-1).
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the process's current virtual time in nanoseconds.
+func (p *Proc) Now() int64 { return p.clock }
+
+// Peer returns the process with the given id from the same scheduler, for
+// use as a Wake target.
+func (p *Proc) Peer(id int) *Proc { return p.sched.procs[id] }
+
+// event is a scheduled callback at an absolute virtual time.
+type event struct {
+	t   int64
+	seq int64
+	fn  func(now int64, w Waker)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (*event, bool) {
+	if len(h) == 0 {
+		return nil, false
+	}
+	return h[0], true
+}
+
+// readyEntry is a lazily-invalidated ready-queue entry: it is stale when
+// the process is no longer ready or was re-queued with a different time.
+type readyEntry struct {
+	p      *Proc
+	wakeAt int64
+}
+
+type readyHeap []readyEntry
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].wakeAt != h[j].wakeAt {
+		return h[i].wakeAt < h[j].wakeAt
+	}
+	return h[i].p.id < h[j].p.id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyEntry)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler coordinates a fixed set of processes and an event queue.
+type Scheduler struct {
+	mu     sync.Mutex
+	procs  []*Proc
+	events eventHeap
+	ready  readyHeap
+	seq    int64
+	nDone  int
+	err    error
+	failed bool
+	doneCv *sync.Cond
+
+	// TraceFn, when non-nil, receives a line per scheduling decision; used
+	// by determinism tests. Must be set before Run.
+	TraceFn func(line string)
+}
+
+// New creates a scheduler for n processes.
+func New(n int) *Scheduler {
+	if n < 1 {
+		panic("vclock: need at least one process")
+	}
+	s := &Scheduler{}
+	s.doneCv = sync.NewCond(&s.mu)
+	s.procs = make([]*Proc, n)
+	for i := range s.procs {
+		p := &Proc{sched: s, id: i, state: stateReady}
+		p.cv = sync.NewCond(&s.mu)
+		s.procs[i] = p
+		heap.Push(&s.ready, readyEntry{p: p, wakeAt: 0})
+	}
+	return s
+}
+
+// N returns the number of processes.
+func (s *Scheduler) N() int { return len(s.procs) }
+
+// Run executes body once per process (as that process) and returns when all
+// bodies have completed. It returns an error if the simulation deadlocks
+// (all processes waiting with no pending events) or a process body panics.
+// Run must be called exactly once.
+func (s *Scheduler) Run(body func(p *Proc)) error {
+	for _, p := range s.procs {
+		p := p
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.mu.Lock()
+					s.fail(fmt.Errorf("vclock: process %d panicked: %v", p.id, r))
+					s.mu.Unlock()
+					return
+				}
+				s.mu.Lock()
+				p.state = stateDone
+				s.nDone++
+				s.trace("done p%d @%d", p.id, p.clock)
+				s.handoff()
+				s.mu.Unlock()
+			}()
+			s.mu.Lock()
+			p.waitForBaton()
+			s.mu.Unlock()
+			if s.isFailed() {
+				panic(batonPoison{})
+			}
+			body(p)
+		}()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// All procs are ready at time 0; hand the baton to the first.
+	s.handoff()
+	for s.nDone < len(s.procs) && !s.failed {
+		s.doneCv.Wait()
+	}
+	return s.err
+}
+
+// batonPoison aborts a process body after the scheduler has failed; it is
+// swallowed by the recover in Run's goroutine wrapper.
+type batonPoison struct{}
+
+func (s *Scheduler) isFailed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+func (s *Scheduler) fail(err error) {
+	if !s.failed {
+		s.failed = true
+		s.err = err
+	}
+	// Release every parked process so its goroutine can exit.
+	for _, q := range s.procs {
+		if q.state == stateReady || q.state == stateWaiting {
+			q.state = stateRunning
+			q.cv.Signal()
+		}
+	}
+	s.doneCv.Signal()
+}
+
+// Advance charges d nanoseconds of local time to the process, yielding the
+// baton if any other entity must logically run first.
+func (p *Proc) Advance(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative advance %d", d))
+	}
+	s := p.sched
+	s.mu.Lock()
+	p.clock += d
+	s.yield(p)
+	failed := s.failed
+	s.mu.Unlock()
+	if failed {
+		panic(batonPoison{})
+	}
+}
+
+// Park blocks the process until another entity calls Wake. The process
+// resumes with its clock set to max(its own clock, the wake time).
+func (p *Proc) Park() {
+	s := p.sched
+	s.mu.Lock()
+	p.state = stateWaiting
+	s.trace("park p%d @%d", p.id, p.clock)
+	s.handoff()
+	p.waitForBaton()
+	failed := s.failed
+	s.mu.Unlock()
+	if failed {
+		panic(batonPoison{})
+	}
+}
+
+// Wake marks the waiting process q runnable at virtual time t. The caller p
+// must be the currently running process; t is clamped up to p's clock (a
+// process cannot wake another in its own past). Event callbacks use
+// Waker.Wake instead.
+func (p *Proc) Wake(q *Proc, t int64) {
+	s := p.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < p.clock {
+		t = p.clock
+	}
+	s.wakeLocked(q, t)
+}
+
+func (s *Scheduler) wakeLocked(q *Proc, t int64) {
+	if q.state != stateWaiting {
+		panic(fmt.Sprintf("vclock: Wake on process %d in state %v", q.id, q.state))
+	}
+	q.state = stateReady
+	if t < q.clock {
+		t = q.clock
+	}
+	q.wakeAt = t
+	heap.Push(&s.ready, readyEntry{p: q, wakeAt: t})
+	s.trace("wake p%d @%d", q.id, t)
+}
+
+// Schedule runs fn at absolute virtual time t. fn executes under the
+// scheduler's total order; it must not block and may wake processes (via
+// the passed Waker) or schedule further events at times >= its own. t must
+// be >= the calling process's current time.
+func (p *Proc) Schedule(t int64, fn func(now int64, w Waker)) {
+	s := p.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < p.clock {
+		panic(fmt.Sprintf("vclock: Schedule at %d before caller's now %d", t, p.clock))
+	}
+	s.scheduleLocked(t, fn)
+}
+
+// Waker is handed to event callbacks so they can wake processes and chain
+// events while the scheduler lock is held.
+type Waker struct {
+	s   *Scheduler
+	now int64
+}
+
+// Wake marks a waiting process runnable at time t (>= the event time).
+func (w Waker) Wake(q *Proc, t int64) {
+	if t < w.now {
+		t = w.now
+	}
+	w.s.wakeLocked(q, t)
+}
+
+// Schedule chains another event at time t >= the current event's time.
+func (w Waker) Schedule(t int64, fn func(now int64, w Waker)) {
+	if t < w.now {
+		panic(fmt.Sprintf("vclock: event Schedule at %d before event time %d", t, w.now))
+	}
+	w.s.scheduleLocked(t, fn)
+}
+
+func (s *Scheduler) scheduleLocked(t int64, fn func(now int64, w Waker)) {
+	s.seq++
+	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// yield is called by the running process p after its clock moved; it cedes
+// the baton to any entity that must run first and returns once p may
+// continue (p.state == stateRunning) or the scheduler failed.
+func (s *Scheduler) yield(p *Proc) {
+	// Fast path: p continues if no event and no ready process precedes it.
+	if e, ok := s.events.peek(); !ok || e.t > p.clock {
+		if q := s.minReady(); q == nil || q.wakeAt > p.clock || (q.wakeAt == p.clock && q.id > p.id) {
+			return
+		}
+	}
+	p.state = stateReady
+	p.wakeAt = p.clock
+	heap.Push(&s.ready, readyEntry{p: p, wakeAt: p.clock})
+	s.handoff()
+	p.waitForBaton()
+}
+
+// waitForBaton parks the calling process's goroutine until the scheduler
+// grants it the baton (state set to running by handoff) or fails.
+func (p *Proc) waitForBaton() {
+	for p.state == stateReady || p.state == stateWaiting {
+		p.cv.Wait()
+	}
+	if p.state == stateRunning && p.wakeAt > p.clock {
+		p.clock = p.wakeAt
+	}
+}
+
+// minReady returns the ready process with the smallest (wakeAt, id), or
+// nil. Stale heap entries (processes that ran or re-queued since) are
+// discarded lazily.
+func (s *Scheduler) minReady() *Proc {
+	for len(s.ready) > 0 {
+		e := s.ready[0]
+		if e.p.state == stateReady && e.p.wakeAt == e.wakeAt {
+			return e.p
+		}
+		heap.Pop(&s.ready)
+	}
+	return nil
+}
+
+// handoff drives the simulation forward: it executes every due event and
+// grants the baton to the next ready process. The caller must not be in
+// state running. If nothing can run and processes remain, it records a
+// deadlock error.
+func (s *Scheduler) handoff() {
+	for {
+		if s.failed {
+			return
+		}
+		e, eok := s.events.peek()
+		q := s.minReady()
+		// Events run before any process at or after their time.
+		if eok && (q == nil || e.t <= q.wakeAt) {
+			heap.Pop(&s.events)
+			s.trace("event @%d seq%d", e.t, e.seq)
+			e.fn(e.t, Waker{s: s, now: e.t})
+			continue
+		}
+		if q != nil {
+			q.state = stateRunning
+			s.trace("grant p%d @%d", q.id, q.wakeAt)
+			q.cv.Signal()
+			return
+		}
+		if s.nDone == len(s.procs) {
+			s.doneCv.Signal()
+			return
+		}
+		s.fail(fmt.Errorf("vclock: deadlock: %s", s.stateDump()))
+		return
+	}
+}
+
+func (s *Scheduler) stateDump() string {
+	var b strings.Builder
+	ids := make([]int, 0, len(s.procs))
+	for i := range s.procs {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		p := s.procs[i]
+		fmt.Fprintf(&b, "p%d=%v@%d ", i, p.state, p.clock)
+	}
+	fmt.Fprintf(&b, "events=%d", len(s.events))
+	return b.String()
+}
+
+func (s *Scheduler) trace(format string, args ...any) {
+	if s.TraceFn != nil {
+		s.TraceFn(fmt.Sprintf(format, args...))
+	}
+}
