@@ -27,6 +27,7 @@ import (
 	"offt/internal/layout"
 	"offt/internal/machine"
 	"offt/internal/model"
+	"offt/internal/mpi/fault"
 	"offt/internal/mpi/mem"
 	"offt/internal/pfft"
 )
@@ -49,9 +50,19 @@ func main() {
 	fpFlag := flag.Int("Fp", -1, "Test calls during Pack override")
 	fuFlag := flag.Int("Fu", -1, "Test calls during Unpack override")
 	fxFlag := flag.Int("Fx", -1, "Test calls during FFTx override")
+	chaosSeed := flag.Int64("chaos", 0, "chaos fault-plan seed (with -chaos-profile)")
+	chaosProfile := flag.String("chaos-profile", "none", "fault profile: none, drop, corrupt, stall, mixed")
 	flag.Parse()
 
 	variant, err := parseVariant(*variantName)
+	if err != nil {
+		fatal(err)
+	}
+	profile, err := fault.ParseProfile(*chaosProfile)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := fault.NewPlan(*chaosSeed, profile, *p)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,9 +94,9 @@ func main() {
 
 	switch *engine {
 	case "sim":
-		runSim(*machName, *p, *n, variant, prm)
+		runSim(*machName, *p, *n, variant, prm, plan)
 	case "mem":
-		runMem(*p, *n, variant, prm, *verify, *timeline)
+		runMem(*p, *n, variant, prm, *verify, *timeline, plan)
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
@@ -100,7 +111,7 @@ func parseVariant(s string) (pfft.Variant, error) {
 	return 0, fmt.Errorf("unknown variant %q (want FFTW, NEW, NEW-0, TH, TH-0)", s)
 }
 
-func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params) {
+func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params, plan *fault.Plan) {
 	m, err := machine.ByName(machName)
 	if err != nil {
 		fatal(err)
@@ -108,6 +119,9 @@ func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params) {
 	spec := model.Spec{Variant: variant, Params: prm}
 	if variant == pfft.TH || variant == pfft.TH0 {
 		spec.TH = pfft.THParams{T: prm.T, W: prm.W, F: prm.Fy}
+	}
+	if plan.Active() {
+		spec.Faults = plan
 	}
 	start := time.Now()
 	res, err := model.SimulateCube(m, p, n, spec)
@@ -118,9 +132,14 @@ func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params) {
 	fmt.Printf("params: %v\n", prm)
 	fmt.Printf("simulated job time: %.4f s (wall %v)\n", float64(res.MaxTotal)/1e9, time.Since(start).Round(time.Millisecond))
 	printBreakdown(res.Avg)
+	if plan.Active() {
+		fmt.Println("chaos summary (virtual-time degradation):")
+		fmt.Printf("  stall displacement  %.4f s\n", float64(res.Net.StallNsInjected)/1e9)
+		fmt.Printf("  degraded transfers  %d\n", res.Net.DegradedTransfers)
+	}
 }
 
-func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bool) {
+func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bool, plan *fault.Plan) {
 	rng := rand.New(rand.NewSource(42))
 	full := make([]complex128, n*n*n)
 	for i := range full {
@@ -132,7 +151,18 @@ func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bo
 		fft.NewPlan3D(n, n, n, fft.Forward).Transform(ref)
 	}
 
-	w := mem.NewWorld(p)
+	var opts []mem.Option
+	if plan.Active() {
+		// The soft wait deadline arms the overlapped→blocking downgrade;
+		// the stall profiles exceed it by design. The retransmit timeout
+		// sits well inside the deadline so plain drops recover without
+		// forcing a downgrade.
+		opts = append(opts,
+			mem.WithFaults(plan),
+			mem.WithRetransmitTimeout(2*time.Millisecond),
+			mem.WithDeadline(15*time.Millisecond))
+	}
+	w := mem.NewWorld(p, opts...)
 	outs := make([][]complex128, p)
 	bs := make([]pfft.Breakdown, p)
 	var trace []pfft.StepEvent
@@ -176,6 +206,19 @@ func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bo
 	}
 	avg.Scale(int64(p))
 	printBreakdown(avg)
+	if plan.Active() {
+		var downgrades int64
+		for _, b := range bs {
+			downgrades += b.Downgrades
+		}
+		h := w.Health()
+		fmt.Println("chaos recovery summary:")
+		fmt.Printf("  injected: drops %d, corruptions %d, duplicates %d\n",
+			h.DropsInjected, h.CorruptionsInjected, h.DuplicatesInjected)
+		fmt.Printf("  recovered: retransmits %d, dedups %d, checksum rejections %d\n",
+			h.Retransmits, h.Dedups, h.CorruptionsDetected)
+		fmt.Printf("  overlapped→blocking downgrades: %d\n", downgrades)
+	}
 	if timeline {
 		fmt.Println("rank 0 timeline (digits = tile index mod 10):")
 		pfft.RenderTimeline(os.Stdout, trace, 100)

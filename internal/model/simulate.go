@@ -5,8 +5,10 @@ import (
 
 	"offt/internal/layout"
 	"offt/internal/machine"
+	"offt/internal/mpi/fault"
 	"offt/internal/mpi/sim"
 	"offt/internal/pfft"
+	"offt/internal/simnet"
 )
 
 // Spec describes one simulated 3-D FFT run.
@@ -14,6 +16,10 @@ type Spec struct {
 	Variant pfft.Variant
 	Params  pfft.Params   // used by NEW / NEW0
 	TH      pfft.THParams // used by TH / TH0
+	// Faults, when set, degrades the fabric in virtual time (NIC stalls,
+	// slow-NIC and link factors; see fault.Plan). Per-message payload
+	// faults do not apply to the simulated engine.
+	Faults *fault.Plan
 }
 
 // NewSpec builds a Spec for the paper's design.
@@ -29,6 +35,9 @@ type Result struct {
 	// MaxTuned is the slowest rank's total excluding FFTz and Transpose —
 	// the auto-tuner's objective (§4.4 technique 3).
 	MaxTuned int64
+	// Net is the fabric's activity counters, including fault-injection
+	// stats when Spec.Faults was set.
+	Net simnet.Stats
 }
 
 // Simulate runs one 3-D FFT of shape nx×ny×nz over p simulated ranks on
@@ -38,6 +47,9 @@ func Simulate(m machine.Machine, p, nx, ny, nz int, spec Spec) (Result, error) {
 		return Result{}, err
 	}
 	w := sim.NewWorld(m, p)
+	if spec.Faults != nil {
+		w.InjectFaults(spec.Faults)
+	}
 	res := Result{PerRank: make([]pfft.Breakdown, p)}
 	var runErr error
 	err := w.Run(func(c *sim.Comm) {
@@ -81,6 +93,7 @@ func Simulate(m machine.Machine, p, nx, ny, nz int, spec Spec) (Result, error) {
 		}
 	}
 	res.Avg.Scale(int64(p))
+	res.Net = w.Fabric().Stats
 	return res, nil
 }
 

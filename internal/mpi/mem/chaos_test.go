@@ -1,0 +1,296 @@
+package mem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"offt/internal/mpi"
+	"offt/internal/mpi/fault"
+)
+
+// TestRetransmitRecoversDrops forces the first delivery attempt of every
+// message to be dropped: the transport must retransmit each one exactly
+// until it lands, and the all-to-all must still route every element.
+func TestRetransmitRecoversDrops(t *testing.T) {
+	p := 4
+	plan := &fault.Plan{Seed: 1, ForceDropAttempts: 1}
+	w := NewWorld(p, WithFaults(plan), WithRetransmitTimeout(time.Millisecond))
+	err := w.Run(func(c *Comm) {
+		counts := []int{3, 3, 3, 3}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 12)
+		c.Alltoallv(send, counts, recv, counts)
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.Health()
+	msgs := int64(p * (p - 1)) // one off-rank block per pair
+	if h.DropsInjected < msgs {
+		t.Errorf("DropsInjected = %d, want ≥ %d (every first attempt)", h.DropsInjected, msgs)
+	}
+	if h.Retransmits < msgs {
+		t.Errorf("Retransmits = %d, want ≥ %d", h.Retransmits, msgs)
+	}
+	if h.Delivered < msgs {
+		t.Errorf("Delivered = %d, want ≥ %d", h.Delivered, msgs)
+	}
+}
+
+// TestChecksumRejectsCorruption corrupts the first attempt of every
+// message; the receiver must detect it via checksum and recover through a
+// clean retransmission.
+func TestChecksumRejectsCorruption(t *testing.T) {
+	p := 3
+	plan := &fault.Plan{Seed: 2, ForceCorruptAttempts: 1}
+	w := NewWorld(p, WithFaults(plan), WithRetransmitTimeout(time.Millisecond))
+	err := w.Run(func(c *Comm) {
+		counts := []int{4, 4, 4}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 12)
+		c.Alltoallv(send, counts, recv, counts)
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.Health()
+	if h.CorruptionsInjected < 1 || h.CorruptionsDetected < 1 {
+		t.Errorf("corruptions injected/detected = %d/%d, want ≥ 1 each", h.CorruptionsInjected, h.CorruptionsDetected)
+	}
+	if h.CorruptionsDetected < h.CorruptionsInjected {
+		t.Errorf("detected %d < injected %d: some corrupted payload was accepted", h.CorruptionsDetected, h.CorruptionsInjected)
+	}
+	if h.Retransmits < 1 {
+		t.Errorf("Retransmits = %d, want ≥ 1", h.Retransmits)
+	}
+}
+
+// TestDuplicatesDeduped duplicates every delivery; the receiver-side dedup
+// must swallow the copies without corrupting the mailbox.
+func TestDuplicatesDeduped(t *testing.T) {
+	p := 3
+	plan := &fault.Plan{Seed: 3, DupRate: 1}
+	w := NewWorld(p, WithFaults(plan), WithRetransmitTimeout(time.Millisecond))
+	err := w.Run(func(c *Comm) {
+		counts := []int{2, 2, 2}
+		for round := 0; round < 3; round++ {
+			send := fillBlocks(c.Rank(), counts)
+			recv := make([]complex128, 6)
+			c.Alltoallv(send, counts, recv, counts)
+			checkBlocks(t, c.Rank(), counts, recv)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := w.Health(); h.Dedups < 1 {
+		t.Errorf("Dedups = %d, want ≥ 1", h.Dedups)
+	}
+}
+
+// TestRandomizedChaosConverges runs many rounds under an aggressive random
+// mix of drops, corruption, duplication and jitter and checks every
+// element still routes correctly.
+func TestRandomizedChaosConverges(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		plan := &fault.Plan{Seed: seed, DropRate: 0.2, CorruptRate: 0.1, DupRate: 0.2, JitterNs: 100_000}
+		p := 4
+		w := NewWorld(p, WithFaults(plan), WithRetransmitTimeout(time.Millisecond))
+		err := w.Run(func(c *Comm) {
+			counts := []int{3, 1, 0, 5}
+			// Every rank sends the same counts vector, so rank r receives
+			// counts[r] elements from each sender.
+			recvCounts := make([]int, p)
+			for s := range recvCounts {
+				recvCounts[s] = counts[c.Rank()]
+			}
+			for round := 0; round < 10; round++ {
+				send := fillBlocks(c.Rank(), counts)
+				recv := make([]complex128, total(recvCounts))
+				c.Alltoallv(send, counts, recv, recvCounts)
+				checkBlocks(t, c.Rank(), recvCounts, recv)
+			}
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestWaitDeadlineDiagnostic stalls rank 0's NIC past the soft deadline:
+// the other rank's WaitDeadline must return a diagnostic naming the
+// missing collective and source rank, and a subsequent Wait must still
+// complete once the stall window closes.
+func TestWaitDeadlineDiagnostic(t *testing.T) {
+	p := 2
+	plan := &fault.Plan{Seed: 4, Stalls: []fault.RankStall{{Rank: 0, At: 0, Dur: int64(120 * time.Millisecond)}}}
+	w := NewWorld(p, WithFaults(plan), WithDeadline(15*time.Millisecond))
+	sawDeadline := false
+	err := w.Run(func(c *Comm) {
+		counts := []int{2, 2}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 4)
+		req := c.Ialltoallv(send, counts, recv, counts)
+		werr := c.WaitDeadline(req)
+		if c.Rank() == 1 {
+			var de *DeadlineError
+			if !errors.As(werr, &de) {
+				t.Errorf("rank 1: WaitDeadline = %v, want *DeadlineError", werr)
+			} else {
+				sawDeadline = true
+				if len(de.Missing) != 1 || de.Missing[0].Seq != 0 {
+					t.Errorf("diagnostic missing wrong collective: %+v", de.Missing)
+				} else if len(de.Missing[0].From) != 1 || de.Missing[0].From[0] != 0 {
+					t.Errorf("diagnostic blames ranks %v, want [0]", de.Missing[0].From)
+				}
+			}
+		}
+		c.Wait(req) // soft deadline: the request must still be completable
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadline {
+		t.Error("rank 1 never observed the wait deadline")
+	}
+}
+
+// TestDeadlockDetected runs a deliberately mismatched program (one rank in
+// Barrier, the other waiting for a block that will never be sent): Run
+// must return a diagnostic error naming the stuck collective sequence
+// number instead of hanging the test binary.
+func TestDeadlockDetected(t *testing.T) {
+	w := NewWorld(2)
+	// Shorten the default watchdog window (white-box) without enabling the
+	// per-call hard limits, so it is Run's watchdog that reports.
+	w.hangTimeout = 150 * time.Millisecond
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Barrier()
+				return
+			}
+			send := []complex128{5}
+			recv := make([]complex128, 1)
+			req := c.Ialltoallv(send, []int{1, 0}, recv, []int{1, 0})
+			c.Wait(req)
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected a deadlock error, got nil")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "deadlock") {
+			t.Errorf("error %q does not mention deadlock", msg)
+		}
+		if !strings.Contains(msg, "seq [0]") && !strings.Contains(msg, "seq 0") {
+			t.Errorf("error %q does not name the stuck collective sequence number", msg)
+		}
+		if !strings.Contains(msg, "Barrier") {
+			t.Errorf("error %q does not mention the rank stuck in Barrier", msg)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung despite the deadlock watchdog")
+	}
+}
+
+// TestBarrierHangTimeout: with an explicit hang timeout, a Barrier that can
+// never complete fails the world with a diagnostic error.
+func TestBarrierHangTimeout(t *testing.T) {
+	w := NewWorld(2, WithHangTimeout(100*time.Millisecond))
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Barrier() // rank 1 never arrives
+		}
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "Barrier") {
+		t.Errorf("error %q does not mention Barrier", err)
+	}
+}
+
+// TestZeroCountVectors exercises Ialltoallv with all-zero counts (nil
+// buffers allowed) and with zero-length peers mixed in — the sub-grid
+// collective shapes the pencil decomposition produces.
+func TestZeroCountVectors(t *testing.T) {
+	p := 3
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		zero := []int{0, 0, 0}
+		// All-zero counts with nil buffers: must complete immediately.
+		req := c.Ialltoallv(nil, zero, nil, zero)
+		if !c.Test(req) {
+			t.Errorf("rank %d: all-zero collective not immediately complete", c.Rank())
+		}
+		c.Wait(req)
+		// Mixed zero/nonzero: only rank 1's column carries data.
+		sendCounts := []int{0, 2, 0}
+		recvCounts := make([]int, p)
+		if c.Rank() == 1 {
+			recvCounts = []int{2, 2, 2}
+		}
+		send := fillBlocks(c.Rank(), sendCounts)
+		recv := make([]complex128, total(recvCounts))
+		c.Alltoallv(send, sendCounts, recv, recvCounts)
+		if c.Rank() == 1 {
+			checkBlocks(t, 1, recvCounts, recv)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroCountSingleRank: the degenerate p=1 world where every collective
+// is a self-copy.
+func TestZeroCountSingleRank(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(c *Comm) {
+		req := c.Ialltoallv(nil, []int{0}, nil, []int{0})
+		c.Wait(req)
+		send := []complex128{1 + 2i, 3}
+		recv := make([]complex128, 2)
+		c.Alltoallv(send, []int{2}, recv, []int{2})
+		if recv[0] != 1+2i || recv[1] != 3 {
+			t.Errorf("self-copy wrong: %v", recv)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultFreeHealthCounts: without faults the health counters still
+// track sent/delivered symmetrically and report no recovery activity.
+func TestFaultFreeHealthCounts(t *testing.T) {
+	p := 2
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		counts := []int{1, 1}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 2)
+		c.Alltoallv(send, counts, recv, counts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := w.Health()
+	if h.Sent != 2 || h.Delivered != 2 {
+		t.Errorf("sent/delivered = %d/%d, want 2/2", h.Sent, h.Delivered)
+	}
+	if h.Retransmits != 0 || h.Dedups != 0 || h.CorruptionsDetected != 0 || h.DropsInjected != 0 {
+		t.Errorf("fault-free world reported recovery activity: %+v", h)
+	}
+	var _ mpi.Health = h
+}

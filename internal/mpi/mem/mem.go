@@ -5,6 +5,16 @@
 // communication overlap produces genuine wall-clock savings even on one
 // core (the delay is idle time, not CPU time).
 //
+// The transport is self-healing when a fault plan is attached (see
+// WithFaults and package mpi/fault): every message carries a sequence id
+// and a checksum, the receiver discards corrupted or duplicate deliveries,
+// and the sender retransmits unacknowledged messages with capped
+// exponential backoff, so Test/Wait still converge under drop, corruption
+// and duplication faults. Wait gains a configurable soft deadline
+// (WithDeadline + Comm.WaitDeadline) that reports which ranks/collectives
+// are missing instead of hanging, and World.Run detects a fully deadlocked
+// world and returns a diagnostic error naming the stuck collectives.
+//
 // This engine is the numerical-correctness and demo substrate; the sim
 // engine (package mpi/sim) is the performance-reproduction substrate.
 package mem
@@ -16,6 +26,7 @@ import (
 
 	"offt/internal/machine"
 	"offt/internal/mpi"
+	"offt/internal/mpi/fault"
 )
 
 // Option configures a World.
@@ -29,6 +40,51 @@ func WithDelay(m machine.Machine) Option {
 	}
 }
 
+// WithFaults attaches a deterministic fault plan to the transport. An
+// inactive (or nil) plan keeps the zero-overhead direct path; an active
+// plan routes every message through the self-healing envelope transport.
+func WithFaults(plan *fault.Plan) Option {
+	return func(w *World) { w.plan = plan }
+}
+
+// WithDeadline sets the soft deadline used by Comm.WaitDeadline: when a
+// wait exceeds d, WaitDeadline returns a *DeadlineError describing the
+// missing blocks instead of blocking further. Plain Wait is unaffected.
+// The overlapped FFT pipeline treats the error as the signal to downgrade
+// to its blocking path.
+func WithDeadline(d time.Duration) Option {
+	return func(w *World) { w.deadline = d }
+}
+
+// WithHangTimeout sets the hard limit d on every Wait and Barrier call
+// (they fail the world with a diagnostic error instead of hanging) and on
+// the Run deadlock watchdog. d <= 0 disables both. Without this option,
+// Wait and Barrier have no per-call limit but the watchdog still runs with
+// a conservative default.
+func WithHangTimeout(d time.Duration) Option {
+	return func(w *World) {
+		w.hangTimeout = d
+		w.hangSet = d > 0
+	}
+}
+
+// WithRetransmitTimeout sets the base retransmission timeout of the
+// self-healing transport (default 3ms; backoff doubles it per attempt up
+// to 16×). Only meaningful together with WithFaults.
+func WithRetransmitTimeout(d time.Duration) Option {
+	return func(w *World) {
+		if d > 0 {
+			w.rto = d
+		}
+	}
+}
+
+// defaultWatchdog is the Run deadlock-detection window used when
+// WithHangTimeout is not given: long enough that no healthy workload in
+// this repo comes near it, short enough that a stuck test binary reports
+// instead of timing out the whole suite.
+const defaultWatchdog = 20 * time.Second
+
 // World is an in-process job of p ranks.
 type World struct {
 	p       int
@@ -36,9 +92,29 @@ type World struct {
 	delayed bool
 	epoch   time.Time
 
-	mu    sync.Mutex
-	conds []*sync.Cond
-	boxes []map[mkey][]message
+	plan        *fault.Plan
+	rto         time.Duration
+	deadline    time.Duration // soft deadline for WaitDeadline; 0 = disabled
+	hangTimeout time.Duration // hard per-call / watchdog limit
+	hangSet     bool          // per-call hard limit only when explicitly configured
+
+	mu      sync.Mutex
+	conds   []*sync.Cond
+	boxes   []map[mkey][]message
+	blocked []blockInfo // per-rank: what the rank is currently parked on
+	// finished counts ranks whose body returned; inFlight counts scheduled
+	// deliveries not yet deposited. Together with the outstanding map they
+	// let the watchdog prove a world can make no further progress.
+	finished int
+	inFlight int
+	failed   error
+	closed   bool
+
+	nextID      int64
+	outstanding map[int64]*outMsg
+	seen        []map[int64]struct{}
+
+	stats counters
 
 	barGen   int
 	barCount int
@@ -56,12 +132,22 @@ func NewWorld(p int, opts ...Option) *World {
 	if p < 1 {
 		panic("mem: need at least one rank")
 	}
-	w := &World{p: p, mach: machine.Laptop(), epoch: time.Now()}
+	w := &World{
+		p:           p,
+		mach:        machine.Laptop(),
+		epoch:       time.Now(),
+		rto:         3 * time.Millisecond,
+		hangTimeout: defaultWatchdog,
+		outstanding: make(map[int64]*outMsg),
+	}
 	w.conds = make([]*sync.Cond, p)
 	w.boxes = make([]map[mkey][]message, p)
+	w.seen = make([]map[int64]struct{}, p)
+	w.blocked = make([]blockInfo, p)
 	for i := range w.conds {
 		w.conds[i] = sync.NewCond(&w.mu)
 		w.boxes[i] = make(map[mkey][]message)
+		w.seen[i] = make(map[int64]struct{})
 	}
 	w.barCond = sync.NewCond(&w.mu)
 	for _, o := range opts {
@@ -70,17 +156,34 @@ func NewWorld(p int, opts ...Option) *World {
 	return w
 }
 
+// Health returns a snapshot of the world's transport-recovery counters.
+func (w *World) Health() mpi.Health { return w.stats.snapshot() }
+
+// worldFailure wraps a world-level diagnostic error (deadline, deadlock)
+// through the panic path so Run can return it unwrapped.
+type worldFailure struct{ err error }
+
 // Run executes body once per rank in its own goroutine and returns when
 // every rank finishes. A panic in any rank is returned as an error (the
-// remaining ranks may be left blocked; the world must be discarded).
+// remaining ranks may be left blocked; the world must be discarded). A
+// world where every rank is provably stuck — all blocked in Wait/Barrier
+// with nothing in flight — past the hang timeout is failed with a
+// diagnostic error naming the stuck collectives instead of hanging.
 func (w *World) Run(body func(c *Comm)) error {
 	errs := make(chan error, w.p)
 	for r := 0; r < w.p; r++ {
 		r := r
 		go func() {
 			defer func() {
+				w.mu.Lock()
+				w.finished++
+				w.mu.Unlock()
 				if rec := recover(); rec != nil {
-					errs <- fmt.Errorf("mem: rank %d panicked: %v", r, rec)
+					if wf, ok := rec.(worldFailure); ok {
+						errs <- wf.err
+					} else {
+						errs <- fmt.Errorf("mem: rank %d panicked: %v", r, rec)
+					}
 					w.mu.Lock()
 					for _, c := range w.conds {
 						c.Broadcast()
@@ -94,39 +197,26 @@ func (w *World) Run(body func(c *Comm)) error {
 			body(&Comm{world: w, rank: r})
 		}()
 	}
+	stop := make(chan struct{})
+	watchdogDone := make(chan struct{})
+	if w.hangTimeout > 0 {
+		go w.watchdog(stop, watchdogDone)
+	} else {
+		close(watchdogDone)
+	}
+	var first error
 	for i := 0; i < w.p; i++ {
 		if err := <-errs; err != nil {
 			// Other ranks may be blocked forever on the failed rank; return
 			// immediately and let their goroutines leak (the world is dead).
-			return err
+			first = err
+			break
 		}
 	}
-	return nil
-}
-
-// deposit delivers a message to dst's mailbox (called from the sender
-// goroutine or a delay timer).
-func (w *World) deposit(dst int, k mkey, m message) {
-	w.mu.Lock()
-	w.boxes[dst][k] = append(w.boxes[dst][k], m)
-	w.conds[dst].Broadcast()
-	w.mu.Unlock()
-}
-
-// send routes one block from src to dst, copying the payload at call time
-// (eager-buffered semantics) and applying the emulated link delay if
-// enabled.
-func (w *World) send(src, dst, tag int, block []complex128) {
-	data := make([]complex128, len(block))
-	copy(data, block)
-	k := mkey{src, tag}
-	if !w.delayed {
-		w.deposit(dst, k, message{data: data})
-		return
-	}
-	bytes := len(block) * mpi.Elem16
-	d := time.Duration(w.mach.Latency(src, dst) + int64(float64(bytes)*w.mach.EffNsPerByte(src, dst, w.mach.Nodes(w.p))))
-	time.AfterFunc(d, func() { w.deposit(dst, k, message{data: data}) })
+	close(stop)
+	<-watchdogDone
+	w.shutdownTransport()
+	return first
 }
 
 // tryClaim removes and returns the first message matching k from dst's
@@ -154,7 +244,11 @@ type Comm struct {
 	seq   int
 }
 
-var _ mpi.Comm = (*Comm)(nil)
+var (
+	_ mpi.Comm           = (*Comm)(nil)
+	_ mpi.DeadlineWaiter = (*Comm)(nil)
+	_ mpi.HealthReporter = (*Comm)(nil)
+)
 
 // Rank returns this rank.
 func (c *Comm) Rank() int { return c.rank }
@@ -164,6 +258,11 @@ func (c *Comm) Size() int { return c.world.p }
 
 // Now returns wall time since the world was created, in nanoseconds.
 func (c *Comm) Now() int64 { return time.Since(c.world.epoch).Nanoseconds() }
+
+// TransportHealth returns the world's recovery counters (implements
+// mpi.HealthReporter; the overlapped pipeline consults it to detect
+// persistent transport faults).
+func (c *Comm) TransportHealth() mpi.Health { return c.world.Health() }
 
 // request tracks a pending all-to-all: which source blocks are still
 // outstanding and where to copy them.
@@ -269,15 +368,65 @@ func (c *Comm) Test(reqs ...mpi.Request) bool {
 }
 
 // Wait blocks until all requests complete, draining as messages arrive.
+// With WithHangTimeout configured, a wait exceeding the limit fails the
+// world with a diagnostic error instead of hanging.
 func (c *Comm) Wait(reqs ...mpi.Request) {
+	var limit time.Duration
+	if c.world.hangSet {
+		limit = c.world.hangTimeout
+	}
+	if err := c.waitInner(reqs, limit); err != nil {
+		panic(worldFailure{err})
+	}
+}
+
+// WaitDeadline blocks like Wait but gives up once the world's soft
+// deadline (WithDeadline) passes, returning a *DeadlineError that names
+// the collectives and source ranks still missing. The requests stay valid:
+// a subsequent Wait continues from where WaitDeadline left off. Without a
+// configured deadline it is exactly Wait.
+func (c *Comm) WaitDeadline(reqs ...mpi.Request) error {
+	if c.world.deadline <= 0 {
+		c.Wait(reqs...)
+		return nil
+	}
+	return c.waitInner(reqs, c.world.deadline)
+}
+
+// waitInner drains until every request completes (limit == 0) or the limit
+// passes (returning a *DeadlineError).
+func (c *Comm) waitInner(reqs []mpi.Request, limit time.Duration) error {
 	w := c.world
+	var deadline time.Time
+	var timer *time.Timer
+	if limit > 0 {
+		deadline = time.Now().Add(limit)
+		// The cond has no timed wait: a one-shot timer wakes this rank so
+		// the loop can observe the deadline.
+		timer = time.AfterFunc(limit, func() {
+			w.mu.Lock()
+			w.conds[c.rank].Broadcast()
+			w.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	for {
 		if c.Test(reqs...) {
-			return
+			return nil
 		}
 		// Block until something new lands in our mailbox.
 		w.mu.Lock()
-		empty := true
+		if w.failed != nil {
+			err := w.failed
+			w.mu.Unlock()
+			panic(worldFailure{err})
+		}
+		if limit > 0 && !time.Now().Before(deadline) {
+			err := c.deadlineErrLocked(reqs, limit)
+			w.mu.Unlock()
+			return err
+		}
+		avail := false
 		for _, r := range reqs {
 			if r == nil {
 				continue
@@ -285,20 +434,35 @@ func (c *Comm) Wait(reqs ...mpi.Request) {
 			req := r.(*request)
 			for s := range req.pending {
 				if len(w.boxes[c.rank][mkey{s, req.tag}]) > 0 {
-					empty = false
+					avail = true
 				}
 			}
 		}
-		if empty {
+		if !avail {
+			w.blocked[c.rank] = waitBlockInfoLocked(reqs)
 			w.conds[c.rank].Wait()
+			w.blocked[c.rank] = blockInfo{}
 		}
 		w.mu.Unlock()
 	}
 }
 
 // Barrier blocks until all ranks arrive (reusable generation barrier).
+// With WithHangTimeout configured, a barrier exceeding the limit fails the
+// world with a diagnostic error naming how many ranks arrived.
 func (c *Comm) Barrier() {
 	w := c.world
+	var deadline time.Time
+	var timer *time.Timer
+	if w.hangSet && w.hangTimeout > 0 {
+		deadline = time.Now().Add(w.hangTimeout)
+		timer = time.AfterFunc(w.hangTimeout, func() {
+			w.mu.Lock()
+			w.barCond.Broadcast()
+			w.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	w.mu.Lock()
 	gen := w.barGen
 	w.barCount++
@@ -306,10 +470,24 @@ func (c *Comm) Barrier() {
 		w.barCount = 0
 		w.barGen++
 		w.barCond.Broadcast()
-	} else {
-		for gen == w.barGen {
-			w.barCond.Wait()
+		w.mu.Unlock()
+		return
+	}
+	for gen == w.barGen {
+		if w.failed != nil {
+			err := w.failed
+			w.mu.Unlock()
+			panic(worldFailure{err})
 		}
+		if timer != nil && !time.Now().Before(deadline) {
+			arrived := w.barCount
+			w.mu.Unlock()
+			panic(worldFailure{fmt.Errorf("mem: rank %d: Barrier (generation %d) timed out after %v with %d/%d ranks arrived",
+				c.rank, gen, w.hangTimeout, arrived, w.p)})
+		}
+		w.blocked[c.rank] = blockInfo{kind: blockedBarrier, gen: gen}
+		w.barCond.Wait()
+		w.blocked[c.rank] = blockInfo{}
 	}
 	w.mu.Unlock()
 }

@@ -1,0 +1,238 @@
+package mem
+
+import (
+	"sync/atomic"
+	"time"
+
+	"offt/internal/mpi"
+	"offt/internal/mpi/fault"
+)
+
+// counters aggregates transport-recovery activity world-wide. All fields
+// are updated atomically so senders, delivery timers and retransmit timers
+// never contend on the world lock just to count.
+type counters struct {
+	sent, delivered                    atomic.Int64
+	dropsInjected, corruptionsInjected atomic.Int64
+	duplicatesInjected, retransmits    atomic.Int64
+	dedups, corruptionsDetected        atomic.Int64
+}
+
+func (s *counters) snapshot() mpi.Health {
+	return mpi.Health{
+		Sent:                s.sent.Load(),
+		Delivered:           s.delivered.Load(),
+		DropsInjected:       s.dropsInjected.Load(),
+		CorruptionsInjected: s.corruptionsInjected.Load(),
+		DuplicatesInjected:  s.duplicatesInjected.Load(),
+		Retransmits:         s.retransmits.Load(),
+		Dedups:              s.dedups.Load(),
+		CorruptionsDetected: s.corruptionsDetected.Load(),
+	}
+}
+
+// envelope is one sequence-numbered, checksummed message of the
+// self-healing transport.
+type envelope struct {
+	id            int64
+	src, dst, tag int
+	sum           uint64
+	data          []complex128
+}
+
+// outMsg tracks an unacknowledged envelope on the sender side.
+type outMsg struct {
+	env   *envelope
+	timer *time.Timer
+}
+
+// maxBackoff caps the exponential retransmission backoff at rto << maxBackoff.
+const maxBackoff = 4
+
+// send routes one block from src to dst, copying the payload at call time
+// (eager-buffered semantics). Without an active fault plan it takes the
+// direct path (immediate or delay-timed deposit); with one, every message
+// goes through the retransmitting envelope transport.
+func (w *World) send(src, dst, tag int, block []complex128) {
+	data := make([]complex128, len(block))
+	copy(data, block)
+	w.stats.sent.Add(1)
+	if w.plan.Active() {
+		w.sendEnvelope(src, dst, tag, data)
+		return
+	}
+	k := mkey{src, tag}
+	if !w.delayed {
+		w.deposit(dst, k, message{data: data})
+		return
+	}
+	bytes := len(block) * mpi.Elem16
+	d := time.Duration(w.mach.Latency(src, dst) + int64(float64(bytes)*w.mach.EffNsPerByte(src, dst, w.mach.Nodes(w.p))))
+	w.mu.Lock()
+	w.inFlight++
+	w.mu.Unlock()
+	time.AfterFunc(d, func() {
+		w.mu.Lock()
+		w.inFlight--
+		closed := w.closed
+		if !closed {
+			w.boxes[dst][k] = append(w.boxes[dst][k], message{data: data})
+			w.stats.delivered.Add(1)
+			w.conds[dst].Broadcast()
+		}
+		w.mu.Unlock()
+	})
+}
+
+// deposit delivers a message to dst's mailbox immediately.
+func (w *World) deposit(dst int, k mkey, m message) {
+	w.mu.Lock()
+	w.boxes[dst][k] = append(w.boxes[dst][k], m)
+	w.stats.delivered.Add(1)
+	w.conds[dst].Broadcast()
+	w.mu.Unlock()
+}
+
+// sendEnvelope registers the message as outstanding and starts delivery
+// attempt 0. The message stays outstanding — with a pending retransmit
+// timer — until a delivery is acknowledged by the receiver side.
+func (w *World) sendEnvelope(src, dst, tag int, data []complex128) {
+	env := &envelope{src: src, dst: dst, tag: tag, sum: fault.Checksum(data), data: data}
+	om := &outMsg{env: env}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.nextID++
+	env.id = w.nextID
+	w.outstanding[env.id] = om
+	w.mu.Unlock()
+	w.transmit(om, 0)
+}
+
+// transmit performs one delivery attempt of an outstanding envelope,
+// rolling the fault plan for this attempt, and arms the retransmission
+// timer with capped exponential backoff. Acknowledged (or dead-world)
+// messages are left alone.
+func (w *World) transmit(om *outMsg, attempt int) {
+	env := om.env
+	w.mu.Lock()
+	if w.closed || w.failed != nil || w.outstanding[env.id] != om {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	if attempt > 0 {
+		w.stats.retransmits.Add(1)
+	}
+	d := w.plan.Decide(env.src, env.dst, env.tag, env.id, attempt)
+	now := time.Since(w.epoch).Nanoseconds()
+	// Per-rank degradation: a stalled NIC holds the message until the
+	// window closes; a slow NIC scales the emulated link delay.
+	delay := w.plan.StallEnd(env.src, now) - now + d.DelayNs
+	if w.delayed {
+		bytes := len(env.data) * mpi.Elem16
+		link := float64(w.mach.Latency(env.src, env.dst)) +
+			float64(bytes)*w.mach.EffNsPerByte(env.src, env.dst, w.mach.Nodes(w.p))
+		delay += int64(link * w.plan.NICFactor(env.src) * w.plan.LinkFactor(env.src, env.dst, now))
+	}
+	if d.Drop {
+		w.stats.dropsInjected.Add(1)
+	} else {
+		payload := env.data
+		if d.Corrupt {
+			w.stats.corruptionsInjected.Add(1)
+			payload = fault.CorruptCopy(env.data, uint64(env.id)<<8^uint64(attempt))
+		}
+		w.deliverAfter(delay, env, payload)
+		if d.Duplicate {
+			w.stats.duplicatesInjected.Add(1)
+			w.deliverAfter(delay, env, env.data)
+		}
+	}
+	rto := w.rto
+	for i := 0; i < attempt && i < maxBackoff; i++ {
+		rto *= 2
+	}
+	next := attempt + 1
+	w.mu.Lock()
+	if w.outstanding[env.id] == om && !w.closed && w.failed == nil {
+		om.timer = time.AfterFunc(time.Duration(delay)+rto, func() { w.transmit(om, next) })
+	}
+	w.mu.Unlock()
+}
+
+// deliverAfter schedules (or performs) one delivery of a payload copy.
+func (w *World) deliverAfter(delayNs int64, env *envelope, payload []complex128) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.inFlight++
+	w.mu.Unlock()
+	if delayNs <= 0 {
+		w.deliverEnvelope(env, payload)
+		return
+	}
+	time.AfterFunc(time.Duration(delayNs), func() { w.deliverEnvelope(env, payload) })
+}
+
+// deliverEnvelope is the receiver side of the self-healing transport:
+// verify the checksum (corrupted deliveries are dropped and recovered by
+// retransmission), discard duplicates, acknowledge, then deposit into the
+// mailbox.
+func (w *World) deliverEnvelope(env *envelope, payload []complex128) {
+	ok := fault.Checksum(payload) == env.sum
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inFlight--
+	if w.closed {
+		return
+	}
+	if !ok {
+		// No acknowledgement: the sender's retransmit timer recovers.
+		w.stats.corruptionsDetected.Add(1)
+		return
+	}
+	if _, dup := w.seen[env.dst][env.id]; dup {
+		w.stats.dedups.Add(1)
+		w.ackLocked(env.id)
+		return
+	}
+	w.seen[env.dst][env.id] = struct{}{}
+	w.ackLocked(env.id)
+	w.stats.delivered.Add(1)
+	k := mkey{env.src, env.tag}
+	w.boxes[env.dst][k] = append(w.boxes[env.dst][k], message{data: payload})
+	w.conds[env.dst].Broadcast()
+}
+
+// ackLocked retires an outstanding envelope and stops its retransmit
+// timer. The in-process delivery path doubles as the acknowledgement
+// channel (a reliable control plane; only payload deliveries fault).
+func (w *World) ackLocked(id int64) {
+	om, live := w.outstanding[id]
+	if !live {
+		return
+	}
+	if om.timer != nil {
+		om.timer.Stop()
+	}
+	delete(w.outstanding, id)
+}
+
+// shutdownTransport stops all pending retransmission timers when Run
+// finishes (normally or on error) so a dead world cannot keep firing.
+func (w *World) shutdownTransport() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	for id, om := range w.outstanding {
+		if om.timer != nil {
+			om.timer.Stop()
+		}
+		delete(w.outstanding, id)
+	}
+}

@@ -48,6 +48,38 @@ type Comm interface {
 	Wait(reqs ...Request)
 }
 
+// DeadlineWaiter is optionally implemented by engines whose Wait can give
+// up after a configured soft deadline. WaitDeadline blocks like Wait but
+// returns a diagnostic error (naming the missing ranks/collectives) when
+// the deadline passes first; the requests stay valid and a later Wait or
+// WaitDeadline may still complete them. Engines without a configured
+// deadline behave exactly like Wait and return nil. The overlapped FFT
+// pipeline uses this to downgrade to its blocking path instead of hanging
+// when the transport misbehaves.
+type DeadlineWaiter interface {
+	WaitDeadline(reqs ...Request) error
+}
+
+// Health is a snapshot of an engine's transport-recovery counters,
+// aggregated over the whole world.
+type Health struct {
+	Sent      int64 // messages handed to the transport
+	Delivered int64 // messages accepted into a mailbox (post-checksum, post-dedup)
+
+	DropsInjected       int64 // delivery attempts lost by the fault plan
+	CorruptionsInjected int64 // payloads bit-flipped by the fault plan
+	DuplicatesInjected  int64 // extra deliveries injected by the fault plan
+	Retransmits         int64 // sender timeout-driven resends
+	Dedups              int64 // duplicate deliveries discarded by the receiver
+	CorruptionsDetected int64 // deliveries rejected by checksum
+}
+
+// HealthReporter is optionally implemented by engines that track transport
+// recovery activity.
+type HealthReporter interface {
+	TransportHealth() Health
+}
+
 // Elem16 is the wire size of one element in bytes.
 const Elem16 = 16
 

@@ -10,6 +10,7 @@ import (
 
 	"offt/internal/machine"
 	"offt/internal/mpi"
+	"offt/internal/mpi/fault"
 	"offt/internal/simnet"
 	"offt/internal/vclock"
 )
@@ -34,6 +35,12 @@ func NewWorld(m machine.Machine, p int) *World {
 
 // Fabric exposes the underlying fabric (for statistics).
 func (w *World) Fabric() *simnet.Fabric { return w.fabric }
+
+// InjectFaults attaches a fault plan to the fabric: NIC stall windows and
+// slow-NIC / link degradation apply in virtual time. Per-message payload
+// faults are meaningless here (no payload moves) and are ignored. Must be
+// called before Run.
+func (w *World) InjectFaults(plan *fault.Plan) { w.fabric.SetFaults(plan) }
 
 // Run executes body once per rank and returns when all ranks finish. It
 // must be called exactly once per World.

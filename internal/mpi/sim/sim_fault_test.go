@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"offt/internal/machine"
+	"offt/internal/mpi/fault"
+)
+
+// runExchange runs one uniform all-to-all of `elems` elements per block on
+// a p-rank simulated world and returns the max completion time.
+func runExchange(t *testing.T, p, elems int, plan *fault.Plan) (int64, *World) {
+	t.Helper()
+	w := NewWorld(machine.UMDCluster(), p)
+	if plan != nil {
+		w.InjectFaults(plan)
+	}
+	var maxEnd int64
+	err := w.Run(func(c *Comm) {
+		counts := make([]int, p)
+		for i := range counts {
+			counts[i] = elems
+		}
+		c.Alltoallv(nil, counts, nil, counts)
+		if end := c.Now(); end > maxEnd {
+			maxEnd = end // ranks finish sequentially under vclock; no race
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return maxEnd, w
+}
+
+// TestSimStallDisplacesCompletion: a stall window on one rank's NIC must
+// push the job past the window's end in virtual time.
+func TestSimStallDisplacesCompletion(t *testing.T) {
+	const stall = int64(5e6) // 5ms, far beyond the baseline exchange
+	base, _ := runExchange(t, 4, 1024, nil)
+	if base >= stall {
+		t.Fatalf("baseline %d ns already beyond the stall window", base)
+	}
+	plan := &fault.Plan{Seed: 1, Stalls: []fault.RankStall{{Rank: 2, At: 0, Dur: stall}}}
+	end, w := runExchange(t, 4, 1024, plan)
+	if end < stall {
+		t.Errorf("completion %d ns before stall end %d ns", end, stall)
+	}
+	if w.Fabric().Stats.StallNsInjected == 0 {
+		t.Error("no stall displacement recorded")
+	}
+}
+
+// TestSimLinkDegradationSlowsJob: scaling every link's per-byte cost must
+// slow the exchange, and the degradation must be counted.
+func TestSimLinkDegradationSlowsJob(t *testing.T) {
+	base, _ := runExchange(t, 4, 4096, nil)
+	plan := &fault.Plan{Seed: 1, Links: []fault.LinkFault{{Src: -1, Dst: -1, From: 0, Until: 1 << 62, Factor: 8}}}
+	slow, w := runExchange(t, 4, 4096, plan)
+	if slow <= base {
+		t.Errorf("degraded job (%d ns) not slower than baseline (%d ns)", slow, base)
+	}
+	if w.Fabric().Stats.DegradedTransfers == 0 {
+		t.Error("no degraded transfers recorded")
+	}
+}
+
+// TestSimSlowNICAsymmetric: a slow NIC on one rank slows the job less than
+// slowing every link, but still measurably.
+func TestSimSlowNICAsymmetric(t *testing.T) {
+	base, _ := runExchange(t, 4, 4096, nil)
+	plan := &fault.Plan{Seed: 1, SlowNIC: map[int]float64{0: 8}}
+	slow, _ := runExchange(t, 4, 4096, plan)
+	if slow <= base {
+		t.Errorf("slow-NIC job (%d ns) not slower than baseline (%d ns)", slow, base)
+	}
+}
+
+// TestSimFaultsDeterministic: the same plan must reproduce the identical
+// virtual completion time.
+func TestSimFaultsDeterministic(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:   7,
+		Stalls: []fault.RankStall{{Rank: 1, At: 0, Dur: 2e6}},
+		Links:  []fault.LinkFault{{Src: 1, Dst: -1, From: 0, Until: 1 << 62, Factor: 3}},
+	}
+	a, _ := runExchange(t, 4, 2048, plan)
+	b, _ := runExchange(t, 4, 2048, plan)
+	if a != b {
+		t.Errorf("same plan, different completion times: %d vs %d", a, b)
+	}
+}
+
+// TestSimInactivePlanNoop: an inactive plan must not change the fabric.
+func TestSimInactivePlanNoop(t *testing.T) {
+	base, _ := runExchange(t, 4, 1024, nil)
+	end, w := runExchange(t, 4, 1024, &fault.Plan{Seed: 9})
+	if end != base {
+		t.Errorf("inactive plan changed completion: %d vs %d", end, base)
+	}
+	if s := w.Fabric().Stats; s.StallNsInjected != 0 || s.DegradedTransfers != 0 {
+		t.Errorf("inactive plan recorded fault activity: %+v", s)
+	}
+}

@@ -9,6 +9,13 @@ import (
 // and Unpack+FFTx on some tiles with the non-blocking all-to-all on others.
 // Iteration i packs tile i, waits for tile i−W, posts tile i, and unpacks
 // tile i−W, so at most W tiles have communication in flight.
+//
+// On a misbehaving transport — a tile wait missing its soft deadline, or
+// persistent retransmission pressure — the loop downgrades: the remaining
+// tiles run on the blocking per-tile path (see downgradeForward), which
+// still produces the numerically identical transform because both paths
+// issue exactly one all-to-all per tile in tile order, so the collective
+// sequence numbers keep matching even when only some ranks downgrade.
 func runOverlapped(e Engine, prm Params, fast bool, b *Breakdown) {
 	g := e.Grid()
 	c := e.Comm()
@@ -20,6 +27,7 @@ func runOverlapped(e Engine, prm Params, fast bool, b *Breakdown) {
 	w := prm.W
 	slots := w + 1
 	reqs := make([]mpi.Request, k)
+	mon := newFaultMonitor(c)
 
 	for i := 0; i < k+w; i++ {
 		if i < k {
@@ -32,8 +40,12 @@ func runOverlapped(e Engine, prm Params, fast bool, b *Breakdown) {
 		}
 		if i >= w {
 			t := c.Now()
-			c.Wait(reqs[i-w])
+			ok := mon.waitTile(c, reqs[i-w])
 			b.Wait += c.Now() - t
+			if !ok {
+				downgradeForward(e, prm, fast, tl, reqs, i, b)
+				return
+			}
 		}
 		if i < k {
 			t := c.Now()
@@ -53,6 +65,47 @@ func runOverlapped(e Engine, prm Params, fast bool, b *Breakdown) {
 			}
 			unpackFFTx(e, c, g, prm, tl, j, j%slots, fast, reqs[j+1:hi], b)
 		}
+	}
+}
+
+// downgradeForward finishes the transform on the blocking path after the
+// overlapped loop gave up at iteration i (while waiting on tile i−W). At
+// that point tiles < i−W are fully done, tiles i−W..min(i,k)−1 are posted
+// but not unpacked, tile i (when i < k) is packed but not posted, and
+// later tiles are untouched. The drain keeps one collective per tile in
+// tile order so sequence numbers stay aligned with ranks that did not
+// downgrade, and plain Wait is safe here: soft deadlines leave requests
+// valid and the self-healing transport still converges.
+func downgradeForward(e Engine, prm Params, fast bool, tl layout.Tiling, reqs []mpi.Request, i int, b *Breakdown) {
+	g := e.Grid()
+	c := e.Comm()
+	k := tl.NumTiles()
+	w := prm.W
+	slots := w + 1
+	noteDowngrade(e, i-w)
+	b.Downgrades++
+	hi := i
+	if hi > k {
+		hi = k
+	}
+	for j := i - w; j < hi; j++ {
+		t := c.Now()
+		c.Wait(reqs[j])
+		b.Wait += c.Now() - t
+		unpackFFTx(e, c, g, prm, tl, j, j%slots, fast, nil, b)
+	}
+	if i < k {
+		t := c.Now()
+		e.AlltoallTile(i%slots, tl.TileLen(i))
+		b.Wait += c.Now() - t
+		unpackFFTx(e, c, g, prm, tl, i, i%slots, fast, nil, b)
+	}
+	for j := i + 1; j < k; j++ {
+		fftyPack(e, c, g, prm, tl, j, j%slots, fast, nil, b)
+		t := c.Now()
+		e.AlltoallTile(j%slots, tl.TileLen(j))
+		b.Wait += c.Now() - t
+		unpackFFTx(e, c, g, prm, tl, j, j%slots, fast, nil, b)
 	}
 }
 

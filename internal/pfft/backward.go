@@ -177,6 +177,7 @@ func (e *backEngine) runOverlapped(prm Params, fast bool, b *Breakdown) {
 	w := prm.W
 	slots := w + 1
 	reqs := make([]mpi.Request, k)
+	mon := newFaultMonitor(c)
 	for i := 0; i < k+w; i++ {
 		if i < k {
 			lo := i - w
@@ -187,8 +188,12 @@ func (e *backEngine) runOverlapped(prm Params, fast bool, b *Breakdown) {
 		}
 		if i >= w {
 			t := c.Now()
-			c.Wait(reqs[i-w])
+			ok := mon.waitTile(c, reqs[i-w])
 			b.Wait += c.Now() - t
+			if !ok {
+				e.downgrade(prm, fast, tl, reqs, i, b)
+				return
+			}
 		}
 		if i < k {
 			t := c.Now()
@@ -203,6 +208,43 @@ func (e *backEngine) runOverlapped(prm Params, fast bool, b *Breakdown) {
 			}
 			e.scatterFFTy(prm, tl, j, j%slots, fast, reqs[j+1:hi], b)
 		}
+	}
+}
+
+// downgrade finishes the backward transform on the blocking path after the
+// overlapped loop gave up at iteration i, mirroring downgradeForward: the
+// posted window is drained with plain Waits, the already-repacked tile i
+// goes through a blocking all-to-all, and the remaining tiles run the
+// per-tile blocking pipeline — one collective per tile in tile order, so
+// sequence numbers stay aligned with ranks still running overlapped.
+func (e *backEngine) downgrade(prm Params, fast bool, tl layout.Tiling, reqs []mpi.Request, i int, b *Breakdown) {
+	c := e.comm
+	k := tl.NumTiles()
+	w := prm.W
+	slots := w + 1
+	b.Downgrades++
+	hi := i
+	if hi > k {
+		hi = k
+	}
+	for j := i - w; j < hi; j++ {
+		t := c.Now()
+		c.Wait(reqs[j])
+		b.Wait += c.Now() - t
+		e.scatterFFTy(prm, tl, j, j%slots, fast, nil, b)
+	}
+	if i < k {
+		t := c.Now()
+		e.alltoallTile(i%slots, tl.TileLen(i))
+		b.Wait += c.Now() - t
+		e.scatterFFTy(prm, tl, i, i%slots, fast, nil, b)
+	}
+	for j := i + 1; j < k; j++ {
+		e.fftxRepack(prm, tl, j, j%slots, fast, nil, b)
+		t := c.Now()
+		e.alltoallTile(j%slots, tl.TileLen(j))
+		b.Wait += c.Now() - t
+		e.scatterFFTy(prm, tl, j, j%slots, fast, nil, b)
 	}
 }
 

@@ -20,6 +20,10 @@ type Breakdown struct {
 	Wait      int64 // time blocked in MPI_Wait
 	Test      int64 // time spent in MPI_Test calls
 	Total     int64
+
+	// Downgrades counts overlapped→blocking fallbacks this rank took when
+	// the transport misbehaved (a count, not a time; excluded from Steps).
+	Downgrades int64
 }
 
 // StepNames lists the breakdown components in Fig. 8 order.
@@ -73,6 +77,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Wait += o.Wait
 	b.Test += o.Test
 	b.Total += o.Total
+	b.Downgrades += o.Downgrades
 }
 
 // Scale divides every component by n (for averaging across ranks).
@@ -90,6 +95,8 @@ func (b *Breakdown) Scale(n int64) {
 	b.Wait /= n
 	b.Test /= n
 	b.Total /= n
+	// Downgrades stays a world-wide count: averaging it away would hide
+	// that any rank fell back.
 }
 
 // String renders a one-line human-readable breakdown.
@@ -100,5 +107,8 @@ func (b Breakdown) String() string {
 		fmt.Fprintf(&sb, "%s=%v ", names[i], time.Duration(v).Round(time.Microsecond))
 	}
 	fmt.Fprintf(&sb, "Total=%v", time.Duration(b.Total).Round(time.Microsecond))
+	if b.Downgrades > 0 {
+		fmt.Fprintf(&sb, " Downgrades=%d", b.Downgrades)
+	}
 	return sb.String()
 }

@@ -1,0 +1,64 @@
+package pfft
+
+import (
+	"offt/internal/mpi"
+)
+
+// retransmitDowngradeThreshold is how many transport retransmissions
+// (world-wide, counted from the start of this rank's overlapped pipeline)
+// the pipeline tolerates before it stops trusting the fabric and
+// downgrades to the blocking path even though no wait deadline has fired
+// yet. Sized well above what the chaos profiles produce on a healthy run
+// (tens to hundreds) so it only trips on a persistently failing transport.
+const retransmitDowngradeThreshold = 4096
+
+// faultMonitor decides when the overlapped pipeline must downgrade to the
+// blocking path. It uses the engine's optional capabilities: soft wait
+// deadlines (mpi.DeadlineWaiter) and transport-recovery counters
+// (mpi.HealthReporter). On engines with neither, waitTile is plain Wait
+// and no downgrade ever triggers.
+type faultMonitor struct {
+	dw       mpi.DeadlineWaiter
+	hr       mpi.HealthReporter
+	baseline int64 // Retransmits at pipeline start
+}
+
+func newFaultMonitor(c mpi.Comm) *faultMonitor {
+	m := &faultMonitor{}
+	if dw, ok := c.(mpi.DeadlineWaiter); ok {
+		m.dw = dw
+	}
+	if hr, ok := c.(mpi.HealthReporter); ok {
+		m.hr = hr
+		m.baseline = hr.TransportHealth().Retransmits
+	}
+	return m
+}
+
+// waitTile waits for one tile's collective and reports whether the
+// overlapped pipeline may continue. False means downgrade: either the
+// transport shows persistent retransmission pressure (checked before
+// blocking) or the soft wait deadline passed. In both cases the request
+// stays valid — the blocking path finishes it with a plain Wait.
+func (m *faultMonitor) waitTile(c mpi.Comm, req mpi.Request) bool {
+	if m.hr != nil && m.hr.TransportHealth().Retransmits-m.baseline > retransmitDowngradeThreshold {
+		return false
+	}
+	if m.dw == nil {
+		c.Wait(req)
+		return true
+	}
+	return m.dw.WaitDeadline(req) == nil
+}
+
+// downgradeNoter is optionally implemented by engine wrappers (see
+// TraceEngine) to record an overlapped→blocking downgrade on the timeline.
+type downgradeNoter interface {
+	NoteDowngrade(tile int)
+}
+
+func noteDowngrade(e Engine, tile int) {
+	if n, ok := e.(downgradeNoter); ok {
+		n.NoteDowngrade(tile)
+	}
+}

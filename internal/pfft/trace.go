@@ -95,6 +95,13 @@ func (t *TraceEngine) FFTxSub(fast bool, zt0, z0, z1, y0, y1 int) {
 	t.record("FFTx", t.tile(zt0), func() { t.Inner.FFTxSub(fast, zt0, z0, z1, y0, y1) })
 }
 
+// NoteDowngrade records an overlapped→blocking downgrade as a zero-length
+// event at the current time, marking the tile whose wait triggered it.
+func (t *TraceEngine) NoteDowngrade(tile int) {
+	now := t.Inner.Comm().Now()
+	t.Events = append(t.Events, StepEvent{Name: "Downgrade", Start: now, End: now, Tile: tile})
+}
+
 // traceComm intercepts Wait and Test to record their intervals.
 type traceComm struct {
 	mpi.Comm
@@ -111,6 +118,30 @@ func (c *traceComm) Test(reqs ...mpi.Request) bool {
 	ok = c.Comm.Test(reqs...)
 	c.t.Events = append(c.t.Events, StepEvent{Name: "Test", Start: start, End: c.Comm.Now(), Tile: -1})
 	return ok
+}
+
+// WaitDeadline forwards the inner communicator's soft-deadline wait (the
+// downgrade trigger), recording it as a Wait interval. An embedded
+// interface would hide the capability from type assertions, so the
+// forwarding is explicit; without it the fallback is a plain Wait.
+func (c *traceComm) WaitDeadline(reqs ...mpi.Request) error {
+	dw, ok := c.Comm.(mpi.DeadlineWaiter)
+	if !ok {
+		c.Wait(reqs...)
+		return nil
+	}
+	var err error
+	c.t.record("Wait", -1, func() { err = dw.WaitDeadline(reqs...) })
+	return err
+}
+
+// TransportHealth forwards the inner communicator's recovery counters
+// (zero when the engine does not track any).
+func (c *traceComm) TransportHealth() mpi.Health {
+	if hr, ok := c.Comm.(mpi.HealthReporter); ok {
+		return hr.TransportHealth()
+	}
+	return mpi.Health{}
 }
 
 // RenderTimeline prints an ASCII Gantt chart of the recorded events, one
@@ -142,7 +173,8 @@ func RenderTimeline(w io.Writer, events []StepEvent, cols int) {
 	}
 	sort.SliceStable(names, func(i, j int) bool {
 		order := map[string]int{"FFTz": 0, "Transpose": 1, "FFTy": 2, "Pack": 3,
-			"Ialltoall": 4, "Alltoall": 4, "Test": 5, "Wait": 6, "Unpack": 7, "FFTx": 8}
+			"Ialltoall": 4, "Alltoall": 4, "Test": 5, "Wait": 6, "Unpack": 7, "FFTx": 8,
+			"Downgrade": 9}
 		return order[names[i]] < order[names[j]]
 	})
 	scale := float64(cols) / float64(t1-t0)

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"offt/internal/machine"
+	"offt/internal/mpi/fault"
 	"offt/internal/vclock"
 )
 
@@ -54,6 +55,12 @@ type Fabric struct {
 	nicFree []int64
 	rxFree  []int64
 
+	// plan, when set, degrades the fabric in virtual time: NIC stall
+	// windows displace injection starts and slow-NIC / link factors scale
+	// the per-byte rate. Per-message faults (drop/corrupt/duplicate) are a
+	// payload-transport concern and stay with the mem engine.
+	plan *fault.Plan
+
 	// Stats, aggregated over the whole job.
 	Stats Stats
 }
@@ -64,6 +71,10 @@ type Stats struct {
 	RendezvousMsgs int64
 	BytesMoved     int64
 	TestCalls      int64
+
+	// Fault-injection activity (see SetFaults).
+	StallNsInjected   int64 // total injection-start displacement from NIC stalls
+	DegradedTransfers int64 // injections whose rate was scaled by NIC/link factors
 }
 
 // NewFabric creates the interconnect for p ranks on machine m.
@@ -175,9 +186,45 @@ func (ep *Endpoint) Proc() *vclock.Proc { return ep.proc }
 // Now returns the rank's current virtual time.
 func (ep *Endpoint) Now() int64 { return ep.proc.Now() }
 
+// SetFaults attaches a fault plan whose per-rank stall windows and
+// NIC/link degradation factors are applied in virtual time. Must be called
+// before Run; a nil or inactive plan leaves the fabric untouched.
+func (f *Fabric) SetFaults(plan *fault.Plan) {
+	if plan.Active() {
+		f.plan = plan
+	}
+}
+
 // rate returns the effective ns/byte from ep's rank to dst.
 func (f *Fabric) rate(src, dst int) float64 {
 	return f.Mach.EffNsPerByte(src, dst, f.nodes)
+}
+
+// faultTxStart displaces an injection start past any stall window covering
+// src's NIC, counting the displacement.
+func (f *Fabric) faultTxStart(src int, txStart int64) int64 {
+	if f.plan == nil {
+		return txStart
+	}
+	if end := f.plan.StallEnd(src, txStart); end > txStart {
+		f.Stats.StallNsInjected += end - txStart
+		txStart = end
+	}
+	return txStart
+}
+
+// faultRate returns the effective ns/byte for an injection starting at
+// time `at`, with slow-NIC and link-degradation factors applied.
+func (f *Fabric) faultRate(src, dst int, at int64) float64 {
+	r := f.rate(src, dst)
+	if f.plan == nil {
+		return r
+	}
+	if m := f.plan.NICFactor(src) * f.plan.LinkFactor(src, dst, at); m != 1 {
+		f.Stats.DegradedTransfers++
+		r *= m
+	}
+	return r
 }
 
 // Isend posts a non-blocking send of `bytes` bytes to rank dst with the
@@ -236,7 +283,8 @@ func (f *Fabric) transfer(from int64, src, dst, bytes int) int64 {
 	if f.nicFree[src] > txStart {
 		txStart = f.nicFree[src]
 	}
-	dur := f.Mach.Net.MsgSetupNs + int64(float64(bytes)*f.rate(src, dst))
+	txStart = f.faultTxStart(src, txStart)
+	dur := f.Mach.Net.MsgSetupNs + int64(float64(bytes)*f.faultRate(src, dst, txStart))
 	f.nicFree[src] = txStart + dur
 	arr := txStart + f.Mach.Latency(src, dst)
 	if f.rxFree[dst] > arr {
@@ -367,7 +415,8 @@ func (ep *Endpoint) chunkAction(recv, send *Req, off int) func(now int64, sc sch
 		if f.nicFree[ep.rank] > txStart {
 			txStart = f.nicFree[ep.rank]
 		}
-		dur := f.Mach.Net.MsgSetupNs + int64(float64(bytes)*f.rate(ep.rank, recv.ep.rank))
+		txStart = f.faultTxStart(ep.rank, txStart)
+		dur := f.Mach.Net.MsgSetupNs + int64(float64(bytes)*f.faultRate(ep.rank, recv.ep.rank, txStart))
 		txEnd := txStart + dur
 		f.nicFree[ep.rank] = txEnd
 		arr := txStart + f.Mach.Latency(ep.rank, recv.ep.rank)

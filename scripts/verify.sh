@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo verification: tier-1 build+test, then the race detector over the
+# concurrency-heavy packages (mem router, fault-injected transport, pfft
+# chaos suite).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+gofmt_out=$(gofmt -l .)
+if [ -n "$gofmt_out" ]; then
+    echo "gofmt needed on:" "$gofmt_out" >&2
+    exit 1
+fi
+
+go build ./...
+go test ./...
+go test -race ./internal/mpi/... ./internal/pfft/...
