@@ -1,7 +1,8 @@
-// Autotune: end-to-end auto-tuning demo on the simulated cluster (§4).
-// It prints the search-space size, the default-point performance, the
-// Nelder–Mead trajectory, and how the tuned configuration compares with
-// random search — the workflow behind Tables 3 and 4.
+// Autotune: end-to-end auto-tuning demo on the simulated cluster (§4)
+// through the public offt API. It prints the search-space size, the
+// default-point performance, the Nelder–Mead trajectory, and how the
+// tuned configuration compares with random search — the workflow behind
+// Tables 3 and 4.
 //
 //	go run ./examples/autotune
 package main
@@ -10,38 +11,48 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"sort"
 
-	"offt/internal/layout"
-	"offt/internal/machine"
-	"offt/internal/model"
-	"offt/internal/pfft"
-	"offt/internal/stats"
-	"offt/internal/tuner"
+	"offt"
 )
 
 func main() {
 	const (
 		pRanks = 16
 		n      = 256 // the Fig. 5 setting; the search takes a few seconds
+		mach   = "umd-cluster"
 	)
-	m := machine.UMDCluster()
-	g, err := layout.NewGrid(n, n, n, pRanks, 0)
+
+	configs, dims, err := offt.SearchSpaceSize(n, n, n, pRanks)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("tuning NEW on %s, p=%d, N=%d³\n", mach, pRanks, n)
+	fmt.Printf("search space: %d configurations across %d parameters\n\n", configs, dims)
 
-	space := tuner.FFTSpace(g)
-	fmt.Printf("tuning NEW on %s, p=%d, N=%d³\n", m.Name, pRanks, n)
-	fmt.Printf("search space: %d configurations across %d parameters\n\n", space.Size(), len(space.Dims))
-
-	def := pfft.DefaultParams(g)
-	defRes, err := model.SimulateCube(m, pRanks, n, model.Spec{Variant: pfft.NEW, Params: def})
+	// Default point, charged in virtual time with a Sim-engine plan.
+	def, err := offt.DefaultParams(n, n, n, pRanks)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("default point %v\n  → %.4f s (excl. FFTz+Transpose)\n\n", def, float64(defRes.MaxTuned)/1e9)
+	plan, err := offt.NewPlan(
+		offt.WithGrid(n, n, n),
+		offt.WithRanks(pRanks),
+		offt.WithEngine(offt.Sim),
+		offt.WithMachine(mach),
+		offt.WithParams(def),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plan.Close()
+	if _, err := plan.Forward(nil); err != nil {
+		log.Fatal(err)
+	}
+	_, defTuned := plan.VirtualTimes()
+	fmt.Printf("default point %v\n  → %.4f s (excl. FFTz+Transpose)\n\n", def, float64(defTuned)/1e9)
 
-	prm, out, err := tuner.TuneNEW(m, pRanks, n, 50)
+	prm, out, err := offt.TuneNEW(mach, pRanks, n, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,15 +61,15 @@ func main() {
 	for i, s := range out.Search.History {
 		if s.Cost < best {
 			best = s.Cost
-			fmt.Printf("  eval %3d: %.4f s  %v\n", i+1, s.Cost/1e9, tuner.DecodeParams(s.Cfg))
+			fmt.Printf("  eval %3d: %.4f s  %v\n", i+1, s.Cost/1e9, offt.DecodeParams(s.Cfg))
 		}
 	}
 	fmt.Printf("\ntuned point %v\n  → %.4f s (%.2fx over default; %d evaluations, %d cache hits, %d infeasible penalized)\n",
 		prm, float64(out.BestTime())/1e9,
-		float64(defRes.MaxTuned)/float64(out.BestTime()),
+		float64(defTuned)/float64(out.BestTime()),
 		out.Search.Evals, out.Search.CacheHits, out.Search.Infeasible)
 
-	rnd, err := tuner.RandomNEW(m, pRanks, n, 50, 7)
+	rnd, err := offt.RandomSearchNEW(mach, pRanks, n, 50, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,8 +79,19 @@ func main() {
 			xs = append(xs, s.Cost/1e9)
 		}
 	}
+	sort.Float64s(xs)
+	nmCost := out.Search.BestCost / 1e9
+	below := 0
+	for _, x := range xs {
+		if x < nmCost {
+			below++
+		}
+	}
+	if len(xs) == 0 {
+		log.Fatal("random search found no feasible points")
+	}
 	fmt.Printf("\nrandom search with the same budget: best %.4f s, median %.4f s\n",
-		stats.Min(xs), stats.Percentile(xs, 50))
+		xs[0], xs[len(xs)/2])
 	fmt.Printf("NM result ranks in percentile %.1f of the random distribution\n",
-		stats.PercentileRank(xs, out.Search.BestCost/1e9))
+		100*float64(below)/float64(len(xs)))
 }

@@ -1,5 +1,6 @@
-// Quickstart: run a distributed forward 3-D FFT across in-process ranks
-// and verify it against the serial reference transform.
+// Quickstart: build a reusable distributed 3-D FFT plan, execute it
+// against in-process ranks, and verify a forward/backward round trip.
+// Only the public offt package is used — no internal imports.
 //
 //	go run ./examples/quickstart
 package main
@@ -10,10 +11,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
-	"offt/internal/fft"
-	"offt/internal/layout"
-	"offt/internal/mpi/mem"
-	"offt/internal/pfft"
+	"offt"
 )
 
 func main() {
@@ -22,50 +20,47 @@ func main() {
 		p = 4  // ranks
 	)
 
-	// Build a random input and the serial reference answer.
+	// Random input.
 	rng := rand.New(rand.NewSource(1))
-	full := make([]complex128, n*n*n)
-	for i := range full {
-		full[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	data := make([]complex128, n*n*n)
+	for i := range data {
+		data[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
 	}
-	ref := append([]complex128(nil), full...)
-	fft.NewPlan3D(n, n, n, fft.Forward).Transform(ref)
 
-	// Run the paper's NEW algorithm across p ranks (goroutines exchanging
-	// real data through the in-memory MPI engine).
-	world := mem.NewWorld(p)
-	outs := make([][]complex128, p)
-	breakdowns := make([]pfft.Breakdown, p)
-	err := world.Run(func(c *mem.Comm) {
-		g, err := layout.NewGrid(n, n, n, p, c.Rank())
-		if err != nil {
-			panic(err)
-		}
-		slab := layout.ScatterX(full, g) // this rank's x-slab
-		prm := pfft.DefaultParams(g)     // or tune with package tuner
-		out, b, err := pfft.Forward3D(c, g, slab, pfft.NEW, prm, fft.Estimate)
-		if err != nil {
-			panic(err)
-		}
-		outs[c.Rank()] = out
-		breakdowns[c.Rank()] = b
-	})
+	// Build the plan once: the paper's NEW algorithm across p in-process
+	// ranks. All buffer sizing and 1-D planning happens here; every
+	// Forward/Backward below reuses the same slots and scratch.
+	plan, err := offt.NewPlan(
+		offt.WithGrid(n, n, n),
+		offt.WithRanks(p),
+		offt.WithVariant(offt.NEW),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer plan.Close()
 
-	// Reassemble and compare.
-	g0, _ := layout.NewGrid(n, n, n, p, 0)
-	got := layout.GatherY(outs, n, n, n, p, pfft.OutputFast(pfft.NEW, g0))
+	spectrum, err := plan.Forward(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed 3-D FFT of %d³ across %d ranks\n", n, p)
+	fmt.Printf("avg breakdown: %v\n", plan.Breakdown())
+
+	// Round trip: the pipeline is unnormalized, so Backward(Forward(x))
+	// returns x scaled by N³.
+	back, err := plan.Backward(spectrum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := complex(float64(n*n*n), 0)
 	worst := 0.0
-	for i := range got {
-		if d := cmplx.Abs(got[i] - ref[i]); d > worst {
+	for i := range back {
+		if d := cmplx.Abs(back[i]/scale - data[i]); d > worst {
 			worst = d
 		}
 	}
-	fmt.Printf("distributed 3-D FFT of %d³ across %d ranks\n", n, p)
-	fmt.Printf("max abs error vs serial reference: %.3e\n", worst)
-	fmt.Printf("rank 0 breakdown: %v\n", breakdowns[0])
+	fmt.Printf("max abs round-trip error: %.3e\n", worst)
 	if worst > 1e-8 {
 		log.Fatal("verification failed")
 	}

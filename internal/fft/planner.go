@@ -203,3 +203,16 @@ func Plan1DCached(n int, dir Direction, flag Flag) *Plan {
 	planCache.m[k] = p
 	return p
 }
+
+// Plan1DClones returns k independent clones of the cached plan for
+// (n, dir, flag). The clones share the immutable twiddle/stage tables but
+// carry private scratch, so a worker pool can hand one to each worker and
+// transform concurrently.
+func Plan1DClones(n int, dir Direction, flag Flag, k int) []*Plan {
+	base := Plan1DCached(n, dir, flag)
+	out := make([]*Plan, k)
+	for i := range out {
+		out[i] = base.Clone()
+	}
+	return out
+}

@@ -3,10 +3,13 @@ package harness
 import (
 	"fmt"
 	"text/tabwriter"
+	"time"
 
+	"offt/internal/fft"
 	"offt/internal/layout"
 	"offt/internal/machine"
 	"offt/internal/model"
+	"offt/internal/mpi/mem"
 	"offt/internal/mpi/sim"
 	"offt/internal/pencil"
 	"offt/internal/pfft"
@@ -20,7 +23,104 @@ func Extensions() []Experiment {
 	return []Experiment{
 		{"ext-decomp", "Extension: 1-D slab vs 2-D pencil decomposition", ExtDecomposition},
 		{"ext-interarray", "Extension: inter-array overlap (Kandalla-style pipeline)", ExtInterArray},
+		{"ext-steady", "Extension: plan reuse vs per-call transforms (steady state)", ExtSteadyState},
 	}
+}
+
+// ExtSteadyState contrasts the per-call path (allocate + plan every
+// transform) with the reusable-plan steady state, in wall time on the mem
+// engine and in virtual time via SimulateSteady — the repeated-transform
+// scenario the plan API exists for.
+func ExtSteadyState(r *Runner) error {
+	p, n, iters := 4, 32, 8
+	if r.Cfg.Scale == ScalePaper {
+		p, n, iters = 8, 128, 16
+	}
+	fmt.Fprintf(r.Cfg.Out, "== Extension — steady-state plan reuse, p=%d N=%d³ ×%d transforms, scale=%v ==\n",
+		p, n, iters, r.Cfg.Scale)
+	tw := tabwriter.NewWriter(r.Cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "path\twall (s)\tvs per-call")
+
+	data := make([]complex128, n*n*n)
+	for i := range data {
+		data[i] = complex(float64(i%17)/17-0.5, float64(i%13)/13-0.5)
+	}
+
+	perCall, err := timeMemPerCall(data, n, p, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "per-call\t%.4f\t1.00x\n", perCall.Seconds())
+
+	reuse, err := timeMemPlanReuse(data, n, p, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "plan-reuse\t%.4f\t%.2fx\n", reuse.Seconds(), perCall.Seconds()/reuse.Seconds())
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// The same lifecycle charged in virtual time on the simulated cluster.
+	mch, err := machine.ByName("umd-cluster")
+	if err != nil {
+		return err
+	}
+	g0, err := layout.NewGrid(n, n, n, p, 0)
+	if err != nil {
+		return err
+	}
+	res, err := model.SimulateSteady(mch, p, n, n, n, model.Spec{Variant: pfft.NEW, Params: pfft.DefaultParams(g0)}, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Cfg.Out, "virtual steady state on %s: %.4f s for %d transforms (%.4f s each)\n",
+		mch.Name, sec(res.MaxTotal), iters, sec(res.MaxTotal)/float64(iters))
+	return nil
+}
+
+// timeMemPerCall runs iters transforms creating fresh engines each call.
+func timeMemPerCall(data []complex128, n, p, iters int) (time.Duration, error) {
+	w := mem.NewWorld(p)
+	start := time.Now()
+	err := w.Run(func(c *mem.Comm) {
+		g, err := layout.NewGrid(n, n, n, p, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		for it := 0; it < iters; it++ {
+			slab := layout.ScatterX(data, g)
+			if _, _, err := pfft.Forward3D(c, g, slab, pfft.NEW, pfft.DefaultParams(g), fft.Estimate); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return time.Since(start), err
+}
+
+// timeMemPlanReuse runs iters transforms on one reusable plan per rank.
+func timeMemPlanReuse(data []complex128, n, p, iters int) (time.Duration, error) {
+	w := mem.NewWorld(p)
+	start := time.Now()
+	err := w.Run(func(c *mem.Comm) {
+		g, err := layout.NewGrid(n, n, n, p, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		plan, err := pfft.NewPlan(c, g, pfft.NEW, pfft.DefaultParams(g), fft.Estimate)
+		if err != nil {
+			panic(err)
+		}
+		defer plan.Close()
+		slab := make([]complex128, g.InSize())
+		for it := 0; it < iters; it++ {
+			layout.ScatterXInto(slab, data, g)
+			if _, _, err := plan.Forward(slab); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return time.Since(start), err
 }
 
 // ExtDecomposition compares the blocking 1-D slab transform against the

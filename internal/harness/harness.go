@@ -211,9 +211,7 @@ func ClampParams(p pfft.Params, g layout.Grid) pfft.Params {
 		return v
 	}
 	p.T = clamp(p.T, 1, g.Nz)
-	if p.W < 1 {
-		p.W = 1
-	}
+	p.W = clamp(p.W, 1, (g.Nz+p.T-1)/p.T)
 	p.Px = clamp(p.Px, 1, g.XC())
 	p.Pz = clamp(p.Pz, 1, p.T)
 	p.Uy = clamp(p.Uy, 1, g.YC())

@@ -6,14 +6,24 @@ import "fmt"
 // Nx×Ny×Nz array in x-y-z layout. It is the distribution step applications
 // and tests use to feed the parallel transform.
 func ScatterX(full []complex128, g Grid) []complex128 {
+	slab := make([]complex128, g.InSize())
+	ScatterXInto(slab, full, g)
+	return slab
+}
+
+// ScatterXInto is ScatterX into a caller-provided slab of length
+// g.InSize(), so steady-state callers re-feed a reusable buffer instead of
+// allocating per transform.
+func ScatterXInto(slab, full []complex128, g Grid) {
 	if len(full) != g.Nx*g.Ny*g.Nz {
 		panic(fmt.Sprintf("layout: ScatterX: full array length %d != %d", len(full), g.Nx*g.Ny*g.Nz))
 	}
+	n := g.InSize()
+	if len(slab) != n {
+		panic(fmt.Sprintf("layout: ScatterX: slab length %d != %d", len(slab), n))
+	}
 	x0 := g.X0()
-	n := g.XC() * g.Ny * g.Nz
-	slab := make([]complex128, n)
 	copy(slab, full[x0*g.Ny*g.Nz:x0*g.Ny*g.Nz+n])
-	return slab
 }
 
 // GatherY assembles a full Nx×Ny×Nz array in x-y-z layout from the per-rank
@@ -22,6 +32,16 @@ func ScatterX(full []complex128, g Grid) []complex128 {
 // rank r's output slab.
 func GatherY(slabs [][]complex128, nx, ny, nz, p int, fast bool) []complex128 {
 	full := make([]complex128, nx*ny*nz)
+	GatherYInto(full, slabs, nx, ny, nz, p, fast)
+	return full
+}
+
+// GatherYInto is GatherY into a caller-provided full array of length
+// nx·ny·nz (every element is overwritten).
+func GatherYInto(full []complex128, slabs [][]complex128, nx, ny, nz, p int, fast bool) {
+	if len(full) != nx*ny*nz {
+		panic(fmt.Sprintf("layout: GatherY: full array length %d != %d", len(full), nx*ny*nz))
+	}
 	for r := 0; r < p; r++ {
 		g, err := NewGrid(nx, ny, nz, p, r)
 		if err != nil {
@@ -41,17 +61,26 @@ func GatherY(slabs [][]complex128, nx, ny, nz, p int, fast bool) []complex128 {
 			}
 		}
 	}
-	return full
 }
 
 // ScatterY splits a full array (x-y-z layout) into per-rank y-slabs in the
 // post-forward layout (z-y-x, or y-z-x when fast). It is the inverse of
 // GatherY and feeds the parallel backward transform.
 func ScatterY(full []complex128, g Grid, fast bool) []complex128 {
+	slab := make([]complex128, g.OutSize())
+	ScatterYInto(slab, full, g, fast)
+	return slab
+}
+
+// ScatterYInto is ScatterY into a caller-provided slab of length
+// g.OutSize().
+func ScatterYInto(slab, full []complex128, g Grid, fast bool) {
 	if len(full) != g.Nx*g.Ny*g.Nz {
 		panic(fmt.Sprintf("layout: ScatterY: full array length %d != %d", len(full), g.Nx*g.Ny*g.Nz))
 	}
-	slab := make([]complex128, g.OutSize())
+	if len(slab) != g.OutSize() {
+		panic(fmt.Sprintf("layout: ScatterY: slab length %d != %d", len(slab), g.OutSize()))
+	}
 	y0, yc := g.Y0(), g.YC()
 	for ly := 0; ly < yc; ly++ {
 		for z := 0; z < g.Nz; z++ {
@@ -61,13 +90,22 @@ func ScatterY(full []complex128, g Grid, fast bool) []complex128 {
 			}
 		}
 	}
-	return slab
 }
 
 // GatherX assembles a full array in x-y-z layout from per-rank input
 // x-slabs. It is the inverse of ScatterX.
 func GatherX(slabs [][]complex128, nx, ny, nz, p int) []complex128 {
 	full := make([]complex128, nx*ny*nz)
+	GatherXInto(full, slabs, nx, ny, nz, p)
+	return full
+}
+
+// GatherXInto is GatherX into a caller-provided full array of length
+// nx·ny·nz (every element is overwritten).
+func GatherXInto(full []complex128, slabs [][]complex128, nx, ny, nz, p int) {
+	if len(full) != nx*ny*nz {
+		panic(fmt.Sprintf("layout: GatherX: full array length %d != %d", len(full), nx*ny*nz))
+	}
 	for r := 0; r < p; r++ {
 		g, err := NewGrid(nx, ny, nz, p, r)
 		if err != nil {
@@ -77,5 +115,4 @@ func GatherX(slabs [][]complex128, nx, ny, nz, p int) []complex128 {
 		n := g.XC() * ny * nz
 		copy(full[x0*ny*nz:x0*ny*nz+n], slabs[r][:n])
 	}
-	return full
 }

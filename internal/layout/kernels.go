@@ -10,8 +10,15 @@ const transposeBlock = 32
 // procedure). dst and src must not overlap.
 func TransposeZXY(dst, src []complex128, xc, ny, nz int) {
 	checkLen("TransposeZXY", dst, src, xc*ny*nz)
+	TransposeZXYRange(dst, src, xc, ny, nz, 0, xc)
+}
+
+// TransposeZXYRange is TransposeZXY restricted to local x indices
+// [lx0, lx1). Distinct x ranges write disjoint elements, so ranges can be
+// transposed concurrently into the same destination slab.
+func TransposeZXYRange(dst, src []complex128, xc, ny, nz, lx0, lx1 int) {
 	// Blocked over (y, z) to keep both access streams cache-resident.
-	for lx := 0; lx < xc; lx++ {
+	for lx := lx0; lx < lx1; lx++ {
 		srcX := src[lx*ny*nz:]
 		for y0 := 0; y0 < ny; y0 += transposeBlock {
 			y1 := minInt(y0+transposeBlock, ny)
@@ -34,7 +41,13 @@ func TransposeZXY(dst, src []complex128, xc, ny, nz int) {
 // locality than the full 3-D permutation. dst and src must not overlap.
 func TransposeXZY(dst, src []complex128, xc, ny, nz int) {
 	checkLen("TransposeXZY", dst, src, xc*ny*nz)
-	for lx := 0; lx < xc; lx++ {
+	TransposeXZYRange(dst, src, xc, ny, nz, 0, xc)
+}
+
+// TransposeXZYRange is TransposeXZY restricted to local x indices
+// [lx0, lx1); ranges touch disjoint per-x planes and can run concurrently.
+func TransposeXZYRange(dst, src []complex128, xc, ny, nz, lx0, lx1 int) {
+	for lx := lx0; lx < lx1; lx++ {
 		s := src[lx*ny*nz:]
 		d := dst[lx*ny*nz:]
 		for y0 := 0; y0 < ny; y0 += transposeBlock {
@@ -59,8 +72,15 @@ func TransposeXZY(dst, src []complex128, xc, ny, nz int) {
 // z-x-y layout); buf is the tile send buffer laid out as rank-ordered
 // destination blocks, each in (z, x, y) order.
 func (g Grid) PackSubtile(buf, src []complex128, fast bool, zt0, ztl, x0, x1, z0, z1 int) {
+	g.PackSubtileRanks(buf, src, fast, zt0, ztl, x0, x1, z0, z1, 0, g.P)
+}
+
+// PackSubtileRanks packs the sub-tile blocks destined for ranks [r0, r1)
+// only. Distinct rank ranges write disjoint regions of the send buffer, so
+// a worker pool can pack one sub-tile's destination blocks concurrently.
+func (g Grid) PackSubtileRanks(buf, src []complex128, fast bool, zt0, ztl, x0, x1, z0, z1, r0, r1 int) {
 	xc := g.XC()
-	for r := 0; r < g.P; r++ {
+	for r := r0; r < r1; r++ {
 		ys := g.YD.Start(r)
 		yc := g.YD.Count(r)
 		block := buf[g.SendBlockOff(ztl, r):]
@@ -82,8 +102,15 @@ func (g Grid) PackSubtile(buf, src []complex128, fast bool, zt0, ztl, x0, x1, z0
 // rank-ordered source blocks in the sender's (z, x, y) order; dst is the
 // output slab (fast selects y-z-x vs z-y-x layout).
 func (g Grid) UnpackSubtile(dst, buf []complex128, fast bool, zt0, ztl, y0, y1, z0, z1 int) {
+	g.UnpackSubtileRanks(dst, buf, fast, zt0, ztl, y0, y1, z0, z1, 0, g.P)
+}
+
+// UnpackSubtileRanks unpacks the sub-tile blocks received from source
+// ranks [s0, s1) only. Distinct source ranges write disjoint x spans of the
+// output rows, so a worker pool can unpack one sub-tile concurrently.
+func (g Grid) UnpackSubtileRanks(dst, buf []complex128, fast bool, zt0, ztl, y0, y1, z0, z1, s0, s1 int) {
 	yc := g.YC()
-	for s := 0; s < g.P; s++ {
+	for s := s0; s < s1; s++ {
 		xs := g.XD.Start(s)
 		xcs := g.XD.Count(s)
 		block := buf[g.RecvBlockOff(ztl, s):]

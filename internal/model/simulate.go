@@ -25,6 +25,22 @@ type Spec struct {
 // NewSpec builds a Spec for the paper's design.
 func NewSpec(prm pfft.Params) Spec { return Spec{Variant: pfft.NEW, Params: prm} }
 
+// params folds the spec's two parameter forms into the single set the
+// collapsed pfft.Run dispatch expects: TH/TH0 carry their three parameters
+// in T, W and Fy (Run expands the whole-tile restrictions internally).
+func (s Spec) params() pfft.Params {
+	switch s.Variant {
+	case pfft.TH, pfft.TH0:
+		if s.TH == (pfft.THParams{}) {
+			// TH described through the full set: keep its T/W/Fy.
+			return pfft.Params{T: s.Params.T, W: s.Params.W, Fy: s.Params.Fy}
+		}
+		return pfft.Params{T: s.TH.T, W: s.TH.W, Fy: s.TH.F}
+	default:
+		return s.Params
+	}
+}
+
 // Result aggregates the per-rank breakdowns of one simulated run.
 type Result struct {
 	PerRank []pfft.Breakdown
@@ -58,17 +74,7 @@ func Simulate(m machine.Machine, p, nx, ny, nz int, spec Spec) (Result, error) {
 			panic(err) // checked above for rank 0; identical for others
 		}
 		e := NewEngine(m, g, c)
-		var b pfft.Breakdown
-		switch spec.Variant {
-		case pfft.TH:
-			b, err = pfft.RunTH(e, spec.TH)
-		case pfft.TH0:
-			b, err = pfft.RunTH0(e, spec.TH)
-		case pfft.NEW0:
-			b, err = pfft.RunNEW0(e, spec.Params)
-		default:
-			b, err = pfft.Run(e, spec.Variant, spec.Params)
-		}
+		b, err := pfft.Run(e, spec.Variant, spec.params())
 		if err != nil {
 			if c.Rank() == 0 {
 				runErr = err
@@ -100,4 +106,61 @@ func Simulate(m machine.Machine, p, nx, ny, nz int, spec Spec) (Result, error) {
 // SimulateCube is Simulate for the paper's cubic N³ arrays.
 func SimulateCube(m machine.Machine, p, n int, spec Spec) (Result, error) {
 	return Simulate(m, p, n, n, n, spec)
+}
+
+// SimulateSteady charges the Plan lifecycle in virtual time: iters
+// transforms run back-to-back in ONE simulated world, each rank reusing
+// one engine — the cost-model mirror of pfft.Plan's create-once /
+// execute-many steady state. The per-rank breakdowns (and Avg, MaxTotal,
+// MaxTuned) accumulate over all iterations, so Result.MaxTotal is the
+// virtual completion time of the whole batch on the slowest rank.
+func SimulateSteady(m machine.Machine, p, nx, ny, nz int, spec Spec, iters int) (Result, error) {
+	if iters < 1 {
+		return Result{}, fmt.Errorf("model: SimulateSteady iters %d < 1", iters)
+	}
+	if _, err := layout.NewGrid(nx, ny, nz, p, 0); err != nil {
+		return Result{}, err
+	}
+	w := sim.NewWorld(m, p)
+	if spec.Faults != nil {
+		w.InjectFaults(spec.Faults)
+	}
+	res := Result{PerRank: make([]pfft.Breakdown, p)}
+	var runErr error
+	err := w.Run(func(c *sim.Comm) {
+		g, err := layout.NewGrid(nx, ny, nz, p, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		e := NewEngine(m, g, c)
+		acc := &res.PerRank[c.Rank()]
+		for it := 0; it < iters; it++ {
+			b, err := pfft.Run(e, spec.Variant, spec.params())
+			if err != nil {
+				if c.Rank() == 0 {
+					runErr = err
+				}
+				return
+			}
+			acc.Add(b)
+		}
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("model: steady simulation failed: %w", err)
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	for _, b := range res.PerRank {
+		res.Avg.Add(b)
+		if b.Total > res.MaxTotal {
+			res.MaxTotal = b.Total
+		}
+		if t := b.TunedPortion(); t > res.MaxTuned {
+			res.MaxTuned = t
+		}
+	}
+	res.Avg.Scale(int64(p))
+	res.Net = w.Fabric().Stats
+	return res, nil
 }

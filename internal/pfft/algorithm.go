@@ -16,7 +16,7 @@ import (
 // still produces the numerically identical transform because both paths
 // issue exactly one all-to-all per tile in tile order, so the collective
 // sequence numbers keep matching even when only some ranks downgrade.
-func runOverlapped(e Engine, prm Params, fast bool, b *Breakdown) {
+func runOverlapped(rs *runState, e Engine, prm Params, fast bool, b *Breakdown) {
 	g := e.Grid()
 	c := e.Comm()
 	tl, err := layout.NewTiling(g.Nz, prm.T)
@@ -26,8 +26,9 @@ func runOverlapped(e Engine, prm Params, fast bool, b *Breakdown) {
 	k := tl.NumTiles()
 	w := prm.W
 	slots := w + 1
-	reqs := make([]mpi.Request, k)
-	mon := newFaultMonitor(c)
+	rs.reset(c, k)
+	reqs := rs.reqs
+	mon := &rs.mon
 
 	for i := 0; i < k+w; i++ {
 		if i < k {

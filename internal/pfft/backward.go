@@ -20,42 +20,122 @@ import (
 // ten parameters; Baseline and NEW-0 run the blocking pipeline. The TH
 // variants are forward-only comparison models and are rejected.
 func Backward3D(c mpi.Comm, g layout.Grid, slab []complex128, v Variant, prm Params, flag fft.Flag) ([]complex128, Breakdown, error) {
-	switch v {
-	case TH, TH0:
-		return nil, Breakdown{}, fmt.Errorf("pfft: backward transform does not support the %v comparison model", v)
-	case Baseline:
-		prm = DefaultParams(g)
-		prm.T, prm.W = g.Nz, 1
-		prm.Fy, prm.Fp, prm.Fu, prm.Fx = 0, 0, 0, 0
-	default:
-		if err := prm.Validate(g); err != nil {
-			return nil, Breakdown{}, err
-		}
+	e, err := newBackEngine(c, g, flag)
+	if err != nil {
+		return nil, Breakdown{}, err
 	}
-	if len(slab) != g.OutSize() {
-		return nil, Breakdown{}, fmt.Errorf("pfft: backward slab length %d, want %d", len(slab), g.OutSize())
+	var rs runState
+	b, err := e.run(&rs, slab, v, prm)
+	if err != nil {
+		return nil, Breakdown{}, err
 	}
+	return e.in, b, nil
+}
+
+// backEngine holds the backward pipeline's state for one rank. In the
+// breakdown, Repack time is accounted under Pack and Scatter under Unpack
+// (they are the corresponding copy steps of the reverse direction). A
+// backEngine is reusable: run may be called many times with fresh slabs,
+// which is how a Plan serves repeated inverse transforms without
+// allocating.
+type backEngine struct {
+	g    layout.Grid
+	comm mpi.Comm
+
+	out  []complex128 // input y-slab (forward output), consumed by FFTx⁻¹
+	work []complex128 // post-scatter z-x-y (or x-z-y) slab
+	in   []complex128 // final x-y-z slab; owned by the engine, reused per run
+
+	planZ, planY, planX *fft.Plan
+
+	sendBufs, recvBufs [][]complex128
+	sendCounts         []int
+	recvCounts         []int
+
+	pooled bool
+}
+
+// newBackEngine prepares a reusable backward engine for one rank.
+func newBackEngine(c mpi.Comm, g layout.Grid, flag fft.Flag, opts ...EngineOpt) (*backEngine, error) {
 	if c.Rank() != g.Rank || c.Size() != g.P {
-		return nil, Breakdown{}, fmt.Errorf("pfft: comm rank/size %d/%d does not match grid %d/%d", c.Rank(), c.Size(), g.Rank, g.P)
+		return nil, fmt.Errorf("pfft: comm rank/size %d/%d does not match grid %d/%d", c.Rank(), c.Size(), g.Rank, g.P)
+	}
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	e := &backEngine{
 		g:     g,
 		comm:  c,
-		out:   slab,
-		work:  make([]complex128, g.InSize()),
 		in:    make([]complex128, g.InSize()),
 		planZ: fft.Plan1DCached(g.Nz, fft.Backward, flag).Clone(),
 		planY: fft.Plan1DCached(g.Ny, fft.Backward, flag).Clone(),
 		planX: fft.Plan1DCached(g.Nx, fft.Backward, flag).Clone(),
+
+		pooled: cfg.pooled,
+	}
+	if cfg.pooled {
+		e.work = getSlab(g.InSize())
+	} else {
+		e.work = make([]complex128, g.InSize())
 	}
 	e.sendCounts = make([]int, g.P)
 	e.recvCounts = make([]int, g.P)
+	return e, nil
+}
 
+// presizeSlots mirrors RealEngine.PresizeSlots for the reverse direction.
+func (e *backEngine) presizeSlots(prm Params) {
+	ztl := prm.T
+	if ztl > e.g.Nz {
+		ztl = e.g.Nz
+	}
+	for s := 0; s <= prm.W; s++ {
+		e.sendBuf(s, ztl)
+		e.recvBuf(s, ztl)
+	}
+}
+
+// Close returns arena-backed buffers. The result slab (in) is never
+// pooled: callers may still reference it.
+func (e *backEngine) Close() {
+	if !e.pooled {
+		return
+	}
+	putSlab(e.work)
+	e.work = nil
+	for i, b := range e.sendBufs {
+		putSlab(b)
+		e.sendBufs[i] = nil
+	}
+	for i, b := range e.recvBufs {
+		putSlab(b)
+		e.recvBufs[i] = nil
+	}
+	e.pooled = false
+}
+
+// run executes one inverse transform on slab (this rank's y-slab in the
+// forward output layout; consumed) and leaves the x-y-z result in e.in.
+func (e *backEngine) run(rs *runState, slab []complex128, v Variant, prm Params) (Breakdown, error) {
+	if v == TH || v == TH0 {
+		return Breakdown{}, fmt.Errorf("pfft: backward transform does not support the %v comparison model", v)
+	}
+	prm, err := ExpandParams(v, e.g, prm)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	if len(slab) != e.g.OutSize() {
+		return Breakdown{}, fmt.Errorf("pfft: backward slab length %d, want %d", len(slab), e.g.OutSize())
+	}
+	e.out = slab
+
+	c, g := e.comm, e.g
 	var b Breakdown
 	start := c.Now()
 	fast := OutputFast(v, g)
 	if v == NEW {
-		e.runOverlapped(prm, fast, &b)
+		e.runOverlapped(rs, prm, fast, &b)
 	} else {
 		e.runBlocking(prm, fast, &b)
 	}
@@ -71,28 +151,10 @@ func Backward3D(c mpi.Comm, g layout.Grid, slab []complex128, v Variant, prm Par
 
 	t = c.Now()
 	e.planZ.Batch(e.in, g.XC()*g.Ny, g.Nz)
-	b.FFTz += c.Now() - t
+	b.FFTz = c.Now() - t
 
 	b.Total = c.Now() - start
-	return e.in, b, nil
-}
-
-// backEngine holds the backward pipeline's state for one rank. In the
-// breakdown, Repack time is accounted under Pack and Scatter under Unpack
-// (they are the corresponding copy steps of the reverse direction).
-type backEngine struct {
-	g    layout.Grid
-	comm mpi.Comm
-
-	out  []complex128 // input y-slab (forward output), consumed by FFTx⁻¹
-	work []complex128 // post-scatter z-x-y (or x-z-y) slab
-	in   []complex128 // final x-y-z slab
-
-	planZ, planY, planX *fft.Plan
-
-	sendBufs, recvBufs [][]complex128
-	sendCounts         []int
-	recvCounts         []int
+	return b, nil
 }
 
 // fftxRepack runs FFTx⁻¹ and Repack over one tile with Uy/Uz loop tiling,
@@ -167,7 +229,7 @@ func (e *backEngine) alltoallTile(slot, ztl int) {
 	e.comm.Alltoallv(e.sendBuf(slot, ztl), e.sendCounts, e.recvBuf(slot, ztl), e.recvCounts)
 }
 
-func (e *backEngine) runOverlapped(prm Params, fast bool, b *Breakdown) {
+func (e *backEngine) runOverlapped(rs *runState, prm Params, fast bool, b *Breakdown) {
 	c := e.comm
 	tl, err := layout.NewTiling(e.g.Nz, prm.T)
 	if err != nil {
@@ -176,8 +238,9 @@ func (e *backEngine) runOverlapped(prm Params, fast bool, b *Breakdown) {
 	k := tl.NumTiles()
 	w := prm.W
 	slots := w + 1
-	reqs := make([]mpi.Request, k)
-	mon := newFaultMonitor(c)
+	rs.reset(c, k)
+	reqs := rs.reqs
+	mon := &rs.mon
 	for i := 0; i < k+w; i++ {
 		if i < k {
 			lo := i - w
@@ -269,7 +332,12 @@ func (e *backEngine) sendBuf(slot, ztl int) []complex128 {
 	}
 	n := e.g.RecvBufLen(ztl) // reverse direction: recv-format on the way out
 	if cap(e.sendBufs[slot]) < n {
-		e.sendBufs[slot] = make([]complex128, n)
+		if e.pooled {
+			putSlab(e.sendBufs[slot])
+			e.sendBufs[slot] = getSlab(n)
+		} else {
+			e.sendBufs[slot] = make([]complex128, n)
+		}
 	}
 	return e.sendBufs[slot][:n]
 }
@@ -280,7 +348,12 @@ func (e *backEngine) recvBuf(slot, ztl int) []complex128 {
 	}
 	n := e.g.SendBufLen(ztl)
 	if cap(e.recvBufs[slot]) < n {
-		e.recvBufs[slot] = make([]complex128, n)
+		if e.pooled {
+			putSlab(e.recvBufs[slot])
+			e.recvBufs[slot] = getSlab(n)
+		} else {
+			e.recvBufs[slot] = make([]complex128, n)
+		}
 	}
 	return e.recvBufs[slot][:n]
 }

@@ -42,25 +42,74 @@ type Engine interface {
 	FFTxSub(fast bool, zt0, z0, z1, y0, y1 int)
 }
 
-// Run executes one forward 3-D FFT with the given variant and parameters
-// and returns this rank's per-step breakdown. For TH/TH0 use RunTH, which
-// takes the three-parameter set; Run accepts the full set for them too.
-// Baseline ignores prm. Every rank of the world must call Run with the
-// same arguments (SPMD).
-func Run(e Engine, v Variant, prm Params) (Breakdown, error) {
-	g := e.Grid()
+// runState is the per-execution scratch of the pipelined loop: the tile
+// request window and the fault monitor. A Plan owns one and reuses it
+// across executions so the steady state allocates nothing; the one-shot
+// entry points stack-allocate a fresh one per call.
+type runState struct {
+	reqs []mpi.Request
+	mon  faultMonitor
+}
+
+// reset prepares the state for a run over k tiles on communicator c.
+func (rs *runState) reset(c mpi.Comm, k int) {
+	if cap(rs.reqs) < k {
+		rs.reqs = make([]mpi.Request, k)
+	}
+	rs.reqs = rs.reqs[:k]
+	for i := range rs.reqs {
+		rs.reqs[i] = nil
+	}
+	rs.mon.init(c)
+}
+
+// ExpandParams performs the variant-specific parameter expansion that Run
+// applies before executing: Baseline ignores prm entirely (whole-slab tile,
+// blocking, no Tests); NEW uses prm as given; NEW-0 zeroes the Test
+// frequencies; TH/TH-0 keep T, W and the Fy frequency but force whole-tile
+// pack/unpack (no loop tiling) and no Unpack/FFTx-side overlap. The
+// expanded set is validated against the geometry.
+func ExpandParams(v Variant, g layout.Grid, prm Params) (Params, error) {
 	switch v {
 	case Baseline:
-		// FFTW's local steps are as optimized as NEW's (the paper observes
-		// FFTW ≈ NEW-0): one whole-slab tile, blocking all-to-all, but
-		// cache-friendly tiled pack/unpack.
 		prm = DefaultParams(g)
 		prm.T, prm.W = g.Nz, 1
 		prm.Fy, prm.Fp, prm.Fu, prm.Fx = 0, 0, 0, 0
-	case NEW, NEW0, TH, TH0:
-		if err := prm.Validate(g); err != nil {
-			return Breakdown{}, err
+		return prm, nil
+	case NEW0:
+		prm.Fy, prm.Fp, prm.Fu, prm.Fx = 0, 0, 0, 0
+	case TH:
+		prm = Params{
+			T: prm.T, W: prm.W,
+			Px: g.XC(), Pz: prm.T, Uy: g.YC(), Uz: prm.T,
+			Fy: prm.Fy, Fp: prm.Fy, Fu: 0, Fx: 0,
 		}
+	case TH0:
+		prm = Params{
+			T: prm.T, W: prm.W,
+			Px: g.XC(), Pz: prm.T, Uy: g.YC(), Uz: prm.T,
+		}
+	}
+	return prm, prm.Validate(g)
+}
+
+// Run executes one forward 3-D FFT with the given variant and parameters
+// and returns this rank's per-step breakdown. Variant-specific parameter
+// expansion happens internally (see ExpandParams): NEW takes the full
+// ten-parameter set, TH/TH-0 read only T, W and Fy, Baseline ignores prm.
+// Every rank of the world must call Run with the same arguments (SPMD).
+func Run(e Engine, v Variant, prm Params) (Breakdown, error) {
+	var rs runState
+	return runWith(&rs, e, v, prm)
+}
+
+// runWith is Run on a caller-owned runState, letting a Plan reuse the
+// request window and fault monitor across executions.
+func runWith(rs *runState, e Engine, v Variant, prm Params) (Breakdown, error) {
+	g := e.Grid()
+	prm, err := ExpandParams(v, g, prm)
+	if err != nil {
+		return Breakdown{}, err
 	}
 	var b Breakdown
 	c := e.Comm()
@@ -80,12 +129,10 @@ func Run(e Engine, v Variant, prm Params) (Breakdown, error) {
 	b.Transpose += c.Now() - t
 
 	switch v {
-	case Baseline:
-		runBlocking(e, prm, fast, &b)
-	case NEW0, TH0:
+	case Baseline, NEW0, TH0:
 		runBlocking(e, prm, fast, &b)
 	case NEW, TH:
-		runOverlapped(e, prm, fast, &b)
+		runOverlapped(rs, e, prm, fast, &b)
 	}
 	b.Total = c.Now() - start
 	return b, nil
@@ -93,30 +140,34 @@ func Run(e Engine, v Variant, prm Params) (Breakdown, error) {
 
 // RunTH executes the Hoefler-style comparison model with its three
 // parameters (overlap only during FFTy and Pack, whole-tile pack/unpack).
+//
+// Deprecated: call Run(e, TH, Params{T: prm.T, W: prm.W, Fy: prm.F});
+// Run expands TH's restrictions internally.
 func RunTH(e Engine, prm THParams) (Breakdown, error) {
 	if err := prm.Validate(e.Grid()); err != nil {
 		return Breakdown{}, err
 	}
-	return Run(e, TH, prm.expand(e.Grid()))
+	return Run(e, TH, Params{T: prm.T, W: prm.W, Fy: prm.F})
 }
 
 // RunTH0 executes the non-overlapped TH ablation.
+//
+// Deprecated: call Run(e, TH0, Params{T: prm.T, W: prm.W}).
 func RunTH0(e Engine, prm THParams) (Breakdown, error) {
 	if err := prm.Validate(e.Grid()); err != nil {
 		return Breakdown{}, err
 	}
-	p := prm.expand(e.Grid())
-	p.Fy, p.Fp = 0, 0
-	return Run(e, TH0, p)
+	return Run(e, TH0, Params{T: prm.T, W: prm.W})
 }
 
 // RunNEW0 executes the non-overlapped NEW ablation (same tiling and loop
 // tiling as prm, no window, no Test calls, blocking per-tile all-to-all).
+//
+// Deprecated: call Run(e, NEW0, prm); Run zeroes the Test frequencies
+// internally.
 func RunNEW0(e Engine, prm Params) (Breakdown, error) {
 	if err := prm.Validate(e.Grid()); err != nil {
 		return Breakdown{}, err
 	}
-	p := prm
-	p.Fy, p.Fp, p.Fu, p.Fx = 0, 0, 0, 0
-	return Run(e, NEW0, p)
+	return Run(e, NEW0, prm)
 }

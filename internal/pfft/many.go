@@ -127,9 +127,21 @@ func min2(a, b int) int {
 func ForwardMany3D(c mpi.Comm, g layout.Grid, slabs [][]complex128, window int, flag fft.Flag) ([][]complex128, []Breakdown, error) {
 	engines := make([]Engine, len(slabs))
 	reals := make([]*RealEngine, len(slabs))
+	// Batch engines draw their work slab and communication slots from the
+	// package arena: after the batch, Close below recycles them, so the
+	// next ForwardMany3D call (the many-transform steady state) reuses the
+	// same slabs instead of re-allocating per array.
+	closeAll := func() {
+		for _, e := range reals {
+			if e != nil {
+				e.Close()
+			}
+		}
+	}
 	for i, slab := range slabs {
-		e, err := NewRealEngine(g, c, slab, fft.Forward, flag)
+		e, err := NewRealEngine(g, c, slab, fft.Forward, flag, WithPooledBuffers())
 		if err != nil {
+			closeAll()
 			return nil, nil, fmt.Errorf("pfft: array %d: %w", i, err)
 		}
 		reals[i] = e
@@ -137,11 +149,13 @@ func ForwardMany3D(c mpi.Comm, g layout.Grid, slabs [][]complex128, window int, 
 	}
 	bs, err := RunMany(engines, window)
 	if err != nil {
+		closeAll()
 		return nil, nil, err
 	}
 	outs := make([][]complex128, len(slabs))
 	for i, e := range reals {
-		outs[i] = e.Output()
+		outs[i] = e.Output() // never pooled: survives Close
 	}
+	closeAll()
 	return outs, bs, nil
 }

@@ -46,8 +46,8 @@ func (p Params) Validate(g layout.Grid) error {
 	switch {
 	case p.T < 1 || p.T > g.Nz:
 		return fmt.Errorf("pfft: T=%d out of range [1,%d]", p.T, g.Nz)
-	case p.W < 1:
-		return fmt.Errorf("pfft: W=%d out of range [1,∞)", p.W)
+	case p.W < 1 || p.W > (g.Nz+p.T-1)/p.T:
+		return fmt.Errorf("pfft: W=%d out of range [1,%d] (tile count ⌈Nz/T⌉)", p.W, (g.Nz+p.T-1)/p.T)
 	case p.Px < 1 || p.Px > g.XC():
 		return fmt.Errorf("pfft: Px=%d out of range [1,%d]", p.Px, g.XC())
 	case p.Pz < 1 || p.Pz > p.T:
@@ -77,6 +77,7 @@ func DefaultParams(g layout.Grid) Params {
 		return v
 	}
 	t := clamp(g.Nz/16, 1, g.Nz)
+	w := clamp(2, 1, (g.Nz+t-1)/t) // window can't exceed the tile count
 	px := clamp(8192/g.Ny, 1, g.XC())
 	pz := clamp(8192/g.Ny/px, 1, t)
 	uy := clamp(8192/g.Nx, 1, g.YC())
@@ -85,7 +86,7 @@ func DefaultParams(g layout.Grid) Params {
 	if f < 1 {
 		f = 1
 	}
-	return Params{T: t, W: 2, Px: px, Pz: pz, Uy: uy, Uz: uz, Fy: f, Fp: f, Fu: f, Fx: f}
+	return Params{T: t, W: w, Px: px, Pz: pz, Uy: uy, Uz: uz, Fy: f, Fp: f, Fu: f, Fx: f}
 }
 
 // THParams are the three parameters of the tuned Hoefler-style comparison

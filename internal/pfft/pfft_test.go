@@ -133,7 +133,6 @@ func TestQuickRandomParamsMatchSerial(t *testing.T) {
 	f := func(tv, wv, pxv, pzv, uyv, uzv, fyv, fpv, fuv, fxv uint8) bool {
 		prm := Params{
 			T:  1 + int(tv)%nz,
-			W:  1 + int(wv)%4,
 			Px: 1 + int(pxv)%g0.XC(),
 			Uy: 1 + int(uyv)%g0.YC(),
 			Fy: int(fyv) % 6,
@@ -143,6 +142,8 @@ func TestQuickRandomParamsMatchSerial(t *testing.T) {
 		}
 		prm.Pz = 1 + int(pzv)%prm.T
 		prm.Uz = 1 + int(uzv)%prm.T
+		numTiles := (nz + prm.T - 1) / prm.T
+		prm.W = 1 + int(wv)%min2(4, numTiles)
 		if err := prm.Validate(g0); err != nil {
 			t.Fatalf("generated invalid params %v: %v", prm, err)
 		}
@@ -179,6 +180,7 @@ func TestParamsValidate(t *testing.T) {
 		{T: 0, W: 1, Px: 1, Pz: 1, Uy: 1, Uz: 1},
 		{T: 9, W: 1, Px: 1, Pz: 1, Uy: 1, Uz: 1}, // T > Nz
 		{T: 4, W: 0, Px: 1, Pz: 1, Uy: 1, Uz: 1}, // W < 1
+		{T: 4, W: 3, Px: 1, Pz: 1, Uy: 1, Uz: 1}, // W > ⌈Nz/T⌉ = 2
 		{T: 4, W: 1, Px: 5, Pz: 1, Uy: 1, Uz: 1}, // Px > xc
 		{T: 4, W: 1, Px: 1, Pz: 5, Uy: 1, Uz: 1}, // Pz > T
 		{T: 4, W: 1, Px: 1, Pz: 1, Uy: 5, Uz: 1}, // Uy > yc

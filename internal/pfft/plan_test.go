@@ -1,0 +1,329 @@
+package pfft
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"offt/internal/fft"
+	"offt/internal/layout"
+	"offt/internal/mpi"
+	"offt/internal/mpi/mem"
+)
+
+const reuseTol = 1e-12
+
+// runWithPlan executes `iters` forward transforms of full over p ranks on
+// ONE plan per rank and returns the reassembled result of the last one.
+func runWithPlan(t *testing.T, full []complex128, nx, ny, nz, p, iters int, v Variant, prm Params, opts ...PlanOpt) []complex128 {
+	t.Helper()
+	w := mem.NewWorld(p)
+	outs := make([][]complex128, p)
+	err := w.Run(func(c *mem.Comm) {
+		g, err := layout.NewGrid(nx, ny, nz, p, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		plan, err := NewPlan(c, g, v, prm, fft.Estimate, opts...)
+		if err != nil {
+			panic(err)
+		}
+		defer plan.Close()
+		slab := make([]complex128, g.InSize())
+		var out []complex128
+		for it := 0; it < iters; it++ {
+			layout.ScatterXInto(slab, full, g)
+			out, _, err = plan.Forward(slab)
+			if err != nil {
+				panic(err)
+			}
+		}
+		outs[c.Rank()] = out
+	})
+	if err != nil {
+		t.Fatalf("world failed: %v", err)
+	}
+	g0, _ := layout.NewGrid(nx, ny, nz, p, 0)
+	return layout.GatherY(outs, nx, ny, nz, p, OutputFast(v, g0))
+}
+
+// TestPlanReuseMatchesFresh: executing the same transform repeatedly on
+// one plan must match the fresh-engine-per-call path bit-for-bit (both
+// run identical arithmetic), and certainly to 1e-12.
+func TestPlanReuseMatchesFresh(t *testing.T) {
+	for _, c := range []struct{ nx, ny, nz, p int }{
+		{16, 16, 16, 4}, // fast path
+		{12, 8, 10, 2},  // rectangular, no fast path
+		{9, 10, 8, 3},   // non-divisible
+	} {
+		full := randCube(c.nx, c.ny, c.nz, 21)
+		g0, err := layout.NewGrid(c.nx, c.ny, c.nz, c.p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prm := DefaultParams(g0)
+		fresh := runDistributed(t, full, c.nx, c.ny, c.nz, c.p, NEW, prm, THParams{})
+		reused := runWithPlan(t, full, c.nx, c.ny, c.nz, c.p, 3, NEW, prm)
+		if e := maxErr(fresh, reused); e > reuseTol {
+			t.Errorf("%dx%dx%d p=%d: reuse drifts from fresh path by %g", c.nx, c.ny, c.nz, c.p, e)
+		}
+	}
+}
+
+// TestPlanForwardBackwardRoundTrip: back-to-back Forward/Backward on one
+// plan reproduces the input (×N³) across repeated executions.
+func TestPlanForwardBackwardRoundTrip(t *testing.T) {
+	nx, ny, nz, p := 16, 16, 12, 4
+	full := randCube(nx, ny, nz, 5)
+	w := mem.NewWorld(p)
+	outs := make([][]complex128, p)
+	err := w.Run(func(c *mem.Comm) {
+		g, err := layout.NewGrid(nx, ny, nz, p, c.Rank())
+		if err != nil {
+			panic(err)
+		}
+		plan, err := NewPlan(c, g, NEW, DefaultParams(g), fft.Estimate)
+		if err != nil {
+			panic(err)
+		}
+		defer plan.Close()
+		slab := make([]complex128, g.InSize())
+		bslab := make([]complex128, g.OutSize())
+		var back []complex128
+		for it := 0; it < 2; it++ {
+			layout.ScatterXInto(slab, full, g)
+			spec, _, err := plan.Forward(slab)
+			if err != nil {
+				panic(err)
+			}
+			copy(bslab, spec) // Forward's output is plan-owned; Backward consumes
+			back, _, err = plan.Backward(bslab)
+			if err != nil {
+				panic(err)
+			}
+		}
+		outs[c.Rank()] = back
+	})
+	if err != nil {
+		t.Fatalf("world failed: %v", err)
+	}
+	got := layout.GatherX(outs, nx, ny, nz, p)
+	scale := complex(float64(nx*ny*nz), 0)
+	for i := range got {
+		got[i] /= scale
+	}
+	if e := maxErr(got, full); e > tol {
+		t.Errorf("round trip error %g", e)
+	}
+}
+
+// TestPlanParallelWorkers: the worker-pool kernels must agree with the
+// serial path exactly (run under -race in verify.sh).
+func TestPlanParallelWorkers(t *testing.T) {
+	for _, c := range []struct{ nx, ny, nz, p int }{
+		{16, 16, 16, 2}, // fast path
+		{12, 10, 14, 2}, // standard transpose, uneven splits
+	} {
+		full := randCube(c.nx, c.ny, c.nz, 33)
+		g0, err := layout.NewGrid(c.nx, c.ny, c.nz, c.p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prm := DefaultParams(g0)
+		serial := runWithPlan(t, full, c.nx, c.ny, c.nz, c.p, 1, NEW, prm)
+		par := runWithPlan(t, full, c.nx, c.ny, c.nz, c.p, 2, NEW, prm, WithWorkers(4))
+		if e := maxErr(serial, par); e > reuseTol {
+			t.Errorf("%dx%dx%d p=%d: parallel kernels drift from serial by %g", c.nx, c.ny, c.nz, c.p, e)
+		}
+	}
+}
+
+// TestForwardManyPooled: repeated ForwardMany3D batches recycle arena
+// slabs; results must stay correct and the returned outputs must remain
+// valid after the engines are closed (outputs are never pooled).
+func TestForwardManyPooled(t *testing.T) {
+	nx, p, arrays := 12, 2, 3
+	fulls := make([][]complex128, arrays)
+	wants := make([][]complex128, arrays)
+	for i := range fulls {
+		fulls[i] = randCube(nx, nx, nx, int64(40+i))
+		wants[i] = serialReference(fulls[i], nx, nx, nx)
+	}
+	for round := 0; round < 2; round++ {
+		w := mem.NewWorld(p)
+		outs := make([][][]complex128, p)
+		err := w.Run(func(c *mem.Comm) {
+			g, err := layout.NewGrid(nx, nx, nx, p, c.Rank())
+			if err != nil {
+				panic(err)
+			}
+			slabs := make([][]complex128, arrays)
+			for i := range slabs {
+				slabs[i] = layout.ScatterX(fulls[i], g)
+			}
+			o, _, err := ForwardMany3D(c, g, slabs, 2, fft.Estimate)
+			if err != nil {
+				panic(err)
+			}
+			outs[c.Rank()] = o
+		})
+		if err != nil {
+			t.Fatalf("round %d: world failed: %v", round, err)
+		}
+		for i := 0; i < arrays; i++ {
+			ranks := make([][]complex128, p)
+			for r := 0; r < p; r++ {
+				ranks[r] = outs[r][i]
+			}
+			got := layout.GatherY(ranks, nx, nx, nx, p, false)
+			if e := maxErr(got, wants[i]); e > tol {
+				t.Errorf("round %d array %d: error %g", round, i, e)
+			}
+		}
+	}
+}
+
+// TestForwardManyPooledRace runs two whole worlds concurrently so the
+// arena is hit from many goroutines at once (exercised under -race).
+func TestForwardManyPooledRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			nx, p := 8, 2
+			full := randCube(nx, nx, nx, seed)
+			w := mem.NewWorld(p)
+			_ = w.Run(func(c *mem.Comm) {
+				g, err := layout.NewGrid(nx, nx, nx, p, c.Rank())
+				if err != nil {
+					panic(err)
+				}
+				slabs := [][]complex128{layout.ScatterX(full, g), layout.ScatterX(full, g)}
+				if _, _, err := ForwardMany3D(c, g, slabs, 2, fft.Estimate); err != nil {
+					panic(err)
+				}
+			})
+		}(int64(50 + k))
+	}
+	wg.Wait()
+}
+
+// selfComm is a zero-allocation single-rank communicator: the all-to-all
+// is a direct copy and the request is a shared sentinel. It isolates the
+// plan's own allocation behavior from the mem transport (whose envelopes
+// allocate by design).
+type selfComm struct {
+	now int64
+	req selfReq
+}
+
+type selfReq struct{}
+
+func (c *selfComm) Rank() int  { return 0 }
+func (c *selfComm) Size() int  { return 1 }
+func (c *selfComm) Now() int64 { c.now++; return c.now }
+func (c *selfComm) Barrier()   {}
+func (c *selfComm) Alltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) {
+	copy(recv[:recvCounts[0]], send[:sendCounts[0]])
+}
+func (c *selfComm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) mpi.Request {
+	copy(recv[:recvCounts[0]], send[:sendCounts[0]])
+	return &c.req
+}
+func (c *selfComm) Test(reqs ...mpi.Request) bool { return true }
+func (c *selfComm) Wait(reqs ...mpi.Request)      {}
+
+// TestPlanSteadyStateAllocs is the allocation gate: once a plan exists,
+// repeated Forward executions must be (amortized) allocation-free. The
+// single-rank selfComm keeps transport envelopes out of the measurement;
+// verify.sh runs this test as the regression gate.
+func TestPlanSteadyStateAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-instrumented runtime allocates on its own")
+	}
+	n := 16
+	g, err := layout.NewGrid(n, n, n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &selfComm{}
+	plan, err := NewPlan(c, g, NEW, DefaultParams(g), fft.Estimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	slab := make([]complex128, g.InSize())
+	rng := rand.New(rand.NewSource(9))
+	for i := range slab {
+		slab[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	fill := append([]complex128(nil), slab...)
+	// Warm up once (lazy growth, request-window sizing).
+	if _, _, err := plan.Forward(slab); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(slab, fill)
+		if _, _, err := plan.Forward(slab); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state Forward allocates %.1f objects/op, want ~0 (<=2)", allocs)
+	}
+}
+
+// TestPlanBackwardSteadyStateAllocs applies the same gate to Backward.
+func TestPlanBackwardSteadyStateAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race-instrumented runtime allocates on its own")
+	}
+	n := 16
+	g, err := layout.NewGrid(n, n, n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &selfComm{}
+	plan, err := NewPlan(c, g, NEW, DefaultParams(g), fft.Estimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	bslab := make([]complex128, g.OutSize())
+	if _, _, err := plan.Backward(bslab); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := plan.Backward(bslab); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state Backward allocates %.1f objects/op, want ~0 (<=2)", allocs)
+	}
+}
+
+// TestPlanRejectsInvalid covers plan-time validation.
+func TestPlanRejectsInvalid(t *testing.T) {
+	g, err := layout.NewGrid(8, 8, 8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &selfComm{}
+	if _, err := NewPlan(c, g, NEW, Params{T: 0}, fft.Estimate); err == nil {
+		t.Error("expected validation error for T=0")
+	}
+	plan, err := NewPlan(c, g, TH, Params{T: 8, W: 1, Fy: 1}, fft.Estimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	if _, _, err := plan.Backward(make([]complex128, g.OutSize())); err == nil {
+		t.Error("expected Backward rejection for TH plan")
+	}
+	plan.Close()
+	if _, _, err := plan.Forward(make([]complex128, g.InSize())); err == nil {
+		t.Error("expected error on closed plan")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package pfft
+
+// raceDetectorEnabled reports whether the race detector instruments this
+// test binary; the allocation gates skip under -race because the
+// instrumented runtime allocates on its own.
+const raceDetectorEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package pfft
+
+const raceDetectorEnabled = true

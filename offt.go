@@ -1,0 +1,460 @@
+// Public API of the offt library: reusable distributed 3-D FFT plans over
+// the in-memory MPI engine (real data) or the simulated engine (virtual
+// time), with the paper's tunable parameters re-exported so callers never
+// import internal packages.
+//
+// The shape follows FFTW and the advanced-MPI FFT of Dalcin et al.: build
+// a Plan once (all validation, 1-D planning, and buffer sizing happens
+// there), execute it many times, Close it when done. The steady state
+// performs no amortized heap allocations.
+package offt
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"offt/internal/fft"
+	"offt/internal/layout"
+	"offt/internal/machine"
+	"offt/internal/model"
+	"offt/internal/mpi/mem"
+	"offt/internal/pfft"
+	"offt/internal/tuner"
+)
+
+// Re-exported parameter and result types. These are aliases: values flow
+// freely between the public API and any internal helper a power user
+// already holds.
+type (
+	// Params are the ten tunable parameters of Table 1 of the paper.
+	Params = pfft.Params
+	// THParams are the three parameters of the TH comparison model.
+	THParams = pfft.THParams
+	// Breakdown is the per-step time breakdown of one transform.
+	Breakdown = pfft.Breakdown
+	// Variant selects the algorithm (Baseline, NEW, NEW0, TH, TH0).
+	Variant = pfft.Variant
+	// StepEvent is one timeline entry of a traced execution.
+	StepEvent = pfft.StepEvent
+	// TuneOutcome reports an auto-tuning run (search result + times).
+	TuneOutcome = tuner.TuneOutcome
+)
+
+// Algorithm variants, in the paper's naming.
+const (
+	Baseline = pfft.Baseline // FFTW-style blocking transform
+	NEW      = pfft.NEW      // the paper's overlapped design
+	NEW0     = pfft.NEW0     // NEW with overlap disabled (ablation)
+	TH       = pfft.TH       // Hoefler-style comparison model
+	TH0      = pfft.TH0      // TH with overlap disabled
+)
+
+// RenderTimeline pretty-prints a traced execution's step events.
+func RenderTimeline(w io.Writer, events []StepEvent, cols int) {
+	pfft.RenderTimeline(w, events, cols)
+}
+
+// DefaultParams returns the paper's §4.4 default point for an Nx×Ny×Nz
+// grid over the given rank count.
+func DefaultParams(nx, ny, nz, ranks int) (Params, error) {
+	g, err := layout.NewGrid(nx, ny, nz, ranks, 0)
+	if err != nil {
+		return Params{}, err
+	}
+	return pfft.DefaultParams(g), nil
+}
+
+// DecodeParams converts a tuner configuration vector (as found in
+// TuneOutcome.Search.History) back into Params.
+func DecodeParams(cfg []int) Params { return tuner.DecodeParams(cfg) }
+
+// TuneNEW auto-tunes the NEW variant on a named machine model
+// ("umd-cluster", "hopper", or "laptop") with the paper's Nelder–Mead
+// search under the given evaluation budget.
+func TuneNEW(machineName string, ranks, n, budget int) (Params, TuneOutcome, error) {
+	m, err := machine.ByName(machineName)
+	if err != nil {
+		return Params{}, TuneOutcome{}, err
+	}
+	return tuner.TuneNEW(m, ranks, n, budget)
+}
+
+// RandomSearchNEW runs the random-search baseline the paper compares the
+// tuner against, with the same evaluation budget semantics as TuneNEW.
+func RandomSearchNEW(machineName string, ranks, n, samples int, seed int64) (TuneOutcome, error) {
+	m, err := machine.ByName(machineName)
+	if err != nil {
+		return TuneOutcome{}, err
+	}
+	return tuner.RandomNEW(m, ranks, n, samples, seed)
+}
+
+// SearchSpaceSize reports the tuner's search-space size for a geometry:
+// the number of configurations and of tunable dimensions.
+func SearchSpaceSize(nx, ny, nz, ranks int) (configs int64, dims int, err error) {
+	g, err := layout.NewGrid(nx, ny, nz, ranks, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	space := tuner.FFTSpace(g)
+	return space.Size(), len(space.Dims), nil
+}
+
+// EngineKind selects how a Plan executes.
+type EngineKind int
+
+const (
+	// Mem runs ranks as goroutines exchanging real complex128 data
+	// through the in-memory MPI engine; Forward/Backward transform data.
+	Mem EngineKind = iota
+	// Sim charges the same algorithm in deterministic virtual time on a
+	// machine model; Forward(nil) simulates one transform.
+	Sim
+)
+
+// Option configures NewPlan.
+type Option func(*config)
+
+type config struct {
+	nx, ny, nz  int
+	ranks       int
+	variant     Variant
+	params      *Params
+	engine      EngineKind
+	machineName string
+	workers     int
+}
+
+// WithGrid sets the transform dimensions (required).
+func WithGrid(nx, ny, nz int) Option {
+	return func(c *config) { c.nx, c.ny, c.nz = nx, ny, nz }
+}
+
+// WithRanks sets the number of ranks (default 1).
+func WithRanks(p int) Option { return func(c *config) { c.ranks = p } }
+
+// WithVariant selects the algorithm variant (default NEW).
+func WithVariant(v Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithParams supplies a tuned parameter set; the default is the paper's
+// §4.4 default point for the geometry.
+func WithParams(prm Params) Option {
+	return func(c *config) { p := prm; c.params = &p }
+}
+
+// WithEngine selects the execution engine (default Mem).
+func WithEngine(k EngineKind) Option { return func(c *config) { c.engine = k } }
+
+// WithMachine names the machine model for the Sim engine: "umd-cluster",
+// "hopper", or "laptop" (the default).
+func WithMachine(name string) Option {
+	return func(c *config) { c.machineName = name }
+}
+
+// WithWorkers fans each rank's intra-rank kernels (FFTz, Transpose, FFTy,
+// Pack, Unpack, FFTx) across n goroutines. The default 1 keeps the
+// serial, allocation-free path. Mem engine only.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// Plan is a create-once / execute-many distributed 3-D FFT. A Mem plan
+// keeps one long-lived world of rank goroutines, each holding a reusable
+// per-rank pfft.Plan with pre-sized communication slots and scratch, fed
+// through job channels — so repeated Forward/Backward calls allocate
+// nothing beyond the first execution. Plans are not safe for concurrent
+// use; calls must be sequential.
+type Plan struct {
+	cfg   config
+	grids []layout.Grid
+	fast  bool
+
+	// Mem engine state.
+	world   *mem.World
+	jobs    []chan job
+	runDone chan error
+	slabs   [][]complex128 // per-rank forward input scratch
+	bslabs  [][]complex128 // per-rank backward input scratch (lazy)
+	outs    [][]complex128 // per-rank results, written by rank bodies
+	bds     []Breakdown
+	errs    []error
+	fullFwd []complex128 // reusable gathered spectrum
+	fullBwd []complex128 // reusable gathered backward result
+
+	// Sim engine state.
+	mach    machine.Machine
+	lastSim model.Result
+
+	last   Breakdown
+	closed bool
+}
+
+type jobOp int
+
+const (
+	opForward jobOp = iota
+	opBackward
+)
+
+type job struct {
+	op jobOp
+	wg *sync.WaitGroup
+}
+
+// NewPlan builds a plan from functional options. All validation, variant
+// parameter expansion, 1-D FFT planning, and buffer pre-sizing happens
+// here; Forward/Backward only execute.
+func NewPlan(opts ...Option) (*Plan, error) {
+	cfg := config{ranks: 1, variant: NEW, machineName: "laptop", workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.nx == 0 || cfg.ny == 0 || cfg.nz == 0 {
+		return nil, fmt.Errorf("offt: grid dimensions are required (use WithGrid)")
+	}
+	p := &Plan{cfg: cfg}
+	p.grids = make([]layout.Grid, cfg.ranks)
+	for r := 0; r < cfg.ranks; r++ {
+		g, err := layout.NewGrid(cfg.nx, cfg.ny, cfg.nz, cfg.ranks, r)
+		if err != nil {
+			return nil, err
+		}
+		p.grids[r] = g
+	}
+	prm := pfft.DefaultParams(p.grids[0])
+	if cfg.params != nil {
+		prm = *cfg.params
+	}
+	if _, err := pfft.ExpandParams(cfg.variant, p.grids[0], prm); err != nil {
+		return nil, err
+	}
+	p.fast = pfft.OutputFast(cfg.variant, p.grids[0])
+
+	switch cfg.engine {
+	case Sim:
+		m, err := machine.ByName(cfg.machineName)
+		if err != nil {
+			return nil, err
+		}
+		p.mach = m
+		p.cfg.params = &prm
+		return p, nil
+	case Mem:
+		return p, p.startWorld(prm)
+	default:
+		return nil, fmt.Errorf("offt: unknown engine kind %d", cfg.engine)
+	}
+}
+
+// startWorld launches the long-lived rank goroutines of a Mem plan. Each
+// rank builds its per-rank pfft.Plan once, reports readiness, then serves
+// jobs until Close.
+func (p *Plan) startWorld(prm Params) error {
+	n := p.cfg.ranks
+	p.jobs = make([]chan job, n)
+	for r := range p.jobs {
+		p.jobs[r] = make(chan job)
+	}
+	p.slabs = make([][]complex128, n)
+	p.outs = make([][]complex128, n)
+	p.bds = make([]Breakdown, n)
+	p.errs = make([]error, n)
+	for r := 0; r < n; r++ {
+		p.slabs[r] = make([]complex128, p.grids[r].InSize())
+	}
+	p.fullFwd = make([]complex128, p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	p.cfg.params = &prm
+
+	var popts []pfft.PlanOpt
+	if p.cfg.workers > 1 {
+		popts = append(popts, pfft.WithWorkers(p.cfg.workers))
+	}
+
+	p.world = mem.NewWorld(n)
+	inits := make(chan error, n)
+	p.runDone = make(chan error, 1)
+	go func() {
+		p.runDone <- p.world.Run(func(c *mem.Comm) {
+			rank := c.Rank()
+			plan, err := pfft.NewPlan(c, p.grids[rank], p.cfg.variant, prm, fft.Estimate, popts...)
+			inits <- err
+			if err != nil {
+				return
+			}
+			defer plan.Close()
+			for jb := range p.jobs[rank] {
+				p.runJob(plan, rank, jb)
+			}
+		})
+	}()
+	var initErr error
+	for i := 0; i < n; i++ {
+		if err := <-inits; err != nil && initErr == nil {
+			initErr = err
+		}
+	}
+	if initErr != nil {
+		p.shutdownWorld()
+		return initErr
+	}
+	return nil
+}
+
+// runJob executes one transform on a rank goroutine. The recover keeps a
+// rank failure (including a transport watchdog abort) from stranding
+// Forward's WaitGroup: the error is recorded and the rank keeps serving.
+func (p *Plan) runJob(plan *pfft.Plan, rank int, jb job) {
+	defer jb.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.errs[rank] = fmt.Errorf("offt: rank %d: %v", rank, r)
+		}
+	}()
+	var out []complex128
+	var b Breakdown
+	var err error
+	switch jb.op {
+	case opForward:
+		out, b, err = plan.Forward(p.slabs[rank])
+	case opBackward:
+		out, b, err = plan.Backward(p.bslabs[rank])
+	}
+	p.outs[rank] = out
+	p.bds[rank] = b
+	p.errs[rank] = err
+}
+
+// dispatch runs one op on every rank and joins.
+func (p *Plan) dispatch(op jobOp) error {
+	var wg sync.WaitGroup
+	wg.Add(p.cfg.ranks)
+	for r := 0; r < p.cfg.ranks; r++ {
+		p.jobs[r] <- job{op: op, wg: &wg}
+	}
+	wg.Wait()
+	for r, err := range p.errs {
+		if err != nil {
+			return fmt.Errorf("offt: rank %d: %w", r, err)
+		}
+	}
+	p.last = Breakdown{}
+	for _, b := range p.bds {
+		p.last.Add(b)
+	}
+	p.last.Scale(int64(p.cfg.ranks))
+	return nil
+}
+
+// Forward executes one forward 3-D FFT.
+//
+// Mem engine: data is the full Nx·Ny·Nz array in x-y-z layout (read, not
+// modified); the returned spectrum, same shape and layout, is owned by the
+// plan and valid until the next Forward call.
+//
+// Sim engine: data must be nil; the transform is charged in virtual time
+// (see Breakdown, PerRank, VirtualTimes) and the result slice is nil.
+func (p *Plan) Forward(data []complex128) ([]complex128, error) {
+	if p.closed {
+		return nil, fmt.Errorf("offt: Forward on closed plan")
+	}
+	if p.cfg.engine == Sim {
+		if data != nil {
+			return nil, fmt.Errorf("offt: Sim plans transform no data; call Forward(nil)")
+		}
+		res, err := model.Simulate(p.mach, p.cfg.ranks, p.cfg.nx, p.cfg.ny, p.cfg.nz,
+			model.Spec{Variant: p.cfg.variant, Params: *p.cfg.params})
+		if err != nil {
+			return nil, err
+		}
+		p.lastSim = res
+		p.last = res.Avg
+		return nil, nil
+	}
+	if len(data) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
+		return nil, fmt.Errorf("offt: data length %d, want %d", len(data), p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	}
+	for r := 0; r < p.cfg.ranks; r++ {
+		layout.ScatterXInto(p.slabs[r], data, p.grids[r])
+	}
+	if err := p.dispatch(opForward); err != nil {
+		return nil, err
+	}
+	layout.GatherYInto(p.fullFwd, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks, p.fast)
+	return p.fullFwd, nil
+}
+
+// Backward executes one inverse 3-D FFT on the Mem engine: data is a full
+// spectrum in x-y-z layout (read, not modified), the returned array is
+// owned by the plan and valid until the next Backward call. Like the
+// paper's pipeline the round trip is unnormalized: Forward then Backward
+// multiplies by Nx·Ny·Nz.
+func (p *Plan) Backward(data []complex128) ([]complex128, error) {
+	if p.closed {
+		return nil, fmt.Errorf("offt: Backward on closed plan")
+	}
+	if p.cfg.engine == Sim {
+		return nil, fmt.Errorf("offt: Sim plans do not support Backward")
+	}
+	if p.cfg.variant == TH || p.cfg.variant == TH0 {
+		return nil, fmt.Errorf("offt: backward transform does not support the %v comparison model", p.cfg.variant)
+	}
+	if len(data) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
+		return nil, fmt.Errorf("offt: data length %d, want %d", len(data), p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	}
+	if p.bslabs == nil {
+		p.bslabs = make([][]complex128, p.cfg.ranks)
+		for r := 0; r < p.cfg.ranks; r++ {
+			p.bslabs[r] = make([]complex128, p.grids[r].OutSize())
+		}
+		p.fullBwd = make([]complex128, p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	}
+	for r := 0; r < p.cfg.ranks; r++ {
+		layout.ScatterYInto(p.bslabs[r], data, p.grids[r], p.fast)
+	}
+	if err := p.dispatch(opBackward); err != nil {
+		return nil, err
+	}
+	layout.GatherXInto(p.fullBwd, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks)
+	return p.fullBwd, nil
+}
+
+// Breakdown returns the per-step breakdown of the most recent execution,
+// averaged over ranks.
+func (p *Plan) Breakdown() Breakdown { return p.last }
+
+// PerRank returns each rank's breakdown from the most recent execution.
+func (p *Plan) PerRank() []Breakdown {
+	if p.cfg.engine == Sim {
+		return append([]Breakdown(nil), p.lastSim.PerRank...)
+	}
+	return append([]Breakdown(nil), p.bds...)
+}
+
+// VirtualTimes reports the most recent Sim execution's job completion
+// time and its auto-tuner objective (total excluding FFTz and Transpose),
+// both in virtual nanoseconds.
+func (p *Plan) VirtualTimes() (total, tuned int64) {
+	return p.lastSim.MaxTotal, p.lastSim.MaxTuned
+}
+
+// Params returns the expanded parameter set the plan executes.
+func (p *Plan) Params() Params { return *p.cfg.params }
+
+// Close shuts down the plan's rank goroutines and releases buffers.
+// Result slices handed out by Forward/Backward stay valid.
+func (p *Plan) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	if p.cfg.engine != Mem {
+		return nil
+	}
+	return p.shutdownWorld()
+}
+
+func (p *Plan) shutdownWorld() error {
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+	return <-p.runDone
+}

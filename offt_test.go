@@ -1,0 +1,177 @@
+package offt_test
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"offt"
+	"offt/internal/fft"
+)
+
+func randData(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]complex128, n)
+	for i := range data {
+		data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return data
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestPublicForwardMatchesSerial: the public mem-engine plan must agree
+// with the serial 3-D reference transform.
+func TestPublicForwardMatchesSerial(t *testing.T) {
+	const n = 16
+	data := randData(n*n*n, 3)
+
+	want := append([]complex128(nil), data...)
+	fft.NewPlan3D(n, n, n, fft.Forward).Transform(want)
+
+	plan, err := offt.NewPlan(
+		offt.WithGrid(n, n, n),
+		offt.WithRanks(4),
+		offt.WithVariant(offt.NEW),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+
+	var got []complex128
+	for it := 0; it < 3; it++ { // plan reuse through the public API
+		got, err = plan.Forward(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := maxAbsDiff(got, want); e > 1e-9 {
+		t.Errorf("public Forward differs from serial reference by %g", e)
+	}
+	if plan.Breakdown().Total < 0 {
+		t.Error("breakdown total should be non-negative")
+	}
+	if pr := plan.PerRank(); len(pr) != 4 {
+		t.Errorf("PerRank length %d, want 4", len(pr))
+	}
+}
+
+// TestPublicRoundTrip: Backward(Forward(x)) == x·N³ on one reused plan.
+func TestPublicRoundTrip(t *testing.T) {
+	const n = 12
+	data := randData(n*n*n, 7)
+	plan, err := offt.NewPlan(offt.WithGrid(n, n, n), offt.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	for it := 0; it < 2; it++ {
+		spec, err := plan.Forward(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := plan.Backward(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := complex(float64(n*n*n), 0)
+		worst := 0.0
+		for i := range back {
+			if d := cmplx.Abs(back[i]/scale - data[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-10 {
+			t.Errorf("iteration %d: round-trip error %g", it, worst)
+		}
+	}
+}
+
+// TestPublicSimEngine: Sim plans take no data and report virtual times.
+func TestPublicSimEngine(t *testing.T) {
+	plan, err := offt.NewPlan(
+		offt.WithGrid(64, 64, 64),
+		offt.WithRanks(8),
+		offt.WithEngine(offt.Sim),
+		offt.WithMachine("umd-cluster"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	if _, err := plan.Forward(nil); err != nil {
+		t.Fatal(err)
+	}
+	total, tuned := plan.VirtualTimes()
+	if total <= 0 || tuned <= 0 || tuned > total {
+		t.Errorf("implausible virtual times total=%d tuned=%d", total, tuned)
+	}
+	if _, err := plan.Forward(data64()); err == nil {
+		t.Error("Sim plan should reject non-nil data")
+	}
+}
+
+func data64() []complex128 { return make([]complex128, 64*64*64) }
+
+// TestPublicErrors covers construction and lifecycle failure modes.
+func TestPublicErrors(t *testing.T) {
+	if _, err := offt.NewPlan(); err == nil {
+		t.Error("NewPlan without WithGrid should fail")
+	}
+	if _, err := offt.NewPlan(offt.WithGrid(8, 8, 8), offt.WithRanks(16)); err == nil {
+		t.Error("ranks > Nz should fail grid validation")
+	}
+	if _, err := offt.NewPlan(offt.WithGrid(8, 8, 8), offt.WithParams(offt.Params{T: 3, W: 9})); err == nil {
+		t.Error("invalid params should fail at plan time")
+	}
+	plan, err := offt.NewPlan(offt.WithGrid(8, 8, 8), offt.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := plan.Forward(make([]complex128, 8*8*8)); err == nil {
+		t.Error("Forward after Close should fail")
+	}
+	if _, err := offt.NewPlan(offt.WithGrid(8, 8, 8), offt.WithVariant(offt.TH), offt.WithRanks(2)); err != nil {
+		t.Fatalf("TH plan: %v", err)
+	}
+}
+
+// TestPublicWorkers: a multi-worker plan matches the serial one.
+func TestPublicWorkers(t *testing.T) {
+	const n = 16
+	data := randData(n*n*n, 11)
+	serial, err := offt.NewPlan(offt.WithGrid(n, n, n), offt.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	par, err := offt.NewPlan(offt.WithGrid(n, n, n), offt.WithRanks(2), offt.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	a, err := serial.Forward(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]complex128(nil), a...)
+	b, err := par.Forward(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxAbsDiff(want, b); e > 1e-12 {
+		t.Errorf("worker-pool plan drifts from serial by %g", e)
+	}
+}

@@ -1,7 +1,7 @@
 #!/bin/sh
-# Repo verification: tier-1 build+test, then the race detector over the
+# Repo verification: tier-1 build+test, vet, the race detector over the
 # concurrency-heavy packages (mem router, fault-injected transport, pfft
-# chaos suite).
+# chaos suite, pooled plan reuse), and the steady-state allocation gate.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -13,5 +13,12 @@ if [ -n "$gofmt_out" ]; then
 fi
 
 go build ./...
+go vet ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/pfft/...
+go test -race ./internal/mpi/... ./internal/pfft/... .
+
+# Allocation gate: steady-state Forward/Backward on a reusable plan must
+# run allocation-free (measured against the zero-alloc self communicator;
+# see internal/pfft/plan_test.go). -count=1 defeats the test cache so the
+# gate re-measures every run.
+go test -run 'SteadyStateAllocs' -count=1 ./internal/pfft/
