@@ -30,6 +30,7 @@ import (
 	"offt/internal/mpi/fault"
 	"offt/internal/mpi/mem"
 	"offt/internal/pfft"
+	"offt/internal/telemetry"
 )
 
 func main() {
@@ -52,10 +53,15 @@ func main() {
 	fxFlag := flag.Int("Fx", -1, "Test calls during FFTx override")
 	chaosSeed := flag.Int64("chaos", 0, "chaos fault-plan seed (with -chaos-profile)")
 	chaosProfile := flag.String("chaos-profile", "none", "fault profile: none, drop, corrupt, stall, mixed")
+	var obs telemetry.CLI
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	variant, err := parseVariant(*variantName)
 	if err != nil {
+		fatal(err)
+	}
+	if err := obs.Start(os.Stderr); err != nil {
 		fatal(err)
 	}
 	profile, err := fault.ParseProfile(*chaosProfile)
@@ -94,11 +100,14 @@ func main() {
 
 	switch *engine {
 	case "sim":
-		runSim(*machName, *p, *n, variant, prm, plan)
+		runSim(*machName, *p, *n, variant, prm, plan, &obs)
 	case "mem":
-		runMem(*p, *n, variant, prm, *verify, *timeline, plan)
+		runMem(*p, *n, variant, prm, *verify, *timeline, plan, &obs)
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	if err := obs.Finish(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -111,7 +120,10 @@ func parseVariant(s string) (pfft.Variant, error) {
 	return 0, fmt.Errorf("unknown variant %q (want FFTW, NEW, NEW-0, TH, TH-0)", s)
 }
 
-func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params, plan *fault.Plan) {
+func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params, plan *fault.Plan, obs *telemetry.CLI) {
+	if obs.TraceOut != "" {
+		fmt.Fprintln(os.Stderr, "warning: -trace-out needs per-rank step events; only the mem engine records them (ignored for sim)")
+	}
 	m, err := machine.ByName(machName)
 	if err != nil {
 		fatal(err)
@@ -132,6 +144,8 @@ func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params, pl
 	fmt.Printf("params: %v\n", prm)
 	fmt.Printf("simulated job time: %.4f s (wall %v)\n", float64(res.MaxTotal)/1e9, time.Since(start).Round(time.Millisecond))
 	printBreakdown(res.Avg)
+	pfft.NewBreakdownObserver(obs.Registry(), "pfft").Observe(res.Avg)
+	res.Net.Publish(obs.Registry())
 	if plan.Active() {
 		fmt.Println("chaos summary (virtual-time degradation):")
 		fmt.Printf("  stall displacement  %.4f s\n", float64(res.Net.StallNsInjected)/1e9)
@@ -139,7 +153,7 @@ func runSim(machName string, p, n int, variant pfft.Variant, prm pfft.Params, pl
 	}
 }
 
-func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bool, plan *fault.Plan) {
+func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bool, plan *fault.Plan, obs *telemetry.CLI) {
 	rng := rand.New(rand.NewSource(42))
 	full := make([]complex128, n*n*n)
 	for i := range full {
@@ -163,9 +177,12 @@ func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bo
 			mem.WithDeadline(15*time.Millisecond))
 	}
 	w := mem.NewWorld(p, opts...)
+	w.RegisterTelemetry(obs.Registry())
+	// -timeline wants rank 0's events; -trace-out wants every rank's.
+	tracing := timeline || obs.TraceOut != ""
 	outs := make([][]complex128, p)
 	bs := make([]pfft.Breakdown, p)
-	var trace []pfft.StepEvent
+	traces := make([][]pfft.StepEvent, p)
 	start := time.Now()
 	err := w.Run(func(c *mem.Comm) {
 		g, err := layout.NewGrid(n, n, n, p, c.Rank())
@@ -173,7 +190,7 @@ func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bo
 			panic(err)
 		}
 		slab := layout.ScatterX(full, g)
-		if timeline && c.Rank() == 0 {
+		if tracing {
 			e, err := pfft.NewForwardEngine(g, c, slab)
 			if err != nil {
 				panic(err)
@@ -183,7 +200,7 @@ func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bo
 			if err != nil {
 				panic(err)
 			}
-			outs[0], bs[0], trace = e.Output(), b, te.Events
+			outs[c.Rank()], bs[c.Rank()], traces[c.Rank()] = e.Output(), b, te.Events()
 			return
 		}
 		out, b, err := pfft.Forward3D(c, g, slab, variant, prm, fft.Estimate)
@@ -201,8 +218,10 @@ func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bo
 	fmt.Printf("params: %v\n", prm)
 	fmt.Printf("wall time: %v\n", wall.Round(time.Microsecond))
 	var avg pfft.Breakdown
+	met := pfft.NewBreakdownObserver(obs.Registry(), "pfft")
 	for _, b := range bs {
 		avg.Add(b)
+		met.Observe(b)
 	}
 	avg.Scale(int64(p))
 	printBreakdown(avg)
@@ -221,7 +240,15 @@ func runMem(p, n int, variant pfft.Variant, prm pfft.Params, verify, timeline bo
 	}
 	if timeline {
 		fmt.Println("rank 0 timeline (digits = tile index mod 10):")
-		pfft.RenderTimeline(os.Stdout, trace, 100)
+		pfft.RenderTimeline(os.Stdout, traces[0], 100)
+	}
+	if obs.TraceOut != "" {
+		if err := pfft.TraceTimeline(traces).WriteChromeTraceFile(obs.TraceOut); err != nil {
+			fatal(err)
+		}
+		if obs.TraceOut != "-" {
+			fmt.Printf("chrome trace written to %s (load at ui.perfetto.dev)\n", obs.TraceOut)
+		}
 	}
 
 	if verify {
@@ -248,6 +275,8 @@ func printBreakdown(b pfft.Breakdown) {
 		fmt.Printf("  %-10s %.4f s\n", names[i], float64(v)/1e9)
 	}
 	fmt.Printf("  %-10s %.4f s\n", "Total", float64(b.Total)/1e9)
+	fmt.Printf("  overlap efficiency %.1f%% (compute hiding vs. visible communication, §5.2.1)\n",
+		100*b.OverlapEfficiency())
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"offt/internal/model"
 	"offt/internal/pfft"
 	"offt/internal/stats"
+	"offt/internal/telemetry"
 	"offt/internal/tuner"
 )
 
@@ -28,7 +29,16 @@ func main() {
 	evals := flag.Int("evals", 50, "Nelder-Mead evaluation budget")
 	random := flag.Int("random", 0, "also run random search with this many samples")
 	seed := flag.Int64("seed", 1, "random search seed")
+	var obs telemetry.CLI
+	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if obs.TraceOut != "" {
+		fmt.Fprintln(os.Stderr, "warning: -trace-out only applies to mem-engine executions (see offt-run); ignored here")
+	}
+	if err := obs.Start(os.Stderr); err != nil {
+		fatal(err)
+	}
 
 	m, err := machine.ByName(*machName)
 	if err != nil {
@@ -49,7 +59,7 @@ func main() {
 	fmt.Printf("default point: %v\n", def)
 	fmt.Printf("default time (excl. FFTz+Transpose): %.4f s\n", float64(defRes.MaxTuned)/1e9)
 
-	prm, out, err := tuner.TuneNEW(m, *p, *n, *evals)
+	prm, out, err := tuner.TuneNEWWith(m, *p, *n, *evals, tuner.NelderMeadTelemetry(obs.Registry()))
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +92,9 @@ func main() {
 			*random, stats.Min(xs), stats.Percentile(xs, 50), stats.Max(xs))
 		fmt.Printf("NM result ranks in percentile %.1f of the random distribution\n",
 			stats.PercentileRank(xs, float64(out.BestTime())/1e9))
+	}
+	if err := obs.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

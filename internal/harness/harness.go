@@ -17,6 +17,7 @@ import (
 	"offt/internal/machine"
 	"offt/internal/model"
 	"offt/internal/pfft"
+	"offt/internal/telemetry"
 	"offt/internal/tuner"
 )
 
@@ -58,6 +59,9 @@ type Config struct {
 	Seed int64
 	// Verbose adds progress lines while long experiments run.
 	Verbose bool
+	// Telemetry, when non-nil, receives tuner per-evaluation metrics and
+	// per-setting breakdown observations during TunedFor.
+	Telemetry *telemetry.Registry
 }
 
 // Setting identifies one evaluated configuration point.
@@ -145,7 +149,8 @@ func (r *Runner) TunedFor(s Setting) (*Tuned, error) {
 
 	newEvals, thEvals := evalBudget(s)
 	r.logf("tuning NEW for %v (budget %d)", s, newEvals)
-	t.Params, t.NewTune, err = tuner.TuneNEW(m, s.P, s.N, newEvals)
+	t.Params, t.NewTune, err = tuner.TuneNEWWith(m, s.P, s.N, newEvals,
+		tuner.NelderMeadTelemetry(r.Cfg.Telemetry))
 	if err != nil {
 		return nil, fmt.Errorf("tuning NEW for %v: %w", s, err)
 	}
@@ -173,6 +178,9 @@ func (r *Runner) TunedFor(s Setting) (*Tuned, error) {
 		}
 		*run.dst = res
 	}
+	// Per-setting average breakdown of the tuned design, for the overlap
+	// gauge and step histograms (no-op observer on a nil registry).
+	pfft.NewBreakdownObserver(r.Cfg.Telemetry, "model.new").Observe(t.NEW.Avg)
 
 	r.mu.Lock()
 	r.cache[s] = t

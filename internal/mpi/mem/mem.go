@@ -27,6 +27,7 @@ import (
 	"offt/internal/machine"
 	"offt/internal/mpi"
 	"offt/internal/mpi/fault"
+	"offt/internal/telemetry"
 )
 
 // Option configures a World.
@@ -158,6 +159,27 @@ func NewWorld(p int, opts ...Option) *World {
 
 // Health returns a snapshot of the world's transport-recovery counters.
 func (w *World) Health() mpi.Health { return w.stats.snapshot() }
+
+// RegisterTelemetry bridges the world's transport-recovery counters into a
+// telemetry registry under "mem.transport.*". The counters stay atomics
+// owned by the transport; the registry reads them lazily at snapshot time,
+// so there is no double counting and no hot-path cost. Safe on a nil
+// registry.
+func (w *World) RegisterTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.Func("mem.transport.sent", w.stats.sent.Load)
+	r.Func("mem.transport.delivered", w.stats.delivered.Load)
+	r.Func("mem.transport.retransmits", w.stats.retransmits.Load)
+	r.Func("mem.transport.dedups", w.stats.dedups.Load)
+	r.Func("mem.transport.acks", w.stats.acks.Load)
+	r.Func("mem.transport.backoffs", w.stats.backoffs.Load)
+	r.Func("mem.transport.drops_injected", w.stats.dropsInjected.Load)
+	r.Func("mem.transport.corruptions_injected", w.stats.corruptionsInjected.Load)
+	r.Func("mem.transport.duplicates_injected", w.stats.duplicatesInjected.Load)
+	r.Func("mem.transport.corruptions_detected", w.stats.corruptionsDetected.Load)
+}
 
 // worldFailure wraps a world-level diagnostic error (deadline, deadlock)
 // through the panic path so Run can return it unwrapped.

@@ -16,6 +16,7 @@ type counters struct {
 	dropsInjected, corruptionsInjected atomic.Int64
 	duplicatesInjected, retransmits    atomic.Int64
 	dedups, corruptionsDetected        atomic.Int64
+	acks, backoffs                     atomic.Int64
 }
 
 func (s *counters) snapshot() mpi.Health {
@@ -28,6 +29,8 @@ func (s *counters) snapshot() mpi.Health {
 		Retransmits:         s.retransmits.Load(),
 		Dedups:              s.dedups.Load(),
 		CorruptionsDetected: s.corruptionsDetected.Load(),
+		Acks:                s.acks.Load(),
+		Backoffs:            s.backoffs.Load(),
 	}
 }
 
@@ -158,6 +161,9 @@ func (w *World) transmit(om *outMsg, attempt int) {
 	next := attempt + 1
 	w.mu.Lock()
 	if w.outstanding[env.id] == om && !w.closed && w.failed == nil {
+		if attempt > 0 {
+			w.stats.backoffs.Add(1)
+		}
 		om.timer = time.AfterFunc(time.Duration(delay)+rto, func() { w.transmit(om, next) })
 	}
 	w.mu.Unlock()
@@ -221,6 +227,7 @@ func (w *World) ackLocked(id int64) {
 		om.timer.Stop()
 	}
 	delete(w.outstanding, id)
+	w.stats.acks.Add(1)
 }
 
 // shutdownTransport stops all pending retransmission timers when Run

@@ -72,6 +72,8 @@ type Health struct {
 	Retransmits         int64 // sender timeout-driven resends
 	Dedups              int64 // duplicate deliveries discarded by the receiver
 	CorruptionsDetected int64 // deliveries rejected by checksum
+	Acks                int64 // envelopes retired by acknowledgement
+	Backoffs            int64 // retransmit timers re-armed with exponential backoff
 }
 
 // HealthReporter is optionally implemented by engines that track transport

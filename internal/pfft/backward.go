@@ -53,6 +53,7 @@ type backEngine struct {
 	recvCounts         []int
 
 	pooled bool
+	trc    *traceRec // nil unless the plan runs in trace mode
 }
 
 // newBackEngine prepares a reusable backward engine for one rank.
@@ -73,6 +74,12 @@ func newBackEngine(c mpi.Comm, g layout.Grid, flag fft.Flag, opts ...EngineOpt) 
 		planX: fft.Plan1DCached(g.Nx, fft.Backward, flag).Clone(),
 
 		pooled: cfg.pooled,
+		trc:    cfg.trace,
+	}
+	if cfg.trace != nil {
+		// Route Wait/Test through the recording communicator so the
+		// communication side of the timeline is captured too.
+		e.comm = &traceComm{Comm: c, rec: cfg.trace}
 	}
 	if cfg.pooled {
 		e.work = getSlab(g.InSize())
@@ -147,11 +154,15 @@ func (e *backEngine) run(rs *runState, slab []complex128, v Variant, prm Params)
 	} else {
 		layout.TransposeZXYInv(e.in, e.work, g.XC(), g.Ny, g.Nz)
 	}
-	b.Transpose += c.Now() - t
+	now := c.Now()
+	b.Transpose += now - t
+	e.trc.add("Transpose", t, now, -1)
 
 	t = c.Now()
 	e.planZ.Batch(e.in, g.XC()*g.Ny, g.Nz)
-	b.FFTz = c.Now() - t
+	now = c.Now()
+	b.FFTz = now - t
+	e.trc.add("FFTz", t, now, -1)
 
 	b.Total = c.Now() - start
 	return b, nil
@@ -175,11 +186,15 @@ func (e *backEngine) fftxRepack(prm Params, tl layout.Tiling, tile, slot int, fa
 					e.planX.Transform(row, row)
 				}
 			}
-			b.FFTx += c.Now() - t
+			now := c.Now()
+			b.FFTx += now - t
+			e.trc.add("FFTx", t, now, tile)
 			doTests(c, window, testsDue(prm.Fx, u, nSub), b)
 			t = c.Now()
 			g.RepackSubtile(buf, e.out, fast, zt0, ztl, y0, y1, z0, z1)
-			b.Pack += c.Now() - t
+			now = c.Now()
+			b.Pack += now - t
+			e.trc.add("Pack", t, now, tile)
 			doTests(c, window, testsDue(prm.Fu, u, nSub), b)
 			u++
 		})
@@ -198,7 +213,9 @@ func (e *backEngine) scatterFFTy(prm Params, tl layout.Tiling, tile, slot int, f
 		layout.SubTiles(g.XC(), prm.Px, func(x0, x1 int) {
 			t := c.Now()
 			g.ScatterSubtile(e.work, buf, fast, zt0, ztl, z0, z1, x0, x1)
-			b.Unpack += c.Now() - t
+			now := c.Now()
+			b.Unpack += now - t
+			e.trc.add("Unpack", t, now, tile)
 			doTests(c, window, testsDue(prm.Fp, u, nSub), b)
 			t = c.Now()
 			for z := zt0 + z0; z < zt0+z1; z++ {
@@ -208,7 +225,9 @@ func (e *backEngine) scatterFFTy(prm Params, tl layout.Tiling, tile, slot int, f
 					e.planY.Transform(row, row)
 				}
 			}
-			b.FFTy += c.Now() - t
+			now = c.Now()
+			b.FFTy += now - t
+			e.trc.add("FFTy", t, now, tile)
 			doTests(c, window, testsDue(prm.Fy, u, nSub), b)
 			u++
 		})
@@ -261,7 +280,9 @@ func (e *backEngine) runOverlapped(rs *runState, prm Params, fast bool, b *Break
 		if i < k {
 			t := c.Now()
 			reqs[i] = e.postTile(i%slots, tl.TileLen(i))
-			b.Ialltoall += c.Now() - t
+			now := c.Now()
+			b.Ialltoall += now - t
+			e.trc.add("Ialltoall", t, now, e.trc.nextPost())
 		}
 		if i >= w {
 			j := i - w
@@ -286,6 +307,7 @@ func (e *backEngine) downgrade(prm Params, fast bool, tl layout.Tiling, reqs []m
 	w := prm.W
 	slots := w + 1
 	b.Downgrades++
+	e.trc.instant("Downgrade", c.Now(), i-w)
 	hi := i
 	if hi > k {
 		hi = k
@@ -299,14 +321,18 @@ func (e *backEngine) downgrade(prm Params, fast bool, tl layout.Tiling, reqs []m
 	if i < k {
 		t := c.Now()
 		e.alltoallTile(i%slots, tl.TileLen(i))
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		e.trc.add("Alltoall", t, now, i)
 		e.scatterFFTy(prm, tl, i, i%slots, fast, nil, b)
 	}
 	for j := i + 1; j < k; j++ {
 		e.fftxRepack(prm, tl, j, j%slots, fast, nil, b)
 		t := c.Now()
 		e.alltoallTile(j%slots, tl.TileLen(j))
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		e.trc.add("Alltoall", t, now, j)
 		e.scatterFFTy(prm, tl, j, j%slots, fast, nil, b)
 	}
 }
@@ -321,7 +347,9 @@ func (e *backEngine) runBlocking(prm Params, fast bool, b *Breakdown) {
 		e.fftxRepack(prm, tl, i, 0, fast, nil, b)
 		t := c.Now()
 		e.alltoallTile(0, tl.TileLen(i))
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		e.trc.add("Alltoall", t, now, i)
 		e.scatterFFTy(prm, tl, i, 0, fast, nil, b)
 	}
 }

@@ -58,6 +58,21 @@ func (b Breakdown) CommVisible() int64 {
 	return b.Ialltoall + b.Wait + b.Test
 }
 
+// OverlapEfficiency returns the fraction of the overlap-relevant time
+// spent in hideable computation: Overlappable / (Overlappable +
+// CommVisible), per §5.2.1. 1.0 means communication is fully hidden
+// behind computation (this includes the degenerate no-visible-comm case,
+// e.g. a single-rank run with no all-to-all at all); 0.0 means every
+// overlap-phase nanosecond was visible communication. Shared by the
+// telemetry gauge and the CLI breakdown report.
+func (b Breakdown) OverlapEfficiency() float64 {
+	comm := b.CommVisible()
+	if comm <= 0 {
+		return 1.0
+	}
+	return float64(b.Overlappable()) / float64(b.Overlappable()+comm)
+}
+
 // TunedPortion returns Total minus the parameter-independent FFTz and
 // Transpose steps — the quantity the auto-tuner minimizes (§4.4 technique
 // 3 skips FFTz/Transpose during tuning).

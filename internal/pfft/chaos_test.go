@@ -226,7 +226,7 @@ func TestTraceRecordsDowngrade(t *testing.T) {
 		if _, rerr := Run(te, NEW, prm); rerr != nil {
 			panic(rerr)
 		}
-		traces[c.Rank()] = te.Events
+		traces[c.Rank()] = te.Events()
 	})
 	if err != nil {
 		t.Fatal(err)

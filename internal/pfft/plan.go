@@ -6,6 +6,7 @@ import (
 	"offt/internal/fft"
 	"offt/internal/layout"
 	"offt/internal/mpi"
+	"offt/internal/telemetry"
 )
 
 // PlanOpt configures a Plan.
@@ -14,6 +15,8 @@ type PlanOpt func(*planConfig)
 type planConfig struct {
 	workers int
 	pooled  bool
+	reg     *telemetry.Registry
+	trace   bool
 }
 
 // WithWorkers fans the plan's intra-rank kernels across n goroutines per
@@ -26,6 +29,22 @@ func WithWorkers(n int) PlanOpt {
 // arena, so short-lived plans recycle slabs instead of re-allocating.
 func WithArena() PlanOpt {
 	return func(c *planConfig) { c.pooled = true }
+}
+
+// WithTelemetry feeds per-execution step histograms, the derived
+// overlap-efficiency gauge and the downgrade counter into r (metric names
+// under "pfft."). A nil registry keeps telemetry off; the execution path
+// then pays only a nil check.
+func WithTelemetry(r *telemetry.Registry) PlanOpt {
+	return func(c *planConfig) { c.reg = r }
+}
+
+// WithTrace records a StepEvent timeline of each execution, readable via
+// Trace after Forward/Backward. Tracing wraps every kernel and Wait/Test
+// call with clock reads, so it is for timeline capture, not for steady-
+// state benchmarking.
+func WithTrace() PlanOpt {
+	return func(c *planConfig) { c.trace = true }
 }
 
 // Plan is a create-once / execute-many distributed 3-D FFT for one rank:
@@ -52,6 +71,10 @@ type Plan struct {
 	bwd *backEngine // lazily built on first Backward
 	rs  runState    // forward pipeline scratch
 	brs runState    // backward pipeline scratch
+
+	trc  *traceRec          // shared step recorder, nil unless WithTrace
+	tfwd *TraceEngine       // tracing wrapper around fwd, nil unless WithTrace
+	met  *BreakdownObserver // nil unless WithTelemetry
 
 	last   Breakdown
 	closed bool
@@ -81,6 +104,11 @@ func NewPlan(c mpi.Comm, g layout.Grid, v Variant, prm Params, flag fft.Flag, op
 		return nil, err
 	}
 	p.fwd.PresizeSlots(expanded)
+	p.met = NewBreakdownObserver(p.cfg.reg, "pfft")
+	if p.cfg.trace {
+		p.trc = &traceRec{}
+		p.tfwd = newTraceEngineRec(p.fwd, expanded, p.trc)
+	}
 	return p, nil
 }
 
@@ -121,12 +149,32 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, Breakdown, error) {
 	if err := p.fwd.Reset(slab); err != nil {
 		return nil, Breakdown{}, err
 	}
-	b, err := runWith(&p.rs, p.fwd, p.v, p.prm)
+	var (
+		b   Breakdown
+		err error
+	)
+	if p.tfwd != nil {
+		p.trc.reset()
+		b, err = runWith(&p.rs, p.tfwd, p.v, p.prm)
+	} else {
+		b, err = runWith(&p.rs, p.fwd, p.v, p.prm)
+	}
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
 	p.last = b
+	p.met.Observe(b)
 	return p.fwd.Output(), b, nil
+}
+
+// Trace returns the StepEvent timeline of the most recent execution, or
+// nil when the plan was built without WithTrace. The slice is only valid
+// until the next execution.
+func (p *Plan) Trace() []StepEvent {
+	if p.trc == nil {
+		return nil
+	}
+	return p.trc.events
 }
 
 // Backward executes one inverse transform. slab is this rank's y-slab in
@@ -141,18 +189,24 @@ func (p *Plan) Backward(slab []complex128) ([]complex128, Breakdown, error) {
 		return nil, Breakdown{}, fmt.Errorf("pfft: backward transform does not support the %v comparison model", p.v)
 	}
 	if p.bwd == nil {
-		e, err := newBackEngine(p.comm, p.g, p.flag, p.engineOpts()...)
+		eopts := p.engineOpts()
+		if p.trc != nil {
+			eopts = append(eopts, withTraceRec(p.trc))
+		}
+		e, err := newBackEngine(p.comm, p.g, p.flag, eopts...)
 		if err != nil {
 			return nil, Breakdown{}, err
 		}
 		e.presizeSlots(p.prm)
 		p.bwd = e
 	}
+	p.trc.reset()
 	b, err := p.bwd.run(&p.brs, slab, p.v, p.prm)
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
 	p.last = b
+	p.met.Observe(b)
 	return p.bwd.in, b, nil
 }
 

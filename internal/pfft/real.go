@@ -14,6 +14,15 @@ type EngineOpt func(*engineConfig)
 type engineConfig struct {
 	workers int
 	pooled  bool
+	trace   *traceRec
+}
+
+// withTraceRec attaches a step recorder to the engine. The forward
+// pipeline traces by wrapping the whole Engine in a TraceEngine; the
+// backward engine implements no Engine interface, so it records into the
+// shared recorder directly at its breakdown timing points.
+func withTraceRec(rec *traceRec) EngineOpt {
+	return func(c *engineConfig) { c.trace = rec }
 }
 
 // WithEngineWorkers fans the intra-rank kernels (FFTz, Transpose, FFTy,

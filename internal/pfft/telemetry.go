@@ -1,0 +1,96 @@
+package pfft
+
+import (
+	"fmt"
+	"strings"
+
+	"offt/internal/telemetry"
+)
+
+// BreakdownObserver feeds per-step Breakdown times into a telemetry
+// registry: one latency histogram per Fig. 8 step plus the run total, a
+// derived overlap-efficiency gauge (Overlappable hidden behind
+// CommVisible, §5.2.1), and a downgrade counter. Handles are resolved once
+// at construction so Observe stays off the registry lock; a nil observer
+// (from a nil registry) is a no-op.
+type BreakdownObserver struct {
+	steps      []*telemetry.Histogram
+	total      *telemetry.Histogram
+	overlap    *telemetry.Gauge
+	downgrades *telemetry.Counter
+}
+
+// NewBreakdownObserver resolves handles under "<prefix>.step.<name>_ns",
+// "<prefix>.total_ns", "<prefix>.overlap_efficiency" and
+// "<prefix>.downgrades". Returns nil (the no-op observer) when r is nil.
+func NewBreakdownObserver(r *telemetry.Registry, prefix string) *BreakdownObserver {
+	if r == nil {
+		return nil
+	}
+	o := &BreakdownObserver{
+		total:      r.Histogram(prefix + ".total_ns"),
+		overlap:    r.Gauge(prefix + ".overlap_efficiency"),
+		downgrades: r.Counter(prefix + ".downgrades"),
+	}
+	for _, name := range StepNames() {
+		o.steps = append(o.steps, r.Histogram(prefix+".step."+strings.ToLower(name)+"_ns"))
+	}
+	return o
+}
+
+// Observe records one breakdown (typically one rank's run, or a per-run
+// average).
+func (o *BreakdownObserver) Observe(b Breakdown) {
+	if o == nil {
+		return
+	}
+	for i, v := range b.Steps() {
+		o.steps[i].Observe(v)
+	}
+	o.total.Observe(b.Total)
+	o.overlap.Set(b.OverlapEfficiency())
+	if b.Downgrades > 0 {
+		o.downgrades.Add(b.Downgrades)
+	}
+}
+
+// TraceTimeline converts per-rank step traces (index = rank) into a
+// telemetry.Timeline: one track per rank, an instant event per Downgrade,
+// and a flow arrow from each tile's all-to-all post to the Wait that
+// retires it (same rank; tile indices were attributed by the recorder).
+func TraceTimeline(traces [][]StepEvent) *telemetry.Timeline {
+	tl := telemetry.NewTimeline()
+	for rank, evs := range traces {
+		tl.TrackNames[rank] = fmt.Sprintf("rank %d", rank)
+		posts := map[int]StepEvent{}
+		waits := map[int]StepEvent{}
+		for _, e := range evs {
+			tl.AddSpan(telemetry.Span{
+				Track: rank, Name: e.Name, Start: e.Start, End: e.End,
+				Tile: e.Tile, Instant: e.Name == "Downgrade",
+			})
+			if e.Tile < 0 {
+				continue
+			}
+			switch e.Name {
+			case "Ialltoall":
+				posts[e.Tile] = e
+			case "Wait":
+				waits[e.Tile] = e
+			}
+		}
+		for tile, post := range posts {
+			wait, ok := waits[tile]
+			if !ok || wait.End < post.End {
+				continue // downgraded runs leave posted tiles with no wait
+			}
+			tl.AddFlow(telemetry.Flow{
+				ID:        int64(rank)<<20 | int64(tile),
+				Name:      fmt.Sprintf("a2a tile %d", tile),
+				FromTrack: rank, FromTs: post.End,
+				ToTrack: rank, ToTs: wait.End,
+			})
+		}
+	}
+	return tl
+}

@@ -18,42 +18,121 @@ type StepEvent struct {
 	Tile       int // communication tile index, −1 when not applicable
 }
 
+// traceRec accumulates one rank's StepEvents. It is shared between the
+// TraceEngine wrapper (forward pipelines), the backward engine and the
+// traceComm communicator wrapper, so a single recorder captures a whole
+// plan execution across directions. A nil *traceRec is the disabled
+// recorder: every method is a no-op behind one nil check.
+//
+// posts/waits give tile attribution for communication events: both the
+// overlapped forward pipeline (runNEW) and the backward pipeline post and
+// wait their tiles in strict ascending order, so the N-th post and the
+// N-th wait both belong to tile N. That pairing is what lets the timeline
+// exporter draw a flow arrow from each Ialltoall to the Wait that retires
+// it.
+type traceRec struct {
+	events []StepEvent
+	posts  int
+	waits  int
+}
+
+func (r *traceRec) add(name string, start, end int64, tile int) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, StepEvent{Name: name, Start: start, End: end, Tile: tile})
+}
+
+func (r *traceRec) instant(name string, now int64, tile int) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, StepEvent{Name: name, Start: now, End: now, Tile: tile})
+}
+
+func (r *traceRec) reset() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+	r.posts, r.waits = 0, 0
+}
+
+// nextPost returns the tile index of the next all-to-all post.
+func (r *traceRec) nextPost() int {
+	if r == nil {
+		return -1
+	}
+	i := r.posts
+	r.posts++
+	return i
+}
+
+// nextWait returns the tile index of the next tile wait.
+func (r *traceRec) nextWait() int {
+	if r == nil {
+		return -1
+	}
+	i := r.waits
+	r.waits++
+	return i
+}
+
 // TraceEngine wraps an Engine and records a StepEvent per kernel call,
 // reconstructing the paper's Fig. 3 view of how computation on some tiles
-// overlaps communication on others. Wrap the communicator's Wait/Test via
-// TraceComm to capture the communication side too.
+// overlaps communication on others. Its Comm wraps the communicator's
+// Wait/Test to capture the communication side too.
 type TraceEngine struct {
-	Inner  Engine
-	Events []StepEvent
-	tile   func(zt0 int) int
+	Inner Engine
+	rec   *traceRec
+	tile  func(zt0 int) int
 }
 
 // NewTraceEngine wraps inner, deriving tile indices from tile starts using
 // the tiling of parameter T.
 func NewTraceEngine(inner Engine, prm Params) *TraceEngine {
+	return newTraceEngineRec(inner, prm, &traceRec{})
+}
+
+// newTraceEngineRec wraps inner recording into an existing recorder (how a
+// Plan shares one recorder between forward and backward executions).
+func newTraceEngineRec(inner Engine, prm Params, rec *traceRec) *TraceEngine {
 	tl, err := layout.NewTiling(inner.Grid().Nz, prm.T)
 	if err != nil {
 		tl = layout.Tiling{Nz: inner.Grid().Nz, T: inner.Grid().Nz}
 	}
 	return &TraceEngine{
 		Inner: inner,
+		rec:   rec,
 		tile:  func(zt0 int) int { return zt0 / tl.T },
 	}
 }
 
 var _ Engine = (*TraceEngine)(nil)
 
+// Events returns the events recorded so far. The slice aliases the
+// recorder's backing store; copy it before the next Reset/run if kept.
+func (t *TraceEngine) Events() []StepEvent {
+	if t.rec == nil {
+		return nil
+	}
+	return t.rec.events
+}
+
+// Reset discards recorded events so the engine can trace another run.
+func (t *TraceEngine) Reset() { t.rec.reset() }
+
 func (t *TraceEngine) record(name string, tile int, fn func()) {
 	start := t.Inner.Comm().Now()
 	fn()
-	t.Events = append(t.Events, StepEvent{Name: name, Start: start, End: t.Inner.Comm().Now(), Tile: tile})
+	t.rec.add(name, start, t.Inner.Comm().Now(), tile)
 }
 
 // Grid returns the inner engine's geometry.
 func (t *TraceEngine) Grid() layout.Grid { return t.Inner.Grid() }
 
 // Comm returns a communicator that also records Wait and Test intervals.
-func (t *TraceEngine) Comm() mpi.Comm { return &traceComm{Comm: t.Inner.Comm(), t: t} }
+func (t *TraceEngine) Comm() mpi.Comm { return &traceComm{Comm: t.Inner.Comm(), rec: t.rec} }
 
 // FFTz records and forwards.
 func (t *TraceEngine) FFTz() { t.record("FFTz", -1, t.Inner.FFTz) }
@@ -73,10 +152,11 @@ func (t *TraceEngine) PackSub(slot int, fast bool, zt0, ztl, z0, z1, x0, x1 int)
 	t.record("Pack", t.tile(zt0), func() { t.Inner.PackSub(slot, fast, zt0, ztl, z0, z1, x0, x1) })
 }
 
-// PostTile records and forwards.
+// PostTile records and forwards, attributing the post to its tile (posts
+// happen in ascending tile order).
 func (t *TraceEngine) PostTile(slot int, ztl int) mpi.Request {
 	var req mpi.Request
-	t.record("Ialltoall", -1, func() { req = t.Inner.PostTile(slot, ztl) })
+	t.record("Ialltoall", t.rec.nextPost(), func() { req = t.Inner.PostTile(slot, ztl) })
 	return req
 }
 
@@ -98,25 +178,26 @@ func (t *TraceEngine) FFTxSub(fast bool, zt0, z0, z1, y0, y1 int) {
 // NoteDowngrade records an overlapped→blocking downgrade as a zero-length
 // event at the current time, marking the tile whose wait triggered it.
 func (t *TraceEngine) NoteDowngrade(tile int) {
-	now := t.Inner.Comm().Now()
-	t.Events = append(t.Events, StepEvent{Name: "Downgrade", Start: now, End: now, Tile: tile})
+	t.rec.instant("Downgrade", t.Inner.Comm().Now(), tile)
 }
 
-// traceComm intercepts Wait and Test to record their intervals.
+// traceComm intercepts Wait and Test to record their intervals. It is
+// shared by TraceEngine and the backward engine's trace mode.
 type traceComm struct {
 	mpi.Comm
-	t *TraceEngine
+	rec *traceRec
 }
 
 func (c *traceComm) Wait(reqs ...mpi.Request) {
-	c.t.record("Wait", -1, func() { c.Comm.Wait(reqs...) })
+	start := c.Comm.Now()
+	c.Comm.Wait(reqs...)
+	c.rec.add("Wait", start, c.Comm.Now(), c.rec.nextWait())
 }
 
 func (c *traceComm) Test(reqs ...mpi.Request) bool {
-	var ok bool
 	start := c.Comm.Now()
-	ok = c.Comm.Test(reqs...)
-	c.t.Events = append(c.t.Events, StepEvent{Name: "Test", Start: start, End: c.Comm.Now(), Tile: -1})
+	ok := c.Comm.Test(reqs...)
+	c.rec.add("Test", start, c.Comm.Now(), -1)
 	return ok
 }
 
@@ -130,8 +211,9 @@ func (c *traceComm) WaitDeadline(reqs ...mpi.Request) error {
 		c.Wait(reqs...)
 		return nil
 	}
-	var err error
-	c.t.record("Wait", -1, func() { err = dw.WaitDeadline(reqs...) })
+	start := c.Comm.Now()
+	err := dw.WaitDeadline(reqs...)
+	c.rec.add("Wait", start, c.Comm.Now(), c.rec.nextWait())
 	return err
 }
 

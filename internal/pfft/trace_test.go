@@ -32,7 +32,7 @@ func TestTraceEngineRecordsAndPreservesResult(t *testing.T) {
 			panic(err)
 		}
 		outs[c.Rank()] = inner.Output()
-		traces[c.Rank()] = te.Events
+		traces[c.Rank()] = te.Events()
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -25,6 +25,7 @@ import (
 
 	"offt/internal/machine"
 	"offt/internal/mpi/fault"
+	"offt/internal/telemetry"
 	"offt/internal/vclock"
 )
 
@@ -75,6 +76,22 @@ type Stats struct {
 	// Fault-injection activity (see SetFaults).
 	StallNsInjected   int64 // total injection-start displacement from NIC stalls
 	DegradedTransfers int64 // injections whose rate was scaled by NIC/link factors
+}
+
+// Publish copies the snapshot into a telemetry registry under "simnet.*".
+// Stats is a point-in-time value (the fabric mutates its own copy under
+// the virtual-clock lock), so the bridge is a plain gauge write, not a
+// live Func. Safe on a nil registry.
+func (s Stats) Publish(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge("simnet.eager_msgs").Set(float64(s.EagerMsgs))
+	r.Gauge("simnet.rendezvous_msgs").Set(float64(s.RendezvousMsgs))
+	r.Gauge("simnet.bytes_moved").Set(float64(s.BytesMoved))
+	r.Gauge("simnet.test_calls").Set(float64(s.TestCalls))
+	r.Gauge("simnet.stall_ns_injected").Set(float64(s.StallNsInjected))
+	r.Gauge("simnet.degraded_transfers").Set(float64(s.DegradedTransfers))
 }
 
 // NewFabric creates the interconnect for p ranks on machine m.

@@ -73,6 +73,51 @@ func TestPercentileRank(t *testing.T) {
 	}
 }
 
+// TestPercentileEdges pins the degenerate inputs the harness can feed
+// the helpers: no samples, one sample, and sample sets that clean() to
+// nothing (all NaN / infinite).
+func TestPercentileEdges(t *testing.T) {
+	if !math.IsNaN(Percentile([]float64{}, 50)) {
+		t.Error("Percentile of empty slice should be NaN")
+	}
+	if !math.IsNaN(PercentileRank(nil, 1)) {
+		t.Error("PercentileRank of nil should be NaN")
+	}
+	if !math.IsNaN(PercentileRank([]float64{}, 1)) {
+		t.Error("PercentileRank of empty slice should be NaN")
+	}
+
+	one := []float64{7}
+	for _, q := range []float64{0, 1, 50, 99, 100} {
+		if v := Percentile(one, q); v != 7 {
+			t.Errorf("single-sample P%v = %v, want 7", q, v)
+		}
+	}
+	if r := PercentileRank(one, 7); r != 100 {
+		t.Errorf("single-sample rank of the sample = %v, want 100", r)
+	}
+	if r := PercentileRank(one, 6.9); r != 0 {
+		t.Errorf("single-sample rank below the sample = %v, want 0", r)
+	}
+
+	dirty := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.NaN()}
+	if !math.IsNaN(Percentile(dirty, 50)) {
+		t.Error("all-NaN/Inf Percentile should be NaN")
+	}
+	if !math.IsNaN(PercentileRank(dirty, 0)) {
+		t.Error("all-NaN/Inf PercentileRank should be NaN")
+	}
+
+	// Non-finite values are dropped, not counted in the denominator.
+	mixed := []float64{math.NaN(), 1, math.Inf(1), 3}
+	if v := Percentile(mixed, 50); v != 1 {
+		t.Errorf("mixed P50 = %v, want 1", v)
+	}
+	if r := PercentileRank(mixed, 1); r != 50 {
+		t.Errorf("mixed rank of 1 = %v, want 50", r)
+	}
+}
+
 func TestMinMaxMean(t *testing.T) {
 	xs := []float64{4, 2, 6}
 	if Min(xs) != 2 || Max(xs) != 6 || Mean(xs) != 4 {

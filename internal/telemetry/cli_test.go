@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIDisabled(t *testing.T) {
+	var c CLI
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Error("CLI should be disabled with no flags")
+	}
+	if c.Registry() != nil {
+		t.Error("disabled CLI should hand out a nil registry")
+	}
+	if err := c.Start(io.Discard); err != nil {
+		t.Errorf("Start without -pprof: %v", err)
+	}
+	if err := c.Finish(); err != nil {
+		t.Errorf("Finish without -metrics: %v", err)
+	}
+}
+
+func TestCLIMetricsLifecycle(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "snap.json")
+	var c CLI
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-metrics", out, "-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Registry()
+	if r == nil {
+		t.Fatal("enabled CLI should create a registry")
+	}
+	if c.Registry() != r {
+		t.Error("Registry() should be stable across calls")
+	}
+	if err := c.Start(io.Discard); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	r.Counter("cli.test").Add(3)
+	if err := c.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v", err)
+	}
+	if snap.Counters["cli.test"] != 3 {
+		t.Errorf("counter not in snapshot: %+v", snap.Counters)
+	}
+}

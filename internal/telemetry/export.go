@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Bucket is one non-empty histogram bucket: N observations ≤ Le ns.
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time view of one histogram.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time view of a whole registry. Funcs are folded
+// into Counters. Maps marshal with sorted keys, so JSON output is
+// deterministic for a quiesced registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values. A nil registry yields
+// an empty (but non-nil-map) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	r.mu.RUnlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, fn := range funcs {
+		s.Counters[k] = fn()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		hs := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{Le: BucketLe(i), N: n})
+			}
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promName maps a dotted metric name to a Prometheus-legal one.
+func promName(name string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			return c
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format. Histogram buckets are cumulative with le in nanoseconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range names(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range names(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range names(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.Count, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotFile writes the registry snapshot to path: "-" writes JSON
+// to stdout, a path ending in ".prom" writes Prometheus text, anything
+// else writes JSON.
+func WriteSnapshotFile(path string, r *Registry) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = r.WritePrometheus(f)
+	} else {
+		err = r.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// PublishExpvar publishes the registry under the given expvar name (shown
+// at /debug/vars), evaluating a fresh snapshot per request. Publishing the
+// same name twice keeps the first registration (expvar panics on
+// duplicates; tests and repeated servers must stay safe).
+func PublishExpvar(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the debug HTTP handler: net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, the registry as Prometheus text
+// at /metrics and as JSON at /metrics.json. The registry may be nil (the
+// metric endpoints then serve empty snapshots; pprof still works).
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// StartDebugServer binds addr synchronously (so address errors surface to
+// the caller) and serves DebugMux in the background for the life of the
+// process. It also publishes the registry under the "offt" expvar name.
+// Returns the bound address ("host:port", useful with ":0").
+func StartDebugServer(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug server listen %s: %w", addr, err)
+	}
+	PublishExpvar("offt", r)
+	srv := &http.Server{Handler: DebugMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,237 @@
+// Package telemetry is the repo's unified observability layer: a
+// low-overhead metrics registry (atomic counters, gauges and fixed-bucket
+// latency histograms), snapshot export as JSON and Prometheus text, expvar
+// and net/http/pprof wiring, and a timeline exporter that renders per-rank
+// step traces as Chrome trace-event JSON loadable in Perfetto.
+//
+// The paper's whole argument is observational — per-step breakdowns
+// (Fig. 8), tuning-cost distributions (Fig. 5), and the claim that
+// FFTy/Pack/Unpack/FFTx time is hidden behind MPI_Ialltoall — so every
+// layer of the repo (pfft pipeline, mem transport, simulated fabric,
+// Nelder–Mead tuner) feeds this registry when one is attached.
+//
+// Disabled-path cost: a nil *Registry is a valid "off" registry — every
+// method on a nil Registry, Counter, Gauge or Histogram is a no-op behind
+// a single nil check, so instrumented code needs no conditionals and pays
+// effectively nothing when telemetry is off. Hot paths should resolve
+// metric handles once (at plan/world construction) and hold them; name
+// lookup takes the registry lock.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 value (last write wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. v ∈ [2^(i-1), 2^i). 48
+// power-of-two buckets cover 1 ns to ~78 h, plenty for any latency this
+// repo measures, at a fixed 8·48-byte footprint per histogram.
+const histBuckets = 48
+
+// Histogram is a fixed-bucket (power-of-two) latency histogram in
+// nanoseconds. Observe is lock-free: one atomic add per bucket, count and
+// sum.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketLe returns the inclusive upper bound of bucket i (2^i − 1 ns); the
+// last bucket is the overflow bucket and is unbounded.
+func BucketLe(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value in nanoseconds. No-op on a nil histogram.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations in nanoseconds.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry is a named collection of metrics. The zero registry from
+// NewRegistry is ready to use; a nil *Registry is the disabled registry
+// (every method returns a nil, no-op metric handle).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry creates an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (the no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Func registers a callback counter: fn is invoked at snapshot/export time
+// and its value reported alongside the counters. This is how subsystems
+// that already keep their own atomic counters (the mem transport, the
+// simulated fabric) are bridged in without double counting. Re-registering
+// a name replaces the callback. No-op on a nil registry.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// names returns the sorted keys of a map.
+func names[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles, got %v %v %v", c, g, h)
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(3.5)
+	h.Observe(100)
+	r.Func("d", func() int64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metric handles must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot must be empty, got %+v", s)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Add(2)
+	c.Inc()
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Counter("ops") != c {
+		t.Fatal("same name must return the same counter")
+	}
+
+	g := r.Gauge("eff")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("gauge = %v, want 0.75", got)
+	}
+	g.Set(-1.5)
+	if got := g.Value(); got != -1.5 {
+		t.Fatalf("gauge = %v, want -1.5", got)
+	}
+
+	h := r.Histogram("lat")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(-5) // clamped to bucket 0
+	if got := h.Count(); got != 4 {
+		t.Fatalf("hist count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 996 {
+		t.Fatalf("hist sum = %d, want 996", got)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	if bucketIndex(0) != 0 {
+		t.Fatalf("bucketIndex(0) = %d, want 0", bucketIndex(0))
+	}
+	if bucketIndex(1) != 1 {
+		t.Fatalf("bucketIndex(1) = %d, want 1", bucketIndex(1))
+	}
+	if bucketIndex(math.MaxInt64) != histBuckets-1 {
+		t.Fatal("max observation must land in the last bucket")
+	}
+	// Every observation must satisfy v <= BucketLe(bucketIndex(v)).
+	for _, v := range []int64{0, 1, 2, 3, 7, 8, 1023, 1024, 1 << 40, math.MaxInt64} {
+		i := bucketIndex(v)
+		if v > BucketLe(i) {
+			t.Fatalf("v=%d lands in bucket %d with le=%d", v, i, BucketLe(i))
+		}
+		if i > 0 && v <= BucketLe(i-1) {
+			t.Fatalf("v=%d should have landed in bucket %d (le=%d)", v, i-1, BucketLe(i-1))
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared").Inc()
+				r.Counter(fmt.Sprintf("c%d", i)).Add(1)
+				r.Histogram("h").Observe(int64(j))
+				r.Gauge("g").Set(float64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 800 {
+		t.Fatalf("shared counter = %d, want 800", got)
+	}
+	if got := r.Histogram("h").Count(); got != 800 {
+		t.Fatalf("hist count = %d, want 800", got)
+	}
+}
+
+func TestSnapshotAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("retx").Add(7)
+	r.Gauge("eff").Set(0.5)
+	r.Histogram("lat").Observe(100)
+	var backing int64 = 42
+	r.Func("bridged", func() int64 { return backing })
+
+	s := r.Snapshot()
+	if s.Counters["retx"] != 7 {
+		t.Fatalf("snapshot retx = %d", s.Counters["retx"])
+	}
+	if s.Counters["bridged"] != 42 {
+		t.Fatalf("snapshot bridged = %d", s.Counters["bridged"])
+	}
+	if s.Gauges["eff"] != 0.5 {
+		t.Fatalf("snapshot eff = %v", s.Gauges["eff"])
+	}
+	h := s.Histograms["lat"]
+	if h.Count != 1 || h.Sum != 100 || len(h.Buckets) != 1 {
+		t.Fatalf("snapshot hist = %+v", h)
+	}
+	if h.Buckets[0].Le < 100 {
+		t.Fatalf("bucket le %d < observation 100", h.Buckets[0].Le)
+	}
+
+	backing = 99
+	if got := r.Snapshot().Counters["bridged"]; got != 99 {
+		t.Fatalf("func must be re-evaluated per snapshot, got %d", got)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(3)
+	r.Histogram("h").Observe(10)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["a.b"] != 3 {
+		t.Fatalf("round-trip counter = %d", s.Counters["a.b"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mem.transport.retransmits").Add(2)
+	r.Gauge("pfft.overlap_efficiency").Set(0.9)
+	h := r.Histogram("pfft.step.fftz_ns")
+	h.Observe(3) // bucket le=3
+	h.Observe(3)
+	h.Observe(100) // bucket le=127
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mem_transport_retransmits counter",
+		"mem_transport_retransmits 2",
+		"# TYPE pfft_overlap_efficiency gauge",
+		"pfft_overlap_efficiency 0.9",
+		"# TYPE pfft_step_fftz_ns histogram",
+		`pfft_step_fftz_ns_bucket{le="3"} 2`,
+		`pfft_step_fftz_ns_bucket{le="127"} 3`, // cumulative
+		`pfft_step_fftz_ns_bucket{le="+Inf"} 3`,
+		"pfft_step_fftz_ns_sum 106",
+		"pfft_step_fftz_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(1)
+	addr, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "hits 1") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"hits": 1`) {
+		t.Fatalf("/metrics.json missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, `"offt"`) {
+		t.Fatalf("/debug/vars missing offt expvar:\n%s", out)
+	}
+	// Publishing again under the same name must not panic.
+	PublishExpvar("offt", r)
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// traceEvent mirrors the Chrome trace-event schema for validation; unknown
+// keys are rejected by DisallowUnknownFields in the schema check below.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id"`
+	BP   string         `json:"bp"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+func buildTestTimeline() *Timeline {
+	tl := NewTimeline()
+	tl.TrackNames[0] = "rank 0"
+	tl.TrackNames[1] = "rank 1"
+	// Deliberately append rank-0 spans out of start order: the exporter
+	// must sort per track so ts is monotone.
+	tl.AddSpan(Span{Track: 0, Name: "FFTz", Start: 5000, End: 9000, Tile: -1})
+	tl.AddSpan(Span{Track: 0, Name: "Ialltoall", Start: 1000, End: 1200, Tile: 0})
+	tl.AddSpan(Span{Track: 0, Name: "Wait", Start: 3000, End: 4000, Tile: 0})
+	tl.AddSpan(Span{Track: 0, Name: "Downgrade", Start: 4500, End: 4500, Tile: -1, Instant: true})
+	tl.AddSpan(Span{Track: 1, Name: "FFTy", Start: 500, End: 2500, Tile: 0})
+	tl.AddFlow(Flow{ID: 1, Name: "a2a tile 0", FromTrack: 0, FromTs: 1000, ToTrack: 0, ToTs: 3000})
+	return tl
+}
+
+// TestChromeTraceSchema validates the exported timeline JSON against the
+// Chrome trace-event schema: the traceEvents container, required keys per
+// phase, monotone ts per track, and matching flow-event pairs.
+func TestChromeTraceSchema(t *testing.T) {
+	tl := buildTestTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace container has unexpected shape: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	var events []traceEvent
+	for i, raw := range doc.TraceEvents {
+		var ev traceEvent
+		evDec := json.NewDecoder(bytes.NewReader(raw))
+		evDec.DisallowUnknownFields()
+		if err := evDec.Decode(&ev); err != nil {
+			t.Fatalf("event %d has unknown/invalid fields: %v\n%s", i, err, raw)
+		}
+		if ev.Name == "" || ev.Ph == "" {
+			t.Fatalf("event %d missing required name/ph: %s", i, raw)
+		}
+		if ev.Ts < 0 {
+			t.Fatalf("event %d has negative ts: %s", i, raw)
+		}
+		events = append(events, ev)
+	}
+
+	// Metadata: one process_name per track.
+	meta := map[int]string{}
+	for _, ev := range events {
+		if ev.Ph == "M" {
+			if ev.Name != "process_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			name, _ := ev.Args["name"].(string)
+			meta[ev.Pid] = name
+		}
+	}
+	if meta[0] != "rank 0" || meta[1] != "rank 1" {
+		t.Fatalf("track metadata = %v", meta)
+	}
+
+	// Monotone ts per track for slice events.
+	lastTs := map[int]float64{}
+	sliceCount, instantCount := 0, 0
+	for _, ev := range events {
+		switch ev.Ph {
+		case "X":
+			sliceCount++
+			if prev, ok := lastTs[ev.Pid]; ok && ev.Ts < prev {
+				t.Fatalf("track %d ts not monotone: %v after %v", ev.Pid, ev.Ts, prev)
+			}
+			lastTs[ev.Pid] = ev.Ts
+			if ev.Dur < 0 {
+				t.Fatalf("slice %q has negative dur %v", ev.Name, ev.Dur)
+			}
+		case "i":
+			instantCount++
+			if ev.S == "" {
+				t.Fatalf("instant %q missing scope", ev.Name)
+			}
+		}
+	}
+	if sliceCount != 4 {
+		t.Fatalf("slice count = %d, want 4", sliceCount)
+	}
+	if instantCount != 1 {
+		t.Fatalf("instant count = %d, want 1", instantCount)
+	}
+
+	// Flow events must come in matching s/f pairs with equal ids, the
+	// finish carrying bp:"e", and finish not before start.
+	starts := map[int64]traceEvent{}
+	finishes := map[int64]traceEvent{}
+	for _, ev := range events {
+		switch ev.Ph {
+		case "s":
+			if _, dup := starts[ev.ID]; dup {
+				t.Fatalf("duplicate flow start id %d", ev.ID)
+			}
+			starts[ev.ID] = ev
+		case "f":
+			if ev.BP != "e" {
+				t.Fatalf("flow finish id %d missing bp:e", ev.ID)
+			}
+			if _, dup := finishes[ev.ID]; dup {
+				t.Fatalf("duplicate flow finish id %d", ev.ID)
+			}
+			finishes[ev.ID] = ev
+		}
+	}
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("flow pairs: %d starts, %d finishes, want 1 each", len(starts), len(finishes))
+	}
+	for id, s := range starts {
+		f, ok := finishes[id]
+		if !ok {
+			t.Fatalf("flow start id %d has no finish", id)
+		}
+		if s.Name != f.Name {
+			t.Fatalf("flow id %d name mismatch: %q vs %q", id, s.Name, f.Name)
+		}
+		if f.Ts < s.Ts {
+			t.Fatalf("flow id %d finishes (%v) before it starts (%v)", id, f.Ts, s.Ts)
+		}
+	}
+
+	// Tile attribution survives export.
+	foundTile := false
+	for _, ev := range events {
+		if ev.Ph == "X" && ev.Name == "Ialltoall" {
+			if tile, ok := ev.Args["tile"].(float64); !ok || tile != 0 {
+				t.Fatalf("Ialltoall slice missing tile arg: %v", ev.Args)
+			}
+			foundTile = true
+		}
+	}
+	if !foundTile {
+		t.Fatal("no Ialltoall slice found")
+	}
+}
+
+func TestChromeTraceEmptyTimeline(t *testing.T) {
+	tl := NewTimeline()
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty timeline must still be valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("empty timeline missing traceEvents key")
+	}
+}

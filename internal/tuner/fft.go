@@ -10,6 +10,7 @@ import (
 	"offt/internal/model"
 	"offt/internal/pencil"
 	"offt/internal/pfft"
+	"offt/internal/telemetry"
 )
 
 // FFTSpace builds the ten-dimensional log-reduced search space of the
@@ -132,6 +133,19 @@ func NelderMeadStrategy(space Space, obj Objective, def []int, budget int) Resul
 		MaxEvals:       budget,
 		InitialSimplex: InitialSimplex(space, def),
 	})
+}
+
+// NelderMeadTelemetry returns NelderMeadStrategy with per-evaluation
+// telemetry feeding r ("tuner.*" metrics). A nil registry yields the plain
+// strategy.
+func NelderMeadTelemetry(r *telemetry.Registry) Strategy {
+	return func(space Space, obj Objective, def []int, budget int) Result {
+		return NelderMead(space, obj, Options{
+			MaxEvals:       budget,
+			InitialSimplex: InitialSimplex(space, def),
+			Telemetry:      r,
+		})
+	}
 }
 
 // CoordinateStrategy adapts CoordinateDescent to the Strategy signature.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"offt/internal/telemetry"
 )
 
 // Objective evaluates one discrete configuration and returns its cost.
@@ -46,6 +48,38 @@ type Options struct {
 	// not index space). Required: the §4.4 construction supplies it for
 	// the FFT; tests build their own.
 	InitialSimplex [][]int
+	// Telemetry, when non-nil, receives per-evaluation metrics under
+	// "tuner.*": evaluation/cache-hit/penalty counters, a cost histogram,
+	// a best-so-far gauge, and simplex-move counters (reflections,
+	// expansions, contractions, shrinks, restarts).
+	Telemetry *telemetry.Registry
+}
+
+// nmTel holds the tuner's pre-resolved metric handles. All fields are nil
+// when no registry is attached; the nil handles make every update a no-op.
+type nmTel struct {
+	evals, cacheHits, infeasible                            *telemetry.Counter
+	reflections, expansions, contractions, shrinks, restart *telemetry.Counter
+	costNs                                                  *telemetry.Histogram
+	bestCost                                                *telemetry.Gauge
+}
+
+func newNMTel(r *telemetry.Registry) nmTel {
+	if r == nil {
+		return nmTel{}
+	}
+	return nmTel{
+		evals:        r.Counter("tuner.evals"),
+		cacheHits:    r.Counter("tuner.cache_hits"),
+		infeasible:   r.Counter("tuner.infeasible"),
+		reflections:  r.Counter("tuner.moves.reflections"),
+		expansions:   r.Counter("tuner.moves.expansions"),
+		contractions: r.Counter("tuner.moves.contractions"),
+		shrinks:      r.Counter("tuner.moves.shrinks"),
+		restart:      r.Counter("tuner.restarts"),
+		costNs:       r.Histogram("tuner.eval_cost_ns"),
+		bestCost:     r.Gauge("tuner.best_cost_ns"),
+	}
 }
 
 // nmState carries the bookkeeping shared by the searches.
@@ -55,6 +89,7 @@ type nmState struct {
 	cache map[string]float64
 	res   *Result
 	max   int
+	tel   nmTel
 }
 
 func (st *nmState) eval(x []float64) float64 {
@@ -67,6 +102,7 @@ func (st *nmState) evalCfg(cfg []int) float64 {
 	k := Key(cfg)
 	if c, ok := st.cache[k]; ok {
 		st.res.CacheHits++
+		st.tel.cacheHits.Inc()
 		return c
 	}
 	var cost float64
@@ -77,16 +113,20 @@ func (st *nmState) evalCfg(cfg []int) float64 {
 		cost = st.obj(cfg)
 		if !math.IsInf(cost, 1) {
 			st.res.Evals++
+			st.tel.evals.Inc()
+			st.tel.costNs.Observe(int64(cost))
 		}
 	}
 	if math.IsInf(cost, 1) {
 		st.res.Infeasible++
+		st.tel.infeasible.Inc()
 	}
 	st.cache[k] = cost
 	st.res.History = append(st.res.History, Sample{Cfg: append([]int(nil), cfg...), Cost: cost})
 	if cost < st.res.BestCost {
 		st.res.BestCost = cost
 		st.res.Best = append([]int(nil), cfg...)
+		st.tel.bestCost.Set(cost)
 	}
 	return cost
 }
@@ -110,10 +150,14 @@ func NelderMead(space Space, obj Objective, opt Options) Result {
 		panic("tuner: initial simplex must have d+1 points")
 	}
 	res := Result{BestCost: math.Inf(1)}
-	st := &nmState{space: space, obj: obj, cache: map[string]float64{}, res: &res, max: opt.MaxEvals}
+	st := &nmState{space: space, obj: obj, cache: map[string]float64{}, res: &res,
+		max: opt.MaxEvals, tel: newNMTel(opt.Telemetry)}
 
 	simplex := opt.InitialSimplex
 	for restart := 0; restart < 16 && st.budgetLeft(); restart++ {
+		if restart > 0 {
+			st.tel.restart.Inc()
+		}
 		before := res.BestCost
 		nmRun(st, space, simplex)
 		if res.Best == nil || !(res.BestCost < before) {
@@ -190,11 +234,14 @@ func nmRun(st *nmState, space Space, simplex [][]int) {
 			xe := lerp(c, worst, -gamma)
 			if fe := st.eval(xe); fe < fr {
 				pts[d], costs[d] = xe, fe
+				st.tel.expansions.Inc()
 			} else {
 				pts[d], costs[d] = xr, fr
+				st.tel.reflections.Inc()
 			}
 		case fr < costs[d-1]:
 			pts[d], costs[d] = xr, fr
+			st.tel.reflections.Inc()
 		default:
 			var xc []float64
 			if fr < costs[d] {
@@ -205,8 +252,10 @@ func nmRun(st *nmState, space Space, simplex [][]int) {
 			fc := st.eval(xc)
 			if fc < math.Min(fr, costs[d]) {
 				pts[d], costs[d] = xc, fc
+				st.tel.contractions.Inc()
 			} else {
 				// Shrink toward the best point.
+				st.tel.shrinks.Inc()
 				for i := 1; i <= d; i++ {
 					for j := 0; j < d; j++ {
 						pts[i][j] = pts[0][j] + sigma*(pts[i][j]-pts[0][j])

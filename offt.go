@@ -20,6 +20,7 @@ import (
 	"offt/internal/model"
 	"offt/internal/mpi/mem"
 	"offt/internal/pfft"
+	"offt/internal/telemetry"
 	"offt/internal/tuner"
 )
 
@@ -39,7 +40,16 @@ type (
 	StepEvent = pfft.StepEvent
 	// TuneOutcome reports an auto-tuning run (search result + times).
 	TuneOutcome = tuner.TuneOutcome
+	// Telemetry is a metrics registry: counters, gauges and latency
+	// histograms fed by every instrumented layer, exportable as JSON or
+	// Prometheus text (see Plan.Metrics and WithTelemetry).
+	Telemetry = telemetry.Registry
 )
+
+// NewTelemetry creates an empty metrics registry to attach to plans via
+// WithTelemetry. A nil *Telemetry is the disabled registry: attaching it
+// is valid and keeps every instrumented path at its no-op cost.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
 
 // Algorithm variants, in the paper's naming.
 const (
@@ -124,6 +134,8 @@ type config struct {
 	engine      EngineKind
 	machineName string
 	workers     int
+	reg         *Telemetry
+	trace       bool
 }
 
 // WithGrid sets the transform dimensions (required).
@@ -157,6 +169,18 @@ func WithMachine(name string) Option {
 // serial, allocation-free path. Mem engine only.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
+// WithTelemetry attaches a metrics registry: per-step latency histograms,
+// the overlap-efficiency gauge and downgrade counter ("pfft.*"), and the
+// transport recovery counters ("mem.transport.*") feed it during
+// executions. Snapshot with Plan.Metrics or the registry's own exporters.
+func WithTelemetry(t *Telemetry) Option { return func(c *config) { c.reg = t } }
+
+// WithTrace records a per-rank StepEvent timeline of each execution,
+// readable via TraceEvents. Tracing wraps every kernel and Wait/Test call
+// with clock reads — use it for timeline capture, not steady-state
+// benchmarking. Mem engine only.
+func WithTrace() Option { return func(c *config) { c.trace = true } }
+
 // Plan is a create-once / execute-many distributed 3-D FFT. A Mem plan
 // keeps one long-lived world of rank goroutines, each holding a reusable
 // per-rank pfft.Plan with pre-sized communication slots and scratch, fed
@@ -177,12 +201,14 @@ type Plan struct {
 	outs    [][]complex128 // per-rank results, written by rank bodies
 	bds     []Breakdown
 	errs    []error
-	fullFwd []complex128 // reusable gathered spectrum
-	fullBwd []complex128 // reusable gathered backward result
+	traces  [][]StepEvent // per-rank timelines of the last execution (WithTrace)
+	fullFwd []complex128  // reusable gathered spectrum
+	fullBwd []complex128  // reusable gathered backward result
 
 	// Sim engine state.
 	mach    machine.Machine
 	lastSim model.Result
+	simMet  *pfft.BreakdownObserver
 
 	last   Breakdown
 	closed bool
@@ -237,6 +263,7 @@ func NewPlan(opts ...Option) (*Plan, error) {
 		}
 		p.mach = m
 		p.cfg.params = &prm
+		p.simMet = pfft.NewBreakdownObserver(cfg.reg, "pfft")
 		return p, nil
 	case Mem:
 		return p, p.startWorld(prm)
@@ -268,8 +295,16 @@ func (p *Plan) startWorld(prm Params) error {
 	if p.cfg.workers > 1 {
 		popts = append(popts, pfft.WithWorkers(p.cfg.workers))
 	}
+	if p.cfg.reg != nil {
+		popts = append(popts, pfft.WithTelemetry(p.cfg.reg))
+	}
+	if p.cfg.trace {
+		popts = append(popts, pfft.WithTrace())
+		p.traces = make([][]StepEvent, n)
+	}
 
 	p.world = mem.NewWorld(n)
+	p.world.RegisterTelemetry(p.cfg.reg)
 	inits := make(chan error, n)
 	p.runDone = make(chan error, 1)
 	go func() {
@@ -321,6 +356,9 @@ func (p *Plan) runJob(plan *pfft.Plan, rank int, jb job) {
 	p.outs[rank] = out
 	p.bds[rank] = b
 	p.errs[rank] = err
+	if p.traces != nil {
+		p.traces[rank] = append(p.traces[rank][:0], plan.Trace()...)
+	}
 }
 
 // dispatch runs one op on every rank and joins.
@@ -367,6 +405,8 @@ func (p *Plan) Forward(data []complex128) ([]complex128, error) {
 		}
 		p.lastSim = res
 		p.last = res.Avg
+		p.simMet.Observe(res.Avg)
+		res.Net.Publish(p.cfg.reg)
 		return nil, nil
 	}
 	if len(data) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
@@ -438,6 +478,36 @@ func (p *Plan) VirtualTimes() (total, tuned int64) {
 
 // Params returns the expanded parameter set the plan executes.
 func (p *Plan) Params() Params { return *p.cfg.params }
+
+// Metrics returns the plan's telemetry registry (nil without
+// WithTelemetry). Snapshot it with its WriteJSON/WritePrometheus methods,
+// or hand it to telemetry consumers directly.
+func (p *Plan) Metrics() *Telemetry { return p.cfg.reg }
+
+// TraceEvents returns a deep copy of the per-rank StepEvent timelines of
+// the most recent execution (index = rank), or nil when the plan was built
+// without WithTrace or has not executed yet.
+func (p *Plan) TraceEvents() [][]StepEvent {
+	if p.traces == nil {
+		return nil
+	}
+	out := make([][]StepEvent, len(p.traces))
+	for r, evs := range p.traces {
+		out[r] = append([]StepEvent(nil), evs...)
+	}
+	return out
+}
+
+// WriteChromeTrace renders the most recent traced execution as Chrome
+// trace-event JSON (loadable at ui.perfetto.dev): one track per rank, flow
+// arrows linking each tile's all-to-all post to its wait, instant markers
+// for downgrades. Fails when the plan was built without WithTrace.
+func (p *Plan) WriteChromeTrace(w io.Writer) error {
+	if p.traces == nil {
+		return fmt.Errorf("offt: plan has no trace (build it with WithTrace)")
+	}
+	return pfft.TraceTimeline(p.traces).WriteChromeTrace(w)
+}
 
 // Close shuts down the plan's rank goroutines and releases buffers.
 // Result slices handed out by Forward/Backward stay valid.

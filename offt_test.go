@@ -1,6 +1,9 @@
 package offt_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math/cmplx"
 	"math/rand"
 	"testing"
@@ -145,6 +148,112 @@ func TestPublicErrors(t *testing.T) {
 	}
 	if _, err := offt.NewPlan(offt.WithGrid(8, 8, 8), offt.WithVariant(offt.TH), offt.WithRanks(2)); err != nil {
 		t.Fatalf("TH plan: %v", err)
+	}
+}
+
+// TestPublicTelemetry: WithTelemetry + WithTrace surface metrics and
+// per-rank timelines through the public API without disturbing results.
+func TestPublicTelemetry(t *testing.T) {
+	const n = 16
+	data := randData(n*n*n, 13)
+
+	want := append([]complex128(nil), data...)
+	fft.NewPlan3D(n, n, n, fft.Forward).Transform(want)
+
+	reg := offt.NewTelemetry()
+	plan, err := offt.NewPlan(
+		offt.WithGrid(n, n, n),
+		offt.WithRanks(4),
+		offt.WithVariant(offt.NEW),
+		offt.WithTelemetry(reg),
+		offt.WithTrace(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+
+	got, err := plan.Forward(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxAbsDiff(got, want); e > 1e-9 {
+		t.Errorf("traced Forward differs from serial reference by %g", e)
+	}
+	if plan.Metrics() != reg {
+		t.Error("Metrics() should return the attached registry")
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["pfft.total_ns"]; !ok || h.Count == 0 {
+		t.Errorf("pfft.total_ns missing or empty in snapshot: %+v", snap.Histograms)
+	}
+	if g, ok := snap.Gauges["pfft.overlap_efficiency"]; !ok || g < 0 || g > 1 {
+		t.Errorf("overlap_efficiency gauge out of range: %v (present=%v)", g, ok)
+	}
+
+	traces := plan.TraceEvents()
+	if len(traces) != 4 {
+		t.Fatalf("TraceEvents ranks = %d, want 4", len(traces))
+	}
+	for r, evs := range traces {
+		if len(evs) == 0 {
+			t.Errorf("rank %d: empty trace", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+
+	// Untraced plans report no timeline.
+	plain, err := offt.NewPlan(offt.WithGrid(n, n, n), offt.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.TraceEvents() != nil {
+		t.Error("TraceEvents on an untraced plan should be nil")
+	}
+	if err := plain.WriteChromeTrace(io.Discard); err == nil {
+		t.Error("WriteChromeTrace on an untraced plan should fail")
+	}
+	if plain.Metrics() != nil {
+		t.Error("Metrics without WithTelemetry should be nil")
+	}
+}
+
+// TestPublicSimTelemetry: the Sim engine feeds the same registry names.
+func TestPublicSimTelemetry(t *testing.T) {
+	reg := offt.NewTelemetry()
+	plan, err := offt.NewPlan(
+		offt.WithGrid(64, 64, 64),
+		offt.WithRanks(8),
+		offt.WithEngine(offt.Sim),
+		offt.WithMachine("umd-cluster"),
+		offt.WithTelemetry(reg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	if _, err := plan.Forward(nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["pfft.total_ns"]; !ok || h.Count == 0 {
+		t.Error("Sim forward should observe pfft.total_ns")
+	}
+	if _, ok := snap.Gauges["simnet.bytes_moved"]; !ok {
+		t.Error("Sim forward should publish simnet gauges")
 	}
 }
 

@@ -15,10 +15,17 @@ fi
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/pfft/... .
+go test -race ./internal/mpi/... ./internal/pfft/... ./internal/telemetry/ .
 
 # Allocation gate: steady-state Forward/Backward on a reusable plan must
 # run allocation-free (measured against the zero-alloc self communicator;
 # see internal/pfft/plan_test.go). -count=1 defeats the test cache so the
 # gate re-measures every run.
 go test -run 'SteadyStateAllocs' -count=1 ./internal/pfft/
+
+# Observability smoke run: a real experiment with telemetry attached must
+# succeed and leave a non-empty metrics snapshot carrying the tuner's and
+# the model's instrumentation.
+go run ./cmd/offt-bench -scale small -metrics BENCH_PR3.json table2a
+grep -q '"tuner.evals"' BENCH_PR3.json
+grep -q '"model.new.overlap_efficiency"' BENCH_PR3.json
