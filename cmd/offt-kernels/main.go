@@ -1,0 +1,169 @@
+// Command offt-kernels measures 1-D kernel throughput for the batched
+// multi-row Stockham engine against the per-row baseline and emits a JSON
+// report (BENCH_PR4.json in CI). Two pairs are timed per length:
+//
+//   - rows: contiguous row batches, per-row Transform loop vs TransformRows
+//     (the FFTz path);
+//   - strided: a transposed plane of strided lines, per-line
+//     gather+Transform+scatter (the pre-engine Strided) vs StridedRows
+//     (the FFTy/FFTx fast path).
+//
+// The gate mirrors the PR-4 acceptance bar: at N=256 the batched strided
+// path must be >= 1.5x its per-row baseline, and the batched contiguous
+// path must not regress. Exit status 1 when the gate fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"offt/internal/fft"
+)
+
+type pair struct {
+	N            int     `json:"n"`
+	Kind         string  `json:"kind"` // "rows" or "strided"
+	PerRowNsOp   float64 `json:"per_row_ns_op"`
+	BatchedNsOp  float64 `json:"batched_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	RowsPerBatch int     `json:"rows_per_batch"`
+}
+
+type report struct {
+	Bench   string  `json:"bench"`
+	Rows    int     `json:"rows"`
+	Lines   int     `json:"lines"`
+	GateN   int     `json:"gate_n"`
+	GateMin float64 `json:"gate_min_strided_speedup"`
+	Pairs   []pair  `json:"pairs"`
+	Pass    bool    `json:"pass"`
+}
+
+// minRun takes the fastest of k testing.Benchmark runs — the usual defense
+// against scheduler noise on shared CI machines.
+func minRun(k int, f func(b *testing.B)) float64 {
+	best := 0.0
+	for i := 0; i < k; i++ {
+		r := testing.Benchmark(f)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+func measure(n, rows, lines, reps int) []pair {
+	// Contiguous rows: FFTz-style batches.
+	p := fft.NewPlan(n, fft.Forward)
+	x := make([]complex128, rows*n)
+	for i := range x {
+		x[i] = complex(float64(i%101)-50, float64(i%37)-18)
+	}
+	perRow := minRun(reps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				row := x[r*n : r*n+n]
+				p.Transform(row, row)
+			}
+		}
+	})
+	p.TransformRows(x, rows, n) // warm-up allocation outside timing
+	batched := minRun(reps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.TransformRows(x, rows, n)
+		}
+	})
+	rowsPair := pair{N: n, Kind: "rows", PerRowNsOp: perRow, BatchedNsOp: batched, Speedup: perRow / batched}
+
+	// Strided lines: a transposed n×lines plane, line r at x[r + i*lines] —
+	// the FFTy/FFTx sub-tile access pattern. Baseline replicates the
+	// pre-engine Strided: per-line gather into a row buffer.
+	y := make([]complex128, n*lines)
+	for i := range y {
+		y[i] = complex(float64(i%89)-44, float64(i%53)-26)
+	}
+	rowbuf := make([]complex128, n)
+	gather := minRun(reps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < lines; r++ {
+				for j := 0; j < n; j++ {
+					rowbuf[j] = y[r+j*lines]
+				}
+				p.Transform(rowbuf, rowbuf)
+				for j := 0; j < n; j++ {
+					y[r+j*lines] = rowbuf[j]
+				}
+			}
+		}
+	})
+	p.StridedRows(y, 0, lines, lines, 1)
+	sbatched := minRun(reps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.StridedRows(y, 0, lines, lines, 1)
+		}
+	})
+	stridedPair := pair{N: n, Kind: "strided", PerRowNsOp: gather, BatchedNsOp: sbatched, Speedup: gather / sbatched}
+	return []pair{rowsPair, stridedPair}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR4.json", "report path")
+	rows := flag.Int("rows", 64, "contiguous rows per batch")
+	lines := flag.Int("lines", 32, "strided lines per plane")
+	reps := flag.Int("reps", 3, "benchmark repetitions (min taken)")
+	flag.Parse()
+
+	rep := report{
+		Bench:   "BenchmarkKernels",
+		Rows:    *rows,
+		Lines:   *lines,
+		GateN:   256,
+		GateMin: 1.5,
+	}
+	for _, n := range []int{128, 256, 512} {
+		rep.Pairs = append(rep.Pairs, measure(n, *rows, *lines, *reps)...)
+	}
+	for i := range rep.Pairs {
+		rep.Pairs[i].RowsPerBatch = fft.RowBlock(rep.Pairs[i].N)
+	}
+
+	rep.Pass = true
+	for _, pr := range rep.Pairs {
+		if pr.N != rep.GateN {
+			continue
+		}
+		if pr.Kind == "strided" && pr.Speedup < rep.GateMin {
+			rep.Pass = false
+		}
+		if pr.Kind == "rows" && pr.Speedup < 1.0 {
+			rep.Pass = false
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+
+	for _, pr := range rep.Pairs {
+		fmt.Printf("n=%-4d %-8s per-row %10.0f ns  batched %10.0f ns  speedup %.2fx\n",
+			pr.N, pr.Kind, pr.PerRowNsOp, pr.BatchedNsOp, pr.Speedup)
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "kernel gate FAILED: need strided speedup >= %.2fx and no rows regression at n=%d\n", rep.GateMin, rep.GateN)
+		os.Exit(1)
+	}
+	fmt.Printf("kernel gate passed (strided >= %.2fx at n=%d)\n", rep.GateMin, rep.GateN)
+}

@@ -52,17 +52,19 @@ type stage struct {
 // Plan holds the precomputed decomposition and twiddle factors for a 1-D
 // transform of a fixed length and direction. Plans are safe for concurrent
 // use by multiple goroutines except for the methods that use the internal
-// scratch buffer, which are documented as such; use Clone for concurrent
+// scratch buffers, which are documented as such; use Clone for concurrent
 // in-place transforms.
 type Plan struct {
 	n       int
 	dir     Direction
 	factors []int
 	stages  []stage
-	blue    *bluestein // non-nil when Bluestein's algorithm is used
-	scratch []complex128
-	scratch2,
-	rowbuf []complex128 // for strided transforms
+	blue    *bluestein   // non-nil when Bluestein's algorithm is used
+	scratch []complex128 // single-row ping-pong buffer
+	rowbuf  []complex128 // strided gather buffer for the fallback paths
+	// Row-interleaved ping-pong buffers for the batched multi-row engine
+	// (see batch.go); sized n·rowBlockFor(n), allocated on first use.
+	batchA, batchB []complex128
 }
 
 // NewPlan creates a plan for length n in the given direction using the
@@ -154,7 +156,7 @@ func (p *Plan) buildStages() {
 				st.tw[q*(r-1)+(j-1)] = complex(math.Cos(ang), math.Sin(ang))
 			}
 		}
-		if r != 2 && r != 3 && r != 4 {
+		if r != 2 && r != 3 && r != 4 && r != 8 {
 			st.wr = make([]complex128, r)
 			for k := 0; k < r; k++ {
 				ang := sign * 2 * math.Pi * float64(k) / float64(r)
@@ -240,120 +242,172 @@ func (p *Plan) InPlace(x []complex128) { p.Transform(x, x) }
 
 // Batch transforms count contiguous rows of length Len() located at
 // x[i*dist : i*dist+Len()]. dist must be >= Len(). Not safe for concurrent
-// use on one plan.
+// use on one plan. Rows are pushed through the batched multi-row engine
+// (see TransformRows); results are bit-identical to per-row Transform.
 func (p *Plan) Batch(x []complex128, count, dist int) {
-	if dist < p.n {
-		panic(fmt.Sprintf("fft: Batch dist %d < length %d", dist, p.n))
-	}
-	for i := 0; i < count; i++ {
-		row := x[i*dist : i*dist+p.n]
-		p.Transform(row, row)
-	}
+	p.TransformRows(x, count, dist)
 }
 
 // Strided transforms the n elements x[off], x[off+stride], ... in place.
-// Not safe for concurrent use on one plan.
+// Not safe for concurrent use on one plan. Multi-stage plans run the
+// stride-aware first/last stages directly on the strided memory; only the
+// Bluestein and single-stage fallbacks still gather into a row buffer.
 func (p *Plan) Strided(x []complex128, off, stride int) {
 	if stride == 1 {
 		row := x[off : off+p.n]
 		p.Transform(row, row)
 		return
 	}
-	if p.rowbuf == nil {
-		p.rowbuf = make([]complex128, p.n)
-	}
-	for i := 0; i < p.n; i++ {
-		p.rowbuf[i] = x[off+i*stride]
-	}
-	p.Transform(p.rowbuf, p.rowbuf)
-	for i := 0; i < p.n; i++ {
-		x[off+i*stride] = p.rowbuf[i]
-	}
+	p.rows(x[off:], 1, 0, stride)
 }
 
 // runStage applies one Stockham pass from in to out.
 func (p *Plan) runStage(st *stage, in, out []complex128) {
+	runStageBatch(st, in, out, 1, p.dir)
+}
+
+// runStageBatch applies one Stockham pass with the stage stride scaled by
+// bs. bs == 1 is the plain single-row pass; bs == B runs the pass over a
+// block of B row-interleaved transforms at once (interleaving B rows is
+// exactly a stride-multiplied Stockham pass, so the same kernels serve
+// both paths and produce bit-identical results).
+func runStageBatch(st *stage, in, out []complex128, bs int, dir Direction) {
 	switch st.radix {
 	case 2:
-		stage2(st, in, out)
+		stage2(st, in, out, bs)
 	case 3:
-		stage3(st, in, out, p.dir)
+		stage3(st, in, out, bs, dir)
 	case 4:
-		stage4(st, in, out, p.dir)
+		stage4(st, in, out, bs, dir)
+	case 8:
+		stage8(st, in, out, bs, dir)
 	default:
-		stageGeneric(st, in, out)
+		stageGeneric(st, in, out, bs)
 	}
 }
 
 // stage2 performs a radix-2 DIF Stockham pass.
-func stage2(st *stage, in, out []complex128) {
-	m, s := st.m, st.s
-	for q := 0; q < m; q++ {
-		w := st.tw[q]
-		i0 := s * q
-		i1 := s * (q + m)
-		o0 := s * (2 * q)
-		o1 := s * (2*q + 1)
+func stage2(st *stage, in, out []complex128, bs int) {
+	m, s := st.m, st.s*bs
+	// q == 0: the twiddle is exactly 1+0i, so the multiply is skipped.
+	{
+		ia := in[:s]
+		ib := in[s*m : s*m+s]
+		oa := out[:s]
+		ob := out[s : 2*s]
 		for k := 0; k < s; k++ {
-			a := in[i0+k]
-			b := in[i1+k]
-			out[o0+k] = a + b
-			out[o1+k] = (a - b) * w
+			a := ia[k]
+			b := ib[k]
+			oa[k] = a + b
+			ob[k] = a - b
+		}
+	}
+	for q := 1; q < m; q++ {
+		w := st.tw[q]
+		ia := in[s*q : s*q+s]
+		ib := in[s*(q+m) : s*(q+m)+s]
+		oa := out[s*2*q : s*2*q+s]
+		ob := out[s*(2*q+1) : s*(2*q+1)+s]
+		for k := 0; k < s; k++ {
+			a := ia[k]
+			b := ib[k]
+			oa[k] = a + b
+			ob[k] = (a - b) * w
 		}
 	}
 }
 
 // stage3 performs a radix-3 DIF Stockham pass.
-func stage3(st *stage, in, out []complex128, dir Direction) {
-	m, s := st.m, st.s
+func stage3(st *stage, in, out []complex128, bs int, dir Direction) {
+	m, s := st.m, st.s*bs
 	// For forward (sign -1): w3 = -1/2 - i·√3/2; t3 uses i·sin part.
 	sq := math.Sqrt(3) / 2 * float64(dir)
 	for q := 0; q < m; q++ {
 		w1 := st.tw[q*2]
 		w2 := st.tw[q*2+1]
-		i0 := s * q
-		i1 := s * (q + m)
-		i2 := s * (q + 2*m)
-		o0 := s * (3 * q)
-		o1 := s * (3*q + 1)
-		o2 := s * (3*q + 2)
+		i0 := in[s*q : s*q+s]
+		i1 := in[s*(q+m) : s*(q+m)+s]
+		i2 := in[s*(q+2*m) : s*(q+2*m)+s]
+		o0 := out[s*3*q : s*3*q+s]
+		o1 := out[s*(3*q+1) : s*(3*q+1)+s]
+		o2 := out[s*(3*q+2) : s*(3*q+2)+s]
+		if q == 0 {
+			// Unit twiddles: pure butterfly.
+			for k := 0; k < s; k++ {
+				a0 := i0[k]
+				a1 := i1[k]
+				a2 := i2[k]
+				t1 := a1 + a2
+				t2 := a0 - complex(0.5, 0)*t1
+				d := a1 - a2
+				t3 := complex(-sq*imag(d), sq*real(d))
+				o0[k] = a0 + t1
+				o1[k] = t2 + t3
+				o2[k] = t2 - t3
+			}
+			continue
+		}
 		for k := 0; k < s; k++ {
-			a0 := in[i0+k]
-			a1 := in[i1+k]
-			a2 := in[i2+k]
+			a0 := i0[k]
+			a1 := i1[k]
+			a2 := i2[k]
 			t1 := a1 + a2
 			t2 := a0 - complex(0.5, 0)*t1
 			d := a1 - a2
 			// t3 = i·sign·(√3/2)·(a1-a2)
 			t3 := complex(-sq*imag(d), sq*real(d))
-			out[o0+k] = a0 + t1
-			out[o1+k] = (t2 + t3) * w1
-			out[o2+k] = (t2 - t3) * w2
+			o0[k] = a0 + t1
+			o1[k] = (t2 + t3) * w1
+			o2[k] = (t2 - t3) * w2
 		}
 	}
 }
 
 // stage4 performs a radix-4 DIF Stockham pass.
-func stage4(st *stage, in, out []complex128, dir Direction) {
-	m, s := st.m, st.s
+func stage4(st *stage, in, out []complex128, bs int, dir Direction) {
+	m, s := st.m, st.s*bs
 	neg := dir == Forward // multiply by -i for forward, +i for backward
 	for q := 0; q < m; q++ {
 		w1 := st.tw[q*3]
 		w2 := st.tw[q*3+1]
 		w3 := st.tw[q*3+2]
-		i0 := s * q
-		i1 := s * (q + m)
-		i2 := s * (q + 2*m)
-		i3 := s * (q + 3*m)
-		o0 := s * (4 * q)
-		o1 := s * (4*q + 1)
-		o2 := s * (4*q + 2)
-		o3 := s * (4*q + 3)
+		i0 := in[s*q : s*q+s]
+		i1 := in[s*(q+m) : s*(q+m)+s]
+		i2 := in[s*(q+2*m) : s*(q+2*m)+s]
+		i3 := in[s*(q+3*m) : s*(q+3*m)+s]
+		o0 := out[s*4*q : s*4*q+s]
+		o1 := out[s*(4*q+1) : s*(4*q+1)+s]
+		o2 := out[s*(4*q+2) : s*(4*q+2)+s]
+		o3 := out[s*(4*q+3) : s*(4*q+3)+s]
+		if q == 0 {
+			// Unit twiddles: pure butterfly.
+			for k := 0; k < s; k++ {
+				a0 := i0[k]
+				a1 := i1[k]
+				a2 := i2[k]
+				a3 := i3[k]
+				t0 := a0 + a2
+				t1 := a0 - a2
+				t2 := a1 + a3
+				d := a1 - a3
+				var t3 complex128
+				if neg {
+					t3 = complex(imag(d), -real(d))
+				} else {
+					t3 = complex(-imag(d), real(d))
+				}
+				o0[k] = t0 + t2
+				o1[k] = t1 + t3
+				o2[k] = t0 - t2
+				o3[k] = t1 - t3
+			}
+			continue
+		}
 		for k := 0; k < s; k++ {
-			a0 := in[i0+k]
-			a1 := in[i1+k]
-			a2 := in[i2+k]
-			a3 := in[i3+k]
+			a0 := i0[k]
+			a1 := i1[k]
+			a2 := i2[k]
+			a3 := i3[k]
 			t0 := a0 + a2
 			t1 := a0 - a2
 			t2 := a1 + a3
@@ -364,17 +418,134 @@ func stage4(st *stage, in, out []complex128, dir Direction) {
 			} else {
 				t3 = complex(-imag(d), real(d)) // +i·d
 			}
-			out[o0+k] = t0 + t2
-			out[o1+k] = (t1 + t3) * w1
-			out[o2+k] = (t0 - t2) * w2
-			out[o3+k] = (t1 - t3) * w3
+			o0[k] = t0 + t2
+			o1[k] = (t1 + t3) * w1
+			o2[k] = (t0 - t2) * w2
+			o3[k] = (t1 - t3) * w3
 		}
 	}
 }
 
+// sqrt2half is √2/2, the radix-8 chirp constant.
+const sqrt2half = 0.707106781186547524400844362104849039
+
+// stage8 performs a radix-8 DIF Stockham pass. The butterfly is split into
+// eight radix-2 pairs feeding two radix-4 DFTs (even outputs from the sums,
+// odd outputs from the ω₈-chirped differences), so one pass replaces a
+// 4-stage-plus-2-stage pair with far fewer twiddle loads than the generic
+// O(r²) butterfly.
+func stage8(st *stage, in, out []complex128, bs int, dir Direction) {
+	m, s := st.m, st.s*bs
+	neg := dir == Forward
+	for q := 0; q < m; q++ {
+		i0 := in[s*q : s*q+s]
+		i1 := in[s*(q+m) : s*(q+m)+s]
+		i2 := in[s*(q+2*m) : s*(q+2*m)+s]
+		i3 := in[s*(q+3*m) : s*(q+3*m)+s]
+		i4 := in[s*(q+4*m) : s*(q+4*m)+s]
+		i5 := in[s*(q+5*m) : s*(q+5*m)+s]
+		i6 := in[s*(q+6*m) : s*(q+6*m)+s]
+		i7 := in[s*(q+7*m) : s*(q+7*m)+s]
+		o0 := out[s*8*q : s*8*q+s]
+		o1 := out[s*(8*q+1) : s*(8*q+1)+s]
+		o2 := out[s*(8*q+2) : s*(8*q+2)+s]
+		o3 := out[s*(8*q+3) : s*(8*q+3)+s]
+		o4 := out[s*(8*q+4) : s*(8*q+4)+s]
+		o5 := out[s*(8*q+5) : s*(8*q+5)+s]
+		o6 := out[s*(8*q+6) : s*(8*q+6)+s]
+		o7 := out[s*(8*q+7) : s*(8*q+7)+s]
+		if q == 0 {
+			// Unit twiddles: pure butterfly.
+			for k := 0; k < s; k++ {
+				y0, y1, y2, y3, y4, y5, y6, y7 := bfly8(
+					i0[k], i1[k], i2[k], i3[k], i4[k], i5[k], i6[k], i7[k], neg)
+				o0[k] = y0
+				o1[k] = y1
+				o2[k] = y2
+				o3[k] = y3
+				o4[k] = y4
+				o5[k] = y5
+				o6[k] = y6
+				o7[k] = y7
+			}
+			continue
+		}
+		tw := st.tw[q*7 : q*7+7]
+		w1, w2, w3, w4, w5, w6, w7 := tw[0], tw[1], tw[2], tw[3], tw[4], tw[5], tw[6]
+		for k := 0; k < s; k++ {
+			y0, y1, y2, y3, y4, y5, y6, y7 := bfly8(
+				i0[k], i1[k], i2[k], i3[k], i4[k], i5[k], i6[k], i7[k], neg)
+			o0[k] = y0
+			o1[k] = y1 * w1
+			o2[k] = y2 * w2
+			o3[k] = y3 * w3
+			o4[k] = y4 * w4
+			o5[k] = y5 * w5
+			o6[k] = y6 * w6
+			o7[k] = y7 * w7
+		}
+	}
+}
+
+// bfly8 computes one 8-point DFT (outputs in natural order) via the
+// split into two radix-4 DFTs. neg selects the forward (-i) rotation.
+func bfly8(a0, a1, a2, a3, a4, a5, a6, a7 complex128, neg bool) (y0, y1, y2, y3, y4, y5, y6, y7 complex128) {
+	const c = sqrt2half
+	t0 := a0 + a4
+	u0 := a0 - a4
+	t1 := a1 + a5
+	u1 := a1 - a5
+	t2 := a2 + a6
+	u2 := a2 - a6
+	t3 := a3 + a7
+	u3 := a3 - a7
+	// Chirp the odd branch: v_t = u_t·ω₈^t.
+	var v1, v2, v3 complex128
+	if neg { // forward: ω₈ = c−ci, ω₈² = −i, ω₈³ = −c−ci
+		v1 = complex(c*(real(u1)+imag(u1)), c*(imag(u1)-real(u1)))
+		v2 = complex(imag(u2), -real(u2))
+		v3 = complex(c*(imag(u3)-real(u3)), -c*(real(u3)+imag(u3)))
+	} else { // backward: ω₈ = c+ci, ω₈² = +i, ω₈³ = −c+ci
+		v1 = complex(c*(real(u1)-imag(u1)), c*(imag(u1)+real(u1)))
+		v2 = complex(-imag(u2), real(u2))
+		v3 = complex(-c*(real(u3)+imag(u3)), c*(real(u3)-imag(u3)))
+	}
+	// Even outputs: radix-4 DFT of the sums.
+	p0 := t0 + t2
+	p1 := t0 - t2
+	p2 := t1 + t3
+	d := t1 - t3
+	var p3 complex128
+	if neg {
+		p3 = complex(imag(d), -real(d))
+	} else {
+		p3 = complex(-imag(d), real(d))
+	}
+	y0 = p0 + p2
+	y2 = p1 + p3
+	y4 = p0 - p2
+	y6 = p1 - p3
+	// Odd outputs: radix-4 DFT of the chirped differences.
+	r0 := u0 + v2
+	r1 := u0 - v2
+	r2 := v1 + v3
+	e := v1 - v3
+	var r3 complex128
+	if neg {
+		r3 = complex(imag(e), -real(e))
+	} else {
+		r3 = complex(-imag(e), real(e))
+	}
+	y1 = r0 + r2
+	y3 = r1 + r3
+	y5 = r0 - r2
+	y7 = r1 - r3
+	return
+}
+
 // stageGeneric performs an O(r²) butterfly pass for any small prime radix.
-func stageGeneric(st *stage, in, out []complex128) {
-	r, m, s := st.radix, st.m, st.s
+func stageGeneric(st *stage, in, out []complex128, bs int) {
+	r, m, s := st.radix, st.m, st.s*bs
 	var a [maxGenericRadix]complex128
 	for q := 0; q < m; q++ {
 		for k := 0; k < s; k++ {

@@ -35,22 +35,16 @@ func (p *Plan3D) Transform(x []complex128) {
 	if len(x) != p.nx*p.ny*p.nz {
 		panic(fmt.Sprintf("fft: Plan3D.Transform: len %d != %d×%d×%d", len(x), p.nx, p.ny, p.nz))
 	}
-	// Along z: contiguous rows.
-	p.pz.Batch(x, p.nx*p.ny, p.nz)
-	// Along y: stride nz, one strided transform per (x, z) line.
+	// Along z: contiguous rows through the batched engine.
+	p.pz.TransformRows(x, p.nx*p.ny, p.nz)
+	// Along y: for each x-plane, the nz strided lines (stride nz, starts
+	// z = 0..nz-1) batch together — the head/tail stages read and write
+	// the strided memory directly.
 	for ix := 0; ix < p.nx; ix++ {
-		base := ix * p.ny * p.nz
-		for z := 0; z < p.nz; z++ {
-			p.py.Strided(x, base+z, p.nz)
-		}
+		p.py.StridedRows(x, ix*p.ny*p.nz, p.nz, p.nz, 1)
 	}
-	// Along x: stride ny·nz.
-	stride := p.ny * p.nz
-	for y := 0; y < p.ny; y++ {
-		for z := 0; z < p.nz; z++ {
-			p.px.Strided(x, y*p.nz+z, stride)
-		}
-	}
+	// Along x: all ny·nz lines of stride ny·nz in one batched call.
+	p.px.StridedRows(x, 0, p.ny*p.nz, p.ny*p.nz, 1)
 }
 
 // Normalize divides x by nx·ny·nz, making Backward∘Forward the identity.

@@ -147,6 +147,36 @@ func candidateOrders(def []int, flag Flag) [][]int {
 	}
 	add(fours)
 
+	// Regroup the power-of-two part into radix-8 stages (split-radix-2
+	// butterflies, see stage8) with a 2 or 4 remainder: fewer, denser
+	// passes. Only the measured flags ever select this — the default
+	// order is unchanged.
+	e2 := 0
+	var odd []int
+	for _, r := range def {
+		switch r {
+		case 2:
+			e2++
+		case 4:
+			e2 += 2
+		default:
+			odd = append(odd, r)
+		}
+	}
+	if e2 >= 3 {
+		var eights []int
+		for i := 0; i < e2/3; i++ {
+			eights = append(eights, 8)
+		}
+		switch e2 % 3 {
+		case 1:
+			eights = append(eights, 2)
+		case 2:
+			eights = append(eights, 4)
+		}
+		add(append(eights, odd...))
+	}
+
 	// Large factors first.
 	big := append([]int(nil), def...)
 	sort.Sort(sort.Reverse(sort.IntSlice(big)))
@@ -175,10 +205,21 @@ func key(f []int) string {
 	return string(b)
 }
 
-// planCache memoizes planner results per (n, dir, flag).
+// planCache memoizes planner results per (n, dir, flag) with per-key
+// singleflight: the global lock guards only the map, never the (possibly
+// wall-clock-timed) Plan1D call itself. Concurrent ranks planning distinct
+// lengths measure in parallel; concurrent requests for the same key share
+// one measurement through the entry's sync.Once.
 var planCache struct {
 	sync.Mutex
-	m map[cacheKey]*Plan
+	m map[cacheKey]*planEntry
+}
+
+// planEntry is one singleflight slot: whoever created or found the entry
+// runs/waits on once, outside the cache lock.
+type planEntry struct {
+	once sync.Once
+	p    *Plan
 }
 
 type cacheKey struct {
@@ -188,20 +229,25 @@ type cacheKey struct {
 }
 
 // Plan1DCached is Plan1D with process-wide memoization. The returned plan is
-// shared: callers that transform concurrently must Clone it.
+// shared: callers that transform concurrently must Clone it. Measure/Patient
+// planning for distinct keys proceeds concurrently; duplicate requests for
+// one key coalesce into a single Plan1D call.
 func Plan1DCached(n int, dir Direction, flag Flag) *Plan {
 	k := cacheKey{n, dir, flag}
 	planCache.Lock()
-	defer planCache.Unlock()
 	if planCache.m == nil {
-		planCache.m = make(map[cacheKey]*Plan)
+		planCache.m = make(map[cacheKey]*planEntry)
 	}
-	if p, ok := planCache.m[k]; ok {
-		return p
+	e, ok := planCache.m[k]
+	if !ok {
+		e = &planEntry{}
+		planCache.m[k] = e
 	}
-	p, _ := Plan1D(n, dir, flag)
-	planCache.m[k] = p
-	return p
+	planCache.Unlock()
+	e.once.Do(func() {
+		e.p, _ = Plan1D(n, dir, flag)
+	})
+	return e.p
 }
 
 // Plan1DClones returns k independent clones of the cached plan for

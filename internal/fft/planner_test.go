@@ -1,6 +1,7 @@
 package fft
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -72,6 +73,56 @@ func TestPlan1DCached(t *testing.T) {
 	c := Plan1DCached(320, Backward, Estimate)
 	if a == c {
 		t.Error("cache collided across directions")
+	}
+}
+
+// TestPlan1DCachedSingleflight exercises the per-key coalescing: many
+// goroutines requesting a mix of keys (some shared, some distinct, with
+// measured planning) must all observe one shared plan per key, with the
+// map lock never held across Plan1D.
+func TestPlan1DCachedSingleflight(t *testing.T) {
+	lengths := []int{288, 320, 352, 416}
+	const per = 8
+	got := make([]*Plan, len(lengths)*per)
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = Plan1DCached(lengths[i%len(lengths)], Forward, Measure)
+		}(i)
+	}
+	wg.Wait()
+	for i, p := range got {
+		n := lengths[i%len(lengths)]
+		if p == nil || p.Len() != n {
+			t.Fatalf("goroutine %d: wrong plan for n=%d", i, n)
+		}
+		if p != got[i%len(lengths)] {
+			t.Errorf("n=%d: concurrent callers got distinct plans", n)
+		}
+	}
+}
+
+// TestCandidateOrdersIncludeEights pins the radix-8 regrouping candidate
+// for power-of-two-rich lengths.
+func TestCandidateOrdersIncludeEights(t *testing.T) {
+	def, _ := factorize(768) // {4,4,4,4,3}: 2^8·3 → want [8,8,4,3]
+	found := false
+	for _, f := range candidateOrders(def, Measure) {
+		if len(f) > 0 && f[0] == 8 {
+			found = true
+			prod := 1
+			for _, r := range f {
+				prod *= r
+			}
+			if prod != 768 {
+				t.Errorf("eights candidate %v multiplies to %d", f, prod)
+			}
+		}
+	}
+	if !found {
+		t.Error("no radix-8 candidate generated for 768")
 	}
 }
 

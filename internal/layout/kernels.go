@@ -115,11 +115,23 @@ func (g Grid) UnpackSubtileRanks(dst, buf []complex128, fast bool, zt0, ztl, y0,
 		xcs := g.XD.Count(s)
 		block := buf[g.RecvBlockOff(ztl, s):]
 		for zl := z0; zl < z1; zl++ {
-			for ly := y0; ly < y1; ly++ {
-				rb := g.RowXBase(fast, ly, zt0+zl)
-				src := block[zl*xcs*yc+ly:]
-				for xl := 0; xl < xcs; xl++ {
-					dst[rb+xs+xl] = src[xl*yc]
+			// The source block is (x, y)-ordered while output rows are
+			// x-contiguous, so this is a 2-D transpose per (s, zl): blocked
+			// over (ly, xl) like the transpose kernels, so each yc-strided
+			// source line is consumed a cache-resident tile at a time
+			// instead of one element per full sweep.
+			zb := block[zl*xcs*yc:]
+			for ly0 := y0; ly0 < y1; ly0 += transposeBlock {
+				ly1 := minInt(ly0+transposeBlock, y1)
+				for xl0 := 0; xl0 < xcs; xl0 += transposeBlock {
+					xl1 := minInt(xl0+transposeBlock, xcs)
+					for ly := ly0; ly < ly1; ly++ {
+						rb := g.RowXBase(fast, ly, zt0+zl)
+						src := zb[ly:]
+						for xl := xl0; xl < xl1; xl++ {
+							dst[rb+xs+xl] = src[xl*yc]
+						}
+					}
 				}
 			}
 		}

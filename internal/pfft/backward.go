@@ -159,7 +159,7 @@ func (e *backEngine) run(rs *runState, slab []complex128, v Variant, prm Params)
 	e.trc.add("Transpose", t, now, -1)
 
 	t = c.Now()
-	e.planZ.Batch(e.in, g.XC()*g.Ny, g.Nz)
+	e.planZ.TransformRows(e.in, g.XC()*g.Ny, g.Nz)
 	now = c.Now()
 	b.FFTz = now - t
 	e.trc.add("FFTz", t, now, -1)
@@ -179,11 +179,16 @@ func (e *backEngine) fftxRepack(prm Params, tl layout.Tiling, tile, slot int, fa
 	layout.SubTiles(ztl, prm.Uz, func(z0, z1 int) {
 		layout.SubTiles(g.YC(), prm.Uy, func(y0, y1 int) {
 			t := c.Now()
-			for z := zt0 + z0; z < zt0+z1; z++ {
+			// Batched over the layout's contiguous runs (see FFTxSub).
+			if fast {
 				for ly := y0; ly < y1; ly++ {
-					base := g.RowXBase(fast, ly, z)
-					row := e.out[base : base+g.Nx]
-					e.planX.Transform(row, row)
+					base := g.RowXBase(fast, ly, zt0+z0)
+					e.planX.TransformRows(e.out[base:], z1-z0, g.Nx)
+				}
+			} else {
+				for z := zt0 + z0; z < zt0+z1; z++ {
+					base := g.RowXBase(fast, y0, z)
+					e.planX.TransformRows(e.out[base:], y1-y0, g.Nx)
 				}
 			}
 			now := c.Now()
@@ -218,11 +223,16 @@ func (e *backEngine) scatterFFTy(prm Params, tl layout.Tiling, tile, slot int, f
 			e.trc.add("Unpack", t, now, tile)
 			doTests(c, window, testsDue(prm.Fp, u, nSub), b)
 			t = c.Now()
-			for z := zt0 + z0; z < zt0+z1; z++ {
+			// Batched over the layout's contiguous runs (see FFTySub).
+			if fast {
 				for lx := x0; lx < x1; lx++ {
-					base := g.RowYBase(fast, z, lx)
-					row := e.work[base : base+g.Ny]
-					e.planY.Transform(row, row)
+					base := g.RowYBase(fast, zt0+z0, lx)
+					e.planY.TransformRows(e.work[base:], z1-z0, g.Ny)
+				}
+			} else {
+				for z := zt0 + z0; z < zt0+z1; z++ {
+					base := g.RowYBase(fast, z, x0)
+					e.planY.TransformRows(e.work[base:], x1-x0, g.Ny)
 				}
 			}
 			now = c.Now()

@@ -169,18 +169,19 @@ func (e *RealEngine) Comm() mpi.Comm { return e.comm }
 // the engine: a reused Plan overwrites it on the next execution.
 func (e *RealEngine) Output() []complex128 { return e.out }
 
-// FFTz transforms every z row of the input slab in place.
+// FFTz transforms every z row of the input slab in place through the
+// batched multi-row engine.
 func (e *RealEngine) FFTz() {
 	rows := e.g.XC() * e.g.Ny
 	if e.pool != nil {
 		nz := e.g.Nz
 		in := e.in
 		e.pool.parallel(rows, func(w, lo, hi int) {
-			e.planZs[w].Batch(in[lo*nz:hi*nz], hi-lo, nz)
+			e.planZs[w].TransformRows(in[lo*nz:hi*nz], hi-lo, nz)
 		})
 		return
 	}
-	e.planZ.Batch(e.in, rows, e.g.Nz)
+	e.planZ.TransformRows(e.in, rows, e.g.Nz)
 }
 
 // Transpose rearranges the slab into the post-FFTz layout. The
@@ -218,28 +219,45 @@ func (e *RealEngine) Transpose(fast, optimized bool) {
 	}
 }
 
-// FFTySub transforms the y rows of one Pack sub-tile.
+// FFTySub transforms the y rows of one Pack sub-tile. Rows are grouped
+// into the contiguous runs the slab layout provides — fast layout
+// (x-z-y): the z rows of one lx are adjacent; standard layout (z-x-y):
+// the lx rows of one z are adjacent — and each run goes through the
+// batched multi-row engine. Worker-pool chunks split over runs, still
+// entirely inside this one sub-tile call, so the MPI_Test cadence around
+// it is unchanged.
 func (e *RealEngine) FFTySub(fast bool, zt0, z0, z1, x0, x1 int) {
+	ny := e.g.Ny
+	if fast {
+		if e.pool != nil {
+			e.pool.parallel(x1-x0, func(w, lo, hi int) {
+				p := e.planYs[w]
+				for lx := x0 + lo; lx < x0+hi; lx++ {
+					base := e.g.RowYBase(fast, zt0+z0, lx)
+					p.TransformRows(e.work[base:], z1-z0, ny)
+				}
+			})
+			return
+		}
+		for lx := x0; lx < x1; lx++ {
+			base := e.g.RowYBase(fast, zt0+z0, lx)
+			e.planY.TransformRows(e.work[base:], z1-z0, ny)
+		}
+		return
+	}
 	if e.pool != nil {
-		nx := x1 - x0
-		e.pool.parallel((z1-z0)*nx, func(w, lo, hi int) {
+		e.pool.parallel(z1-z0, func(w, lo, hi int) {
 			p := e.planYs[w]
-			for r := lo; r < hi; r++ {
-				z := zt0 + z0 + r/nx
-				lx := x0 + r%nx
-				base := e.g.RowYBase(fast, z, lx)
-				row := e.work[base : base+e.g.Ny]
-				p.Transform(row, row)
+			for z := zt0 + z0 + lo; z < zt0+z0+hi; z++ {
+				base := e.g.RowYBase(fast, z, x0)
+				p.TransformRows(e.work[base:], x1-x0, ny)
 			}
 		})
 		return
 	}
 	for z := zt0 + z0; z < zt0+z1; z++ {
-		for lx := x0; lx < x1; lx++ {
-			base := e.g.RowYBase(fast, z, lx)
-			row := e.work[base : base+e.g.Ny]
-			e.planY.Transform(row, row)
-		}
+		base := e.g.RowYBase(fast, z, x0)
+		e.planY.TransformRows(e.work[base:], x1-x0, ny)
 	}
 }
 
@@ -282,28 +300,43 @@ func (e *RealEngine) UnpackSub(slot int, fast bool, zt0, ztl, z0, z1, y0, y1 int
 	e.g.UnpackSubtile(e.out, buf, fast, zt0, ztl, y0, y1, z0, z1)
 }
 
-// FFTxSub transforms the x rows of one Unpack sub-tile.
+// FFTxSub transforms the x rows of one Unpack sub-tile, batched over the
+// output layout's contiguous runs — fast layout (y-z-x): the z rows of one
+// ly are adjacent; standard layout (z-y-x): the ly rows of one z are
+// adjacent. Pool chunks split over runs inside this one call (see
+// FFTySub for the Test-cadence argument).
 func (e *RealEngine) FFTxSub(fast bool, zt0, z0, z1, y0, y1 int) {
+	nx := e.g.Nx
+	if fast {
+		if e.pool != nil {
+			e.pool.parallel(y1-y0, func(w, lo, hi int) {
+				p := e.planXs[w]
+				for ly := y0 + lo; ly < y0+hi; ly++ {
+					base := e.g.RowXBase(fast, ly, zt0+z0)
+					p.TransformRows(e.out[base:], z1-z0, nx)
+				}
+			})
+			return
+		}
+		for ly := y0; ly < y1; ly++ {
+			base := e.g.RowXBase(fast, ly, zt0+z0)
+			e.planX.TransformRows(e.out[base:], z1-z0, nx)
+		}
+		return
+	}
 	if e.pool != nil {
-		ny := y1 - y0
-		e.pool.parallel((z1-z0)*ny, func(w, lo, hi int) {
+		e.pool.parallel(z1-z0, func(w, lo, hi int) {
 			p := e.planXs[w]
-			for r := lo; r < hi; r++ {
-				z := zt0 + z0 + r/ny
-				ly := y0 + r%ny
-				base := e.g.RowXBase(fast, ly, z)
-				row := e.out[base : base+e.g.Nx]
-				p.Transform(row, row)
+			for z := zt0 + z0 + lo; z < zt0+z0+hi; z++ {
+				base := e.g.RowXBase(fast, y0, z)
+				p.TransformRows(e.out[base:], y1-y0, nx)
 			}
 		})
 		return
 	}
 	for z := zt0 + z0; z < zt0+z1; z++ {
-		for ly := y0; ly < y1; ly++ {
-			base := e.g.RowXBase(fast, ly, z)
-			row := e.out[base : base+e.g.Nx]
-			e.planX.Transform(row, row)
-		}
+		base := e.g.RowXBase(fast, y0, z)
+		e.planX.TransformRows(e.out[base:], y1-y0, nx)
 	}
 }
 

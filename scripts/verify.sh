@@ -29,3 +29,9 @@ go test -run 'SteadyStateAllocs' -count=1 ./internal/pfft/
 go run ./cmd/offt-bench -scale small -metrics BENCH_PR3.json table2a
 grep -q '"tuner.evals"' BENCH_PR3.json
 grep -q '"model.new.overlap_efficiency"' BENCH_PR3.json
+
+# Kernel-engine smoke benchmark: the batched Stockham paths must beat their
+# per-row baselines (strided >= 1.5x at n=256, contiguous no-regression).
+# offt-kernels exits nonzero and "pass" stays false when the gate fails.
+go run ./cmd/offt-kernels -out BENCH_PR4.json
+grep -q '"pass": true' BENCH_PR4.json
