@@ -1,0 +1,488 @@
+// Command offt-load is a closed-loop load generator for offt-serve. It
+// drives POST /v1/transform with a fixed transform shape at a ladder of
+// concurrency multipliers (closed loop: each worker keeps exactly one
+// request in flight), records per-phase latency percentiles, throughput
+// and shed rate, scrapes the service's /metrics.json, and emits a single
+// BENCH_PR5.json verdict with pass/fail gates.
+//
+// With no -addr it self-hosts: it starts an in-process serve.Server on a
+// loopback listener with deliberately small admission capacity (so the
+// top of the concurrency ladder sheds), and first calibrates the raw
+// in-process transform rate of the same plan. The calibration anchors the
+// throughput gate to the machine: the served rate at 1× must stay within
+// -min-frac of the raw rate, so the gate scales from laptops to the
+// paper's reference nodes. An absolute floor can be layered on with
+// -min-rps (on reference hardware, -min-rps 100 is the PR5 target for
+// cached 64³/p=4 requests).
+//
+// Usage:
+//
+//	offt-load [-addr host:port] [-grid 64] [-ranks 4] [-variant new]
+//	          [-conc 1,4,16] [-duration 3s] [-warmup 8]
+//	          [-min-rps 0] [-min-frac 0.45] [-min-hit 0.9] [-gate auto]
+//	          [-out BENCH_PR5.json]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"offt"
+	"offt/internal/serve"
+	"offt/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type phaseResult struct {
+	Mult      int     `json:"conc_multiplier"`
+	Workers   int     `json:"workers"`
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`
+	Failed    int     `json:"failed"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	RPS       float64 `json:"rps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	ShedRate  float64 `json:"shed_rate"`
+}
+
+type report struct {
+	Bench    string             `json:"bench"`
+	Grid     [3]int             `json:"grid"`
+	Ranks    int                `json:"ranks"`
+	Variant  string             `json:"variant"`
+	Engine   string             `json:"engine"`
+	SelfHost bool               `json:"self_host"`
+	RawRPS   float64            `json:"raw_rps,omitempty"`
+	Phases   []phaseResult      `json:"phases"`
+	HitRate  float64            `json:"plan_cache_hit_rate"`
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+	Gates    map[string]string  `json:"gates"`
+	Pass     bool               `json:"pass"`
+}
+
+func run() error {
+	addr := flag.String("addr", "", "target offt-serve address; empty self-hosts an in-process service on loopback")
+	grid := flag.Int("grid", 64, "cubic grid edge N (transforms are N³)")
+	ranks := flag.Int("ranks", 4, "ranks per transform request")
+	variant := flag.String("variant", "new", "transform variant for requests")
+	workers := flag.Int("workers", 1, "intra-rank kernel workers per request")
+	concList := flag.String("conc", "1,4,16", "comma-separated concurrency multipliers (closed-loop workers per phase)")
+	duration := flag.Duration("duration", 3*time.Second, "wall-clock length of each phase")
+	warmup := flag.Int("warmup", 8, "warm-up requests before the first phase (build + warm the plan)")
+	minRPS := flag.Float64("min-rps", 0, "absolute 1×-phase throughput floor (0 = rely on -min-frac; 100 is the reference-hardware target)")
+	minFrac := flag.Float64("min-frac", 0.45, "1×-phase served throughput must be ≥ this fraction of the calibrated raw in-process rate (self-host only)")
+	minHit := flag.Float64("min-hit", 0.9, "steady-state plan-cache hit-rate floor")
+	gate := flag.String("gate", "auto", "auto applies pass/fail gates and exits 1 on failure; off records only")
+	out := flag.String("out", "BENCH_PR5.json", "output report path (- for stdout)")
+	waitReady := flag.Duration("wait-ready", 5*time.Second, "with -addr: how long to poll /healthz before starting")
+	serveInflight := flag.Int("serve-inflight", 0, "self-host admission capacity in rank units (0 = 2×ranks×workers)")
+	serveQueue := flag.Int("serve-queue", 4, "self-host admission queue length")
+	timeoutMs := flag.Int("timeout-ms", 8000, "per-request deadline forwarded in the transform header")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load run (self-host: covers both sides)")
+	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	mults, err := parseConc(*concList)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Bench:   "offt-serve-load",
+		Grid:    [3]int{*grid, *grid, *grid},
+		Ranks:   *ranks,
+		Variant: *variant,
+		Engine:  "mem",
+		Gates:   map[string]string{},
+		Pass:    true,
+	}
+
+	base := *addr
+	var srv *serve.Server
+	var httpSrv *http.Server
+	if base == "" {
+		rep.SelfHost = true
+		inflight := *serveInflight
+		if inflight <= 0 {
+			inflight = 2 * *ranks * *workers
+		}
+		srv = serve.New(serve.Config{
+			MaxPlans:         4,
+			MaxInFlightRanks: inflight,
+			MaxQueue:         *serveQueue,
+			DefaultTimeout:   time.Duration(*timeoutMs) * time.Millisecond,
+			Telemetry:        telemetry.NewRegistry(),
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		base = ln.Addr().String()
+		fmt.Printf("self-hosted offt-serve on %s (inflight=%d queue=%d)\n", base, inflight, *serveQueue)
+
+		raw, err := calibrate(*grid, *ranks, *variant, *workers)
+		if err != nil {
+			return fmt.Errorf("calibrate raw transform rate: %w", err)
+		}
+		rep.RawRPS = round2(raw)
+		fmt.Printf("calibrated raw in-process rate: %.1f transforms/s\n", raw)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+	}}
+	if err := waitHealthy(client, base, *waitReady); err != nil {
+		return err
+	}
+
+	body, err := buildRequestBody(*grid, *ranks, *variant, *workers, *timeoutMs)
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < *warmup; i++ {
+		if code, err := post(client, base, body); err != nil {
+			return fmt.Errorf("warmup request: %w", err)
+		} else if code != http.StatusOK {
+			return fmt.Errorf("warmup request: HTTP %d", code)
+		}
+	}
+
+	for _, m := range mults {
+		pr := runPhase(client, base, body, m, *duration)
+		rep.Phases = append(rep.Phases, pr)
+		fmt.Printf("conc %2d×: %5d req  %6.1f rps  p50 %6.2fms  p99 %6.2fms  shed %5.1f%%  failed %d\n",
+			m, pr.Requests, pr.RPS, pr.P50Ms, pr.P99Ms, 100*pr.ShedRate, pr.Failed)
+	}
+
+	rep.Counters, rep.Gauges, err = scrapeMetrics(client, base)
+	if err != nil {
+		return fmt.Errorf("scrape /metrics.json: %w", err)
+	}
+	hits := rep.Counters["serve.plan_cache.hits"]
+	misses := rep.Counters["serve.plan_cache.misses"]
+	if hits+misses > 0 {
+		rep.HitRate = round4(float64(hits) / float64(hits+misses))
+	}
+
+	if *gate == "auto" {
+		applyGates(&rep, mults, *minRPS, *minFrac, *minHit)
+	}
+
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		}
+		cancel()
+		shctx, shcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = httpSrv.Shutdown(shctx)
+		shcancel()
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	for name, verdict := range rep.Gates {
+		fmt.Printf("gate %-14s %s\n", name, verdict)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("offt-load: gates failed")
+	}
+	fmt.Println("offt-load: all gates passed")
+	return nil
+}
+
+// applyGates fills rep.Gates and rep.Pass. The 1× phase must be clean
+// (zero failures, zero sheds) and fast enough; the top multiplier must
+// shed (the admission queue is sized so a 16× closed loop overflows it)
+// without hard failures; and the plan cache must be effectively warm.
+func applyGates(rep *report, mults []int, minRPS, minFrac, minHit float64) {
+	fail := func(name, msg string) { rep.Gates[name] = "FAIL: " + msg; rep.Pass = false }
+	pass := func(name, msg string) { rep.Gates[name] = "ok: " + msg }
+
+	var base *phaseResult
+	var top *phaseResult
+	for i := range rep.Phases {
+		if rep.Phases[i].Mult == 1 {
+			base = &rep.Phases[i]
+		}
+		if top == nil || rep.Phases[i].Mult > top.Mult {
+			top = &rep.Phases[i]
+		}
+	}
+	if base != nil {
+		want := minRPS
+		if rep.SelfHost && rep.RawRPS > 0 {
+			if frac := minFrac * rep.RawRPS; frac > want {
+				want = frac
+			}
+		}
+		switch {
+		case base.Failed > 0:
+			fail("base_clean", fmt.Sprintf("%d failed requests at 1×", base.Failed))
+		case base.Shed > 0:
+			fail("base_clean", fmt.Sprintf("%d shed requests at 1×", base.Shed))
+		default:
+			pass("base_clean", "zero failures and zero sheds at 1×")
+		}
+		if base.RPS < want {
+			fail("base_rps", fmt.Sprintf("%.1f rps at 1× < floor %.1f", base.RPS, want))
+		} else {
+			pass("base_rps", fmt.Sprintf("%.1f rps at 1× ≥ floor %.1f", base.RPS, want))
+		}
+	}
+	if top != nil && top.Mult > 1 {
+		switch {
+		case top.Failed > 0:
+			fail("overload_shed", fmt.Sprintf("%d hard failures at %d×", top.Failed, top.Mult))
+		case top.Shed == 0:
+			fail("overload_shed", fmt.Sprintf("no 429 sheds at %d×: admission never saturated", top.Mult))
+		default:
+			pass("overload_shed", fmt.Sprintf("%d sheds, zero hard failures at %d×", top.Shed, top.Mult))
+		}
+	}
+	if rep.HitRate < minHit {
+		fail("cache_hit", fmt.Sprintf("plan-cache hit rate %.3f < %.2f", rep.HitRate, minHit))
+	} else {
+		pass("cache_hit", fmt.Sprintf("plan-cache hit rate %.3f ≥ %.2f", rep.HitRate, minHit))
+	}
+}
+
+// calibrate measures the raw in-process transform rate of the same plan
+// the service will execute, to anchor the relative throughput gate.
+func calibrate(n, ranks int, variant string, workers int) (float64, error) {
+	v, err := offt.ParseVariant(variant)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := offt.NewPlan(
+		offt.WithGrid(n, n, n), offt.WithRanks(ranks),
+		offt.WithVariant(v), offt.WithWorkers(workers),
+	)
+	if err != nil {
+		return 0, err
+	}
+	defer plan.Close()
+	data := makeInput(n * n * n)
+	dst := make([]complex128, n*n*n)
+	for i := 0; i < 3; i++ {
+		if err := plan.ForwardInto(dst, data); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < 700*time.Millisecond {
+		if err := plan.ForwardInto(dst, data); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return float64(iters) / time.Since(start).Seconds(), nil
+}
+
+func runPhase(client *http.Client, base string, body []byte, mult int, dur time.Duration) phaseResult {
+	pr := phaseResult{Mult: mult, Workers: mult}
+	var mu sync.Mutex
+	var lat []time.Duration
+	stop := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < mult; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				code, err := post(client, base, body)
+				el := time.Since(t0)
+				mu.Lock()
+				pr.Requests++
+				switch {
+				case err != nil:
+					pr.Failed++
+				case code == http.StatusOK:
+					pr.OK++
+					lat = append(lat, el)
+				case code == http.StatusTooManyRequests:
+					pr.Shed++
+				default:
+					pr.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	pr.ElapsedMs = round2(float64(elapsed.Microseconds()) / 1000)
+	if elapsed > 0 {
+		pr.RPS = round2(float64(pr.OK) / elapsed.Seconds())
+	}
+	if pr.Requests > 0 {
+		pr.ShedRate = round4(float64(pr.Shed) / float64(pr.Requests))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		pr.P50Ms = round2(float64(lat[len(lat)/2].Microseconds()) / 1000)
+		pr.P99Ms = round2(float64(lat[len(lat)*99/100].Microseconds()) / 1000)
+	}
+	return pr
+}
+
+// post sends one transform request and fully drains the response so the
+// keep-alive connection is reusable. Returns the HTTP status code.
+func post(client *http.Client, base string, body []byte) (int, error) {
+	resp, err := client.Post("http://"+base+"/v1/transform", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func buildRequestBody(n, ranks int, variant string, workers, timeoutMs int) ([]byte, error) {
+	var buf bytes.Buffer
+	req := serve.TransformRequest{
+		Nx: n, Ny: n, Nz: n, Ranks: ranks,
+		Direction: "forward", Variant: variant, Engine: "mem",
+		Workers: workers, TimeoutMs: timeoutMs,
+	}
+	if err := serve.WriteHeader(&buf, req); err != nil {
+		return nil, err
+	}
+	if err := serve.WritePayload(&buf, makeInput(n*n*n)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func makeInput(n int) []complex128 {
+	data := make([]complex128, n)
+	for i := range data {
+		data[i] = complex(float64(i%17)-8, float64(i%13)-6)
+	}
+	return data
+}
+
+func scrapeMetrics(client *http.Client, base string) (map[string]int64, map[string]float64, error) {
+	resp, err := client.Get("http://" + base + "/metrics.json")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, nil, err
+	}
+	// Keep the report focused on the service-layer series.
+	counters := map[string]int64{}
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, "serve.") {
+			counters[k] = v
+		}
+	}
+	gauges := map[string]float64{}
+	for k, v := range snap.Gauges {
+		if strings.HasPrefix(k, "serve.") {
+			gauges[k] = v
+		}
+	}
+	return counters, gauges, nil
+}
+
+func waitHealthy(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get("http://" + base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("service at %s not healthy after %v: %w", base, patience, err)
+			}
+			return fmt.Errorf("service at %s not healthy after %v", base, patience)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func parseConc(s string) ([]int, error) {
+	var mults []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := strconv.Atoi(part)
+		if err != nil || m < 1 {
+			return nil, fmt.Errorf("bad -conc entry %q", part)
+		}
+		mults = append(mults, m)
+	}
+	if len(mults) == 0 {
+		return nil, fmt.Errorf("-conc lists no multipliers")
+	}
+	return mults, nil
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+func round4(f float64) float64 { return float64(int64(f*10000+0.5)) / 10000 }

@@ -1,0 +1,129 @@
+// Command offt-serve runs the long-lived FFT service: transform requests
+// over HTTP execute against cached offt plans whose worlds of rank
+// goroutines persist between requests, with tuned-parameter warm starts,
+// weighted admission control, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	offt-serve [-addr 127.0.0.1:8080] [-store params.json]
+//	           [-max-plans 8] [-max-inflight 16] [-queue 64]
+//	           [-timeout 10s] [-drain-timeout 30s]
+//	           [-metrics snap.json] [-pprof localhost:6060]
+//
+// The service itself always exposes /metrics (Prometheus text) and
+// /metrics.json next to /v1/transform, /v1/plans and /healthz; -metrics
+// additionally writes a final snapshot on exit and -pprof starts the
+// shared debug server.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"offt/internal/serve"
+	"offt/internal/telemetry"
+	"offt/internal/tuned"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+	storePath := flag.String("store", "",
+		"tuned-params store (from offt-tune -store) consulted to warm-start plan construction")
+	maxPlans := flag.Int("max-plans", 8, "plan-registry capacity; the LRU idle plan's world is closed beyond it")
+	maxInflight := flag.Int("max-inflight", 16,
+		"admission capacity in rank-goroutine units (a p-rank transform holds p while executing)")
+	queue := flag.Int("queue", 64, "bounded admission queue length; beyond it requests are shed with 429 (negative = no queue)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default and maximum per-request deadline (queue wait + execution)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight transforms before closing plans")
+	maxElems := flag.Int("max-elements", 1<<24, "per-request payload cap in complex128 elements")
+	var obs telemetry.CLI
+	obs.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	if obs.TraceOut != "" {
+		fmt.Fprintln(os.Stderr, "warning: -trace-out applies to batch runs (see offt-run); ignored here")
+	}
+	if err := obs.Start(os.Stderr); err != nil {
+		return err
+	}
+
+	// The service always runs with telemetry: its own /metrics endpoint
+	// serves the registry even when no -metrics snapshot was requested.
+	reg := obs.Registry()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
+	var store *tuned.Store
+	if *storePath != "" {
+		s, err := tuned.Load(*storePath)
+		if err != nil {
+			return err
+		}
+		store = s
+		fmt.Printf("loaded %d tuned configurations from %s\n", s.Len(), *storePath)
+	}
+
+	srv := serve.New(serve.Config{
+		MaxPlans:         *maxPlans,
+		MaxInFlightRanks: *maxInflight,
+		MaxQueue:         *queue,
+		DefaultTimeout:   *timeout,
+		MaxElements:      *maxElems,
+		Store:            store,
+		Telemetry:        reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("offt-serve listening on http://%s (max-plans=%d max-inflight=%d queue=%d)\n",
+		ln.Addr(), *maxPlans, *maxInflight, *queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("received %v: draining (admission stopped; waiting up to %v for in-flight transforms)\n",
+			sig, *drainTimeout)
+	case err := <-errc:
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Graceful drain: stop admission, finish in-flight transforms, close
+	// every plan's world, then stop accepting connections and flush the
+	// telemetry snapshot.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer shutCancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	if err := obs.Finish(); err != nil {
+		return err
+	}
+	fmt.Println("offt-serve drained cleanly")
+	return nil
+}

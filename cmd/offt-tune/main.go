@@ -19,6 +19,7 @@ import (
 	"offt/internal/pfft"
 	"offt/internal/stats"
 	"offt/internal/telemetry"
+	"offt/internal/tuned"
 	"offt/internal/tuner"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	evals := flag.Int("evals", 50, "Nelder-Mead evaluation budget")
 	random := flag.Int("random", 0, "also run random search with this many samples")
 	seed := flag.Int64("seed", 1, "random search seed")
+	store := flag.String("store", "",
+		"append the tuned parameters to this JSON store, keyed by (machine, grid, ranks, variant); offt.WithTunedStore and offt-serve -store warm-start from it")
 	var obs telemetry.CLI
 	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -76,6 +79,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("  full 3-D FFT time with tuned parameters: %.4f s\n", float64(full.MaxTotal)/1e9)
+
+	if *store != "" {
+		entry := tuned.Entry{
+			Key:     tuned.NewKey(m.Name, *n, *n, *n, *p, pfft.NEW),
+			Params:  prm,
+			TunedNs: out.BestTime(),
+			Evals:   out.Search.Evals,
+		}
+		if err := tuned.Append(*store, entry); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  stored tuned parameters in %s under %q\n", *store, entry.Key.String())
+	}
 
 	if *random > 0 {
 		rnd, err := tuner.RandomNEW(m, *p, *n, *random, *seed)

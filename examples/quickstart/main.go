@@ -20,6 +20,13 @@ func main() {
 		p = 4  // ranks
 	)
 
+	// Validate the decomposition before allocating anything: NewPlan
+	// performs the same check, but calling it up front gives a clear
+	// errors.Is(err, offt.ErrBadShape) instead of a failure mid-setup.
+	if err := offt.ValidateShape(n, n, n, p); err != nil {
+		log.Fatal(err)
+	}
+
 	// Random input.
 	rng := rand.New(rand.NewSource(1))
 	data := make([]complex128, n*n*n)

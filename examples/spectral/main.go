@@ -20,6 +20,8 @@ import (
 	"math"
 	"time"
 
+	"offt"
+
 	"offt/internal/fft"
 	"offt/internal/layout"
 	"offt/internal/machine"
@@ -97,6 +99,13 @@ func run(variant pfft.Variant, full []complex128) ([]complex128, time.Duration, 
 }
 
 func main() {
+	// Validate the grid/rank decomposition up front with the shared
+	// helper; a bad pairing otherwise surfaces as an engine-internal
+	// error deep inside world.Run.
+	if err := offt.ValidateShape(n, n, n, p); err != nil {
+		log.Fatal(err)
+	}
+
 	// Initial condition: one Fourier mode, so the exact solution is a
 	// uniform exponential decay.
 	full := make([]complex128, n*n*n)

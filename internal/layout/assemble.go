@@ -36,6 +36,17 @@ func GatherY(slabs [][]complex128, nx, ny, nz, p int, fast bool) []complex128 {
 	return full
 }
 
+// assembleTileX/Z are the cache-block edges for the x/z-tiled transposes
+// below. Both the gather and scatter walk a strided corner-turn between the
+// slab layout (x contiguous) and the full x-y-z array (z contiguous). The
+// x edge stays small because consecutive x values land Ny·Nz elements apart
+// in the full array (a power-of-two stride that aliases L1 sets); the z run
+// stays long so the contiguous side streams whole cache lines.
+const (
+	assembleTileX = 8
+	assembleTileZ = 64
+)
+
 // GatherYInto is GatherY into a caller-provided full array of length
 // nx·ny·nz (every element is overwritten).
 func GatherYInto(full []complex128, slabs [][]complex128, nx, ny, nz, p int, fast bool) {
@@ -53,10 +64,17 @@ func GatherYInto(full []complex128, slabs [][]complex128, nx, ny, nz, p int, fas
 		}
 		y0, yc := g.Y0(), g.YC()
 		for ly := 0; ly < yc; ly++ {
-			for z := 0; z < nz; z++ {
-				rb := g.RowXBase(fast, ly, z)
-				for x := 0; x < nx; x++ {
-					full[(x*ny+(y0+ly))*nz+z] = slab[rb+x]
+			y := y0 + ly
+			for xb := 0; xb < nx; xb += assembleTileX {
+				x1 := min(xb+assembleTileX, nx)
+				for zb := 0; zb < nz; zb += assembleTileZ {
+					z1 := min(zb+assembleTileZ, nz)
+					for x := xb; x < x1; x++ {
+						fb := (x*ny + y) * nz
+						for z := zb; z < z1; z++ {
+							full[fb+z] = slab[g.RowXBase(fast, ly, z)+x]
+						}
+					}
 				}
 			}
 		}
@@ -83,10 +101,17 @@ func ScatterYInto(slab, full []complex128, g Grid, fast bool) {
 	}
 	y0, yc := g.Y0(), g.YC()
 	for ly := 0; ly < yc; ly++ {
-		for z := 0; z < g.Nz; z++ {
-			rb := g.RowXBase(fast, ly, z)
-			for x := 0; x < g.Nx; x++ {
-				slab[rb+x] = full[(x*g.Ny+(y0+ly))*g.Nz+z]
+		y := y0 + ly
+		for xb := 0; xb < g.Nx; xb += assembleTileX {
+			x1 := min(xb+assembleTileX, g.Nx)
+			for zb := 0; zb < g.Nz; zb += assembleTileZ {
+				z1 := min(zb+assembleTileZ, g.Nz)
+				for x := xb; x < x1; x++ {
+					fb := (x*g.Ny + y) * g.Nz
+					for z := zb; z < z1; z++ {
+						slab[g.RowXBase(fast, ly, z)+x] = full[fb+z]
+					}
+				}
 			}
 		}
 	}

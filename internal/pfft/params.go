@@ -15,6 +15,7 @@ package pfft
 
 import (
 	"fmt"
+	"strings"
 
 	"offt/internal/layout"
 )
@@ -157,3 +158,23 @@ func (v Variant) String() string {
 
 // Variants lists all algorithm variants in display order.
 func Variants() []Variant { return []Variant{Baseline, NEW, NEW0, TH, TH0} }
+
+// ParseVariant resolves a variant from its display name ("NEW", "TH-0",
+// "FFTW", ...) or the lowercase aliases used on command lines and wire
+// requests ("baseline", "new0", "th0"). Matching is case-insensitive.
+func ParseVariant(name string) (Variant, error) {
+	canon := strings.ToLower(strings.ReplaceAll(name, "-", ""))
+	switch canon {
+	case "fftw", "baseline":
+		return Baseline, nil
+	case "new":
+		return NEW, nil
+	case "new0":
+		return NEW0, nil
+	case "th":
+		return TH, nil
+	case "th0":
+		return TH0, nil
+	}
+	return 0, fmt.Errorf("pfft: unknown variant %q (want baseline, new, new0, th, or th0)", name)
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"offt/internal/telemetry"
+)
+
+// ErrOverloaded is returned when a request cannot be admitted because the
+// bounded wait queue is full (or its weight can never fit). The HTTP
+// layer maps it to 429: overload sheds load instead of growing worlds
+// until the process OOMs.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+// ErrDraining is returned once Drain has been called: the server is
+// shutting down and admits no new work (503 on the wire).
+var ErrDraining = errors.New("serve: draining, not accepting work")
+
+// admWaiter is one queued acquisition. grant carries nil when capacity
+// was handed over (the grantor already charged the weight) or an error
+// when the waiter is shed.
+type admWaiter struct {
+	weight int
+	grant  chan error
+	elem   *list.Element
+}
+
+// Admission is a weighted semaphore with a bounded FIFO wait queue. The
+// unit of weight is one rank goroutine: a transform over a p-rank plan
+// holds p units for its duration, so the semaphore bounds the total
+// number of live rank-goroutine worlds executing at once — the resource
+// that actually scales memory and scheduler load in this system.
+//
+// Admission is the service's overload valve: when capacity is exhausted
+// requests wait in a bounded queue; when the queue is full (or the
+// caller's deadline expires first) they are shed with ErrOverloaded
+// rather than piling up unboundedly.
+type Admission struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	maxQueue int
+	queue    list.List // of *admWaiter, FIFO
+	draining bool
+
+	queueDepth *telemetry.Gauge
+	inUseGauge *telemetry.Gauge
+	shed       *telemetry.Counter
+	admitted   *telemetry.Counter
+}
+
+// NewAdmission builds an admission controller with the given rank-weight
+// capacity and wait-queue bound. reg may be nil (metrics disabled).
+func NewAdmission(capacity, maxQueue int, reg *telemetry.Registry) *Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		capacity:   capacity,
+		maxQueue:   maxQueue,
+		queueDepth: reg.Gauge("serve.admission.queue_depth"),
+		inUseGauge: reg.Gauge("serve.admission.inflight_ranks"),
+		shed:       reg.Counter("serve.admission.shed"),
+		admitted:   reg.Counter("serve.admission.admitted"),
+	}
+}
+
+// Acquire admits weight units, waiting in the bounded queue when capacity
+// is exhausted. It returns ErrOverloaded when the queue is full or the
+// weight exceeds total capacity, ErrDraining after Drain, and the
+// context's error when ctx expires while queued.
+func (a *Admission) Acquire(ctx context.Context, weight int) error {
+	if weight < 1 {
+		weight = 1
+	}
+	a.mu.Lock()
+	switch {
+	case a.draining:
+		a.mu.Unlock()
+		return ErrDraining
+	case weight > a.capacity:
+		a.mu.Unlock()
+		a.shed.Inc()
+		return fmt.Errorf("%w: weight %d exceeds capacity %d", ErrOverloaded, weight, a.capacity)
+	case a.queue.Len() == 0 && a.inUse+weight <= a.capacity:
+		a.inUse += weight
+		a.inUseGauge.Set(float64(a.inUse))
+		a.mu.Unlock()
+		a.admitted.Inc()
+		return nil
+	case a.queue.Len() >= a.maxQueue:
+		a.mu.Unlock()
+		a.shed.Inc()
+		return ErrOverloaded
+	}
+	w := &admWaiter{weight: weight, grant: make(chan error, 1)}
+	w.elem = a.queue.PushBack(w)
+	a.queueDepth.Set(float64(a.queue.Len()))
+	a.mu.Unlock()
+
+	select {
+	case err := <-w.grant:
+		if err != nil {
+			a.shed.Inc()
+			return err
+		}
+		a.admitted.Inc()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.elem != nil {
+			// Still queued: withdraw.
+			a.queue.Remove(w.elem)
+			w.elem = nil
+			a.queueDepth.Set(float64(a.queue.Len()))
+			a.mu.Unlock()
+			a.shed.Inc()
+			return fmt.Errorf("%w: %w", ErrOverloaded, ctx.Err())
+		}
+		a.mu.Unlock()
+		// The grant raced the deadline: take whichever it was, then give
+		// capacity back if it was granted.
+		if err := <-w.grant; err == nil {
+			a.Release(weight)
+		}
+		a.shed.Inc()
+		return fmt.Errorf("%w: %w", ErrOverloaded, ctx.Err())
+	}
+}
+
+// Release returns weight units and hands freed capacity to queued
+// waiters in FIFO order.
+func (a *Admission) Release(weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	a.mu.Lock()
+	a.inUse -= weight
+	if a.inUse < 0 { // defensive; indicates a caller bug
+		a.inUse = 0
+	}
+	a.wakeLocked()
+	a.inUseGauge.Set(float64(a.inUse))
+	a.queueDepth.Set(float64(a.queue.Len()))
+	a.mu.Unlock()
+}
+
+// wakeLocked grants capacity to the queue head while it fits. FIFO: a
+// wide waiter at the head blocks narrower ones behind it, which keeps
+// admission fair and starvation-free.
+func (a *Admission) wakeLocked() {
+	for a.queue.Len() > 0 {
+		w := a.queue.Front().Value.(*admWaiter)
+		if a.inUse+w.weight > a.capacity {
+			return
+		}
+		a.queue.Remove(w.elem)
+		w.elem = nil
+		a.inUse += w.weight
+		w.grant <- nil
+	}
+}
+
+// Drain stops admission permanently: queued waiters are shed with
+// ErrDraining and every later Acquire fails fast. In-flight work is
+// unaffected; pair with WaitIdle to complete a graceful shutdown.
+func (a *Admission) Drain() {
+	a.mu.Lock()
+	a.draining = true
+	for a.queue.Len() > 0 {
+		w := a.queue.Front().Value.(*admWaiter)
+		a.queue.Remove(w.elem)
+		w.elem = nil
+		w.grant <- ErrDraining
+	}
+	a.queueDepth.Set(0)
+	a.mu.Unlock()
+}
+
+// WaitIdle blocks until all admitted weight has been released or ctx
+// expires.
+func (a *Admission) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if a.InUse() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain timed out with %d rank-weights in flight: %w", a.InUse(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// InUse reports the admitted weight currently held.
+func (a *Admission) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// QueueLen reports the number of queued waiters.
+func (a *Admission) QueueLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queue.Len()
+}

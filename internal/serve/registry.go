@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offt"
+	"offt/internal/telemetry"
+)
+
+// PlanKey identifies one cached plan. Params are the *resolved* effective
+// parameters (explicit request params, else tuned-store warm start, else
+// the default point), so a request that spells out the default
+// configuration and one that omits it share a single plan. The struct is
+// comparable and used directly as the cache map key.
+type PlanKey struct {
+	Nx, Ny, Nz int
+	Ranks      int
+	Variant    offt.Variant
+	Engine     offt.EngineKind
+	Workers    int
+	Machine    string
+	Params     offt.Params
+}
+
+func (k PlanKey) String() string {
+	eng := "mem"
+	if k.Engine == offt.Sim {
+		eng = "sim"
+	}
+	return fmt.Sprintf("%dx%dx%d/p=%d/%v/%s/w=%d", k.Nx, k.Ny, k.Nz, k.Ranks, k.Variant, eng, k.Workers)
+}
+
+// planEntry is one registry slot. ready is closed once the singleflight
+// build finishes (plan or err set); refs and lastUsed are guarded by the
+// registry mutex; execs is atomic so the hot path can bump it without the
+// registry lock.
+type planEntry struct {
+	key   PlanKey
+	ready chan struct{}
+	plan  *offt.Plan
+	err   error
+
+	refs     int
+	lastUsed time.Time
+	created  time.Time
+	execs    atomic.Int64
+	elem     *list.Element
+}
+
+// Plan returns the built plan (valid after Acquire succeeds).
+func (e *planEntry) Plan() *offt.Plan { return e.plan }
+
+// RecordExec bumps the entry's execution count.
+func (e *planEntry) RecordExec() { e.execs.Add(1) }
+
+// Registry is a capacity-bounded LRU cache of live plans. A cached Mem
+// plan keeps its world of rank goroutines alive between requests — that
+// is the whole point (§6: tuning and planning amortize over repeated
+// transforms) and also why capacity must be bounded: eviction Close()s
+// the least-recently-used idle plan's world. Construction is
+// singleflight: concurrent requests for the same key build one plan and
+// share it; plans currently referenced by an in-flight request are never
+// evicted.
+type Registry struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[PlanKey]*planEntry
+	lru     *list.List // front = most recently used
+	closed  bool
+
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	buildNs   *telemetry.Histogram
+}
+
+// NewRegistry builds a registry holding at most capacity live plans. reg
+// may be nil (metrics disabled).
+func NewRegistry(capacity int, reg *telemetry.Registry) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Registry{
+		cap:       capacity,
+		entries:   make(map[PlanKey]*planEntry),
+		lru:       list.New(),
+		hits:      reg.Counter("serve.plan_cache.hits"),
+		misses:    reg.Counter("serve.plan_cache.misses"),
+		evictions: reg.Counter("serve.plan_cache.evictions"),
+		buildNs:   reg.Histogram("serve.plan_cache.build.ns"),
+	}
+	reg.Func("serve.plan_cache.size", func() int64 { return int64(r.Len()) })
+	return r
+}
+
+// Acquire returns the cached plan for key, building it with build on a
+// miss. The caller holds a reference until Release: a referenced plan is
+// guaranteed not to be evicted/closed. On build failure the entry is
+// removed so a later request retries.
+func (r *Registry) Acquire(key PlanKey, build func() (*offt.Plan, error)) (*planEntry, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if e, ok := r.entries[key]; ok {
+		e.refs++
+		e.lastUsed = time.Now()
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		r.hits.Inc()
+		<-e.ready
+		if e.err != nil {
+			// Built by another request and failed; drop our reference.
+			r.Release(e)
+			return nil, e.err
+		}
+		return e, nil
+	}
+
+	now := time.Now()
+	e := &planEntry{key: key, ready: make(chan struct{}), refs: 1, lastUsed: now, created: now}
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	r.mu.Unlock()
+	r.misses.Inc()
+
+	start := time.Now()
+	e.plan, e.err = build()
+	r.buildNs.Observe(time.Since(start).Nanoseconds())
+	close(e.ready)
+
+	if e.err != nil {
+		r.mu.Lock()
+		r.removeLocked(e)
+		r.mu.Unlock()
+		return nil, e.err
+	}
+	r.evict()
+	return e, nil
+}
+
+// Release drops a reference taken by Acquire and triggers eviction if the
+// cache is over capacity.
+func (r *Registry) Release(e *planEntry) {
+	r.mu.Lock()
+	e.refs--
+	e.lastUsed = time.Now()
+	r.mu.Unlock()
+	r.evict()
+}
+
+// removeLocked unlinks an entry from the map and LRU list.
+func (r *Registry) removeLocked(e *planEntry) {
+	if e.elem != nil {
+		r.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	delete(r.entries, e.key)
+}
+
+// evict closes least-recently-used idle plans until the registry is
+// within capacity. Referenced (in-flight) and still-building entries are
+// skipped; Close happens outside the lock because shutting a world down
+// synchronizes with its rank goroutines.
+func (r *Registry) evict() {
+	var victims []*planEntry
+	r.mu.Lock()
+	for r.lru.Len() > r.cap {
+		var victim *planEntry
+		for el := r.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*planEntry)
+			if e.refs == 0 {
+				select {
+				case <-e.ready: // built: safe to close
+					victim = e
+				default: // still building (refs 0 can't happen mid-build, but stay safe)
+				}
+			}
+			if victim != nil {
+				break
+			}
+		}
+		if victim == nil {
+			break // everything is busy; stay over capacity until a Release
+		}
+		r.removeLocked(victim)
+		victims = append(victims, victim)
+	}
+	r.mu.Unlock()
+	for _, v := range victims {
+		r.evictions.Inc()
+		_ = v.plan.Close()
+	}
+}
+
+// PlanInfo is one row of the /v1/plans listing.
+type PlanInfo struct {
+	Key      string      `json:"key"`
+	Grid     [3]int      `json:"grid"`
+	Ranks    int         `json:"ranks"`
+	Variant  string      `json:"variant"`
+	Engine   string      `json:"engine"`
+	Workers  int         `json:"workers"`
+	Machine  string      `json:"machine,omitempty"`
+	Params   offt.Params `json:"params"`
+	Execs    int64       `json:"execs"`
+	InFlight int         `json:"in_flight"`
+	AgeMs    int64       `json:"age_ms"`
+	IdleMs   int64       `json:"idle_ms"`
+}
+
+// Snapshot lists the cached plans in most-recently-used order.
+func (r *Registry) Snapshot() []PlanInfo {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PlanInfo, 0, r.lru.Len())
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		eng := "mem"
+		if e.key.Engine == offt.Sim {
+			eng = "sim"
+		}
+		out = append(out, PlanInfo{
+			Key:      e.key.String(),
+			Grid:     [3]int{e.key.Nx, e.key.Ny, e.key.Nz},
+			Ranks:    e.key.Ranks,
+			Variant:  e.key.Variant.String(),
+			Engine:   eng,
+			Workers:  e.key.Workers,
+			Machine:  e.key.Machine,
+			Params:   e.key.Params,
+			Execs:    e.execs.Load(),
+			InFlight: e.refs,
+			AgeMs:    now.Sub(e.created).Milliseconds(),
+			IdleMs:   now.Sub(e.lastUsed).Milliseconds(),
+		})
+	}
+	return out
+}
+
+// Len reports the number of cached plans.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// CloseAll shuts the registry down: no further Acquires succeed and every
+// cached plan is closed. Callers must have drained in-flight work first
+// (offt.Plan.Close itself waits out any transform still holding the
+// plan's execution lock, so even a straggler is drained, not corrupted).
+func (r *Registry) CloseAll() error {
+	r.mu.Lock()
+	r.closed = true
+	var all []*planEntry
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*planEntry))
+	}
+	r.lru.Init()
+	r.entries = make(map[PlanKey]*planEntry)
+	r.mu.Unlock()
+
+	var firstErr error
+	for _, e := range all {
+		<-e.ready
+		if e.err != nil {
+			continue
+		}
+		if err := e.plan.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

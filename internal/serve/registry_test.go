@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"offt"
+)
+
+func memKey(n, ranks int) PlanKey {
+	prm, err := offt.DefaultParams(n, n, n, ranks)
+	if err != nil {
+		panic(err)
+	}
+	return PlanKey{
+		Nx: n, Ny: n, Nz: n, Ranks: ranks,
+		Variant: offt.NEW, Engine: offt.Mem, Workers: 1,
+		Machine: "laptop", Params: prm,
+	}
+}
+
+func buildFor(key PlanKey) func() (*offt.Plan, error) {
+	return func() (*offt.Plan, error) {
+		return offt.NewPlan(
+			offt.WithGrid(key.Nx, key.Ny, key.Nz),
+			offt.WithRanks(key.Ranks),
+			offt.WithVariant(key.Variant),
+			offt.WithParams(key.Params),
+		)
+	}
+}
+
+func TestRegistryHitMissEviction(t *testing.T) {
+	r := NewRegistry(1, nil)
+	defer r.CloseAll()
+
+	kA, kB := memKey(8, 1), memKey(12, 1)
+
+	a1, err := r.Acquire(kA, buildFor(kA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	planA := a1.Plan()
+	r.Release(a1)
+
+	// Same key: cache hit, same plan instance.
+	a2, err := r.Acquire(kA, func() (*offt.Plan, error) {
+		t.Error("builder called on what should be a cache hit")
+		return nil, errors.New("unexpected build")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Plan() != planA {
+		t.Error("cache hit returned a different plan instance")
+	}
+	r.Release(a2)
+
+	// Different key at capacity 1: A is idle, so it gets evicted and
+	// closed.
+	b, err := r.Acquire(kB, buildFor(kB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release(b)
+	if got := r.Len(); got != 1 {
+		t.Errorf("registry holds %d plans, want 1", got)
+	}
+	if _, err := planA.Forward(make([]complex128, 8*8*8)); err == nil {
+		t.Error("evicted plan was not closed")
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Grid != [3]int{12, 12, 12} {
+		t.Errorf("snapshot = %+v, want one 12³ plan", snap)
+	}
+}
+
+func TestRegistryDoesNotEvictBusyPlan(t *testing.T) {
+	r := NewRegistry(1, nil)
+	defer r.CloseAll()
+
+	kA, kB := memKey(8, 1), memKey(12, 1)
+	a, err := r.Acquire(kA, buildFor(kA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A is still referenced: acquiring B overflows capacity but must not
+	// close A underneath its holder.
+	b, err := r.Acquire(kB, buildFor(kB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Len(); got != 2 {
+		t.Errorf("registry holds %d plans, want 2 (busy plan is unevictable)", got)
+	}
+	data := make([]complex128, 8*8*8)
+	if _, err := a.Plan().Forward(data); err != nil {
+		t.Errorf("busy plan was closed during overflow: %v", err)
+	}
+	r.Release(b)
+	r.Release(a)
+	// Now A is idle and over capacity: eviction shrinks back to 1.
+	if got := r.Len(); got != 1 {
+		t.Errorf("registry holds %d plans after releases, want 1", got)
+	}
+}
+
+func TestRegistrySingleflight(t *testing.T) {
+	r := NewRegistry(4, nil)
+	defer r.CloseAll()
+
+	key := memKey(8, 2)
+	var builds atomic.Int32
+	gate := make(chan struct{})
+
+	const goros = 8
+	var wg sync.WaitGroup
+	plans := make([]*offt.Plan, goros)
+	errs := make([]error, goros)
+	for g := 0; g < goros; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-gate
+			e, err := r.Acquire(key, func() (*offt.Plan, error) {
+				builds.Add(1)
+				return buildFor(key)()
+			})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			plans[g] = e.Plan()
+			r.Release(e)
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("plan built %d times under concurrent acquire, want 1 (singleflight)", n)
+	}
+	for g := 1; g < goros; g++ {
+		if plans[g] != plans[0] {
+			t.Errorf("goroutine %d got a different plan instance", g)
+		}
+	}
+}
+
+func TestRegistryBuildErrorNotCached(t *testing.T) {
+	r := NewRegistry(4, nil)
+	defer r.CloseAll()
+
+	key := memKey(8, 1)
+	wantErr := fmt.Errorf("transient build failure")
+	if _, err := r.Acquire(key, func() (*offt.Plan, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("Acquire = %v, want build error", err)
+	}
+	if got := r.Len(); got != 0 {
+		t.Errorf("failed build left %d cached entries", got)
+	}
+	// The next acquire retries the build and can succeed.
+	e, err := r.Acquire(key, buildFor(key))
+	if err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	r.Release(e)
+}
+
+func TestRegistryExecAccounting(t *testing.T) {
+	r := NewRegistry(2, nil)
+	defer r.CloseAll()
+	key := memKey(8, 1)
+	e, err := r.Acquire(key, buildFor(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RecordExec()
+	e.RecordExec()
+	r.Release(e)
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Execs != 2 {
+		t.Errorf("snapshot execs = %+v, want 2", snap)
+	}
+}
+
+func TestRegistryCloseAll(t *testing.T) {
+	r := NewRegistry(4, nil)
+	key := memKey(8, 1)
+	e, err := r.Acquire(key, buildFor(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := e.Plan()
+	r.Release(e)
+	if err := r.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Forward(make([]complex128, 8*8*8)); err == nil {
+		t.Error("plan still live after CloseAll")
+	}
+	if _, err := r.Acquire(key, buildFor(key)); !errors.Is(err, ErrDraining) {
+		t.Errorf("Acquire after CloseAll = %v, want ErrDraining", err)
+	}
+}

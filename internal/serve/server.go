@@ -1,0 +1,460 @@
+// Package serve is the concurrent FFT service layer: a long-running HTTP
+// control plane that executes forward/backward 3-D transforms over the
+// public offt.Plan API. The paper's auto-tuned overlapped FFT is designed
+// to be executed many times per tuned configuration (§6); this package is
+// the long-lived process that realizes that amortization — plans (and
+// their worlds of rank goroutines) persist in an LRU registry across
+// requests, tuned parameters warm-start plan construction from a
+// persisted store, and a weighted admission controller sheds overload
+// with 429s instead of growing worlds until the process OOMs.
+//
+// Endpoints:
+//
+//	POST /v1/transform  — execute one transform (binary wire format, wire.go)
+//	GET  /v1/plans      — list cached plans with exec/last-used accounting
+//	GET  /healthz       — liveness + drain state
+//	GET  /metrics       — Prometheus text;  /metrics.json — JSON snapshot
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offt"
+	"offt/internal/telemetry"
+	"offt/internal/tuned"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a production-safe default.
+type Config struct {
+	// MaxPlans caps the plan registry (default 8 live plans).
+	MaxPlans int
+	// MaxInFlightRanks is the admission capacity in rank-goroutine units:
+	// a transform over a p-rank Mem plan holds p units while executing
+	// (Sim transforms hold 1). Default 4×GOMAXPROCS-ish: 16.
+	MaxInFlightRanks int
+	// MaxQueue bounds the admission wait queue (default 64 requests;
+	// negative = no queue, shed as soon as capacity is exhausted).
+	MaxQueue int
+	// DefaultTimeout caps a request's total admission+execution time when
+	// the request names none (default 10s); requested timeouts are
+	// clamped to it.
+	DefaultTimeout time.Duration
+	// MaxElements caps the per-request payload element count
+	// (default 2^24 ≈ 16.7M complex128 = 256 MiB).
+	MaxElements int
+	// Store supplies tuned parameters for warm-started plan construction
+	// (may be nil: every miss uses the default point).
+	Store *tuned.Store
+	// Telemetry receives the service metrics (may be nil: disabled).
+	Telemetry *telemetry.Registry
+}
+
+func (c *Config) fill() {
+	if c.MaxPlans <= 0 {
+		c.MaxPlans = 8
+	}
+	if c.MaxInFlightRanks <= 0 {
+		c.MaxInFlightRanks = 16
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxElements <= 0 {
+		c.MaxElements = 1 << 24
+	}
+}
+
+// Server is the FFT service. Build with New, expose Handler over any
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	adm      *Admission
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	requests  *telemetry.Counter
+	transNs   *telemetry.Histogram
+	plansNs   *telemetry.Histogram
+	healthNs  *telemetry.Histogram
+	errors400 *telemetry.Counter
+	errors429 *telemetry.Counter
+	errors5xx *telemetry.Counter
+
+	bufPool sync.Pool // *[]complex128 payload/result scratch
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg.fill()
+	reg := cfg.Telemetry
+	s := &Server{
+		cfg:       cfg,
+		registry:  NewRegistry(cfg.MaxPlans, reg),
+		adm:       NewAdmission(cfg.MaxInFlightRanks, cfg.MaxQueue, reg),
+		requests:  reg.Counter("serve.http.requests"),
+		transNs:   reg.Histogram("serve.http.transform.ns"),
+		plansNs:   reg.Histogram("serve.http.plans.ns"),
+		healthNs:  reg.Histogram("serve.http.healthz.ns"),
+		errors400: reg.Counter("serve.http.errors.400"),
+		errors429: reg.Counter("serve.http.errors.429"),
+		errors5xx: reg.Counter("serve.http.errors.5xx"),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/transform", s.timed(s.transNs, s.handleTransform))
+	s.mux.HandleFunc("GET /v1/plans", s.timed(s.plansNs, s.handlePlans))
+	s.mux.HandleFunc("GET /healthz", s.timed(s.healthNs, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	s.mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the plan registry (read-only use: snapshots, tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Admission exposes the admission controller (tests, introspection).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// timed wraps a handler with a per-endpoint latency histogram and the
+// request counter.
+func (s *Server) timed(h *telemetry.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		start := time.Now()
+		fn(w, r)
+		h.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: stop admission (queued
+// waiters shed with 503, /healthz flips to draining), wait for in-flight
+// transforms to complete within ctx, then close every cached plan's
+// world. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.adm.Drain()
+	waitErr := s.adm.WaitIdle(ctx)
+	closeErr := s.registry.CloseAll()
+	if waitErr != nil {
+		return waitErr
+	}
+	return closeErr
+}
+
+// writeError sends a JSON error body with the given status code.
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	switch {
+	case code == http.StatusBadRequest:
+		s.errors400.Inc()
+	case code == http.StatusTooManyRequests:
+		s.errors429.Inc()
+	case code >= 500 && code != http.StatusServiceUnavailable:
+		s.errors5xx.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Status: "error", Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         status,
+		"plans":          s.registry.Len(),
+		"inflight_ranks": s.adm.InUse(),
+		"queue_depth":    s.adm.QueueLen(),
+	})
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"plans": s.registry.Snapshot()})
+}
+
+// transformSpec is a validated, resolved transform request.
+type transformSpec struct {
+	key      PlanKey
+	backward bool
+	timeout  time.Duration
+	weight   int
+}
+
+// resolve validates the request header and resolves the effective plan
+// key (explicit params > tuned store > default point).
+func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
+	if req.Ranks == 0 {
+		req.Ranks = 1
+	}
+	if req.Workers == 0 {
+		req.Workers = 1
+	}
+	if req.Machine == "" {
+		req.Machine = "laptop"
+	}
+	if err := offt.ValidateShape(req.Nx, req.Ny, req.Nz, req.Ranks); err != nil {
+		return transformSpec{}, err
+	}
+	if req.Workers < 1 {
+		return transformSpec{}, fmt.Errorf("workers %d must be at least 1", req.Workers)
+	}
+	if vol := req.Nx * req.Ny * req.Nz; vol > s.cfg.MaxElements {
+		return transformSpec{}, fmt.Errorf("grid %d×%d×%d (%d elements) exceeds the server's %d-element cap",
+			req.Nx, req.Ny, req.Nz, vol, s.cfg.MaxElements)
+	}
+
+	variant := offt.NEW
+	if req.Variant != "" {
+		v, err := offt.ParseVariant(req.Variant)
+		if err != nil {
+			return transformSpec{}, err
+		}
+		variant = v
+	}
+
+	var engine offt.EngineKind
+	switch req.Engine {
+	case "", "mem":
+		engine = offt.Mem
+	case "sim":
+		engine = offt.Sim
+	default:
+		return transformSpec{}, fmt.Errorf("unknown engine %q (want mem or sim)", req.Engine)
+	}
+
+	var backward bool
+	switch req.Direction {
+	case "", "forward":
+	case "backward":
+		backward = true
+		if engine == offt.Sim {
+			return transformSpec{}, fmt.Errorf("the sim engine does not support backward transforms")
+		}
+		if variant == offt.TH || variant == offt.TH0 {
+			return transformSpec{}, fmt.Errorf("backward transform does not support the %v comparison model", variant)
+		}
+	default:
+		return transformSpec{}, fmt.Errorf("unknown direction %q (want forward or backward)", req.Direction)
+	}
+
+	// Resolve effective params so that "explicit default", "warm-started"
+	// and "omitted" requests share one cache entry.
+	var params offt.Params
+	switch {
+	case req.Params != nil:
+		params = *req.Params
+	default:
+		def, err := offt.DefaultParams(req.Nx, req.Ny, req.Nz, req.Ranks)
+		if err != nil {
+			return transformSpec{}, err
+		}
+		params = def
+		key := tuned.NewKey(req.Machine, req.Nx, req.Ny, req.Nz, req.Ranks, variant)
+		if tp, ok := s.cfg.Store.Lookup(key); ok {
+			params = tp
+		}
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	weight := req.Ranks * req.Workers
+	if engine == offt.Sim {
+		weight = 1 // no world of rank goroutines; one model evaluation
+	}
+	return transformSpec{
+		key: PlanKey{
+			Nx: req.Nx, Ny: req.Ny, Nz: req.Nz, Ranks: req.Ranks,
+			Variant: variant, Engine: engine, Workers: req.Workers,
+			Machine: req.Machine, Params: params,
+		},
+		backward: backward,
+		timeout:  timeout,
+		weight:   weight,
+	}, nil
+}
+
+// buildPlan constructs the offt.Plan for a resolved key.
+func (s *Server) buildPlan(key PlanKey) (*offt.Plan, error) {
+	opts := []offt.Option{
+		offt.WithGrid(key.Nx, key.Ny, key.Nz),
+		offt.WithRanks(key.Ranks),
+		offt.WithVariant(key.Variant),
+		offt.WithParams(key.Params),
+		offt.WithEngine(key.Engine),
+		offt.WithMachine(key.Machine),
+	}
+	if key.Workers > 1 {
+		opts = append(opts, offt.WithWorkers(key.Workers))
+	}
+	return offt.NewPlan(opts...)
+}
+
+// getBuf returns a pooled complex128 scratch slice of length n.
+func (s *Server) getBuf(n int) []complex128 {
+	if p, ok := s.bufPool.Get().(*[]complex128); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]complex128, n)
+}
+
+func (s *Server) putBuf(b []complex128) { s.bufPool.Put(&b) }
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	var req TransformRequest
+	if err := ReadHeader(r.Body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.resolve(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Admission: bounded wait for rank-weight capacity. The deadline
+	// covers queueing and execution both.
+	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
+	defer cancel()
+	queued := time.Now()
+	if err := s.adm.Acquire(ctx, spec.weight); err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrOverloaded):
+			s.writeError(w, http.StatusTooManyRequests, err)
+		default:
+			s.writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	defer s.adm.Release(spec.weight)
+	queueNs := time.Since(queued).Nanoseconds()
+
+	// Plan acquisition (singleflight build on miss, warm-started params
+	// already resolved into the key).
+	hadPlan := true
+	entry, err := s.registry.Acquire(spec.key, func() (*offt.Plan, error) {
+		hadPlan = false
+		return s.buildPlan(spec.key)
+	})
+	if err != nil {
+		if errors.Is(err, offt.ErrBadShape) {
+			s.writeError(w, http.StatusBadRequest, err)
+		} else if errors.Is(err, ErrDraining) {
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		} else {
+			// Parameter validation failures surface here too; they are
+			// caller errors, not server faults.
+			s.writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	defer s.registry.Release(entry)
+	plan := entry.Plan()
+
+	resp := TransformResponse{
+		Status:   "ok",
+		PlanKey:  spec.key.String(),
+		CacheHit: hadPlan,
+		QueueNs:  queueNs,
+	}
+
+	if spec.key.Engine == offt.Sim {
+		start := time.Now()
+		if _, err := plan.Forward(nil); err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		entry.RecordExec()
+		resp.ExecNs = time.Since(start).Nanoseconds()
+		resp.VirtualNs, resp.TunedNs = plan.VirtualTimes()
+		resp.Execs = entry.execs.Load()
+		hdr, err := MarshalHeader(resp)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(hdr)))
+		_, _ = w.Write(hdr)
+		return
+	}
+
+	// Mem engine: read the payload, execute, stream the result back.
+	n := spec.key.Nx * spec.key.Ny * spec.key.Nz
+	in := s.getBuf(n)
+	defer s.putBuf(in)
+	if err := ReadPayloadInto(r.Body, in); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := s.getBuf(n)
+	defer s.putBuf(out)
+
+	start := time.Now()
+	if spec.backward {
+		err = plan.BackwardInto(out, in)
+	} else {
+		err = plan.ForwardInto(out, in)
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	entry.RecordExec()
+	resp.ExecNs = time.Since(start).Nanoseconds()
+	resp.Elements = n
+	resp.Execs = entry.execs.Load()
+
+	hdr, err := MarshalHeader(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// An exact Content-Length sidesteps chunked transfer framing: the
+	// 4 MiB-scale payload crosses the loopback in a handful of large
+	// writes instead of per-chunk frames the client must reparse.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(hdr)+16*n))
+	if _, err := w.Write(hdr); err != nil {
+		return // client went away; nothing to salvage
+	}
+	_ = WritePayload(w, out)
+}

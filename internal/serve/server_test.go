@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/cmplx"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"offt"
+	"offt/internal/pfft"
+	"offt/internal/telemetry"
+	"offt/internal/tuned"
+)
+
+// postTransform sends one wire-format transform request and decodes the
+// response. On non-200 the ErrorResponse body is returned in errMsg.
+func postTransform(t *testing.T, url string, req TransformRequest, payload []complex128) (int, TransformResponse, []complex128, string) {
+	t.Helper()
+	var body bytes.Buffer
+	if err := WriteHeader(&body, req); err != nil {
+		t.Fatal(err)
+	}
+	if payload != nil {
+		if err := WritePayload(&body, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hres, err := http.Post(url+"/v1/transform", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(hres.Body)
+		var er ErrorResponse
+		_ = json.Unmarshal(b, &er)
+		return hres.StatusCode, TransformResponse{}, nil, er.Error
+	}
+	var resp TransformResponse
+	if err := ReadHeader(hres.Body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	var out []complex128
+	if resp.Elements > 0 {
+		out = make([]complex128, resp.Elements)
+		if err := ReadPayloadInto(hres.Body, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hres.StatusCode, resp, out, ""
+}
+
+func randField(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]complex128, n)
+	for i := range data {
+		data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	return data
+}
+
+// TestServerRoundTrip: forward then backward over the wire restores the
+// input within 1e-9 (after undoing the Nx·Ny·Nz scale), and the second
+// request hits the plan cache.
+func TestServerRoundTrip(t *testing.T) {
+	s := New(Config{Telemetry: telemetry.NewRegistry()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	const n = 16
+	data := randField(n*n*n, 23)
+	req := TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: 2}
+
+	code, fresp, spectrum, emsg := postTransform(t, ts.URL, req, data)
+	if code != http.StatusOK {
+		t.Fatalf("forward: HTTP %d: %s", code, emsg)
+	}
+	if fresp.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if fresp.Elements != n*n*n || len(spectrum) != n*n*n {
+		t.Fatalf("forward returned %d elements, want %d", fresp.Elements, n*n*n)
+	}
+
+	breq := req
+	breq.Direction = "backward"
+	code, bresp, back, emsg := postTransform(t, ts.URL, breq, spectrum)
+	if code != http.StatusOK {
+		t.Fatalf("backward: HTTP %d: %s", code, emsg)
+	}
+	if !bresp.CacheHit {
+		t.Error("backward on the same shape missed the plan cache")
+	}
+	scale := complex(float64(n*n*n), 0)
+	worst := 0.0
+	for i := range back {
+		if d := cmplx.Abs(back[i]/scale - data[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-9 {
+		t.Errorf("round-trip error %g exceeds 1e-9", worst)
+	}
+	if bresp.Execs != 2 {
+		t.Errorf("plan exec count = %d, want 2", bresp.Execs)
+	}
+}
+
+// TestServerPlanCacheEviction: with capacity 1, a second shape evicts the
+// first; hit/miss/eviction counters and /v1/plans agree.
+func TestServerPlanCacheEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{MaxPlans: 1, Telemetry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	shapes := []int{8, 12, 8} // miss, miss+evict, miss again (8³ was evicted)
+	for i, n := range shapes {
+		code, _, _, emsg := postTransform(t, ts.URL,
+			TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: 1}, randField(n*n*n, int64(i)))
+		if code != http.StatusOK {
+			t.Fatalf("shape %d³: HTTP %d: %s", n, code, emsg)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.plan_cache.misses"]; got != 3 {
+		t.Errorf("misses = %d, want 3", got)
+	}
+	if got := snap.Counters["serve.plan_cache.evictions"]; got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+	if got := snap.Counters["serve.plan_cache.size"]; got != 1 {
+		t.Errorf("cache size = %d, want 1", got)
+	}
+
+	hres, err := http.Get(ts.URL + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var plans struct{ Plans []PlanInfo }
+	if err := json.NewDecoder(hres.Body).Decode(&plans); err != nil {
+		t.Fatal(err)
+	}
+	if len(plans.Plans) != 1 || plans.Plans[0].Grid != [3]int{8, 8, 8} {
+		t.Errorf("/v1/plans = %+v, want the final 8³ plan only", plans.Plans)
+	}
+}
+
+// TestServerOverloadSheds: with all rank capacity held and no queue, a
+// transform is shed with 429 — it neither hangs nor builds a plan.
+func TestServerOverloadSheds(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{MaxInFlightRanks: 2, MaxQueue: -1, Telemetry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	// Occupy the full capacity deterministically.
+	if err := s.Admission().Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	req := TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: 2, TimeoutMs: 100}
+	code, _, _, emsg := postTransform(t, ts.URL, req, randField(n*n*n, 1))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overloaded transform: HTTP %d (%s), want 429", code, emsg)
+	}
+	if got := s.Registry().Len(); got != 0 {
+		t.Errorf("shed request built %d plans", got)
+	}
+	if got := reg.Snapshot().Counters["serve.admission.shed"]; got == 0 {
+		t.Error("shed counter did not move")
+	}
+
+	// Capacity freed: the same request now succeeds.
+	s.Admission().Release(2)
+	code, _, _, emsg = postTransform(t, ts.URL, req, randField(n*n*n, 1))
+	if code != http.StatusOK {
+		t.Errorf("after release: HTTP %d (%s), want 200", code, emsg)
+	}
+}
+
+// TestServerDrain: in-flight work completes, new work is refused with
+// 503, and every cached plan is closed.
+func TestServerDrain(t *testing.T) {
+	s := New(Config{Telemetry: telemetry.NewRegistry()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 16
+	data := randField(n*n*n, 3)
+	req := TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: 2}
+
+	// Warm the cache, then race a burst of transforms against Drain.
+	if code, _, _, emsg := postTransform(t, ts.URL, req, data); code != http.StatusOK {
+		t.Fatalf("warmup: HTTP %d: %s", code, emsg)
+	}
+	var wg sync.WaitGroup
+	codes := make([]int, 6)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, _, _ = postTransform(t, ts.URL, req, data)
+		}(i)
+	}
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Drain(ctx)
+	}()
+	wg.Wait()
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, code := range codes {
+		if code != http.StatusOK && code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
+			t.Errorf("request %d during drain: HTTP %d, want 200/429/503", i, code)
+		}
+	}
+
+	// After drain: health reports draining, transforms are refused, the
+	// registry is empty.
+	hres, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after drain: HTTP %d, want 503", hres.StatusCode)
+	}
+	if code, _, _, _ := postTransform(t, ts.URL, req, data); code != http.StatusServiceUnavailable {
+		t.Errorf("transform after drain: HTTP %d, want 503", code)
+	}
+	if got := s.Registry().Len(); got != 0 {
+		t.Errorf("registry holds %d plans after drain, want 0", got)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+// TestServerBadRequests: client mistakes surface as 400s with clear
+// wording, not engine internals or 500s.
+func TestServerBadRequests(t *testing.T) {
+	s := New(Config{MaxElements: 1 << 12})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	cases := []struct {
+		name    string
+		req     TransformRequest
+		payload []complex128
+		wantMsg string
+	}{
+		{"bad shape", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Ranks: 64}, nil, "bad transform shape"},
+		{"zero dim", TransformRequest{Nx: 0, Ny: 8, Nz: 8}, nil, "bad transform shape"},
+		{"bad variant", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Variant: "quantum"}, nil, "unknown variant"},
+		{"bad engine", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Engine: "gpu"}, nil, "unknown engine"},
+		{"backward TH", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Variant: "th", Direction: "backward"}, nil, "comparison model"},
+		{"bad direction", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Direction: "sideways"}, nil, "unknown direction"},
+		{"too large", TransformRequest{Nx: 32, Ny: 32, Nz: 32}, nil, "element cap"},
+	}
+	for _, tc := range cases {
+		code, _, _, emsg := postTransform(t, ts.URL, tc.req, tc.payload)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, code)
+		}
+		if !strings.Contains(emsg, tc.wantMsg) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, emsg, tc.wantMsg)
+		}
+	}
+
+	// Truncated payload: header promises 8³ elements, body carries none.
+	var body bytes.Buffer
+	if err := WriteHeader(&body, TransformRequest{Nx: 8, Ny: 8, Nz: 8}); err != nil {
+		t.Fatal(err)
+	}
+	hres, err := http.Post(ts.URL+"/v1/transform", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated payload: HTTP %d, want 400", hres.StatusCode)
+	}
+
+	// Garbage instead of a frame.
+	hres, err = http.Post(ts.URL+"/v1/transform", "application/octet-stream", strings.NewReader("not a frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: HTTP %d, want 400", hres.StatusCode)
+	}
+}
+
+// TestServerSimEngine: a sim-engine request executes in virtual time and
+// returns no payload.
+func TestServerSimEngine(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	req := TransformRequest{Nx: 64, Ny: 64, Nz: 64, Ranks: 8, Engine: "sim", Machine: "umd-cluster"}
+	code, resp, out, emsg := postTransform(t, ts.URL, req, nil)
+	if code != http.StatusOK {
+		t.Fatalf("sim transform: HTTP %d: %s", code, emsg)
+	}
+	if resp.VirtualNs <= 0 {
+		t.Errorf("virtual_ns = %d, want > 0", resp.VirtualNs)
+	}
+	if len(out) != 0 || resp.Elements != 0 {
+		t.Errorf("sim response carried %d payload elements", resp.Elements)
+	}
+}
+
+// TestServerWarmStart: with a tuned store configured, a request without
+// explicit params builds its plan from the stored configuration.
+func TestServerWarmStart(t *testing.T) {
+	const n, ranks = 16, 2
+	path := filepath.Join(t.TempDir(), "params.json")
+	want := pfft.Params{T: 8, W: 2, Px: 2, Pz: 4, Uy: 2, Uz: 4, Fy: 1, Fp: 1, Fu: 1, Fx: 1}
+	err := tuned.Append(path, tuned.Entry{
+		Key:    tuned.NewKey("laptop", n, n, n, ranks, pfft.NEW),
+		Params: want,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := tuned.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Store: store})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	code, _, _, emsg := postTransform(t, ts.URL,
+		TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: ranks}, randField(n*n*n, 9))
+	if code != http.StatusOK {
+		t.Fatalf("warm-started transform: HTTP %d: %s", code, emsg)
+	}
+	snap := s.Registry().Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("registry holds %d plans, want 1", len(snap))
+	}
+	if snap[0].Params != offt.Params(want) {
+		t.Errorf("warm-started plan params = %v, want %v", snap[0].Params, want)
+	}
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"offt"
+)
+
+// Wire format of /v1/transform (request and response bodies share it):
+//
+//	[4-byte big-endian header length n]
+//	[n bytes of JSON header]
+//	[payload: count × 16 bytes, each complex128 as two little-endian
+//	 IEEE-754 float64s (real, imag)]
+//
+// The JSON header carries the small control-plane fields; the payload is
+// raw complex data with no base64 or per-element framing, so the hot path
+// is a single contiguous copy. The payload element count is implied by
+// the header (the grid volume for Mem-engine transforms, zero for Sim),
+// never self-described — a malformed header cannot cause an oversized
+// read beyond the configured element cap.
+
+// maxHeaderBytes bounds the JSON header so a bad length prefix cannot
+// force a large allocation.
+const maxHeaderBytes = 1 << 20
+
+// TransformRequest is the /v1/transform request header.
+type TransformRequest struct {
+	// Grid dimensions (required) and rank count (default 1).
+	Nx    int `json:"nx"`
+	Ny    int `json:"ny"`
+	Nz    int `json:"nz"`
+	Ranks int `json:"ranks"`
+	// Direction is "forward" (default) or "backward".
+	Direction string `json:"direction,omitempty"`
+	// Variant is the algorithm variant name (default "new").
+	Variant string `json:"variant,omitempty"`
+	// Engine is "mem" (default, transforms the payload) or "sim"
+	// (virtual-time execution, no payload).
+	Engine string `json:"engine,omitempty"`
+	// Workers fans intra-rank kernels (default 1). Mem engine only.
+	Workers int `json:"workers,omitempty"`
+	// Machine names the machine model: the Sim engine's cost model and
+	// the tuned-store warm-start key (default "laptop").
+	Machine string `json:"machine,omitempty"`
+	// Params overrides the plan parameters; when omitted the server
+	// consults its tuned store, then the default point.
+	Params *offt.Params `json:"params,omitempty"`
+	// TimeoutMs caps the request's admission wait (default: server
+	// config; the cap is also clamped by it).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// TransformResponse is the /v1/transform response header; a Mem-engine
+// response is followed by the result payload.
+type TransformResponse struct {
+	Status    string `json:"status"`
+	PlanKey   string `json:"plan_key"`
+	CacheHit  bool   `json:"cache_hit"`
+	Execs     int64  `json:"plan_execs"`
+	ExecNs    int64  `json:"exec_ns"`
+	QueueNs   int64  `json:"queue_ns"`
+	Elements  int    `json:"elements"`
+	VirtualNs int64  `json:"virtual_ns,omitempty"` // Sim engine
+	TunedNs   int64  `json:"tuned_ns,omitempty"`   // Sim engine
+}
+
+// ErrorResponse is the JSON body of every non-200 response.
+type ErrorResponse struct {
+	Status string `json:"status"` // "error"
+	Error  string `json:"error"`
+}
+
+// MarshalHeader renders hdr as the length-prefixed JSON header block, so
+// callers that need the exact byte count up front (e.g. to set an HTTP
+// Content-Length and avoid chunked transfer framing) can have it.
+func MarshalHeader(hdr any) ([]byte, error) {
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > maxHeaderBytes {
+		return nil, fmt.Errorf("serve: header of %d bytes exceeds the %d-byte cap", len(b), maxHeaderBytes)
+	}
+	out := make([]byte, 4+len(b))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(b)))
+	copy(out[4:], b)
+	return out, nil
+}
+
+// WriteHeader writes the length-prefixed JSON header.
+func WriteHeader(w io.Writer, hdr any) error {
+	b, err := MarshalHeader(hdr)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadHeader reads a length-prefixed JSON header into dst.
+func ReadHeader(r io.Reader, dst any) error {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return fmt.Errorf("serve: reading header length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n == 0 || n > maxHeaderBytes {
+		return fmt.Errorf("serve: header length %d outside (0, %d]", n, maxHeaderBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("serve: reading %d-byte header: %w", n, err)
+	}
+	if err := json.Unmarshal(buf, dst); err != nil {
+		return fmt.Errorf("serve: decoding header: %w", err)
+	}
+	return nil
+}
+
+// chunkBytes is the copy-buffer size for payload streaming: large enough
+// to amortize Write/Read syscalls on the HTTP connection (a 64³ payload
+// crosses the wire in 16 chunks), small enough to stay pool-friendly.
+const chunkBytes = 256 << 10
+
+var chunkPool = sync.Pool{
+	New: func() any { b := make([]byte, chunkBytes); return &b },
+}
+
+// WritePayload streams data as packed little-endian complex128s.
+func WritePayload(w io.Writer, data []complex128) error {
+	bufp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
+	perChunk := len(buf) / 16
+	for len(data) > 0 {
+		n := len(data)
+		if n > perChunk {
+			n = perChunk
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*16:], math.Float64bits(real(data[i])))
+			binary.LittleEndian.PutUint64(buf[i*16+8:], math.Float64bits(imag(data[i])))
+		}
+		if _, err := w.Write(buf[:n*16]); err != nil {
+			return err
+		}
+		data = data[n:]
+	}
+	return nil
+}
+
+// ReadPayloadInto fills dst from r (len(dst) complex128s).
+func ReadPayloadInto(r io.Reader, dst []complex128) error {
+	bufp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bufp)
+	buf := *bufp
+	perChunk := len(buf) / 16
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > perChunk {
+			n = perChunk
+		}
+		if _, err := io.ReadFull(r, buf[:n*16]); err != nil {
+			return fmt.Errorf("serve: reading payload: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16+8:]))
+			dst[i] = complex(re, im)
+		}
+		dst = dst[n:]
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWireHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := TransformRequest{Nx: 64, Ny: 64, Nz: 32, Ranks: 4, Direction: "backward", Variant: "new", TimeoutMs: 250}
+	if err := WriteHeader(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var got TransformRequest
+	if err := ReadHeader(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != req {
+		t.Errorf("header round trip = %+v, want %+v", got, req)
+	}
+}
+
+func TestWirePayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A size that does not divide the chunk evenly exercises the tail.
+	data := make([]complex128, 5000)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if err := WritePayload(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(data)*16 {
+		t.Errorf("payload bytes = %d, want %d", buf.Len(), len(data)*16)
+	}
+	got := make([]complex128, len(data))
+	if err := ReadPayloadInto(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("element %d = %v, want %v (payload must be bit-exact)", i, got[i], data[i])
+		}
+	}
+}
+
+func TestWireMalformed(t *testing.T) {
+	// Oversized header length prefix.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var req TransformRequest
+	if err := ReadHeader(&buf, &req); err == nil || !strings.Contains(err.Error(), "header length") {
+		t.Errorf("oversized header length error = %v", err)
+	}
+
+	// Truncated payload.
+	var pbuf bytes.Buffer
+	if err := WritePayload(&pbuf, make([]complex128, 10)); err != nil {
+		t.Fatal(err)
+	}
+	short := pbuf.Bytes()[:pbuf.Len()-8]
+	if err := ReadPayloadInto(bytes.NewReader(short), make([]complex128, 10)); err == nil {
+		t.Error("truncated payload decoded without error")
+	}
+
+	// Header that is not JSON.
+	var hbuf bytes.Buffer
+	hbuf.Write([]byte{0, 0, 0, 2})
+	hbuf.WriteString("{[")
+	if err := ReadHeader(&hbuf, &req); err == nil {
+		t.Error("malformed JSON header decoded without error")
+	}
+}

@@ -1,0 +1,169 @@
+// Package tuned persists auto-tuned parameter sets so the tuning cost is
+// amortized across processes, not just across executions within one
+// process (§6 of the paper: tuning pays off because a configuration is
+// reused many times). offt-tune appends results to a store file; plan
+// construction (offt.WithTunedStore, the offt-serve warm start) consults
+// it before falling back to the §4.4 default point.
+//
+// The store is a single JSON document keyed by (machine, grid, ranks,
+// variant). It is small — one entry per tuned setting — so Load reads the
+// whole file and Append rewrites it; no incremental format is needed.
+package tuned
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"offt/internal/pfft"
+)
+
+// Key identifies one tuned setting. Machine is a machine-model name
+// ("laptop", "umd-cluster", "hopper") or any operator-chosen host label;
+// Variant is the pfft display name ("NEW", "TH", ...).
+type Key struct {
+	Machine string `json:"machine"`
+	Nx      int    `json:"nx"`
+	Ny      int    `json:"ny"`
+	Nz      int    `json:"nz"`
+	Ranks   int    `json:"ranks"`
+	Variant string `json:"variant"`
+}
+
+// NewKey builds a Key with the variant's canonical display name.
+func NewKey(machine string, nx, ny, nz, ranks int, v pfft.Variant) Key {
+	return Key{Machine: machine, Nx: nx, Ny: ny, Nz: nz, Ranks: ranks, Variant: v.String()}
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s %dx%dx%d p=%d %s", k.Machine, k.Nx, k.Ny, k.Nz, k.Ranks, k.Variant)
+}
+
+// Entry is one tuned result: the parameters plus enough provenance to
+// judge staleness (when it was tuned, at what cost, how good it was).
+type Entry struct {
+	Key
+	Params pfft.Params `json:"params"`
+	// TunedNs is the achieved objective value (tuned-portion time, ns).
+	TunedNs int64 `json:"tuned_ns,omitempty"`
+	// Evals is the search's evaluation count.
+	Evals int `json:"evals,omitempty"`
+	// SavedAt is an RFC 3339 timestamp of when the entry was recorded.
+	SavedAt string `json:"saved_at,omitempty"`
+}
+
+// Store is an in-memory view of a tuned-params file. Safe for concurrent
+// use; a nil *Store is a valid empty store for lookups.
+type Store struct {
+	mu      sync.RWMutex
+	entries map[Key]Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{entries: map[Key]Entry{}} }
+
+// storeFile is the on-disk JSON shape.
+type storeFile struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
+
+// Load reads a store file. A missing file yields an empty store (warm
+// start degrades to the default point); a malformed file is an error.
+func Load(path string) (*Store, error) {
+	s := NewStore()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tuned: read %s: %w", path, err)
+	}
+	var f storeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tuned: parse %s: %w", path, err)
+	}
+	for _, e := range f.Entries {
+		s.entries[e.Key] = e
+	}
+	return s, nil
+}
+
+// Lookup returns the tuned parameters for a key, if present.
+func (s *Store) Lookup(k Key) (pfft.Params, bool) {
+	if s == nil {
+		return pfft.Params{}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[k]
+	return e.Params, ok
+}
+
+// Put inserts or replaces the entry for its key, stamping SavedAt when
+// the caller left it empty.
+func (s *Store) Put(e Entry) {
+	if e.SavedAt == "" {
+		e.SavedAt = time.Now().UTC().Format(time.RFC3339)
+	}
+	s.mu.Lock()
+	s.entries[e.Key] = e
+	s.mu.Unlock()
+}
+
+// Len reports the number of entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Entries returns all entries in deterministic (key-sorted) order.
+func (s *Store) Entries() []Entry {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// Save writes the store to path atomically (temp file + rename), so a
+// concurrent reader never sees a torn document.
+func (s *Store) Save(path string) error {
+	f := storeFile{Version: 1, Entries: s.Entries()}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("tuned: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("tuned: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+// Append loads path (or starts empty), upserts e, and saves — the
+// read-modify-write offt-tune uses to accumulate results across runs.
+func Append(path string, e Entry) error {
+	s, err := Load(path)
+	if err != nil {
+		return err
+	}
+	s.Put(e)
+	return s.Save(path)
+}

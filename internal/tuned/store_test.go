@@ -1,0 +1,103 @@
+package tuned
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"offt/internal/pfft"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "params.json")
+
+	prm := pfft.Params{T: 16, W: 2, Px: 4, Pz: 8, Uy: 4, Uz: 8, Fy: 8, Fp: 8, Fu: 4, Fx: 4}
+	k := NewKey("umd-cluster", 256, 256, 256, 16, pfft.NEW)
+	if err := Append(path, Entry{Key: k, Params: prm, TunedNs: 123456, Evals: 50}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Lookup(k)
+	if !ok {
+		t.Fatalf("lookup %v: not found after round trip", k)
+	}
+	if got != prm {
+		t.Errorf("round-trip params = %v, want %v", got, prm)
+	}
+	if _, ok := s.Lookup(NewKey("umd-cluster", 256, 256, 256, 32, pfft.NEW)); ok {
+		t.Error("lookup of untuned ranks unexpectedly hit")
+	}
+	if _, ok := s.Lookup(NewKey("umd-cluster", 256, 256, 256, 16, pfft.TH)); ok {
+		t.Error("lookup of untuned variant unexpectedly hit")
+	}
+}
+
+func TestAppendAccumulatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "params.json")
+
+	k1 := NewKey("laptop", 64, 64, 64, 4, pfft.NEW)
+	k2 := NewKey("hopper", 512, 512, 512, 64, pfft.NEW)
+	if err := Append(path, Entry{Key: k1, Params: pfft.Params{T: 4, W: 1, Px: 1, Pz: 1, Uy: 1, Uz: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, Entry{Key: k2, Params: pfft.Params{T: 32, W: 3, Px: 2, Pz: 2, Uy: 2, Uz: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-tuning the same key replaces, not duplicates.
+	better := pfft.Params{T: 8, W: 2, Px: 1, Pz: 2, Uy: 1, Uz: 2, Fy: 2, Fp: 2, Fu: 2, Fx: 2}
+	if err := Append(path, Entry{Key: k1, Params: better, TunedNs: 99}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store has %d entries, want 2: %+v", s.Len(), s.Entries())
+	}
+	if got, _ := s.Lookup(k1); got != better {
+		t.Errorf("re-tuned entry = %v, want %v", got, better)
+	}
+	for _, e := range s.Entries() {
+		if e.SavedAt == "" {
+			t.Errorf("entry %v has no SavedAt stamp", e.Key)
+		}
+	}
+}
+
+func TestLoadMissingAndMalformed(t *testing.T) {
+	dir := t.TempDir()
+
+	s, err := Load(filepath.Join(dir, "absent.json"))
+	if err != nil {
+		t.Fatalf("missing file should load as empty store, got %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("missing file yielded %d entries", s.Len())
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed store loaded without error")
+	}
+}
+
+func TestNilStoreLookups(t *testing.T) {
+	var s *Store
+	if _, ok := s.Lookup(Key{}); ok {
+		t.Error("nil store lookup hit")
+	}
+	if s.Len() != 0 || s.Entries() != nil {
+		t.Error("nil store should be empty")
+	}
+}

@@ -10,6 +10,7 @@
 package offt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"offt/internal/mpi/mem"
 	"offt/internal/pfft"
 	"offt/internal/telemetry"
+	"offt/internal/tuned"
 	"offt/internal/tuner"
 )
 
@@ -65,9 +67,40 @@ func RenderTimeline(w io.Writer, events []StepEvent, cols int) {
 	pfft.RenderTimeline(w, events, cols)
 }
 
+// ErrBadShape reports an infeasible transform geometry: non-positive
+// dimensions, a non-positive rank count, or more ranks than the slab
+// decomposition can feed. Every shape error out of NewPlan (and the
+// offt-serve request API) wraps it, so callers can branch with errors.Is
+// instead of matching engine-internal wording.
+var ErrBadShape = errors.New("offt: bad transform shape")
+
+// ValidateShape checks a grid/rank geometry before any planning work. It
+// is the shared front door used by NewPlan, the service layer, and the
+// examples; the returned error wraps ErrBadShape and states the violated
+// constraint in user terms.
+func ValidateShape(nx, ny, nz, ranks int) error {
+	switch {
+	case nx < 1 || ny < 1 || nz < 1:
+		return fmt.Errorf("%w: grid %d×%d×%d has a non-positive dimension", ErrBadShape, nx, ny, nz)
+	case ranks < 1:
+		return fmt.Errorf("%w: rank count %d must be at least 1", ErrBadShape, ranks)
+	case nx < ranks || ny < ranks:
+		return fmt.Errorf("%w: %d ranks need Nx and Ny ≥ ranks for the 1-D slab decomposition (got %d×%d×%d)",
+			ErrBadShape, ranks, nx, ny, nz)
+	}
+	return nil
+}
+
+// ParseVariant resolves an algorithm variant from its name ("new", "th0",
+// "baseline", or the display forms "NEW-0", "FFTW", ...).
+func ParseVariant(name string) (Variant, error) { return pfft.ParseVariant(name) }
+
 // DefaultParams returns the paper's §4.4 default point for an Nx×Ny×Nz
 // grid over the given rank count.
 func DefaultParams(nx, ny, nz, ranks int) (Params, error) {
+	if err := ValidateShape(nx, ny, nz, ranks); err != nil {
+		return Params{}, err
+	}
 	g, err := layout.NewGrid(nx, ny, nz, ranks, 0)
 	if err != nil {
 		return Params{}, err
@@ -136,6 +169,7 @@ type config struct {
 	workers     int
 	reg         *Telemetry
 	trace       bool
+	storePath   string
 }
 
 // WithGrid sets the transform dimensions (required).
@@ -175,6 +209,17 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // executions. Snapshot with Plan.Metrics or the registry's own exporters.
 func WithTelemetry(t *Telemetry) Option { return func(c *config) { c.reg = t } }
 
+// WithTunedStore consults a tuned-params store (written by
+// `offt-tune -store`) during plan construction: when no explicit
+// WithParams is given, the entry for (machine, grid, ranks, variant) —
+// machine being the WithMachine name, "laptop" by default — warm-starts
+// the plan instead of the §4.4 default point. A missing file or a missing
+// entry silently falls back to DefaultParams; a malformed file is a
+// construction error.
+func WithTunedStore(path string) Option {
+	return func(c *config) { c.storePath = path }
+}
+
 // WithTrace records a per-rank StepEvent timeline of each execution,
 // readable via TraceEvents. Tracing wraps every kernel and Wait/Test call
 // with clock reads — use it for timeline capture, not steady-state
@@ -185,9 +230,17 @@ func WithTrace() Option { return func(c *config) { c.trace = true } }
 // keeps one long-lived world of rank goroutines, each holding a reusable
 // per-rank pfft.Plan with pre-sized communication slots and scratch, fed
 // through job channels — so repeated Forward/Backward calls allocate
-// nothing beyond the first execution. Plans are not safe for concurrent
-// use; calls must be sequential.
+// nothing beyond the first execution.
+//
+// Plans are safe for concurrent use: executions are serialized on an
+// internal mutex (one transform at a time per plan — concurrent callers
+// queue), and Close is idempotent and drains any in-flight transform
+// before shutting the world down. Note that Forward/Backward return a
+// plan-owned result slice that the *next* execution overwrites;
+// concurrent callers should use ForwardInto/BackwardInto, which copy the
+// result out while still holding the execution lock.
 type Plan struct {
+	mu    sync.Mutex // serializes executions, accessors, and Close
 	cfg   config
 	grids []layout.Grid
 	fast  bool
@@ -234,8 +287,11 @@ func NewPlan(opts ...Option) (*Plan, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.nx == 0 || cfg.ny == 0 || cfg.nz == 0 {
-		return nil, fmt.Errorf("offt: grid dimensions are required (use WithGrid)")
+	if cfg.nx == 0 && cfg.ny == 0 && cfg.nz == 0 {
+		return nil, fmt.Errorf("%w: grid dimensions are required (use WithGrid)", ErrBadShape)
+	}
+	if err := ValidateShape(cfg.nx, cfg.ny, cfg.nz, cfg.ranks); err != nil {
+		return nil, err
 	}
 	p := &Plan{cfg: cfg}
 	p.grids = make([]layout.Grid, cfg.ranks)
@@ -247,8 +303,18 @@ func NewPlan(opts ...Option) (*Plan, error) {
 		p.grids[r] = g
 	}
 	prm := pfft.DefaultParams(p.grids[0])
-	if cfg.params != nil {
+	switch {
+	case cfg.params != nil:
 		prm = *cfg.params
+	case cfg.storePath != "":
+		store, err := tuned.Load(cfg.storePath)
+		if err != nil {
+			return nil, err
+		}
+		key := tuned.NewKey(cfg.machineName, cfg.nx, cfg.ny, cfg.nz, cfg.ranks, cfg.variant)
+		if tp, ok := store.Lookup(key); ok {
+			prm = tp
+		}
 	}
 	if _, err := pfft.ExpandParams(cfg.variant, p.grids[0], prm); err != nil {
 		return nil, err
@@ -386,11 +452,43 @@ func (p *Plan) dispatch(op jobOp) error {
 //
 // Mem engine: data is the full Nx·Ny·Nz array in x-y-z layout (read, not
 // modified); the returned spectrum, same shape and layout, is owned by the
-// plan and valid until the next Forward call.
+// plan and valid until the next Forward call. Concurrent callers should
+// use ForwardInto instead, which copies the result under the execution
+// lock.
 //
 // Sim engine: data must be nil; the transform is charged in virtual time
 // (see Breakdown, PerRank, VirtualTimes) and the result slice is nil.
 func (p *Plan) Forward(data []complex128) ([]complex128, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.forwardLocked(data)
+}
+
+// ForwardInto executes one forward 3-D FFT and assembles the spectrum into
+// dst (length Nx·Ny·Nz) before releasing the execution lock, so the
+// result cannot be overwritten by a concurrent caller's next transform.
+// The gather lands directly in dst — no intermediate plan-owned copy.
+// Mem engine only.
+func (p *Plan) ForwardInto(dst, data []complex128) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.engine != Mem {
+		return fmt.Errorf("offt: ForwardInto requires the Mem engine")
+	}
+	if len(dst) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
+		return fmt.Errorf("offt: dst length %d, want %d", len(dst), p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	}
+	_, err := p.forwardLockedInto(dst, data)
+	return err
+}
+
+func (p *Plan) forwardLocked(data []complex128) ([]complex128, error) {
+	return p.forwardLockedInto(nil, data)
+}
+
+// forwardLockedInto runs the forward transform; the gather step assembles
+// into dst when non-nil, else into the plan-owned fullFwd buffer.
+func (p *Plan) forwardLockedInto(dst, data []complex128) ([]complex128, error) {
 	if p.closed {
 		return nil, fmt.Errorf("offt: Forward on closed plan")
 	}
@@ -418,16 +516,44 @@ func (p *Plan) Forward(data []complex128) ([]complex128, error) {
 	if err := p.dispatch(opForward); err != nil {
 		return nil, err
 	}
-	layout.GatherYInto(p.fullFwd, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks, p.fast)
-	return p.fullFwd, nil
+	if dst == nil {
+		dst = p.fullFwd
+	}
+	layout.GatherYInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks, p.fast)
+	return dst, nil
 }
 
 // Backward executes one inverse 3-D FFT on the Mem engine: data is a full
 // spectrum in x-y-z layout (read, not modified), the returned array is
-// owned by the plan and valid until the next Backward call. Like the
-// paper's pipeline the round trip is unnormalized: Forward then Backward
-// multiplies by Nx·Ny·Nz.
+// owned by the plan and valid until the next Backward call (concurrent
+// callers: see BackwardInto). Like the paper's pipeline the round trip is
+// unnormalized: Forward then Backward multiplies by Nx·Ny·Nz.
 func (p *Plan) Backward(data []complex128) ([]complex128, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.backwardLocked(data)
+}
+
+// BackwardInto executes one inverse 3-D FFT and assembles the result into
+// dst (length Nx·Ny·Nz) before releasing the execution lock. Mem engine
+// only.
+func (p *Plan) BackwardInto(dst, data []complex128) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(dst) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
+		return fmt.Errorf("offt: dst length %d, want %d", len(dst), p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	}
+	_, err := p.backwardLockedInto(dst, data)
+	return err
+}
+
+func (p *Plan) backwardLocked(data []complex128) ([]complex128, error) {
+	return p.backwardLockedInto(nil, data)
+}
+
+// backwardLockedInto runs the backward transform; the gather step assembles
+// into dst when non-nil, else into the plan-owned fullBwd buffer.
+func (p *Plan) backwardLockedInto(dst, data []complex128) ([]complex128, error) {
 	if p.closed {
 		return nil, fmt.Errorf("offt: Backward on closed plan")
 	}
@@ -445,7 +571,12 @@ func (p *Plan) Backward(data []complex128) ([]complex128, error) {
 		for r := 0; r < p.cfg.ranks; r++ {
 			p.bslabs[r] = make([]complex128, p.grids[r].OutSize())
 		}
-		p.fullBwd = make([]complex128, p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	}
+	if dst == nil {
+		if p.fullBwd == nil {
+			p.fullBwd = make([]complex128, p.cfg.nx*p.cfg.ny*p.cfg.nz)
+		}
+		dst = p.fullBwd
 	}
 	for r := 0; r < p.cfg.ranks; r++ {
 		layout.ScatterYInto(p.bslabs[r], data, p.grids[r], p.fast)
@@ -453,16 +584,22 @@ func (p *Plan) Backward(data []complex128) ([]complex128, error) {
 	if err := p.dispatch(opBackward); err != nil {
 		return nil, err
 	}
-	layout.GatherXInto(p.fullBwd, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks)
-	return p.fullBwd, nil
+	layout.GatherXInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks)
+	return dst, nil
 }
 
 // Breakdown returns the per-step breakdown of the most recent execution,
 // averaged over ranks.
-func (p *Plan) Breakdown() Breakdown { return p.last }
+func (p *Plan) Breakdown() Breakdown {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}
 
 // PerRank returns each rank's breakdown from the most recent execution.
 func (p *Plan) PerRank() []Breakdown {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.cfg.engine == Sim {
 		return append([]Breakdown(nil), p.lastSim.PerRank...)
 	}
@@ -473,6 +610,8 @@ func (p *Plan) PerRank() []Breakdown {
 // time and its auto-tuner objective (total excluding FFTz and Transpose),
 // both in virtual nanoseconds.
 func (p *Plan) VirtualTimes() (total, tuned int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.lastSim.MaxTotal, p.lastSim.MaxTuned
 }
 
@@ -488,6 +627,8 @@ func (p *Plan) Metrics() *Telemetry { return p.cfg.reg }
 // the most recent execution (index = rank), or nil when the plan was built
 // without WithTrace or has not executed yet.
 func (p *Plan) TraceEvents() [][]StepEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.traces == nil {
 		return nil
 	}
@@ -503,6 +644,8 @@ func (p *Plan) TraceEvents() [][]StepEvent {
 // arrows linking each tile's all-to-all post to its wait, instant markers
 // for downgrades. Fails when the plan was built without WithTrace.
 func (p *Plan) WriteChromeTrace(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.traces == nil {
 		return fmt.Errorf("offt: plan has no trace (build it with WithTrace)")
 	}
@@ -510,8 +653,13 @@ func (p *Plan) WriteChromeTrace(w io.Writer) error {
 }
 
 // Close shuts down the plan's rank goroutines and releases buffers.
-// Result slices handed out by Forward/Backward stay valid.
+// Result slices handed out by Forward/Backward stay valid. Close is
+// idempotent and safe to call concurrently with executions: it waits for
+// any in-flight transform to drain, then stops the world; later
+// Forward/Backward calls fail with a "closed plan" error.
 func (p *Plan) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}

@@ -1,0 +1,242 @@
+package offt_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"offt"
+	"offt/internal/fft"
+	"offt/internal/pfft"
+	"offt/internal/tuned"
+)
+
+// TestPlanConcurrentForward hammers one shared plan from many goroutines
+// (the registry's sharing pattern in internal/serve): every ForwardInto
+// must return the same correct spectrum even though executions interleave.
+// Run under -race via scripts/verify.sh.
+func TestPlanConcurrentForward(t *testing.T) {
+	const (
+		n     = 16
+		goros = 8
+		iters = 4
+	)
+	data := randData(n*n*n, 11)
+	want := append([]complex128(nil), data...)
+	fft.NewPlan3D(n, n, n, fft.Forward).Transform(want)
+
+	plan, err := offt.NewPlan(offt.WithGrid(n, n, n), offt.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+
+	errc := make(chan error, goros)
+	var wg sync.WaitGroup
+	for g := 0; g < goros; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]complex128, n*n*n)
+			for it := 0; it < iters; it++ {
+				if err := plan.ForwardInto(dst, data); err != nil {
+					errc <- err
+					return
+				}
+				if e := maxAbsDiff(dst, want); e > 1e-9 {
+					errc <- errors.New("concurrent ForwardInto produced a wrong spectrum")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPlanConcurrentMixed interleaves forward and backward executions on
+// one plan: serialization must keep both directions correct.
+func TestPlanConcurrentMixed(t *testing.T) {
+	const n = 12
+	data := randData(n*n*n, 13)
+	plan, err := offt.NewPlan(offt.WithGrid(n, n, n), offt.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+
+	spectrum := make([]complex128, n*n*n)
+	if err := plan.ForwardInto(spectrum, data); err != nil {
+		t.Fatal(err)
+	}
+	scale := complex(float64(n*n*n), 0)
+
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			dst := make([]complex128, n*n*n)
+			for it := 0; it < 3; it++ {
+				if err := plan.ForwardInto(dst, data); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			dst := make([]complex128, n*n*n)
+			for it := 0; it < 3; it++ {
+				if err := plan.BackwardInto(dst, spectrum); err != nil {
+					errc <- err
+					return
+				}
+				for i := range dst {
+					dst[i] /= scale
+				}
+				if e := maxAbsDiff(dst, data); e > 1e-9 {
+					errc <- errors.New("concurrent BackwardInto broke the round trip")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPlanCloseConcurrent: Close must be idempotent, callable from many
+// goroutines, and safe against in-flight transforms — each execution
+// either completes normally or reports the closed plan, never panics.
+func TestPlanCloseConcurrent(t *testing.T) {
+	const n = 16
+	data := randData(n*n*n, 17)
+	plan, err := offt.NewPlan(offt.WithGrid(n, n, n), offt.WithRanks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]complex128, n*n*n)
+			for it := 0; it < 4; it++ {
+				err := plan.ForwardInto(dst, data)
+				if err != nil && !strings.Contains(err.Error(), "closed plan") {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := plan.Close(); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if _, err := plan.Forward(data); err == nil {
+		t.Error("Forward after Close should fail")
+	}
+	if err := plan.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestNewPlanBadShape: shape errors out of NewPlan must wrap ErrBadShape
+// with user-facing wording, not engine internals.
+func TestNewPlanBadShape(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []offt.Option
+	}{
+		{"no grid", nil},
+		{"zero dim", []offt.Option{offt.WithGrid(16, 16, 0)}},
+		{"negative ranks", []offt.Option{offt.WithGrid(16, 16, 16), offt.WithRanks(-1)}},
+		{"too many ranks", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(16)}},
+	}
+	for _, tc := range cases {
+		_, err := offt.NewPlan(tc.opts...)
+		if !errors.Is(err, offt.ErrBadShape) {
+			t.Errorf("%s: error %v does not wrap ErrBadShape", tc.name, err)
+		}
+	}
+	if err := offt.ValidateShape(16, 16, 16, 4); err != nil {
+		t.Errorf("valid shape rejected: %v", err)
+	}
+}
+
+// TestWithTunedStore: a store entry for the plan's exact setting
+// warm-starts its parameters; a miss falls back to the default point.
+func TestWithTunedStore(t *testing.T) {
+	const n, ranks = 16, 2
+	path := filepath.Join(t.TempDir(), "params.json")
+	want := pfft.Params{T: 8, W: 2, Px: 2, Pz: 4, Uy: 2, Uz: 4, Fy: 1, Fp: 1, Fu: 1, Fx: 1}
+	err := tuned.Append(path, tuned.Entry{
+		Key:    tuned.NewKey("laptop", n, n, n, ranks, pfft.NEW),
+		Params: want,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := offt.NewPlan(
+		offt.WithGrid(n, n, n), offt.WithRanks(ranks), offt.WithTunedStore(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	if got := plan.Params(); got != want {
+		t.Errorf("warm-started params = %v, want %v", got, want)
+	}
+
+	// A different geometry misses the store and uses the default point.
+	miss, err := offt.NewPlan(
+		offt.WithGrid(n, n, n), offt.WithRanks(1), offt.WithTunedStore(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer miss.Close()
+	def, err := offt.DefaultParams(n, n, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := miss.Params(); got != def {
+		t.Errorf("store miss params = %v, want default %v", got, def)
+	}
+
+	// Explicit WithParams wins over the store.
+	expl := want
+	expl.T = 4
+	override, err := offt.NewPlan(
+		offt.WithGrid(n, n, n), offt.WithRanks(ranks),
+		offt.WithTunedStore(path), offt.WithParams(expl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer override.Close()
+	if got := override.Params(); got != expl {
+		t.Errorf("explicit params = %v, want %v", got, expl)
+	}
+}

@@ -15,7 +15,7 @@ fi
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/mpi/... ./internal/pfft/... ./internal/telemetry/ .
+go test -race ./internal/mpi/... ./internal/pfft/... ./internal/telemetry/ ./internal/serve/ .
 
 # Allocation gate: steady-state Forward/Backward on a reusable plan must
 # run allocation-free (measured against the zero-alloc self communicator;
@@ -35,3 +35,26 @@ grep -q '"model.new.overlap_efficiency"' BENCH_PR3.json
 # offt-kernels exits nonzero and "pass" stays false when the gate fails.
 go run ./cmd/offt-kernels -out BENCH_PR4.json
 grep -q '"pass": true' BENCH_PR4.json
+
+# Service-layer load test: self-hosted offt-serve driven by the closed-loop
+# generator at 1x/4x/16x concurrency. Gates (offt-load exits nonzero on
+# failure): clean 1x phase, throughput >= 0.45x the calibrated raw
+# transform rate, 429 shedding at 16x, plan-cache hit rate > 90%.
+go run ./cmd/offt-load -duration 2s -out BENCH_PR5.json
+grep -q '"pass": true' BENCH_PR5.json
+grep -q '"serve.plan_cache.hits"' BENCH_PR5.json
+
+# offt-serve binary smoke: boot the real server, push one 64-cubed p=4
+# transform through the HTTP path with offt-load, scrape /metrics, and
+# shut the process down with SIGTERM to exercise the drain path.
+go build -o /tmp/offt-serve-smoke ./cmd/offt-serve
+/tmp/offt-serve-smoke -addr 127.0.0.1:18089 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+go run ./cmd/offt-load -addr 127.0.0.1:18089 -conc 1 -duration 1s -warmup 2 \
+    -gate auto -out BENCH_PR5_smoke.json -wait-ready 10s
+curl -sf http://127.0.0.1:18089/metrics | grep -q 'serve_plan_cache_hits'
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q '"pass": true' BENCH_PR5_smoke.json
+rm -f BENCH_PR5_smoke.json /tmp/offt-serve-smoke
