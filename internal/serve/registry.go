@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -100,8 +101,10 @@ func NewRegistry(capacity int, reg *telemetry.Registry) *Registry {
 // Acquire returns the cached plan for key, building it with build on a
 // miss. The caller holds a reference until Release: a referenced plan is
 // guaranteed not to be evicted/closed. On build failure the entry is
-// removed so a later request retries.
-func (r *Registry) Acquire(key PlanKey, build func() (*offt.Plan, error)) (*planEntry, error) {
+// removed so a later request retries. A hit whose plan is still being
+// built by another request waits for the build only as long as ctx
+// allows; on expiry the reference is dropped and ctx's error returned.
+func (r *Registry) Acquire(ctx context.Context, key PlanKey, build func() (*offt.Plan, error)) (*planEntry, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -113,7 +116,14 @@ func (r *Registry) Acquire(key PlanKey, build func() (*offt.Plan, error)) (*plan
 		r.lru.MoveToFront(e.elem)
 		r.mu.Unlock()
 		r.hits.Inc()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			// Don't hold admission weight past our own deadline while a
+			// slow build completes for somebody else.
+			r.Release(e)
+			return nil, ctx.Err()
+		}
 		if e.err != nil {
 			// Built by another request and failed; drop our reference.
 			r.Release(e)
@@ -129,8 +139,25 @@ func (r *Registry) Acquire(key PlanKey, build func() (*offt.Plan, error)) (*plan
 	r.mu.Unlock()
 	r.misses.Inc()
 
+	// If build panics, waiters blocked on e.ready must still wake up with
+	// an error and the poisoned entry must leave the map — otherwise every
+	// later request for this key blocks forever holding admission weight.
+	// The panic itself propagates (net/http recovers per-request).
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		e.err = fmt.Errorf("plan build panicked for %s", key)
+		close(e.ready)
+		r.mu.Lock()
+		r.removeLocked(e)
+		r.mu.Unlock()
+	}()
+
 	start := time.Now()
 	e.plan, e.err = build()
+	completed = true
 	r.buildNs.Observe(time.Since(start).Nanoseconds())
 	close(e.ready)
 
@@ -154,13 +181,18 @@ func (r *Registry) Release(e *planEntry) {
 	r.evict()
 }
 
-// removeLocked unlinks an entry from the map and LRU list.
+// removeLocked unlinks an entry from the map and LRU list. The map is
+// only touched if it still holds this exact entry (CloseAll may have
+// replaced it wholesale), and a nil elem means the entry has already
+// been unlinked from the list.
 func (r *Registry) removeLocked(e *planEntry) {
+	if cur, ok := r.entries[e.key]; ok && cur == e {
+		delete(r.entries, e.key)
+	}
 	if e.elem != nil {
 		r.lru.Remove(e.elem)
 		e.elem = nil
 	}
-	delete(r.entries, e.key)
 }
 
 // evict closes least-recently-used idle plans until the registry is
@@ -260,7 +292,12 @@ func (r *Registry) CloseAll() error {
 	r.closed = true
 	var all []*planEntry
 	for el := r.lru.Front(); el != nil; el = el.Next() {
-		all = append(all, el.Value.(*planEntry))
+		e := el.Value.(*planEntry)
+		// Detach before reinitializing the list: a concurrent failed build
+		// calling removeLocked must not relink a stale element into the
+		// fresh list and corrupt its length.
+		e.elem = nil
+		all = append(all, e)
 	}
 	r.lru.Init()
 	r.entries = make(map[PlanKey]*planEntry)

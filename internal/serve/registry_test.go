@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"offt"
 )
@@ -39,7 +41,7 @@ func TestRegistryHitMissEviction(t *testing.T) {
 
 	kA, kB := memKey(8, 1), memKey(12, 1)
 
-	a1, err := r.Acquire(kA, buildFor(kA))
+	a1, err := r.Acquire(context.Background(), kA, buildFor(kA))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func TestRegistryHitMissEviction(t *testing.T) {
 	r.Release(a1)
 
 	// Same key: cache hit, same plan instance.
-	a2, err := r.Acquire(kA, func() (*offt.Plan, error) {
+	a2, err := r.Acquire(context.Background(), kA, func() (*offt.Plan, error) {
 		t.Error("builder called on what should be a cache hit")
 		return nil, errors.New("unexpected build")
 	})
@@ -61,7 +63,7 @@ func TestRegistryHitMissEviction(t *testing.T) {
 
 	// Different key at capacity 1: A is idle, so it gets evicted and
 	// closed.
-	b, err := r.Acquire(kB, buildFor(kB))
+	b, err := r.Acquire(context.Background(), kB, buildFor(kB))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,13 +86,13 @@ func TestRegistryDoesNotEvictBusyPlan(t *testing.T) {
 	defer r.CloseAll()
 
 	kA, kB := memKey(8, 1), memKey(12, 1)
-	a, err := r.Acquire(kA, buildFor(kA))
+	a, err := r.Acquire(context.Background(), kA, buildFor(kA))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A is still referenced: acquiring B overflows capacity but must not
 	// close A underneath its holder.
-	b, err := r.Acquire(kB, buildFor(kB))
+	b, err := r.Acquire(context.Background(), kB, buildFor(kB))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestRegistrySingleflight(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			<-gate
-			e, err := r.Acquire(key, func() (*offt.Plan, error) {
+			e, err := r.Acquire(context.Background(), key, func() (*offt.Plan, error) {
 				builds.Add(1)
 				return buildFor(key)()
 			})
@@ -161,25 +163,108 @@ func TestRegistryBuildErrorNotCached(t *testing.T) {
 
 	key := memKey(8, 1)
 	wantErr := fmt.Errorf("transient build failure")
-	if _, err := r.Acquire(key, func() (*offt.Plan, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
+	if _, err := r.Acquire(context.Background(), key, func() (*offt.Plan, error) { return nil, wantErr }); !errors.Is(err, wantErr) {
 		t.Fatalf("Acquire = %v, want build error", err)
 	}
 	if got := r.Len(); got != 0 {
 		t.Errorf("failed build left %d cached entries", got)
 	}
 	// The next acquire retries the build and can succeed.
-	e, err := r.Acquire(key, buildFor(key))
+	e, err := r.Acquire(context.Background(), key, buildFor(key))
 	if err != nil {
 		t.Fatalf("retry after failed build: %v", err)
 	}
 	r.Release(e)
 }
 
+// TestRegistryBuildPanicNotPoisoned: a panicking builder must not leave a
+// permanently-unready entry behind — later acquires for the same key get
+// to retry instead of blocking forever.
+func TestRegistryBuildPanicNotPoisoned(t *testing.T) {
+	r := NewRegistry(4, nil)
+	defer r.CloseAll()
+
+	key := memKey(8, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("build panic did not propagate")
+			}
+		}()
+		_, _ = r.Acquire(context.Background(), key, func() (*offt.Plan, error) {
+			panic("boom in plan construction")
+		})
+	}()
+	if got := r.Len(); got != 0 {
+		t.Fatalf("panicked build left %d cached entries", got)
+	}
+	// The key is not poisoned: a fresh acquire rebuilds and succeeds
+	// (rather than blocking on a never-closed ready channel).
+	done := make(chan error, 1)
+	go func() {
+		e, err := r.Acquire(context.Background(), key, buildFor(key))
+		if err == nil {
+			r.Release(e)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("acquire after panicked build: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire after panicked build blocked")
+	}
+}
+
+// TestRegistryAcquireHonorsContext: a waiter on another request's slow
+// build gives up when its context expires instead of holding its
+// reference (and admission weight) indefinitely.
+func TestRegistryAcquireHonorsContext(t *testing.T) {
+	r := NewRegistry(4, nil)
+	defer r.CloseAll()
+
+	key := memKey(8, 1)
+	buildGate := make(chan struct{})
+	building := make(chan struct{})
+	builderDone := make(chan error, 1)
+	go func() {
+		e, err := r.Acquire(context.Background(), key, func() (*offt.Plan, error) {
+			close(building)
+			<-buildGate // hold the build until released below
+			return buildFor(key)()
+		})
+		if err == nil {
+			r.Release(e)
+		}
+		builderDone <- err
+	}()
+	<-building
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := r.Acquire(ctx, key, buildFor(key)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Acquire during slow build = %v, want context.DeadlineExceeded", err)
+	}
+
+	close(buildGate)
+	if err := <-builderDone; err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+	// The abandoned waiter released its reference: the entry is idle and
+	// evictable (refs back to 0).
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].InFlight != 0 {
+		t.Errorf("snapshot = %+v, want one idle plan with no in-flight refs", snap)
+	}
+}
+
 func TestRegistryExecAccounting(t *testing.T) {
 	r := NewRegistry(2, nil)
 	defer r.CloseAll()
 	key := memKey(8, 1)
-	e, err := r.Acquire(key, buildFor(key))
+	e, err := r.Acquire(context.Background(), key, buildFor(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +280,7 @@ func TestRegistryExecAccounting(t *testing.T) {
 func TestRegistryCloseAll(t *testing.T) {
 	r := NewRegistry(4, nil)
 	key := memKey(8, 1)
-	e, err := r.Acquire(key, buildFor(key))
+	e, err := r.Acquire(context.Background(), key, buildFor(key))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +292,7 @@ func TestRegistryCloseAll(t *testing.T) {
 	if _, err := plan.Forward(make([]complex128, 8*8*8)); err == nil {
 		t.Error("plan still live after CloseAll")
 	}
-	if _, err := r.Acquire(key, buildFor(key)); !errors.Is(err, ErrDraining) {
+	if _, err := r.Acquire(context.Background(), key, buildFor(key)); !errors.Is(err, ErrDraining) {
 		t.Errorf("Acquire after CloseAll = %v, want ErrDraining", err)
 	}
 }

@@ -227,7 +227,19 @@ func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 	if req.Workers < 1 {
 		return transformSpec{}, fmt.Errorf("workers %d must be at least 1", req.Workers)
 	}
-	if vol := req.Nx * req.Ny * req.Nz; vol > s.cfg.MaxElements {
+	// Overflow-safe volume cap: multiply stepwise, rejecting before the
+	// product can wrap. A crafted nx=ny=nz≈2.1M request would otherwise
+	// overflow int64 to a negative volume, pass the cap, and panic in
+	// plan construction on an out-of-range slice length.
+	vol := req.Nx
+	for _, dim := range [2]int{req.Ny, req.Nz} {
+		if vol > s.cfg.MaxElements/dim {
+			return transformSpec{}, fmt.Errorf("grid %d×%d×%d exceeds the server's %d-element cap",
+				req.Nx, req.Ny, req.Nz, s.cfg.MaxElements)
+		}
+		vol *= dim
+	}
+	if vol > s.cfg.MaxElements {
 		return transformSpec{}, fmt.Errorf("grid %d×%d×%d (%d elements) exceeds the server's %d-element cap",
 			req.Nx, req.Ny, req.Nz, vol, s.cfg.MaxElements)
 	}
@@ -293,6 +305,14 @@ func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 	weight := req.Ranks * req.Workers
 	if engine == offt.Sim {
 		weight = 1 // no world of rank goroutines; one model evaluation
+	}
+	// A weight above total capacity can never be admitted: that is a
+	// configuration mismatch (400), not transient overload — a 429 would
+	// invite retries that cannot ever succeed.
+	if weight > s.cfg.MaxInFlightRanks {
+		return transformSpec{}, fmt.Errorf(
+			"ranks×workers = %d exceeds the server's admission capacity of %d rank-goroutine units; reduce ranks or workers",
+			weight, s.cfg.MaxInFlightRanks)
 	}
 	return transformSpec{
 		key: PlanKey{
@@ -370,16 +390,22 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	// Plan acquisition (singleflight build on miss, warm-started params
 	// already resolved into the key).
 	hadPlan := true
-	entry, err := s.registry.Acquire(spec.key, func() (*offt.Plan, error) {
+	entry, err := s.registry.Acquire(ctx, spec.key, func() (*offt.Plan, error) {
 		hadPlan = false
 		return s.buildPlan(spec.key)
 	})
 	if err != nil {
-		if errors.Is(err, offt.ErrBadShape) {
+		switch {
+		case errors.Is(err, offt.ErrBadShape):
 			s.writeError(w, http.StatusBadRequest, err)
-		} else if errors.Is(err, ErrDraining) {
+		case errors.Is(err, ErrDraining):
 			s.writeError(w, http.StatusServiceUnavailable, err)
-		} else {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			// Deadline expired while waiting out another request's plan
+			// build: shed like admission does, the plan may be ready on
+			// retry.
+			s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("%w: %w", ErrOverloaded, err))
+		default:
 			// Parameter validation failures surface here too; they are
 			// caller errors, not server faults.
 			s.writeError(w, http.StatusBadRequest, err)

@@ -274,6 +274,13 @@ func TestServerBadRequests(t *testing.T) {
 		{"backward TH", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Variant: "th", Direction: "backward"}, nil, "comparison model"},
 		{"bad direction", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Direction: "sideways"}, nil, "unknown direction"},
 		{"too large", TransformRequest{Nx: 32, Ny: 32, Nz: 32}, nil, "element cap"},
+		// The volume of this grid overflows int64; the stepwise cap must
+		// reject it instead of letting a negative product through to a
+		// panicking make() in plan construction.
+		{"overflowing volume", TransformRequest{Nx: 2_100_000, Ny: 2_100_000, Nz: 2_100_000}, nil, "element cap"},
+		// ranks×workers above the admission capacity can never be
+		// admitted: config error (400), not 429 inviting futile retries.
+		{"weight over capacity", TransformRequest{Nx: 8, Ny: 8, Nz: 8, Ranks: 8, Workers: 4}, nil, "admission capacity"},
 	}
 	for _, tc := range cases {
 		code, _, _, emsg := postTransform(t, ts.URL, tc.req, tc.payload)
