@@ -1,0 +1,549 @@
+// Command offt-chaos is the self-healing-serve soak harness: it boots the
+// offt-serve service in-process, drives closed-loop transform load through
+// the real HTTP path under an escalating ladder of fault profiles, injects
+// administrative world kills, sends the process a real mid-chaos SIGTERM,
+// and asserts the robustness invariants the serve layer promises:
+//
+//   - every request is answered (success, 429 shed, or a typed 5xx) — the
+//     client never observes a hang;
+//   - zero wedged registry entries: a quarantined key always has a live
+//     rebuild goroutine or an open half-open horizon;
+//   - bounded error rate under every chaos profile;
+//   - a killed plan returns to healthy via automatic rebuild within the
+//     soak window;
+//   - SIGTERM drains cleanly while faults are still being injected;
+//   - zero goroutine leaks across the whole soak.
+//
+// It emits BENCH_PR6.json and exits nonzero when any invariant is
+// violated, so it doubles as the CI chaos gate.
+//
+// Usage:
+//
+//	offt-chaos [-grid 32] [-ranks 4] [-conc 4] [-duration 1.5s]
+//	           [-profiles none,drop,corrupt,stall,mixed] [-kills 2]
+//	           [-max-err 0.5] [-out BENCH_PR6.json]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"offt"
+	"offt/internal/serve"
+	"offt/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type phaseResult struct {
+	Phase       string `json:"phase"`
+	Profile     string `json:"profile"`
+	Requests    int    `json:"requests"`
+	OK          int    `json:"ok"`
+	Shed        int    `json:"shed"`        // 429: admission overload
+	Unavailable int    `json:"unavailable"` // 503: quarantined breaker or drain
+	Timeouts    int    `json:"timeouts"`    // 504: request deadline mid-execution
+	Failed      int    `json:"failed"`      // unexpected HTTP status
+	NoAnswer    int    `json:"no_answer"`   // transport error / client-observed hang
+	Kills       int    `json:"kills,omitempty"`
+	Recovered   bool   `json:"recovered,omitempty"`
+	DrainMs     int64  `json:"drain_ms,omitempty"`
+	Wedged      int    `json:"wedged"`
+	Quarantines int64  `json:"quarantines"`
+	Rebuilds    int64  `json:"rebuilds"`
+	Downgrades  int64  `json:"downgrades"`
+	WatchdogHit int64  `json:"watchdog_trips"`
+}
+
+type report struct {
+	Bench      string            `json:"bench"`
+	Grid       [3]int            `json:"grid"`
+	Ranks      int               `json:"ranks"`
+	Conc       int               `json:"conc"`
+	Phases     []phaseResult     `json:"phases"`
+	Goroutines [2]int            `json:"goroutines"` // [baseline, settled]
+	Gates      map[string]string `json:"gates"`
+	Pass       bool              `json:"pass"`
+}
+
+type soak struct {
+	grid, ranks, workers int
+	variant              string
+	conc                 int
+	duration             time.Duration
+	kills                int
+	timeout              time.Duration
+	body                 []byte
+	client               *http.Client
+}
+
+func run() error {
+	grid := flag.Int("grid", 32, "cubic grid edge N (transforms are N³)")
+	ranks := flag.Int("ranks", 4, "ranks per transform request")
+	variant := flag.String("variant", "new", "transform variant for requests")
+	workers := flag.Int("workers", 1, "intra-rank kernel workers per request")
+	conc := flag.Int("conc", 4, "closed-loop workers per phase")
+	duration := flag.Duration("duration", 1500*time.Millisecond, "wall-clock length of each soak phase")
+	profiles := flag.String("profiles", "none,drop,corrupt,stall,mixed",
+		"comma-separated fault-profile ladder; a kill phase and a SIGTERM drain phase are always appended")
+	kills := flag.Int("kills", 2, "administrative world kills injected during the kill phase")
+	maxErr := flag.Float64("max-err", 0.5, "per-chaos-phase ceiling on the (typed-5xx + failed) fraction")
+	slack := flag.Int("goroutine-slack", 12, "allowed goroutine-count growth across the soak")
+	timeout := flag.Duration("timeout", 8*time.Second, "per-request deadline forwarded in the transform header")
+	out := flag.String("out", "BENCH_PR6.json", "output report path (- for stdout)")
+	flag.Parse()
+
+	var ladder []string
+	for _, p := range strings.Split(*profiles, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if p != "none" {
+			if _, err := offt.ParseFaultProfile(p); err != nil {
+				return err
+			}
+		}
+		ladder = append(ladder, p)
+	}
+	if len(ladder) == 0 {
+		return fmt.Errorf("-profiles lists no fault profiles")
+	}
+
+	rep := report{
+		Bench: "offt-chaos-soak",
+		Grid:  [3]int{*grid, *grid, *grid},
+		Ranks: *ranks,
+		Conc:  *conc,
+		Gates: map[string]string{},
+		Pass:  true,
+	}
+	baseGoroutines := runtime.NumGoroutine()
+
+	s := &soak{
+		grid: *grid, ranks: *ranks, workers: *workers, variant: *variant,
+		conc: *conc, duration: *duration, kills: *kills, timeout: *timeout,
+		client: &http.Client{
+			Timeout: *timeout + 10*time.Second, // a hit here is a client-observed hang
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+			},
+		},
+	}
+	body, err := buildRequestBody(*grid, *ranks, *variant, *workers, int(timeout.Milliseconds()))
+	if err != nil {
+		return err
+	}
+	s.body = body
+
+	for _, prof := range ladder {
+		pr, err := s.runPhase("soak/"+prof, prof, false, false)
+		if err != nil {
+			return err
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+	killPR, err := s.runPhase("kill", "none", true, false)
+	if err != nil {
+		return err
+	}
+	rep.Phases = append(rep.Phases, killPR)
+	drainPR, err := s.runPhase("sigterm-drain", "mixed", false, true)
+	if err != nil {
+		return err
+	}
+	rep.Phases = append(rep.Phases, drainPR)
+
+	// Goroutine-leak check: every phase drained its server (worlds closed,
+	// rebuild goroutines joined, listener shut), so the count must settle
+	// back to the baseline plus finalizer/netpoll slack.
+	s.client.CloseIdleConnections()
+	settled := settleGoroutines(baseGoroutines+*slack, 3*time.Second)
+	rep.Goroutines = [2]int{baseGoroutines, settled}
+
+	applyGates(&rep, ladder, *maxErr, baseGoroutines+*slack)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	for name, verdict := range rep.Gates {
+		fmt.Printf("gate %-16s %s\n", name, verdict)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("offt-chaos: invariants violated")
+	}
+	fmt.Println("offt-chaos: all invariants held")
+	return nil
+}
+
+// runPhase boots one in-process serve instance under the given fault
+// profile, drives it with the closed-loop workers for the phase duration,
+// optionally injecting administrative kills or a real mid-phase SIGTERM,
+// and tears the service down again.
+func (s *soak) runPhase(name, profile string, injectKills, sigterm bool) (phaseResult, error) {
+	pr := phaseResult{Phase: name, Profile: profile}
+	reg := telemetry.NewRegistry()
+	srv := serve.New(serve.Config{
+		MaxPlans:         4,
+		MaxInFlightRanks: 2 * s.conc * s.ranks * s.workers,
+		MaxQueue:         32,
+		DefaultTimeout:   s.timeout,
+		Telemetry:        reg,
+		FaultProfile:     profile,
+		FaultSeed:        1,
+		Watchdog:         500 * time.Millisecond,
+		ExecWatchdogMin:  200 * time.Millisecond,
+		Rebuild: serve.RebuildPolicy{
+			BackoffBase: 20 * time.Millisecond,
+			BackoffCap:  250 * time.Millisecond,
+			MaxAttempts: 5,
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return pr, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := ln.Addr().String()
+	fmt.Printf("phase %-14s profile=%-7s serving on %s\n", name, profile, base)
+
+	var (
+		mu          sync.Mutex
+		drained     atomic.Bool
+		okAfterKill atomic.Bool
+		lastKill    atomic.Int64
+		drainErr    error
+		drainMs     int64
+	)
+	stop := time.Now().Add(s.duration)
+
+	// The drain phase exercises the real signal path: the handler below is
+	// the same sequence cmd/offt-serve runs, and the SIGTERM is a genuine
+	// kill(2) to our own pid while chaos load is still in flight.
+	var sigWG sync.WaitGroup
+	if sigterm {
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGTERM)
+		sigWG.Add(1)
+		go func() {
+			defer sigWG.Done()
+			defer signal.Stop(sigc)
+			select {
+			case <-sigc:
+			case <-time.After(s.duration + 5*time.Second):
+				drainErr = fmt.Errorf("SIGTERM never arrived")
+				return
+			}
+			t0 := time.Now()
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			drainErr = srv.Drain(ctx)
+			drainMs = time.Since(t0).Milliseconds()
+			drained.Store(true)
+		}()
+		time.AfterFunc(s.duration/2, func() {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGTERM)
+		})
+	}
+
+	if injectKills {
+		sigWG.Add(1)
+		go func() {
+			defer sigWG.Done()
+			interval := s.duration / time.Duration(s.kills+1)
+			for i := 0; i < s.kills; i++ {
+				time.Sleep(interval)
+				snap := srv.Registry().Snapshot()
+				if len(snap) == 0 {
+					continue
+				}
+				if srv.Registry().KillPlan(snap[0].Key, errors.New("offt-chaos: administrative kill")) {
+					lastKill.Store(time.Now().UnixNano())
+					okAfterKill.Store(false)
+					mu.Lock()
+					pr.Kills++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				code, err := post(s.client, base, s.body)
+				mu.Lock()
+				pr.Requests++
+				switch {
+				case err != nil:
+					if drained.Load() {
+						// The listener may already be gone post-drain;
+						// that is the drain working, not a hang.
+						pr.Unavailable++
+					} else {
+						pr.NoAnswer++
+					}
+				case code == http.StatusOK:
+					pr.OK++
+					if lastKill.Load() > 0 {
+						okAfterKill.Store(true)
+					}
+				case code == http.StatusTooManyRequests:
+					pr.Shed++
+				case code == http.StatusServiceUnavailable:
+					pr.Unavailable++
+				case code == http.StatusGatewayTimeout:
+					pr.Timeouts++
+				default:
+					pr.Failed++
+				}
+				mu.Unlock()
+				if drained.Load() {
+					return // the service is gone; the phase is over for us
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sigWG.Wait()
+
+	// Invariants sampled while the service is still up: no wedged keys,
+	// and (after kills) the registry back to healthy within a short grace
+	// window — the breaker's rebuild loop must converge on its own.
+	pr.Wedged = len(srv.Registry().Wedged())
+	if injectKills {
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			h := srv.Registry().HealthSnapshot()
+			if h.Quarantined == 0 && h.Plans > 0 {
+				pr.Recovered = okAfterKill.Load() || pr.Kills == 0
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		// The rebuilt plan must actually serve again, not merely report
+		// healthy: push requests until one succeeds or the grace expires.
+		for !pr.Recovered && time.Now().Before(deadline) {
+			if code, err := post(s.client, base, s.body); err == nil && code == http.StatusOK {
+				pr.Recovered = true
+				mu.Lock()
+				pr.Requests++
+				pr.OK++
+				mu.Unlock()
+			}
+		}
+	}
+
+	h := srv.Registry().HealthSnapshot()
+	pr.Quarantines = h.Quarantines
+	pr.Rebuilds = h.Rebuilds
+	pr.Downgrades = h.Downgrades
+	snap := reg.Snapshot()
+	pr.WatchdogHit = snap.Counters["serve.watchdog.trips"]
+
+	if sigterm {
+		pr.DrainMs = drainMs
+		if drainErr != nil {
+			pr.Failed++ // surfaces in the drain_clean gate via phase lookup
+		}
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		if err := srv.Drain(ctx); err != nil {
+			cancel()
+			return pr, fmt.Errorf("phase %s drain: %w", name, err)
+		}
+		cancel()
+	}
+	shctx, shcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	_ = httpSrv.Shutdown(shctx)
+	shcancel()
+	if sigterm && drainErr != nil {
+		return pr, fmt.Errorf("SIGTERM drain: %w", drainErr)
+	}
+	return pr, nil
+}
+
+// applyGates fills rep.Gates and rep.Pass from the soak's invariants.
+func applyGates(rep *report, ladder []string, maxErr float64, maxGoroutines int) {
+	fail := func(name, msg string) { rep.Gates[name] = "FAIL: " + msg; rep.Pass = false }
+	pass := func(name, msg string) { rep.Gates[name] = "ok: " + msg }
+
+	byPhase := map[string]*phaseResult{}
+	for i := range rep.Phases {
+		byPhase[rep.Phases[i].Phase] = &rep.Phases[i]
+	}
+
+	// 1. Every request answered: zero client-observed hangs anywhere.
+	noAnswer := 0
+	for _, pr := range rep.Phases {
+		noAnswer += pr.NoAnswer
+	}
+	if noAnswer > 0 {
+		fail("all_answered", fmt.Sprintf("%d requests got no answer (client-observed hang)", noAnswer))
+	} else {
+		pass("all_answered", "every request answered across all phases")
+	}
+
+	// 2. Zero wedged registry entries in every phase.
+	wedged := 0
+	for _, pr := range rep.Phases {
+		wedged += pr.Wedged
+	}
+	if wedged > 0 {
+		fail("zero_wedged", fmt.Sprintf("%d wedged registry keys observed", wedged))
+	} else {
+		pass("zero_wedged", "no registry key ever lacked a rebuild path")
+	}
+
+	// 3. The fault-free baseline must be perfectly clean.
+	if base := byPhase["soak/none"]; base != nil {
+		if base.Failed > 0 || base.Unavailable > 0 || base.Timeouts > 0 || base.OK == 0 {
+			fail("baseline_clean", fmt.Sprintf("fault-free phase: ok=%d 503=%d 504=%d failed=%d",
+				base.OK, base.Unavailable, base.Timeouts, base.Failed))
+		} else {
+			pass("baseline_clean", fmt.Sprintf("%d/%d ok under no faults", base.OK, base.Requests))
+		}
+	}
+
+	// 4. Bounded error rate under every chaos profile.
+	for _, prof := range ladder {
+		if prof == "none" {
+			continue
+		}
+		pr := byPhase["soak/"+prof]
+		if pr == nil || pr.Requests == 0 {
+			fail("bounded_"+prof, "phase ran no requests")
+			continue
+		}
+		errRate := float64(pr.Unavailable+pr.Timeouts+pr.Failed) / float64(pr.Requests)
+		switch {
+		case pr.OK == 0:
+			fail("bounded_"+prof, "no request ever succeeded under this profile")
+		case errRate > maxErr:
+			fail("bounded_"+prof, fmt.Sprintf("error rate %.2f > %.2f", errRate, maxErr))
+		default:
+			pass("bounded_"+prof, fmt.Sprintf("error rate %.2f ≤ %.2f (%d ok, %d downgrades)",
+				errRate, maxErr, pr.OK, pr.Downgrades))
+		}
+	}
+
+	// 5. Kill-phase recovery: the quarantined plan must return to healthy
+	// service via the automatic rebuild, within the soak window.
+	if kill := byPhase["kill"]; kill != nil {
+		switch {
+		case kill.Kills == 0:
+			fail("kill_recovery", "no kill was ever injected")
+		case kill.Quarantines < int64(kill.Kills):
+			fail("kill_recovery", fmt.Sprintf("%d kills but only %d quarantines", kill.Kills, kill.Quarantines))
+		case !kill.Recovered:
+			fail("kill_recovery", "killed plan never returned to healthy service")
+		default:
+			pass("kill_recovery", fmt.Sprintf("%d kills, %d rebuilds, plan healthy again", kill.Kills, kill.Rebuilds))
+		}
+	}
+
+	// 6. Clean SIGTERM drain mid-chaos.
+	if dr := byPhase["sigterm-drain"]; dr != nil {
+		if dr.NoAnswer > 0 || dr.Failed > 0 {
+			fail("drain_clean", fmt.Sprintf("drain phase: no_answer=%d failed=%d", dr.NoAnswer, dr.Failed))
+		} else {
+			pass("drain_clean", fmt.Sprintf("drained in %dms under mixed faults", dr.DrainMs))
+		}
+	}
+
+	// 7. Zero goroutine leaks across the soak.
+	if rep.Goroutines[1] > maxGoroutines {
+		fail("goroutines", fmt.Sprintf("settled at %d goroutines, baseline %d (cap %d)",
+			rep.Goroutines[1], rep.Goroutines[0], maxGoroutines))
+	} else {
+		pass("goroutines", fmt.Sprintf("settled at %d goroutines (baseline %d)",
+			rep.Goroutines[1], rep.Goroutines[0]))
+	}
+}
+
+// settleGoroutines polls until the live goroutine count drops to target
+// or patience runs out; returns the final count. Abandoned-transform
+// reapers and just-shut HTTP connections need a moment to unwind.
+func settleGoroutines(target int, patience time.Duration) int {
+	deadline := time.Now().Add(patience)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= target || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// post sends one transform request and fully drains the response so the
+// keep-alive connection is reusable. Returns the HTTP status code.
+func post(client *http.Client, base string, body []byte) (int, error) {
+	resp, err := client.Post("http://"+base+"/v1/transform", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func buildRequestBody(n, ranks int, variant string, workers, timeoutMs int) ([]byte, error) {
+	var buf bytes.Buffer
+	req := serve.TransformRequest{
+		Nx: n, Ny: n, Nz: n, Ranks: ranks,
+		Direction: "forward", Variant: variant, Engine: "mem",
+		Workers: workers, TimeoutMs: timeoutMs,
+	}
+	if err := serve.WriteHeader(&buf, req); err != nil {
+		return nil, err
+	}
+	data := make([]complex128, n*n*n)
+	for i := range data {
+		data[i] = complex(float64(i%17)-8, float64(i%13)-6)
+	}
+	if err := serve.WritePayload(&buf, data); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

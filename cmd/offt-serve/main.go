@@ -7,7 +7,8 @@
 //
 //	offt-serve [-addr 127.0.0.1:8080] [-store params.json]
 //	           [-max-plans 8] [-max-inflight 16] [-queue 64]
-//	           [-timeout 10s] [-drain-timeout 30s]
+//	           [-timeout 10s] [-drain-timeout 30s] [-watchdog 20s]
+//	           [-chaos-profile mixed] [-chaos-seed 1]
 //	           [-metrics snap.json] [-pprof localhost:6060]
 //
 // The service itself always exposes /metrics (Prometheus text) and
@@ -27,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"offt"
 	"offt/internal/serve"
 	"offt/internal/telemetry"
 	"offt/internal/tuned"
@@ -50,6 +52,11 @@ func run() error {
 	timeout := flag.Duration("timeout", 10*time.Second, "default and maximum per-request deadline (queue wait + execution)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight transforms before closing plans")
 	maxElems := flag.Int("max-elements", 1<<24, "per-request payload cap in complex128 elements")
+	chaosProfile := flag.String("chaos-profile", "",
+		"inject deterministic communication faults into every Mem world (drop, corrupt, stall, mixed); chaos testing only")
+	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic fault-schedule seed for -chaos-profile")
+	watchdog := flag.Duration("watchdog", -1,
+		"mem-transport hang watchdog for built plans (-1 = library default, 0 = disabled for debugger sessions)")
 	var obs telemetry.CLI
 	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -78,6 +85,23 @@ func run() error {
 		fmt.Printf("loaded %d tuned configurations from %s\n", s.Len(), *storePath)
 	}
 
+	if *chaosProfile != "" {
+		if _, err := offt.ParseFaultProfile(*chaosProfile); err != nil {
+			return err
+		}
+		fmt.Printf("CHAOS: injecting %q faults (seed %d) into every Mem world\n", *chaosProfile, *chaosSeed)
+	}
+	// Flag semantics: -1 (default) = library watchdog, 0 = disabled for
+	// debugger sessions, >0 = explicit. Config uses 0 = default and
+	// negative = disabled, so translate.
+	var wd time.Duration
+	switch {
+	case *watchdog > 0:
+		wd = *watchdog
+	case *watchdog == 0:
+		wd = -1
+	}
+
 	srv := serve.New(serve.Config{
 		MaxPlans:         *maxPlans,
 		MaxInFlightRanks: *maxInflight,
@@ -86,6 +110,9 @@ func run() error {
 		MaxElements:      *maxElems,
 		Store:            store,
 		Telemetry:        reg,
+		FaultProfile:     *chaosProfile,
+		FaultSeed:        *chaosSeed,
+		Watchdog:         wd,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

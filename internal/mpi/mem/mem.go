@@ -181,9 +181,46 @@ func (w *World) RegisterTelemetry(r *telemetry.Registry) {
 	r.Func("mem.transport.corruptions_detected", w.stats.corruptionsDetected.Load)
 }
 
-// worldFailure wraps a world-level diagnostic error (deadline, deadlock)
-// through the panic path so Run can return it unwrapped.
-type worldFailure struct{ err error }
+// WorldFailure is the panic payload a failed world delivers to ranks
+// blocked in Wait or Barrier: the hard hang timeout, the deadlock
+// watchdog, and World.Fail all raise it. Run unwraps it into a plain
+// error; long-lived callers that recover rank panics themselves (the
+// public offt.Plan job loop) type-switch on it to tell "the world died"
+// from "the rank's own code panicked".
+type WorldFailure struct{ Err error }
+
+// Error renders the wrapped diagnostic (WorldFailure is usable as an
+// error value by recover handlers that re-record it).
+func (f WorldFailure) Error() string { return f.Err.Error() }
+
+// Fail marks the world as failed with cause and wakes every rank blocked
+// in Wait or Barrier; they panic with a WorldFailure carrying cause. It
+// is the administrative kill switch used by the serve layer's request
+// watchdog (and the chaos harness) to resolve a hung transform promptly
+// instead of waiting out the deadlock watchdog. Idempotent: only the
+// first failure sticks.
+func (w *World) Fail(cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("mem: world failed")
+	}
+	w.mu.Lock()
+	if w.failed == nil && !w.closed {
+		w.failed = cause
+		for _, c := range w.conds {
+			c.Broadcast()
+		}
+		w.barCond.Broadcast()
+	}
+	w.mu.Unlock()
+}
+
+// Failed reports the world's failure cause (nil while healthy). Once
+// non-nil every subsequent Wait/Barrier fails fast with it.
+func (w *World) Failed() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
 
 // Run executes body once per rank in its own goroutine and returns when
 // every rank finishes. A panic in any rank is returned as an error (the
@@ -201,8 +238,8 @@ func (w *World) Run(body func(c *Comm)) error {
 				w.finished++
 				w.mu.Unlock()
 				if rec := recover(); rec != nil {
-					if wf, ok := rec.(worldFailure); ok {
-						errs <- wf.err
+					if wf, ok := rec.(WorldFailure); ok {
+						errs <- wf.Err
 					} else {
 						errs <- fmt.Errorf("mem: rank %d panicked: %v", r, rec)
 					}
@@ -398,7 +435,7 @@ func (c *Comm) Wait(reqs ...mpi.Request) {
 		limit = c.world.hangTimeout
 	}
 	if err := c.waitInner(reqs, limit); err != nil {
-		panic(worldFailure{err})
+		panic(WorldFailure{err})
 	}
 }
 
@@ -441,7 +478,7 @@ func (c *Comm) waitInner(reqs []mpi.Request, limit time.Duration) error {
 		if w.failed != nil {
 			err := w.failed
 			w.mu.Unlock()
-			panic(worldFailure{err})
+			panic(WorldFailure{err})
 		}
 		if limit > 0 && !time.Now().Before(deadline) {
 			err := c.deadlineErrLocked(reqs, limit)
@@ -499,12 +536,12 @@ func (c *Comm) Barrier() {
 		if w.failed != nil {
 			err := w.failed
 			w.mu.Unlock()
-			panic(worldFailure{err})
+			panic(WorldFailure{err})
 		}
 		if timer != nil && !time.Now().Before(deadline) {
 			arrived := w.barCount
 			w.mu.Unlock()
-			panic(worldFailure{fmt.Errorf("mem: rank %d: Barrier (generation %d) timed out after %v with %d/%d ranks arrived",
+			panic(WorldFailure{fmt.Errorf("mem: rank %d: Barrier (generation %d) timed out after %v with %d/%d ranks arrived",
 				c.rank, gen, w.hangTimeout, arrived, w.p)})
 		}
 		w.blocked[c.rank] = blockInfo{kind: blockedBarrier, gen: gen}

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"offt"
+	"offt/internal/telemetry"
+)
+
+// fastRebuild is the test-speed quarantine policy.
+func fastRebuild() RebuildPolicy {
+	return RebuildPolicy{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffCap:  80 * time.Millisecond,
+		MaxAttempts: 3,
+	}
+}
+
+// settleGoroutines polls until the goroutine count drops to target or
+// patience expires, returning the final count.
+func settleGoroutines(target int, patience time.Duration) int {
+	deadline := time.Now().Add(patience)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= target || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTransformsSurviveWorldKill is the serve-layer chaos regression: a
+// burst of concurrent transforms against a plan whose world is killed
+// mid-flight must ALL resolve — success, or a typed 5xx — never a hang;
+// the registry must never wedge; the killed plan must return to healthy
+// service via the automatic rebuild; and the whole episode must not leak
+// goroutines. Run under -race this also exercises the quarantine state
+// machine's locking.
+func TestTransformsSurviveWorldKill(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	s := New(Config{
+		MaxInFlightRanks: 64,
+		Telemetry:        telemetry.NewRegistry(),
+		Watchdog:         300 * time.Millisecond,
+		ExecWatchdogMin:  200 * time.Millisecond,
+		Rebuild:          fastRebuild(),
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	const n = 16
+	data := randField(n*n*n, 99)
+	req := TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: 2, TimeoutMs: 5000}
+
+	// Warm the plan so the kill hits a live, cached world.
+	if code, _, _, emsg := postTransform(t, ts.URL, req, data); code != http.StatusOK {
+		t.Fatalf("warmup: HTTP %d: %s", code, emsg)
+	}
+	snap := s.Registry().Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("expected one cached plan, got %d", len(snap))
+	}
+	keyStr := snap[0].Key
+
+	const workers = 8
+	const perWorker = 6
+	var ok, typed5xx, other atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				code, _, _, _ := postTransform(t, ts.URL, req, data)
+				switch {
+				case code == http.StatusOK:
+					ok.Add(1)
+				case code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout:
+					typed5xx.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	// Kill the world twice while the burst is in flight.
+	killed := 0
+	for k := 0; k < 2; k++ {
+		time.Sleep(15 * time.Millisecond)
+		if s.Registry().KillPlan(keyStr, fmt.Errorf("chaos kill %d", k)) {
+			killed++
+		}
+	}
+	wg.Wait()
+
+	if got := ok.Load() + typed5xx.Load() + other.Load(); got != workers*perWorker {
+		t.Fatalf("answered %d of %d requests", got, workers*perWorker)
+	}
+	if other.Load() > 0 {
+		t.Errorf("%d requests resolved to an untyped status (want 200/503/504 only)", other.Load())
+	}
+	if killed == 0 {
+		t.Fatal("no kill landed on the live plan; the chaos path was never exercised")
+	}
+	if wedged := s.Registry().Wedged(); len(wedged) > 0 {
+		t.Errorf("wedged registry keys after the burst: %v", wedged)
+	}
+
+	// The killed plan must come back on its own and serve again.
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		if code, _, _, _ := postTransform(t, ts.URL, req, data); code == http.StatusOK {
+			recovered = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("killed plan never returned to healthy service")
+	}
+	h := s.Registry().HealthSnapshot()
+	if h.Quarantines < int64(killed) {
+		t.Errorf("HealthSnapshot quarantines = %d, want ≥ %d", h.Quarantines, killed)
+	}
+	if h.Rebuilds < 1 {
+		t.Errorf("HealthSnapshot rebuilds = %d, want ≥ 1", h.Rebuilds)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if got := settleGoroutines(baseGoroutines+4, 5*time.Second); got > baseGoroutines+4 {
+		t.Errorf("goroutines settled at %d, baseline %d: leak", got, baseGoroutines)
+	}
+}
+
+// TestQuarantineRebuildLifecycle walks the registry state machine
+// directly: healthy → MarkFailed (typed fast-fail, breaker open) →
+// background rebuild → healthy again, with the lifetime counters moving.
+func TestQuarantineRebuildLifecycle(t *testing.T) {
+	r := NewRegistry(2, nil)
+	defer r.CloseAll()
+	r.SetRebuildPolicy(fastRebuild())
+
+	key := memKey(8, 2)
+	e, err := r.Acquire(context.Background(), key, buildFor(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release(e)
+
+	cause := &offt.WorldError{Rank: 1, Cause: errors.New("injected")}
+	qe := r.MarkFailed(e, cause)
+	if qe == nil || !errors.Is(qe, ErrPlanQuarantined) {
+		t.Fatalf("MarkFailed returned %v, want a *QuarantinedError", qe)
+	}
+	if qe.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want positive", qe.RetryAfter)
+	}
+
+	// While the breaker is open the key fast-fails without building.
+	if _, err := r.Acquire(context.Background(), key, func() (*offt.Plan, error) {
+		t.Error("builder called while the breaker is open")
+		return nil, errors.New("unexpected")
+	}); !errors.Is(err, ErrPlanQuarantined) {
+		t.Fatalf("Acquire during quarantine = %v, want ErrPlanQuarantined", err)
+	}
+
+	// Duplicate failure reports collapse (every in-flight request on the
+	// dead world reports it).
+	if qe2 := r.MarkFailed(e, cause); qe2 == nil {
+		t.Fatal("duplicate MarkFailed returned nil")
+	}
+
+	// The background rebuild brings the key back.
+	deadline := time.Now().Add(5 * time.Second)
+	var fresh *planEntry
+	for time.Now().Before(deadline) {
+		fresh, err = r.Acquire(context.Background(), key, buildFor(key))
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrPlanQuarantined) {
+			t.Fatalf("Acquire while rebuilding = %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal("key never recovered from quarantine")
+	}
+	if fresh.Plan() == e.Plan() {
+		t.Error("recovered entry still holds the dead plan")
+	}
+	r.Release(fresh)
+
+	h := r.HealthSnapshot()
+	if h.Quarantines != 1 || h.Rebuilds != 1 {
+		t.Errorf("health = %+v, want 1 quarantine and 1 rebuild", h)
+	}
+	if wedged := r.Wedged(); len(wedged) > 0 {
+		t.Errorf("wedged keys: %v", wedged)
+	}
+}
+
+// TestBreakerBreaksThenHalfOpens: a key whose rebuilds keep failing goes
+// broken (bounded work, fast 503s), and once the environment heals, the
+// half-open probe after the breaker window restores service.
+func TestBreakerBreaksThenHalfOpens(t *testing.T) {
+	r := NewRegistry(2, nil)
+	defer r.CloseAll()
+	r.SetRebuildPolicy(RebuildPolicy{
+		BackoffBase: 5 * time.Millisecond,
+		BackoffCap:  40 * time.Millisecond,
+		MaxAttempts: 2,
+	})
+
+	key := memKey(8, 1)
+	var healthy atomic.Bool
+	healthy.Store(true)
+	build := func() (*offt.Plan, error) {
+		if !healthy.Load() {
+			return nil, errors.New("environment down")
+		}
+		return buildFor(key)()
+	}
+
+	e, err := r.Acquire(context.Background(), key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release(e)
+
+	healthy.Store(false)
+	r.MarkFailed(e, errors.New("world died"))
+
+	// Rebuilds fail MaxAttempts times → broken, reported as such.
+	deadline := time.Now().Add(5 * time.Second)
+	var qe *QuarantinedError
+	for time.Now().Before(deadline) {
+		_, err := r.Acquire(context.Background(), key, build)
+		if err == nil {
+			t.Fatal("Acquire succeeded while the environment is down")
+		}
+		if errors.As(err, &qe) && qe.Broken {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if qe == nil || !qe.Broken {
+		t.Fatal("breaker never reported broken despite exhausted rebuilds")
+	}
+
+	// Environment heals: after the breaker window, an acquire arms the
+	// half-open probe and the key recovers.
+	healthy.Store(true)
+	recovered := false
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if fresh, err := r.Acquire(context.Background(), key, build); err == nil {
+			r.Release(fresh)
+			recovered = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("broken key never recovered after the environment healed")
+	}
+	if wedged := r.Wedged(); len(wedged) > 0 {
+		t.Errorf("wedged keys: %v", wedged)
+	}
+}

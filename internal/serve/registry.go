@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,28 +36,167 @@ func (k PlanKey) String() string {
 	return fmt.Sprintf("%dx%dx%d/p=%d/%v/%s/w=%d", k.Nx, k.Ny, k.Nz, k.Ranks, k.Variant, eng, k.Workers)
 }
 
+// PlanHealth is one state of a cached plan's fault lifecycle:
+//
+//	healthy ──ErrWorldFailed──▶ quarantined ──teardown──▶ rebuilding
+//	   ▲                                                     │
+//	   └──────────── rebuild succeeded ◀─────────────────────┤
+//	                                                         ▼
+//	                        broken (rebuilds exhausted; half-open probe
+//	                        re-arms one rebuild after the breaker window)
+type PlanHealth int
+
+const (
+	// HealthHealthy: the plan serves requests.
+	HealthHealthy PlanHealth = iota
+	// HealthQuarantined: the world failed; new acquires fast-fail while
+	// in-flight references drain and the dead world is torn down.
+	HealthQuarantined
+	// HealthRebuilding: a background goroutine is rebuilding the world
+	// with capped exponential backoff.
+	HealthRebuilding
+	// HealthBroken: consecutive rebuilds exhausted the attempt budget;
+	// the breaker stays open for a full cap window, after which the next
+	// acquire re-arms a single probe rebuild (half-open).
+	HealthBroken
+)
+
+func (h PlanHealth) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthQuarantined:
+		return "quarantined"
+	case HealthRebuilding:
+		return "rebuilding"
+	case HealthBroken:
+		return "broken"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// ErrPlanQuarantined is the sentinel every *QuarantinedError wraps: the
+// requested plan's world failed and is being rebuilt, so the request is
+// refused fast (503 + Retry-After on the wire) instead of queueing
+// behind a dead world.
+var ErrPlanQuarantined = errors.New("serve: plan quarantined, world rebuild in progress")
+
+// QuarantinedError is the typed fast-failure returned by Acquire while a
+// plan key's circuit breaker is open.
+type QuarantinedError struct {
+	Key        string
+	RetryAfter time.Duration // when the rebuild is next expected to admit
+	Broken     bool          // rebuild attempts exhausted (half-open probing)
+	Cause      error         // the world failure that opened the breaker
+}
+
+func (e *QuarantinedError) Error() string {
+	state := "quarantined"
+	if e.Broken {
+		state = "broken"
+	}
+	return fmt.Sprintf("serve: plan %s %s (retry in %v): %v", e.Key, state, e.RetryAfter.Round(time.Millisecond), e.Cause)
+}
+
+func (e *QuarantinedError) Is(target error) bool { return target == ErrPlanQuarantined }
+func (e *QuarantinedError) Unwrap() error        { return e.Cause }
+
+// RebuildPolicy bounds the quarantine-and-rebuild loop.
+type RebuildPolicy struct {
+	// BackoffBase is the delay before the first rebuild attempt; each
+	// consecutive failure doubles it up to BackoffCap. Default 100ms.
+	BackoffBase time.Duration
+	// BackoffCap caps the exponential backoff and sizes the broken
+	// breaker's half-open window. Default 3s.
+	BackoffCap time.Duration
+	// MaxAttempts is how many consecutive rebuild failures flip the key
+	// to HealthBroken. Default 6.
+	MaxAttempts int
+}
+
+func (p *RebuildPolicy) fill() {
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 100 * time.Millisecond
+	}
+	if p.BackoffCap < p.BackoffBase {
+		p.BackoffCap = 3 * time.Second
+		if p.BackoffCap < p.BackoffBase {
+			p.BackoffCap = p.BackoffBase
+		}
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 6
+	}
+}
+
 // planEntry is one registry slot. ready is closed once the singleflight
-// build finishes (plan or err set); refs and lastUsed are guarded by the
-// registry mutex; execs is atomic so the hot path can bump it without the
-// registry lock.
+// build finishes (plan or err set); refs, lastUsed and health are guarded
+// by the registry mutex; execs and steadyNs are atomic so the hot path
+// can bump them without the registry lock.
 type planEntry struct {
 	key   PlanKey
 	ready chan struct{}
 	plan  *offt.Plan
 	err   error
+	build func() (*offt.Plan, error) // captured for background rebuilds
 
 	refs     int
+	health   PlanHealth
 	lastUsed time.Time
 	created  time.Time
 	execs    atomic.Int64
+	steadyNs atomic.Int64 // EWMA of successful exec wall time (watchdog source)
 	elem     *list.Element
 }
 
 // Plan returns the built plan (valid after Acquire succeeds).
 func (e *planEntry) Plan() *offt.Plan { return e.plan }
 
-// RecordExec bumps the entry's execution count.
-func (e *planEntry) RecordExec() { e.execs.Add(1) }
+// RecordExec bumps the entry's execution count and folds the execution's
+// wall time into the steady-state EWMA the request watchdog derives its
+// deadline from.
+func (e *planEntry) RecordExec(execNs int64) {
+	e.execs.Add(1)
+	if execNs <= 0 {
+		return
+	}
+	for {
+		old := e.steadyNs.Load()
+		next := execNs
+		if old > 0 {
+			// 1/4 new, 3/4 old: converges in a few execs, rides out the
+			// slow cold-cache first transform.
+			next = old - old/4 + execNs/4
+		}
+		if e.steadyNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SteadyNs returns the plan's measured steady-state execution time EWMA
+// in nanoseconds (0 until the first successful execution).
+func (e *planEntry) SteadyNs() int64 { return e.steadyNs.Load() }
+
+// breakerState is the per-key circuit breaker and rebuild bookkeeping.
+// It outlives the plan entries it protects (entries are swapped wholesale
+// across rebuilds), so lifetime counters live here. Guarded by the
+// registry mutex.
+type breakerState struct {
+	openUntil   time.Time // while in the future: acquires fast-fail
+	rebuilding  bool      // a rebuild goroutine owns this key
+	attempts    int       // consecutive failed rebuild attempts
+	broken      bool      // attempt budget exhausted; half-open probing
+	lastErr     error     // the failure that opened the breaker
+	last        *planEntry
+	quarantines int64 // lifetime: worlds declared failed
+	rebuilds    int64 // lifetime: successful rebuilds
+}
+
+// gated reports whether acquires for this key must fast-fail now.
+func (b *breakerState) gated(now time.Time) bool {
+	return b.rebuilding || b.broken || now.Before(b.openUntil)
+}
 
 // Registry is a capacity-bounded LRU cache of live plans. A cached Mem
 // plan keeps its world of rank goroutines alive between requests — that
@@ -66,6 +206,15 @@ func (e *planEntry) RecordExec() { e.execs.Add(1) }
 // singleflight: concurrent requests for the same key build one plan and
 // share it; plans currently referenced by an in-flight request are never
 // evicted.
+//
+// The registry is also the service's fault boundary: when an execution
+// surfaces offt.ErrWorldFailed, MarkFailed quarantines the entry (new
+// acquires fast-fail with a typed QuarantinedError while in-flight
+// references drain), tears the dead world down, and rebuilds it in the
+// background with capped exponential backoff. A key whose rebuilds keep
+// failing goes broken and is probed half-open after a full breaker
+// window, so a transient environment failure never wedges a key forever
+// and a permanent one never burns a rebuild loop.
 type Registry struct {
 	mu      sync.Mutex
 	cap     int
@@ -73,29 +222,58 @@ type Registry struct {
 	lru     *list.List // front = most recently used
 	closed  bool
 
-	hits      *telemetry.Counter
-	misses    *telemetry.Counter
-	evictions *telemetry.Counter
-	buildNs   *telemetry.Histogram
+	policy    RebuildPolicy
+	breakers  map[PlanKey]*breakerState
+	stopc     chan struct{}  // closed by CloseAll: aborts rebuild backoff sleeps
+	rebuildWG sync.WaitGroup // live rebuild goroutines
+
+	hits         *telemetry.Counter
+	misses       *telemetry.Counter
+	evictions    *telemetry.Counter
+	buildNs      *telemetry.Histogram
+	quarantines  *telemetry.Counter
+	rebuilds     *telemetry.Counter
+	rebuildFails *telemetry.Counter
+	breakerFails *telemetry.Counter
 }
 
 // NewRegistry builds a registry holding at most capacity live plans. reg
-// may be nil (metrics disabled).
+// may be nil (metrics disabled). The default RebuildPolicy applies until
+// SetRebuildPolicy.
 func NewRegistry(capacity int, reg *telemetry.Registry) *Registry {
 	if capacity < 1 {
 		capacity = 1
 	}
 	r := &Registry{
-		cap:       capacity,
-		entries:   make(map[PlanKey]*planEntry),
-		lru:       list.New(),
-		hits:      reg.Counter("serve.plan_cache.hits"),
-		misses:    reg.Counter("serve.plan_cache.misses"),
-		evictions: reg.Counter("serve.plan_cache.evictions"),
-		buildNs:   reg.Histogram("serve.plan_cache.build.ns"),
+		cap:          capacity,
+		entries:      make(map[PlanKey]*planEntry),
+		lru:          list.New(),
+		breakers:     make(map[PlanKey]*breakerState),
+		stopc:        make(chan struct{}),
+		hits:         reg.Counter("serve.plan_cache.hits"),
+		misses:       reg.Counter("serve.plan_cache.misses"),
+		evictions:    reg.Counter("serve.plan_cache.evictions"),
+		buildNs:      reg.Histogram("serve.plan_cache.build.ns"),
+		quarantines:  reg.Counter("serve.plan.quarantines"),
+		rebuilds:     reg.Counter("serve.plan.rebuilds"),
+		rebuildFails: reg.Counter("serve.plan.rebuild_failures"),
+		breakerFails: reg.Counter("serve.plan.breaker_fast_fails"),
 	}
+	r.policy.fill()
 	reg.Func("serve.plan_cache.size", func() int64 { return int64(r.Len()) })
+	reg.Func("serve.plan_cache.quarantined", func() int64 {
+		return int64(r.HealthSnapshot().Quarantined)
+	})
 	return r
+}
+
+// SetRebuildPolicy replaces the quarantine-and-rebuild bounds (zero
+// fields take defaults). Call before serving.
+func (r *Registry) SetRebuildPolicy(p RebuildPolicy) {
+	p.fill()
+	r.mu.Lock()
+	r.policy = p
+	r.mu.Unlock()
 }
 
 // Acquire returns the cached plan for key, building it with build on a
@@ -104,15 +282,37 @@ func NewRegistry(capacity int, reg *telemetry.Registry) *Registry {
 // removed so a later request retries. A hit whose plan is still being
 // built by another request waits for the build only as long as ctx
 // allows; on expiry the reference is dropped and ctx's error returned.
+// While the key's circuit breaker is open (world failed, rebuild in
+// progress) Acquire fast-fails with a *QuarantinedError instead of
+// touching the dead world.
 func (r *Registry) Acquire(ctx context.Context, key PlanKey, build func() (*offt.Plan, error)) (*planEntry, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return nil, ErrDraining
 	}
+	now := time.Now()
+	if br, ok := r.breakers[key]; ok && br.gated(now) {
+		if br.broken && !br.rebuilding && !now.Before(br.openUntil) {
+			// Half-open: the broken window elapsed — re-arm one probe
+			// rebuild on behalf of this caller, but still fail it fast
+			// (the rebuild is asynchronous).
+			br.broken = false
+			br.attempts = 0
+			br.rebuilding = true
+			br.openUntil = now.Add(r.policy.BackoffBase)
+			probe := &planEntry{key: key, ready: make(chan struct{}), build: build, health: HealthRebuilding}
+			r.rebuildWG.Add(1)
+			go r.rebuild(probe, nil)
+		}
+		qerr := r.quarantineErrLocked(key, br, now)
+		r.mu.Unlock()
+		r.breakerFails.Inc()
+		return nil, qerr
+	}
 	if e, ok := r.entries[key]; ok {
 		e.refs++
-		e.lastUsed = time.Now()
+		e.lastUsed = now
 		r.lru.MoveToFront(e.elem)
 		r.mu.Unlock()
 		r.hits.Inc()
@@ -132,8 +332,7 @@ func (r *Registry) Acquire(ctx context.Context, key PlanKey, build func() (*offt
 		return e, nil
 	}
 
-	now := time.Now()
-	e := &planEntry{key: key, ready: make(chan struct{}), refs: 1, lastUsed: now, created: now}
+	e := &planEntry{key: key, ready: make(chan struct{}), build: build, refs: 1, lastUsed: now, created: now}
 	e.elem = r.lru.PushFront(e)
 	r.entries[key] = e
 	r.mu.Unlock()
@@ -169,6 +368,189 @@ func (r *Registry) Acquire(ctx context.Context, key PlanKey, build func() (*offt
 	}
 	r.evict()
 	return e, nil
+}
+
+// quarantineErrLocked renders the breaker's current state as the typed
+// fast-failure (r.mu held).
+func (r *Registry) quarantineErrLocked(key PlanKey, br *breakerState, now time.Time) *QuarantinedError {
+	retry := br.openUntil.Sub(now)
+	if retry <= 0 {
+		retry = r.policy.BackoffBase
+	}
+	cause := br.lastErr
+	if cause == nil {
+		cause = ErrPlanQuarantined
+	}
+	return &QuarantinedError{Key: key.String(), RetryAfter: retry, Broken: br.broken, Cause: cause}
+}
+
+// MarkFailed quarantines a plan whose world died: the entry leaves the
+// acquire path immediately (in-flight references drain on their own),
+// the key's circuit breaker opens, and a background goroutine tears the
+// dead world down and rebuilds it with capped exponential backoff.
+// Duplicate reports for the same entry (every in-flight request on a
+// dead world observes the failure) collapse into one rebuild. Returns
+// the typed QuarantinedError callers can answer their own request with.
+func (r *Registry) MarkFailed(e *planEntry, cause error) *QuarantinedError {
+	now := time.Now()
+	r.mu.Lock()
+	if r.closed {
+		qe := &QuarantinedError{Key: e.key.String(), RetryAfter: time.Second, Cause: ErrDraining}
+		r.mu.Unlock()
+		return qe
+	}
+	br := r.breakers[e.key]
+	if br == nil {
+		br = &breakerState{}
+		r.breakers[e.key] = br
+	}
+	if e.health != HealthHealthy {
+		// Already quarantined by a concurrent failure report.
+		qe := r.quarantineErrLocked(e.key, br, now)
+		r.mu.Unlock()
+		return qe
+	}
+	e.health = HealthQuarantined
+	r.removeLocked(e)
+	br.rebuilding = true
+	br.broken = false
+	br.lastErr = cause
+	br.last = e
+	br.quarantines++
+	br.openUntil = now.Add(r.backoffLocked(br.attempts))
+	qe := r.quarantineErrLocked(e.key, br, now)
+	r.rebuildWG.Add(1)
+	go r.rebuild(e, e.plan)
+	r.mu.Unlock()
+	r.quarantines.Inc()
+	return qe
+}
+
+// backoffLocked returns the capped exponential rebuild delay for the
+// given consecutive-failure count (r.mu held).
+func (r *Registry) backoffLocked(attempts int) time.Duration {
+	d := r.policy.BackoffBase
+	for i := 0; i < attempts && d < r.policy.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > r.policy.BackoffCap {
+		d = r.policy.BackoffCap
+	}
+	return d
+}
+
+// rebuild is the background quarantine worker for one key: tear down the
+// dead world (old may be nil for a half-open probe), then retry the
+// build under the breaker's backoff schedule until it succeeds, the
+// attempt budget is exhausted (broken), or the registry closes.
+func (r *Registry) rebuild(e *planEntry, old *offt.Plan) {
+	defer r.rebuildWG.Done()
+	if old != nil {
+		// The world is already failed, so any transform still holding the
+		// plan's execution lock resolves promptly; Close then drains it
+		// and stops the rank goroutines and retransmit timers.
+		_ = old.Close()
+	}
+	for {
+		r.mu.Lock()
+		br := r.breakers[e.key]
+		if br == nil || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		e.health = HealthRebuilding
+		delay := r.backoffLocked(br.attempts)
+		r.mu.Unlock()
+
+		select {
+		case <-time.After(delay):
+		case <-r.stopc:
+			return
+		}
+
+		plan, err := e.build()
+		if err != nil {
+			r.rebuildFails.Inc()
+			r.mu.Lock()
+			br.attempts++
+			if br.attempts >= r.policy.MaxAttempts {
+				br.broken = true
+				br.rebuilding = false
+				br.lastErr = fmt.Errorf("rebuild failed %d times, breaker broken: %w", br.attempts, err)
+				br.openUntil = time.Now().Add(r.policy.BackoffCap)
+				e.health = HealthBroken
+				r.mu.Unlock()
+				return
+			}
+			br.lastErr = fmt.Errorf("rebuild attempt %d failed: %w", br.attempts, err)
+			br.openUntil = time.Now().Add(r.backoffLocked(br.attempts))
+			r.mu.Unlock()
+			continue
+		}
+
+		now := time.Now()
+		fresh := &planEntry{
+			key: e.key, ready: make(chan struct{}), plan: plan, build: e.build,
+			lastUsed: now, created: now, health: HealthHealthy,
+		}
+		close(fresh.ready)
+		r.mu.Lock()
+		if r.closed || r.entries[e.key] != nil {
+			// Raced a shutdown (or an unexpected fresh build); don't leak a
+			// world nobody will ever close.
+			r.mu.Unlock()
+			_ = plan.Close()
+			return
+		}
+		fresh.elem = r.lru.PushFront(fresh)
+		r.entries[e.key] = fresh
+		br.rebuilding = false
+		br.broken = false
+		br.attempts = 0
+		br.openUntil = time.Time{}
+		br.last = nil
+		br.rebuilds++
+		e.health = HealthHealthy
+		r.mu.Unlock()
+		r.rebuilds.Inc()
+		r.evict()
+		return
+	}
+}
+
+// KillPlan administratively fails the live plan cached under the key
+// whose String() form matches keyStr, as if its world had died in the
+// field: the world is failed, the entry quarantined, and the rebuild
+// cycle starts. It is the chaos harness's fault-injection hook. Returns
+// false when no live entry matches.
+func (r *Registry) KillPlan(keyStr string, cause error) bool {
+	r.mu.Lock()
+	var victim *planEntry
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		if e.key.String() == keyStr {
+			victim = e
+			break
+		}
+	}
+	r.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	select {
+	case <-victim.ready:
+	default:
+		return false // still building; nothing to kill yet
+	}
+	if victim.plan == nil {
+		return false
+	}
+	if cause == nil {
+		cause = errors.New("serve: plan killed by chaos hook")
+	}
+	victim.plan.Fail(cause)
+	r.MarkFailed(victim, &offt.WorldError{Rank: -1, Cause: cause})
+	return true
 }
 
 // Release drops a reference taken by Acquire and triggers eviction if the
@@ -232,21 +614,63 @@ func (r *Registry) evict() {
 
 // PlanInfo is one row of the /v1/plans listing.
 type PlanInfo struct {
-	Key      string      `json:"key"`
-	Grid     [3]int      `json:"grid"`
-	Ranks    int         `json:"ranks"`
-	Variant  string      `json:"variant"`
-	Engine   string      `json:"engine"`
-	Workers  int         `json:"workers"`
-	Machine  string      `json:"machine,omitempty"`
-	Params   offt.Params `json:"params"`
-	Execs    int64       `json:"execs"`
-	InFlight int         `json:"in_flight"`
-	AgeMs    int64       `json:"age_ms"`
-	IdleMs   int64       `json:"idle_ms"`
+	Key        string      `json:"key"`
+	Grid       [3]int      `json:"grid"`
+	Ranks      int         `json:"ranks"`
+	Variant    string      `json:"variant"`
+	Engine     string      `json:"engine"`
+	Workers    int         `json:"workers"`
+	Machine    string      `json:"machine,omitempty"`
+	Params     offt.Params `json:"params"`
+	Execs      int64       `json:"execs"`
+	InFlight   int         `json:"in_flight"`
+	AgeMs      int64       `json:"age_ms"`
+	IdleMs     int64       `json:"idle_ms"`
+	Health     string      `json:"health"`
+	Downgrades int64       `json:"downgrades"`
+	Rebuilds   int64       `json:"rebuilds"`
+	SteadyNs   int64       `json:"steady_ns,omitempty"`
 }
 
-// Snapshot lists the cached plans in most-recently-used order.
+// planInfoLocked renders one entry (r.mu held; e may be live or the
+// detached last entry of an open breaker).
+func (r *Registry) planInfoLocked(e *planEntry, health PlanHealth, rebuilds int64, now time.Time) PlanInfo {
+	eng := "mem"
+	if e.key.Engine == offt.Sim {
+		eng = "sim"
+	}
+	info := PlanInfo{
+		Key:      e.key.String(),
+		Grid:     [3]int{e.key.Nx, e.key.Ny, e.key.Nz},
+		Ranks:    e.key.Ranks,
+		Variant:  e.key.Variant.String(),
+		Engine:   eng,
+		Workers:  e.key.Workers,
+		Machine:  e.key.Machine,
+		Params:   e.key.Params,
+		Execs:    e.execs.Load(),
+		InFlight: e.refs,
+		AgeMs:    now.Sub(e.created).Milliseconds(),
+		IdleMs:   now.Sub(e.lastUsed).Milliseconds(),
+		Health:   health.String(),
+		Rebuilds: rebuilds,
+		SteadyNs: e.steadyNs.Load(),
+	}
+	// e.plan is written by the builder before ready closes; only read it
+	// behind that happens-before edge.
+	select {
+	case <-e.ready:
+		if e.plan != nil {
+			info.Downgrades = e.plan.Downgrades()
+		}
+	default:
+	}
+	return info
+}
+
+// Snapshot lists the cached plans in most-recently-used order, followed
+// by the keys currently under quarantine/rebuild (their last known entry
+// is reported so operators see the degradation without scraping traces).
 func (r *Registry) Snapshot() []PlanInfo {
 	now := time.Now()
 	r.mu.Lock()
@@ -254,24 +678,83 @@ func (r *Registry) Snapshot() []PlanInfo {
 	out := make([]PlanInfo, 0, r.lru.Len())
 	for el := r.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*planEntry)
-		eng := "mem"
-		if e.key.Engine == offt.Sim {
-			eng = "sim"
+		var rebuilds int64
+		if br := r.breakers[e.key]; br != nil {
+			rebuilds = br.rebuilds
 		}
-		out = append(out, PlanInfo{
-			Key:      e.key.String(),
-			Grid:     [3]int{e.key.Nx, e.key.Ny, e.key.Nz},
-			Ranks:    e.key.Ranks,
-			Variant:  e.key.Variant.String(),
-			Engine:   eng,
-			Workers:  e.key.Workers,
-			Machine:  e.key.Machine,
-			Params:   e.key.Params,
-			Execs:    e.execs.Load(),
-			InFlight: e.refs,
-			AgeMs:    now.Sub(e.created).Milliseconds(),
-			IdleMs:   now.Sub(e.lastUsed).Milliseconds(),
-		})
+		out = append(out, r.planInfoLocked(e, e.health, rebuilds, now))
+	}
+	for key, br := range r.breakers {
+		if !br.gated(now) || br.last == nil {
+			continue
+		}
+		if _, live := r.entries[key]; live {
+			continue
+		}
+		out = append(out, r.planInfoLocked(br.last, br.last.health, br.rebuilds, now))
+	}
+	return out
+}
+
+// RegistryHealth summarizes the registry's fault state for /healthz.
+type RegistryHealth struct {
+	Plans       int   `json:"plans"`
+	Quarantined int   `json:"quarantined"` // keys currently gated (incl. rebuilding/broken)
+	Rebuilding  int   `json:"rebuilding"`
+	Broken      int   `json:"broken"`
+	Quarantines int64 `json:"quarantines"` // lifetime world failures
+	Rebuilds    int64 `json:"rebuilds"`    // lifetime successful rebuilds
+	Downgrades  int64 `json:"downgrades"`  // overlapped→blocking fallbacks, all plans
+}
+
+// HealthSnapshot reports the registry's current fault state.
+func (r *Registry) HealthSnapshot() RegistryHealth {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := RegistryHealth{Plans: r.lru.Len()}
+	for el := r.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*planEntry)
+		select {
+		case <-e.ready:
+			if e.plan != nil {
+				h.Downgrades += e.plan.Downgrades()
+			}
+		default:
+		}
+	}
+	for _, br := range r.breakers {
+		h.Quarantines += br.quarantines
+		h.Rebuilds += br.rebuilds
+		if br.gated(now) {
+			h.Quarantined++
+			if br.rebuilding {
+				h.Rebuilding++
+			}
+			if br.broken {
+				h.Broken++
+			}
+			if br.last != nil && br.last.plan != nil {
+				h.Downgrades += br.last.plan.Downgrades()
+			}
+		}
+	}
+	return h
+}
+
+// Wedged reports the keys that can neither serve nor recover: gated
+// breakers with no live rebuild goroutine and no half-open horizon. A
+// healthy registry always returns an empty slice — the chaos soak's
+// first invariant.
+func (r *Registry) Wedged() []string {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for key, br := range r.breakers {
+		if br.gated(now) && !br.rebuilding && !br.broken {
+			out = append(out, key.String())
+		}
 	}
 	return out
 }
@@ -283,25 +766,34 @@ func (r *Registry) Len() int {
 	return r.lru.Len()
 }
 
-// CloseAll shuts the registry down: no further Acquires succeed and every
-// cached plan is closed. Callers must have drained in-flight work first
-// (offt.Plan.Close itself waits out any transform still holding the
-// plan's execution lock, so even a straggler is drained, not corrupted).
+// CloseAll shuts the registry down: no further Acquires succeed, every
+// in-flight rebuild is aborted and awaited, and every cached plan is
+// closed. Callers must have drained in-flight work first (offt.Plan.Close
+// itself waits out any transform still holding the plan's execution lock,
+// so even a straggler is drained, not corrupted).
 func (r *Registry) CloseAll() error {
 	r.mu.Lock()
-	r.closed = true
 	var all []*planEntry
-	for el := r.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*planEntry)
-		// Detach before reinitializing the list: a concurrent failed build
-		// calling removeLocked must not relink a stale element into the
-		// fresh list and corrupt its length.
-		e.elem = nil
-		all = append(all, e)
+	if !r.closed {
+		r.closed = true
+		close(r.stopc)
+		for el := r.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*planEntry)
+			// Detach before reinitializing the list: a concurrent failed build
+			// calling removeLocked must not relink a stale element into the
+			// fresh list and corrupt its length.
+			e.elem = nil
+			all = append(all, e)
+		}
+		r.lru.Init()
+		r.entries = make(map[PlanKey]*planEntry)
 	}
-	r.lru.Init()
-	r.entries = make(map[PlanKey]*planEntry)
 	r.mu.Unlock()
+
+	// Rebuild goroutines observe closed/stopc and exit (closing any world
+	// they had just built); waiting here makes "zero goroutine leaks after
+	// drain" a property, not a race.
+	r.rebuildWG.Wait()
 
 	var firstErr error
 	for _, e := range all {

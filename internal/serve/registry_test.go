@@ -268,12 +268,16 @@ func TestRegistryExecAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.RecordExec()
-	e.RecordExec()
+	e.RecordExec(int64(time.Millisecond))
+	e.RecordExec(int64(3 * time.Millisecond))
 	r.Release(e)
 	snap := r.Snapshot()
 	if len(snap) != 1 || snap[0].Execs != 2 {
 		t.Errorf("snapshot execs = %+v, want 2", snap)
+	}
+	// EWMA after [1ms, 3ms]: 1ms, then 1ms - 0.25ms + 0.75ms = 1.5ms.
+	if got := snap[0].SteadyNs; got != int64(1500*time.Microsecond) {
+		t.Errorf("steady EWMA = %v, want 1.5ms", time.Duration(got))
 	}
 }
 

@@ -56,6 +56,25 @@ type Config struct {
 	Store *tuned.Store
 	// Telemetry receives the service metrics (may be nil: disabled).
 	Telemetry *telemetry.Registry
+	// FaultProfile injects deterministic communication faults into every
+	// Mem world the server builds ("drop", "corrupt", "stall", "mixed";
+	// "" or "none" = disabled). Chaos testing only.
+	FaultProfile string
+	// FaultSeed seeds the deterministic fault schedule (default 1).
+	FaultSeed int64
+	// Watchdog configures the mem-transport hang watchdog on built
+	// plans: 0 = library default, negative = disabled (debugger
+	// sessions; a hung rank then blocks until the request is abandoned).
+	Watchdog time.Duration
+	// Rebuild bounds the registry's quarantine-and-rebuild loop (zero
+	// fields take defaults; see RebuildPolicy).
+	Rebuild RebuildPolicy
+	// ExecWatchdogFactor multiplies a plan's steady-state execution-time
+	// EWMA into the per-request watchdog deadline (default 16).
+	ExecWatchdogFactor int
+	// ExecWatchdogMin floors the per-request watchdog deadline so jitter
+	// on sub-millisecond transforms cannot trip it (default 250ms).
+	ExecWatchdogMin time.Duration
 }
 
 func (c *Config) fill() {
@@ -76,6 +95,12 @@ func (c *Config) fill() {
 	if c.MaxElements <= 0 {
 		c.MaxElements = 1 << 24
 	}
+	if c.ExecWatchdogFactor <= 0 {
+		c.ExecWatchdogFactor = 16
+	}
+	if c.ExecWatchdogMin <= 0 {
+		c.ExecWatchdogMin = 250 * time.Millisecond
+	}
 }
 
 // Server is the FFT service. Build with New, expose Handler over any
@@ -87,13 +112,14 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 
-	requests  *telemetry.Counter
-	transNs   *telemetry.Histogram
-	plansNs   *telemetry.Histogram
-	healthNs  *telemetry.Histogram
-	errors400 *telemetry.Counter
-	errors429 *telemetry.Counter
-	errors5xx *telemetry.Counter
+	requests      *telemetry.Counter
+	transNs       *telemetry.Histogram
+	plansNs       *telemetry.Histogram
+	healthNs      *telemetry.Histogram
+	errors400     *telemetry.Counter
+	errors429     *telemetry.Counter
+	errors5xx     *telemetry.Counter
+	watchdogTrips *telemetry.Counter
 
 	bufPool sync.Pool // *[]complex128 payload/result scratch
 }
@@ -103,17 +129,19 @@ func New(cfg Config) *Server {
 	cfg.fill()
 	reg := cfg.Telemetry
 	s := &Server{
-		cfg:       cfg,
-		registry:  NewRegistry(cfg.MaxPlans, reg),
-		adm:       NewAdmission(cfg.MaxInFlightRanks, cfg.MaxQueue, reg),
-		requests:  reg.Counter("serve.http.requests"),
-		transNs:   reg.Histogram("serve.http.transform.ns"),
-		plansNs:   reg.Histogram("serve.http.plans.ns"),
-		healthNs:  reg.Histogram("serve.http.healthz.ns"),
-		errors400: reg.Counter("serve.http.errors.400"),
-		errors429: reg.Counter("serve.http.errors.429"),
-		errors5xx: reg.Counter("serve.http.errors.5xx"),
+		cfg:           cfg,
+		registry:      NewRegistry(cfg.MaxPlans, reg),
+		adm:           NewAdmission(cfg.MaxInFlightRanks, cfg.MaxQueue, reg),
+		requests:      reg.Counter("serve.http.requests"),
+		transNs:       reg.Histogram("serve.http.transform.ns"),
+		plansNs:       reg.Histogram("serve.http.plans.ns"),
+		healthNs:      reg.Histogram("serve.http.healthz.ns"),
+		errors400:     reg.Counter("serve.http.errors.400"),
+		errors429:     reg.Counter("serve.http.errors.429"),
+		errors5xx:     reg.Counter("serve.http.errors.5xx"),
+		watchdogTrips: reg.Counter("serve.watchdog.trips"),
 	}
+	s.registry.SetRebuildPolicy(cfg.Rebuild)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/transform", s.timed(s.transNs, s.handleTransform))
 	s.mux.HandleFunc("GET /v1/plans", s.timed(s.plansNs, s.handlePlans))
@@ -164,6 +192,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	return closeErr
 }
 
+// writeUnavailable sends a 503 whose Retry-After header tells the client
+// when the quarantined plan's rebuild is next expected to admit.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+	var qe *QuarantinedError
+	if errors.As(err, &qe) && qe.RetryAfter > 0 {
+		secs := int((qe.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	s.writeError(w, http.StatusServiceUnavailable, err)
+}
+
 // writeError sends a JSON error body with the given status code.
 func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	switch {
@@ -181,16 +223,30 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	rh := s.registry.HealthSnapshot()
 	status, code := "ok", http.StatusOK
+	if rh.Quarantined > 0 {
+		// Degraded, not down: other keys still serve, and the rebuild
+		// loop is working the quarantined ones — keep the 200 so load
+		// balancers don't amplify a single bad plan into an outage.
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"status":         status,
-		"plans":          s.registry.Len(),
+		"plans":          rh.Plans,
 		"inflight_ranks": s.adm.InUse(),
 		"queue_depth":    s.adm.QueueLen(),
+		"quarantined":    rh.Quarantined,
+		"rebuilding":     rh.Rebuilding,
+		"broken":         rh.Broken,
+		"quarantines":    rh.Quarantines,
+		"rebuilds":       rh.Rebuilds,
+		"downgrades":     rh.Downgrades,
+		"watchdog_trips": s.watchdogTrips.Value(),
 	})
 }
 
@@ -339,7 +395,37 @@ func (s *Server) buildPlan(key PlanKey) (*offt.Plan, error) {
 	if key.Workers > 1 {
 		opts = append(opts, offt.WithWorkers(key.Workers))
 	}
+	if s.cfg.FaultProfile != "" && s.cfg.FaultProfile != "none" {
+		prof, err := offt.ParseFaultProfile(s.cfg.FaultProfile)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, offt.WithFaults(prof, s.cfg.FaultSeed))
+	}
+	switch {
+	case s.cfg.Watchdog > 0:
+		opts = append(opts, offt.WithWatchdog(s.cfg.Watchdog))
+	case s.cfg.Watchdog < 0:
+		opts = append(opts, offt.WithWatchdog(0))
+	}
 	return offt.NewPlan(opts...)
+}
+
+// execDeadline derives the per-request execution watchdog deadline from
+// the plan's measured steady-state time: factor× the EWMA, floored so
+// jitter on short transforms cannot trip it. Returns 0 (no watchdog)
+// until a first successful execution has been measured — the request
+// deadline and the mem-transport hang watchdog cover the cold path.
+func (s *Server) execDeadline(e *planEntry) time.Duration {
+	steady := e.SteadyNs()
+	if steady <= 0 {
+		return 0
+	}
+	d := time.Duration(steady) * time.Duration(s.cfg.ExecWatchdogFactor)
+	if d < s.cfg.ExecWatchdogMin {
+		d = s.cfg.ExecWatchdogMin
+	}
+	return d
 }
 
 // getBuf returns a pooled complex128 scratch slice of length n.
@@ -384,7 +470,12 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	defer s.adm.Release(spec.weight)
+	// Releases are once-guarded: the watchdog/abandon paths hand them to a
+	// reaper goroutine that waits out the hung transform, and the deferred
+	// calls must then be no-ops.
+	var admOnce sync.Once
+	releaseAdmission := func() { admOnce.Do(func() { s.adm.Release(spec.weight) }) }
+	defer releaseAdmission()
 	queueNs := time.Since(queued).Nanoseconds()
 
 	// Plan acquisition (singleflight build on miss, warm-started params
@@ -398,6 +489,11 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, offt.ErrBadShape):
 			s.writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrPlanQuarantined):
+			// The key's world failed and its circuit breaker is open:
+			// fast 503 with Retry-After instead of queueing on a dead
+			// world.
+			s.writeUnavailable(w, err)
 		case errors.Is(err, ErrDraining):
 			s.writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -412,7 +508,9 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	defer s.registry.Release(entry)
+	var refOnce sync.Once
+	releaseRef := func() { refOnce.Do(func() { s.registry.Release(entry) }) }
+	defer releaseRef()
 	plan := entry.Plan()
 
 	resp := TransformResponse{
@@ -428,7 +526,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		entry.RecordExec()
+		entry.RecordExec(time.Since(start).Nanoseconds())
 		resp.ExecNs = time.Since(start).Nanoseconds()
 		resp.VirtualNs, resp.TunedNs = plan.VirtualTimes()
 		resp.Execs = entry.execs.Load()
@@ -444,30 +542,115 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Mem engine: read the payload, execute, stream the result back.
+	// Buffers go back to the pool only when the transform goroutine is
+	// known to be done with them — the abandon paths below set abandoned
+	// and delegate the putBuf to a reaper that waits out the straggler.
 	n := spec.key.Nx * spec.key.Ny * spec.key.Nz
+	abandoned := false
 	in := s.getBuf(n)
-	defer s.putBuf(in)
+	defer func() {
+		if !abandoned {
+			s.putBuf(in)
+		}
+	}()
 	if err := ReadPayloadInto(r.Body, in); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	out := s.getBuf(n)
-	defer s.putBuf(out)
+	defer func() {
+		if !abandoned {
+			s.putBuf(out)
+		}
+	}()
 
-	start := time.Now()
-	if spec.backward {
-		err = plan.BackwardInto(out, in)
-	} else {
-		err = plan.ForwardInto(out, in)
+	// Execute under a per-request watchdog: the deadline is the plan's
+	// measured steady-state time × a safety factor, so a hung rank can
+	// never hold admission weight for the full request timeout.
+	type execResult struct {
+		err error
+		ns  int64
 	}
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+	done := make(chan execResult, 1)
+	go func() {
+		start := time.Now()
+		var eerr error
+		if spec.backward {
+			eerr = plan.BackwardInto(out, in)
+		} else {
+			eerr = plan.ForwardInto(out, in)
+		}
+		done <- execResult{eerr, time.Since(start).Nanoseconds()}
+	}()
+
+	wdDeadline := s.execDeadline(entry)
+	var watchc <-chan time.Time
+	if wdDeadline > 0 {
+		t := time.NewTimer(wdDeadline)
+		defer t.Stop()
+		watchc = t.C
+	}
+
+	// reap recycles the request's resources once the abandoned transform
+	// resolves. Failing the world (watchdog path) or the mem-transport
+	// hang watchdog (deadline path) guarantees it does resolve; until
+	// then the pooled buffers must not be reused.
+	reap := func() {
+		abandoned = true
+		go func() {
+			<-done
+			s.putBuf(in)
+			s.putBuf(out)
+			releaseRef()
+			releaseAdmission()
+		}()
+	}
+
+	var res execResult
+	select {
+	case res = <-done:
+	case <-watchc:
+		// Watchdog fired: a transform that is factor× slower than the
+		// plan's own steady state means a rank is hung, not slow. Kill
+		// the world (unblocking the transform goroutine), quarantine the
+		// plan, and answer with the breaker's 503.
+		s.watchdogTrips.Inc()
+		cause := fmt.Errorf("serve: request watchdog: execution exceeded %v (steady-state %v × factor %d)",
+			wdDeadline, time.Duration(entry.SteadyNs()), s.cfg.ExecWatchdogFactor)
+		plan.Fail(cause)
+		qe := s.registry.MarkFailed(entry, cause)
+		reap()
+		s.writeUnavailable(w, qe)
+		return
+	case <-ctx.Done():
+		// The request deadline expired mid-execution. The plan is not
+		// (yet) proven at fault — a healthy-but-slow transform under a
+		// tight client deadline must not be quarantined — so abandon the
+		// request and let the transform finish (or the mem hang watchdog
+		// fail it) in the background.
+		reap()
+		s.writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("serve: transform exceeded the request deadline: %w", ctx.Err()))
 		return
 	}
-	entry.RecordExec()
-	resp.ExecNs = time.Since(start).Nanoseconds()
+	if res.err != nil {
+		if errors.Is(res.err, offt.ErrWorldFailed) {
+			// The world died under this transform (injected faults, hang
+			// watchdog abort, hard failure): quarantine the plan so the
+			// background rebuild starts, and tell the client when to
+			// retry.
+			qe := s.registry.MarkFailed(entry, res.err)
+			s.writeUnavailable(w, qe)
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, res.err)
+		return
+	}
+	entry.RecordExec(res.ns)
+	resp.ExecNs = res.ns
 	resp.Elements = n
 	resp.Execs = entry.execs.Load()
+	resp.Downgrades = plan.Downgrades()
 
 	hdr, err := MarshalHeader(resp)
 	if err != nil {

@@ -68,6 +68,9 @@ type TransformResponse struct {
 	Elements  int    `json:"elements"`
 	VirtualNs int64  `json:"virtual_ns,omitempty"` // Sim engine
 	TunedNs   int64  `json:"tuned_ns,omitempty"`   // Sim engine
+	// Downgrades is the plan's cumulative overlapped→blocking fallback
+	// count: nonzero means the transform succeeded degraded.
+	Downgrades int64 `json:"downgrades,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-200 response.

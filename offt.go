@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"offt/internal/fft"
 	"offt/internal/layout"
 	"offt/internal/machine"
 	"offt/internal/model"
+	"offt/internal/mpi/fault"
 	"offt/internal/mpi/mem"
 	"offt/internal/pfft"
 	"offt/internal/telemetry"
@@ -46,7 +49,65 @@ type (
 	// histograms fed by every instrumented layer, exportable as JSON or
 	// Prometheus text (see Plan.Metrics and WithTelemetry).
 	Telemetry = telemetry.Registry
+	// FaultProfile names a canonical deterministic fault mix for
+	// WithFaults (see the FaultNone … FaultMixed constants).
+	FaultProfile = fault.Profile
+	// FaultPlan is a fully explicit deterministic fault schedule for
+	// WithFaultPlan; the named profiles are the common presets.
+	FaultPlan = fault.Plan
 )
+
+// Canonical fault profiles accepted by WithFaults, in rough order of
+// escalation. All injection is deterministic in (profile, seed): a run
+// replays identically regardless of goroutine scheduling.
+const (
+	FaultNone    = fault.ProfileNone    // inject nothing
+	FaultDrop    = fault.ProfileDrop    // ~2% message loss + delivery jitter
+	FaultCorrupt = fault.ProfileCorrupt // bit flips caught by checksum, light drops/dups
+	FaultStall   = fault.ProfileStall   // one rank's NIC offline for a window, then degraded
+	FaultMixed   = fault.ProfileMixed   // drops + corruption + duplication + one stall
+)
+
+// ParseFaultProfile validates a fault-profile name ("none", "drop",
+// "corrupt", "stall", "mixed").
+func ParseFaultProfile(s string) (FaultProfile, error) { return fault.ParseProfile(s) }
+
+// ErrWorldFailed reports that a Mem plan's world of rank goroutines has
+// failed: the transport's deadlock watchdog proved the world stuck, a
+// Wait or Barrier exceeded the hard watchdog limit (WithWatchdog), a
+// rank body panicked, or Plan.Fail was called. Every such failure out of
+// Forward/Backward is a *WorldError wrapping this sentinel, so callers
+// branch with errors.Is and inspect the detail via errors.As. A failed
+// world does not heal: the plan must be Closed and rebuilt (the serve
+// layer's quarantine-and-rebuild machinery does exactly that).
+var ErrWorldFailed = errors.New("offt: plan world failed")
+
+// WorldError is the typed, inspectable failure of a Mem plan's world. It
+// wraps ErrWorldFailed (errors.Is) and the engine-level cause — e.g. a
+// *mem.DeadlineError naming the collectives and source ranks still
+// missing — via Unwrap (errors.As).
+type WorldError struct {
+	// Rank is the first rank observed failing (the world-wide failure
+	// usually surfaces on every rank; one is reported).
+	Rank int
+	// Cause is the engine-level diagnostic: watchdog deadlock report,
+	// hard hang-timeout deadline error, or the rank's panic value.
+	Cause error
+	// Downgrades counts the overlapped→blocking fallbacks the failing
+	// execution took before the world died (0 when it died outright).
+	Downgrades int64
+}
+
+func (e *WorldError) Error() string {
+	return fmt.Sprintf("offt: plan world failed (rank %d): %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the engine-level cause to errors.As chains.
+func (e *WorldError) Unwrap() error { return e.Cause }
+
+// Is matches ErrWorldFailed so callers need no type assertion to detect
+// world death.
+func (e *WorldError) Is(target error) bool { return target == ErrWorldFailed }
 
 // NewTelemetry creates an empty metrics registry to attach to plans via
 // WithTelemetry. A nil *Telemetry is the disabled registry: attaching it
@@ -170,6 +231,12 @@ type config struct {
 	reg         *Telemetry
 	trace       bool
 	storePath   string
+
+	faultProfile FaultProfile
+	faultSeed    int64
+	faultPlan    *FaultPlan
+	watchdog     time.Duration
+	watchdogSet  bool
 }
 
 // WithGrid sets the transform dimensions (required).
@@ -226,6 +293,46 @@ func WithTunedStore(path string) Option {
 // benchmarking. Mem engine only.
 func WithTrace() Option { return func(c *config) { c.trace = true } }
 
+// WithFaults attaches the chaos fabric to a Mem plan: the named profile,
+// seeded deterministically, injects message drops, corruption,
+// duplication, delivery jitter and NIC stalls into the plan's world. The
+// self-healing transport (checksums, dedup, retransmit with capped
+// backoff) recovers transient faults transparently; the overlapped
+// pipeline downgrades to its blocking path under persistent pressure
+// (counted in Breakdown.Downgrades and Plan.Downgrades); and a world the
+// watchdog declares dead surfaces as ErrWorldFailed instead of hanging.
+// A soft 15ms wait deadline is armed alongside so downgrades trigger —
+// the same arming offt-run -chaos uses. FaultNone is a no-op. Mem engine
+// only; the Sim engine models faults through its own virtual-time fabric.
+func WithFaults(profile FaultProfile, seed int64) Option {
+	return func(c *config) {
+		c.faultProfile = profile
+		c.faultSeed = seed
+	}
+}
+
+// WithFaultPlan attaches a fully explicit fault schedule instead of a
+// named profile (chaos tooling: precise stall windows, forced drops,
+// per-link degradation). Overrides WithFaults when both are given. Mem
+// engine only.
+func WithFaultPlan(plan *FaultPlan) Option {
+	return func(c *config) { c.faultPlan = plan }
+}
+
+// WithWatchdog sets the Mem world's hang watchdog: every Wait/Barrier
+// exceeding d — and any world provably deadlocked for d — fails the
+// world with a diagnostic ErrWorldFailed instead of hanging the caller.
+// d = 0 disables the watchdog entirely (debugger sessions: no timer ever
+// kills a world you are single-stepping). Without this option the
+// deadlock watchdog runs with a conservative 20s default and individual
+// calls have no hard limit.
+func WithWatchdog(d time.Duration) Option {
+	return func(c *config) {
+		c.watchdog = d
+		c.watchdogSet = true
+	}
+}
+
 // Plan is a create-once / execute-many distributed 3-D FFT. A Mem plan
 // keeps one long-lived world of rank goroutines, each holding a reusable
 // per-rank pfft.Plan with pre-sized communication slots and scratch, fed
@@ -262,6 +369,12 @@ type Plan struct {
 	mach    machine.Machine
 	lastSim model.Result
 	simMet  *pfft.BreakdownObserver
+
+	// Health state, atomics so WorldErr/Downgrades never block behind a
+	// hung execution holding mu (the serve layer's health endpoints read
+	// them while transforms are in flight).
+	worldErr   atomic.Pointer[WorldError]
+	downgrades atomic.Int64
 
 	last   Breakdown
 	closed bool
@@ -369,7 +482,25 @@ func (p *Plan) startWorld(prm Params) error {
 		p.traces = make([][]StepEvent, n)
 	}
 
-	p.world = mem.NewWorld(n)
+	fp := p.cfg.faultPlan
+	if fp == nil && p.cfg.faultProfile != "" && p.cfg.faultProfile != FaultNone {
+		built, err := fault.NewPlan(p.cfg.faultSeed, p.cfg.faultProfile, n)
+		if err != nil {
+			return err
+		}
+		fp = built
+	}
+	var wopts []mem.Option
+	if fp.Active() {
+		// Soft wait deadline so the overlapped pipeline downgrades under
+		// sustained faults instead of riding every retransmit (matches the
+		// offt-run -chaos arming).
+		wopts = append(wopts, mem.WithFaults(fp), mem.WithDeadline(15*time.Millisecond))
+	}
+	if p.cfg.watchdogSet {
+		wopts = append(wopts, mem.WithHangTimeout(p.cfg.watchdog))
+	}
+	p.world = mem.NewWorld(n, wopts...)
 	p.world.RegisterTelemetry(p.cfg.reg)
 	inits := make(chan error, n)
 	p.runDone = make(chan error, 1)
@@ -403,11 +534,25 @@ func (p *Plan) startWorld(prm Params) error {
 // runJob executes one transform on a rank goroutine. The recover keeps a
 // rank failure (including a transport watchdog abort) from stranding
 // Forward's WaitGroup: the error is recorded and the rank keeps serving.
+// Any recovered panic is classified as a world failure — either the
+// transport itself declared the world dead (mem.WorldFailure) or the
+// rank's state is unknowable mid-collective — so dispatch surfaces a
+// typed *WorldError instead of a wedged or half-poisoned plan.
 func (p *Plan) runJob(plan *pfft.Plan, rank int, jb job) {
 	defer jb.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
-			p.errs[rank] = fmt.Errorf("offt: rank %d: %v", rank, r)
+			var we *WorldError
+			if wf, ok := r.(mem.WorldFailure); ok {
+				we = &WorldError{Rank: rank, Cause: wf.Err}
+			} else {
+				we = &WorldError{Rank: rank, Cause: fmt.Errorf("rank body panicked: %v", r)}
+			}
+			p.errs[rank] = we
+			// Fail the world right away — sibling ranks blocked on this
+			// rank's missing blocks must wake now, not after a watchdog
+			// window; the failure also stops transport retransmit churn.
+			p.world.Fail(we.Cause)
 		}
 	}()
 	var out []complex128
@@ -427,19 +572,39 @@ func (p *Plan) runJob(plan *pfft.Plan, rank int, jb job) {
 	}
 }
 
-// dispatch runs one op on every rank and joins.
+// dispatch runs one op on every rank and joins. A world failure on any
+// rank is folded into one sticky *WorldError: later executions fail fast
+// with it instead of re-dispatching onto a dead world.
 func (p *Plan) dispatch(op jobOp) error {
 	var wg sync.WaitGroup
 	wg.Add(p.cfg.ranks)
 	for r := 0; r < p.cfg.ranks; r++ {
+		// Clear the previous execution's slots: a rank that panics mid-
+		// transform never reaches its assignments, and stale breakdowns
+		// would skew the downgrade accounting below.
+		p.bds[r] = Breakdown{}
+		p.errs[r] = nil
 		p.jobs[r] <- job{op: op, wg: &wg}
 	}
 	wg.Wait()
-	for r, err := range p.errs {
-		if err != nil {
-			return fmt.Errorf("offt: rank %d: %w", r, err)
-		}
+	var dg int64
+	for _, b := range p.bds {
+		dg += b.Downgrades
 	}
+	p.downgrades.Add(dg)
+	for r, err := range p.errs {
+		if err == nil {
+			continue
+		}
+		var we *WorldError
+		if errors.As(err, &we) {
+			failure := &WorldError{Rank: we.Rank, Cause: we.Cause, Downgrades: dg}
+			p.worldErr.CompareAndSwap(nil, failure)
+			return p.worldErr.Load()
+		}
+		return fmt.Errorf("offt: rank %d: %w", r, err)
+	}
+	p.downgrades.Add(dg)
 	p.last = Breakdown{}
 	for _, b := range p.bds {
 		p.last.Add(b)
@@ -489,6 +654,12 @@ func (p *Plan) forwardLocked(data []complex128) ([]complex128, error) {
 // forwardLockedInto runs the forward transform; the gather step assembles
 // into dst when non-nil, else into the plan-owned fullFwd buffer.
 func (p *Plan) forwardLockedInto(dst, data []complex128) ([]complex128, error) {
+	// World failure outranks the closed flag: quarantine teardown Closes a
+	// failed plan while stragglers may still race in, and they must see
+	// the typed *WorldError, not a generic closed-plan complaint.
+	if err := p.worldCheck(); err != nil {
+		return nil, err
+	}
 	if p.closed {
 		return nil, fmt.Errorf("offt: Forward on closed plan")
 	}
@@ -554,6 +725,9 @@ func (p *Plan) backwardLocked(data []complex128) ([]complex128, error) {
 // backwardLockedInto runs the backward transform; the gather step assembles
 // into dst when non-nil, else into the plan-owned fullBwd buffer.
 func (p *Plan) backwardLockedInto(dst, data []complex128) ([]complex128, error) {
+	if err := p.worldCheck(); err != nil {
+		return nil, err
+	}
 	if p.closed {
 		return nil, fmt.Errorf("offt: Backward on closed plan")
 	}
@@ -587,6 +761,63 @@ func (p *Plan) backwardLockedInto(dst, data []complex128) ([]complex128, error) 
 	layout.GatherXInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks)
 	return dst, nil
 }
+
+// worldCheck fails an execution fast when the plan's world is already
+// known dead — either a prior execution surfaced a *WorldError, or the
+// world was failed externally (watchdog, Plan.Fail) while idle.
+func (p *Plan) worldCheck() error {
+	if we := p.worldErr.Load(); we != nil {
+		return we
+	}
+	if p.cfg.engine == Mem && p.world != nil {
+		if cause := p.world.Failed(); cause != nil {
+			we := &WorldError{Rank: -1, Cause: cause}
+			p.worldErr.CompareAndSwap(nil, we)
+			return p.worldErr.Load()
+		}
+	}
+	return nil
+}
+
+// Fail administratively kills a Mem plan's world with the given cause:
+// any in-flight transform resolves promptly with a *WorldError (blocked
+// ranks are woken, retransmit timers stop making the dead world churn)
+// and later executions fail fast the same way. It takes no locks a hung
+// transform could hold, so it is safe to call exactly when the plan is
+// wedged — the serve layer's request watchdog and the chaos harness are
+// the intended callers. No-op on Sim plans and nil causes a generic
+// diagnostic.
+func (p *Plan) Fail(cause error) {
+	if p.cfg.engine != Mem || p.world == nil {
+		return
+	}
+	if cause == nil {
+		cause = errors.New("offt: plan administratively failed")
+	}
+	p.world.Fail(cause)
+}
+
+// WorldErr reports the plan's world failure (nil while healthy) without
+// blocking behind in-flight executions: a *WorldError once any execution
+// has surfaced one, or the pending failure of a world killed while idle.
+func (p *Plan) WorldErr() error {
+	if we := p.worldErr.Load(); we != nil {
+		return we
+	}
+	if p.cfg.engine == Mem && p.world != nil {
+		if cause := p.world.Failed(); cause != nil {
+			return &WorldError{Rank: -1, Cause: cause}
+		}
+	}
+	return nil
+}
+
+// Downgrades returns the cumulative count of overlapped→blocking
+// fallbacks across all of the plan's executions (world-wide, not
+// per-rank-averaged). Non-zero means the transport misbehaved enough
+// that some execution abandoned overlap; the transform results remain
+// correct. Lock-free: safe to read while a transform is in flight.
+func (p *Plan) Downgrades() int64 { return p.downgrades.Load() }
 
 // Breakdown returns the per-step breakdown of the most recent execution,
 // averaged over ranks.

@@ -44,6 +44,16 @@ go run ./cmd/offt-load -duration 2s -out BENCH_PR5.json
 grep -q '"pass": true' BENCH_PR5.json
 grep -q '"serve.plan_cache.hits"' BENCH_PR5.json
 
+# Chaos soak gate: offt-chaos boots the service in-process and soaks it
+# under the escalating fault ladder (drop/corrupt/stall/mixed), injects
+# administrative world kills, and SIGTERMs itself mid-chaos. It exits
+# nonzero when any robustness invariant is violated: a client-observed
+# hang, a wedged registry key, an unbounded error rate, a killed plan
+# that never rebuilds, an unclean drain, or a goroutine leak.
+go run ./cmd/offt-chaos -duration 700ms -out BENCH_PR6.json
+grep -q '"pass": true' BENCH_PR6.json
+grep -q '"kill_recovery": "ok' BENCH_PR6.json
+
 # offt-serve binary smoke: boot the real server, push one 64-cubed p=4
 # transform through the HTTP path with offt-load, scrape /metrics, and
 # shut the process down with SIGTERM to exercise the drain path.
