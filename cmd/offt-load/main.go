@@ -70,6 +70,7 @@ type report struct {
 	Bench    string             `json:"bench"`
 	Grid     [3]int             `json:"grid"`
 	Ranks    int                `json:"ranks"`
+	Decomp   string             `json:"decomp,omitempty"`
 	Variant  string             `json:"variant"`
 	Engine   string             `json:"engine"`
 	SelfHost bool               `json:"self_host"`
@@ -86,6 +87,7 @@ func run() error {
 	addr := flag.String("addr", "", "target offt-serve address; empty self-hosts an in-process service on loopback")
 	grid := flag.Int("grid", 64, "cubic grid edge N (transforms are N³)")
 	ranks := flag.Int("ranks", 4, "ranks per transform request")
+	decomp := flag.String("decomp", "", "decomposition for requests: slab (default) or pencil (2-D)")
 	variant := flag.String("variant", "new", "transform variant for requests")
 	workers := flag.Int("workers", 1, "intra-rank kernel workers per request")
 	concList := flag.String("conc", "1,4,16", "comma-separated concurrency multipliers (closed-loop workers per phase)")
@@ -124,6 +126,7 @@ func run() error {
 		Bench:   "offt-serve-load",
 		Grid:    [3]int{*grid, *grid, *grid},
 		Ranks:   *ranks,
+		Decomp:  *decomp,
 		Variant: *variant,
 		Engine:  "mem",
 		Gates:   map[string]string{},
@@ -155,7 +158,7 @@ func run() error {
 		base = ln.Addr().String()
 		fmt.Printf("self-hosted offt-serve on %s (inflight=%d queue=%d)\n", base, inflight, *serveQueue)
 
-		raw, err := calibrate(*grid, *ranks, *variant, *workers)
+		raw, err := calibrate(*grid, *ranks, *decomp, *variant, *workers)
 		if err != nil {
 			return fmt.Errorf("calibrate raw transform rate: %w", err)
 		}
@@ -171,7 +174,7 @@ func run() error {
 		return err
 	}
 
-	body, err := buildRequestBody(*grid, *ranks, *variant, *workers, *timeoutMs)
+	body, err := buildRequestBody(*grid, *ranks, *decomp, *variant, *workers, *timeoutMs)
 	if err != nil {
 		return err
 	}
@@ -297,14 +300,18 @@ func applyGates(rep *report, mults []int, minRPS, minFrac, minHit float64) {
 
 // calibrate measures the raw in-process transform rate of the same plan
 // the service will execute, to anchor the relative throughput gate.
-func calibrate(n, ranks int, variant string, workers int) (float64, error) {
+func calibrate(n, ranks int, decomp, variant string, workers int) (float64, error) {
 	v, err := offt.ParseVariant(variant)
+	if err != nil {
+		return 0, err
+	}
+	d, err := offt.ParseDecomp(decomp)
 	if err != nil {
 		return 0, err
 	}
 	plan, err := offt.NewPlan(
 		offt.WithGrid(n, n, n), offt.WithRanks(ranks),
-		offt.WithVariant(v), offt.WithWorkers(workers),
+		offt.WithDecomp(d), offt.WithVariant(v), offt.WithWorkers(workers),
 	)
 	if err != nil {
 		return 0, err
@@ -391,11 +398,11 @@ func post(client *http.Client, base string, body []byte) (int, error) {
 	return resp.StatusCode, nil
 }
 
-func buildRequestBody(n, ranks int, variant string, workers, timeoutMs int) ([]byte, error) {
+func buildRequestBody(n, ranks int, decomp, variant string, workers, timeoutMs int) ([]byte, error) {
 	var buf bytes.Buffer
 	req := serve.TransformRequest{
 		Nx: n, Ny: n, Nz: n, Ranks: ranks,
-		Direction: "forward", Variant: variant, Engine: "mem",
+		Direction: "forward", Decomp: decomp, Variant: variant, Engine: "mem",
 		Workers: workers, TimeoutMs: timeoutMs,
 	}
 	if err := serve.WriteHeader(&buf, req); err != nil {

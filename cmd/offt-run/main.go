@@ -11,6 +11,7 @@
 //
 //	offt-run -engine sim -machine hopper -p 32 -n 640 -variant NEW
 //	offt-run -engine mem -p 4 -n 64 -variant NEW -verify
+//	offt-run -decomp pencil -p 128 -n 64 -engine sim   (2-D grid, p > slab cap)
 //	offt-run ... -T 32 -W 3 -Px 16 ... (override tuned/default parameters)
 package main
 
@@ -23,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"offt"
 	"offt/internal/fft"
 	"offt/internal/layout"
 	"offt/internal/machine"
@@ -38,6 +40,8 @@ func main() {
 	machName := flag.String("machine", "umd-cluster", "machine model (sim engine)")
 	p := flag.Int("p", 8, "number of ranks")
 	n := flag.Int("n", 64, "per-dimension size (N³ elements)")
+	decompName := flag.String("decomp", "slab", "decomposition: slab (1-D, p ≤ min(Nx,Ny)) or pencil (2-D, scales past the slab cap)")
+	prFlag := flag.Int("pr", 0, "pencil process-grid rows Py (0 = squarest feasible; pencil only)")
 	variantName := flag.String("variant", "NEW", "variant: FFTW, NEW, NEW-0, TH, TH-0")
 	verify := flag.Bool("verify", false, "mem engine: check the result against the serial transform")
 	timeline := flag.Bool("timeline", false, "mem engine: print rank 0's Fig-3-style overlap timeline")
@@ -72,31 +76,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	applyOverrides := func(prm *pfft.Params) {
+		override := func(dst *int, v int) {
+			if v > 0 {
+				*dst = v
+			}
+		}
+		override(&prm.T, *tFlag)
+		override(&prm.W, *wFlag)
+		override(&prm.Px, *pxFlag)
+		override(&prm.Pz, *pzFlag)
+		override(&prm.Uy, *uyFlag)
+		override(&prm.Uz, *uzFlag)
+		overrideF := func(dst *int, v int) {
+			if v >= 0 {
+				*dst = v
+			}
+		}
+		overrideF(&prm.Fy, *fyFlag)
+		overrideF(&prm.Fp, *fpFlag)
+		overrideF(&prm.Fu, *fuFlag)
+		overrideF(&prm.Fx, *fxFlag)
+	}
+
+	decomp, err := offt.ParseDecomp(*decompName)
+	if err != nil {
+		fatal(err)
+	}
+	if decomp == offt.Pencil {
+		runPencil(*engine, *machName, *p, *prFlag, *n, variant, applyOverrides, *verify, *timeline, plan, &obs)
+		if err := obs.Finish(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *prFlag > 0 {
+		fatal(fmt.Errorf("-pr selects the pencil process grid; it needs -decomp pencil"))
+	}
+
 	g, err := layout.NewGrid(*n, *n, *n, *p, 0)
 	if err != nil {
 		fatal(err)
 	}
 	prm := pfft.DefaultParams(g)
-	override := func(dst *int, v int) {
-		if v > 0 {
-			*dst = v
-		}
-	}
-	override(&prm.T, *tFlag)
-	override(&prm.W, *wFlag)
-	override(&prm.Px, *pxFlag)
-	override(&prm.Pz, *pzFlag)
-	override(&prm.Uy, *uyFlag)
-	override(&prm.Uz, *uzFlag)
-	overrideF := func(dst *int, v int) {
-		if v >= 0 {
-			*dst = v
-		}
-	}
-	overrideF(&prm.Fy, *fyFlag)
-	overrideF(&prm.Fp, *fpFlag)
-	overrideF(&prm.Fu, *fuFlag)
-	overrideF(&prm.Fx, *fxFlag)
+	applyOverrides(&prm)
 
 	switch *engine {
 	case "sim":
@@ -108,6 +131,94 @@ func main() {
 	}
 	if err := obs.Finish(); err != nil {
 		fatal(err)
+	}
+}
+
+// runPencil drives the 2-D pencil decomposition through the public plan
+// API (the slab paths below predate it and keep their low-level plumbing
+// for -timeline/-trace-out support, which needs the slab trace engine).
+func runPencil(engine, machName string, p, pr, n int, variant pfft.Variant, applyOverrides func(*pfft.Params), verify, timeline bool, fplan *fault.Plan, obs *telemetry.CLI) {
+	if timeline || obs.TraceOut != "" {
+		fmt.Fprintln(os.Stderr, "warning: -timeline/-trace-out need the slab trace engine; ignored for -decomp pencil")
+	}
+	var ek offt.EngineKind
+	switch engine {
+	case "sim":
+		ek = offt.Sim
+	case "mem":
+		ek = offt.Mem
+	default:
+		fatal(fmt.Errorf("unknown engine %q", engine))
+	}
+	base := []offt.Option{
+		offt.WithGrid(n, n, n), offt.WithRanks(p),
+		offt.WithDecomp(offt.Pencil), offt.WithVariant(variant),
+		offt.WithEngine(ek), offt.WithMachine(machName),
+	}
+	// Resolve the default pencil parameters for this geometry, then lay
+	// the flag overrides (and -pr, the process-grid rows) on top.
+	desc, err := offt.DescribePlan(base...)
+	if err != nil {
+		fatal(err)
+	}
+	prm := desc.Params
+	applyOverrides(&prm)
+	if pr > 0 {
+		prm.Pr = pr
+	}
+	opts := append(base, offt.WithParams(prm), offt.WithTelemetry(obs.Registry()))
+	if fplan.Active() {
+		opts = append(opts, offt.WithFaultPlan(fplan))
+	}
+	pl, err := offt.NewPlan(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer pl.Close()
+	d := pl.Describe()
+	fmt.Printf("engine=%s decomp=pencil proc-grid=%dx%d p=%d N=%d³ variant=%v\n",
+		engine, d.ProcRows, d.ProcCols(), p, n, variant)
+	fmt.Printf("params: %v\n", pl.Params())
+
+	if ek == offt.Sim {
+		start := time.Now()
+		if _, err := pl.Forward(nil); err != nil {
+			fatal(err)
+		}
+		total, _ := pl.VirtualTimes()
+		fmt.Printf("simulated job time: %.4f s (wall %v)\n", float64(total)/1e9, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	full := make([]complex128, n*n*n)
+	for i := range full {
+		full[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	start := time.Now()
+	got, err := pl.Forward(full)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Microsecond))
+	printBreakdown(pl.Breakdown())
+	if fplan.Active() {
+		fmt.Printf("overlapped→blocking downgrades: %d\n", pl.Downgrades())
+	}
+	if verify {
+		ref := append([]complex128(nil), full...)
+		fft.NewPlan3D(n, n, n, fft.Forward).Transform(ref)
+		worst := 0.0
+		for i := range got {
+			if d := cmplx.Abs(got[i] - ref[i]); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("verification vs serial 3-D FFT: max abs error %.3e\n", worst)
+		if worst > 1e-6 {
+			fatal(fmt.Errorf("verification FAILED"))
+		}
+		fmt.Println("verification PASSED")
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	offt-tune -machine umd-cluster -p 16 -n 256 [-evals 50] [-random 200]
+//	offt-tune -decomp pencil -p 128 -n 64   (tune the Py×Pz grid jointly)
 package main
 
 import (
@@ -13,9 +14,11 @@ import (
 	"os"
 	"time"
 
+	"offt"
 	"offt/internal/layout"
 	"offt/internal/machine"
 	"offt/internal/model"
+	"offt/internal/pencil"
 	"offt/internal/pfft"
 	"offt/internal/stats"
 	"offt/internal/telemetry"
@@ -27,6 +30,7 @@ func main() {
 	machName := flag.String("machine", "umd-cluster", "machine model: umd-cluster, hopper, laptop")
 	p := flag.Int("p", 16, "number of ranks")
 	n := flag.Int("n", 256, "per-dimension size (N³ elements)")
+	decompName := flag.String("decomp", "slab", "decomposition to tune: slab (1-D) or pencil (2-D; searches the Py×Pz grid jointly)")
 	evals := flag.Int("evals", 50, "Nelder-Mead evaluation budget")
 	random := flag.Int("random", 0, "also run random search with this many samples")
 	seed := flag.Int64("seed", 1, "random search seed")
@@ -46,6 +50,20 @@ func main() {
 	m, err := machine.ByName(*machName)
 	if err != nil {
 		fatal(err)
+	}
+	decomp, err := offt.ParseDecomp(*decompName)
+	if err != nil {
+		fatal(err)
+	}
+	if decomp == offt.Pencil {
+		if *random > 0 {
+			fmt.Fprintln(os.Stderr, "warning: -random compares against the slab search space; ignored for -decomp pencil")
+		}
+		tunePencil(m, *p, *n, *evals, *store)
+		if err := obs.Finish(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	g, err := layout.NewGrid(*n, *n, *n, *p, 0)
 	if err != nil {
@@ -111,6 +129,58 @@ func main() {
 	}
 	if err := obs.Finish(); err != nil {
 		fatal(err)
+	}
+}
+
+// tunePencil searches the pencil space — the Py×Pz process-grid
+// factorization jointly with the pipeline parameters — and stores the
+// winner under a pencil-keyed tuned entry that WithDecomp(Pencil) plans
+// warm-start from.
+func tunePencil(m machine.Machine, p, n, evals int, store string) {
+	dpr, dpc, err := pencil.DefaultProcGrid(n, n, n, p)
+	if err != nil {
+		fatal(err)
+	}
+	g0, err := pencil.NewGrid2D(n, n, n, dpr, dpc, 0)
+	if err != nil {
+		fatal(err)
+	}
+	defNs, err := pencil.SimulateOverlappedGrid(m, dpr, dpc, n, n, n, pencil.DefaultParams2D(g0))
+	if err != nil {
+		fatal(err)
+	}
+	space, err := tuner.PencilGridSpace(n, n, n, p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("setting: %s p=%d N=%d³ decomp=pencil (search space %d configurations)\n",
+		m.Name, p, n, space.Size())
+	fmt.Printf("default point: %dx%d grid, %v\n", dpr, dpc, pencil.DefaultParams2D(g0))
+	fmt.Printf("default time: %.4f s\n", float64(defNs)/1e9)
+
+	prm, out, err := tuner.TunePencilNEW(m, p, n, evals)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nNelder-Mead result after %d evaluations (%d suggestions, %d cache hits, %d infeasible):\n",
+		out.Search.Evals, out.Search.Suggestions, out.Search.CacheHits, out.Search.Infeasible)
+	fmt.Printf("  %v  (process grid %dx%d)\n", prm, prm.Pr, p/prm.Pr)
+	fmt.Printf("  tuned time: %.4f s (%.2fx better than default)\n",
+		float64(out.BestTime())/1e9, float64(defNs)/float64(out.BestTime()))
+	fmt.Printf("  tuning cost: %.2f simulated s, %v wall\n",
+		float64(out.VirtualNs)/1e9, time.Duration(out.WallNs).Round(time.Millisecond))
+
+	if store != "" {
+		entry := tuned.Entry{
+			Key:     tuned.NewKeyDecomp(m.Name, n, n, n, p, pfft.NEW, offt.Pencil.String()),
+			Params:  prm,
+			TunedNs: out.BestTime(),
+			Evals:   out.Search.Evals,
+		}
+		if err := tuned.Append(store, entry); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  stored tuned parameters in %s under %q\n", store, entry.Key.String())
 	}
 }
 

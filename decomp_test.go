@@ -1,0 +1,305 @@
+package offt_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"offt"
+	"offt/internal/fft"
+	"offt/internal/pfft"
+	"offt/internal/tuned"
+)
+
+// TestPencilTunedStoreWarmStart: a pencil-keyed tuned-store entry must be
+// picked up by WithDecomp(Pencil) plans — including its process-grid row
+// count — while slab plans of the same shape keep resolving their own key.
+func TestPencilTunedStoreWarmStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	prm := offt.Params{T: 8, W: 2, Px: 1, Pz: 1, Uy: 1, Uz: 1, Fy: 16, Fp: 16, Fu: 16, Fx: 16, Pr: 8}
+	err := tuned.Append(path, tuned.Entry{
+		Key:    tuned.NewKeyDecomp("umd-cluster", 16, 16, 16, 16, pfft.NEW, offt.Pencil.String()),
+		Params: prm, TunedNs: 1, Evals: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []offt.Option{
+		offt.WithGrid(16, 16, 16), offt.WithRanks(16),
+		offt.WithEngine(offt.Sim), offt.WithMachine("umd-cluster"),
+		offt.WithTunedStore(path),
+	}
+	d, err := offt.DescribePlan(append(base, offt.WithDecomp(offt.Pencil))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Provenance != offt.ParamsTuned {
+		t.Errorf("pencil provenance = %v, want tuned", d.Provenance)
+	}
+	if d.Params != prm {
+		t.Errorf("pencil params = %v, want the stored %v", d.Params, prm)
+	}
+	if d.ProcRows != 8 || d.ProcCols() != 2 {
+		t.Errorf("proc grid = %dx%d, want the tuned 8x2", d.ProcRows, d.ProcCols())
+	}
+	// The slab plan of the same shape must not see the pencil entry.
+	ds, err := offt.DescribePlan(base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Provenance != offt.ParamsDefault {
+		t.Errorf("slab provenance = %v, want default (pencil entry must not leak)", ds.Provenance)
+	}
+}
+
+// serialFwd is the single-process reference transform.
+func serialFwd(data []complex128, nx, ny, nz int) []complex128 {
+	ref := append([]complex128(nil), data...)
+	fft.NewPlan3D(nx, ny, nz, fft.Forward).Transform(ref)
+	return ref
+}
+
+// TestPencilMatchesSlab: at rank counts both decompositions can serve,
+// slab and pencil plans must produce bit-identical spectra — both chain
+// the same 1-D Stockham kernels over the same lines, so any drift is a
+// routing bug, not roundoff.
+func TestPencilMatchesSlab(t *testing.T) {
+	cases := []struct{ nx, ny, nz, ranks int }{
+		{16, 16, 16, 4}, // cubic, pow2, 2×2 grid
+		{12, 10, 8, 6},  // mixed-radix, non-cubic, 2×3 grid
+		{7, 7, 7, 4},    // prime extents
+		{8, 12, 4, 4},   // short z
+	}
+	for _, c := range cases {
+		for _, v := range []offt.Variant{offt.Baseline, offt.NEW, offt.NEW0} {
+			data := randData(c.nx*c.ny*c.nz, 41)
+			slab, err := offt.NewPlan(offt.WithGrid(c.nx, c.ny, c.nz), offt.WithRanks(c.ranks), offt.WithVariant(v))
+			if err != nil {
+				t.Fatalf("%v slab plan: %v", v, err)
+			}
+			pen, err := offt.NewPlan(offt.WithGrid(c.nx, c.ny, c.nz), offt.WithRanks(c.ranks),
+				offt.WithVariant(v), offt.WithDecomp(offt.Pencil))
+			if err != nil {
+				t.Fatalf("%v pencil plan: %v", v, err)
+			}
+			want, err := slab.Forward(data)
+			if err != nil {
+				t.Fatalf("%v slab forward: %v", v, err)
+			}
+			got, err := pen.Forward(data)
+			if err != nil {
+				t.Fatalf("%v pencil forward: %v", v, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%dx%dx%d/p=%d %v: spectra differ at %d: %v vs %v",
+						c.nx, c.ny, c.nz, c.ranks, v, i, got[i], want[i])
+				}
+			}
+			slab.Close()
+			pen.Close()
+		}
+	}
+}
+
+// TestPencilBeyondSlabCap: the pencil decomposition's reason to exist —
+// more ranks than min(Nx, Ny), where NewPlan without WithDecomp refuses.
+// Forward must match the serial reference and the unnormalized round trip
+// must return Nx·Ny·Nz·x.
+func TestPencilBeyondSlabCap(t *testing.T) {
+	nx, ny, nz, ranks := 4, 8, 16, 8 // slab cap is min(4,8) = 4 < 8
+	if _, err := offt.NewPlan(offt.WithGrid(nx, ny, nz), offt.WithRanks(ranks)); !errors.Is(err, offt.ErrBadShape) {
+		t.Fatalf("slab at p > Nx: got %v, want ErrBadShape", err)
+	}
+	plan, err := offt.NewPlan(offt.WithGrid(nx, ny, nz), offt.WithRanks(ranks), offt.WithDecomp(offt.Pencil))
+	if err != nil {
+		t.Fatalf("pencil plan: %v", err)
+	}
+	defer plan.Close()
+	d := plan.Describe()
+	if d.Decomp != offt.Pencil || d.ProcRows*d.ProcCols() != ranks {
+		t.Fatalf("description %+v: want pencil with ProcRows×ProcCols = %d", d, ranks)
+	}
+
+	data := randData(nx*ny*nz, 43)
+	want := serialFwd(data, nx, ny, nz)
+	spec, err := plan.Forward(data)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if diff := maxAbsDiff(spec, want); diff > 1e-9 {
+		t.Fatalf("forward max diff %g vs serial", diff)
+	}
+	back, err := plan.Backward(spec)
+	if err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+	n := complex(float64(nx*ny*nz), 0)
+	scaled := make([]complex128, len(data))
+	for i := range data {
+		scaled[i] = n * data[i]
+	}
+	if diff := maxAbsDiff(back, scaled); diff > 1e-6 {
+		t.Fatalf("round trip max diff %g", diff)
+	}
+}
+
+// TestPencilRoundTripProperty: forward/backward round trips across
+// mixed-radix, prime and non-cubic grids on both decompositions land on
+// Nx·Ny·Nz·x within tolerance.
+func TestPencilRoundTripProperty(t *testing.T) {
+	cases := []struct{ nx, ny, nz, ranks int }{
+		{12, 10, 8, 6},
+		{7, 7, 7, 4},
+		{9, 15, 5, 3},
+		{8, 8, 8, 8}, // p == Nx: slab at its cap, pencil 2×4
+	}
+	for _, c := range cases {
+		for _, dec := range []offt.Decomp{offt.Slab, offt.Pencil} {
+			data := randData(c.nx*c.ny*c.nz, 47)
+			plan, err := offt.NewPlan(offt.WithGrid(c.nx, c.ny, c.nz), offt.WithRanks(c.ranks), offt.WithDecomp(dec))
+			if err != nil {
+				t.Fatalf("%v %dx%dx%d/p=%d: %v", dec, c.nx, c.ny, c.nz, c.ranks, err)
+			}
+			spec, err := plan.Forward(data)
+			if err != nil {
+				t.Fatalf("%v forward: %v", dec, err)
+			}
+			back, err := plan.Backward(spec)
+			if err != nil {
+				t.Fatalf("%v backward: %v", dec, err)
+			}
+			n := complex(float64(c.nx*c.ny*c.nz), 0)
+			scaled := make([]complex128, len(data))
+			for i := range data {
+				scaled[i] = n * data[i]
+			}
+			if diff := maxAbsDiff(back, scaled); diff > 1e-6 {
+				t.Errorf("%v %dx%dx%d/p=%d: round trip max diff %g", dec, c.nx, c.ny, c.nz, c.ranks, diff)
+			}
+			plan.Close()
+		}
+	}
+}
+
+func TestParseDecomp(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want offt.Decomp
+	}{{"", offt.Slab}, {"slab", offt.Slab}, {"1d", offt.Slab}, {"Pencil", offt.Pencil}, {"2d", offt.Pencil}} {
+		got, err := offt.ParseDecomp(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseDecomp(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := offt.ParseDecomp("cube"); !errors.Is(err, offt.ErrBadConfig) {
+		t.Errorf("ParseDecomp(cube) = %v, want ErrBadConfig", err)
+	}
+	if offt.Slab.String() != "slab" || offt.Pencil.String() != "pencil" {
+		t.Error("Decomp display names changed")
+	}
+}
+
+// TestConfigErrors: every rejected option set is a *ConfigError wrapping
+// ErrBadConfig, with the geometric ones also wrapping ErrBadShape.
+func TestConfigErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  []offt.Option
+		field string
+		shape bool
+	}{
+		{"no grid", nil, "grid", true},
+		{"ranks over slab cap", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(64)}, "ranks", true},
+		{"pencil infeasible ranks", []offt.Option{offt.WithGrid(4, 4, 4), offt.WithRanks(64), offt.WithDecomp(offt.Pencil)}, "ranks", true},
+		{"pencil TH", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithVariant(offt.TH)}, "variant", false},
+		{"pencil workers", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithWorkers(2)}, "workers", false},
+		{"pencil trace", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithTrace()}, "trace", false},
+		{"bad slab params", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(2), offt.WithParams(offt.Params{T: -1})}, "params", false},
+		{"bad pencil params", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(2), offt.WithDecomp(offt.Pencil), offt.WithParams(offt.Params{T: 2})}, "params", false},
+		{"pencil Pr does not divide", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithParams(offt.Params{T: 2, W: 1, Pr: 3})}, "params", false},
+		{"bad sim machine", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(2), offt.WithEngine(offt.Sim), offt.WithMachine("warehouse")}, "machine", false},
+	}
+	for _, tc := range cases {
+		_, err := offt.NewPlan(tc.opts...)
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !errors.Is(err, offt.ErrBadConfig) {
+			t.Errorf("%s: %v does not wrap ErrBadConfig", tc.name, err)
+		}
+		if errors.Is(err, offt.ErrBadShape) != tc.shape {
+			t.Errorf("%s: %v ErrBadShape match = %v, want %v", tc.name, err, !tc.shape, tc.shape)
+		}
+		var ce *offt.ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: %v is not a *ConfigError", tc.name, err)
+		} else if ce.Field != tc.field {
+			t.Errorf("%s: field %q, want %q", tc.name, ce.Field, tc.field)
+		}
+	}
+}
+
+// TestDescribePlan: the description is canonical — explicit parameters
+// equal to what resolution would pick collapse to the resolved
+// provenance, slab descriptions ignore Pr, and DescribePlan agrees with
+// the built plan's Describe.
+func TestDescribePlan(t *testing.T) {
+	base := []offt.Option{offt.WithGrid(16, 16, 16), offt.WithRanks(4)}
+	d1, err := offt.DescribePlan(base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Provenance != offt.ParamsDefault || d1.Decomp != offt.Slab || d1.ProcRows != 0 {
+		t.Fatalf("default description %+v", d1)
+	}
+	// Spelling out the default point must land on the same description.
+	d2, err := offt.DescribePlan(append(base, offt.WithParams(d1.Params))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d1 {
+		t.Errorf("explicit default drifted:\n%+v\n%+v", d2, d1)
+	}
+	// A slab plan ignores Pr: only-Pr differences describe the same plan.
+	prm := d1.Params
+	prm.Pr = 2
+	d3, err := offt.DescribePlan(append(base, offt.WithParams(prm))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 != d1 {
+		t.Errorf("slab Pr not canonicalized:\n%+v\n%+v", d3, d1)
+	}
+	// Genuinely different parameters are explicit.
+	prm = d1.Params
+	prm.T++
+	d4, err := offt.DescribePlan(append(base, offt.WithParams(prm))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4.Provenance != offt.ParamsExplicit {
+		t.Errorf("distinct params provenance %v, want explicit", d4.Provenance)
+	}
+
+	// Pencil: description pins the factored grid and the plan agrees.
+	dp, err := offt.DescribePlan(append(base, offt.WithDecomp(offt.Pencil))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Decomp != offt.Pencil || dp.ProcRows != 2 || dp.ProcCols() != 2 || dp.Params.Pr != 2 {
+		t.Fatalf("pencil description %+v, want 2×2 grid", dp)
+	}
+	plan, err := offt.NewPlanFrom(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	if got := plan.Describe(); got != dp {
+		t.Errorf("NewPlanFrom description drifted:\n%+v\n%+v", got, dp)
+	}
+	if dp.String() == d1.String() {
+		t.Error("pencil and slab keys must differ")
+	}
+}

@@ -1,4 +1,7 @@
-package offt
+// Package note: this file lives in the external test package so it can
+// import internal/harness, which itself builds on the public offt API
+// (the crossover study) — an in-package test would be an import cycle.
+package offt_test
 
 import (
 	"bytes"

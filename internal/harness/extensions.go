@@ -22,6 +22,7 @@ import (
 func Extensions() []Experiment {
 	return []Experiment{
 		{"ext-decomp", "Extension: 1-D slab vs 2-D pencil decomposition", ExtDecomposition},
+		{"crossover", "Extension: slab-vs-pencil crossover study via the plan API (BENCH_PR7)", ExtCrossover},
 		{"ext-interarray", "Extension: inter-array overlap (Kandalla-style pipeline)", ExtInterArray},
 		{"ext-steady", "Extension: plan reuse vs per-call transforms (steady state)", ExtSteadyState},
 	}

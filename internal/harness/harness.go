@@ -62,6 +62,9 @@ type Config struct {
 	// Telemetry, when non-nil, receives tuner per-evaluation metrics and
 	// per-setting breakdown observations during TunedFor.
 	Telemetry *telemetry.Registry
+	// BenchOut, when set, is where gate-bearing experiments (the
+	// crossover study) write their JSON verdict.
+	BenchOut string
 }
 
 // Setting identifies one evaluated configuration point.
@@ -235,6 +238,9 @@ func ClampParams(p pfft.Params, g layout.Grid) pfft.Params {
 	}
 	if p.Fx < 0 {
 		p.Fx = 0
+	}
+	if p.Pr < 0 || (p.Pr > 0 && g.P%p.Pr != 0) {
+		p.Pr = 0 // fall back to the auto process grid
 	}
 	return p
 }

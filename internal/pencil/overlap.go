@@ -5,6 +5,7 @@ import (
 
 	"offt/internal/fft"
 	"offt/internal/mpi"
+	"offt/internal/pfft"
 )
 
 // Params2D are the tunable parameters of the overlapped pencil transform:
@@ -40,6 +41,36 @@ func DefaultParams2D(g Grid2D) Params2D {
 		WA: 2,
 		TB: clamp(g.ZD.MaxCount()/4, 1, g.ZD.MaxCount()),
 		WB: 2,
+		F:  f,
+	}
+}
+
+// FromParams derives the overlapped pencil parameters from the public
+// Table-1 parameter set: T tiles both exchange phases (clamped to each
+// phase's extent), W windows both (clamped to the tile count), and Fy is
+// the Test frequency. The remaining slab parameters (Px/Pz/Uy/Uz, the
+// other frequencies, Pr) have no pencil counterpart here and are ignored.
+func FromParams(p pfft.Params, g Grid2D) Params2D {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	ta := clamp(p.T, 1, g.XD.MaxCount())
+	tb := clamp(p.T, 1, g.ZD.MaxCount())
+	f := p.Fy
+	if f < 0 {
+		f = 0
+	}
+	return Params2D{
+		TA: ta,
+		WA: clamp(p.W, 1, (g.XD.MaxCount()+ta-1)/ta),
+		TB: tb,
+		WB: clamp(p.W, 1, (g.ZD.MaxCount()+tb-1)/tb),
 		F:  f,
 	}
 }

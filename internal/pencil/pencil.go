@@ -203,15 +203,8 @@ func ScatterPencil(full []complex128, g Grid2D) []complex128 {
 	if len(full) != g.Nx*g.Ny*g.Nz {
 		panic(fmt.Sprintf("pencil: ScatterPencil: full length %d != %d", len(full), g.Nx*g.Ny*g.Nz))
 	}
-	xc, yc := g.XC(), g.YC()
-	x0, y0 := g.XD.Start(g.RI), g.YD.Start(g.CI)
 	slab := make([]complex128, g.InSize())
-	for lx := 0; lx < xc; lx++ {
-		for ly := 0; ly < yc; ly++ {
-			src := full[((x0+lx)*g.Ny+(y0+ly))*g.Nz:]
-			copy(slab[(lx*yc+ly)*g.Nz:(lx*yc+ly)*g.Nz+g.Nz], src[:g.Nz])
-		}
-	}
+	ScatterPencilInto(slab, full, g)
 	return slab
 }
 
@@ -224,16 +217,7 @@ func GatherPencil(outs [][]complex128, nx, ny, nz, pr, pc int) []complex128 {
 		if err != nil {
 			panic(err)
 		}
-		out := outs[rank]
-		y0, z0 := g.YD2.Start(g.RI), g.ZD.Start(g.CI)
-		for ly := 0; ly < g.Y2C(); ly++ {
-			for lz := 0; lz < g.ZC(); lz++ {
-				row := out[(ly*g.ZC()+lz)*nx:]
-				for x := 0; x < nx; x++ {
-					full[(x*ny+(y0+ly))*nz+(z0+lz)] = row[x]
-				}
-			}
-		}
+		GatherPencilInto(full, outs[rank], g)
 	}
 	return full
 }

@@ -1,0 +1,543 @@
+package pencil
+
+import (
+	"fmt"
+
+	"offt/internal/fft"
+	"offt/internal/mpi"
+	"offt/internal/pfft"
+)
+
+// Plan is the create-once / execute-many pencil transform for one rank —
+// the 2-D counterpart of pfft.Plan. Construction clones the 1-D FFT plans,
+// sizes every communication slot and scratch buffer, and arms the fault
+// monitor; Forward and Backward then run allocation-free in steady state.
+//
+// Both all-to-all phases run through the Algorithm-1 pipeline skeleton
+// (pack tile i, wait tile i−W, post tile i, unpack tile i−W) with the same
+// downgrade machinery as the slab pipeline: a tile wait missing its soft
+// deadline, or persistent transport retransmission pressure, degrades the
+// remainder of that phase to the blocking per-tile path. The degraded path
+// issues exactly one all-to-all per tile in tile order, so collective
+// sequence numbers stay aligned with ranks that did not degrade.
+//
+// The Baseline and NEW0 variants run the same pipeline with a single
+// whole-extent tile per phase and no Test calls — one big exchange per
+// phase, like Forward3D.
+type Plan struct {
+	c   mpi.Comm
+	g   Grid2D
+	prm Params2D
+
+	fz, fy, fx *fft.Plan // forward 1-D plans
+	bz, by, bx *fft.Plan // backward 1-D plans (lazy)
+
+	mid []complex128 // phase-1 pencil [xc][zc][Ny], y contiguous
+	out []complex128 // output x-pencil [y2c][zc][Nx], x contiguous
+	in  []complex128 // backward result z-pencil [xc][yc][Nz] (lazy)
+
+	sendCounts, recvCounts []int
+	sendA, recvA           [][]complex128 // phase-A slot buffers
+	sendB, recvB           [][]complex128 // phase-B slot buffers
+	reqsA, reqsB           []mpi.Request
+	bsend, brecv           []complex128 // backward whole-phase buffers (lazy)
+
+	mon  pfft.FaultMonitor
+	flag fft.Flag
+	last pfft.Breakdown
+}
+
+// NewPlan builds a reusable pencil plan for this rank. Supported variants:
+// NEW (overlapped pipeline in both exchange phases, tiling from prm),
+// Baseline and NEW0 (blocking: one whole-extent tile per phase). A zero
+// Params2D means DefaultParams2D.
+func NewPlan(c mpi.Comm, g Grid2D, v pfft.Variant, prm Params2D, flag fft.Flag) (*Plan, error) {
+	if c.Size() != g.P() || c.Rank() != g.Rank {
+		return nil, fmt.Errorf("pencil: comm rank/size %d/%d does not match grid %d/%d", c.Rank(), c.Size(), g.Rank, g.P())
+	}
+	if prm == (Params2D{}) {
+		prm = DefaultParams2D(g)
+	}
+	switch v {
+	case pfft.NEW:
+		// keep prm as given
+	case pfft.Baseline, pfft.NEW0:
+		prm = Params2D{TA: g.XD.MaxCount(), WA: 1, TB: g.ZD.MaxCount(), WB: 1, F: 0}
+	default:
+		return nil, fmt.Errorf("pencil: variant %v is not supported by the pencil decomposition (use baseline, new, or new0)", v)
+	}
+	if err := prm.Validate(g); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		c: c, g: g, prm: prm, flag: flag,
+		fz:  fft.Plan1DCached(g.Nz, fft.Forward, flag).Clone(),
+		fy:  fft.Plan1DCached(g.Ny, fft.Forward, flag).Clone(),
+		fx:  fft.Plan1DCached(g.Nx, fft.Forward, flag).Clone(),
+		mid: make([]complex128, g.MidSize()),
+		out: make([]complex128, g.OutSize()),
+
+		sendCounts: make([]int, g.P()),
+		recvCounts: make([]int, g.P()),
+	}
+	yc, zc, y2c := g.YC(), g.ZC(), g.Y2C()
+	xc := g.XC()
+	kA := (g.XD.MaxCount() + prm.TA - 1) / prm.TA
+	kB := (g.ZD.MaxCount() + prm.TB - 1) / prm.TB
+	p.reqsA = make([]mpi.Request, kA)
+	p.reqsB = make([]mpi.Request, kB)
+	p.sendA = slotBuffers(prm.WA+1, prm.TA*yc*g.Nz)
+	p.recvA = slotBuffers(prm.WA+1, prm.TA*g.Ny*zc)
+	p.sendB = slotBuffers(prm.WB+1, xc*g.Ny*prm.TB)
+	p.recvB = slotBuffers(prm.WB+1, g.Nx*y2c*prm.TB)
+	return p, nil
+}
+
+func slotBuffers(slots, size int) [][]complex128 {
+	bufs := make([][]complex128, slots)
+	for i := range bufs {
+		bufs[i] = make([]complex128, size)
+	}
+	return bufs
+}
+
+// Grid returns the plan's pencil geometry.
+func (p *Plan) Grid() Grid2D { return p.g }
+
+// Params returns the effective overlap parameters.
+func (p *Plan) Params() Params2D { return p.prm }
+
+// Breakdown returns the per-step breakdown of the most recent execution.
+func (p *Plan) Breakdown() pfft.Breakdown { return p.last }
+
+// Trace reports the step-event timeline; the pencil path records none.
+func (p *Plan) Trace() []pfft.StepEvent { return nil }
+
+// Close releases nothing today but completes the create/execute/close
+// lifecycle shared with pfft.Plan.
+func (p *Plan) Close() {}
+
+// phaseFuncs bundles one exchange phase's tile operations for the shared
+// pipeline loop. front computes and packs tile i into its slot, post
+// starts the tile's all-to-all, back unpacks and transforms tile i.
+type phaseFuncs struct {
+	front func(i int, win []mpi.Request)
+	post  func(i int) mpi.Request
+	back  func(i int, win []mpi.Request)
+}
+
+// runPhase is the Algorithm-1 pipeline with the downgrade monitor wired
+// into the wait step: iteration i packs tile i, waits for tile i−w, posts
+// tile i, and unpacks tile i−w. When the monitor gives up on a wait the
+// remainder of the phase drains on the blocking per-tile path.
+func (p *Plan) runPhase(k, w int, reqs []mpi.Request, f phaseFuncs, b *pfft.Breakdown) {
+	c := p.c
+	for i := 0; i < k+w; i++ {
+		if i < k {
+			lo := i - w
+			if lo < 0 {
+				lo = 0
+			}
+			f.front(i, reqs[lo:i])
+		}
+		if i >= w {
+			t := c.Now()
+			ok := p.mon.WaitTile(c, reqs[i-w])
+			b.Wait += c.Now() - t
+			if !ok {
+				b.Downgrades++
+				p.degradePhase(k, w, reqs, i, f, b)
+				return
+			}
+		}
+		if i < k {
+			t := c.Now()
+			reqs[i] = f.post(i)
+			b.Ialltoall += c.Now() - t
+		}
+		if i >= w {
+			j := i - w
+			hi := j + w + 1
+			if hi > k {
+				hi = k
+			}
+			if i+1 < hi {
+				hi = i + 1
+			}
+			f.back(j, reqs[j+1:hi])
+		}
+	}
+}
+
+// degradePhase finishes one exchange phase on the blocking path after the
+// pipeline gave up at iteration i (waiting on tile i−w). Tiles < i−w are
+// done, tiles i−w..min(i,k)−1 are posted but not unpacked, tile i (when
+// i < k) is packed but not posted, later tiles are untouched. Plain Wait
+// is safe: soft deadlines leave requests valid and the self-healing
+// transport still converges.
+func (p *Plan) degradePhase(k, w int, reqs []mpi.Request, i int, f phaseFuncs, b *pfft.Breakdown) {
+	c := p.c
+	hi := i
+	if hi > k {
+		hi = k
+	}
+	for j := i - w; j < hi; j++ {
+		t := c.Now()
+		c.Wait(reqs[j])
+		b.Wait += c.Now() - t
+		f.back(j, nil)
+	}
+	for j := i; j < k; j++ {
+		if j > i {
+			f.front(j, nil)
+		}
+		t := c.Now()
+		req := f.post(j)
+		c.Wait(req)
+		b.Wait += c.Now() - t
+		f.back(j, nil)
+	}
+}
+
+func (p *Plan) doTests(win []mpi.Request, b *pfft.Breakdown) {
+	if len(win) == 0 || p.prm.F <= 0 {
+		return
+	}
+	t := p.c.Now()
+	for j := 0; j < p.prm.F; j++ {
+		p.c.Test(win...)
+	}
+	b.Test += p.c.Now() - t
+}
+
+// Forward executes one forward transform. slab is this rank's input
+// z-pencil in x-y-z layout (length InSize(), consumed); the returned
+// x-pencil in y-z-x layout is plan-owned and valid until the next
+// execution.
+func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) {
+	g, c := p.g, p.c
+	if len(slab) != g.InSize() {
+		return nil, pfft.Breakdown{}, fmt.Errorf("pencil: slab length %d, want %d", len(slab), g.InSize())
+	}
+	var b pfft.Breakdown
+	start := c.Now()
+	p.mon.Init(c)
+	xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
+
+	// ---- Phase A: FFTz + row-group exchange (y↔z splits) + FFTy ----
+	// Tile count uses the GLOBAL maximum x extent so every rank runs the
+	// same number of collectives; ranks with a smaller extent run trailing
+	// zero-count tiles.
+	kA := (g.XD.MaxCount() + p.prm.TA - 1) / p.prm.TA
+	slotsA := p.prm.WA + 1
+	boundsA := func(i int) (int, int) {
+		lo, hi := i*p.prm.TA, i*p.prm.TA+p.prm.TA
+		if lo > xc {
+			lo = xc
+		}
+		if hi > xc {
+			hi = xc
+		}
+		return lo, hi
+	}
+	p.runPhase(kA, p.prm.WA, p.reqsA, phaseFuncs{
+		front: func(i int, win []mpi.Request) {
+			x0, x1 := boundsA(i)
+			t := c.Now()
+			p.fz.Batch(slab[x0*yc*g.Nz:], (x1-x0)*yc, g.Nz)
+			b.FFTz += c.Now() - t
+			p.doTests(win, &b)
+			t = c.Now()
+			buf := p.sendA[i%slotsA][:(x1-x0)*yc*g.Nz]
+			off := 0
+			for cj := 0; cj < g.PC; cj++ {
+				zs, zcnt := g.ZD.Start(cj), g.ZD.Count(cj)
+				for lx := x0; lx < x1; lx++ {
+					for ly := 0; ly < yc; ly++ {
+						row := slab[(lx*yc+ly)*g.Nz:]
+						copy(buf[off:off+zcnt], row[zs:zs+zcnt])
+						off += zcnt
+					}
+				}
+			}
+			b.Pack += c.Now() - t
+			p.doTests(win, &b)
+		},
+		post: func(i int) mpi.Request {
+			x0, x1 := boundsA(i)
+			for j := range p.sendCounts {
+				p.sendCounts[j], p.recvCounts[j] = 0, 0
+			}
+			for cj := 0; cj < g.PC; cj++ {
+				p.sendCounts[g.GlobalRank(g.RI, cj)] = (x1 - x0) * yc * g.ZD.Count(cj)
+				p.recvCounts[g.GlobalRank(g.RI, cj)] = (x1 - x0) * g.YD.Count(cj) * zc
+			}
+			slot := i % slotsA
+			return c.Ialltoallv(p.sendA[slot][:(x1-x0)*yc*g.Nz], p.sendCounts,
+				p.recvA[slot][:(x1-x0)*g.Ny*zc], p.recvCounts)
+		},
+		back: func(i int, win []mpi.Request) {
+			x0, x1 := boundsA(i)
+			t := c.Now()
+			buf := p.recvA[i%slotsA][:(x1-x0)*g.Ny*zc]
+			roff := 0
+			for cj := 0; cj < g.PC; cj++ {
+				ys, ycnt := g.YD.Start(cj), g.YD.Count(cj)
+				for lx := x0; lx < x1; lx++ {
+					for ly := 0; ly < ycnt; ly++ {
+						for lz := 0; lz < zc; lz++ {
+							p.mid[(lx*zc+lz)*g.Ny+ys+ly] = buf[roff]
+							roff++
+						}
+					}
+				}
+			}
+			b.Unpack += c.Now() - t
+			p.doTests(win, &b)
+			t = c.Now()
+			p.fy.Batch(p.mid[x0*zc*g.Ny:], (x1-x0)*zc, g.Ny)
+			b.FFTy += c.Now() - t
+			p.doTests(win, &b)
+		},
+	}, &b)
+
+	// ---- Phase B: column-group exchange (x↔y splits) + FFTx ----
+	kB := (g.ZD.MaxCount() + p.prm.TB - 1) / p.prm.TB
+	slotsB := p.prm.WB + 1
+	boundsB := func(i int) (int, int) {
+		lo, hi := i*p.prm.TB, i*p.prm.TB+p.prm.TB
+		if lo > zc {
+			lo = zc
+		}
+		if hi > zc {
+			hi = zc
+		}
+		return lo, hi
+	}
+	p.runPhase(kB, p.prm.WB, p.reqsB, phaseFuncs{
+		front: func(i int, win []mpi.Request) {
+			z0, z1 := boundsB(i)
+			t := c.Now()
+			buf := p.sendB[i%slotsB][:xc*g.Ny*(z1-z0)]
+			off := 0
+			for ri := 0; ri < g.PR; ri++ {
+				ys, ycnt := g.YD2.Start(ri), g.YD2.Count(ri)
+				for lx := 0; lx < xc; lx++ {
+					for lz := z0; lz < z1; lz++ {
+						row := p.mid[(lx*zc+lz)*g.Ny:]
+						copy(buf[off:off+ycnt], row[ys:ys+ycnt])
+						off += ycnt
+					}
+				}
+			}
+			b.Pack += c.Now() - t
+			p.doTests(win, &b)
+		},
+		post: func(i int) mpi.Request {
+			z0, z1 := boundsB(i)
+			for j := range p.sendCounts {
+				p.sendCounts[j], p.recvCounts[j] = 0, 0
+			}
+			for ri := 0; ri < g.PR; ri++ {
+				p.sendCounts[g.GlobalRank(ri, g.CI)] = xc * g.YD2.Count(ri) * (z1 - z0)
+				p.recvCounts[g.GlobalRank(ri, g.CI)] = g.XD.Count(ri) * y2c * (z1 - z0)
+			}
+			slot := i % slotsB
+			return c.Ialltoallv(p.sendB[slot][:xc*g.Ny*(z1-z0)], p.sendCounts,
+				p.recvB[slot][:g.Nx*y2c*(z1-z0)], p.recvCounts)
+		},
+		back: func(i int, win []mpi.Request) {
+			z0, z1 := boundsB(i)
+			t := c.Now()
+			buf := p.recvB[i%slotsB][:g.Nx*y2c*(z1-z0)]
+			roff := 0
+			for ri := 0; ri < g.PR; ri++ {
+				xs, xcnt := g.XD.Start(ri), g.XD.Count(ri)
+				for lx := 0; lx < xcnt; lx++ {
+					for lz := z0; lz < z1; lz++ {
+						for ly := 0; ly < y2c; ly++ {
+							p.out[(ly*zc+lz)*g.Nx+xs+lx] = buf[roff]
+							roff++
+						}
+					}
+				}
+			}
+			b.Unpack += c.Now() - t
+			p.doTests(win, &b)
+			t = c.Now()
+			for ly := 0; ly < y2c; ly++ {
+				for lz := z0; lz < z1; lz++ {
+					base := (ly*zc + lz) * g.Nx
+					row := p.out[base : base+g.Nx]
+					p.fx.Transform(row, row)
+				}
+			}
+			b.FFTx += c.Now() - t
+			p.doTests(win, &b)
+		},
+	}, &b)
+
+	b.Total = c.Now() - start
+	p.last = b
+	return p.out, b, nil
+}
+
+// ensureBackward lazily builds the inverse 1-D plans and the backward
+// exchange buffers on the first Backward call, so forward-only plans pay
+// nothing for them.
+func (p *Plan) ensureBackward() {
+	if p.bz != nil {
+		return
+	}
+	g := p.g
+	p.bz = fft.Plan1DCached(g.Nz, fft.Backward, p.flag).Clone()
+	p.by = fft.Plan1DCached(g.Ny, fft.Backward, p.flag).Clone()
+	p.bx = fft.Plan1DCached(g.Nx, fft.Backward, p.flag).Clone()
+	p.in = make([]complex128, g.InSize())
+	sendMax := g.OutSize()
+	if g.MidSize() > sendMax {
+		sendMax = g.MidSize()
+	}
+	recvMax := g.MidSize()
+	if g.InSize() > recvMax {
+		recvMax = g.InSize()
+	}
+	p.bsend = make([]complex128, sendMax)
+	p.brecv = make([]complex128, recvMax)
+}
+
+// Backward executes one inverse transform: xp is this rank's spectrum
+// x-pencil in y-z-x layout (length OutSize(), consumed — i.e. the forward
+// output distribution), and the returned z-pencil in x-y-z layout matches
+// the forward input distribution. Like the slab path the round trip is
+// unnormalized: Forward then Backward multiplies by Nx·Ny·Nz. Both
+// exchange phases run blocking (one whole-extent collective each, on
+// every variant), which keeps collective sequence numbers aligned across
+// ranks.
+func (p *Plan) Backward(xp []complex128) ([]complex128, pfft.Breakdown, error) {
+	g, c := p.g, p.c
+	if len(xp) != g.OutSize() {
+		return nil, pfft.Breakdown{}, fmt.Errorf("pencil: spectrum pencil length %d, want %d", len(xp), g.OutSize())
+	}
+	p.ensureBackward()
+	var b pfft.Breakdown
+	start := c.Now()
+	xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
+
+	// FFTx⁻¹ on the contiguous x rows.
+	t := c.Now()
+	p.bx.Batch(xp, y2c*zc, g.Nx)
+	b.FFTx += c.Now() - t
+
+	// Inverse transpose B within the column group: return x-ranges, regather
+	// y. The pack order to each destination mirrors the forward unpack read
+	// order exactly, so the exchange is a strict inverse permutation.
+	t = c.Now()
+	for i := range p.sendCounts {
+		p.sendCounts[i], p.recvCounts[i] = 0, 0
+	}
+	off := 0
+	for ri := 0; ri < g.PR; ri++ {
+		xs, xcnt := g.XD.Start(ri), g.XD.Count(ri)
+		p.sendCounts[g.GlobalRank(ri, g.CI)] = xcnt * zc * y2c
+		for lx := 0; lx < xcnt; lx++ {
+			for lz := 0; lz < zc; lz++ {
+				for ly := 0; ly < y2c; ly++ {
+					p.bsend[off] = xp[(ly*zc+lz)*g.Nx+xs+lx]
+					off++
+				}
+			}
+		}
+	}
+	for ri := 0; ri < g.PR; ri++ {
+		p.recvCounts[g.GlobalRank(ri, g.CI)] = xc * zc * g.YD2.Count(ri)
+	}
+	b.Pack += c.Now() - t
+	t = c.Now()
+	c.Alltoallv(p.bsend[:g.OutSize()], p.sendCounts, p.brecv[:g.MidSize()], p.recvCounts)
+	b.Wait += c.Now() - t
+	t = c.Now()
+	roff := 0
+	for ri := 0; ri < g.PR; ri++ {
+		ys, ycnt := g.YD2.Start(ri), g.YD2.Count(ri)
+		for lx := 0; lx < xc; lx++ {
+			for lz := 0; lz < zc; lz++ {
+				row := p.mid[(lx*zc+lz)*g.Ny:]
+				copy(row[ys:ys+ycnt], p.brecv[roff:roff+ycnt])
+				roff += ycnt
+			}
+		}
+	}
+	b.Unpack += c.Now() - t
+
+	// FFTy⁻¹.
+	t = c.Now()
+	p.by.Batch(p.mid, xc*zc, g.Ny)
+	b.FFTy += c.Now() - t
+
+	// Inverse transpose A within the row group: return y-ranges, regather z.
+	t = c.Now()
+	for i := range p.sendCounts {
+		p.sendCounts[i], p.recvCounts[i] = 0, 0
+	}
+	off = 0
+	for cj := 0; cj < g.PC; cj++ {
+		ys, ycnt := g.YD.Start(cj), g.YD.Count(cj)
+		p.sendCounts[g.GlobalRank(g.RI, cj)] = xc * ycnt * zc
+		for lx := 0; lx < xc; lx++ {
+			for ly := 0; ly < ycnt; ly++ {
+				for lz := 0; lz < zc; lz++ {
+					p.bsend[off] = p.mid[(lx*zc+lz)*g.Ny+ys+ly]
+					off++
+				}
+			}
+		}
+	}
+	for cj := 0; cj < g.PC; cj++ {
+		p.recvCounts[g.GlobalRank(g.RI, cj)] = xc * yc * g.ZD.Count(cj)
+	}
+	b.Pack += c.Now() - t
+	t = c.Now()
+	c.Alltoallv(p.bsend[:g.MidSize()], p.sendCounts, p.brecv[:g.InSize()], p.recvCounts)
+	b.Wait += c.Now() - t
+	t = c.Now()
+	roff = 0
+	for cj := 0; cj < g.PC; cj++ {
+		zs, zcnt := g.ZD.Start(cj), g.ZD.Count(cj)
+		for lx := 0; lx < xc; lx++ {
+			for ly := 0; ly < yc; ly++ {
+				row := p.in[(lx*yc+ly)*g.Nz:]
+				copy(row[zs:zs+zcnt], p.brecv[roff:roff+zcnt])
+				roff += zcnt
+			}
+		}
+	}
+	b.Unpack += c.Now() - t
+
+	// FFTz⁻¹.
+	t = c.Now()
+	p.bz.Batch(p.in, xc*yc, g.Nz)
+	b.FFTz += c.Now() - t
+
+	b.Total = c.Now() - start
+	p.last = b
+	return p.in, b, nil
+}
+
+// Backward3D executes the blocking pencil-decomposed inverse 3-D FFT on
+// this rank: the standalone counterpart of Forward3D. xp is the rank's
+// spectrum x-pencil in y-z-x layout (the Forward3D output distribution,
+// consumed); the result is the rank's z-pencil in x-y-z layout (the
+// Forward3D input distribution). Unnormalized, like the forward path.
+func Backward3D(c mpi.Comm, g Grid2D, xp []complex128, flag fft.Flag) ([]complex128, error) {
+	p, err := NewPlan(c, g, pfft.Baseline, Params2D{}, flag)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	out, _, err := p.Backward(xp)
+	if err != nil {
+		return nil, err
+	}
+	return append([]complex128(nil), out...), nil
+}

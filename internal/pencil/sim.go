@@ -15,14 +15,19 @@ import (
 // comparison of §2.2: one all-to-all over p ranks versus two all-to-alls
 // over pc and pr ranks.
 func Simulate(m machine.Machine, pr, pc, n int) (int64, error) {
-	if _, err := NewGrid2D(n, n, n, pr, pc, 0); err != nil {
+	return SimulateGrid(m, pr, pc, n, n, n)
+}
+
+// SimulateGrid is Simulate for a general Nx×Ny×Nz grid.
+func SimulateGrid(m machine.Machine, pr, pc, nx, ny, nz int) (int64, error) {
+	if _, err := NewGrid2D(nx, ny, nz, pr, pc, 0); err != nil {
 		return 0, err
 	}
 	p := pr * pc
 	w := sim.NewWorld(m, p)
 	ends := make([]int64, p)
 	err := w.Run(func(c *sim.Comm) {
-		g, err := NewGrid2D(n, n, n, pr, pc, c.Rank())
+		g, err := NewGrid2D(nx, ny, nz, pr, pc, c.Rank())
 		if err != nil {
 			panic(err)
 		}
@@ -91,7 +96,12 @@ func Simulate(m machine.Machine, pr, pc, n int) (int64, error) {
 // Simulate quantifies how much of the two exchange phases the pipeline
 // hides.
 func SimulateOverlapped(m machine.Machine, pr, pc, n int, prm Params2D) (int64, error) {
-	g0, err := NewGrid2D(n, n, n, pr, pc, 0)
+	return SimulateOverlappedGrid(m, pr, pc, n, n, n, prm)
+}
+
+// SimulateOverlappedGrid is SimulateOverlapped for a general Nx×Ny×Nz grid.
+func SimulateOverlappedGrid(m machine.Machine, pr, pc, nx, ny, nz int, prm Params2D) (int64, error) {
+	g0, err := NewGrid2D(nx, ny, nz, pr, pc, 0)
 	if err != nil {
 		return 0, err
 	}
@@ -102,7 +112,7 @@ func SimulateOverlapped(m machine.Machine, pr, pc, n int, prm Params2D) (int64, 
 	w := sim.NewWorld(m, p)
 	ends := make([]int64, p)
 	err = w.Run(func(c *sim.Comm) {
-		g, err := NewGrid2D(n, n, n, pr, pc, c.Rank())
+		g, err := NewGrid2D(nx, ny, nz, pr, pc, c.Rank())
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,114 @@
+package pencil
+
+import "fmt"
+
+// ScatterPencilInto extracts rank g.Rank's input z-pencil (x-y-z layout,
+// length InSize()) from a full array in x-y-z layout into dst without
+// allocating — the create-once/execute-many counterpart of ScatterPencil.
+func ScatterPencilInto(dst, full []complex128, g Grid2D) {
+	if len(full) != g.Nx*g.Ny*g.Nz || len(dst) != g.InSize() {
+		panic(fmt.Sprintf("pencil: ScatterPencilInto: full/dst lengths %d/%d, want %d/%d",
+			len(full), len(dst), g.Nx*g.Ny*g.Nz, g.InSize()))
+	}
+	xc, yc := g.XC(), g.YC()
+	x0, y0 := g.XD.Start(g.RI), g.YD.Start(g.CI)
+	for lx := 0; lx < xc; lx++ {
+		for ly := 0; ly < yc; ly++ {
+			src := full[((x0+lx)*g.Ny+(y0+ly))*g.Nz:]
+			copy(dst[(lx*yc+ly)*g.Nz:(lx*yc+ly)*g.Nz+g.Nz], src[:g.Nz])
+		}
+	}
+}
+
+// GatherPencilInto writes rank g.Rank's output x-pencil (y-z-x layout, as
+// produced by the forward transform) into the full x-y-z array.
+func GatherPencilInto(full, out []complex128, g Grid2D) {
+	if len(full) != g.Nx*g.Ny*g.Nz || len(out) != g.OutSize() {
+		panic(fmt.Sprintf("pencil: GatherPencilInto: full/out lengths %d/%d, want %d/%d",
+			len(full), len(out), g.Nx*g.Ny*g.Nz, g.OutSize()))
+	}
+	y2c, zc := g.Y2C(), g.ZC()
+	y0, z0 := g.YD2.Start(g.RI), g.ZD.Start(g.CI)
+	for ly := 0; ly < y2c; ly++ {
+		for lz := 0; lz < zc; lz++ {
+			row := out[(ly*zc+lz)*g.Nx:]
+			for x := 0; x < g.Nx; x++ {
+				full[(x*g.Ny+(y0+ly))*g.Nz+(z0+lz)] = row[x]
+			}
+		}
+	}
+}
+
+// ScatterSpectrumInto extracts rank g.Rank's spectrum x-pencil (y-z-x
+// layout, length OutSize() — the forward OUTPUT distribution) from a full
+// spectrum in x-y-z layout. It feeds the backward transform.
+func ScatterSpectrumInto(dst, full []complex128, g Grid2D) {
+	if len(full) != g.Nx*g.Ny*g.Nz || len(dst) != g.OutSize() {
+		panic(fmt.Sprintf("pencil: ScatterSpectrumInto: full/dst lengths %d/%d, want %d/%d",
+			len(full), len(dst), g.Nx*g.Ny*g.Nz, g.OutSize()))
+	}
+	y2c, zc := g.Y2C(), g.ZC()
+	y0, z0 := g.YD2.Start(g.RI), g.ZD.Start(g.CI)
+	for ly := 0; ly < y2c; ly++ {
+		for lz := 0; lz < zc; lz++ {
+			row := dst[(ly*zc+lz)*g.Nx:]
+			for x := 0; x < g.Nx; x++ {
+				row[x] = full[(x*g.Ny+(y0+ly))*g.Nz+(z0+lz)]
+			}
+		}
+	}
+}
+
+// GatherInputInto writes rank g.Rank's z-pencil (x-y-z layout, length
+// InSize() — the forward INPUT distribution, as produced by the backward
+// transform) into the full x-y-z array.
+func GatherInputInto(full, slab []complex128, g Grid2D) {
+	if len(full) != g.Nx*g.Ny*g.Nz || len(slab) != g.InSize() {
+		panic(fmt.Sprintf("pencil: GatherInputInto: full/slab lengths %d/%d, want %d/%d",
+			len(full), len(slab), g.Nx*g.Ny*g.Nz, g.InSize()))
+	}
+	xc, yc := g.XC(), g.YC()
+	x0, y0 := g.XD.Start(g.RI), g.YD.Start(g.CI)
+	for lx := 0; lx < xc; lx++ {
+		for ly := 0; ly < yc; ly++ {
+			dst := full[((x0+lx)*g.Ny+(y0+ly))*g.Nz:]
+			copy(dst[:g.Nz], slab[(lx*yc+ly)*g.Nz:(lx*yc+ly)*g.Nz+g.Nz])
+		}
+	}
+}
+
+// DefaultProcGrid picks the default (Py×Pz) process-grid shape for p ranks
+// on an Nx×Ny×Nz grid: the most nearly square factorization pr×pc = p that
+// satisfies the pencil feasibility constraints (Nx ≥ pr, Ny ≥ max(pr, pc),
+// Nz ≥ pc), preferring pr ≤ pc among equals (taller columns keep phase B —
+// the x↔y exchange over pr ranks — the cheaper one). Returns an error when
+// no factorization fits.
+func DefaultProcGrid(nx, ny, nz, p int) (pr, pc int, err error) {
+	if p < 1 {
+		return 0, 0, fmt.Errorf("pencil: rank count %d must be at least 1", p)
+	}
+	best := -1
+	for r := 1; r*r <= p; r++ {
+		if p%r != 0 {
+			continue
+		}
+		for _, cand := range [2]int{r, p / r} {
+			cr, cc := cand, p/cand
+			if nx < cr || ny < cr || ny < cc || nz < cc {
+				continue
+			}
+			// Score by squareness: smaller max(pr,pc) is squarer.
+			score := cc
+			if cr > cc {
+				score = cr
+			}
+			if best == -1 || score < best || (score == best && cr < pr) {
+				pr, pc, best = cr, cc, score
+			}
+		}
+	}
+	if best == -1 {
+		return 0, 0, fmt.Errorf("pencil: no %d-rank process grid fits %d×%d×%d (need Nx ≥ pr, Ny ≥ max(pr,pc), Nz ≥ pc for some pr·pc = %d)", p, nx, ny, nz, p)
+	}
+	return pr, pc, nil
+}

@@ -41,7 +41,7 @@ func runOverlapped(rs *runState, e Engine, prm Params, fast bool, b *Breakdown) 
 		}
 		if i >= w {
 			t := c.Now()
-			ok := mon.waitTile(c, reqs[i-w])
+			ok := mon.WaitTile(c, reqs[i-w])
 			b.Wait += c.Now() - t
 			if !ok {
 				downgradeForward(e, prm, fast, tl, reqs, i, b)

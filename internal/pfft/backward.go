@@ -280,7 +280,7 @@ func (e *backEngine) runOverlapped(rs *runState, prm Params, fast bool, b *Break
 		}
 		if i >= w {
 			t := c.Now()
-			ok := mon.waitTile(c, reqs[i-w])
+			ok := mon.WaitTile(c, reqs[i-w])
 			b.Wait += c.Now() - t
 			if !ok {
 				e.downgrade(prm, fast, tl, reqs, i, b)

@@ -12,12 +12,12 @@ import (
 // (tens to hundreds) so it only trips on a persistently failing transport.
 const retransmitDowngradeThreshold = 4096
 
-// faultMonitor decides when the overlapped pipeline must downgrade to the
+// FaultMonitor decides when an overlapped pipeline must downgrade to the
 // blocking path. It uses the engine's optional capabilities: soft wait
 // deadlines (mpi.DeadlineWaiter) and transport-recovery counters
-// (mpi.HealthReporter). On engines with neither, waitTile is plain Wait
+// (mpi.HealthReporter). On engines with neither, WaitTile is plain Wait
 // and no downgrade ever triggers.
-type faultMonitor struct {
+type FaultMonitor struct {
 	dw       mpi.DeadlineWaiter
 	hr       mpi.HealthReporter
 	baseline int64 // Retransmits at pipeline start
@@ -27,9 +27,9 @@ type faultMonitor struct {
 	one [1]mpi.Request
 }
 
-// init (re-)arms the monitor for one pipeline execution. It is a value
+// Init (re-)arms the monitor for one pipeline execution. It is a value
 // method target so a reusable runState re-arms without allocating.
-func (m *faultMonitor) init(c mpi.Comm) {
+func (m *FaultMonitor) Init(c mpi.Comm) {
 	m.dw, _ = c.(mpi.DeadlineWaiter)
 	m.hr, _ = c.(mpi.HealthReporter)
 	m.baseline = 0
@@ -38,12 +38,12 @@ func (m *faultMonitor) init(c mpi.Comm) {
 	}
 }
 
-// waitTile waits for one tile's collective and reports whether the
+// WaitTile waits for one tile's collective and reports whether the
 // overlapped pipeline may continue. False means downgrade: either the
 // transport shows persistent retransmission pressure (checked before
 // blocking) or the soft wait deadline passed. In both cases the request
 // stays valid — the blocking path finishes it with a plain Wait.
-func (m *faultMonitor) waitTile(c mpi.Comm, req mpi.Request) bool {
+func (m *FaultMonitor) WaitTile(c mpi.Comm, req mpi.Request) bool {
 	if m.hr != nil && m.hr.TransportHealth().Retransmits-m.baseline > retransmitDowngradeThreshold {
 		return false
 	}

@@ -48,7 +48,7 @@ type Engine interface {
 // entry points stack-allocate a fresh one per call.
 type runState struct {
 	reqs []mpi.Request
-	mon  faultMonitor
+	mon  FaultMonitor
 }
 
 // reset prepares the state for a run over k tiles on communicator c.
@@ -60,7 +60,7 @@ func (rs *runState) reset(c mpi.Comm, k int) {
 	for i := range rs.reqs {
 		rs.reqs[i] = nil
 	}
-	rs.mon.init(c)
+	rs.mon.Init(c)
 }
 
 // ExpandParams performs the variant-specific parameter expansion that Run
@@ -136,38 +136,4 @@ func runWith(rs *runState, e Engine, v Variant, prm Params) (Breakdown, error) {
 	}
 	b.Total = c.Now() - start
 	return b, nil
-}
-
-// RunTH executes the Hoefler-style comparison model with its three
-// parameters (overlap only during FFTy and Pack, whole-tile pack/unpack).
-//
-// Deprecated: call Run(e, TH, Params{T: prm.T, W: prm.W, Fy: prm.F});
-// Run expands TH's restrictions internally.
-func RunTH(e Engine, prm THParams) (Breakdown, error) {
-	if err := prm.Validate(e.Grid()); err != nil {
-		return Breakdown{}, err
-	}
-	return Run(e, TH, Params{T: prm.T, W: prm.W, Fy: prm.F})
-}
-
-// RunTH0 executes the non-overlapped TH ablation.
-//
-// Deprecated: call Run(e, TH0, Params{T: prm.T, W: prm.W}).
-func RunTH0(e Engine, prm THParams) (Breakdown, error) {
-	if err := prm.Validate(e.Grid()); err != nil {
-		return Breakdown{}, err
-	}
-	return Run(e, TH0, Params{T: prm.T, W: prm.W})
-}
-
-// RunNEW0 executes the non-overlapped NEW ablation (same tiling and loop
-// tiling as prm, no window, no Test calls, blocking per-tile all-to-all).
-//
-// Deprecated: call Run(e, NEW0, prm); Run zeroes the Test frequencies
-// internally.
-func RunNEW0(e Engine, prm Params) (Breakdown, error) {
-	if err := prm.Validate(e.Grid()); err != nil {
-		return Breakdown{}, err
-	}
-	return Run(e, NEW0, prm)
 }

@@ -20,7 +20,8 @@ import (
 	"offt/internal/layout"
 )
 
-// Params are the ten tunable parameters of Table 1.
+// Params are the ten tunable parameters of Table 1, plus the (Py×Pz)
+// process-grid shape of the 2-D pencil decomposition.
 type Params struct {
 	T  int // elements on z per communication tile (tile size)
 	W  int // max tiles with concurrent all-to-all (window size)
@@ -32,12 +33,24 @@ type Params struct {
 	Fp int // MPI_Test calls during Pack per tile
 	Fu int // MPI_Test calls during Unpack per tile
 	Fx int // MPI_Test calls during FFTx per tile
+	// Pr is the process-grid row count of the 2-D pencil decomposition
+	// (the Py of a Py×Pz grid; columns are ranks/Pr). 0 means auto — the
+	// most nearly square feasible factorization — and is the only value
+	// the slab decomposition uses, so zero keeps every slab plan
+	// byte-for-byte identical to the pre-pencil behavior.
+	Pr int
 }
 
-// String renders the parameters in Table-3 column order.
+// String renders the parameters in Table-3 column order; the pencil
+// process-grid row count is appended only when explicitly set, so slab
+// output is unchanged.
 func (p Params) String() string {
-	return fmt.Sprintf("T=%d W=%d Px=%d Pz=%d Uy=%d Uz=%d Fy=%d Fp=%d Fu=%d Fx=%d",
+	s := fmt.Sprintf("T=%d W=%d Px=%d Pz=%d Uy=%d Uz=%d Fy=%d Fp=%d Fu=%d Fx=%d",
 		p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx)
+	if p.Pr > 0 {
+		s += fmt.Sprintf(" Pr=%d", p.Pr)
+	}
+	return s
 }
 
 // Validate reports whether the parameters are feasible for the given
@@ -59,6 +72,10 @@ func (p Params) Validate(g layout.Grid) error {
 		return fmt.Errorf("pfft: Uz=%d out of range [1,T=%d]", p.Uz, p.T)
 	case p.Fy < 0 || p.Fp < 0 || p.Fu < 0 || p.Fx < 0:
 		return fmt.Errorf("pfft: negative test frequency in %v", p)
+	case p.Pr < 0:
+		return fmt.Errorf("pfft: Pr=%d must be >= 0 (0 = auto process grid)", p.Pr)
+	case p.Pr > 0 && g.P%p.Pr != 0:
+		return fmt.Errorf("pfft: Pr=%d does not divide the rank count %d", p.Pr, g.P)
 	}
 	return nil
 }
@@ -66,7 +83,9 @@ func (p Params) Validate(g layout.Grid) error {
 // DefaultParams is the §4.4 default point used as the center of the
 // auto-tuner's initial simplex: T = Nz/16 for some overlap, W = 2 for some
 // communication parallelism, sub-tiles sized to half a 256 KB cache (8K
-// complex elements), and p/2 Test calls per step.
+// complex elements), and p/2 Test calls per step. Pr stays 0 (auto): the
+// pencil path resolves it to the most nearly square feasible process grid
+// at plan-build time, and the slab path ignores it.
 func DefaultParams(g layout.Grid) Params {
 	clamp := func(v, lo, hi int) int {
 		if v < lo {

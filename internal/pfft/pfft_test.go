@@ -61,7 +61,7 @@ func runDistributed(t *testing.T, full []complex128, nx, ny, nz, p int, v Varian
 			if err2 != nil {
 				panic(err2)
 			}
-			if _, err2 = RunTH0(e, th); err2 != nil {
+			if _, err2 = Run(e, TH0, Params{T: th.T, W: th.W}); err2 != nil {
 				panic(err2)
 			}
 			out = e.Output()

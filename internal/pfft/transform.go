@@ -31,11 +31,14 @@ func Forward3D(c mpi.Comm, g layout.Grid, slab []complex128, v Variant, prm Para
 
 // ForwardTH3D is Forward3D for the TH comparison model.
 func ForwardTH3D(c mpi.Comm, g layout.Grid, slab []complex128, prm THParams, flag fft.Flag) ([]complex128, Breakdown, error) {
+	if err := prm.Validate(g); err != nil {
+		return nil, Breakdown{}, err
+	}
 	e, err := NewRealEngine(g, c, slab, fft.Forward, flag)
 	if err != nil {
 		return nil, Breakdown{}, err
 	}
-	b, err := RunTH(e, prm)
+	b, err := Run(e, TH, Params{T: prm.T, W: prm.W, Fy: prm.F})
 	if err != nil {
 		return nil, Breakdown{}, err
 	}

@@ -13,28 +13,16 @@ import (
 	"offt/internal/telemetry"
 )
 
-// PlanKey identifies one cached plan. Params are the *resolved* effective
+// PlanKey identifies one cached plan: it is offt's canonical plan
+// description, produced by offt.DescribePlan from the request — so the
+// registry, the /v1/plans listing, and the plans the registry builds all
+// share one source of identity. Params are the *resolved* effective
 // parameters (explicit request params, else tuned-store warm start, else
-// the default point), so a request that spells out the default
-// configuration and one that omits it share a single plan. The struct is
-// comparable and used directly as the cache map key.
-type PlanKey struct {
-	Nx, Ny, Nz int
-	Ranks      int
-	Variant    offt.Variant
-	Engine     offt.EngineKind
-	Workers    int
-	Machine    string
-	Params     offt.Params
-}
-
-func (k PlanKey) String() string {
-	eng := "mem"
-	if k.Engine == offt.Sim {
-		eng = "sim"
-	}
-	return fmt.Sprintf("%dx%dx%d/p=%d/%v/%s/w=%d", k.Nx, k.Ny, k.Nz, k.Ranks, k.Variant, eng, k.Workers)
-}
+// the default point) and Provenance is canonicalized, so a request that
+// spells out the default configuration and one that omits it share a
+// single plan. The struct is comparable and used directly as the cache
+// map key.
+type PlanKey = offt.PlanDescription
 
 // PlanHealth is one state of a cached plan's fault lifecycle:
 //
@@ -617,11 +605,14 @@ type PlanInfo struct {
 	Key        string      `json:"key"`
 	Grid       [3]int      `json:"grid"`
 	Ranks      int         `json:"ranks"`
+	Decomp     string      `json:"decomp"`
+	ProcGrid   [2]int      `json:"proc_grid,omitempty"` // pencil Py×Pz
 	Variant    string      `json:"variant"`
 	Engine     string      `json:"engine"`
 	Workers    int         `json:"workers"`
 	Machine    string      `json:"machine,omitempty"`
 	Params     offt.Params `json:"params"`
+	Provenance string      `json:"params_source"`
 	Execs      int64       `json:"execs"`
 	InFlight   int         `json:"in_flight"`
 	AgeMs      int64       `json:"age_ms"`
@@ -633,28 +624,30 @@ type PlanInfo struct {
 }
 
 // planInfoLocked renders one entry (r.mu held; e may be live or the
-// detached last entry of an open breaker).
+// detached last entry of an open breaker). Every identity field comes
+// straight off the plan description that keys the entry.
 func (r *Registry) planInfoLocked(e *planEntry, health PlanHealth, rebuilds int64, now time.Time) PlanInfo {
-	eng := "mem"
-	if e.key.Engine == offt.Sim {
-		eng = "sim"
-	}
 	info := PlanInfo{
-		Key:      e.key.String(),
-		Grid:     [3]int{e.key.Nx, e.key.Ny, e.key.Nz},
-		Ranks:    e.key.Ranks,
-		Variant:  e.key.Variant.String(),
-		Engine:   eng,
-		Workers:  e.key.Workers,
-		Machine:  e.key.Machine,
-		Params:   e.key.Params,
-		Execs:    e.execs.Load(),
-		InFlight: e.refs,
-		AgeMs:    now.Sub(e.created).Milliseconds(),
-		IdleMs:   now.Sub(e.lastUsed).Milliseconds(),
-		Health:   health.String(),
-		Rebuilds: rebuilds,
-		SteadyNs: e.steadyNs.Load(),
+		Key:        e.key.String(),
+		Grid:       [3]int{e.key.Nx, e.key.Ny, e.key.Nz},
+		Ranks:      e.key.Ranks,
+		Decomp:     e.key.Decomp.String(),
+		Variant:    e.key.Variant.String(),
+		Engine:     e.key.Engine.String(),
+		Workers:    e.key.Workers,
+		Machine:    e.key.Machine,
+		Params:     e.key.Params,
+		Provenance: e.key.Provenance.String(),
+		Execs:      e.execs.Load(),
+		InFlight:   e.refs,
+		AgeMs:      now.Sub(e.created).Milliseconds(),
+		IdleMs:     now.Sub(e.lastUsed).Milliseconds(),
+		Health:     health.String(),
+		Rebuilds:   rebuilds,
+		SteadyNs:   e.steadyNs.Load(),
+	}
+	if e.key.Decomp == offt.Pencil {
+		info.ProcGrid = [2]int{e.key.ProcRows, e.key.ProcCols()}
 	}
 	// e.plan is written by the builder before ready closes; only read it
 	// behind that happens-before edge.

@@ -266,7 +266,9 @@ type transformSpec struct {
 }
 
 // resolve validates the request header and resolves the effective plan
-// key (explicit params > tuned store > default point).
+// key by handing the whole option set to offt.DescribePlan — one shared
+// validation and parameter-resolution path (explicit params > tuned
+// store > default point) for the library and the wire.
 func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 	if req.Ranks == 0 {
 		req.Ranks = 1
@@ -277,11 +279,12 @@ func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 	if req.Machine == "" {
 		req.Machine = "laptop"
 	}
-	if err := offt.ValidateShape(req.Nx, req.Ny, req.Nz, req.Ranks); err != nil {
-		return transformSpec{}, err
-	}
 	if req.Workers < 1 {
 		return transformSpec{}, fmt.Errorf("workers %d must be at least 1", req.Workers)
+	}
+	decomp, err := offt.ParseDecomp(req.Decomp)
+	if err != nil {
+		return transformSpec{}, err
 	}
 	// Overflow-safe volume cap: multiply stepwise, rejecting before the
 	// product can wrap. A crafted nx=ny=nz≈2.1M request would otherwise
@@ -334,22 +337,26 @@ func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 		return transformSpec{}, fmt.Errorf("unknown direction %q (want forward or backward)", req.Direction)
 	}
 
-	// Resolve effective params so that "explicit default", "warm-started"
-	// and "omitted" requests share one cache entry.
-	var params offt.Params
-	switch {
-	case req.Params != nil:
-		params = *req.Params
-	default:
-		def, err := offt.DefaultParams(req.Nx, req.Ny, req.Nz, req.Ranks)
-		if err != nil {
-			return transformSpec{}, err
-		}
-		params = def
-		key := tuned.NewKey(req.Machine, req.Nx, req.Ny, req.Nz, req.Ranks, variant)
-		if tp, ok := s.cfg.Store.Lookup(key); ok {
-			params = tp
-		}
+	// The description is the plan key: DescribePlan validates the full
+	// option set and resolves effective params with canonical provenance,
+	// so "explicit default", "warm-started" and "omitted" requests share
+	// one cache entry.
+	opts := []offt.Option{
+		offt.WithGrid(req.Nx, req.Ny, req.Nz),
+		offt.WithRanks(req.Ranks),
+		offt.WithDecomp(decomp),
+		offt.WithVariant(variant),
+		offt.WithEngine(engine),
+		offt.WithWorkers(req.Workers),
+		offt.WithMachine(req.Machine),
+		offt.WithTunedStoreHandle(s.cfg.Store),
+	}
+	if req.Params != nil {
+		opts = append(opts, offt.WithParams(*req.Params))
+	}
+	desc, err := offt.DescribePlan(opts...)
+	if err != nil {
+		return transformSpec{}, err
 	}
 
 	timeout := s.cfg.DefaultTimeout
@@ -371,30 +378,18 @@ func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 			weight, s.cfg.MaxInFlightRanks)
 	}
 	return transformSpec{
-		key: PlanKey{
-			Nx: req.Nx, Ny: req.Ny, Nz: req.Nz, Ranks: req.Ranks,
-			Variant: variant, Engine: engine, Workers: req.Workers,
-			Machine: req.Machine, Params: params,
-		},
+		key:      desc,
 		backward: backward,
 		timeout:  timeout,
 		weight:   weight,
 	}, nil
 }
 
-// buildPlan constructs the offt.Plan for a resolved key.
+// buildPlan constructs the offt.Plan for a resolved key: the description
+// pins the plan identity, the options add the server's operational
+// machinery (fault injection, watchdog).
 func (s *Server) buildPlan(key PlanKey) (*offt.Plan, error) {
-	opts := []offt.Option{
-		offt.WithGrid(key.Nx, key.Ny, key.Nz),
-		offt.WithRanks(key.Ranks),
-		offt.WithVariant(key.Variant),
-		offt.WithParams(key.Params),
-		offt.WithEngine(key.Engine),
-		offt.WithMachine(key.Machine),
-	}
-	if key.Workers > 1 {
-		opts = append(opts, offt.WithWorkers(key.Workers))
-	}
+	var opts []offt.Option
 	if s.cfg.FaultProfile != "" && s.cfg.FaultProfile != "none" {
 		prof, err := offt.ParseFaultProfile(s.cfg.FaultProfile)
 		if err != nil {
@@ -408,7 +403,7 @@ func (s *Server) buildPlan(key PlanKey) (*offt.Plan, error) {
 	case s.cfg.Watchdog < 0:
 		opts = append(opts, offt.WithWatchdog(0))
 	}
-	return offt.NewPlan(opts...)
+	return offt.NewPlanFrom(key, opts...)
 }
 
 // execDeadline derives the per-request execution watchdog deadline from
@@ -487,7 +482,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		switch {
-		case errors.Is(err, offt.ErrBadShape):
+		case errors.Is(err, offt.ErrBadShape), errors.Is(err, offt.ErrBadConfig):
 			s.writeError(w, http.StatusBadRequest, err)
 		case errors.Is(err, ErrPlanQuarantined):
 			// The key's world failed and its circuit breaker is open:
@@ -518,6 +513,9 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		PlanKey:  spec.key.String(),
 		CacheHit: hadPlan,
 		QueueNs:  queueNs,
+	}
+	if spec.key.Decomp == offt.Pencil {
+		resp.Decomp = spec.key.Decomp.String()
 	}
 
 	if spec.key.Engine == offt.Sim {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/cmplx"
 	"math/rand"
@@ -155,6 +156,149 @@ func TestServerPlanCacheEviction(t *testing.T) {
 	}
 	if len(plans.Plans) != 1 || plans.Plans[0].Grid != [3]int{8, 8, 8} {
 		t.Errorf("/v1/plans = %+v, want the final 8³ plan only", plans.Plans)
+	}
+}
+
+// TestServerPencilLifecycle drives a pencil plan through the full HTTP
+// path at a rank count the slab decomposition cannot serve: cache miss
+// (build), cache hits — sequential and concurrent — with the decomp
+// echoed in the wire header and reported by /v1/plans, then eviction by a
+// competing shape. The verify.sh serve leg runs this under -race.
+func TestServerPencilLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{MaxPlans: 1, Telemetry: reg})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Drain(context.Background())
+
+	const n = 8
+	const ranks = 16 // > min(Nx, Ny): beyond the slab cap
+	data := randField(n*n*n, 7)
+	req := TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: ranks, Decomp: "pencil"}
+
+	// The same shape without the pencil decomp must 400 as a config
+	// error — proof the request really is past the slab cap.
+	sreq := req
+	sreq.Decomp = ""
+	if code, _, _, emsg := postTransform(t, ts.URL, sreq, data); code != http.StatusBadRequest {
+		t.Fatalf("slab at ranks=%d: HTTP %d (%s), want 400", ranks, code, emsg)
+	}
+
+	// Miss: the first pencil request builds the plan.
+	code, fresp, spectrum, emsg := postTransform(t, ts.URL, req, data)
+	if code != http.StatusOK {
+		t.Fatalf("pencil forward: HTTP %d: %s", code, emsg)
+	}
+	if fresp.CacheHit {
+		t.Error("first pencil request reported a cache hit")
+	}
+	if fresp.Decomp != "pencil" {
+		t.Errorf("forward response decomp = %q, want pencil", fresp.Decomp)
+	}
+	if len(spectrum) != n*n*n {
+		t.Fatalf("pencil forward returned %d elements, want %d", len(spectrum), n*n*n)
+	}
+
+	// Hit: backward on the cached plan closes the round trip.
+	breq := req
+	breq.Direction = "backward"
+	code, bresp, back, emsg := postTransform(t, ts.URL, breq, spectrum)
+	if code != http.StatusOK {
+		t.Fatalf("pencil backward: HTTP %d: %s", code, emsg)
+	}
+	if !bresp.CacheHit {
+		t.Error("backward on the same pencil shape missed the plan cache")
+	}
+	if bresp.Decomp != "pencil" {
+		t.Errorf("backward response decomp = %q, want pencil", bresp.Decomp)
+	}
+	scale := complex(float64(n*n*n), 0)
+	worst := 0.0
+	for i := range back {
+		if d := cmplx.Abs(back[i]/scale - data[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-9 {
+		t.Errorf("pencil round-trip error %g exceeds 1e-9", worst)
+	}
+
+	// Concurrent hits hammer the shared plan (the -race payoff).
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			var body bytes.Buffer
+			if err := WriteHeader(&body, req); err != nil {
+				errc <- err
+				return
+			}
+			if err := WritePayload(&body, randField(n*n*n, seed)); err != nil {
+				errc <- err
+				return
+			}
+			hres, err := http.Post(ts.URL+"/v1/transform", "application/octet-stream", &body)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer hres.Body.Close()
+			if _, err := io.Copy(io.Discard, hres.Body); err != nil {
+				errc <- err
+				return
+			}
+			if hres.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("concurrent pencil hit: HTTP %d", hres.StatusCode)
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// /v1/plans reports the pencil identity, process grid included.
+	hres, err := http.Get(ts.URL + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans struct{ Plans []PlanInfo }
+	err = json.NewDecoder(hres.Body).Decode(&plans)
+	hres.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans.Plans) != 1 {
+		t.Fatalf("/v1/plans lists %d plans, want 1", len(plans.Plans))
+	}
+	info := plans.Plans[0]
+	if info.Decomp != "pencil" || info.Ranks != ranks {
+		t.Errorf("/v1/plans = decomp %q ranks %d, want pencil/%d", info.Decomp, info.Ranks, ranks)
+	}
+	if info.ProcGrid[0]*info.ProcGrid[1] != ranks {
+		t.Errorf("/v1/plans proc_grid %v does not factor %d ranks", info.ProcGrid, ranks)
+	}
+
+	// Eviction: with capacity 1, a slab shape displaces the pencil plan.
+	if code, _, _, emsg := postTransform(t, ts.URL,
+		TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: 2}, randField(n*n*n, 9)); code != http.StatusOK {
+		t.Fatalf("evicting slab request: HTTP %d: %s", code, emsg)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.plan_cache.evictions"]; got < 1 {
+		t.Errorf("evictions = %d, want >= 1", got)
+	}
+	// A fresh pencil request must rebuild (miss), not resurrect the
+	// evicted plan.
+	code, fresp2, _, emsg := postTransform(t, ts.URL, req, data)
+	if code != http.StatusOK {
+		t.Fatalf("pencil after eviction: HTTP %d: %s", code, emsg)
+	}
+	if fresp2.CacheHit {
+		t.Error("pencil request after eviction reported a cache hit")
 	}
 }
 

@@ -38,6 +38,10 @@ type TransformRequest struct {
 	Ranks int `json:"ranks"`
 	// Direction is "forward" (default) or "backward".
 	Direction string `json:"direction,omitempty"`
+	// Decomp selects the domain decomposition: "slab" (default; "" and
+	// "1d" alias it) or "pencil" ("2d"), which scales past the slab
+	// decomposition's ranks ≤ min(Nx, Ny) cap.
+	Decomp string `json:"decomp,omitempty"`
 	// Variant is the algorithm variant name (default "new").
 	Variant string `json:"variant,omitempty"`
 	// Engine is "mem" (default, transforms the payload) or "sim"
@@ -59,8 +63,11 @@ type TransformRequest struct {
 // TransformResponse is the /v1/transform response header; a Mem-engine
 // response is followed by the result payload.
 type TransformResponse struct {
-	Status    string `json:"status"`
-	PlanKey   string `json:"plan_key"`
+	Status  string `json:"status"`
+	PlanKey string `json:"plan_key"`
+	// Decomp echoes the plan's resolved decomposition ("pencil" only;
+	// omitted for slab so pre-pencil clients see unchanged headers).
+	Decomp    string `json:"decomp,omitempty"`
 	CacheHit  bool   `json:"cache_hit"`
 	Execs     int64  `json:"plan_execs"`
 	ExecNs    int64  `json:"exec_ns"`

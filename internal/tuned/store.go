@@ -31,15 +31,34 @@ type Key struct {
 	Nz      int    `json:"nz"`
 	Ranks   int    `json:"ranks"`
 	Variant string `json:"variant"`
+	// Decomp distinguishes pencil-decomposition entries ("pencil"). The
+	// empty string is the slab decomposition, so every pre-pencil store
+	// file keeps resolving to the entries it always did.
+	Decomp string `json:"decomp,omitempty"`
 }
 
-// NewKey builds a Key with the variant's canonical display name.
+// NewKey builds a slab-decomposition Key with the variant's canonical
+// display name.
 func NewKey(machine string, nx, ny, nz, ranks int, v pfft.Variant) Key {
 	return Key{Machine: machine, Nx: nx, Ny: ny, Nz: nz, Ranks: ranks, Variant: v.String()}
 }
 
+// NewKeyDecomp is NewKey with an explicit decomposition name; "slab" and
+// "" both canonicalize to the slab key.
+func NewKeyDecomp(machine string, nx, ny, nz, ranks int, v pfft.Variant, decomp string) Key {
+	k := NewKey(machine, nx, ny, nz, ranks, v)
+	if decomp != "" && decomp != "slab" {
+		k.Decomp = decomp
+	}
+	return k
+}
+
 func (k Key) String() string {
-	return fmt.Sprintf("%s %dx%dx%d p=%d %s", k.Machine, k.Nx, k.Ny, k.Nz, k.Ranks, k.Variant)
+	s := fmt.Sprintf("%s %dx%dx%d p=%d %s", k.Machine, k.Nx, k.Ny, k.Nz, k.Ranks, k.Variant)
+	if k.Decomp != "" {
+		s += " " + k.Decomp
+	}
+	return s
 }
 
 // Entry is one tuned result: the parameters plus enough provenance to

@@ -269,6 +269,97 @@ func DecodePencilParams(cfg []int) pencil.Params2D {
 	return pencil.Params2D{TA: cfg[0], WA: cfg[1], TB: cfg[2], WB: cfg[3], F: cfg[4]}
 }
 
+// PencilGridSpace builds the search space of a pencil plan's public
+// parameters: the process-grid row count Pr ranges over the feasible
+// divisors of the rank count (the Py of each Py×Pz factorization), joined
+// by the tile, window, and Test-frequency subset of Table 1 the 2-D
+// pipeline consumes. This is the space NewPlan-facing tuning explores —
+// the grid shape is a tunable, not an input.
+func PencilGridSpace(nx, ny, nz, ranks int) (Space, error) {
+	var rows []int
+	for pr := 1; pr <= ranks; pr++ {
+		if ranks%pr != 0 {
+			continue
+		}
+		if _, err := pencil.NewGrid2D(nx, ny, nz, pr, ranks/pr, 0); err == nil {
+			rows = append(rows, pr)
+		}
+	}
+	if len(rows) == 0 {
+		return Space{}, fmt.Errorf("tuner: no feasible pencil process grid for %d ranks over %d×%d×%d", ranks, nx, ny, nz)
+	}
+	maxT := nx
+	if nz > maxT {
+		maxT = nz
+	}
+	maxF := 8 * ranks
+	if maxF < 64 {
+		maxF = 64
+	}
+	return Space{Dims: []Dim{
+		{Name: "Pr", Values: rows},
+		{Name: "T", Values: PowersOfTwoUpTo(maxT)},
+		{Name: "W", Values: IntRange(1, 6)},
+		{Name: "Fy", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+	}}, nil
+}
+
+// DecodePencilGridParams converts a PencilGridSpace configuration into
+// the public parameter set (Pr pinned to the searched row count, the
+// slab-only tiling fields at their neutral 1).
+func DecodePencilGridParams(cfg []int) pfft.Params {
+	return pfft.Params{
+		T: cfg[1], W: cfg[2], Px: 1, Pz: 1, Uy: 1, Uz: 1,
+		Fy: cfg[3], Fp: cfg[3], Fu: cfg[3], Fx: cfg[3], Pr: cfg[0],
+	}
+}
+
+// TunePencilNEW auto-tunes the overlapped pencil transform for a total
+// rank count on machine m, searching the process-grid factorization
+// together with the pipeline parameters. The returned Params carry the
+// winning Pr, ready for WithParams on a WithDecomp(Pencil) plan or a
+// decomp-keyed tuned-store entry.
+func TunePencilNEW(m machine.Machine, ranks, n, maxEvals int) (pfft.Params, TuneOutcome, error) {
+	space, err := PencilGridSpace(n, n, n, ranks)
+	if err != nil {
+		return pfft.Params{}, TuneOutcome{}, err
+	}
+	var virtual int64
+	obj := func(cfg []int) float64 {
+		prm := DecodePencilGridParams(cfg)
+		pr, pc := prm.Pr, ranks/prm.Pr
+		g, err := pencil.NewGrid2D(n, n, n, pr, pc, 0)
+		if err != nil {
+			return math.Inf(1)
+		}
+		v, err := pencil.SimulateOverlappedGrid(m, pr, pc, n, n, n, pencil.FromParams(prm, g))
+		if err != nil {
+			return math.Inf(1)
+		}
+		virtual += v
+		return float64(v)
+	}
+	dpr, dpc, err := pencil.DefaultProcGrid(n, n, n, ranks)
+	if err != nil {
+		return pfft.Params{}, TuneOutcome{}, err
+	}
+	g0, err := pencil.NewGrid2D(n, n, n, dpr, dpc, 0)
+	if err != nil {
+		return pfft.Params{}, TuneOutcome{}, err
+	}
+	d2 := pencil.DefaultParams2D(g0)
+	start := time.Now()
+	sr := NelderMead(space, obj, Options{
+		MaxEvals:       maxEvals,
+		InitialSimplex: InitialSimplex(space, []int{dpr, d2.TA, d2.WA, d2.F}),
+	})
+	out := TuneOutcome{Search: sr, VirtualNs: virtual, WallNs: time.Since(start).Nanoseconds()}
+	if sr.Best == nil {
+		return pfft.Params{}, out, fmt.Errorf("tuner: no feasible configuration found")
+	}
+	return DecodePencilGridParams(sr.Best), out, nil
+}
+
 // TunePencil auto-tunes the overlapped pencil transform for a pr×pc grid
 // on machine m — auto-tuning applied to the paper's §7 future work.
 func TunePencil(m machine.Machine, pr, pc, n, maxEvals int) (pencil.Params2D, TuneOutcome, error) {

@@ -355,3 +355,43 @@ func TestTunePencilImprovesOnDefault(t *testing.T) {
 		t.Errorf("tuned (%d) worse than default (%d)", out.BestTime(), def)
 	}
 }
+
+func TestTunePencilNEWSearchesProcGrid(t *testing.T) {
+	m := machine.UMDCluster()
+	ranks, n := 16, 64
+	prm, out, err := TunePencilNEW(m, ranks, n, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prm.Pr < 1 || ranks%prm.Pr != 0 {
+		t.Fatalf("tuned Pr=%d must divide the rank count %d", prm.Pr, ranks)
+	}
+	g, err := pencil.NewGrid2D(n, n, n, prm.Pr, ranks/prm.Pr, 0)
+	if err != nil {
+		t.Fatalf("tuned grid infeasible: %v", err)
+	}
+	if err := pencil.FromParams(prm, g).Validate(g); err != nil {
+		t.Errorf("tuned params invalid: %v", err)
+	}
+	// The default grid's default point is in the search space, so the
+	// search result cannot be worse.
+	dpr, dpc, err := pencil.DefaultProcGrid(n, n, n, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, _ := pencil.NewGrid2D(n, n, n, dpr, dpc, 0)
+	def, err := pencil.SimulateOverlapped(m, dpr, dpc, n, pencil.DefaultParams2D(g0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BestTime() > def {
+		t.Errorf("tuned (%d) worse than default grid's default point (%d)", out.BestTime(), def)
+	}
+	space, err := PencilGridSpace(n, n, n, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(space.Dims) != 4 || space.Dims[0].Name != "Pr" {
+		t.Errorf("unexpected pencil grid space %v", space.Dims)
+	}
+}

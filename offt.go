@@ -23,9 +23,9 @@ import (
 	"offt/internal/model"
 	"offt/internal/mpi/fault"
 	"offt/internal/mpi/mem"
+	"offt/internal/pencil"
 	"offt/internal/pfft"
 	"offt/internal/telemetry"
-	"offt/internal/tuned"
 	"offt/internal/tuner"
 )
 
@@ -135,19 +135,20 @@ func RenderTimeline(w io.Writer, events []StepEvent, cols int) {
 // instead of matching engine-internal wording.
 var ErrBadShape = errors.New("offt: bad transform shape")
 
-// ValidateShape checks a grid/rank geometry before any planning work. It
-// is the shared front door used by NewPlan, the service layer, and the
-// examples; the returned error wraps ErrBadShape and states the violated
-// constraint in user terms.
+// ValidateShape checks a grid/rank geometry for the slab decomposition
+// before any planning work. It is the shared front door used by NewPlan,
+// the service layer, and the examples; the returned error is a
+// *ConfigError wrapping both ErrBadShape and ErrBadConfig and states the
+// violated constraint in user terms.
 func ValidateShape(nx, ny, nz, ranks int) error {
 	switch {
 	case nx < 1 || ny < 1 || nz < 1:
-		return fmt.Errorf("%w: grid %d×%d×%d has a non-positive dimension", ErrBadShape, nx, ny, nz)
+		return shapeError("grid", "", fmt.Sprintf("grid %d×%d×%d has a non-positive dimension", nx, ny, nz))
 	case ranks < 1:
-		return fmt.Errorf("%w: rank count %d must be at least 1", ErrBadShape, ranks)
+		return shapeError("ranks", "", fmt.Sprintf("rank count %d must be at least 1", ranks))
 	case nx < ranks || ny < ranks:
-		return fmt.Errorf("%w: %d ranks need Nx and Ny ≥ ranks for the 1-D slab decomposition (got %d×%d×%d)",
-			ErrBadShape, ranks, nx, ny, nz)
+		return shapeError("ranks", "", fmt.Sprintf("%d ranks need Nx and Ny ≥ ranks for the 1-D slab decomposition (got %d×%d×%d)",
+			ranks, nx, ny, nz))
 	}
 	return nil
 }
@@ -223,6 +224,7 @@ type Option func(*config)
 type config struct {
 	nx, ny, nz  int
 	ranks       int
+	decomp      Decomp
 	variant     Variant
 	params      *Params
 	engine      EngineKind
@@ -231,6 +233,7 @@ type config struct {
 	reg         *Telemetry
 	trace       bool
 	storePath   string
+	store       *TunedStore
 
 	faultProfile FaultProfile
 	faultSeed    int64
@@ -347,10 +350,12 @@ func WithWatchdog(d time.Duration) Option {
 // concurrent callers should use ForwardInto/BackwardInto, which copy the
 // result out while still holding the execution lock.
 type Plan struct {
-	mu    sync.Mutex // serializes executions, accessors, and Close
-	cfg   config
-	grids []layout.Grid
-	fast  bool
+	mu     sync.Mutex // serializes executions, accessors, and Close
+	cfg    config
+	desc   PlanDescription
+	grids  []layout.Grid   // slab geometry (nil for pencil plans)
+	pgrids []pencil.Grid2D // pencil geometry (nil for slab plans)
+	fast   bool
 
 	// Mem engine state.
 	world   *mem.World
@@ -394,45 +399,40 @@ type job struct {
 
 // NewPlan builds a plan from functional options. All validation, variant
 // parameter expansion, 1-D FFT planning, and buffer pre-sizing happens
-// here; Forward/Backward only execute.
+// here; Forward/Backward only execute. Every rejected option set is a
+// *ConfigError (errors.Is ErrBadConfig; geometric ones also ErrBadShape).
 func NewPlan(opts ...Option) (*Plan, error) {
-	cfg := config{ranks: 1, variant: NEW, machineName: "laptop", workers: 1}
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.nx == 0 && cfg.ny == 0 && cfg.nz == 0 {
-		return nil, fmt.Errorf("%w: grid dimensions are required (use WithGrid)", ErrBadShape)
-	}
-	if err := ValidateShape(cfg.nx, cfg.ny, cfg.nz, cfg.ranks); err != nil {
+	desc, err := cfg.resolve()
+	if err != nil {
 		return nil, err
 	}
-	p := &Plan{cfg: cfg}
-	p.grids = make([]layout.Grid, cfg.ranks)
-	for r := 0; r < cfg.ranks; r++ {
-		g, err := layout.NewGrid(cfg.nx, cfg.ny, cfg.nz, cfg.ranks, r)
-		if err != nil {
-			return nil, err
+	prm := desc.Params
+	p := &Plan{cfg: cfg, desc: desc}
+	switch desc.Decomp {
+	case Slab:
+		p.grids = make([]layout.Grid, cfg.ranks)
+		for r := 0; r < cfg.ranks; r++ {
+			g, err := layout.NewGrid(cfg.nx, cfg.ny, cfg.nz, cfg.ranks, r)
+			if err != nil {
+				return nil, err
+			}
+			p.grids[r] = g
 		}
-		p.grids[r] = g
-	}
-	prm := pfft.DefaultParams(p.grids[0])
-	switch {
-	case cfg.params != nil:
-		prm = *cfg.params
-	case cfg.storePath != "":
-		store, err := tuned.Load(cfg.storePath)
-		if err != nil {
-			return nil, err
-		}
-		key := tuned.NewKey(cfg.machineName, cfg.nx, cfg.ny, cfg.nz, cfg.ranks, cfg.variant)
-		if tp, ok := store.Lookup(key); ok {
-			prm = tp
+		p.fast = pfft.OutputFast(cfg.variant, p.grids[0])
+	case Pencil:
+		p.pgrids = make([]pencil.Grid2D, cfg.ranks)
+		for r := 0; r < cfg.ranks; r++ {
+			g, err := pencil.NewGrid2D(cfg.nx, cfg.ny, cfg.nz, desc.ProcRows, desc.ProcCols(), r)
+			if err != nil {
+				return nil, err
+			}
+			p.pgrids[r] = g
 		}
 	}
-	if _, err := pfft.ExpandParams(cfg.variant, p.grids[0], prm); err != nil {
-		return nil, err
-	}
-	p.fast = pfft.OutputFast(cfg.variant, p.grids[0])
 
 	switch cfg.engine {
 	case Sim:
@@ -444,16 +444,30 @@ func NewPlan(opts ...Option) (*Plan, error) {
 		p.cfg.params = &prm
 		p.simMet = pfft.NewBreakdownObserver(cfg.reg, "pfft")
 		return p, nil
-	case Mem:
-		return p, p.startWorld(prm)
 	default:
-		return nil, fmt.Errorf("offt: unknown engine kind %d", cfg.engine)
+		return p, p.startWorld(prm)
 	}
 }
 
+// Describe returns the plan's canonical description: resolved geometry,
+// decomposition, effective parameters and their provenance. It is the
+// single source the serve layer keys its registry on and renders over
+// /v1/plans.
+func (p *Plan) Describe() PlanDescription { return p.desc }
+
+// rankPlan is what a rank goroutine executes: the slab pfft.Plan or the
+// pencil.Plan, both reusable create-once/run-many per-rank plans with the
+// same execution surface.
+type rankPlan interface {
+	Forward(slab []complex128) ([]complex128, Breakdown, error)
+	Backward(slab []complex128) ([]complex128, Breakdown, error)
+	Trace() []StepEvent
+	Close()
+}
+
 // startWorld launches the long-lived rank goroutines of a Mem plan. Each
-// rank builds its per-rank pfft.Plan once, reports readiness, then serves
-// jobs until Close.
+// rank builds its per-rank plan (slab or pencil) once, reports readiness,
+// then serves jobs until Close.
 func (p *Plan) startWorld(prm Params) error {
 	n := p.cfg.ranks
 	p.jobs = make([]chan job, n)
@@ -465,7 +479,11 @@ func (p *Plan) startWorld(prm Params) error {
 	p.bds = make([]Breakdown, n)
 	p.errs = make([]error, n)
 	for r := 0; r < n; r++ {
-		p.slabs[r] = make([]complex128, p.grids[r].InSize())
+		if p.desc.Decomp == Pencil {
+			p.slabs[r] = make([]complex128, p.pgrids[r].InSize())
+		} else {
+			p.slabs[r] = make([]complex128, p.grids[r].InSize())
+		}
 	}
 	p.fullFwd = make([]complex128, p.cfg.nx*p.cfg.ny*p.cfg.nz)
 	p.cfg.params = &prm
@@ -507,7 +525,14 @@ func (p *Plan) startWorld(prm Params) error {
 	go func() {
 		p.runDone <- p.world.Run(func(c *mem.Comm) {
 			rank := c.Rank()
-			plan, err := pfft.NewPlan(c, p.grids[rank], p.cfg.variant, prm, fft.Estimate, popts...)
+			var plan rankPlan
+			var err error
+			if p.desc.Decomp == Pencil {
+				plan, err = pencil.NewPlan(c, p.pgrids[rank], p.cfg.variant,
+					pencil.FromParams(prm, p.pgrids[rank]), fft.Estimate)
+			} else {
+				plan, err = pfft.NewPlan(c, p.grids[rank], p.cfg.variant, prm, fft.Estimate, popts...)
+			}
 			inits <- err
 			if err != nil {
 				return
@@ -538,7 +563,7 @@ func (p *Plan) startWorld(prm Params) error {
 // transport itself declared the world dead (mem.WorldFailure) or the
 // rank's state is unknowable mid-collective — so dispatch surfaces a
 // typed *WorldError instead of a wedged or half-poisoned plan.
-func (p *Plan) runJob(plan *pfft.Plan, rank int, jb job) {
+func (p *Plan) runJob(plan rankPlan, rank int, jb job) {
 	defer jb.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
@@ -604,7 +629,6 @@ func (p *Plan) dispatch(op jobOp) error {
 		}
 		return fmt.Errorf("offt: rank %d: %w", r, err)
 	}
-	p.downgrades.Add(dg)
 	p.last = Breakdown{}
 	for _, b := range p.bds {
 		p.last.Add(b)
@@ -667,6 +691,9 @@ func (p *Plan) forwardLockedInto(dst, data []complex128) ([]complex128, error) {
 		if data != nil {
 			return nil, fmt.Errorf("offt: Sim plans transform no data; call Forward(nil)")
 		}
+		if p.desc.Decomp == Pencil {
+			return nil, p.simulatePencil()
+		}
 		res, err := model.Simulate(p.mach, p.cfg.ranks, p.cfg.nx, p.cfg.ny, p.cfg.nz,
 			model.Spec{Variant: p.cfg.variant, Params: *p.cfg.params})
 		if err != nil {
@@ -682,7 +709,11 @@ func (p *Plan) forwardLockedInto(dst, data []complex128) ([]complex128, error) {
 		return nil, fmt.Errorf("offt: data length %d, want %d", len(data), p.cfg.nx*p.cfg.ny*p.cfg.nz)
 	}
 	for r := 0; r < p.cfg.ranks; r++ {
-		layout.ScatterXInto(p.slabs[r], data, p.grids[r])
+		if p.desc.Decomp == Pencil {
+			pencil.ScatterPencilInto(p.slabs[r], data, p.pgrids[r])
+		} else {
+			layout.ScatterXInto(p.slabs[r], data, p.grids[r])
+		}
 	}
 	if err := p.dispatch(opForward); err != nil {
 		return nil, err
@@ -690,8 +721,38 @@ func (p *Plan) forwardLockedInto(dst, data []complex128) ([]complex128, error) {
 	if dst == nil {
 		dst = p.fullFwd
 	}
+	if p.desc.Decomp == Pencil {
+		for r := 0; r < p.cfg.ranks; r++ {
+			pencil.GatherPencilInto(dst, p.outs[r], p.pgrids[r])
+		}
+		return dst, nil
+	}
 	layout.GatherYInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks, p.fast)
 	return dst, nil
+}
+
+// simulatePencil charges one pencil transform on the machine model: the
+// blocking variants cost the two whole-extent exchanges, NEW the
+// overlapped pipeline. The cost model reports a single completion time,
+// mirrored into the Result shape the accessors expose.
+func (p *Plan) simulatePencil() error {
+	g := p.pgrids[0]
+	var v int64
+	var err error
+	if p.cfg.variant == NEW {
+		v, err = pencil.SimulateOverlappedGrid(p.mach, g.PR, g.PC, p.cfg.nx, p.cfg.ny, p.cfg.nz,
+			pencil.FromParams(*p.cfg.params, g))
+	} else {
+		v, err = pencil.SimulateGrid(p.mach, g.PR, g.PC, p.cfg.nx, p.cfg.ny, p.cfg.nz)
+	}
+	if err != nil {
+		return err
+	}
+	res := model.Result{MaxTotal: v, MaxTuned: v, Avg: Breakdown{Total: v}}
+	p.lastSim = res
+	p.last = res.Avg
+	p.simMet.Observe(res.Avg)
+	return nil
 }
 
 // Backward executes one inverse 3-D FFT on the Mem engine: data is a full
@@ -743,7 +804,11 @@ func (p *Plan) backwardLockedInto(dst, data []complex128) ([]complex128, error) 
 	if p.bslabs == nil {
 		p.bslabs = make([][]complex128, p.cfg.ranks)
 		for r := 0; r < p.cfg.ranks; r++ {
-			p.bslabs[r] = make([]complex128, p.grids[r].OutSize())
+			if p.desc.Decomp == Pencil {
+				p.bslabs[r] = make([]complex128, p.pgrids[r].OutSize())
+			} else {
+				p.bslabs[r] = make([]complex128, p.grids[r].OutSize())
+			}
 		}
 	}
 	if dst == nil {
@@ -753,10 +818,20 @@ func (p *Plan) backwardLockedInto(dst, data []complex128) ([]complex128, error) 
 		dst = p.fullBwd
 	}
 	for r := 0; r < p.cfg.ranks; r++ {
-		layout.ScatterYInto(p.bslabs[r], data, p.grids[r], p.fast)
+		if p.desc.Decomp == Pencil {
+			pencil.ScatterSpectrumInto(p.bslabs[r], data, p.pgrids[r])
+		} else {
+			layout.ScatterYInto(p.bslabs[r], data, p.grids[r], p.fast)
+		}
 	}
 	if err := p.dispatch(opBackward); err != nil {
 		return nil, err
+	}
+	if p.desc.Decomp == Pencil {
+		for r := 0; r < p.cfg.ranks; r++ {
+			pencil.GatherInputInto(dst, p.outs[r], p.pgrids[r])
+		}
+		return dst, nil
 	}
 	layout.GatherXInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks)
 	return dst, nil

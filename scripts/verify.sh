@@ -17,6 +17,13 @@ go vet ./...
 go test ./...
 go test -race ./internal/mpi/... ./internal/pfft/... ./internal/telemetry/ ./internal/serve/ .
 
+# Pencil leg of the race pass: the 2-D decomposition package plus the
+# pencil-named suites — the slab-vs-pencil property tests in the root
+# package and the serve lifecycle test (miss → hit → eviction over HTTP).
+# -count=1 re-runs them even when the cached full-package pass above hit.
+go test -race ./internal/pencil/
+go test -race -count=1 -run 'Pencil' . ./internal/serve/
+
 # Allocation gate: steady-state Forward/Backward on a reusable plan must
 # run allocation-free (measured against the zero-alloc self communicator;
 # see internal/pfft/plan_test.go). -count=1 defeats the test cache so the
@@ -43,6 +50,15 @@ grep -q '"pass": true' BENCH_PR4.json
 go run ./cmd/offt-load -duration 2s -out BENCH_PR5.json
 grep -q '"pass": true' BENCH_PR5.json
 grep -q '"serve.plan_cache.hits"' BENCH_PR5.json
+
+# Decomposition crossover gate (PR 7): at paper scale, some pencil point
+# beyond the slab rank cap must beat the slab's best virtual time, and
+# every slab row built through the plan API must match the cost model's
+# default-NEW time exactly (no regression from the WithDecomp plumbing).
+# offt-bench exits nonzero when a gate fails; grep double-checks the file.
+go run ./cmd/offt-bench -scale paper -bench-out BENCH_PR7.json crossover
+grep -q '"pass": true' BENCH_PR7.json
+grep -q '"pencil_crossover": "ok' BENCH_PR7.json
 
 # Chaos soak gate: offt-chaos boots the service in-process and soaks it
 # under the escalating fault ladder (drop/corrupt/stall/mixed), injects
