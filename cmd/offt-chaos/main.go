@@ -73,6 +73,13 @@ type phaseResult struct {
 	Rebuilds    int64  `json:"rebuilds"`
 	Downgrades  int64  `json:"downgrades"`
 	WatchdogHit int64  `json:"watchdog_trips"`
+	// SLO burn observed over the phase and the flight recorder's notable
+	// captures are recorded for post-hoc analysis only — chaos phases
+	// burn budget by design, so no gate reads them (a burn-rate gate
+	// under injected faults would be pure flake).
+	SLOBurnRate    float64 `json:"slo_burn_rate"`
+	SLOBadFrac     float64 `json:"slo_bad_frac"`
+	FlightNotables int     `json:"flight_notables"`
 }
 
 type report struct {
@@ -224,6 +231,12 @@ func (s *soak) runPhase(name, profile string, injectKills, sigterm bool) (phaseR
 		FaultSeed:        1,
 		Watchdog:         500 * time.Millisecond,
 		ExecWatchdogMin:  200 * time.Millisecond,
+		// The soak runs with the full observability stack on: every
+		// request is traced and the structured-log encoder runs for
+		// each health transition, watchdog trip and quarantine event
+		// (discarded — the soak asserts behavior, not log content).
+		Trace:  true,
+		Logger: telemetry.NewLogger(io.Discard, telemetry.LevelWarn),
 		Rebuild: serve.RebuildPolicy{
 			BackoffBase: 20 * time.Millisecond,
 			BackoffCap:  250 * time.Millisecond,
@@ -378,6 +391,10 @@ func (s *soak) runPhase(name, profile string, injectKills, sigterm bool) (phaseR
 	pr.Downgrades = h.Downgrades
 	snap := reg.Snapshot()
 	pr.WatchdogHit = snap.Counters["serve.watchdog.trips"]
+	slo := srv.SLO().Snapshot()
+	pr.SLOBurnRate = slo.BurnRate
+	pr.SLOBadFrac = slo.BadFrac
+	pr.FlightNotables = len(srv.Flight().Snapshot().Notable)
 
 	if sigterm {
 		pr.DrainMs = drainMs

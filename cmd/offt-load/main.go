@@ -63,7 +63,22 @@ type phaseResult struct {
 	RPS       float64 `json:"rps"`
 	P50Ms     float64 `json:"p50_ms"`
 	P99Ms     float64 `json:"p99_ms"`
+	P999Ms    float64 `json:"p999_ms"`
+	MinMs     float64 `json:"min_ms"`
+	MaxMs     float64 `json:"max_ms"`
 	ShedRate  float64 `json:"shed_rate"`
+	// Failures tallies failed requests by cause ("HTTP 503",
+	// "transport: …"), so a dirty phase is diagnosable from the report.
+	Failures map[string]int `json:"failures,omitempty"`
+}
+
+// noteFailure tallies one failed request by cause. Caller holds the
+// phase mutex.
+func (pr *phaseResult) noteFailure(cause string) {
+	if pr.Failures == nil {
+		pr.Failures = map[string]int{}
+	}
+	pr.Failures[cause]++
 }
 
 type report struct {
@@ -103,7 +118,15 @@ func run() error {
 	serveQueue := flag.Int("serve-queue", 4, "self-host admission queue length")
 	timeoutMs := flag.Int("timeout-ms", 8000, "per-request deadline forwarded in the transform header")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load run (self-host: covers both sides)")
+	obsBench := flag.Bool("obs-bench", false,
+		"observability A/B benchmark: self-host two servers (full tracing+logging vs plain), gate the throughput overhead, and verify the captured span trees; ignores -addr/-conc")
+	maxOverhead := flag.Float64("max-overhead", 0.05,
+		"with -obs-bench: traced throughput must be ≥ (1−frac) × plain throughput")
 	flag.Parse()
+
+	if *obsBench {
+		return runObsBench(*grid, *ranks, *workers, *variant, *duration, *warmup, *timeoutMs, *maxOverhead, *out)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -190,8 +213,8 @@ func run() error {
 	for _, m := range mults {
 		pr := runPhase(client, base, body, m, *duration)
 		rep.Phases = append(rep.Phases, pr)
-		fmt.Printf("conc %2d×: %5d req  %6.1f rps  p50 %6.2fms  p99 %6.2fms  shed %5.1f%%  failed %d\n",
-			m, pr.Requests, pr.RPS, pr.P50Ms, pr.P99Ms, 100*pr.ShedRate, pr.Failed)
+		fmt.Printf("conc %2d×: %5d req  %6.1f rps  p50 %6.2fms  p99 %6.2fms  p999 %6.2fms  min %5.2fms  max %6.2fms  shed %5.1f%%  failed %d\n",
+			m, pr.Requests, pr.RPS, pr.P50Ms, pr.P99Ms, pr.P999Ms, pr.MinMs, pr.MaxMs, 100*pr.ShedRate, pr.Failed)
 	}
 
 	rep.Counters, rep.Gauges, err = scrapeMetrics(client, base)
@@ -354,6 +377,7 @@ func runPhase(client *http.Client, base string, body []byte, mult int, dur time.
 				switch {
 				case err != nil:
 					pr.Failed++
+					pr.noteFailure("transport: " + err.Error())
 				case code == http.StatusOK:
 					pr.OK++
 					lat = append(lat, el)
@@ -361,6 +385,7 @@ func runPhase(client *http.Client, base string, body []byte, mult int, dur time.
 					pr.Shed++
 				default:
 					pr.Failed++
+					pr.noteFailure(fmt.Sprintf("HTTP %d", code))
 				}
 				mu.Unlock()
 			}
@@ -378,8 +403,12 @@ func runPhase(client *http.Client, base string, body []byte, mult int, dur time.
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	if len(lat) > 0 {
-		pr.P50Ms = round2(float64(lat[len(lat)/2].Microseconds()) / 1000)
-		pr.P99Ms = round2(float64(lat[len(lat)*99/100].Microseconds()) / 1000)
+		ms := func(d time.Duration) float64 { return round2(float64(d.Microseconds()) / 1000) }
+		pr.P50Ms = ms(lat[len(lat)/2])
+		pr.P99Ms = ms(lat[len(lat)*99/100])
+		pr.P999Ms = ms(lat[len(lat)*999/1000])
+		pr.MinMs = ms(lat[0])
+		pr.MaxMs = ms(lat[len(lat)-1])
 	}
 	return pr
 }
@@ -493,3 +522,302 @@ func parseConc(s string) ([]int, error) {
 
 func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
 func round4(f float64) float64 { return float64(int64(f*10000+0.5)) / 10000 }
+
+// ---- observability A/B benchmark (-obs-bench) ----
+
+// obsReport is the BENCH_PR8.json verdict: the cost of full request
+// observability (tracing + structured logging + flight recorder + SLO)
+// measured as an A/B throughput ratio against an identical plain server,
+// plus structural checks of the span trees the traced server captured.
+type obsReport struct {
+	Bench        string            `json:"bench"`
+	Grid         [3]int            `json:"grid"`
+	Ranks        int               `json:"ranks"`
+	Workers      int               `json:"workers"`
+	Variant      string            `json:"variant"`
+	PlainRPS     float64           `json:"plain_rps"`
+	TracedRPS    float64           `json:"traced_rps"`
+	OverheadFrac float64           `json:"overhead_frac"`
+	MaxOverhead  float64           `json:"max_overhead"`
+	SpanChecks   []spanCheck       `json:"span_checks"`
+	Gates        map[string]string `json:"gates"`
+	Pass         bool              `json:"pass"`
+}
+
+// spanCheck is the structural verdict over one captured request's span
+// tree, pulled back from GET /debug/requests/{id}.
+type spanCheck struct {
+	Decomp     string  `json:"decomp"`
+	RequestID  string  `json:"request_id"`
+	Spans      int     `json:"spans"`
+	QueueNs    int64   `json:"queue_ns"`
+	AcquireNs  int64   `json:"acquire_ns"`
+	ExecSpanNs int64   `json:"exec_span_ns"`
+	PhaseSumNs int64   `json:"phase_sum_ns"`
+	PhaseRatio float64 `json:"phase_ratio"`
+	StepSpans  int     `json:"step_spans"`
+	OverlapEff float64 `json:"overlap_efficiency"`
+}
+
+// runObsBench self-hosts two identically configured servers — one with
+// full observability (request tracing, structured logging to a discarded
+// sink, flight recorder, SLO windows), one plain — and drives the same
+// closed loop against both in interleaved segments so machine drift hits
+// both sides equally. The throughput ratio is the measured observability
+// tax; the span trees captured by the traced side are then verified
+// structurally for both decompositions.
+func runObsBench(grid, ranks, workers int, variant string, duration time.Duration, warmup, timeoutMs int, maxOverhead float64, out string) error {
+	rep := obsReport{
+		Bench:       "offt-serve-obs-overhead",
+		Grid:        [3]int{grid, grid, grid},
+		Ranks:       ranks,
+		Workers:     workers,
+		Variant:     variant,
+		MaxOverhead: maxOverhead,
+		Gates:       map[string]string{},
+		Pass:        true,
+	}
+	fail := func(name, msg string) { rep.Gates[name] = "FAIL: " + msg; rep.Pass = false }
+	pass := func(name, msg string) { rep.Gates[name] = "ok: " + msg }
+
+	type side struct {
+		name string
+		base string
+		stop func()
+		ok   int
+		secs float64
+	}
+	start := func(traced bool) (*side, error) {
+		cfg := serve.Config{
+			MaxPlans:         4,
+			MaxInFlightRanks: 8 * ranks * workers,
+			MaxQueue:         256,
+			DefaultTimeout:   time.Duration(timeoutMs) * time.Millisecond,
+			Telemetry:        telemetry.NewRegistry(),
+		}
+		name := "plain"
+		if traced {
+			name = "traced"
+			cfg.Trace = true
+			// The log stream costs its serialization even when nobody
+			// reads it; io.Discard keeps the benchmark output clean while
+			// charging the traced side the full logging bill.
+			cfg.Logger = telemetry.NewLogger(io.Discard, telemetry.LevelInfo)
+		}
+		srv := serve.New(cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		stop := func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = srv.Drain(ctx)
+			cancel()
+			shctx, shcancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = httpSrv.Shutdown(shctx)
+			shcancel()
+		}
+		return &side{name: name, base: ln.Addr().String(), stop: stop}, nil
+	}
+
+	plain, err := start(false)
+	if err != nil {
+		return err
+	}
+	defer plain.stop()
+	traced, err := start(true)
+	if err != nil {
+		return err
+	}
+	defer traced.stop()
+	fmt.Printf("obs-bench: plain on %s, traced on %s\n", plain.base, traced.base)
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 64,
+	}}
+	body, err := buildRequestBody(grid, ranks, "slab", variant, workers, timeoutMs)
+	if err != nil {
+		return err
+	}
+	for _, s := range []*side{plain, traced} {
+		for i := 0; i < warmup; i++ {
+			if code, err := post(client, s.base, body); err != nil {
+				return fmt.Errorf("%s warmup: %w", s.name, err)
+			} else if code != http.StatusOK {
+				return fmt.Errorf("%s warmup: HTTP %d", s.name, code)
+			}
+		}
+	}
+
+	// Interleave A/B segments: 4 per side, alternating, so a thermal or
+	// scheduler shift in the middle of the run biases neither side.
+	const pairs = 4
+	segDur := duration / pairs
+	if segDur < 250*time.Millisecond {
+		segDur = 250 * time.Millisecond
+	}
+	for i := 0; i < pairs; i++ {
+		for _, s := range []*side{plain, traced} {
+			pr := runPhase(client, s.base, body, 1, segDur)
+			if pr.Failed > 0 || pr.Shed > 0 {
+				fail("clean_run", fmt.Sprintf("%s segment %d: %d failed, %d shed (%v)", s.name, i, pr.Failed, pr.Shed, pr.Failures))
+			}
+			s.ok += pr.OK
+			s.secs += pr.ElapsedMs / 1000
+		}
+	}
+	if plain.secs > 0 {
+		rep.PlainRPS = round2(float64(plain.ok) / plain.secs)
+	}
+	if traced.secs > 0 {
+		rep.TracedRPS = round2(float64(traced.ok) / traced.secs)
+	}
+	if rep.PlainRPS > 0 {
+		rep.OverheadFrac = round4(1 - rep.TracedRPS/rep.PlainRPS)
+	}
+	fmt.Printf("obs-bench: plain %.1f rps, traced %.1f rps, overhead %.2f%%\n",
+		rep.PlainRPS, rep.TracedRPS, 100*rep.OverheadFrac)
+	if rep.OverheadFrac > maxOverhead {
+		fail("overhead", fmt.Sprintf("tracing overhead %.2f%% > %.2f%% cap",
+			100*rep.OverheadFrac, 100*maxOverhead))
+	} else {
+		pass("overhead", fmt.Sprintf("tracing overhead %.2f%% ≤ %.2f%% cap",
+			100*rep.OverheadFrac, 100*maxOverhead))
+	}
+
+	// Structural span-tree checks against the traced server: one request
+	// per decomposition, pulled back from the flight recorder by ID.
+	for _, decomp := range []string{"slab", "pencil"} {
+		sc, err := checkSpans(client, traced.base, grid, ranks, decomp, variant, workers, timeoutMs)
+		if err != nil {
+			fail("spans_"+decomp, err.Error())
+			continue
+		}
+		rep.SpanChecks = append(rep.SpanChecks, sc)
+		fmt.Printf("obs-bench: %s span tree: %d spans (%d step), exec %.2fms, phase sum %.2fms (ratio %.2f), overlap %.2f\n",
+			decomp, sc.Spans, sc.StepSpans, float64(sc.ExecSpanNs)/1e6, float64(sc.PhaseSumNs)/1e6, sc.PhaseRatio, sc.OverlapEff)
+		if sc.PhaseRatio < 0.3 || sc.PhaseRatio > 1.7 {
+			fail("spans_"+decomp, fmt.Sprintf("phase spans sum to %.2f× the exec span (want 0.3–1.7×)", sc.PhaseRatio))
+		} else {
+			pass("spans_"+decomp, fmt.Sprintf("%d spans, phase/exec ratio %.2f, overlap efficiency %.2f", sc.Spans, sc.PhaseRatio, sc.OverlapEff))
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	for name, verdict := range rep.Gates {
+		fmt.Printf("gate %-14s %s\n", name, verdict)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("offt-load: obs-bench gates failed")
+	}
+	fmt.Println("offt-load: obs-bench gates passed")
+	return nil
+}
+
+// checkSpans sends one traced request and verifies the span tree the
+// server captured for it: queue/acquire/exec control spans present,
+// per-phase durations summing (within tolerance) to the exec span, step
+// spans recorded, and a per-request overlap efficiency.
+func checkSpans(client *http.Client, base string, grid, ranks int, decomp, variant string, workers, timeoutMs int) (spanCheck, error) {
+	body, err := buildRequestBody(grid, ranks, decomp, variant, workers, timeoutMs)
+	if err != nil {
+		return spanCheck{}, err
+	}
+	// Two requests: the first may cold-build the plan; the second is the
+	// steady-state execution whose trace we inspect.
+	if _, err := postParse(client, base, body); err != nil {
+		return spanCheck{}, err
+	}
+	tr, err := postParse(client, base, body)
+	if err != nil {
+		return spanCheck{}, err
+	}
+	if tr.RequestID == "" {
+		return spanCheck{}, fmt.Errorf("%s response carries no request_id", decomp)
+	}
+	resp, err := client.Get("http://" + base + "/debug/requests/" + tr.RequestID)
+	if err != nil {
+		return spanCheck{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return spanCheck{}, fmt.Errorf("GET /debug/requests/%s: HTTP %d", tr.RequestID, resp.StatusCode)
+	}
+	var rec telemetry.RequestRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return spanCheck{}, err
+	}
+
+	sc := spanCheck{
+		Decomp:     decomp,
+		RequestID:  tr.RequestID,
+		Spans:      len(rec.Spans),
+		QueueNs:    rec.QueueNs,
+		AcquireNs:  rec.AcqNs,
+		OverlapEff: rec.OverlapEff,
+	}
+	var haveQueue, haveAcquire bool
+	for _, s := range rec.Spans {
+		switch {
+		case s.Kind == "phase":
+			sc.PhaseSumNs += s.Dur()
+		case s.Kind == "step":
+			sc.StepSpans++
+		case s.Name == "queue":
+			haveQueue = true
+		case s.Name == "acquire":
+			haveAcquire = true
+		case s.Name == "exec":
+			sc.ExecSpanNs = s.Dur()
+		}
+	}
+	switch {
+	case !haveQueue || !haveAcquire:
+		return sc, fmt.Errorf("%s trace lacks queue/acquire spans", decomp)
+	case sc.ExecSpanNs <= 0:
+		return sc, fmt.Errorf("%s trace lacks an exec span", decomp)
+	case sc.PhaseSumNs <= 0:
+		return sc, fmt.Errorf("%s trace has no phase spans", decomp)
+	case sc.StepSpans == 0:
+		return sc, fmt.Errorf("%s trace has no per-rank step spans", decomp)
+	case sc.OverlapEff < 0:
+		return sc, fmt.Errorf("%s record carries no overlap efficiency", decomp)
+	}
+	sc.PhaseRatio = round4(float64(sc.PhaseSumNs) / float64(sc.ExecSpanNs))
+	return sc, nil
+}
+
+// postParse sends one transform and decodes the response header (the
+// payload is drained so the connection stays reusable).
+func postParse(client *http.Client, base string, body []byte) (serve.TransformResponse, error) {
+	var tr serve.TransformResponse
+	resp, err := client.Post("http://"+base+"/v1/transform", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return tr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return tr, fmt.Errorf("transform: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if err := serve.ReadHeader(resp.Body, &tr); err != nil {
+		return tr, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return tr, nil
+}

@@ -57,6 +57,18 @@ func run() error {
 	chaosSeed := flag.Int64("chaos-seed", 1, "deterministic fault-schedule seed for -chaos-profile")
 	watchdog := flag.Duration("watchdog", -1,
 		"mem-transport hang watchdog for built plans (-1 = library default, 0 = disabled for debugger sessions)")
+	trace := flag.Bool("trace", false,
+		"request-scoped tracing: every transform carries a span tree (queue → acquire → exec → per-phase/per-step) captured at /debug/requests")
+	logLevel := flag.String("log-level", "",
+		"structured JSON logging to stderr at this level (debug, info, warn, error; empty = logging off)")
+	logOut := flag.String("log-out", "", "structured-log destination path (empty = stderr)")
+	flightRecent := flag.Int("flight-recent", 0, "flight-recorder recent-request ring size (0 = default 128)")
+	flightNotable := flag.Int("flight-notable", 0, "flight-recorder notable-request ring size (0 = default 64)")
+	slowFactor := flag.Float64("slow-factor", 0, "flight-recorder slow capture: total latency > p99-EWMA × factor (0 = default 4)")
+	slowMin := flag.Duration("slow-min", 0, "flight-recorder slow capture floor (0 = default 500µs)")
+	sloObjective := flag.Duration("slo-objective", 0, "transform latency objective (0 = default 250ms)")
+	sloWindow := flag.Duration("slo-window", 0, "rolling SLO error-budget window (0 = default 1m)")
+	sloBudget := flag.Float64("slo-budget", 0, "allowed bad fraction inside the SLO window (0 = default 0.01)")
 	var obs telemetry.CLI
 	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -102,6 +114,27 @@ func run() error {
 		wd = -1
 	}
 
+	var logger *telemetry.Logger
+	if *logLevel != "" {
+		lv, err := telemetry.ParseLevel(*logLevel)
+		if err != nil {
+			return err
+		}
+		logw := os.Stderr
+		if *logOut != "" {
+			f, err := os.OpenFile(*logOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			logw = f
+		}
+		logger = telemetry.NewLogger(logw, lv)
+	}
+	if *trace {
+		fmt.Println("request tracing on: span trees at /debug/requests (add ?format=chrome for Perfetto)")
+	}
+
 	srv := serve.New(serve.Config{
 		MaxPlans:         *maxPlans,
 		MaxInFlightRanks: *maxInflight,
@@ -113,6 +146,15 @@ func run() error {
 		FaultProfile:     *chaosProfile,
 		FaultSeed:        *chaosSeed,
 		Watchdog:         wd,
+		Trace:            *trace,
+		Logger:           logger,
+		FlightRecent:     *flightRecent,
+		FlightNotable:    *flightNotable,
+		SlowFactor:       *slowFactor,
+		SlowMin:          *slowMin,
+		SLOObjective:     *sloObjective,
+		SLOWindow:        *sloWindow,
+		SLOBudget:        *sloBudget,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -214,7 +214,6 @@ func TestConfigErrors(t *testing.T) {
 		{"pencil infeasible ranks", []offt.Option{offt.WithGrid(4, 4, 4), offt.WithRanks(64), offt.WithDecomp(offt.Pencil)}, "ranks", true},
 		{"pencil TH", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithVariant(offt.TH)}, "variant", false},
 		{"pencil workers", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithWorkers(2)}, "workers", false},
-		{"pencil trace", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithTrace()}, "trace", false},
 		{"bad slab params", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(2), offt.WithParams(offt.Params{T: -1})}, "params", false},
 		{"bad pencil params", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(2), offt.WithDecomp(offt.Pencil), offt.WithParams(offt.Params{T: 2})}, "params", false},
 		{"pencil Pr does not divide", []offt.Option{offt.WithGrid(8, 8, 8), offt.WithRanks(4), offt.WithDecomp(offt.Pencil), offt.WithParams(offt.Params{T: 2, W: 1, Pr: 3})}, "params", false},

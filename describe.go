@@ -350,9 +350,6 @@ func (cfg *config) resolvePencil(desc PlanDescription) (PlanDescription, error) 
 	if cfg.workers > 1 {
 		return PlanDescription{}, &ConfigError{Field: "workers", Value: fmt.Sprint(cfg.workers), Reason: "intra-rank worker fan-out is slab-only"}
 	}
-	if cfg.trace {
-		return PlanDescription{}, &ConfigError{Field: "trace", Reason: "step tracing is slab-only"}
-	}
 	store, err := cfg.loadStore()
 	if err != nil {
 		return PlanDescription{}, err

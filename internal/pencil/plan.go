@@ -45,6 +45,13 @@ type Plan struct {
 	mon  pfft.FaultMonitor
 	flag fft.Flag
 	last pfft.Breakdown
+
+	// Step-event tracing (EnableTrace): events accumulates one execution's
+	// timeline; trcBase offsets tile indices so phase-B tiles number after
+	// phase-A tiles and post/wait pairs stay unique plan-wide.
+	traced  bool
+	events  []pfft.StepEvent
+	trcBase int
 }
 
 // NewPlan builds a reusable pencil plan for this rank. Supported variants:
@@ -110,8 +117,24 @@ func (p *Plan) Params() Params2D { return p.prm }
 // Breakdown returns the per-step breakdown of the most recent execution.
 func (p *Plan) Breakdown() pfft.Breakdown { return p.last }
 
-// Trace reports the step-event timeline; the pencil path records none.
-func (p *Plan) Trace() []pfft.StepEvent { return nil }
+// EnableTrace turns on step-event recording: every subsequent execution
+// rebuilds the timeline returned by Trace. Tracing wraps the already-
+// timed sites with event appends — use it for timeline capture, not
+// steady-state benchmarking (the appends allocate on first growth).
+func (p *Plan) EnableTrace() { p.traced = true }
+
+// Trace reports the step-event timeline of the most recent execution
+// (nil unless EnableTrace was called). The slice aliases plan-owned
+// storage and is valid until the next execution.
+func (p *Plan) Trace() []pfft.StepEvent { return p.events }
+
+// rec appends one step event when tracing is enabled.
+func (p *Plan) rec(name string, start, end int64, tile int) {
+	if !p.traced {
+		return
+	}
+	p.events = append(p.events, pfft.StepEvent{Name: name, Start: start, End: end, Tile: tile})
+}
 
 // Close releases nothing today but completes the create/execute/close
 // lifecycle shared with pfft.Plan.
@@ -143,9 +166,12 @@ func (p *Plan) runPhase(k, w int, reqs []mpi.Request, f phaseFuncs, b *pfft.Brea
 		if i >= w {
 			t := c.Now()
 			ok := p.mon.WaitTile(c, reqs[i-w])
-			b.Wait += c.Now() - t
+			now := c.Now()
+			b.Wait += now - t
+			p.rec("Wait", t, now, p.trcBase+i-w)
 			if !ok {
 				b.Downgrades++
+				p.rec("Downgrade", now, now, p.trcBase+i-w)
 				p.degradePhase(k, w, reqs, i, f, b)
 				return
 			}
@@ -153,7 +179,9 @@ func (p *Plan) runPhase(k, w int, reqs []mpi.Request, f phaseFuncs, b *pfft.Brea
 		if i < k {
 			t := c.Now()
 			reqs[i] = f.post(i)
-			b.Ialltoall += c.Now() - t
+			now := c.Now()
+			b.Ialltoall += now - t
+			p.rec("Ialltoall", t, now, p.trcBase+i)
 		}
 		if i >= w {
 			j := i - w
@@ -184,7 +212,9 @@ func (p *Plan) degradePhase(k, w int, reqs []mpi.Request, i int, f phaseFuncs, b
 	for j := i - w; j < hi; j++ {
 		t := c.Now()
 		c.Wait(reqs[j])
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		p.rec("Wait", t, now, p.trcBase+j)
 		f.back(j, nil)
 	}
 	for j := i; j < k; j++ {
@@ -194,7 +224,9 @@ func (p *Plan) degradePhase(k, w int, reqs []mpi.Request, i int, f phaseFuncs, b
 		t := c.Now()
 		req := f.post(j)
 		c.Wait(req)
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		p.rec("Wait", t, now, p.trcBase+j)
 		f.back(j, nil)
 	}
 }
@@ -207,7 +239,9 @@ func (p *Plan) doTests(win []mpi.Request, b *pfft.Breakdown) {
 	for j := 0; j < p.prm.F; j++ {
 		p.c.Test(win...)
 	}
-	b.Test += p.c.Now() - t
+	now := p.c.Now()
+	b.Test += now - t
+	p.rec("Test", t, now, -1)
 }
 
 // Forward executes one forward transform. slab is this rank's input
@@ -222,6 +256,8 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 	var b pfft.Breakdown
 	start := c.Now()
 	p.mon.Init(c)
+	p.events = p.events[:0]
+	p.trcBase = 0
 	xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
 
 	// ---- Phase A: FFTz + row-group exchange (y↔z splits) + FFTy ----
@@ -245,7 +281,9 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 			x0, x1 := boundsA(i)
 			t := c.Now()
 			p.fz.Batch(slab[x0*yc*g.Nz:], (x1-x0)*yc, g.Nz)
-			b.FFTz += c.Now() - t
+			now := c.Now()
+			b.FFTz += now - t
+			p.rec("FFTz", t, now, i)
 			p.doTests(win, &b)
 			t = c.Now()
 			buf := p.sendA[i%slotsA][:(x1-x0)*yc*g.Nz]
@@ -260,7 +298,9 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 					}
 				}
 			}
-			b.Pack += c.Now() - t
+			now = c.Now()
+			b.Pack += now - t
+			p.rec("Pack", t, now, i)
 			p.doTests(win, &b)
 		},
 		post: func(i int) mpi.Request {
@@ -292,16 +332,21 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 					}
 				}
 			}
-			b.Unpack += c.Now() - t
+			now := c.Now()
+			b.Unpack += now - t
+			p.rec("Unpack", t, now, i)
 			p.doTests(win, &b)
 			t = c.Now()
 			p.fy.Batch(p.mid[x0*zc*g.Ny:], (x1-x0)*zc, g.Ny)
-			b.FFTy += c.Now() - t
+			now = c.Now()
+			b.FFTy += now - t
+			p.rec("FFTy", t, now, i)
 			p.doTests(win, &b)
 		},
 	}, &b)
 
 	// ---- Phase B: column-group exchange (x↔y splits) + FFTx ----
+	p.trcBase = kA
 	kB := (g.ZD.MaxCount() + p.prm.TB - 1) / p.prm.TB
 	slotsB := p.prm.WB + 1
 	boundsB := func(i int) (int, int) {
@@ -330,7 +375,9 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 					}
 				}
 			}
-			b.Pack += c.Now() - t
+			now := c.Now()
+			b.Pack += now - t
+			p.rec("Pack", t, now, kA+i)
 			p.doTests(win, &b)
 		},
 		post: func(i int) mpi.Request {
@@ -362,7 +409,9 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 					}
 				}
 			}
-			b.Unpack += c.Now() - t
+			now := c.Now()
+			b.Unpack += now - t
+			p.rec("Unpack", t, now, kA+i)
 			p.doTests(win, &b)
 			t = c.Now()
 			for ly := 0; ly < y2c; ly++ {
@@ -372,7 +421,9 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 					p.fx.Transform(row, row)
 				}
 			}
-			b.FFTx += c.Now() - t
+			now = c.Now()
+			b.FFTx += now - t
+			p.rec("FFTx", t, now, kA+i)
 			p.doTests(win, &b)
 		},
 	}, &b)
@@ -422,12 +473,15 @@ func (p *Plan) Backward(xp []complex128) ([]complex128, pfft.Breakdown, error) {
 	p.ensureBackward()
 	var b pfft.Breakdown
 	start := c.Now()
+	p.events = p.events[:0]
 	xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
 
 	// FFTx⁻¹ on the contiguous x rows.
 	t := c.Now()
 	p.bx.Batch(xp, y2c*zc, g.Nx)
-	b.FFTx += c.Now() - t
+	now := c.Now()
+	b.FFTx += now - t
+	p.rec("FFTx", t, now, -1)
 
 	// Inverse transpose B within the column group: return x-ranges, regather
 	// y. The pack order to each destination mirrors the forward unpack read
@@ -452,10 +506,14 @@ func (p *Plan) Backward(xp []complex128) ([]complex128, pfft.Breakdown, error) {
 	for ri := 0; ri < g.PR; ri++ {
 		p.recvCounts[g.GlobalRank(ri, g.CI)] = xc * zc * g.YD2.Count(ri)
 	}
-	b.Pack += c.Now() - t
+	now = c.Now()
+	b.Pack += now - t
+	p.rec("Pack", t, now, -1)
 	t = c.Now()
 	c.Alltoallv(p.bsend[:g.OutSize()], p.sendCounts, p.brecv[:g.MidSize()], p.recvCounts)
-	b.Wait += c.Now() - t
+	now = c.Now()
+	b.Wait += now - t
+	p.rec("Alltoall", t, now, -1)
 	t = c.Now()
 	roff := 0
 	for ri := 0; ri < g.PR; ri++ {
@@ -468,12 +526,16 @@ func (p *Plan) Backward(xp []complex128) ([]complex128, pfft.Breakdown, error) {
 			}
 		}
 	}
-	b.Unpack += c.Now() - t
+	now = c.Now()
+	b.Unpack += now - t
+	p.rec("Unpack", t, now, -1)
 
 	// FFTy⁻¹.
 	t = c.Now()
 	p.by.Batch(p.mid, xc*zc, g.Ny)
-	b.FFTy += c.Now() - t
+	now = c.Now()
+	b.FFTy += now - t
+	p.rec("FFTy", t, now, -1)
 
 	// Inverse transpose A within the row group: return y-ranges, regather z.
 	t = c.Now()
@@ -496,10 +558,14 @@ func (p *Plan) Backward(xp []complex128) ([]complex128, pfft.Breakdown, error) {
 	for cj := 0; cj < g.PC; cj++ {
 		p.recvCounts[g.GlobalRank(g.RI, cj)] = xc * yc * g.ZD.Count(cj)
 	}
-	b.Pack += c.Now() - t
+	now = c.Now()
+	b.Pack += now - t
+	p.rec("Pack", t, now, -1)
 	t = c.Now()
 	c.Alltoallv(p.bsend[:g.MidSize()], p.sendCounts, p.brecv[:g.InSize()], p.recvCounts)
-	b.Wait += c.Now() - t
+	now = c.Now()
+	b.Wait += now - t
+	p.rec("Alltoall", t, now, -1)
 	t = c.Now()
 	roff = 0
 	for cj := 0; cj < g.PC; cj++ {
@@ -512,12 +578,16 @@ func (p *Plan) Backward(xp []complex128) ([]complex128, pfft.Breakdown, error) {
 			}
 		}
 	}
-	b.Unpack += c.Now() - t
+	now = c.Now()
+	b.Unpack += now - t
+	p.rec("Unpack", t, now, -1)
 
 	// FFTz⁻¹.
 	t = c.Now()
 	p.bz.Batch(p.in, xc*yc, g.Nz)
-	b.FFTz += c.Now() - t
+	now = c.Now()
+	b.FFTz += now - t
+	p.rec("FFTz", t, now, -1)
 
 	b.Total = c.Now() - start
 	p.last = b

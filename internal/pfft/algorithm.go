@@ -30,6 +30,8 @@ func runOverlapped(rs *runState, e Engine, prm Params, fast bool, b *Breakdown) 
 	reqs := rs.reqs
 	mon := &rs.mon
 
+	rec := recOf(c)
+
 	for i := 0; i < k+w; i++ {
 		if i < k {
 			// Test targets during FFTy+Pack: the W previous tiles (Alg. 2).
@@ -42,7 +44,9 @@ func runOverlapped(rs *runState, e Engine, prm Params, fast bool, b *Breakdown) 
 		if i >= w {
 			t := c.Now()
 			ok := mon.WaitTile(c, reqs[i-w])
-			b.Wait += c.Now() - t
+			now := c.Now()
+			b.Wait += now - t
+			rec.add("Wait", t, now, i-w)
 			if !ok {
 				downgradeForward(e, prm, fast, tl, reqs, i, b)
 				return
@@ -51,7 +55,9 @@ func runOverlapped(rs *runState, e Engine, prm Params, fast bool, b *Breakdown) 
 		if i < k {
 			t := c.Now()
 			reqs[i] = e.PostTile(i%slots, tl.TileLen(i))
-			b.Ialltoall += c.Now() - t
+			now := c.Now()
+			b.Ialltoall += now - t
+			rec.add("Ialltoall", t, now, i)
 		}
 		if i >= w {
 			// Test targets during Unpack+FFTx: the W next tiles already
@@ -80,6 +86,7 @@ func runOverlapped(rs *runState, e Engine, prm Params, fast bool, b *Breakdown) 
 func downgradeForward(e Engine, prm Params, fast bool, tl layout.Tiling, reqs []mpi.Request, i int, b *Breakdown) {
 	g := e.Grid()
 	c := e.Comm()
+	rec := recOf(c)
 	k := tl.NumTiles()
 	w := prm.W
 	slots := w + 1
@@ -92,20 +99,26 @@ func downgradeForward(e Engine, prm Params, fast bool, tl layout.Tiling, reqs []
 	for j := i - w; j < hi; j++ {
 		t := c.Now()
 		c.Wait(reqs[j])
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		rec.add("Wait", t, now, j)
 		unpackFFTx(e, c, g, prm, tl, j, j%slots, fast, nil, b)
 	}
 	if i < k {
 		t := c.Now()
 		e.AlltoallTile(i%slots, tl.TileLen(i))
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		rec.add("Alltoall", t, now, i)
 		unpackFFTx(e, c, g, prm, tl, i, i%slots, fast, nil, b)
 	}
 	for j := i + 1; j < k; j++ {
 		fftyPack(e, c, g, prm, tl, j, j%slots, fast, nil, b)
 		t := c.Now()
 		e.AlltoallTile(j%slots, tl.TileLen(j))
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		rec.add("Alltoall", t, now, j)
 		unpackFFTx(e, c, g, prm, tl, j, j%slots, fast, nil, b)
 	}
 }
@@ -117,6 +130,7 @@ func downgradeForward(e Engine, prm Params, fast bool, tl layout.Tiling, reqs []
 func runBlocking(e Engine, prm Params, fast bool, b *Breakdown) {
 	g := e.Grid()
 	c := e.Comm()
+	rec := recOf(c)
 	tl, err := layout.NewTiling(g.Nz, prm.T)
 	if err != nil {
 		panic(err)
@@ -125,7 +139,9 @@ func runBlocking(e Engine, prm Params, fast bool, b *Breakdown) {
 		fftyPack(e, c, g, prm, tl, i, 0, fast, nil, b)
 		t := c.Now()
 		e.AlltoallTile(0, tl.TileLen(i))
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		rec.add("Alltoall", t, now, i)
 		unpackFFTx(e, c, g, prm, tl, i, 0, fast, nil, b)
 	}
 }
@@ -136,16 +152,21 @@ func runBlocking(e Engine, prm Params, fast bool, b *Breakdown) {
 func fftyPack(e Engine, c mpi.Comm, g layout.Grid, prm Params, tl layout.Tiling, tile, slot int, fast bool, window []mpi.Request, b *Breakdown) {
 	zt0, ztl := tl.TileStart(tile), tl.TileLen(tile)
 	nSub := layout.NumSubTiles(ztl, prm.Pz) * layout.NumSubTiles(g.XC(), prm.Px)
+	rec := recOf(c)
 	u := 0
 	layout.SubTiles(ztl, prm.Pz, func(z0, z1 int) {
 		layout.SubTiles(g.XC(), prm.Px, func(x0, x1 int) {
 			t := c.Now()
 			e.FFTySub(fast, zt0, z0, z1, x0, x1)
-			b.FFTy += c.Now() - t
+			now := c.Now()
+			b.FFTy += now - t
+			rec.add("FFTy", t, now, tile)
 			doTests(c, window, testsDue(prm.Fy, u, nSub), b)
 			t = c.Now()
 			e.PackSub(slot, fast, zt0, ztl, z0, z1, x0, x1)
-			b.Pack += c.Now() - t
+			now = c.Now()
+			b.Pack += now - t
+			rec.add("Pack", t, now, tile)
 			doTests(c, window, testsDue(prm.Fp, u, nSub), b)
 			u++
 		})
@@ -158,16 +179,21 @@ func fftyPack(e Engine, c mpi.Comm, g layout.Grid, prm Params, tl layout.Tiling,
 func unpackFFTx(e Engine, c mpi.Comm, g layout.Grid, prm Params, tl layout.Tiling, tile, slot int, fast bool, window []mpi.Request, b *Breakdown) {
 	zt0, ztl := tl.TileStart(tile), tl.TileLen(tile)
 	nSub := layout.NumSubTiles(ztl, prm.Uz) * layout.NumSubTiles(g.YC(), prm.Uy)
+	rec := recOf(c)
 	u := 0
 	layout.SubTiles(ztl, prm.Uz, func(z0, z1 int) {
 		layout.SubTiles(g.YC(), prm.Uy, func(y0, y1 int) {
 			t := c.Now()
 			e.UnpackSub(slot, fast, zt0, ztl, z0, z1, y0, y1)
-			b.Unpack += c.Now() - t
+			now := c.Now()
+			b.Unpack += now - t
+			rec.add("Unpack", t, now, tile)
 			doTests(c, window, testsDue(prm.Fu, u, nSub), b)
 			t = c.Now()
 			e.FFTxSub(fast, zt0, z0, z1, y0, y1)
-			b.FFTx += c.Now() - t
+			now = c.Now()
+			b.FFTx += now - t
+			rec.add("FFTx", t, now, tile)
 			doTests(c, window, testsDue(prm.Fx, u, nSub), b)
 			u++
 		})
@@ -184,14 +210,25 @@ func testsDue(f, u, n int) int {
 }
 
 // doTests issues n MPI_Test calls over the window of active requests,
-// accounting the time to the Test bucket.
+// accounting the time to the Test bucket. Under a tracing communicator
+// the polls go through the inner communicator and the whole burst is
+// recorded as one event reusing the Breakdown's two timestamps, so
+// traced polling reads the clock exactly as often as untraced polling.
 func doTests(c mpi.Comm, window []mpi.Request, n int, b *Breakdown) {
 	if len(window) == 0 || n <= 0 {
 		return
+	}
+	tc, traced := c.(*traceComm)
+	if traced {
+		c = tc.Comm
 	}
 	t := c.Now()
 	for j := 0; j < n; j++ {
 		c.Test(window...)
 	}
-	b.Test += c.Now() - t
+	now := c.Now()
+	b.Test += now - t
+	if traced {
+		tc.rec.addTestBurst(t, now)
+	}
 }

@@ -281,7 +281,9 @@ func (e *backEngine) runOverlapped(rs *runState, prm Params, fast bool, b *Break
 		if i >= w {
 			t := c.Now()
 			ok := mon.WaitTile(c, reqs[i-w])
-			b.Wait += c.Now() - t
+			now := c.Now()
+			b.Wait += now - t
+			e.trc.add("Wait", t, now, i-w)
 			if !ok {
 				e.downgrade(prm, fast, tl, reqs, i, b)
 				return
@@ -292,7 +294,7 @@ func (e *backEngine) runOverlapped(rs *runState, prm Params, fast bool, b *Break
 			reqs[i] = e.postTile(i%slots, tl.TileLen(i))
 			now := c.Now()
 			b.Ialltoall += now - t
-			e.trc.add("Ialltoall", t, now, e.trc.nextPost())
+			e.trc.add("Ialltoall", t, now, i)
 		}
 		if i >= w {
 			j := i - w
@@ -325,7 +327,9 @@ func (e *backEngine) downgrade(prm Params, fast bool, tl layout.Tiling, reqs []m
 	for j := i - w; j < hi; j++ {
 		t := c.Now()
 		c.Wait(reqs[j])
-		b.Wait += c.Now() - t
+		now := c.Now()
+		b.Wait += now - t
+		e.trc.add("Wait", t, now, j)
 		e.scatterFFTy(prm, tl, j, j%slots, fast, nil, b)
 	}
 	if i < k {

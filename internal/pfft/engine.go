@@ -113,6 +113,7 @@ func runWith(rs *runState, e Engine, v Variant, prm Params) (Breakdown, error) {
 	}
 	var b Breakdown
 	c := e.Comm()
+	rec := recOf(c)
 	start := c.Now()
 
 	// The §3.5 fast transpose applies only to NEW (and its ablation) when
@@ -122,11 +123,15 @@ func runWith(rs *runState, e Engine, v Variant, prm Params) (Breakdown, error) {
 
 	t := c.Now()
 	e.FFTz()
-	b.FFTz = c.Now() - t
+	now := c.Now()
+	b.FFTz = now - t
+	rec.add("FFTz", t, now, -1)
 
 	t = c.Now()
 	e.Transpose(fast, optimizedTranspose)
-	b.Transpose += c.Now() - t
+	now = c.Now()
+	b.Transpose += now - t
+	rec.add("Transpose", t, now, -1)
 
 	switch v {
 	case Baseline, NEW0, TH0:

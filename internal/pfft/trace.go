@@ -24,16 +24,16 @@ type StepEvent struct {
 // plan execution across directions. A nil *traceRec is the disabled
 // recorder: every method is a no-op behind one nil check.
 //
-// posts/waits give tile attribution for communication events: both the
-// overlapped forward pipeline (runNEW) and the backward pipeline post and
-// wait their tiles in strict ascending order, so the N-th post and the
-// N-th wait both belong to tile N. That pairing is what lets the timeline
-// exporter draw a flow arrow from each Ialltoall to the Wait that retires
-// it.
+// Recording happens at the pipeline layer (fftyPack, runOverlapped, the
+// backward engine), which brackets every kernel and communication call
+// with Comm.Now() pairs for the Breakdown anyway: events reuse those
+// timestamps, so a traced execution reads the clock exactly as often as
+// an untraced one. The pipelines also know each event's tile index
+// directly (posts and waits retire in ascending tile order), which is
+// what lets the timeline exporter draw a flow arrow from each Ialltoall
+// to the Wait that retires it.
 type traceRec struct {
 	events []StepEvent
-	posts  int
-	waits  int
 }
 
 func (r *traceRec) add(name string, start, end int64, tile int) {
@@ -41,6 +41,23 @@ func (r *traceRec) add(name string, start, end int64, tile int) {
 		return
 	}
 	r.events = append(r.events, StepEvent{Name: name, Start: start, End: end, Tile: tile})
+}
+
+// addTestBurst records one polling burst as a single Test event,
+// coalescing with an immediately preceding Test event. The overlapped
+// pipeline polls the transport between kernel calls, and recording every
+// poll separately floods the timeline (and the request-span exporter)
+// with hundreds of near-zero intervals; one event per burst preserves
+// the polling extent at a fraction of the recording cost.
+func (r *traceRec) addTestBurst(start, end int64) {
+	if r == nil {
+		return
+	}
+	if n := len(r.events); n > 0 && r.events[n-1].Name == "Test" {
+		r.events[n-1].End = end
+		return
+	}
+	r.events = append(r.events, StepEvent{Name: "Test", Start: start, End: end, Tile: -1})
 }
 
 func (r *traceRec) instant(name string, now int64, tile int) {
@@ -55,37 +72,30 @@ func (r *traceRec) reset() {
 		return
 	}
 	r.events = r.events[:0]
-	r.posts, r.waits = 0, 0
 }
 
-// nextPost returns the tile index of the next all-to-all post.
-func (r *traceRec) nextPost() int {
-	if r == nil {
-		return -1
+// recOf returns the recorder behind a tracing communicator, or nil (the
+// disabled recorder) for any other communicator. Pipeline code calls it
+// once per run and then records unconditionally.
+func recOf(c mpi.Comm) *traceRec {
+	if tc, ok := c.(*traceComm); ok {
+		return tc.rec
 	}
-	i := r.posts
-	r.posts++
-	return i
+	return nil
 }
 
-// nextWait returns the tile index of the next tile wait.
-func (r *traceRec) nextWait() int {
-	if r == nil {
-		return -1
-	}
-	i := r.waits
-	r.waits++
-	return i
-}
-
-// TraceEngine wraps an Engine and records a StepEvent per kernel call,
-// reconstructing the paper's Fig. 3 view of how computation on some tiles
-// overlaps communication on others. Its Comm wraps the communicator's
-// Wait/Test to capture the communication side too.
+// TraceEngine marks an Engine for step recording, reconstructing the
+// paper's Fig. 3 view of how computation on some tiles overlaps
+// communication on others. It does not time anything itself: its Comm()
+// returns a recording communicator (traceComm), and the pipeline layer —
+// which brackets every kernel and communication call with Comm.Now()
+// pairs for the Breakdown regardless — records events through it with
+// those same timestamps. Kernel methods forward untouched, so tracing
+// adds no clock reads to the execution's critical path.
 type TraceEngine struct {
 	Inner Engine
 	rec   *traceRec
-	tile  func(zt0 int) int
+	clock mpi.Comm // inner communicator, for NoteDowngrade instants
 }
 
 // NewTraceEngine wraps inner, deriving tile indices from tile starts using
@@ -97,14 +107,10 @@ func NewTraceEngine(inner Engine, prm Params) *TraceEngine {
 // newTraceEngineRec wraps inner recording into an existing recorder (how a
 // Plan shares one recorder between forward and backward executions).
 func newTraceEngineRec(inner Engine, prm Params, rec *traceRec) *TraceEngine {
-	tl, err := layout.NewTiling(inner.Grid().Nz, prm.T)
-	if err != nil {
-		tl = layout.Tiling{Nz: inner.Grid().Nz, T: inner.Grid().Nz}
-	}
 	return &TraceEngine{
 		Inner: inner,
 		rec:   rec,
-		tile:  func(zt0 int) int { return zt0 / tl.T },
+		clock: inner.Comm(),
 	}
 }
 
@@ -122,99 +128,87 @@ func (t *TraceEngine) Events() []StepEvent {
 // Reset discards recorded events so the engine can trace another run.
 func (t *TraceEngine) Reset() { t.rec.reset() }
 
-func (t *TraceEngine) record(name string, tile int, fn func()) {
-	start := t.Inner.Comm().Now()
-	fn()
-	t.rec.add(name, start, t.Inner.Comm().Now(), tile)
-}
-
 // Grid returns the inner engine's geometry.
 func (t *TraceEngine) Grid() layout.Grid { return t.Inner.Grid() }
 
-// Comm returns a communicator that also records Wait and Test intervals.
+// Comm returns the recording communicator the pipeline layer records
+// step events through (see recOf).
 func (t *TraceEngine) Comm() mpi.Comm { return &traceComm{Comm: t.Inner.Comm(), rec: t.rec} }
 
-// FFTz records and forwards.
-func (t *TraceEngine) FFTz() { t.record("FFTz", -1, t.Inner.FFTz) }
+// FFTz forwards (recorded by the pipeline).
+func (t *TraceEngine) FFTz() { t.Inner.FFTz() }
 
-// Transpose records and forwards.
-func (t *TraceEngine) Transpose(fast, optimized bool) {
-	t.record("Transpose", -1, func() { t.Inner.Transpose(fast, optimized) })
-}
+// Transpose forwards (recorded by the pipeline).
+func (t *TraceEngine) Transpose(fast, optimized bool) { t.Inner.Transpose(fast, optimized) }
 
-// FFTySub records and forwards.
+// FFTySub forwards (recorded by the pipeline).
 func (t *TraceEngine) FFTySub(fast bool, zt0, z0, z1, x0, x1 int) {
-	t.record("FFTy", t.tile(zt0), func() { t.Inner.FFTySub(fast, zt0, z0, z1, x0, x1) })
+	t.Inner.FFTySub(fast, zt0, z0, z1, x0, x1)
 }
 
-// PackSub records and forwards.
+// PackSub forwards (recorded by the pipeline).
 func (t *TraceEngine) PackSub(slot int, fast bool, zt0, ztl, z0, z1, x0, x1 int) {
-	t.record("Pack", t.tile(zt0), func() { t.Inner.PackSub(slot, fast, zt0, ztl, z0, z1, x0, x1) })
+	t.Inner.PackSub(slot, fast, zt0, ztl, z0, z1, x0, x1)
 }
 
-// PostTile records and forwards, attributing the post to its tile (posts
-// happen in ascending tile order).
+// PostTile forwards (recorded by the pipeline).
 func (t *TraceEngine) PostTile(slot int, ztl int) mpi.Request {
-	var req mpi.Request
-	t.record("Ialltoall", t.rec.nextPost(), func() { req = t.Inner.PostTile(slot, ztl) })
-	return req
+	return t.Inner.PostTile(slot, ztl)
 }
 
-// AlltoallTile records and forwards.
+// AlltoallTile forwards (recorded by the pipeline).
 func (t *TraceEngine) AlltoallTile(slot int, ztl int) {
-	t.record("Alltoall", -1, func() { t.Inner.AlltoallTile(slot, ztl) })
+	t.Inner.AlltoallTile(slot, ztl)
 }
 
-// UnpackSub records and forwards.
+// UnpackSub forwards (recorded by the pipeline).
 func (t *TraceEngine) UnpackSub(slot int, fast bool, zt0, ztl, z0, z1, y0, y1 int) {
-	t.record("Unpack", t.tile(zt0), func() { t.Inner.UnpackSub(slot, fast, zt0, ztl, z0, z1, y0, y1) })
+	t.Inner.UnpackSub(slot, fast, zt0, ztl, z0, z1, y0, y1)
 }
 
-// FFTxSub records and forwards.
+// FFTxSub forwards (recorded by the pipeline).
 func (t *TraceEngine) FFTxSub(fast bool, zt0, z0, z1, y0, y1 int) {
-	t.record("FFTx", t.tile(zt0), func() { t.Inner.FFTxSub(fast, zt0, z0, z1, y0, y1) })
+	t.Inner.FFTxSub(fast, zt0, z0, z1, y0, y1)
 }
 
 // NoteDowngrade records an overlapped→blocking downgrade as a zero-length
 // event at the current time, marking the tile whose wait triggered it.
 func (t *TraceEngine) NoteDowngrade(tile int) {
-	t.rec.instant("Downgrade", t.Inner.Comm().Now(), tile)
+	t.rec.instant("Downgrade", t.clock.Now(), tile)
 }
 
-// traceComm intercepts Wait and Test to record their intervals. It is
-// shared by TraceEngine and the backward engine's trace mode.
+// traceComm carries the step recorder down to the pipeline layer, which
+// detects it (recOf, doTests) and records events with the timestamps it
+// already takes for the Breakdown. Wait goes through the embedded
+// communicator untouched — its call sites bracket and record it with
+// tile attribution; only Test and WaitDeadline need explicit forwarding.
 type traceComm struct {
 	mpi.Comm
 	rec *traceRec
 }
 
-func (c *traceComm) Wait(reqs ...mpi.Request) {
-	start := c.Comm.Now()
-	c.Comm.Wait(reqs...)
-	c.rec.add("Wait", start, c.Comm.Now(), c.rec.nextWait())
-}
-
+// Test records a single poll as a one-poll burst. The pipeline's hot
+// polling loop (doTests) bypasses this wrapper and records its whole
+// burst with timestamps it already takes for the Breakdown; this path
+// serves direct callers outside that loop.
 func (c *traceComm) Test(reqs ...mpi.Request) bool {
 	start := c.Comm.Now()
 	ok := c.Comm.Test(reqs...)
-	c.rec.add("Test", start, c.Comm.Now(), -1)
+	c.rec.addTestBurst(start, c.Comm.Now())
 	return ok
 }
 
 // WaitDeadline forwards the inner communicator's soft-deadline wait (the
-// downgrade trigger), recording it as a Wait interval. An embedded
-// interface would hide the capability from type assertions, so the
-// forwarding is explicit; without it the fallback is a plain Wait.
+// downgrade trigger). An embedded interface would hide the capability
+// from type assertions, so the forwarding is explicit; without it the
+// fallback is a plain Wait.
 func (c *traceComm) WaitDeadline(reqs ...mpi.Request) error {
 	dw, ok := c.Comm.(mpi.DeadlineWaiter)
 	if !ok {
-		c.Wait(reqs...)
+		c.Comm.Wait(reqs...)
 		return nil
 	}
-	start := c.Comm.Now()
-	err := dw.WaitDeadline(reqs...)
-	c.rec.add("Wait", start, c.Comm.Now(), c.rec.nextWait())
-	return err
+	return dw.WaitDeadline(reqs...)
 }
 
 // TransportHealth forwards the inner communicator's recovery counters

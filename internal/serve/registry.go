@@ -223,6 +223,11 @@ type Registry struct {
 	rebuilds     *telemetry.Counter
 	rebuildFails *telemetry.Counter
 	breakerFails *telemetry.Counter
+
+	// log receives the plan-lifecycle events (built, quarantined, rebuild
+	// failed/succeeded, broken, half-open probe, evicted). A nil logger is
+	// the disabled logger; set before serving via SetLogger.
+	log *telemetry.Logger
 }
 
 // NewRegistry builds a registry holding at most capacity live plans. reg
@@ -252,7 +257,36 @@ func NewRegistry(capacity int, reg *telemetry.Registry) *Registry {
 	reg.Func("serve.plan_cache.quarantined", func() int64 {
 		return int64(r.HealthSnapshot().Quarantined)
 	})
+	// Per-state plan-health gauges for Prometheus: the same states /healthz
+	// reports as JSON, scrapeable so dashboards and the chaos soak can
+	// watch the healthy/quarantined/rebuilding/broken mix over time.
+	reg.Func("serve.plan.health.healthy", func() int64 { return int64(r.Len()) })
+	reg.Func("serve.plan.health.quarantined", func() int64 {
+		h := r.HealthSnapshot()
+		return int64(h.Quarantined - h.Rebuilding - h.Broken)
+	})
+	reg.Func("serve.plan.health.rebuilding", func() int64 {
+		return int64(r.HealthSnapshot().Rebuilding)
+	})
+	reg.Func("serve.plan.health.broken", func() int64 {
+		return int64(r.HealthSnapshot().Broken)
+	})
 	return r
+}
+
+// SetLogger attaches the structured logger the registry announces plan
+// lifecycle transitions on (nil = logging off). Call before serving.
+func (r *Registry) SetLogger(log *telemetry.Logger) {
+	r.mu.Lock()
+	r.log = log
+	r.mu.Unlock()
+}
+
+// logger returns the attached logger (nil-safe to call methods on).
+func (r *Registry) logger() *telemetry.Logger {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log
 }
 
 // SetRebuildPolicy replaces the quarantine-and-rebuild bounds (zero
@@ -291,6 +325,7 @@ func (r *Registry) Acquire(ctx context.Context, key PlanKey, build func() (*offt
 			br.openUntil = now.Add(r.policy.BackoffBase)
 			probe := &planEntry{key: key, ready: make(chan struct{}), build: build, health: HealthRebuilding}
 			r.rebuildWG.Add(1)
+			r.log.Info("plan.halfopen_probe", "plan", key.String())
 			go r.rebuild(probe, nil)
 		}
 		qerr := r.quarantineErrLocked(key, br, now)
@@ -342,18 +377,27 @@ func (r *Registry) Acquire(ctx context.Context, key PlanKey, build func() (*offt
 		r.mu.Unlock()
 	}()
 
+	// The cold build shows up in the requesting trace as its own span
+	// under "acquire": plan construction (world spin-up, tuned-store
+	// lookup) is the dominant cold-path cost and must be attributable.
+	tc := telemetry.TraceFrom(ctx)
+	span := tc.Begin("plan_build")
 	start := time.Now()
 	e.plan, e.err = build()
 	completed = true
-	r.buildNs.Observe(time.Since(start).Nanoseconds())
+	buildNs := time.Since(start).Nanoseconds()
+	tc.End(span)
+	r.buildNs.Observe(buildNs)
 	close(e.ready)
 
 	if e.err != nil {
 		r.mu.Lock()
 		r.removeLocked(e)
 		r.mu.Unlock()
+		r.logger().Warn("plan.build_failed", "plan", key.String(), "build_ns", buildNs, "error", e.err)
 		return nil, e.err
 	}
+	r.logger().Info("plan.built", "plan", key.String(), "build_ns", buildNs)
 	r.evict()
 	return e, nil
 }
@@ -411,6 +455,8 @@ func (r *Registry) MarkFailed(e *planEntry, cause error) *QuarantinedError {
 	go r.rebuild(e, e.plan)
 	r.mu.Unlock()
 	r.quarantines.Inc()
+	r.logger().Warn("plan.quarantined", "plan", e.key.String(),
+		"retry_after_ns", qe.RetryAfter.Nanoseconds(), "error", cause)
 	return qe
 }
 
@@ -467,12 +513,16 @@ func (r *Registry) rebuild(e *planEntry, old *offt.Plan) {
 				br.lastErr = fmt.Errorf("rebuild failed %d times, breaker broken: %w", br.attempts, err)
 				br.openUntil = time.Now().Add(r.policy.BackoffCap)
 				e.health = HealthBroken
+				attempts := br.attempts
 				r.mu.Unlock()
+				r.logger().Error("plan.broken", "plan", e.key.String(), "attempts", attempts, "error", err)
 				return
 			}
 			br.lastErr = fmt.Errorf("rebuild attempt %d failed: %w", br.attempts, err)
 			br.openUntil = time.Now().Add(r.backoffLocked(br.attempts))
+			attempt := br.attempts
 			r.mu.Unlock()
+			r.logger().Warn("plan.rebuild_failed", "plan", e.key.String(), "attempt", attempt, "error", err)
 			continue
 		}
 
@@ -501,6 +551,7 @@ func (r *Registry) rebuild(e *planEntry, old *offt.Plan) {
 		e.health = HealthHealthy
 		r.mu.Unlock()
 		r.rebuilds.Inc()
+		r.logger().Info("plan.rebuilt", "plan", e.key.String())
 		r.evict()
 		return
 	}
@@ -596,6 +647,7 @@ func (r *Registry) evict() {
 	r.mu.Unlock()
 	for _, v := range victims {
 		r.evictions.Inc()
+		r.logger().Info("plan.evicted", "plan", v.key.String())
 		_ = v.plan.Close()
 	}
 }

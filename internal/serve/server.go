@@ -75,6 +75,29 @@ type Config struct {
 	// ExecWatchdogMin floors the per-request watchdog deadline so jitter
 	// on sub-millisecond transforms cannot trip it (default 250ms).
 	ExecWatchdogMin time.Duration
+	// Trace enables request-scoped tracing: every request carries a
+	// TraceContext whose span tree (queue → acquire → exec → per-phase
+	// and per-step) lands in the flight recorder at /debug/requests.
+	// Plans are built with offt.WithTrace so executions record per-rank
+	// step events; expect a small per-request overhead.
+	Trace bool
+	// Logger receives structured JSON log events (nil = logging off).
+	Logger *telemetry.Logger
+	// FlightRecent / FlightNotable size the flight recorder's rings
+	// (defaults 128 recent / 64 notable; see telemetry.NewFlightRecorder).
+	FlightRecent  int
+	FlightNotable int
+	// SlowFactor and SlowMin set the flight recorder's slow-capture
+	// policy: a request is "slow" when its total latency exceeds
+	// p99-EWMA × SlowFactor and SlowMin both (defaults 4× and 500µs).
+	SlowFactor float64
+	SlowMin    time.Duration
+	// SLOObjective is the transform latency objective (default 250ms);
+	// SLOWindow the rolling error-budget window (default 1m); SLOBudget
+	// the allowed bad fraction within the window (default 1%).
+	SLOObjective time.Duration
+	SLOWindow    time.Duration
+	SLOBudget    float64
 }
 
 func (c *Config) fill() {
@@ -101,6 +124,11 @@ func (c *Config) fill() {
 	if c.ExecWatchdogMin <= 0 {
 		c.ExecWatchdogMin = 250 * time.Millisecond
 	}
+	if c.SLOObjective <= 0 {
+		c.SLOObjective = 250 * time.Millisecond
+	}
+	// SLOWindow and SLOBudget defaults live in telemetry.NewSLO;
+	// FlightRecent/FlightNotable defaults in telemetry.NewFlightRecorder.
 }
 
 // Server is the FFT service. Build with New, expose Handler over any
@@ -121,6 +149,11 @@ type Server struct {
 	errors5xx     *telemetry.Counter
 	watchdogTrips *telemetry.Counter
 
+	flight    *telemetry.FlightRecorder
+	slo       *telemetry.SLO
+	log       *telemetry.Logger
+	reqPrefix string
+
 	bufPool sync.Pool // *[]complex128 payload/result scratch
 }
 
@@ -140,12 +173,23 @@ func New(cfg Config) *Server {
 		errors429:     reg.Counter("serve.http.errors.429"),
 		errors5xx:     reg.Counter("serve.http.errors.5xx"),
 		watchdogTrips: reg.Counter("serve.watchdog.trips"),
+		flight:        telemetry.NewFlightRecorder(cfg.FlightRecent, cfg.FlightNotable),
+		slo:           telemetry.NewSLO(cfg.SLOObjective, cfg.SLOWindow, cfg.SLOBudget),
+		log:           cfg.Logger,
+		reqPrefix:     fmt.Sprintf("r%08x", uint32(time.Now().UnixNano())),
 	}
+	if cfg.SlowFactor > 0 || cfg.SlowMin > 0 {
+		s.flight.SetSlowPolicy(cfg.SlowFactor, cfg.SlowMin)
+	}
+	s.slo.Register(reg, "serve.slo.transform")
 	s.registry.SetRebuildPolicy(cfg.Rebuild)
+	s.registry.SetLogger(cfg.Logger)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/transform", s.timed(s.transNs, s.handleTransform))
 	s.mux.HandleFunc("GET /v1/plans", s.timed(s.plansNs, s.handlePlans))
 	s.mux.HandleFunc("GET /healthz", s.timed(s.healthNs, s.handleHealthz))
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -165,6 +209,12 @@ func (s *Server) Registry() *Registry { return s.registry }
 
 // Admission exposes the admission controller (tests, introspection).
 func (s *Server) Admission() *Admission { return s.adm }
+
+// Flight exposes the flight recorder (tests, chaos harness).
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
+
+// SLO exposes the transform SLO window (tests, chaos harness).
+func (s *Server) SLO() *telemetry.SLO { return s.slo }
 
 // timed wraps a handler with a per-endpoint latency histogram and the
 // request counter.
@@ -247,6 +297,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"rebuilds":       rh.Rebuilds,
 		"downgrades":     rh.Downgrades,
 		"watchdog_trips": s.watchdogTrips.Value(),
+		"slo":            map[string]any{"transform": s.slo.Snapshot()},
+		"flight": map[string]any{
+			"slow_threshold_ns": s.flight.Threshold(),
+		},
 	})
 }
 
@@ -403,6 +457,9 @@ func (s *Server) buildPlan(key PlanKey) (*offt.Plan, error) {
 	case s.cfg.Watchdog < 0:
 		opts = append(opts, offt.WithWatchdog(0))
 	}
+	if s.cfg.Trace {
+		opts = append(opts, offt.WithTrace())
+	}
 	return offt.NewPlanFrom(key, opts...)
 }
 
@@ -433,28 +490,52 @@ func (s *Server) getBuf(n int) []complex128 {
 
 func (s *Server) putBuf(b []complex128) { s.bufPool.Put(&b) }
 
-func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTransform(hw http.ResponseWriter, r *http.Request) {
+	// Every transform is observed: request ID, span tree (when tracing),
+	// SLO accounting, flight-recorder capture and one structured log line.
+	// obs.w wraps the ResponseWriter so finish() can read the status code.
+	obs := s.newReqObs(hw, r, "transform")
+	defer obs.finish()
+	w := obs.w
+
 	if s.draining.Load() {
+		obs.fail(ErrDraining)
 		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
 	var req TransformRequest
 	if err := ReadHeader(r.Body, &req); err != nil {
+		obs.fail(err)
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	spec, err := s.resolve(&req)
 	if err != nil {
+		obs.fail(err)
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	obs.planKey = spec.key.String()
+	if spec.key.Decomp == offt.Pencil {
+		obs.decomp = spec.key.Decomp.String()
+	}
 
 	// Admission: bounded wait for rank-weight capacity. The deadline
-	// covers queueing and execution both.
-	ctx, cancel := context.WithTimeout(r.Context(), spec.timeout)
+	// covers queueing and execution both. The trace context rides the
+	// request context so the plan's execution path can emit spans into it.
+	rctx := r.Context()
+	if obs.tc != nil {
+		rctx = telemetry.ContextWithTrace(rctx, obs.tc)
+	}
+	ctx, cancel := context.WithTimeout(rctx, spec.timeout)
 	defer cancel()
 	queued := time.Now()
-	if err := s.adm.Acquire(ctx, spec.weight); err != nil {
+	queueSpan := obs.tc.Begin("queue")
+	err = s.adm.Acquire(ctx, spec.weight)
+	obs.tc.End(queueSpan)
+	obs.queueNs = time.Since(queued).Nanoseconds()
+	if err != nil {
+		obs.fail(err)
 		switch {
 		case errors.Is(err, ErrDraining):
 			s.writeError(w, http.StatusServiceUnavailable, err)
@@ -471,16 +552,22 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	var admOnce sync.Once
 	releaseAdmission := func() { admOnce.Do(func() { s.adm.Release(spec.weight) }) }
 	defer releaseAdmission()
-	queueNs := time.Since(queued).Nanoseconds()
+	queueNs := obs.queueNs
 
 	// Plan acquisition (singleflight build on miss, warm-started params
 	// already resolved into the key).
 	hadPlan := true
+	acquired := time.Now()
+	acquireSpan := obs.tc.Begin("acquire")
 	entry, err := s.registry.Acquire(ctx, spec.key, func() (*offt.Plan, error) {
 		hadPlan = false
 		return s.buildPlan(spec.key)
 	})
+	obs.tc.End(acquireSpan)
+	obs.acquireNs = time.Since(acquired).Nanoseconds()
+	obs.cacheHit = hadPlan
 	if err != nil {
+		obs.fail(err)
 		switch {
 		case errors.Is(err, offt.ErrBadShape), errors.Is(err, offt.ErrBadConfig):
 			s.writeError(w, http.StatusBadRequest, err)
@@ -509,10 +596,11 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	plan := entry.Plan()
 
 	resp := TransformResponse{
-		Status:   "ok",
-		PlanKey:  spec.key.String(),
-		CacheHit: hadPlan,
-		QueueNs:  queueNs,
+		Status:    "ok",
+		PlanKey:   spec.key.String(),
+		RequestID: obs.id,
+		CacheHit:  hadPlan,
+		QueueNs:   queueNs,
 	}
 	if spec.key.Decomp == offt.Pencil {
 		resp.Decomp = spec.key.Decomp.String()
@@ -520,12 +608,17 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 
 	if spec.key.Engine == offt.Sim {
 		start := time.Now()
+		simSpan := obs.tc.Begin("exec")
 		if _, err := plan.Forward(nil); err != nil {
+			obs.tc.End(simSpan)
+			obs.fail(err)
 			s.writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		obs.tc.End(simSpan)
 		entry.RecordExec(time.Since(start).Nanoseconds())
-		resp.ExecNs = time.Since(start).Nanoseconds()
+		obs.execNs = time.Since(start).Nanoseconds()
+		resp.ExecNs = obs.execNs
 		resp.VirtualNs, resp.TunedNs = plan.VirtualTimes()
 		resp.Execs = entry.execs.Load()
 		hdr, err := MarshalHeader(resp)
@@ -568,17 +661,19 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	type execResult struct {
 		err error
 		ns  int64
+		st  offt.ExecStats
 	}
 	done := make(chan execResult, 1)
 	go func() {
 		start := time.Now()
+		var st offt.ExecStats
 		var eerr error
 		if spec.backward {
-			eerr = plan.BackwardInto(out, in)
+			st, eerr = plan.BackwardIntoCtx(ctx, out, in)
 		} else {
-			eerr = plan.ForwardInto(out, in)
+			st, eerr = plan.ForwardIntoCtx(ctx, out, in)
 		}
-		done <- execResult{eerr, time.Since(start).Nanoseconds()}
+		done <- execResult{eerr, time.Since(start).Nanoseconds(), st}
 	}()
 
 	wdDeadline := s.execDeadline(entry)
@@ -613,11 +708,15 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		// the world (unblocking the transform goroutine), quarantine the
 		// plan, and answer with the breaker's 503.
 		s.watchdogTrips.Inc()
+		s.log.Warn("watchdog.tripped", "req", obs.id, "plan", obs.planKey,
+			"deadline_ns", int64(wdDeadline), "steady_ns", entry.SteadyNs())
 		cause := fmt.Errorf("serve: request watchdog: execution exceeded %v (steady-state %v × factor %d)",
 			wdDeadline, time.Duration(entry.SteadyNs()), s.cfg.ExecWatchdogFactor)
 		plan.Fail(cause)
 		qe := s.registry.MarkFailed(entry, cause)
 		reap()
+		obs.reasons = append(obs.reasons, "watchdog")
+		obs.fail(cause)
 		s.writeUnavailable(w, qe)
 		return
 	case <-ctx.Done():
@@ -627,24 +726,38 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		// request and let the transform finish (or the mem hang watchdog
 		// fail it) in the background.
 		reap()
-		s.writeError(w, http.StatusGatewayTimeout,
-			fmt.Errorf("serve: transform exceeded the request deadline: %w", ctx.Err()))
+		err := fmt.Errorf("serve: transform exceeded the request deadline: %w", ctx.Err())
+		obs.fail(err)
+		s.writeError(w, http.StatusGatewayTimeout, err)
 		return
 	}
 	if res.err != nil {
-		if errors.Is(res.err, offt.ErrWorldFailed) {
+		obs.fail(res.err)
+		switch {
+		case errors.Is(res.err, offt.ErrWorldFailed):
 			// The world died under this transform (injected faults, hang
 			// watchdog abort, hard failure): quarantine the plan so the
 			// background rebuild starts, and tell the client when to
 			// retry.
 			qe := s.registry.MarkFailed(entry, res.err)
 			s.writeUnavailable(w, qe)
-			return
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			// The deadline expired before dispatch even began (the plan's
+			// own ctx pre-check): same outcome as the select's ctx branch.
+			s.writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("serve: transform exceeded the request deadline: %w", res.err))
+		default:
+			s.writeError(w, http.StatusInternalServerError, res.err)
 		}
-		s.writeError(w, http.StatusInternalServerError, res.err)
 		return
 	}
 	entry.RecordExec(res.ns)
+	obs.execNs = res.ns
+	obs.downgrades = res.st.Downgrades
+	if res.st.Breakdown.Total > 0 {
+		obs.overlap = res.st.OverlapEfficiency()
+		resp.OverlapEfficiency = obs.overlap
+	}
 	resp.ExecNs = res.ns
 	resp.Elements = n
 	resp.Execs = entry.execs.Load()

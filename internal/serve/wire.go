@@ -65,6 +65,9 @@ type TransformRequest struct {
 type TransformResponse struct {
 	Status  string `json:"status"`
 	PlanKey string `json:"plan_key"`
+	// RequestID echoes the request's observability ID; feed it to
+	// GET /debug/requests/{id} to pull the captured span tree.
+	RequestID string `json:"request_id,omitempty"`
 	// Decomp echoes the plan's resolved decomposition ("pencil" only;
 	// omitted for slab so pre-pencil clients see unchanged headers).
 	Decomp    string `json:"decomp,omitempty"`
@@ -78,6 +81,10 @@ type TransformResponse struct {
 	// Downgrades is the plan's cumulative overlapped→blocking fallback
 	// count: nonzero means the transform succeeded degraded.
 	Downgrades int64 `json:"downgrades,omitempty"`
+	// OverlapEfficiency is this execution's overlappable/(overlappable +
+	// visible-comm) ratio from the per-phase breakdown (0 when the plan
+	// variant records no breakdown).
+	OverlapEfficiency float64 `json:"overlap_efficiency,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-200 response.

@@ -15,11 +15,55 @@ type Bucket struct {
 	N  int64 `json:"n"`
 }
 
-// HistSnapshot is a point-in-time view of one histogram.
+// HistSnapshot is a point-in-time view of one histogram. Min and Max are
+// exact; the quantile fields come from Quantile and inherit the buckets'
+// power-of-two resolution.
 type HistSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	P50Ns   int64    `json:"p50_ns,omitempty"`
+	P99Ns   int64    `json:"p99_ns,omitempty"`
+	P999Ns  int64    `json:"p999_ns,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the cumulative
+// bucket counts: the answer is the upper bound of the bucket containing
+// the q·Count-th observation, clamped into [Min, Max] so the power-of-two
+// rounding can never report a tail beyond the true extremes. Returns 0
+// for an empty snapshot.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	v := h.Buckets[len(h.Buckets)-1].Le
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= target {
+			v = b.Le
+			break
+		}
+	}
+	if h.Max > 0 && v > h.Max {
+		v = h.Max
+	}
+	if v < h.Min {
+		v = h.Min
+	}
+	return v
 }
 
 // Snapshot is a point-in-time view of a whole registry. Funcs are folded
@@ -71,12 +115,15 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[k] = g.Value()
 	}
 	for k, h := range hists {
-		hs := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+		hs := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Min: h.Min(), Max: h.Max()}
 		for i := range h.buckets {
 			if n := h.buckets[i].Load(); n > 0 {
 				hs.Buckets = append(hs.Buckets, Bucket{Le: BucketLe(i), N: n})
 			}
 		}
+		hs.P50Ns = hs.Quantile(0.50)
+		hs.P99Ns = hs.Quantile(0.99)
+		hs.P999Ns = hs.Quantile(0.999)
 		s.Histograms[k] = hs
 	}
 	return s

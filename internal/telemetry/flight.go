@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RequestRecord is one completed request as the flight recorder keeps it:
+// identity, outcome, stage latencies, and (when the request was traced)
+// the full span tree.
+type RequestRecord struct {
+	ID       string    `json:"id"`
+	Endpoint string    `json:"endpoint"`
+	PlanKey  string    `json:"plan_key,omitempty"`
+	Start    time.Time `json:"start"`
+	TotalNs  int64     `json:"total_ns"`
+	QueueNs  int64     `json:"queue_ns,omitempty"`
+	AcqNs    int64     `json:"acquire_ns,omitempty"`
+	ExecNs   int64     `json:"exec_ns,omitempty"`
+	Status   int       `json:"status"`
+	Error    string    `json:"error,omitempty"`
+	// Reasons lists why the record was promoted to the notable ring
+	// ("slow", "error", "downgraded", "watchdog"); empty for requests
+	// kept only in the recent ring.
+	Reasons    []string `json:"reasons,omitempty"`
+	Downgrades int64    `json:"downgrades,omitempty"`
+	// OverlapEff is the request's communication-overlap efficiency in
+	// [0,1]; negative means "not measured" (Sim engine, no breakdown).
+	OverlapEff float64     `json:"overlap_efficiency"`
+	CacheHit   bool        `json:"cache_hit,omitempty"`
+	Truncated  bool        `json:"spans_truncated,omitempty"`
+	Spans      []TraceSpan `json:"spans,omitempty"`
+}
+
+// RequestSummary is the listing form of a record (no span tree).
+type RequestSummary struct {
+	ID         string   `json:"id"`
+	Endpoint   string   `json:"endpoint"`
+	PlanKey    string   `json:"plan_key,omitempty"`
+	TotalNs    int64    `json:"total_ns"`
+	Status     int      `json:"status"`
+	Reasons    []string `json:"reasons,omitempty"`
+	OverlapEff float64  `json:"overlap_efficiency"`
+	Spans      int      `json:"spans"`
+}
+
+func (r *RequestRecord) summary() RequestSummary {
+	return RequestSummary{
+		ID: r.ID, Endpoint: r.Endpoint, PlanKey: r.PlanKey,
+		TotalNs: r.TotalNs, Status: r.Status, Reasons: r.Reasons,
+		OverlapEff: r.OverlapEff, Spans: len(r.Spans),
+	}
+}
+
+// FlightSnapshot is the /debug/requests view: the adaptive slow threshold
+// plus summaries of both rings, newest first.
+type FlightSnapshot struct {
+	SlowThresholdNs int64            `json:"slow_threshold_ns"`
+	P99EWMANs       int64            `json:"p99_ewma_ns"`
+	Captured        int64            `json:"captured"`
+	Notable         []RequestSummary `json:"notable"`
+	Recent          []RequestSummary `json:"recent"`
+}
+
+// latWindow sizes the rolling latency sample the p99 estimate is computed
+// from; p99Every is how many observations pass between re-estimates.
+const (
+	latWindow = 256
+	p99Every  = 64
+)
+
+// FlightRecorder keeps two bounded rings of request records: every
+// completed request lands in the recent ring, and requests that were
+// notable — slower than an adaptive threshold (p99-EWMA × factor),
+// erroring, degraded, or watchdog-tripped — are additionally pinned in
+// the notable ring so a burst of healthy traffic cannot evict the one
+// trace that explains an incident. All methods are nil-safe and
+// concurrency-safe.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	recent  ring
+	notable ring
+
+	slowFactor float64
+	slowMin    int64
+
+	// Rolling p99 estimate over successful requests: a fixed window of
+	// recent latencies re-sorted every p99Every observations, folded into
+	// an EWMA so a single quiet period doesn't collapse the threshold.
+	lats     [latWindow]int64
+	nLats    int
+	obs      int64
+	p99EWMA  int64
+	captured int64
+}
+
+// ring is a fixed-capacity overwrite-oldest buffer of records.
+type ring struct {
+	buf  []*RequestRecord
+	next int
+	n    int
+}
+
+func (r *ring) push(rec *RequestRecord) {
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// newestFirst appends the ring's records to dst, newest first.
+func (r *ring) newestFirst(dst []*RequestRecord) []*RequestRecord {
+	for i := 0; i < r.n; i++ {
+		idx := (r.next - 1 - i + len(r.buf)*2) % len(r.buf)
+		dst = append(dst, r.buf[idx])
+	}
+	return dst
+}
+
+// Defaults for the slow policy: a request is slow when it exceeds
+// max(slowMin, p99EWMA × slowFactor). The floor keeps a cold server
+// (tiny p99 from cache-hit warmup) from flagging every request.
+const (
+	defaultSlowFactor = 4.0
+	defaultSlowMinNs  = int64(500 * time.Microsecond)
+)
+
+// NewFlightRecorder creates a recorder with the given ring capacities
+// (values < 1 fall back to 128 recent / 64 notable).
+func NewFlightRecorder(recentCap, notableCap int) *FlightRecorder {
+	if recentCap < 1 {
+		recentCap = 128
+	}
+	if notableCap < 1 {
+		notableCap = 64
+	}
+	return &FlightRecorder{
+		recent:     ring{buf: make([]*RequestRecord, recentCap)},
+		notable:    ring{buf: make([]*RequestRecord, notableCap)},
+		slowFactor: defaultSlowFactor,
+		slowMin:    defaultSlowMinNs,
+	}
+}
+
+// SetSlowPolicy overrides the slow-request threshold parameters. factor
+// <= 0 keeps the current factor; min < 0 keeps the current floor.
+func (f *FlightRecorder) SetSlowPolicy(factor float64, min time.Duration) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if factor > 0 {
+		f.slowFactor = factor
+	}
+	if min >= 0 {
+		f.slowMin = min.Nanoseconds()
+	}
+}
+
+// Threshold returns the current slow-capture threshold in nanoseconds.
+func (f *FlightRecorder) Threshold() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.thresholdLocked()
+}
+
+func (f *FlightRecorder) thresholdLocked() int64 {
+	t := int64(float64(f.p99EWMA) * f.slowFactor)
+	if t < f.slowMin {
+		t = f.slowMin
+	}
+	return t
+}
+
+// Record stores one completed request. The recorder appends its own
+// reasons ("slow", "error", "downgraded") to any the caller pre-seeded
+// (e.g. "watchdog"); records with any reason are pinned in the notable
+// ring. Returns the reasons the record ended up with.
+func (f *FlightRecorder) Record(rec *RequestRecord) []string {
+	if f == nil || rec == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	if rec.TotalNs > f.thresholdLocked() {
+		rec.Reasons = append(rec.Reasons, "slow")
+	}
+	if rec.Status >= 500 || rec.Error != "" {
+		rec.Reasons = append(rec.Reasons, "error")
+	}
+	if rec.Downgrades > 0 {
+		rec.Reasons = append(rec.Reasons, "downgraded")
+	}
+
+	// Successful latencies feed the adaptive threshold; failures would
+	// drag the estimate toward timeout values and mask real slowness.
+	if rec.Status >= 200 && rec.Status < 300 {
+		f.lats[int(f.obs)%latWindow] = rec.TotalNs
+		f.obs++
+		if f.nLats < latWindow {
+			f.nLats++
+		}
+		if f.obs%p99Every == 0 {
+			f.refreshP99Locked()
+		}
+	}
+
+	f.recent.push(rec)
+	if len(rec.Reasons) > 0 {
+		f.notable.push(rec)
+		f.captured++
+	}
+	return rec.Reasons
+}
+
+func (f *FlightRecorder) refreshP99Locked() {
+	tmp := make([]int64, f.nLats)
+	copy(tmp, f.lats[:f.nLats])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	p99 := tmp[(len(tmp)*99)/100]
+	if f.p99EWMA == 0 {
+		f.p99EWMA = p99
+	} else {
+		f.p99EWMA = f.p99EWMA - f.p99EWMA/4 + p99/4
+	}
+}
+
+// Snapshot returns the listing view of both rings, newest first.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	s := FlightSnapshot{Notable: []RequestSummary{}, Recent: []RequestSummary{}}
+	if f == nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s.SlowThresholdNs = f.thresholdLocked()
+	s.P99EWMANs = f.p99EWMA
+	s.Captured = f.captured
+	for _, rec := range f.notable.newestFirst(nil) {
+		s.Notable = append(s.Notable, rec.summary())
+	}
+	for _, rec := range f.recent.newestFirst(nil) {
+		s.Recent = append(s.Recent, rec.summary())
+	}
+	return s
+}
+
+// Get returns the full record (span tree included) for a request ID, or
+// nil. The notable ring is checked first: it retains incident traces
+// after the recent ring has wrapped past them.
+func (f *FlightRecorder) Get(id string) *RequestRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rec := range f.notable.newestFirst(nil) {
+		if rec.ID == id {
+			return rec
+		}
+	}
+	for _, rec := range f.recent.newestFirst(nil) {
+		if rec.ID == id {
+			return rec
+		}
+	}
+	return nil
+}

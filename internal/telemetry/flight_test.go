@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okRecord(id string, totalNs int64) *RequestRecord {
+	return &RequestRecord{ID: id, Endpoint: "transform", TotalNs: totalNs,
+		Status: 200, OverlapEff: -1}
+}
+
+// TestFlightRingWraparound: the recent ring overwrites oldest-first and
+// lists newest-first once wrapped.
+func TestFlightRingWraparound(t *testing.T) {
+	f := NewFlightRecorder(4, 4)
+	for i := 0; i < 10; i++ {
+		f.Record(okRecord(fmt.Sprintf("r-%d", i), 1000))
+	}
+	s := f.Snapshot()
+	if len(s.Recent) != 4 {
+		t.Fatalf("recent holds %d, want 4", len(s.Recent))
+	}
+	for i, want := range []string{"r-9", "r-8", "r-7", "r-6"} {
+		if s.Recent[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, s.Recent[i].ID, want)
+		}
+	}
+	if f.Get("r-0") != nil {
+		t.Error("evicted record still reachable via Get")
+	}
+	if f.Get("r-9") == nil {
+		t.Error("newest record not reachable via Get")
+	}
+}
+
+// TestFlightNotablePinned: an erroring request stays reachable through
+// the notable ring after a burst of healthy traffic wraps the recent ring
+// past it — the property that makes the recorder useful for incidents.
+func TestFlightNotablePinned(t *testing.T) {
+	f := NewFlightRecorder(4, 4)
+	bad := &RequestRecord{ID: "incident", Endpoint: "transform", TotalNs: 1000, Status: 503,
+		Error: "quarantined", OverlapEff: -1}
+	reasons := f.Record(bad)
+	if len(reasons) == 0 {
+		t.Fatal("5xx record got no promotion reason")
+	}
+	for i := 0; i < 20; i++ {
+		f.Record(okRecord(fmt.Sprintf("ok-%d", i), 1000))
+	}
+	rec := f.Get("incident")
+	if rec == nil {
+		t.Fatal("incident evicted despite notable pin")
+	}
+	if rec.Error != "quarantined" {
+		t.Fatalf("wrong record: %+v", rec)
+	}
+	s := f.Snapshot()
+	if s.Captured != 1 {
+		t.Errorf("captured = %d, want 1", s.Captured)
+	}
+}
+
+// TestFlightSlowPromotion: a request above max(slowMin, p99EWMA×factor)
+// is promoted with reason "slow"; one below is not.
+func TestFlightSlowPromotion(t *testing.T) {
+	f := NewFlightRecorder(8, 8)
+	f.SetSlowPolicy(4, time.Millisecond)
+	if got := f.Threshold(); got != time.Millisecond.Nanoseconds() {
+		t.Fatalf("cold threshold = %d, want the floor", got)
+	}
+	if reasons := f.Record(okRecord("fast", 100_000)); len(reasons) != 0 {
+		t.Fatalf("fast request promoted: %v", reasons)
+	}
+	reasons := f.Record(okRecord("slow", 50*time.Millisecond.Nanoseconds()))
+	if len(reasons) != 1 || reasons[0] != "slow" {
+		t.Fatalf("slow request reasons = %v", reasons)
+	}
+}
+
+// TestFlightReasons: caller-seeded reasons ("watchdog") are kept and the
+// recorder's own classifications append after them.
+func TestFlightReasons(t *testing.T) {
+	f := NewFlightRecorder(8, 8)
+	rec := &RequestRecord{ID: "w", Endpoint: "transform", TotalNs: 1000, Status: 504,
+		Reasons: []string{"watchdog"}, Downgrades: 2, OverlapEff: -1}
+	reasons := f.Record(rec)
+	want := map[string]bool{"watchdog": true, "error": true, "downgraded": true}
+	if len(reasons) != len(want) {
+		t.Fatalf("reasons = %v", reasons)
+	}
+	for _, r := range reasons {
+		if !want[r] {
+			t.Fatalf("unexpected reason %q in %v", r, reasons)
+		}
+	}
+}
+
+// TestFlightAdaptiveThreshold: enough uniform successes push the p99 EWMA
+// up so the threshold rises above the floor.
+func TestFlightAdaptiveThreshold(t *testing.T) {
+	f := NewFlightRecorder(8, 8)
+	f.SetSlowPolicy(4, time.Microsecond)
+	base := 10 * time.Millisecond.Nanoseconds()
+	for i := 0; i < p99Every*2; i++ {
+		f.Record(okRecord(fmt.Sprintf("w-%d", i), base))
+	}
+	if got := f.Threshold(); got < 2*base {
+		t.Fatalf("threshold %d did not adapt above 2×p99 (%d)", got, 2*base)
+	}
+}
+
+// TestFlightConcurrentCapture: writers, snapshotters and readers race on
+// one recorder. Run with -race; correctness check is bounded ring sizes.
+func TestFlightConcurrentCapture(t *testing.T) {
+	f := NewFlightRecorder(16, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 3 {
+				case 0:
+					status := 200
+					if i%30 == 0 {
+						status = 503
+					}
+					f.Record(&RequestRecord{ID: fmt.Sprintf("g%d-%d", g, i),
+						Endpoint: "transform", TotalNs: int64(i) * 1000,
+						Status: status, OverlapEff: -1})
+				case 1:
+					s := f.Snapshot()
+					if len(s.Recent) > 16 || len(s.Notable) > 8 {
+						panic("ring bound breached")
+					}
+				case 2:
+					_ = f.Get(fmt.Sprintf("g%d-%d", g, i-i%3))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := f.Snapshot()
+	if len(s.Recent) != 16 {
+		t.Fatalf("recent holds %d after 800+ records, want 16", len(s.Recent))
+	}
+}
+
+// TestFlightNilSafe: a nil recorder swallows everything.
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	if f.Record(okRecord("x", 1)) != nil || f.Get("x") != nil || f.Threshold() != 0 {
+		t.Fatal("nil FlightRecorder not inert")
+	}
+	f.SetSlowPolicy(1, 1)
+	s := f.Snapshot()
+	if s.Notable == nil || s.Recent == nil {
+		t.Fatal("nil Snapshot must return empty (non-nil) slices for JSON")
+	}
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. The zero value is Info.
+type Level int
+
+const (
+	LevelInfo Level = iota
+	LevelDebug
+	LevelWarn
+	LevelError
+)
+
+// severity orders levels for filtering (Debug < Info < Warn < Error); the
+// constant values above keep Info as the zero value instead.
+func (l Level) severity() int {
+	switch l {
+	case LevelDebug:
+		return 0
+	case LevelWarn:
+		return 2
+	case LevelError:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+}
+
+// Logger emits structured logs: one JSON object per line, with "ts",
+// "level" and "event" first and the caller's key/value pairs following in
+// call order (fields are marshaled by hand, so the order is stable and
+// diffs/greps are deterministic). Per-event token buckets rate-limit
+// noisy events; when suppressed lines exist, the next permitted emission
+// of that event carries a "dropped" count. All methods are safe for
+// concurrent use, and every method on a nil *Logger is a no-op, so
+// libraries can thread an optional logger without conditionals.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	min    int // minimum severity
+	limits map[string]*logBucket
+
+	// rate limit configuration: refill tokens/sec and bucket burst.
+	perSec float64
+	burst  float64
+
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+type logBucket struct {
+	tokens  float64
+	last    time.Time
+	dropped int64
+}
+
+// defaultLogPerSec/-Burst bound steady-state log volume per event name:
+// enough for health transitions and errors, tight enough that a request
+// flood cannot turn the log into the bottleneck.
+const (
+	defaultLogPerSec = 50
+	defaultLogBurst  = 100
+)
+
+// NewLogger writes JSON lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{
+		w:      w,
+		min:    min.severity(),
+		limits: make(map[string]*logBucket),
+		perSec: defaultLogPerSec,
+		burst:  defaultLogBurst,
+		now:    time.Now,
+	}
+}
+
+// SetLimit overrides the per-event rate limit (tokens per second and
+// burst). perSec <= 0 disables rate limiting.
+func (l *Logger) SetLimit(perSec, burst float64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.perSec, l.burst = perSec, burst
+	l.limits = make(map[string]*logBucket)
+}
+
+// Enabled reports whether lines at lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && lv.severity() >= l.min
+}
+
+// Log emits one line: event is the stable event name (also the rate-limit
+// key), kv alternates string keys with values. Values marshal as JSON
+// strings, numbers, or booleans by dynamic type; anything else via %v.
+func (l *Logger) Log(lv Level, event string, kv ...any) {
+	if l == nil || lv.severity() < l.min {
+		return
+	}
+	now := l.now()
+
+	l.mu.Lock()
+	dropped := int64(0)
+	if l.perSec > 0 {
+		b := l.limits[event]
+		if b == nil {
+			b = &logBucket{tokens: l.burst, last: now}
+			l.limits[event] = b
+		}
+		b.tokens += now.Sub(b.last).Seconds() * l.perSec
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+		if b.tokens < 1 {
+			b.dropped++
+			l.mu.Unlock()
+			return
+		}
+		b.tokens--
+		dropped, b.dropped = b.dropped, 0
+	}
+
+	var sb strings.Builder
+	sb.Grow(128)
+	sb.WriteString(`{"ts":"`)
+	sb.WriteString(now.UTC().Format(time.RFC3339Nano))
+	sb.WriteString(`","level":"`)
+	sb.WriteString(lv.String())
+	sb.WriteString(`","event":`)
+	sb.WriteString(strconv.Quote(event))
+	if dropped > 0 {
+		sb.WriteString(`,"dropped":`)
+		sb.WriteString(strconv.FormatInt(dropped, 10))
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Quote(key))
+		sb.WriteByte(':')
+		appendLogValue(&sb, kv[i+1])
+	}
+	sb.WriteString("}\n")
+	if l.w != nil {
+		io.WriteString(l.w, sb.String())
+	}
+	l.mu.Unlock()
+}
+
+// Debug/Info/Warn/Error are level shorthands for Log.
+func (l *Logger) Debug(event string, kv ...any) { l.Log(LevelDebug, event, kv...) }
+func (l *Logger) Info(event string, kv ...any)  { l.Log(LevelInfo, event, kv...) }
+func (l *Logger) Warn(event string, kv ...any)  { l.Log(LevelWarn, event, kv...) }
+func (l *Logger) Error(event string, kv ...any) { l.Log(LevelError, event, kv...) }
+
+func appendLogValue(sb *strings.Builder, v any) {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("null")
+	case string:
+		sb.WriteString(strconv.Quote(x))
+	case bool:
+		sb.WriteString(strconv.FormatBool(x))
+	case int:
+		sb.WriteString(strconv.FormatInt(int64(x), 10))
+	case int32:
+		sb.WriteString(strconv.FormatInt(int64(x), 10))
+	case int64:
+		sb.WriteString(strconv.FormatInt(x, 10))
+	case uint64:
+		sb.WriteString(strconv.FormatUint(x, 10))
+	case float64:
+		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case time.Duration:
+		sb.WriteString(strconv.FormatInt(x.Nanoseconds(), 10))
+	case error:
+		sb.WriteString(strconv.Quote(x.Error()))
+	default:
+		sb.WriteString(strconv.Quote(fmt.Sprint(x)))
+	}
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func logLines(buf string) []map[string]any {
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf), "\n") {
+		if line == "" {
+			continue
+		}
+		m := map[string]any{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			panic("log line is not valid JSON: " + line + ": " + err.Error())
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestLoggerJSONShape: every line is one valid JSON object carrying ts,
+// level, event and the caller's pairs with value types preserved.
+func TestLoggerJSONShape(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.Info("request.done",
+		"req", "r-1",
+		"status", 200,
+		"total_ns", int64(12345),
+		"overlap_eff", 0.75,
+		"cache_hit", true,
+		"err", errors.New("boom"),
+		"dur", 3*time.Millisecond,
+	)
+	lines := logLines(buf.String())
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["level"] != "info" || m["event"] != "request.done" {
+		t.Fatalf("bad envelope: %v", m)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, m["ts"].(string)); err != nil {
+		t.Fatalf("ts not RFC3339Nano: %v", m["ts"])
+	}
+	if m["status"] != float64(200) || m["overlap_eff"] != 0.75 || m["cache_hit"] != true {
+		t.Errorf("typed values mangled: %v", m)
+	}
+	if m["err"] != "boom" {
+		t.Errorf("error value = %v", m["err"])
+	}
+	if m["dur"] != float64((3 * time.Millisecond).Nanoseconds()) {
+		t.Errorf("duration value = %v", m["dur"])
+	}
+}
+
+// TestLoggerFieldOrder: fields are marshaled in call order with the
+// envelope first, so greps and diffs are deterministic.
+func TestLoggerFieldOrder(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.Info("evt", "zebra", 1, "alpha", 2)
+	line := buf.String()
+	if strings.Index(line, `"zebra"`) > strings.Index(line, `"alpha"`) {
+		t.Fatalf("field order not call order: %s", line)
+	}
+	if !strings.HasPrefix(line, `{"ts":`) {
+		t.Fatalf("envelope not first: %s", line)
+	}
+}
+
+// TestLoggerLevelFilter: lines below the minimum level are dropped.
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := logLines(buf.String())
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (warn+error): %v", len(lines), lines)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Error("Enabled disagrees with the filter")
+	}
+}
+
+// TestLoggerRateLimit: a per-event token bucket suppresses floods, and
+// the next permitted line carries the dropped count. The clock is
+// stubbed so refill is deterministic.
+func TestLoggerRateLimit(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo)
+	l.SetLimit(1, 2) // 1 token/sec, burst 2
+	clk := time.Unix(1_700_000_000, 0)
+	l.now = func() time.Time { return clk }
+
+	for i := 0; i < 10; i++ {
+		l.Info("noisy", "i", i)
+	}
+	if n := len(logLines(buf.String())); n != 2 {
+		t.Fatalf("burst emitted %d lines, want 2", n)
+	}
+	// Other events have their own bucket.
+	l.Info("quiet")
+	if n := len(logLines(buf.String())); n != 3 {
+		t.Fatalf("independent event suppressed: %d lines", n)
+	}
+	// Refill one token and check the dropped count surfaces.
+	clk = clk.Add(time.Second)
+	l.Info("noisy", "i", 99)
+	lines := logLines(buf.String())
+	last := lines[len(lines)-1]
+	if last["event"] != "noisy" || last["dropped"] != float64(8) {
+		t.Fatalf("dropped count missing: %v", last)
+	}
+}
+
+// TestLoggerConcurrent: concurrent writers produce whole, valid lines
+// (no interleaving). Run with -race.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := NewLogger(w, LevelInfo)
+	l.SetLimit(0, 0) // no limiting: all lines must come through intact
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info("evt", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := logLines(buf.String())
+	mu.Unlock()
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestLoggerNilSafe: a nil logger swallows everything.
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("evt", "k", "v")
+	l.SetLimit(1, 1)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+}
+
+// TestParseLevel: round-trips and rejects junk.
+func TestParseLevel(t *testing.T) {
+	for _, lv := range []Level{LevelDebug, LevelInfo, LevelWarn, LevelError} {
+		got, err := ParseLevel(lv.String())
+		if err != nil || got != lv {
+			t.Errorf("ParseLevel(%q) = %v, %v", lv.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("shouty"); err == nil {
+		t.Error("junk level accepted")
+	}
+}

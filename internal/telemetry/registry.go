@@ -75,10 +75,17 @@ const histBuckets = 48
 
 // Histogram is a fixed-bucket (power-of-two) latency histogram in
 // nanoseconds. Observe is lock-free: one atomic add per bucket, count and
-// sum.
+// sum, plus two CAS loops maintaining exact min/max (the power-of-two
+// buckets alone can place the extremes only within a factor of two, which
+// is useless for the watchdog-adjacent tail).
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64
+	count atomic.Int64
+	sum   atomic.Int64
+	// minP1 stores min+1 so the zero value means "no observations yet"
+	// without a separate init step; max's zero value is already correct
+	// for non-negative observations.
+	minP1   atomic.Int64
+	max     atomic.Int64
 	buckets [histBuckets]atomic.Int64
 }
 
@@ -111,6 +118,46 @@ func (h *Histogram) Observe(ns int64) {
 	h.count.Add(1)
 	h.sum.Add(ns)
 	h.buckets[bucketIndex(ns)].Add(1)
+	// Min/max clamp negatives to 0 (like bucketIndex) so the min+1
+	// "unset" encoding stays unambiguous.
+	mm := ns
+	if mm < 0 {
+		mm = 0
+	}
+	for {
+		cur := h.minP1.Load()
+		if cur != 0 && mm+1 >= cur {
+			break
+		}
+		if h.minP1.CompareAndSwap(cur, mm+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if mm <= cur || h.max.CompareAndSwap(cur, mm) {
+			break
+		}
+	}
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	if p1 := h.minP1.Load(); p1 > 0 {
+		return p1 - 1
+	}
+	return 0
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
 }
 
 // Count returns the number of observations (0 on a nil histogram).

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// sloBuckets is the number of rotating sub-windows an SLO's rolling
+// window is divided into: rotation granularity is window/sloBuckets, so a
+// 60 s window forgets load in 2 s steps instead of cliff-edge resets.
+const sloBuckets = 30
+
+// SLO tracks one endpoint's latency objective over a rolling window. An
+// observation is "bad" when it exceeds the latency objective or failed
+// outright; the error budget is the fraction of observations allowed to
+// be bad, and burn rate is how fast the budget is actually being spent
+// (1.0 = exactly on budget, >1 = burning faster than allowed). All
+// methods are nil-safe and concurrency-safe.
+type SLO struct {
+	objectiveNs int64
+	window      time.Duration
+	budget      float64
+
+	mu      sync.Mutex
+	buckets [sloBuckets]sloBucket
+	cur     int
+	curEnd  time.Time
+
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+type sloBucket struct {
+	total int64
+	bad   int64
+}
+
+// NewSLO creates an SLO: observations above objective (or failed) are
+// bad; budget is the allowed bad fraction (e.g. 0.01 = 99% of requests
+// meet the objective) over the rolling window.
+func NewSLO(objective, window time.Duration, budget float64) *SLO {
+	if window <= 0 {
+		window = time.Minute
+	}
+	if budget <= 0 {
+		budget = 0.01
+	}
+	s := &SLO{
+		objectiveNs: objective.Nanoseconds(),
+		window:      window,
+		budget:      budget,
+		now:         time.Now,
+	}
+	s.curEnd = s.now().Add(s.step())
+	return s
+}
+
+func (s *SLO) step() time.Duration { return s.window / sloBuckets }
+
+// rotateLocked advances the current bucket pointer to cover now,
+// zeroing buckets that have aged out of the window.
+func (s *SLO) rotateLocked(now time.Time) {
+	for now.After(s.curEnd) {
+		s.cur = (s.cur + 1) % sloBuckets
+		s.buckets[s.cur] = sloBucket{}
+		s.curEnd = s.curEnd.Add(s.step())
+		// A long quiet gap: jump straight to a fresh window instead of
+		// spinning through thousands of empty steps.
+		if now.Sub(s.curEnd) > s.window {
+			for i := range s.buckets {
+				s.buckets[i] = sloBucket{}
+			}
+			s.curEnd = now.Add(s.step())
+			return
+		}
+	}
+}
+
+// Observe records one request outcome.
+func (s *SLO) Observe(latNs int64, failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked(s.now())
+	s.buckets[s.cur].total++
+	if failed || latNs > s.objectiveNs {
+		s.buckets[s.cur].bad++
+	}
+}
+
+// SLOSnapshot is the /healthz and Prometheus view of one SLO.
+type SLOSnapshot struct {
+	ObjectiveNs int64 `json:"objective_ns"`
+	WindowMs    int64 `json:"window_ms"`
+	Total       int64 `json:"total"`
+	Bad         int64 `json:"bad"`
+	// BadFrac is the observed bad fraction over the window; Budget the
+	// allowed one. BurnRate = BadFrac/Budget: sustained >1 means the
+	// objective will be violated if nothing changes.
+	BadFrac  float64 `json:"bad_frac"`
+	Budget   float64 `json:"budget"`
+	BurnRate float64 `json:"burn_rate"`
+	// BudgetRemaining is 1 − BurnRate clamped at 0: the fraction of the
+	// window's error budget still unspent.
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// Snapshot summarizes the rolling window.
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked(s.now())
+	out := SLOSnapshot{
+		ObjectiveNs: s.objectiveNs,
+		WindowMs:    s.window.Milliseconds(),
+		Budget:      s.budget,
+	}
+	for i := range s.buckets {
+		out.Total += s.buckets[i].total
+		out.Bad += s.buckets[i].bad
+	}
+	if out.Total > 0 {
+		out.BadFrac = float64(out.Bad) / float64(out.Total)
+	}
+	out.BurnRate = out.BadFrac / s.budget
+	out.BudgetRemaining = 1 - out.BurnRate
+	if out.BudgetRemaining < 0 {
+		out.BudgetRemaining = 0
+	}
+	return out
+}
+
+// Register exposes the SLO on a metrics registry under prefix (e.g.
+// "serve.slo.transform"): burn-rate ppm and window totals as Funcs, so
+// every Prometheus scrape sees a fresh rolling-window evaluation.
+func (s *SLO) Register(reg *Registry, prefix string) {
+	if s == nil || reg == nil {
+		return
+	}
+	reg.Func(prefix+".total", func() int64 { return s.Snapshot().Total })
+	reg.Func(prefix+".bad", func() int64 { return s.Snapshot().Bad })
+	reg.Func(prefix+".burn_rate_ppm", func() int64 {
+		return int64(s.Snapshot().BurnRate * 1e6)
+	})
+}

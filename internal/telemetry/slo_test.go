@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// sloClock stubs the SLO's clock so rotation is deterministic.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time          { return c.t }
+func (c *sloClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestSLO(objective, window time.Duration, budget float64) (*SLO, *sloClock) {
+	clk := &sloClock{t: time.Unix(1_700_000_000, 0)}
+	s := NewSLO(objective, window, budget)
+	s.now = clk.now
+	s.curEnd = clk.t.Add(s.step())
+	return s, clk
+}
+
+// TestSLOBurnRate: bad fraction and burn rate follow the observations.
+func TestSLOBurnRate(t *testing.T) {
+	s, _ := newTestSLO(10*time.Millisecond, time.Minute, 0.1)
+	for i := 0; i < 90; i++ {
+		s.Observe(int64(time.Millisecond), false) // meets objective
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(int64(time.Second), false) // misses objective
+	}
+	snap := s.Snapshot()
+	if snap.Total != 100 || snap.Bad != 10 {
+		t.Fatalf("total/bad = %d/%d, want 100/10", snap.Total, snap.Bad)
+	}
+	if snap.BadFrac != 0.1 {
+		t.Errorf("BadFrac = %v, want 0.1", snap.BadFrac)
+	}
+	// 10% bad against a 10% budget: burning at exactly the allowed rate.
+	if snap.BurnRate < 0.999 || snap.BurnRate > 1.001 {
+		t.Errorf("BurnRate = %v, want 1.0", snap.BurnRate)
+	}
+	if snap.BudgetRemaining > 0.001 {
+		t.Errorf("BudgetRemaining = %v, want 0", snap.BudgetRemaining)
+	}
+}
+
+// TestSLOFailuresAreBad: an outright failure burns budget regardless of
+// latency.
+func TestSLOFailuresAreBad(t *testing.T) {
+	s, _ := newTestSLO(10*time.Millisecond, time.Minute, 0.01)
+	s.Observe(int64(time.Microsecond), true)
+	snap := s.Snapshot()
+	if snap.Bad != 1 {
+		t.Fatalf("fast failure not counted bad: %+v", snap)
+	}
+	if snap.BurnRate <= 1 {
+		t.Errorf("BurnRate = %v, want > 1 for 100%% bad against 1%% budget", snap.BurnRate)
+	}
+}
+
+// TestSLOWindowForgets: observations age out as the rolling window
+// rotates past them, in steps rather than cliff-edge resets.
+func TestSLOWindowForgets(t *testing.T) {
+	s, clk := newTestSLO(10*time.Millisecond, time.Minute, 0.1)
+	s.Observe(int64(time.Second), false) // one bad observation
+	if snap := s.Snapshot(); snap.Bad != 1 {
+		t.Fatalf("bad = %d, want 1", snap.Bad)
+	}
+	// Half a window later the observation is still in scope…
+	clk.advance(30 * time.Second)
+	if snap := s.Snapshot(); snap.Bad != 1 {
+		t.Fatalf("bad = %d after half window, want 1", snap.Bad)
+	}
+	// …and a full window after that, it has aged out.
+	clk.advance(90 * time.Second)
+	if snap := s.Snapshot(); snap.Total != 0 || snap.Bad != 0 {
+		t.Fatalf("window did not forget: %+v", snap)
+	}
+}
+
+// TestSLONilSafe: nil SLO absorbs observations and snapshots to zero.
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(1, true)
+	if snap := s.Snapshot(); snap.Total != 0 {
+		t.Fatal("nil SLO not inert")
+	}
+}
+
+// TestSLORegister: the registry Funcs see a fresh evaluation per scrape.
+func TestSLORegister(t *testing.T) {
+	s, _ := newTestSLO(10*time.Millisecond, time.Minute, 0.1)
+	reg := NewRegistry()
+	s.Register(reg, "serve.slo.transform")
+	s.Observe(int64(time.Second), false)
+	snap := reg.Snapshot()
+	if snap.Counters["serve.slo.transform.bad"] != 1 {
+		t.Fatalf("slo funcs not exported: %v", snap.Counters)
+	}
+	if snap.Counters["serve.slo.transform.burn_rate_ppm"] <= 1_000_000 {
+		t.Fatalf("burn_rate_ppm = %d, want > 1e6 for 100%% bad against 10%% budget",
+			snap.Counters["serve.slo.transform.burn_rate_ppm"])
+	}
+}

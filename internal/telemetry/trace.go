@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// TraceSpan is one node of a request's span tree. Times are nanoseconds
+// relative to the trace's start, so a serialized tree is self-contained
+// (no wall-clock epoch needed to interpret it).
+//
+// Three kinds of spans share the tree:
+//
+//   - control spans (Kind ""): real wall-clock intervals recorded by
+//     Begin/End around service stages (queue, acquire, exec, scatter…);
+//   - "phase" spans: durations synthesized from a Breakdown — laid out
+//     sequentially under their parent, they carry accurate per-step time
+//     but not true placement (rank-averaged engine-clock time);
+//   - "step" spans: engine-recorder StepEvents (WithTrace plans) rebased
+//     into the request timeline, with rank and tile attribution.
+type TraceSpan struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"` // span ID, -1 for the root
+	Name   string `json:"name"`
+	Start  int64  `json:"start_ns"`
+	End    int64  `json:"end_ns"`
+	Kind   string `json:"kind,omitempty"` // "", "phase", "step"
+	Rank   int    `json:"rank"`           // -1 when not rank-scoped
+	Tile   int    `json:"tile"`           // -1 when not tile-scoped
+	// Open marks a span that had not ended when the tree was snapshotted
+	// (a watchdog-abandoned execution, for example).
+	Open bool `json:"open,omitempty"`
+}
+
+// Dur returns the span's duration in nanoseconds.
+func (s TraceSpan) Dur() int64 { return s.End - s.Start }
+
+// maxTraceSpans bounds one request's span tree so a heavily traced
+// many-rank plan cannot balloon a flight-recorder entry without bound.
+const maxTraceSpans = 4096
+
+// TraceContext accumulates one request's span tree. It is created by the
+// request entry point (the serve HTTP handler), travels down the call
+// stack inside a context.Context, and is snapshotted into the flight
+// recorder when the request completes. All methods are safe for
+// concurrent use and every method on a nil *TraceContext is a no-op, so
+// instrumented layers need no conditionals.
+type TraceContext struct {
+	id    string
+	start time.Time
+
+	mu        sync.Mutex
+	spans     []TraceSpan
+	stack     []int // open Begin/End spans, innermost last
+	truncated bool
+}
+
+// NewTraceContext starts an empty trace identified by id, rooted at the
+// current instant.
+func NewTraceContext(id string) *TraceContext {
+	return &TraceContext{id: id, start: time.Now()}
+}
+
+// ID returns the trace's request ID ("" on a nil trace).
+func (t *TraceContext) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Elapsed returns nanoseconds since the trace started.
+func (t *TraceContext) Elapsed() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start).Nanoseconds()
+}
+
+// Begin opens a control span named name as a child of the innermost open
+// span (or as a root) and returns its ID. Close it with End.
+func (t *TraceContext) Begin(name string) int {
+	if t == nil {
+		return -1
+	}
+	now := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent := -1
+	if n := len(t.stack); n > 0 {
+		parent = t.stack[n-1]
+	}
+	id := t.addLocked(TraceSpan{Parent: parent, Name: name, Start: now, End: -1, Rank: -1, Tile: -1})
+	if id >= 0 {
+		t.stack = append(t.stack, id)
+	}
+	return id
+}
+
+// End closes the span returned by Begin (and any nested spans left open
+// below it — crash paths unwind without leaking the stack).
+func (t *TraceContext) End(id int) {
+	if t == nil || id < 0 {
+		return
+	}
+	now := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		open := t.stack[i]
+		t.spans[open].End = now
+		if open == id {
+			t.stack = t.stack[:i]
+			return
+		}
+	}
+	// Not on the stack (already ended): close it in place if still open.
+	if id < len(t.spans) && t.spans[id].End < 0 {
+		t.spans[id].End = now
+	}
+}
+
+// Add records a fully specified span (phase and step spans, whose times
+// the caller computed). Returns the span ID, or -1 when dropped by the
+// per-request cap.
+func (t *TraceContext) Add(s TraceSpan) int {
+	if t == nil {
+		return -1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addLocked(s)
+}
+
+// AddBatch records many fully specified spans under one lock acquisition
+// and returns how many were accepted before the per-request cap cut in.
+// Emitting an execution's phase and step spans (hundreds for a traced
+// many-rank plan) goes through here rather than per-span Add so the
+// request's mutex is taken once, with the slice grown once.
+func (t *TraceContext) AddBatch(spans []TraceSpan) int {
+	if t == nil || len(spans) == 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	room := maxTraceSpans - len(t.spans)
+	if room <= 0 {
+		t.truncated = true
+		return 0
+	}
+	n := len(spans)
+	if n > room {
+		n = room
+		t.truncated = true
+	}
+	if free := cap(t.spans) - len(t.spans); free < n {
+		grown := make([]TraceSpan, len(t.spans), len(t.spans)+n)
+		copy(grown, t.spans)
+		t.spans = grown
+	}
+	for _, s := range spans[:n] {
+		s.ID = len(t.spans)
+		t.spans = append(t.spans, s)
+	}
+	return n
+}
+
+func (t *TraceContext) addLocked(s TraceSpan) int {
+	if len(t.spans) >= maxTraceSpans {
+		t.truncated = true
+		return -1
+	}
+	s.ID = len(t.spans)
+	t.spans = append(t.spans, s)
+	return s.ID
+}
+
+// Truncated reports whether the span cap dropped any spans.
+func (t *TraceContext) Truncated() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.truncated
+}
+
+// Snapshot returns a copy of the span tree. Spans still open are closed
+// at the current instant and marked Open, so an abandoned request still
+// yields a readable tree.
+func (t *TraceContext) Snapshot() []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceSpan, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		if out[i].End < 0 {
+			out[i].End = now
+			out[i].Open = true
+		}
+	}
+	return out
+}
+
+// Drain returns the span tree like Snapshot but transfers ownership
+// instead of copying: the context is left empty, so a straggling append
+// (a watchdog-abandoned execution finishing after the handler gave up)
+// lands in a fresh slice nobody reads. The request-completion path uses
+// Drain so recording a trace into the flight recorder does not copy
+// hundreds of spans per request.
+func (t *TraceContext) Drain() []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.spans
+	t.spans = nil
+	t.stack = t.stack[:0]
+	for i := range out {
+		if out[i].End < 0 {
+			out[i].End = now
+			out[i].Open = true
+		}
+	}
+	return out
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches tc to ctx so lower layers (plan execution,
+// registry builds) can add spans to the request's tree.
+func ContextWithTrace(ctx context.Context, tc *TraceContext) context.Context {
+	if tc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom extracts the request's TraceContext from ctx (nil when the
+// request is not traced — every TraceContext method is nil-safe, so
+// callers use the result unconditionally).
+func TraceFrom(ctx context.Context) *TraceContext {
+	if ctx == nil {
+		return nil
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(*TraceContext)
+	return tc
+}
+
+// SpansToTimeline converts a request's span tree into a Timeline for
+// Chrome-trace export: control and phase spans render on track 0
+// ("request"), step spans on one track per rank.
+func SpansToTimeline(id string, spans []TraceSpan) *Timeline {
+	tl := NewTimeline()
+	tl.TrackNames[0] = "request " + id
+	for _, s := range spans {
+		track := 0
+		if s.Kind == "step" && s.Rank >= 0 {
+			track = 1 + s.Rank
+			if _, ok := tl.TrackNames[track]; !ok {
+				tl.TrackNames[track] = "rank " + itoa(s.Rank)
+			}
+		}
+		tl.AddSpan(Span{Track: track, Name: s.Name, Start: s.Start, End: s.End, Tile: s.Tile})
+	}
+	return tl
+}
+
+// itoa avoids strconv for the tiny rank labels (keeps the import set of
+// this file minimal).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

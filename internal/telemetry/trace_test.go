@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTraceSpanTree: Begin/End nesting yields a tree whose parent links
+// follow the call stack, and End unwinds nested spans left open.
+func TestTraceSpanTree(t *testing.T) {
+	tc := NewTraceContext("req-1")
+	if tc.ID() != "req-1" {
+		t.Fatalf("ID = %q", tc.ID())
+	}
+	root := tc.Begin("request")
+	q := tc.Begin("queue")
+	tc.End(q)
+	exec := tc.Begin("exec")
+	inner := tc.Begin("scatter")
+	_ = inner
+	tc.End(exec) // unwinds scatter too
+	tc.End(root)
+
+	spans := tc.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]TraceSpan{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["request"].Parent != -1 {
+		t.Errorf("request parent = %d, want -1", byName["request"].Parent)
+	}
+	if byName["queue"].Parent != byName["request"].ID {
+		t.Errorf("queue parent = %d, want %d", byName["queue"].Parent, byName["request"].ID)
+	}
+	if byName["scatter"].Parent != byName["exec"].ID {
+		t.Errorf("scatter parent = %d, want %d", byName["scatter"].Parent, byName["exec"].ID)
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Errorf("span %s still open after End: [%d, %d)", s.Name, s.Start, s.End)
+		}
+		if s.Open {
+			t.Errorf("span %s marked Open after explicit End", s.Name)
+		}
+	}
+}
+
+// TestTraceSnapshotClosesOpen: a snapshot taken mid-request closes open
+// spans at the current instant and marks them Open, without mutating the
+// live tree.
+func TestTraceSnapshotClosesOpen(t *testing.T) {
+	tc := NewTraceContext("req-2")
+	id := tc.Begin("exec")
+	spans := tc.Snapshot()
+	if len(spans) != 1 || !spans[0].Open || spans[0].End < spans[0].Start {
+		t.Fatalf("open span not closed in snapshot: %+v", spans)
+	}
+	tc.End(id)
+	spans = tc.Snapshot()
+	if spans[0].Open {
+		t.Fatal("span still Open after End — snapshot mutated live state")
+	}
+}
+
+// TestTraceAddBatch: batches land under one lock with sequential IDs, and
+// the per-request cap truncates rather than growing without bound.
+func TestTraceAddBatch(t *testing.T) {
+	tc := NewTraceContext("req-3")
+	batch := make([]TraceSpan, 100)
+	for i := range batch {
+		batch[i] = TraceSpan{Parent: -1, Name: "step", Kind: "step", Rank: i % 4, Tile: -1}
+	}
+	if n := tc.AddBatch(batch); n != 100 {
+		t.Fatalf("AddBatch accepted %d, want 100", n)
+	}
+	spans := tc.Snapshot()
+	for i, s := range spans {
+		if s.ID != i {
+			t.Fatalf("span %d has ID %d — batch IDs not sequential", i, s.ID)
+		}
+	}
+
+	huge := make([]TraceSpan, maxTraceSpans)
+	n := tc.AddBatch(huge)
+	if n != maxTraceSpans-100 {
+		t.Fatalf("cap accepted %d, want %d", n, maxTraceSpans-100)
+	}
+	if !tc.Truncated() {
+		t.Fatal("Truncated not set after cap hit")
+	}
+	if n := tc.AddBatch(huge[:1]); n != 0 {
+		t.Fatalf("full context accepted %d more spans", n)
+	}
+}
+
+// TestTraceDrain: Drain transfers ownership — the context is left empty
+// and a straggling span lands in a fresh slice, not the drained one.
+func TestTraceDrain(t *testing.T) {
+	tc := NewTraceContext("req-4")
+	open := tc.Begin("exec")
+	_ = open
+	out := tc.Drain()
+	if len(out) != 1 || !out[0].Open {
+		t.Fatalf("drained %+v, want one Open span", out)
+	}
+	if got := tc.Snapshot(); len(got) != 0 {
+		t.Fatalf("context not empty after Drain: %d spans", len(got))
+	}
+	// Straggler: a late append must not mutate the drained slice.
+	tc.Add(TraceSpan{Parent: -1, Name: "late", Rank: -1, Tile: -1})
+	if out[0].Name != "exec" {
+		t.Fatalf("drained slice mutated by straggler: %+v", out[0])
+	}
+}
+
+// TestTraceNilSafe: every method on a nil context is a no-op, so
+// instrumented layers need no conditionals.
+func TestTraceNilSafe(t *testing.T) {
+	var tc *TraceContext
+	if tc.ID() != "" || tc.Elapsed() != 0 || tc.Begin("x") != -1 {
+		t.Fatal("nil TraceContext not inert")
+	}
+	tc.End(0)
+	tc.Add(TraceSpan{})
+	tc.AddBatch([]TraceSpan{{}})
+	if tc.Snapshot() != nil || tc.Drain() != nil || tc.Truncated() {
+		t.Fatal("nil TraceContext returned non-zero state")
+	}
+	ctx := ContextWithTrace(context.Background(), nil)
+	if TraceFrom(ctx) != nil {
+		t.Fatal("nil trace survived the context round-trip")
+	}
+}
+
+// TestTraceContextRoundTrip: a trace attached to a context comes back out.
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext("req-5")
+	ctx := ContextWithTrace(context.Background(), tc)
+	if TraceFrom(ctx) != tc {
+		t.Fatal("TraceFrom did not return the attached context")
+	}
+	if TraceFrom(context.Background()) != nil || TraceFrom(nil) != nil {
+		t.Fatal("TraceFrom invented a trace")
+	}
+}
+
+// TestTraceConcurrent hammers one context from many goroutines — Begin/
+// End, batch emission, snapshots and drains racing — and checks the
+// result is a bounded, well-formed tree. Run with -race.
+func TestTraceConcurrent(t *testing.T) {
+	tc := NewTraceContext("req-6")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := []TraceSpan{{Parent: -1, Name: "step", Kind: "step", Rank: g, Tile: 0}}
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					id := tc.Begin("ctl")
+					tc.End(id)
+				case 1:
+					tc.AddBatch(batch)
+				case 2:
+					_ = tc.Snapshot()
+				case 3:
+					_ = tc.Elapsed()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	spans := tc.Drain()
+	if len(spans) > maxTraceSpans {
+		t.Fatalf("cap breached: %d spans", len(spans))
+	}
+	for _, s := range spans {
+		if s.Parent >= s.ID {
+			t.Fatalf("span %d has forward parent link %d", s.ID, s.Parent)
+		}
+	}
+}
+
+// TestSpansToTimeline: control and phase spans render on the request
+// track, step spans on one track per rank.
+func TestSpansToTimeline(t *testing.T) {
+	spans := []TraceSpan{
+		{ID: 0, Parent: -1, Name: "request", Start: 0, End: 100, Rank: -1, Tile: -1},
+		{ID: 1, Parent: 0, Name: "FFTz", Kind: "phase", Start: 0, End: 10, Rank: -1, Tile: -1},
+		{ID: 2, Parent: 0, Name: "Pack", Kind: "step", Start: 10, End: 20, Rank: 1, Tile: 3},
+		{ID: 3, Parent: 0, Name: "Pack", Kind: "step", Start: 10, End: 20, Rank: 0, Tile: 2},
+	}
+	tl := SpansToTimeline("req-7", spans)
+	if name := tl.TrackNames[0]; !strings.Contains(name, "req-7") {
+		t.Errorf("request track name %q lacks the request ID", name)
+	}
+	if tl.TrackNames[2] != "rank 1" {
+		t.Errorf("rank-1 step landed on track %q", tl.TrackNames[2])
+	}
+	var buf strings.Builder
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"Pack"`) {
+		t.Error("chrome export lacks the step span")
+	}
+}

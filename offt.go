@@ -10,9 +10,11 @@
 package offt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -370,6 +372,13 @@ type Plan struct {
 	fullFwd []complex128  // reusable gathered spectrum
 	fullBwd []complex128  // reusable gathered backward result
 
+	// spanScratch is the reusable staging slice for emitExecSpans: the
+	// span batch is assembled here (under the execution lock) and copied
+	// into the request's TraceContext in one AddBatch, so per-request
+	// span emission costs one lock acquisition and zero transient
+	// allocations after the first traced execution.
+	spanScratch []telemetry.TraceSpan
+
 	// Sim engine state.
 	mach    machine.Machine
 	lastSim model.Result
@@ -496,6 +505,8 @@ func (p *Plan) startWorld(prm Params) error {
 		popts = append(popts, pfft.WithTelemetry(p.cfg.reg))
 	}
 	if p.cfg.trace {
+		// The pfft path takes the option; the pencil path enables its
+		// recorder after construction (see below).
 		popts = append(popts, pfft.WithTrace())
 		p.traces = make([][]StepEvent, n)
 	}
@@ -528,8 +539,13 @@ func (p *Plan) startWorld(prm Params) error {
 			var plan rankPlan
 			var err error
 			if p.desc.Decomp == Pencil {
-				plan, err = pencil.NewPlan(c, p.pgrids[rank], p.cfg.variant,
+				var pp *pencil.Plan
+				pp, err = pencil.NewPlan(c, p.pgrids[rank], p.cfg.variant,
 					pencil.FromParams(prm, p.pgrids[rank]), fft.Estimate)
+				if err == nil && p.cfg.trace {
+					pp.EnableTrace()
+				}
+				plan = pp
 			} else {
 				plan, err = pfft.NewPlan(c, p.grids[rank], p.cfg.variant, prm, fft.Estimate, popts...)
 			}
@@ -667,17 +683,175 @@ func (p *Plan) ForwardInto(dst, data []complex128) error {
 	if len(dst) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
 		return fmt.Errorf("offt: dst length %d, want %d", len(dst), p.cfg.nx*p.cfg.ny*p.cfg.nz)
 	}
-	_, err := p.forwardLockedInto(dst, data)
+	_, err := p.forwardLockedInto(dst, data, nil)
 	return err
 }
 
+// ExecStats reports the stage structure of one context-aware execution:
+// wall time split across the scatter/dispatch/gather stages, the
+// rank-averaged per-step breakdown, and the downgrades this execution
+// (not the plan lifetime) took. The serve layer forwards these into the
+// flight recorder and per-request responses.
+type ExecStats struct {
+	TotalNs    int64
+	ScatterNs  int64
+	DispatchNs int64
+	GatherNs   int64
+	Breakdown  Breakdown
+	Downgrades int64
+}
+
+// OverlapEfficiency returns the execution's communication-overlap
+// efficiency per §5.2.1 (see Breakdown.OverlapEfficiency).
+func (s ExecStats) OverlapEfficiency() float64 { return s.Breakdown.OverlapEfficiency() }
+
+// ForwardIntoCtx is ForwardInto plus request-scoped observability: the
+// execution checks ctx for cancellation before dispatching (an execution
+// already in flight is never aborted — ranks run to completion), returns
+// per-stage ExecStats, and, when ctx carries a telemetry.TraceContext,
+// appends the execution's span tree to it — scatter/dispatch/gather
+// control spans, per-phase spans synthesized from the breakdown, and
+// (on WithTrace plans) per-rank step spans with tile attribution.
+// Mem engine only.
+func (p *Plan) ForwardIntoCtx(ctx context.Context, dst, data []complex128) (ExecStats, error) {
+	return p.execIntoCtx(ctx, opForward, dst, data)
+}
+
+// BackwardIntoCtx is BackwardInto with the same context and observability
+// semantics as ForwardIntoCtx. Mem engine only.
+func (p *Plan) BackwardIntoCtx(ctx context.Context, dst, data []complex128) (ExecStats, error) {
+	return p.execIntoCtx(ctx, opBackward, dst, data)
+}
+
+func (p *Plan) execIntoCtx(ctx context.Context, op jobOp, dst, data []complex128) (ExecStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.engine != Mem {
+		return ExecStats{}, fmt.Errorf("offt: context execution requires the Mem engine")
+	}
+	if len(dst) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
+		return ExecStats{}, fmt.Errorf("offt: dst length %d, want %d", len(dst), p.cfg.nx*p.cfg.ny*p.cfg.nz)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return ExecStats{}, err
+		}
+	}
+	obs := &execObs{tc: telemetry.TraceFrom(ctx)}
+	start := time.Now()
+	execID := obs.tc.Begin("exec")
+	before := p.downgrades.Load()
+	var err error
+	if op == opForward {
+		_, err = p.forwardLockedInto(dst, data, obs)
+	} else {
+		_, err = p.backwardLockedInto(dst, data, obs)
+	}
+	obs.tc.End(execID)
+	st := ExecStats{
+		TotalNs:    time.Since(start).Nanoseconds(),
+		ScatterNs:  obs.scatterNs,
+		DispatchNs: obs.dispatchNs,
+		GatherNs:   obs.gatherNs,
+		Downgrades: p.downgrades.Load() - before,
+	}
+	if err == nil {
+		st.Breakdown = p.last
+	}
+	return st, err
+}
+
+// execObs times the scatter/dispatch/gather stages of one execution and
+// mirrors them into the request's trace. A nil observer is the untimed
+// fast path.
+type execObs struct {
+	tc                              *telemetry.TraceContext
+	scatterNs, dispatchNs, gatherNs int64
+	dispStartNs                     int64
+	dispatchID                      int
+}
+
+// stage wraps one execution stage with wall timing and a trace span.
+func (o *execObs) stage(name string, fn func() error) error {
+	if o == nil {
+		return fn()
+	}
+	id := o.tc.Begin(name)
+	if name == "dispatch" {
+		o.dispStartNs = o.tc.Elapsed()
+		o.dispatchID = id
+	}
+	start := time.Now()
+	err := fn()
+	d := time.Since(start).Nanoseconds()
+	o.tc.End(id)
+	switch name {
+	case "scatter":
+		o.scatterNs = d
+	case "dispatch":
+		o.dispatchNs = d
+	case "gather":
+		o.gatherNs = d
+	}
+	return err
+}
+
+// emitExecSpans adds the dispatch stage's interior to the trace after a
+// successful dispatch: per-phase spans synthesized from the rank-averaged
+// breakdown (laid out sequentially — accurate durations, synthetic
+// placement), and, for WithTrace plans, every rank's step events rebased
+// from the engine's world-epoch clock into the request timeline (the
+// earliest event aligns with the dispatch start).
+func (p *Plan) emitExecSpans(o *execObs) {
+	if o == nil || o.tc == nil {
+		return
+	}
+	batch := p.spanScratch[:0]
+	cur := o.dispStartNs
+	names := pfft.StepNames()
+	for i, v := range p.last.Steps() {
+		if v <= 0 {
+			continue
+		}
+		batch = append(batch, telemetry.TraceSpan{
+			Parent: o.dispatchID, Name: names[i], Kind: "phase",
+			Start: cur, End: cur + v, Rank: -1, Tile: -1,
+		})
+		cur += v
+	}
+	if p.traces != nil {
+		min := int64(math.MaxInt64)
+		for _, evs := range p.traces {
+			for _, e := range evs {
+				if e.Start < min {
+					min = e.Start
+				}
+			}
+		}
+		if min != math.MaxInt64 {
+			for r, evs := range p.traces {
+				for _, e := range evs {
+					batch = append(batch, telemetry.TraceSpan{
+						Parent: o.dispatchID, Name: e.Name, Kind: "step",
+						Start: o.dispStartNs + e.Start - min, End: o.dispStartNs + e.End - min,
+						Rank: r, Tile: e.Tile,
+					})
+				}
+			}
+		}
+	}
+	o.tc.AddBatch(batch)
+	p.spanScratch = batch
+}
+
 func (p *Plan) forwardLocked(data []complex128) ([]complex128, error) {
-	return p.forwardLockedInto(nil, data)
+	return p.forwardLockedInto(nil, data, nil)
 }
 
 // forwardLockedInto runs the forward transform; the gather step assembles
-// into dst when non-nil, else into the plan-owned fullFwd buffer.
-func (p *Plan) forwardLockedInto(dst, data []complex128) ([]complex128, error) {
+// into dst when non-nil, else into the plan-owned fullFwd buffer. obs,
+// when non-nil, times the stages and feeds the request trace.
+func (p *Plan) forwardLockedInto(dst, data []complex128, obs *execObs) ([]complex128, error) {
 	// World failure outranks the closed flag: quarantine teardown Closes a
 	// failed plan while stragglers may still race in, and they must see
 	// the typed *WorldError, not a generic closed-plan complaint.
@@ -708,27 +882,34 @@ func (p *Plan) forwardLockedInto(dst, data []complex128) ([]complex128, error) {
 	if len(data) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
 		return nil, fmt.Errorf("offt: data length %d, want %d", len(data), p.cfg.nx*p.cfg.ny*p.cfg.nz)
 	}
-	for r := 0; r < p.cfg.ranks; r++ {
-		if p.desc.Decomp == Pencil {
-			pencil.ScatterPencilInto(p.slabs[r], data, p.pgrids[r])
-		} else {
-			layout.ScatterXInto(p.slabs[r], data, p.grids[r])
+	obs.stage("scatter", func() error {
+		for r := 0; r < p.cfg.ranks; r++ {
+			if p.desc.Decomp == Pencil {
+				pencil.ScatterPencilInto(p.slabs[r], data, p.pgrids[r])
+			} else {
+				layout.ScatterXInto(p.slabs[r], data, p.grids[r])
+			}
 		}
-	}
-	if err := p.dispatch(opForward); err != nil {
+		return nil
+	})
+	if err := obs.stage("dispatch", func() error { return p.dispatch(opForward) }); err != nil {
 		return nil, err
 	}
+	p.emitExecSpans(obs)
 	if dst == nil {
 		dst = p.fullFwd
 	}
-	if p.desc.Decomp == Pencil {
-		for r := 0; r < p.cfg.ranks; r++ {
-			pencil.GatherPencilInto(dst, p.outs[r], p.pgrids[r])
+	err := obs.stage("gather", func() error {
+		if p.desc.Decomp == Pencil {
+			for r := 0; r < p.cfg.ranks; r++ {
+				pencil.GatherPencilInto(dst, p.outs[r], p.pgrids[r])
+			}
+			return nil
 		}
-		return dst, nil
-	}
-	layout.GatherYInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks, p.fast)
-	return dst, nil
+		layout.GatherYInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks, p.fast)
+		return nil
+	})
+	return dst, err
 }
 
 // simulatePencil charges one pencil transform on the machine model: the
@@ -775,17 +956,18 @@ func (p *Plan) BackwardInto(dst, data []complex128) error {
 	if len(dst) != p.cfg.nx*p.cfg.ny*p.cfg.nz {
 		return fmt.Errorf("offt: dst length %d, want %d", len(dst), p.cfg.nx*p.cfg.ny*p.cfg.nz)
 	}
-	_, err := p.backwardLockedInto(dst, data)
+	_, err := p.backwardLockedInto(dst, data, nil)
 	return err
 }
 
 func (p *Plan) backwardLocked(data []complex128) ([]complex128, error) {
-	return p.backwardLockedInto(nil, data)
+	return p.backwardLockedInto(nil, data, nil)
 }
 
 // backwardLockedInto runs the backward transform; the gather step assembles
-// into dst when non-nil, else into the plan-owned fullBwd buffer.
-func (p *Plan) backwardLockedInto(dst, data []complex128) ([]complex128, error) {
+// into dst when non-nil, else into the plan-owned fullBwd buffer. obs,
+// when non-nil, times the stages and feeds the request trace.
+func (p *Plan) backwardLockedInto(dst, data []complex128, obs *execObs) ([]complex128, error) {
 	if err := p.worldCheck(); err != nil {
 		return nil, err
 	}
@@ -817,24 +999,31 @@ func (p *Plan) backwardLockedInto(dst, data []complex128) ([]complex128, error) 
 		}
 		dst = p.fullBwd
 	}
-	for r := 0; r < p.cfg.ranks; r++ {
-		if p.desc.Decomp == Pencil {
-			pencil.ScatterSpectrumInto(p.bslabs[r], data, p.pgrids[r])
-		} else {
-			layout.ScatterYInto(p.bslabs[r], data, p.grids[r], p.fast)
+	obs.stage("scatter", func() error {
+		for r := 0; r < p.cfg.ranks; r++ {
+			if p.desc.Decomp == Pencil {
+				pencil.ScatterSpectrumInto(p.bslabs[r], data, p.pgrids[r])
+			} else {
+				layout.ScatterYInto(p.bslabs[r], data, p.grids[r], p.fast)
+			}
 		}
-	}
-	if err := p.dispatch(opBackward); err != nil {
+		return nil
+	})
+	if err := obs.stage("dispatch", func() error { return p.dispatch(opBackward) }); err != nil {
 		return nil, err
 	}
-	if p.desc.Decomp == Pencil {
-		for r := 0; r < p.cfg.ranks; r++ {
-			pencil.GatherInputInto(dst, p.outs[r], p.pgrids[r])
+	p.emitExecSpans(obs)
+	err := obs.stage("gather", func() error {
+		if p.desc.Decomp == Pencil {
+			for r := 0; r < p.cfg.ranks; r++ {
+				pencil.GatherInputInto(dst, p.outs[r], p.pgrids[r])
+			}
+			return nil
 		}
-		return dst, nil
-	}
-	layout.GatherXInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks)
-	return dst, nil
+		layout.GatherXInto(dst, p.outs, p.cfg.nx, p.cfg.ny, p.cfg.nz, p.cfg.ranks)
+		return nil
+	})
+	return dst, err
 }
 
 // worldCheck fails an execution fast when the plan's world is already

@@ -1,0 +1,118 @@
+package offt_test
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"offt"
+)
+
+// TestTraceReadersDuringExecution hammers the trace read API —
+// TraceEvents and WriteChromeTrace — from several goroutines while
+// forward and backward executions run concurrently on the same traced
+// plan. The readers must always observe a consistent timeline (every
+// event well-formed, never a torn mid-execution view with inverted
+// intervals) and the transforms must stay correct. Run with -race: this
+// is the regression test for the recorder being reused across
+// executions with readers attached.
+func TestTraceReadersDuringExecution(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		decomp offt.Decomp
+	}{
+		{"slab", offt.Slab},
+		{"pencil", offt.Pencil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 16
+			plan, err := offt.NewPlan(
+				offt.WithGrid(n, n, n),
+				offt.WithRanks(4),
+				offt.WithVariant(offt.NEW),
+				offt.WithDecomp(tc.decomp),
+				offt.WithTrace(),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plan.Close()
+
+			data := randData(n*n*n, 99)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			errc := make(chan error, 8)
+			fail := func(err error) {
+				select {
+				case errc <- err:
+				default:
+				}
+				stop.Store(true)
+			}
+
+			// Writer: forward/backward round trips reusing the plan; when
+			// it finishes, the readers are released.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer stop.Store(true)
+				dst := make([]complex128, len(data))
+				back := make([]complex128, len(data))
+				for i := 0; i < 25 && !stop.Load(); i++ {
+					if err := plan.ForwardInto(dst, data); err != nil {
+						fail(fmt.Errorf("forward %d: %w", i, err))
+						return
+					}
+					if err := plan.BackwardInto(back, dst); err != nil {
+						fail(fmt.Errorf("backward %d: %w", i, err))
+						return
+					}
+				}
+			}()
+
+			// Readers: snapshot the per-rank timelines and export Chrome
+			// traces while executions are in flight.
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !stop.Load() {
+						for r, rank := range plan.TraceEvents() {
+							for _, e := range rank {
+								if e.End < e.Start {
+									fail(fmt.Errorf("rank %d: inverted event %+v", r, e))
+									return
+								}
+							}
+						}
+						if err := plan.WriteChromeTrace(io.Discard); err != nil {
+							fail(fmt.Errorf("chrome export: %w", err))
+							return
+						}
+					}
+				}()
+			}
+
+			wg.Wait()
+			select {
+			case err := <-errc:
+				t.Fatal(err)
+			default:
+			}
+
+			// Quiesced: the last execution's timeline must be non-empty
+			// for every rank of a traced plan.
+			evs := plan.TraceEvents()
+			if len(evs) == 0 {
+				t.Fatal("no per-rank timelines after traced executions")
+			}
+			for r, rank := range evs {
+				if len(rank) == 0 {
+					t.Errorf("rank %d: empty timeline", r)
+				}
+			}
+		})
+	}
+}

@@ -70,17 +70,35 @@ go run ./cmd/offt-chaos -duration 700ms -out BENCH_PR6.json
 grep -q '"pass": true' BENCH_PR6.json
 grep -q '"kill_recovery": "ok' BENCH_PR6.json
 
-# offt-serve binary smoke: boot the real server, push one 64-cubed p=4
-# transform through the HTTP path with offt-load, scrape /metrics, and
-# shut the process down with SIGTERM to exercise the drain path.
+# Observability overhead gate (PR 8): two in-process servers — full
+# tracing + structured logging + flight recorder + SLO vs plain — driven
+# by interleaved closed-loop segments under the race detector. offt-load
+# exits nonzero when a gate fails: clean run both sides, tracing overhead
+# <= 5% throughput, and a well-formed span tree (queue/acquire/exec chain,
+# per-phase durations summing to exec latency, per-rank step spans) for a
+# captured request of each decomposition, slab and pencil.
+go run -race ./cmd/offt-load -obs-bench -grid 64 -ranks 4 -duration 8s -warmup 3 \
+    -out BENCH_PR8.json
+grep -q '"pass": true' BENCH_PR8.json
+grep -q '"spans_pencil": "ok' BENCH_PR8.json
+
+# offt-serve binary smoke: boot the real server with tracing and
+# structured logs on, push 64-cubed p=4 transforms through the HTTP path
+# with offt-load, scrape /metrics and the flight recorder, and shut the
+# process down with SIGTERM to exercise the drain path.
 go build -o /tmp/offt-serve-smoke ./cmd/offt-serve
-/tmp/offt-serve-smoke -addr 127.0.0.1:18089 &
+/tmp/offt-serve-smoke -addr 127.0.0.1:18089 -trace -log-level info \
+    -log-out /tmp/offt-serve-smoke.log &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 go run ./cmd/offt-load -addr 127.0.0.1:18089 -conc 1 -duration 1s -warmup 2 \
     -gate auto -out BENCH_PR5_smoke.json -wait-ready 10s
 curl -sf http://127.0.0.1:18089/metrics | grep -q 'serve_plan_cache_hits'
+curl -sf http://127.0.0.1:18089/metrics | grep -q 'serve_slo_transform_total'
+curl -sf http://127.0.0.1:18089/healthz | grep -q '"slo"'
+curl -sf http://127.0.0.1:18089/debug/requests | grep -q '"total_ns"'
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q '"pass": true' BENCH_PR5_smoke.json
-rm -f BENCH_PR5_smoke.json /tmp/offt-serve-smoke
+grep -q '"event":"request.done"' /tmp/offt-serve-smoke.log
+rm -f BENCH_PR5_smoke.json /tmp/offt-serve-smoke /tmp/offt-serve-smoke.log
