@@ -31,7 +31,7 @@ func run() int {
 	verbose := flag.Bool("v", false, "print progress while tuning")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvDir := flag.String("csv", "", "also write times/breakdowns/params/tuning CSVs to this directory")
-	benchOut := flag.String("bench-out", "", "JSON verdict path for gate-bearing experiments (crossover writes BENCH_PR7-style output here)")
+	benchOut := flag.String("bench-out", "", "JSON verdict path for gate-bearing experiments (crossover writes BENCH_PR7, comm-crossover writes BENCH_PR9)")
 	var obs telemetry.CLI
 	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()

@@ -86,6 +86,7 @@ type report struct {
 	Grid     [3]int             `json:"grid"`
 	Ranks    int                `json:"ranks"`
 	Decomp   string             `json:"decomp,omitempty"`
+	Comm     string             `json:"comm,omitempty"`
 	Variant  string             `json:"variant"`
 	Engine   string             `json:"engine"`
 	SelfHost bool               `json:"self_host"`
@@ -103,6 +104,7 @@ func run() error {
 	grid := flag.Int("grid", 64, "cubic grid edge N (transforms are N³)")
 	ranks := flag.Int("ranks", 4, "ranks per transform request")
 	decomp := flag.String("decomp", "", "decomposition for requests: slab (default) or pencil (2-D)")
+	comm := flag.String("comm", "", "all-to-all schedule pinned in requests: pairwise, bruck, hier, windowed (empty = server default)")
 	variant := flag.String("variant", "new", "transform variant for requests")
 	workers := flag.Int("workers", 1, "intra-rank kernel workers per request")
 	concList := flag.String("conc", "1,4,16", "comma-separated concurrency multipliers (closed-loop workers per phase)")
@@ -150,6 +152,7 @@ func run() error {
 		Grid:    [3]int{*grid, *grid, *grid},
 		Ranks:   *ranks,
 		Decomp:  *decomp,
+		Comm:    *comm,
 		Variant: *variant,
 		Engine:  "mem",
 		Gates:   map[string]string{},
@@ -181,7 +184,7 @@ func run() error {
 		base = ln.Addr().String()
 		fmt.Printf("self-hosted offt-serve on %s (inflight=%d queue=%d)\n", base, inflight, *serveQueue)
 
-		raw, err := calibrate(*grid, *ranks, *decomp, *variant, *workers)
+		raw, err := calibrate(*grid, *ranks, *decomp, *comm, *variant, *workers)
 		if err != nil {
 			return fmt.Errorf("calibrate raw transform rate: %w", err)
 		}
@@ -197,7 +200,7 @@ func run() error {
 		return err
 	}
 
-	body, err := buildRequestBody(*grid, *ranks, *decomp, *variant, *workers, *timeoutMs)
+	body, err := buildRequestBody(*grid, *ranks, *decomp, *comm, *variant, *workers, *timeoutMs)
 	if err != nil {
 		return err
 	}
@@ -323,7 +326,7 @@ func applyGates(rep *report, mults []int, minRPS, minFrac, minHit float64) {
 
 // calibrate measures the raw in-process transform rate of the same plan
 // the service will execute, to anchor the relative throughput gate.
-func calibrate(n, ranks int, decomp, variant string, workers int) (float64, error) {
+func calibrate(n, ranks int, decomp, comm, variant string, workers int) (float64, error) {
 	v, err := offt.ParseVariant(variant)
 	if err != nil {
 		return 0, err
@@ -332,10 +335,18 @@ func calibrate(n, ranks int, decomp, variant string, workers int) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	plan, err := offt.NewPlan(
+	opts := []offt.Option{
 		offt.WithGrid(n, n, n), offt.WithRanks(ranks),
 		offt.WithDecomp(d), offt.WithVariant(v), offt.WithWorkers(workers),
-	)
+	}
+	if comm != "" {
+		alg, err := offt.ParseComm(comm)
+		if err != nil {
+			return 0, err
+		}
+		opts = append(opts, offt.WithComm(alg))
+	}
+	plan, err := offt.NewPlan(opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -427,11 +438,11 @@ func post(client *http.Client, base string, body []byte) (int, error) {
 	return resp.StatusCode, nil
 }
 
-func buildRequestBody(n, ranks int, decomp, variant string, workers, timeoutMs int) ([]byte, error) {
+func buildRequestBody(n, ranks int, decomp, comm, variant string, workers, timeoutMs int) ([]byte, error) {
 	var buf bytes.Buffer
 	req := serve.TransformRequest{
 		Nx: n, Ny: n, Nz: n, Ranks: ranks,
-		Direction: "forward", Decomp: decomp, Variant: variant, Engine: "mem",
+		Direction: "forward", Decomp: decomp, Comm: comm, Variant: variant, Engine: "mem",
 		Workers: workers, TimeoutMs: timeoutMs,
 	}
 	if err := serve.WriteHeader(&buf, req); err != nil {
@@ -638,7 +649,7 @@ func runObsBench(grid, ranks, workers int, variant string, duration time.Duratio
 		MaxIdleConns:        64,
 		MaxIdleConnsPerHost: 64,
 	}}
-	body, err := buildRequestBody(grid, ranks, "slab", variant, workers, timeoutMs)
+	body, err := buildRequestBody(grid, ranks, "slab", "", variant, workers, timeoutMs)
 	if err != nil {
 		return err
 	}
@@ -734,7 +745,7 @@ func runObsBench(grid, ranks, workers int, variant string, duration time.Duratio
 // per-phase durations summing (within tolerance) to the exec span, step
 // spans recorded, and a per-request overlap efficiency.
 func checkSpans(client *http.Client, base string, grid, ranks int, decomp, variant string, workers, timeoutMs int) (spanCheck, error) {
-	body, err := buildRequestBody(grid, ranks, decomp, variant, workers, timeoutMs)
+	body, err := buildRequestBody(grid, ranks, decomp, "", variant, workers, timeoutMs)
 	if err != nil {
 		return spanCheck{}, err
 	}

@@ -55,6 +55,7 @@ func main() {
 	fpFlag := flag.Int("Fp", -1, "Test calls during Pack override")
 	fuFlag := flag.Int("Fu", -1, "Test calls during Unpack override")
 	fxFlag := flag.Int("Fx", -1, "Test calls during FFTx override")
+	commName := flag.String("comm", "", "all-to-all schedule: pairwise, bruck, hier, windowed (empty = resolved default)")
 	chaosSeed := flag.Int64("chaos", 0, "chaos fault-plan seed (with -chaos-profile)")
 	chaosProfile := flag.String("chaos-profile", "none", "fault profile: none, drop, corrupt, stall, mixed")
 	var obs telemetry.CLI
@@ -76,7 +77,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	commSet := *commName != ""
+	var commAlg offt.CommAlg
+	if commSet {
+		commAlg, err = offt.ParseComm(*commName)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	applyOverrides := func(prm *pfft.Params) {
+		if commSet {
+			prm.Comm = commAlg
+		}
 		override := func(dst *int, v int) {
 			if v > 0 {
 				*dst = v

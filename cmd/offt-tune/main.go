@@ -36,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random search seed")
 	store := flag.String("store", "",
 		"append the tuned parameters to this JSON store, keyed by (machine, grid, ranks, variant); offt.WithTunedStore and offt-serve -store warm-start from it")
+	commName := flag.String("comm", "",
+		"pin the all-to-all schedule (pairwise, bruck, hier, windowed) and tune the rest under it; empty searches all schedules as the 11th parameter")
 	var obs telemetry.CLI
 	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -55,11 +57,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var pin *offt.CommAlg
+	if *commName != "" {
+		alg, err := offt.ParseComm(*commName)
+		if err != nil {
+			fatal(err)
+		}
+		pin = &alg
+	}
 	if decomp == offt.Pencil {
 		if *random > 0 {
 			fmt.Fprintln(os.Stderr, "warning: -random compares against the slab search space; ignored for -decomp pencil")
 		}
-		tunePencil(m, *p, *n, *evals, *store)
+		tunePencil(m, *p, *n, *evals, *store, pin)
 		if err := obs.Finish(); err != nil {
 			fatal(err)
 		}
@@ -80,7 +90,7 @@ func main() {
 	fmt.Printf("default point: %v\n", def)
 	fmt.Printf("default time (excl. FFTz+Transpose): %.4f s\n", float64(defRes.MaxTuned)/1e9)
 
-	prm, out, err := tuner.TuneNEWWith(m, *p, *n, *evals, tuner.NelderMeadTelemetry(obs.Registry()))
+	prm, out, err := tuner.TuneNEWPinned(m, *p, *n, *evals, tuner.NelderMeadTelemetry(obs.Registry()), pin)
 	if err != nil {
 		fatal(err)
 	}
@@ -99,8 +109,14 @@ func main() {
 	fmt.Printf("  full 3-D FFT time with tuned parameters: %.4f s\n", float64(full.MaxTotal)/1e9)
 
 	if *store != "" {
+		key := tuned.NewKey(m.Name, *n, *n, *n, *p, pfft.NEW)
+		if pin != nil {
+			// Pinned-schedule entries get a comm-qualified key, so they
+			// only resolve for plans that pin the same schedule.
+			key = key.WithComm(pin.String())
+		}
 		entry := tuned.Entry{
-			Key:     tuned.NewKey(m.Name, *n, *n, *n, *p, pfft.NEW),
+			Key:     key,
 			Params:  prm,
 			TunedNs: out.BestTime(),
 			Evals:   out.Search.Evals,
@@ -136,7 +152,7 @@ func main() {
 // factorization jointly with the pipeline parameters — and stores the
 // winner under a pencil-keyed tuned entry that WithDecomp(Pencil) plans
 // warm-start from.
-func tunePencil(m machine.Machine, p, n, evals int, store string) {
+func tunePencil(m machine.Machine, p, n, evals int, store string, pin *offt.CommAlg) {
 	dpr, dpc, err := pencil.DefaultProcGrid(n, n, n, p)
 	if err != nil {
 		fatal(err)
@@ -158,7 +174,7 @@ func tunePencil(m machine.Machine, p, n, evals int, store string) {
 	fmt.Printf("default point: %dx%d grid, %v\n", dpr, dpc, pencil.DefaultParams2D(g0))
 	fmt.Printf("default time: %.4f s\n", float64(defNs)/1e9)
 
-	prm, out, err := tuner.TunePencilNEW(m, p, n, evals)
+	prm, out, err := tuner.TunePencilNEWPinned(m, p, n, evals, pin)
 	if err != nil {
 		fatal(err)
 	}
@@ -171,8 +187,12 @@ func tunePencil(m machine.Machine, p, n, evals int, store string) {
 		float64(out.VirtualNs)/1e9, time.Duration(out.WallNs).Round(time.Millisecond))
 
 	if store != "" {
+		key := tuned.NewKeyDecomp(m.Name, n, n, n, p, pfft.NEW, offt.Pencil.String())
+		if pin != nil {
+			key = key.WithComm(pin.String())
+		}
 		entry := tuned.Entry{
-			Key:     tuned.NewKeyDecomp(m.Name, n, n, n, p, pfft.NEW, offt.Pencil.String()),
+			Key:     key,
 			Params:  prm,
 			TunedNs: out.BestTime(),
 			Evals:   out.Search.Evals,

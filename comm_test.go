@@ -1,0 +1,188 @@
+package offt_test
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"offt"
+	"offt/internal/pfft"
+	"offt/internal/tuned"
+)
+
+// TestCommBitIdentical is the schedule-equivalence property: every
+// exchange schedule routes the same blocks to the same places, so for any
+// (decomp, direction) the spectra must match the pairwise plan bit for
+// bit. Any drift is a routing bug in a schedule, not roundoff — the 1-D
+// kernels never see different data.
+func TestCommBitIdentical(t *testing.T) {
+	cases := []struct {
+		name              string
+		decomp            offt.Decomp
+		nx, ny, nz, ranks int
+	}{
+		{"slab", offt.Slab, 16, 16, 16, 4},
+		{"slab-ragged", offt.Slab, 12, 10, 8, 6},
+		{"pencil", offt.Pencil, 16, 16, 16, 4},
+		{"pencil-beyond-cap", offt.Pencil, 8, 8, 16, 16},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := randData(c.nx*c.ny*c.nz, 77)
+			base := []offt.Option{
+				offt.WithGrid(c.nx, c.ny, c.nz), offt.WithRanks(c.ranks),
+				offt.WithDecomp(c.decomp),
+			}
+			ref, err := offt.NewPlan(append(base, offt.WithComm(offt.CommPairwise))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			wantF, err := ref.Forward(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantB, err := ref.Backward(wantF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range offt.CommAlgs() {
+				if alg == offt.CommPairwise {
+					continue
+				}
+				plan, err := offt.NewPlan(append(base, offt.WithComm(alg))...)
+				if err != nil {
+					t.Fatalf("%v plan: %v", alg, err)
+				}
+				gotF, err := plan.Forward(data)
+				if err != nil {
+					t.Fatalf("%v forward: %v", alg, err)
+				}
+				for i := range wantF {
+					if gotF[i] != wantF[i] {
+						t.Fatalf("%v forward differs from pairwise at %d: %v vs %v", alg, i, gotF[i], wantF[i])
+					}
+				}
+				gotB, err := plan.Backward(gotF)
+				if err != nil {
+					t.Fatalf("%v backward: %v", alg, err)
+				}
+				for i := range wantB {
+					if gotB[i] != wantB[i] {
+						t.Fatalf("%v backward differs from pairwise at %d: %v vs %v", alg, i, gotB[i], wantB[i])
+					}
+				}
+				plan.Close()
+			}
+		})
+	}
+}
+
+// TestParseComm covers the schedule-name surface: every CommAlgs entry
+// round-trips through its String form, and a bad name yields a typed
+// ConfigError naming the field.
+func TestParseComm(t *testing.T) {
+	for _, alg := range offt.CommAlgs() {
+		got, err := offt.ParseComm(alg.String())
+		if err != nil || got != alg {
+			t.Errorf("ParseComm(%q) = %v, %v; want %v", alg.String(), got, err, alg)
+		}
+	}
+	_, err := offt.ParseComm("ring")
+	var ce *offt.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("ParseComm(ring) error = %v, want *ConfigError", err)
+	}
+	if ce.Field != "comm" {
+		t.Errorf("ConfigError field = %q, want comm", ce.Field)
+	}
+}
+
+// TestWithCommPins: WithComm overrides every other parameter source —
+// explicit WithParams included — and the pinned schedule shows up in the
+// plan description (and its String only when non-default).
+func TestWithCommPins(t *testing.T) {
+	g := []offt.Option{offt.WithGrid(16, 16, 16), offt.WithRanks(4)}
+	d, err := offt.DescribePlan(append(g, offt.WithComm(offt.CommBruck))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Params.Comm != offt.CommBruck {
+		t.Errorf("resolved Comm = %v, want bruck", d.Params.Comm)
+	}
+	if s := d.String(); !strings.Contains(s, "comm=bruck") {
+		t.Errorf("description %q does not name the pinned schedule", s)
+	}
+	// Pin beats explicit params.
+	prm := d.Params
+	prm.Comm = offt.CommPairwise
+	d2, err := offt.DescribePlan(append(g, offt.WithParams(prm), offt.WithComm(offt.CommWindowed))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Params.Comm != offt.CommWindowed {
+		t.Errorf("WithComm did not override WithParams: Comm = %v", d2.Params.Comm)
+	}
+	// Default stays silent in the rendering.
+	d3, err := offt.DescribePlan(g...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d3.String(); strings.Contains(s, "comm=") {
+		t.Errorf("default description %q should not mention comm", s)
+	}
+}
+
+// TestCommTunedStoreQualified: a comm-qualified tuned entry resolves only
+// for plans pinning that schedule; unpinned plans (and pairwise pins,
+// which canonicalize to the empty key) keep resolving pre-schedule
+// entries.
+func TestCommTunedStoreQualified(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	plain := offt.Params{T: 4, W: 2, Px: 1, Pz: 1, Uy: 1, Uz: 1, Fy: 8, Fp: 8, Fu: 8, Fx: 8}
+	bruck := plain
+	bruck.T, bruck.Comm = 8, offt.CommBruck
+	key := tuned.NewKey("umd-cluster", 16, 16, 16, 4, pfft.NEW)
+	for _, e := range []tuned.Entry{
+		{Key: key, Params: plain, TunedNs: 1, Evals: 1},
+		{Key: key.WithComm("bruck"), Params: bruck, TunedNs: 1, Evals: 1},
+	} {
+		if err := tuned.Append(path, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := []offt.Option{
+		offt.WithGrid(16, 16, 16), offt.WithRanks(4),
+		offt.WithEngine(offt.Sim), offt.WithMachine("umd-cluster"),
+		offt.WithTunedStore(path),
+	}
+	for _, c := range []struct {
+		name string
+		opts []offt.Option
+		want offt.Params
+	}{
+		{"unpinned", base, plain},
+		{"pairwise-pin", append(base, offt.WithComm(offt.CommPairwise)), plain},
+		{"bruck-pin", append(base, offt.WithComm(offt.CommBruck)), bruck},
+	} {
+		d, err := offt.DescribePlan(c.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if d.Provenance != offt.ParamsTuned {
+			t.Errorf("%s: provenance = %v, want tuned", c.name, d.Provenance)
+		}
+		if d.Params != c.want {
+			t.Errorf("%s: params = %v, want %v", c.name, d.Params, c.want)
+		}
+	}
+	// A hier pin has no store entry: the default point, pinned to hier.
+	d, err := offt.DescribePlan(append(base, offt.WithComm(offt.CommHier))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Provenance != offt.ParamsDefault || d.Params.Comm != offt.CommHier {
+		t.Errorf("hier pin: provenance %v params %v, want pinned default", d.Provenance, d.Params)
+	}
+}

@@ -192,6 +192,9 @@ func (d PlanDescription) String() string {
 	if d.Decomp == Pencil {
 		s += fmt.Sprintf("/pencil=%dx%d", d.ProcRows, d.ProcCols())
 	}
+	if d.Params.Comm != CommPairwise {
+		s += "/comm=" + d.Params.Comm.String()
+	}
 	return s
 }
 
@@ -304,15 +307,15 @@ func (cfg *config) resolveSlab(desc PlanDescription) (PlanDescription, error) {
 		return PlanDescription{}, err
 	}
 	lookup := func() (Params, ParamSource) {
-		key := tuned.NewKey(cfg.machineName, cfg.nx, cfg.ny, cfg.nz, cfg.ranks, cfg.variant)
+		key := cfg.commKey(tuned.NewKey(cfg.machineName, cfg.nx, cfg.ny, cfg.nz, cfg.ranks, cfg.variant))
 		if tp, ok := store.Lookup(key); ok {
-			return tp, ParamsTuned
+			return cfg.pinComm(tp), ParamsTuned
 		}
-		return pfft.DefaultParams(g0), ParamsDefault
+		return cfg.pinComm(pfft.DefaultParams(g0)), ParamsDefault
 	}
 	prm, src := lookup()
 	if cfg.params != nil {
-		prm, src = *cfg.params, ParamsExplicit
+		prm, src = cfg.pinComm(*cfg.params), ParamsExplicit
 	}
 	if _, err := pfft.ExpandParams(cfg.variant, g0, prm); err != nil {
 		return PlanDescription{}, &ConfigError{Field: "params", Value: prm.String(), Reason: "infeasible for the geometry", cause: err}
@@ -377,9 +380,9 @@ func (cfg *config) resolvePencil(desc PlanDescription) (PlanDescription, error) 
 		return pr, pc, nil
 	}
 	lookup := func() (Params, ParamSource, error) {
-		key := tuned.NewKeyDecomp(cfg.machineName, nx, ny, nz, ranks, cfg.variant, Pencil.String())
+		key := cfg.commKey(tuned.NewKeyDecomp(cfg.machineName, nx, ny, nz, ranks, cfg.variant, Pencil.String()))
 		if tp, ok := store.Lookup(key); ok {
-			return tp, ParamsTuned, nil
+			return cfg.pinComm(tp), ParamsTuned, nil
 		}
 		pr, pc, err := resolvePr(Params{})
 		if err != nil {
@@ -389,14 +392,14 @@ func (cfg *config) resolvePencil(desc PlanDescription) (PlanDescription, error) 
 		if err != nil {
 			return Params{}, 0, shapeError("ranks", "", err.Error())
 		}
-		return defaultPencilParams(g0), ParamsDefault, nil
+		return cfg.pinComm(defaultPencilParams(g0)), ParamsDefault, nil
 	}
 	prm, src, err := lookup()
 	if err != nil {
 		return PlanDescription{}, err
 	}
 	if cfg.params != nil {
-		prm, src = *cfg.params, ParamsExplicit
+		prm, src = cfg.pinComm(*cfg.params), ParamsExplicit
 	}
 	pr, _, err := resolvePr(prm)
 	if err != nil {
@@ -409,6 +412,8 @@ func (cfg *config) resolvePencil(desc PlanDescription) (PlanDescription, error) 
 		return PlanDescription{}, &ConfigError{Field: "params", Value: prm.String(), Reason: "W must be at least 1"}
 	case prm.Fy < 0:
 		return PlanDescription{}, &ConfigError{Field: "params", Value: prm.String(), Reason: "Fy must be non-negative"}
+	case !prm.Comm.Valid():
+		return PlanDescription{}, &ConfigError{Field: "params", Value: prm.String(), Reason: "Comm is not a known exchange schedule"}
 	}
 	// Canonicalize: the description and the plan pin the factored grid.
 	prm.Pr = pr
@@ -445,6 +450,25 @@ type TunedStore = tuned.Store
 // semantics. Takes precedence over WithTunedStore's path.
 func WithTunedStoreHandle(s *TunedStore) Option {
 	return func(c *config) { c.store = s }
+}
+
+// pinComm applies a WithComm pin to a resolved parameter set; without a
+// pin the resolved Params.Comm (pairwise unless tuned otherwise) stands.
+func (cfg *config) pinComm(prm Params) Params {
+	if cfg.comm != nil {
+		prm.Comm = *cfg.comm
+	}
+	return prm
+}
+
+// commKey qualifies a tuned-store key with the pinned exchange schedule;
+// unpinned (and pinned-pairwise) lookups keep the historical key so
+// pre-schedule store files keep resolving.
+func (cfg *config) commKey(k tuned.Key) tuned.Key {
+	if cfg.comm == nil {
+		return k
+	}
+	return k.WithComm(cfg.comm.String())
 }
 
 // loadStore returns the tuned-params store when one was configured. A nil

@@ -1,0 +1,81 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"offt/internal/mpi"
+)
+
+// benchShapes are the count distributions the Ialltoallv benchmarks sweep:
+// uniform (slab exchange), skewed (ragged pencil tiles), and zero-heavy
+// (sub-grid exchange posted with world-sized counts).
+func benchShapes(p, n int) map[string]func(rank int) []int {
+	return map[string]func(rank int) []int{
+		"uniform": func(rank int) []int {
+			c := make([]int, p)
+			for i := range c {
+				c[i] = n
+			}
+			return c
+		},
+		"skewed": func(rank int) []int {
+			c := make([]int, p)
+			for i := range c {
+				c[i] = 1 + (n*2*((rank+i)%p))/p
+			}
+			return c
+		},
+		"zeroheavy": func(rank int) []int {
+			c := make([]int, p)
+			for i := range c {
+				if i%4 == rank%4 {
+					c[i] = n * 4
+				}
+			}
+			return c
+		},
+	}
+}
+
+// BenchmarkIalltoallv measures one full post+wait collective per iteration
+// on the mem engine, per schedule × count shape, isolating exchange
+// schedule cost from the FFT.
+func BenchmarkIalltoallv(b *testing.B) {
+	const p, n = 8, 256
+	for _, ex := range []mpi.Exchange{
+		{Alg: mpi.CommPairwise},
+		{Alg: mpi.CommBruck},
+		{Alg: mpi.CommHier, NodeSize: 2},
+		{Alg: mpi.CommWindowed, Window: 2},
+	} {
+		for shape, countsOf := range benchShapes(p, n) {
+			ex := ex
+			countsOf := countsOf
+			b.Run(fmt.Sprintf("%s/%s", ex.Alg, shape), func(b *testing.B) {
+				w := NewWorld(p)
+				b.ReportAllocs()
+				err := w.Run(func(c *Comm) {
+					c.SetExchange(ex)
+					me := c.Rank()
+					sendCounts := countsOf(me)
+					recvCounts := make([]int, p)
+					for s := 0; s < p; s++ {
+						recvCounts[s] = countsOf(s)[me]
+					}
+					send := make([]complex128, total(sendCounts))
+					recv := make([]complex128, total(recvCounts))
+					if me == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						c.Alltoallv(send, sendCounts, recv, recvCounts)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -301,13 +301,21 @@ type Comm struct {
 	world *World
 	rank  int
 	seq   int
+	ex    mpi.Exchange
+	pkt   []complex128 // reusable packet-assembly scratch (Bruck/hier)
 }
 
 var (
 	_ mpi.Comm           = (*Comm)(nil)
 	_ mpi.DeadlineWaiter = (*Comm)(nil)
 	_ mpi.HealthReporter = (*Comm)(nil)
+	_ mpi.ExchangeSetter = (*Comm)(nil)
 )
+
+// SetExchange selects the all-to-all schedule for collectives posted from
+// now on (mpi.ExchangeSetter). Every rank must apply the same Exchange
+// before matching collectives.
+func (c *Comm) SetExchange(ex mpi.Exchange) { c.ex = ex }
 
 // Rank returns this rank.
 func (c *Comm) Rank() int { return c.rank }
@@ -323,9 +331,26 @@ func (c *Comm) Now() int64 { return time.Since(c.world.epoch).Nanoseconds() }
 // persistent transport faults).
 func (c *Comm) TransportHealth() mpi.Health { return c.world.Health() }
 
-// request tracks a pending all-to-all: which source blocks are still
-// outstanding and where to copy them.
+// memReq is the engine-side request contract every schedule implements.
+// All methods are called only by the owning rank's goroutine; the *Locked
+// ones additionally hold w.mu.
+type memReq interface {
+	// drain claims whatever has arrived, releases any schedule-gated sends
+	// that became eligible, and reports completion.
+	drain() bool
+	// availLocked reports whether the mailbox holds something this request
+	// can consume right now — waitInner's park predicate.
+	availLocked() bool
+	// missing summarizes incomplete work as (collective sequence numbers,
+	// source ranks) for the watchdog and deadline diagnostics.
+	missing() (seqs []int, from []int)
+}
+
+// request tracks a pending pairwise all-to-all: which source blocks are
+// still outstanding and where to copy them. It is also the receive core
+// the windowed schedule embeds.
 type request struct {
+	c          *Comm
 	tag        int
 	recv       []complex128
 	recvCounts []int
@@ -339,30 +364,36 @@ func (c *Comm) nextTag() int {
 	return t
 }
 
-// Ialltoallv starts a non-blocking all-to-all with real payloads. The send
-// buffer is copied out immediately; inbound blocks are copied into recv
-// during Test/Wait (the caller's CPU does the "progression" work, like the
-// paper's manual progression).
+// nextTags reserves n consecutive sequence numbers for a multi-message
+// schedule (one per Bruck round, one per hierarchical protocol phase) so
+// deliveries of different rounds can never be confused even when the
+// transport reorders them.
+func (c *Comm) nextTags(n int) int {
+	t := c.seq
+	c.seq += n
+	return t
+}
+
+// Ialltoallv starts a non-blocking all-to-all with real payloads using the
+// configured exchange schedule (SetExchange; pairwise by default). The send
+// buffer is copied out as messages are handed to the transport; inbound
+// blocks are copied into recv during Test/Wait (the caller's CPU does the
+// "progression" work, like the paper's manual progression). All schedules
+// deliver bit-identical receive buffers.
 func (c *Comm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) mpi.Request {
-	w, p, rank := c.world, c.Size(), c.rank
+	p := c.Size()
 	if len(sendCounts) != p || len(recvCounts) != p {
 		panic(fmt.Sprintf("mem: counts length %d/%d, want %d", len(sendCounts), len(recvCounts), p))
 	}
-	tag := c.nextTag()
-	// Copy the counts: callers may reuse the backing arrays for the next
-	// collective while this request is still in flight.
-	rc := append([]int(nil), recvCounts...)
-	req := &request{tag: tag, recv: recv, recvCounts: rc, pending: make(map[int]bool, p)}
-	req.offsets = make([]int, p)
+	offsets := make([]int, p)
 	off := 0
 	for s := 0; s < p; s++ {
-		req.offsets[s] = off
+		offsets[s] = off
 		off += recvCounts[s]
 	}
 	if off > len(recv) {
 		panic(fmt.Sprintf("mem: recv buffer %d too small for counts (%d)", len(recv), off))
 	}
-	// Send blocks (round-robin order), self block copied in place.
 	soff := make([]int, p)
 	o := 0
 	for r := 0; r < p; r++ {
@@ -372,6 +403,27 @@ func (c *Comm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128
 	if o > len(send) {
 		panic(fmt.Sprintf("mem: send buffer %d too small for counts (%d)", len(send), o))
 	}
+	if p > 1 {
+		switch c.ex.Alg {
+		case mpi.CommBruck:
+			return c.postBruck(send, sendCounts, soff, recv, recvCounts, offsets)
+		case mpi.CommHier:
+			return c.postHier(send, sendCounts, soff, recv, recvCounts, offsets)
+		case mpi.CommWindowed:
+			if w := c.window(); w < p-1 {
+				return c.postWindowed(send, sendCounts, soff, recv, recvCounts, offsets, w)
+			}
+		}
+	}
+	return c.postPairwise(send, sendCounts, soff, recv, recvCounts, offsets)
+}
+
+// postPairwise is the historical eager schedule: every peer's block is
+// handed to the transport at post time, in round-robin distance order.
+func (c *Comm) postPairwise(send []complex128, sendCounts, soff []int, recv []complex128, recvCounts, offsets []int) *request {
+	w, p, rank := c.world, c.world.p, c.rank
+	tag := c.nextTag()
+	req := c.newRequest(tag, recv, recvCounts, offsets)
 	// Zero-count blocks are skipped on both sides, so sub-grid collectives
 	// only touch their real peers.
 	for i := 1; i < p; i++ {
@@ -380,13 +432,44 @@ func (c *Comm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128
 			w.send(rank, dst, tag, send[soff[dst]:soff[dst]+sendCounts[dst]])
 		}
 	}
-	copy(recv[req.offsets[rank]:req.offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
+	copy(recv[offsets[rank]:offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
+	return req
+}
+
+// newRequest builds the receive-tracking core shared by the pairwise and
+// windowed schedules. The counts are copied: callers may reuse the backing
+// arrays for the next collective while this request is still in flight
+// (the Ialltoallv counts-aliasing contract).
+func (c *Comm) newRequest(tag int, recv []complex128, recvCounts, offsets []int) *request {
+	p := c.world.p
+	rc := append([]int(nil), recvCounts...)
+	req := &request{c: c, tag: tag, recv: recv, recvCounts: rc, offsets: offsets, pending: make(map[int]bool, p)}
 	for s := 0; s < p; s++ {
-		if s != rank && recvCounts[s] > 0 {
+		if s != c.rank && rc[s] > 0 {
 			req.pending[s] = true
 		}
 	}
 	return req
+}
+
+// window resolves the windowed schedule's in-flight cap.
+func (c *Comm) window() int {
+	if c.ex.Window > 0 {
+		return c.ex.Window
+	}
+	return mpi.DefaultWindow
+}
+
+// nodeSize resolves the hierarchical schedule's ranks-per-node grouping.
+func (c *Comm) nodeSize() int {
+	ns := c.ex.NodeSize
+	if ns <= 0 {
+		ns = c.world.mach.CoresPerNode
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
 }
 
 // Alltoallv performs a blocking all-to-all.
@@ -397,7 +480,8 @@ func (c *Comm) Alltoallv(send []complex128, sendCounts []int, recv []complex128,
 
 // drain claims every available pending block of req, copying payloads into
 // the receive buffer. Returns true when the request is complete.
-func (c *Comm) drain(req *request) bool {
+func (req *request) drain() bool {
+	c := req.c
 	w := c.world
 	for s := range req.pending {
 		if data, ok := w.tryClaim(c.rank, mkey{s, req.tag}); ok {
@@ -411,6 +495,29 @@ func (c *Comm) drain(req *request) bool {
 	return len(req.pending) == 0
 }
 
+// availLocked reports whether any pending source's block is in the mailbox.
+func (req *request) availLocked() bool {
+	w := req.c.world
+	for s := range req.pending {
+		if len(w.boxes[req.c.rank][mkey{s, req.tag}]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// missing summarizes the incomplete sources for diagnostics.
+func (req *request) missing() (seqs, from []int) {
+	if len(req.pending) == 0 {
+		return nil, nil
+	}
+	seqs = []int{req.tag}
+	for s := range req.pending {
+		from = append(from, s)
+	}
+	return seqs, from
+}
+
 // Test drains whatever has arrived and reports completion.
 func (c *Comm) Test(reqs ...mpi.Request) bool {
 	all := true
@@ -418,8 +525,7 @@ func (c *Comm) Test(reqs ...mpi.Request) bool {
 		if r == nil {
 			continue
 		}
-		req := r.(*request)
-		if !c.drain(req) {
+		if !r.(memReq).drain() {
 			all = false
 		}
 	}
@@ -490,11 +596,8 @@ func (c *Comm) waitInner(reqs []mpi.Request, limit time.Duration) error {
 			if r == nil {
 				continue
 			}
-			req := r.(*request)
-			for s := range req.pending {
-				if len(w.boxes[c.rank][mkey{s, req.tag}]) > 0 {
-					avail = true
-				}
+			if r.(memReq).availLocked() {
+				avail = true
 			}
 		}
 		if !avail {

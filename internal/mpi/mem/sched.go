@@ -1,0 +1,617 @@
+package mem
+
+import (
+	"fmt"
+
+	"offt/internal/mpi"
+)
+
+// This file implements the tunable all-to-all schedules of the mem engine:
+// windowed pairwise, Bruck, and the hierarchical node-aware exchange. All
+// three produce receive buffers bit-identical to the pairwise schedule —
+// blocks are routed differently but land byte-for-byte at the same offsets.
+//
+// Multi-message schedules reserve one collective sequence number per
+// distinct message class (Bruck: one per round; hierarchical: one per
+// protocol phase), so the transport's (src, tag) matching stays unambiguous
+// even when the fault plan delays or duplicates deliveries across rounds.
+// Combined packets ride inside ordinary []complex128 payloads with header
+// elements encoding (origin, dest, length) as exact small integers in the
+// float64 components, which keeps the checksum/retransmit transport and the
+// delay model oblivious to schedules.
+
+// ---- windowed pairwise ----------------------------------------------------
+
+// winSend is one deferred peer send of a windowed collective. The data
+// slice aliases the caller's send buffer, which the Ialltoallv contract
+// keeps frozen until the request completes; the transport copies the
+// payload when the send is released.
+type winSend struct {
+	dst  int
+	data []complex128
+}
+
+// winRequest is pairwise with a bounded number of released-but-unreceived
+// peer sends: distance i's send is released once (window + completed
+// receives) covers it. Liveness holds by induction on the world's minimum
+// completed-receive count: every rank has always released at least
+// window + that minimum distances, so some gated receive is always
+// satisfiable.
+type winRequest struct {
+	request
+	deferred []winSend // all nonzero sends, in distance order
+	released int
+	recvInit int
+	window   int
+}
+
+func (c *Comm) postWindowed(send []complex128, sendCounts, soff []int, recv []complex128, recvCounts, offsets []int, window int) *winRequest {
+	p, rank := c.world.p, c.rank
+	tag := c.nextTag()
+	req := &winRequest{request: *c.newRequest(tag, recv, recvCounts, offsets), window: window}
+	req.recvInit = len(req.pending)
+	for i := 1; i < p; i++ {
+		dst := (rank + i) % p
+		if sendCounts[dst] > 0 {
+			req.deferred = append(req.deferred, winSend{dst: dst, data: send[soff[dst] : soff[dst]+sendCounts[dst]]})
+		}
+	}
+	copy(recv[offsets[rank]:offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
+	req.release()
+	return req
+}
+
+// release hands every eligible deferred send to the transport. Once all
+// receives are in, the remaining sends are flushed unconditionally so the
+// request can complete even under asymmetric count shapes.
+func (r *winRequest) release() {
+	completed := r.recvInit - len(r.pending)
+	allow := r.window + completed
+	if len(r.pending) == 0 {
+		allow = len(r.deferred)
+	}
+	w, rank := r.c.world, r.c.rank
+	for r.released < len(r.deferred) && r.released < allow {
+		s := r.deferred[r.released]
+		w.send(rank, s.dst, r.tag, s.data)
+		r.released++
+	}
+}
+
+func (r *winRequest) drain() bool {
+	done := r.request.drain()
+	r.release()
+	return done && r.released == len(r.deferred)
+}
+
+// ---- Bruck ----------------------------------------------------------------
+
+// bruckRounds returns ⌈log2 p⌉, the round count of the Bruck schedule.
+func bruckRounds(p int) int {
+	r := 0
+	for (1 << r) < p {
+		r++
+	}
+	return r
+}
+
+// bruckBlock is one block in flight through the Bruck store-and-forward
+// pipeline. data aliases either the caller's frozen send buffer (round 0)
+// or a claimed mailbox payload this rank owns.
+type bruckBlock struct {
+	origin, dest int
+	data         []complex128
+}
+
+// bruckRequest advances one rank through the ⌈log2 p⌉ Bruck rounds. A
+// block destined for d and currently held by r has remaining distance
+// (d−r) mod p; round k forwards every held block whose distance has bit k
+// set to rank r+2^k, shrinking its distance by 2^k. Distances are < p, so
+// all bits clear within ⌈log2 p⌉ rounds and every block lands at its
+// destination. Each rank sends exactly one (possibly empty) combined
+// packet per round under tag base+k, and entering round k+1 requires
+// round k's inbound packet — the per-rank state machine drain() runs.
+type bruckRequest struct {
+	c          *Comm
+	baseTag    int
+	rounds     int
+	round      int // rounds fully processed; == rounds ⇒ complete
+	recv       []complex128
+	recvCounts []int
+	offsets    []int
+	remaining  int // foreign blocks not yet placed into recv
+	hold       []bruckBlock
+}
+
+func (c *Comm) postBruck(send []complex128, sendCounts, soff []int, recv []complex128, recvCounts, offsets []int) *bruckRequest {
+	p, rank := c.world.p, c.rank
+	rounds := bruckRounds(p)
+	req := &bruckRequest{
+		c: c, baseTag: c.nextTags(rounds), rounds: rounds,
+		recv: recv, recvCounts: append([]int(nil), recvCounts...), offsets: offsets,
+	}
+	for i := 1; i < p; i++ {
+		d := (rank + i) % p
+		if sendCounts[d] > 0 {
+			req.hold = append(req.hold, bruckBlock{origin: rank, dest: d, data: send[soff[d] : soff[d]+sendCounts[d]]})
+		}
+		if req.recvCounts[d] > 0 {
+			req.remaining++
+		}
+	}
+	copy(recv[offsets[rank]:offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
+	req.sendRound(0)
+	return req
+}
+
+// sendRound assembles and transmits round k's combined packet: held blocks
+// whose remaining distance has bit k set, encoded as
+// [n, (origin+i·dest, len)·n, payload·n]. The packet always goes out, even
+// empty, so the receiver's round state machine never stalls.
+func (r *bruckRequest) sendRound(k int) {
+	c := r.c
+	p, rank := c.world.p, c.rank
+	size, n := 1, 0
+	for _, b := range r.hold {
+		if ((b.dest-rank+p)%p)&(1<<k) != 0 {
+			size += 2 + len(b.data)
+			n++
+		}
+	}
+	if cap(c.pkt) < size {
+		c.pkt = make([]complex128, size)
+	}
+	pkt := c.pkt[:size]
+	pkt[0] = complex(float64(n), 0)
+	pos := 1
+	keep := r.hold[:0]
+	for _, b := range r.hold {
+		if ((b.dest-rank+p)%p)&(1<<k) == 0 {
+			keep = append(keep, b)
+			continue
+		}
+		pkt[pos] = complex(float64(b.origin), float64(b.dest))
+		pkt[pos+1] = complex(float64(len(b.data)), 0)
+		pos += 2
+		copy(pkt[pos:pos+len(b.data)], b.data)
+		pos += len(b.data)
+	}
+	r.hold = keep
+	c.world.send(rank, (rank+(1<<k))%p, r.baseTag+k, pkt)
+}
+
+// processRound splits round k's inbound packet into blocks that arrived
+// (distance 0: copy into recv) and blocks to keep forwarding.
+func (r *bruckRequest) processRound(data []complex128) {
+	c := r.c
+	p, rank := c.world.p, c.rank
+	n := int(real(data[0]))
+	pos := 1
+	for i := 0; i < n; i++ {
+		origin := int(real(data[pos]))
+		dest := int(imag(data[pos]))
+		ln := int(real(data[pos+1]))
+		pos += 2
+		payload := data[pos : pos+ln]
+		pos += ln
+		if dest == rank {
+			if ln != r.recvCounts[origin] {
+				panic(fmt.Sprintf("mem: bruck: rank %d got %d elements from %d, want %d", rank, ln, origin, r.recvCounts[origin]))
+			}
+			copy(r.recv[r.offsets[origin]:r.offsets[origin]+ln], payload)
+			r.remaining--
+		} else {
+			if (dest-rank+p)%p == 0 {
+				panic(fmt.Sprintf("mem: bruck: rank %d holding misrouted block %d→%d", rank, origin, dest))
+			}
+			r.hold = append(r.hold, bruckBlock{origin: origin, dest: dest, data: payload})
+		}
+	}
+}
+
+func (r *bruckRequest) drain() bool {
+	c := r.c
+	p := c.world.p
+	for r.round < r.rounds {
+		src := (c.rank - (1 << r.round) + p*2) % p
+		data, ok := c.world.tryClaim(c.rank, mkey{src, r.baseTag + r.round})
+		if !ok {
+			return false
+		}
+		r.processRound(data)
+		r.round++
+		if r.round < r.rounds {
+			r.sendRound(r.round)
+		}
+	}
+	if r.remaining != 0 || len(r.hold) != 0 {
+		panic(fmt.Sprintf("mem: bruck: rank %d finished rounds with %d blocks missing, %d undelivered", c.rank, r.remaining, len(r.hold)))
+	}
+	return true
+}
+
+func (r *bruckRequest) availLocked() bool {
+	if r.round >= r.rounds {
+		return false
+	}
+	c := r.c
+	p := c.world.p
+	src := (c.rank - (1 << r.round) + p*2) % p
+	return len(c.world.boxes[c.rank][mkey{src, r.baseTag + r.round}]) > 0
+}
+
+func (r *bruckRequest) missing() (seqs, from []int) {
+	if r.round >= r.rounds {
+		return nil, nil
+	}
+	p := r.c.world.p
+	return []int{r.baseTag + r.round}, []int{(r.c.rank - (1 << r.round) + p*2) % p}
+}
+
+// ---- hierarchical node-aware ----------------------------------------------
+
+// Hierarchical protocol phases, one collective sequence number each.
+const (
+	hierDirect   = iota // intra-node peer blocks, sent raw
+	hierGather          // member → leader: combined inter-node packet [(dest+i·len) payload]·n, count-prefixed
+	hierExchange        // leader ↔ leader: combined per-node packet [(origin+i·dest), (len), payload]·n, count-prefixed
+	hierScatter         // leader → member: combined packet [(origin+i·len) payload]·n, count-prefixed
+	hierTags
+)
+
+// hierBlock is one inter-node block staged on a leader.
+type hierBlock struct {
+	origin, dest int
+	data         []complex128
+}
+
+// hierRequest runs the node-aware exchange: same-node blocks go directly
+// (hierDirect); inter-node blocks ride member→leader→leader→member with
+// combined packets, cutting fabric messages from p² to nodes². Leaders
+// gate the exchange phase on all members' gather packets and the scatter
+// phase on all peer leaders' exchange packets; every packet is sent even
+// when empty so the phase machine never stalls.
+type hierRequest struct {
+	c          *Comm
+	baseTag    int
+	recv       []complex128
+	recvCounts []int
+	offsets    []int
+	remaining  int // foreign blocks not yet placed into recv
+
+	nodeSize int
+	leader   int // first rank of this node
+
+	directPending map[int]bool // same-node peers whose direct block is missing
+
+	// Leader-only state.
+	isLeader        bool
+	stage           int          // 0 awaiting gathers, 1 awaiting exchanges, 2 all sends out
+	gatherPending   map[int]bool // members whose gather packet is missing
+	exchangePending map[int]bool // peer leaders whose packet is missing
+	pool            []hierBlock  // staged blocks (outbound in stage 0, scatter in stage 1)
+
+	// Member-only state.
+	scatterDone bool
+}
+
+func (c *Comm) postHier(send []complex128, sendCounts, soff []int, recv []complex128, recvCounts, offsets []int) mpi.Request {
+	w, p, rank := c.world, c.world.p, c.rank
+	ns := c.nodeSize()
+	nodes := (p + ns - 1) / ns
+	if nodes == 1 {
+		// One node: the hierarchy is pure direct exchange — identical to
+		// pairwise (a consistent choice world-wide, since the topology is).
+		return c.postPairwise(send, sendCounts, soff, recv, recvCounts, offsets)
+	}
+	node := rank / ns
+	req := &hierRequest{
+		c: c, baseTag: c.nextTags(hierTags),
+		recv: recv, recvCounts: append([]int(nil), recvCounts...), offsets: offsets,
+		nodeSize: ns, leader: node * ns, isLeader: rank == node*ns,
+		directPending: map[int]bool{},
+	}
+	lo, hi := node*ns, (node+1)*ns
+	if hi > p {
+		hi = p
+	}
+	for s := 0; s < p; s++ {
+		if s == rank || req.recvCounts[s] == 0 {
+			continue
+		}
+		req.remaining++
+		if s >= lo && s < hi {
+			req.directPending[s] = true
+		}
+	}
+	// Direct intra-node blocks and the self copy.
+	for q := lo; q < hi; q++ {
+		if q != rank && sendCounts[q] > 0 {
+			w.send(rank, q, req.baseTag+hierDirect, send[soff[q]:soff[q]+sendCounts[q]])
+		}
+	}
+	copy(recv[offsets[rank]:offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
+	if req.isLeader {
+		req.gatherPending = map[int]bool{}
+		for m := lo + 1; m < hi; m++ {
+			req.gatherPending[m] = true
+		}
+		req.exchangePending = map[int]bool{}
+		for n := 0; n < nodes; n++ {
+			if n != node {
+				req.exchangePending[n*ns] = true
+			}
+		}
+		// The leader's own inter-node blocks join the pool directly.
+		for d := 0; d < p; d++ {
+			if (d < lo || d >= hi) && sendCounts[d] > 0 {
+				req.pool = append(req.pool, hierBlock{origin: rank, dest: d, data: send[soff[d] : soff[d]+sendCounts[d]]})
+			}
+		}
+		if len(req.gatherPending) == 0 {
+			req.sendExchange()
+		}
+	} else {
+		// Members push their combined inter-node packet to the leader
+		// immediately: [n, (dest+i·len, payload)·n].
+		size, n := 1, 0
+		for d := 0; d < p; d++ {
+			if (d < lo || d >= hi) && sendCounts[d] > 0 {
+				size += 1 + sendCounts[d]
+				n++
+			}
+		}
+		if cap(c.pkt) < size {
+			c.pkt = make([]complex128, size)
+		}
+		pkt := c.pkt[:size]
+		pkt[0] = complex(float64(n), 0)
+		pos := 1
+		for d := 0; d < p; d++ {
+			if (d < lo || d >= hi) && sendCounts[d] > 0 {
+				pkt[pos] = complex(float64(d), float64(sendCounts[d]))
+				pos++
+				copy(pkt[pos:pos+sendCounts[d]], send[soff[d]:soff[d]+sendCounts[d]])
+				pos += sendCounts[d]
+			}
+		}
+		w.send(rank, req.leader, req.baseTag+hierGather, pkt)
+	}
+	return req
+}
+
+// nodeBounds returns the rank range [lo, hi) of this rank's node.
+func (r *hierRequest) nodeBounds() (int, int) {
+	p := r.c.world.p
+	lo := r.leader
+	hi := lo + r.nodeSize
+	if hi > p {
+		hi = p
+	}
+	return lo, hi
+}
+
+// place copies one arrived foreign block into the receive buffer.
+func (r *hierRequest) place(origin int, data []complex128) {
+	if len(data) != r.recvCounts[origin] {
+		panic(fmt.Sprintf("mem: hier: rank %d got %d elements from %d, want %d", r.c.rank, len(data), origin, r.recvCounts[origin]))
+	}
+	copy(r.recv[r.offsets[origin]:r.offsets[origin]+len(data)], data)
+	r.remaining--
+}
+
+// sendExchange flushes the pooled inter-node blocks as one combined packet
+// per peer node (always sent, even empty) and enters stage 1.
+func (r *hierRequest) sendExchange() {
+	c := r.c
+	w, p := c.world, c.world.p
+	ns := r.nodeSize
+	nodes := (p + ns - 1) / ns
+	myNode := r.leader / ns
+	for n := 0; n < nodes; n++ {
+		if n == myNode {
+			continue
+		}
+		size, cnt := 1, 0
+		for _, b := range r.pool {
+			if b.dest/ns == n {
+				size += 2 + len(b.data)
+				cnt++
+			}
+		}
+		if cap(c.pkt) < size {
+			c.pkt = make([]complex128, size)
+		}
+		pkt := c.pkt[:size]
+		pkt[0] = complex(float64(cnt), 0)
+		pos := 1
+		for _, b := range r.pool {
+			if b.dest/ns != n {
+				continue
+			}
+			pkt[pos] = complex(float64(b.origin), float64(b.dest))
+			pkt[pos+1] = complex(float64(len(b.data)), 0)
+			pos += 2
+			copy(pkt[pos:pos+len(b.data)], b.data)
+			pos += len(b.data)
+		}
+		w.send(c.rank, n*ns, r.baseTag+hierExchange, pkt)
+	}
+	r.pool = r.pool[:0]
+	r.stage = 1
+}
+
+// sendScatter forwards the blocks received for this node's members
+// (always one packet per member, even empty) and enters stage 2.
+func (r *hierRequest) sendScatter() {
+	c := r.c
+	w := c.world
+	lo, hi := r.nodeBounds()
+	for m := lo + 1; m < hi; m++ {
+		size, cnt := 1, 0
+		for _, b := range r.pool {
+			if b.dest == m {
+				size += 1 + len(b.data)
+				cnt++
+			}
+		}
+		if cap(c.pkt) < size {
+			c.pkt = make([]complex128, size)
+		}
+		pkt := c.pkt[:size]
+		pkt[0] = complex(float64(cnt), 0)
+		pos := 1
+		for _, b := range r.pool {
+			if b.dest != m {
+				continue
+			}
+			pkt[pos] = complex(float64(b.origin), float64(len(b.data)))
+			pos++
+			copy(pkt[pos:pos+len(b.data)], b.data)
+			pos += len(b.data)
+		}
+		w.send(c.rank, m, r.baseTag+hierScatter, pkt)
+	}
+	r.pool = r.pool[:0]
+	r.stage = 2
+}
+
+func (r *hierRequest) drain() bool {
+	c := r.c
+	w := c.world
+	for q := range r.directPending {
+		if data, ok := w.tryClaim(c.rank, mkey{q, r.baseTag + hierDirect}); ok {
+			r.place(q, data)
+			delete(r.directPending, q)
+		}
+	}
+	if r.isLeader {
+		if r.stage == 0 {
+			for m := range r.gatherPending {
+				data, ok := w.tryClaim(c.rank, mkey{m, r.baseTag + hierGather})
+				if !ok {
+					continue
+				}
+				n := int(real(data[0]))
+				pos := 1
+				for i := 0; i < n; i++ {
+					dest := int(real(data[pos]))
+					ln := int(imag(data[pos]))
+					pos++
+					r.pool = append(r.pool, hierBlock{origin: m, dest: dest, data: data[pos : pos+ln]})
+					pos += ln
+				}
+				delete(r.gatherPending, m)
+			}
+			if len(r.gatherPending) == 0 {
+				r.sendExchange()
+			}
+		}
+		if r.stage == 1 {
+			for l := range r.exchangePending {
+				data, ok := w.tryClaim(c.rank, mkey{l, r.baseTag + hierExchange})
+				if !ok {
+					continue
+				}
+				n := int(real(data[0]))
+				pos := 1
+				for i := 0; i < n; i++ {
+					origin := int(real(data[pos]))
+					dest := int(imag(data[pos]))
+					ln := int(real(data[pos+1]))
+					pos += 2
+					payload := data[pos : pos+ln]
+					pos += ln
+					if dest == c.rank {
+						r.place(origin, payload)
+					} else {
+						r.pool = append(r.pool, hierBlock{origin: origin, dest: dest, data: payload})
+					}
+				}
+				delete(r.exchangePending, l)
+			}
+			if len(r.exchangePending) == 0 {
+				r.sendScatter()
+			}
+		}
+		done := r.stage == 2 && len(r.directPending) == 0
+		if done && r.remaining != 0 {
+			panic(fmt.Sprintf("mem: hier: leader %d finished protocol with %d blocks missing", c.rank, r.remaining))
+		}
+		return done
+	}
+	if !r.scatterDone {
+		if data, ok := w.tryClaim(c.rank, mkey{r.leader, r.baseTag + hierScatter}); ok {
+			n := int(real(data[0]))
+			pos := 1
+			for i := 0; i < n; i++ {
+				origin := int(real(data[pos]))
+				ln := int(imag(data[pos]))
+				pos++
+				r.place(origin, data[pos:pos+ln])
+				pos += ln
+			}
+			r.scatterDone = true
+		}
+	}
+	done := r.scatterDone && len(r.directPending) == 0
+	if done && r.remaining != 0 {
+		panic(fmt.Sprintf("mem: hier: rank %d finished protocol with %d blocks missing", c.rank, r.remaining))
+	}
+	return done
+}
+
+func (r *hierRequest) availLocked() bool {
+	c := r.c
+	boxes := c.world.boxes[c.rank]
+	for q := range r.directPending {
+		if len(boxes[mkey{q, r.baseTag + hierDirect}]) > 0 {
+			return true
+		}
+	}
+	if r.isLeader {
+		if r.stage == 0 {
+			for m := range r.gatherPending {
+				if len(boxes[mkey{m, r.baseTag + hierGather}]) > 0 {
+					return true
+				}
+			}
+		}
+		if r.stage == 1 {
+			for l := range r.exchangePending {
+				if len(boxes[mkey{l, r.baseTag + hierExchange}]) > 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return !r.scatterDone && len(boxes[mkey{r.leader, r.baseTag + hierScatter}]) > 0
+}
+
+func (r *hierRequest) missing() (seqs, from []int) {
+	if len(r.directPending) > 0 {
+		seqs = append(seqs, r.baseTag+hierDirect)
+		for q := range r.directPending {
+			from = append(from, q)
+		}
+	}
+	if r.isLeader {
+		if r.stage == 0 && len(r.gatherPending) > 0 {
+			seqs = append(seqs, r.baseTag+hierGather)
+			for m := range r.gatherPending {
+				from = append(from, m)
+			}
+		}
+		if r.stage == 1 && len(r.exchangePending) > 0 {
+			seqs = append(seqs, r.baseTag+hierExchange)
+			for l := range r.exchangePending {
+				from = append(from, l)
+			}
+		}
+	} else if !r.scatterDone {
+		seqs = append(seqs, r.baseTag+hierScatter)
+		from = append(from, r.leader)
+	}
+	return seqs, from
+}

@@ -1,0 +1,240 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"offt/internal/mpi"
+)
+
+// schedules lists every exchange configuration the schedule tests sweep,
+// including degenerate knob settings (window larger than the world, one
+// rank per node, ragged last node).
+func schedules() []mpi.Exchange {
+	return []mpi.Exchange{
+		{Alg: mpi.CommPairwise},
+		{Alg: mpi.CommBruck},
+		{Alg: mpi.CommHier, NodeSize: 1},
+		{Alg: mpi.CommHier, NodeSize: 2},
+		{Alg: mpi.CommHier, NodeSize: 3},
+		{Alg: mpi.CommWindowed, Window: 1},
+		{Alg: mpi.CommWindowed, Window: 2},
+		{Alg: mpi.CommWindowed, Window: 64},
+	}
+}
+
+func exName(ex mpi.Exchange) string {
+	s := ex.Alg.String()
+	if ex.Alg == mpi.CommHier {
+		s += "-ns" + string(rune('0'+ex.NodeSize))
+	}
+	if ex.Alg == mpi.CommWindowed {
+		if ex.Window >= 10 {
+			s += "-wbig"
+		} else {
+			s += "-w" + string(rune('0'+ex.Window))
+		}
+	}
+	return s
+}
+
+// TestSchedulesUniform checks every schedule delivers the exact pairwise
+// permutation on uniform counts across several world sizes.
+func TestSchedulesUniform(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 7, 8} {
+		for _, ex := range schedules() {
+			p, ex := p, ex
+			t.Run(exName(ex), func(t *testing.T) {
+				w := NewWorld(p)
+				err := w.Run(func(c *Comm) {
+					c.SetExchange(ex)
+					counts := make([]int, p)
+					for i := range counts {
+						counts[i] = 3
+					}
+					send := fillBlocks(c.Rank(), counts)
+					recv := make([]complex128, 3*p)
+					c.Alltoallv(send, counts, recv, counts)
+					checkBlocks(t, c.Rank(), counts, recv)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSchedulesRandomCounts fuzzes every schedule with arbitrary per-pair
+// counts including zeros and checks elements against the direct permutation.
+func TestSchedulesRandomCounts(t *testing.T) {
+	for _, ex := range schedules() {
+		ex := ex
+		t.Run(exName(ex), func(t *testing.T) {
+			f := func(seed int64, pRaw uint8) bool {
+				p := 2 + int(pRaw)%6
+				rng := rand.New(rand.NewSource(seed))
+				counts := make([][]int, p)
+				for a := range counts {
+					counts[a] = make([]int, p)
+					for b := range counts[a] {
+						counts[a][b] = rng.Intn(4)
+					}
+				}
+				ok := true
+				w := NewWorld(p)
+				err := w.Run(func(c *Comm) {
+					c.SetExchange(ex)
+					me := c.Rank()
+					sendCounts := counts[me]
+					recvCounts := make([]int, p)
+					for s := 0; s < p; s++ {
+						recvCounts[s] = counts[s][me]
+					}
+					send := fillBlocks(me, sendCounts)
+					recv := make([]complex128, total(recvCounts))
+					c.Alltoallv(send, sendCounts, recv, recvCounts)
+					off := 0
+					for s := 0; s < p; s++ {
+						for i := 0; i < recvCounts[s]; i++ {
+							if recv[off+i] != complex(float64(s*1000+me), float64(i)) {
+								ok = false
+							}
+						}
+						off += recvCounts[s]
+					}
+				})
+				return err == nil && ok
+			}
+			cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(9))}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSchedulesOutstandingRequests keeps several collectives of each
+// schedule in flight at once — multi-round tag reservation must keep the
+// rounds of different collectives separate.
+func TestSchedulesOutstandingRequests(t *testing.T) {
+	for _, ex := range schedules() {
+		ex := ex
+		t.Run(exName(ex), func(t *testing.T) {
+			p := 5
+			w := NewWorld(p)
+			err := w.Run(func(c *Comm) {
+				c.SetExchange(ex)
+				counts := []int{2, 2, 2, 2, 2}
+				const k = 4
+				recvs := make([][]complex128, k)
+				var reqs []mpi.Request
+				for i := 0; i < k; i++ {
+					send := fillBlocks(c.Rank(), counts)
+					for j := range send {
+						send[j] += complex(0, float64(i)*100)
+					}
+					recvs[i] = make([]complex128, 10)
+					reqs = append(reqs, c.Ialltoallv(send, counts, recvs[i], counts))
+				}
+				c.Wait(reqs...)
+				for i := 0; i < k; i++ {
+					off := 0
+					for s := range counts {
+						for e := 0; e < counts[s]; e++ {
+							want := complex(float64(s*1000+c.Rank()), float64(e)) + complex(0, float64(i)*100)
+							if recvs[i][off+e] != want {
+								t.Errorf("round %d block %d elem %d: got %v want %v", i, s, e, recvs[i][off+e], want)
+							}
+						}
+						off += counts[s]
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSchedulesCountsAliasing is the counts-aliasing regression for the mem
+// engine: the caller overwrites both count slices immediately after posting,
+// while the collective is still in flight. Every schedule must have captured
+// what it needs synchronously (the mpi.Comm.Ialltoallv contract).
+func TestSchedulesCountsAliasing(t *testing.T) {
+	for _, ex := range schedules() {
+		ex := ex
+		t.Run(exName(ex), func(t *testing.T) {
+			p := 4
+			w := NewWorld(p)
+			err := w.Run(func(c *Comm) {
+				c.SetExchange(ex)
+				counts := []int{3, 3, 3, 3}
+				sendCounts := append([]int(nil), counts...)
+				recvCounts := append([]int(nil), counts...)
+				send := fillBlocks(c.Rank(), counts)
+				recv := make([]complex128, 12)
+				req := c.Ialltoallv(send, sendCounts, recv, recvCounts)
+				for i := range sendCounts {
+					sendCounts[i] = -7
+					recvCounts[i] = 999
+				}
+				c.Wait(req)
+				checkBlocks(t, c.Rank(), counts, recv)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSchedulesSendBufferFrozenUntilRelease clobbers the send buffer only
+// AFTER Wait returns, then re-checks: within the schedule contract the send
+// buffer is borrowed until completion, unlike eager pairwise which copies
+// everything at post time. This documents the weaker (standard MPI)
+// guarantee for deferred-send schedules.
+func TestSchedulesSendBufferFrozenUntilRelease(t *testing.T) {
+	for _, ex := range schedules() {
+		ex := ex
+		t.Run(exName(ex), func(t *testing.T) {
+			p := 4
+			w := NewWorld(p)
+			err := w.Run(func(c *Comm) {
+				c.SetExchange(ex)
+				counts := []int{2, 2, 2, 2}
+				send := fillBlocks(c.Rank(), counts)
+				recv := make([]complex128, 8)
+				req := c.Ialltoallv(send, counts, recv, counts)
+				c.Wait(req)
+				for i := range send {
+					send[i] = complex(-1, -1)
+				}
+				checkBlocks(t, c.Rank(), counts, recv)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHierUsesMachineTopology checks the hierarchical schedule picks up the
+// machine model's CoresPerNode when Exchange.NodeSize is zero.
+func TestHierUsesMachineTopology(t *testing.T) {
+	p := 6
+	w := NewWorld(p) // Laptop topology: 8 cores/node → single node → pairwise path
+	err := w.Run(func(c *Comm) {
+		c.SetExchange(mpi.Exchange{Alg: mpi.CommHier})
+		counts := []int{1, 1, 1, 1, 1, 1}
+		send := fillBlocks(c.Rank(), counts)
+		recv := make([]complex128, 6)
+		c.Alltoallv(send, counts, recv, counts)
+		checkBlocks(t, c.Rank(), counts, recv)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,12 +36,12 @@ func waitBlockInfoLocked(reqs []mpi.Request) blockInfo {
 		if r == nil {
 			continue
 		}
-		req := r.(*request)
-		if len(req.pending) == 0 {
+		seqs, missing := r.(memReq).missing()
+		if len(seqs) == 0 {
 			continue
 		}
-		info.seqs = append(info.seqs, req.tag)
-		for s := range req.pending {
+		info.seqs = append(info.seqs, seqs...)
+		for _, s := range missing {
 			from[s] = true
 		}
 	}
@@ -84,14 +84,11 @@ func (c *Comm) deadlineErrLocked(reqs []mpi.Request, limit time.Duration) *Deadl
 		if r == nil {
 			continue
 		}
-		req := r.(*request)
-		if len(req.pending) == 0 {
+		seqs, from := r.(memReq).missing()
+		if len(seqs) == 0 {
 			continue
 		}
-		m := MissingBlocks{Seq: req.tag}
-		for s := range req.pending {
-			m.From = append(m.From, s)
-		}
+		m := MissingBlocks{Seq: seqs[0], From: append([]int(nil), from...)}
 		sort.Ints(m.From)
 		e.Missing = append(e.Missing, m)
 	}

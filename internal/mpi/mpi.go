@@ -17,8 +17,117 @@
 // ranks by call sequence number.
 package mpi
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Request is a handle to a pending non-blocking collective operation.
 type Request interface{}
+
+// CommAlg selects the exchange schedule an engine uses to realize an
+// all-to-all. The zero value is the round-robin pairwise schedule, the
+// only algorithm that existed before schedules became tunable, so zeroed
+// parameter sets reproduce the historical behavior exactly.
+type CommAlg int
+
+const (
+	// CommPairwise is the libNBC-style round-robin pairwise exchange:
+	// every peer pair is posted eagerly at call time (O(p) outstanding
+	// messages, one per peer).
+	CommPairwise CommAlg = iota
+	// CommBruck is the Bruck algorithm: ⌈log2 p⌉ store-and-forward rounds
+	// with local pack/rotate scratch. Each round moves one combined packet
+	// per rank, so the message count drops from p−1 to log p at the cost
+	// of forwarding each block up to log p times — the winning trade for
+	// small per-peer payloads (large p, tiny tiles).
+	CommBruck
+	// CommHier is the hierarchical node-aware schedule: ranks exchange
+	// intra-node blocks directly, gather their inter-node blocks on a
+	// node leader, leaders exchange combined per-node packets, and
+	// leaders scatter to their members. Message count across the fabric
+	// drops to nodes², at the cost of gather/scatter hops.
+	CommHier
+	// CommWindowed is pairwise with a bounded window of in-flight peer
+	// pairs: distance i's send is released only after enough earlier
+	// receives complete, bounding memory and fabric contention at large
+	// p. Window = p degenerates to CommPairwise.
+	CommWindowed
+)
+
+// CommAlgs lists all exchange schedules in display order.
+func CommAlgs() []CommAlg { return []CommAlg{CommPairwise, CommBruck, CommHier, CommWindowed} }
+
+var commAlgNames = map[CommAlg]string{
+	CommPairwise: "pairwise", CommBruck: "bruck", CommHier: "hier", CommWindowed: "windowed",
+}
+
+func (a CommAlg) String() string {
+	if s, ok := commAlgNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("CommAlg(%d)", int(a))
+}
+
+// Valid reports whether a is one of the defined schedules.
+func (a CommAlg) Valid() bool { return a >= CommPairwise && a <= CommWindowed }
+
+// ParseCommAlg resolves a schedule from its name ("pairwise", "bruck",
+// "hier"/"hierarchical", "windowed"/"window"). The empty string is the
+// default pairwise schedule. Matching is case-insensitive.
+func ParseCommAlg(name string) (CommAlg, error) {
+	switch strings.ToLower(name) {
+	case "", "pairwise":
+		return CommPairwise, nil
+	case "bruck":
+		return CommBruck, nil
+	case "hier", "hierarchical":
+		return CommHier, nil
+	case "windowed", "window":
+		return CommWindowed, nil
+	}
+	return 0, fmt.Errorf("mpi: unknown exchange schedule %q (want pairwise, bruck, hier, or windowed)", name)
+}
+
+// Exchange configures how a communicator realizes its all-to-all
+// collectives. The zero value selects the pairwise schedule with default
+// knobs — exactly the pre-tunable behavior.
+type Exchange struct {
+	// Alg is the schedule.
+	Alg CommAlg
+	// Window caps in-flight peer pairs for CommWindowed (0 = engine
+	// default; values ≥ p−1 degenerate to pairwise). Other schedules
+	// ignore it.
+	Window int
+	// NodeSize overrides the ranks-per-node grouping for CommHier
+	// (0 = the engine's machine model topology). Other schedules ignore it.
+	NodeSize int
+}
+
+// DefaultWindow is the in-flight peer-pair cap CommWindowed uses when
+// Exchange.Window is zero.
+const DefaultWindow = 4
+
+// ExchangeSetter is optionally implemented by communicators whose
+// all-to-all schedule can be configured. SetExchange applies to
+// collectives posted afterwards; in-flight requests keep the schedule
+// they were posted with. Every rank of a world must use the same
+// Exchange for matching collectives (SPMD, like every other argument).
+type ExchangeSetter interface {
+	SetExchange(Exchange)
+}
+
+// SetExchange configures c's all-to-all schedule when the engine supports
+// it and reports whether it did. Engines without an ExchangeSetter (the
+// single-rank self communicator, for instance) are always equivalent to
+// pairwise, so callers can ignore the return value.
+func SetExchange(c Comm, ex Exchange) bool {
+	if s, ok := c.(ExchangeSetter); ok {
+		s.SetExchange(ex)
+		return true
+	}
+	return false
+}
 
 // Comm is one rank's communicator. Counts are in complex128 elements
 // (16 bytes each on the wire). Send/recv blocks are laid out contiguously
@@ -39,6 +148,14 @@ type Comm interface {
 	// Ialltoallv starts a non-blocking all-to-all and returns immediately.
 	// The send buffer must not be modified and the recv buffer must not be
 	// read until the request completes.
+	//
+	// Counts-aliasing contract: both count slices are consumed synchronously
+	// — the engine must capture everything it needs from sendCounts and
+	// recvCounts before returning, so the caller is free to overwrite or
+	// reuse the slices immediately after the post, while the request is
+	// still in flight. (The mem engine copies what it keeps; the sim engine
+	// derives all message sizes at post time.) Only the data buffers stay
+	// borrowed until completion.
 	Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) Request
 	// Test models one MPI_Test call: it progresses pending communication
 	// and reports whether all the given requests (nil entries ignored)

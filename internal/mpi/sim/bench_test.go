@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"offt/internal/machine"
+	"offt/internal/mpi"
+)
+
+// benchShapes mirrors the mem engine's benchmark count distributions.
+func benchShapes(p, n int) map[string]func(rank int) []int {
+	return map[string]func(rank int) []int{
+		"uniform": func(rank int) []int {
+			c := make([]int, p)
+			for i := range c {
+				c[i] = n
+			}
+			return c
+		},
+		"skewed": func(rank int) []int {
+			c := make([]int, p)
+			for i := range c {
+				c[i] = 1 + (n*2*((rank+i)%p))/p
+			}
+			return c
+		},
+		"zeroheavy": func(rank int) []int {
+			c := make([]int, p)
+			for i := range c {
+				if i%4 == rank%4 {
+					c[i] = n * 4
+				}
+			}
+			return c
+		},
+	}
+}
+
+// BenchmarkIalltoallv measures the wall-clock cost of simulating one
+// collective per schedule × count shape (the simulation's own speed, not
+// the virtual time it models).
+func BenchmarkIalltoallv(b *testing.B) {
+	const p, n = 32, 256
+	for _, ex := range []mpi.Exchange{
+		{Alg: mpi.CommPairwise},
+		{Alg: mpi.CommBruck},
+		{Alg: mpi.CommHier},
+		{Alg: mpi.CommWindowed, Window: 4},
+	} {
+		for shape, countsOf := range benchShapes(p, n) {
+			ex := ex
+			countsOf := countsOf
+			b.Run(fmt.Sprintf("%s/%s", ex.Alg, shape), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w := NewWorld(machine.Hopper(), p)
+					err := w.Run(func(c *Comm) {
+						c.SetExchange(ex)
+						me := c.Rank()
+						sendCounts := countsOf(me)
+						recvCounts := make([]int, p)
+						for s := 0; s < p; s++ {
+							recvCounts[s] = countsOf(s)[me]
+						}
+						c.Alltoallv(nil, sendCounts, nil, recvCounts)
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package sim
+
+import (
+	"offt/internal/mpi"
+	"offt/internal/simnet"
+)
+
+// This file implements the tunable all-to-all schedules of the sim engine.
+// No payload moves: each schedule posts the point-to-point halves its
+// protocol would generate, with message sizes derived from the counts at
+// post time, and charges the pack/unpack memory traffic the real protocol
+// performs (combined packets are assembled by copying — that is the price
+// Bruck and the hierarchical exchange pay for sending fewer messages).
+//
+// Multi-stage schedules are request state machines: Test and Wait drive
+// advance(), which posts the next Bruck round or hierarchical phase once
+// the current completion group drains. Stage transitions depend only on
+// this rank's own group, and the endpoint keeps progressing all protocol
+// traffic while parked, so sequential stage waits cannot deadlock.
+//
+// Aggregated message sizes a rank cannot know locally (what its node
+// leader will forward on its behalf) use a uniformity approximation: every
+// rank of a node is assumed to contribute the leader's own per-node byte
+// counts. Receive-side sizes are advisory in simnet (rendezvous transfers
+// are costed from the sender's size), so the approximation only shapes
+// send-side injection costs.
+
+// window resolves the windowed schedule's in-flight cap.
+func (c *Comm) window() int {
+	if c.ex.Window > 0 {
+		return c.ex.Window
+	}
+	return mpi.DefaultWindow
+}
+
+// nodeSize resolves the hierarchical schedule's ranks-per-node grouping.
+func (c *Comm) nodeSize() int {
+	ns := c.ex.NodeSize
+	if ns <= 0 {
+		ns = c.world.Mach.CoresPerNode
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}
+
+// ---- windowed pairwise ----------------------------------------------------
+
+// winSend is one deferred peer send of a windowed collective.
+type winSend struct {
+	dst, bytes int
+}
+
+// winSim is pairwise with a bounded number of in-flight sends: all receives
+// are posted up front (so no inbound message ever lacks a matching receive),
+// while sends are released in distance order as earlier ones complete,
+// keeping at most `window` outstanding.
+type winSim struct {
+	c        *Comm
+	tag      int
+	recvGrp  *simnet.Group
+	sendGrp  *simnet.Group
+	sends    []winSend
+	released int
+	window   int
+}
+
+func (c *Comm) postWindowed(sendCounts, recvCounts []int, window int) *winSim {
+	p, rank := c.Size(), c.Rank()
+	req := &winSim{c: c, tag: c.nextTag(), recvGrp: &simnet.Group{}, sendGrp: &simnet.Group{}, window: window}
+	for i := 1; i < p; i++ {
+		src := (rank - i + p) % p
+		if recvCounts[src] > 0 {
+			c.ep.IrecvGrp(src, req.tag, recvCounts[src]*mpi.Elem16, req.recvGrp)
+		}
+		dst := (rank + i) % p
+		if sendCounts[dst] > 0 {
+			req.sends = append(req.sends, winSend{dst: dst, bytes: sendCounts[dst] * mpi.Elem16})
+		}
+	}
+	if sendCounts[rank] > 0 {
+		c.ep.LocalCopy(sendCounts[rank] * mpi.Elem16)
+	}
+	req.release()
+	return req
+}
+
+// release posts deferred sends while the in-flight count is under the window.
+func (r *winSim) release() {
+	for r.released < len(r.sends) && r.sendGrp.Pending() < r.window {
+		s := r.sends[r.released]
+		r.c.ep.IsendGrp(s.dst, r.tag, s.bytes, r.sendGrp)
+		r.released++
+	}
+}
+
+func (r *winSim) advance() bool {
+	r.release()
+	return r.released == len(r.sends) && r.sendGrp.Done() && r.recvGrp.Done()
+}
+
+func (r *winSim) pendingCount() int { return r.recvGrp.Pending() + r.sendGrp.Pending() }
+
+func (r *winSim) wait() {
+	for !r.advance() {
+		if r.released < len(r.sends) {
+			// Sends still gated: wait for the in-flight batch to drain so
+			// release can post more. Waiting on the receive group here could
+			// park every rank with sends its peers are still gating on.
+			r.c.ep.WaitGroups(r.sendGrp)
+		} else {
+			r.c.ep.WaitGroups(r.recvGrp, r.sendGrp)
+		}
+	}
+}
+
+// ---- Bruck ----------------------------------------------------------------
+
+// bruckSim advances one rank through the ⌈log2 p⌉ Bruck rounds: round k
+// exchanges one combined packet with ranks ±2^k, carrying every held block
+// whose remaining distance has bit k set. Per-round payloads are the
+// per-peer average times the number of forwarded blocks — exact for
+// uniform counts, the right aggregate for ragged ones.
+type bruckSim struct {
+	c      *Comm
+	tag0   int
+	rounds int
+	round  int // rounds fully completed; == rounds ⇒ done
+	grp    *simnet.Group
+	sendB  []int // per-round combined-packet payload bytes (outbound)
+	recvB  []int // per-round inbound, advisory
+	blocks []int // per-round forwarded block count (pack-loop overhead)
+	done   bool
+}
+
+func (c *Comm) postBruck(sendCounts, recvCounts []int) *bruckSim {
+	p, rank := c.Size(), c.Rank()
+	rounds := 0
+	for (1 << rounds) < p {
+		rounds++
+	}
+	sTot, rTot := 0, 0
+	for r := 0; r < p; r++ {
+		if r != rank {
+			sTot += sendCounts[r]
+			rTot += recvCounts[r]
+		}
+	}
+	req := &bruckSim{c: c, tag0: c.nextTags(rounds), rounds: rounds,
+		sendB: make([]int, rounds), recvB: make([]int, rounds), blocks: make([]int, rounds)}
+	for k := 0; k < rounds; k++ {
+		cnt := 0
+		for i := 1; i < p; i++ {
+			if i&(1<<k) != 0 {
+				cnt++
+			}
+		}
+		req.blocks[k] = cnt
+		req.sendB[k] = cnt * sTot * mpi.Elem16 / (p - 1)
+		req.recvB[k] = cnt * rTot * mpi.Elem16 / (p - 1)
+	}
+	if sendCounts[rank] > 0 {
+		c.ep.LocalCopy(sendCounts[rank] * mpi.Elem16)
+	}
+	req.postRound(0)
+	return req
+}
+
+// postRound packs and posts round k: one combined send to rank+2^k, one
+// combined receive from rank−2^k.
+func (r *bruckSim) postRound(k int) {
+	c := r.c
+	p, rank := c.Size(), c.Rank()
+	r.grp = &simnet.Group{}
+	c.Advance(int64(float64(r.blocks[k]) * c.world.Mach.Cmp.PackPerDestNs))
+	c.ep.LocalCopy(r.sendB[k])
+	c.ep.IrecvGrp((rank-(1<<k)+p)%p, r.tag0+k, r.recvB[k], r.grp)
+	c.ep.IsendGrp((rank+(1<<k))%p, r.tag0+k, r.sendB[k], r.grp)
+}
+
+func (r *bruckSim) advance() bool {
+	if r.done {
+		return true
+	}
+	for r.grp.Done() {
+		r.c.ep.LocalCopy(r.recvB[r.round]) // unpack the round's packet
+		r.round++
+		if r.round == r.rounds {
+			r.done = true
+			return true
+		}
+		r.postRound(r.round)
+	}
+	return false
+}
+
+func (r *bruckSim) pendingCount() int {
+	if r.done {
+		return 0
+	}
+	return r.grp.Pending()
+}
+
+func (r *bruckSim) wait() {
+	for !r.advance() {
+		r.c.ep.WaitGroups(r.grp)
+	}
+}
+
+// ---- hierarchical node-aware ----------------------------------------------
+
+// Hierarchical protocol phases, one tag each (mirrors the mem engine).
+const (
+	hierDirect = iota
+	hierGather
+	hierExchange
+	hierScatter
+	hierTags
+)
+
+// hierSim runs the node-aware exchange in the fabric model: intra-node
+// blocks move directly (cheap intra rate), inter-node blocks ride
+// member→leader→leader→member, collapsing fabric messages from p² to
+// nodes² at the cost of gather/scatter hops and pack copies.
+type hierSim struct {
+	c      *Comm
+	tag0   int
+	ns     int
+	leader bool
+
+	grp0 *simnet.Group // member: whole protocol; leader: direct + gathers
+	grp1 *simnet.Group // leader: exchange
+	grp2 *simnet.Group // leader: scatter sends
+	// stage is the leader's phase: 0 awaiting gathers, 1 awaiting
+	// exchanges, 2 scatter posted.
+	stage int
+
+	exOutB  []int // leader: aggregated exchange bytes per node
+	exInB   []int // leader: advisory inbound per node
+	sInB    int   // own inter-node receive bytes (scatter payload)
+	members int
+	done    bool
+}
+
+func (c *Comm) postHier(sendCounts, recvCounts []int) simReq {
+	p, rank := c.Size(), c.Rank()
+	ns := c.nodeSize()
+	nodes := (p + ns - 1) / ns
+	if nodes == 1 {
+		return c.postPairwise(sendCounts, recvCounts)
+	}
+	node := rank / ns
+	lo, hi := node*ns, (node+1)*ns
+	if hi > p {
+		hi = p
+	}
+	req := &hierSim{c: c, tag0: c.nextTags(hierTags), ns: ns, leader: rank == lo, grp0: &simnet.Group{}}
+	sOutB := 0
+	for d := 0; d < p; d++ {
+		if d < lo || d >= hi {
+			sOutB += sendCounts[d] * mpi.Elem16
+		}
+	}
+	for s := 0; s < p; s++ {
+		if s < lo || s >= hi {
+			req.sInB += recvCounts[s] * mpi.Elem16
+		}
+	}
+	// Direct intra-node pairs and the self copy.
+	for q := lo; q < hi; q++ {
+		if q == rank {
+			continue
+		}
+		if recvCounts[q] > 0 {
+			c.ep.IrecvGrp(q, req.tag0+hierDirect, recvCounts[q]*mpi.Elem16, req.grp0)
+		}
+		if sendCounts[q] > 0 {
+			c.ep.IsendGrp(q, req.tag0+hierDirect, sendCounts[q]*mpi.Elem16, req.grp0)
+		}
+	}
+	if sendCounts[rank] > 0 {
+		c.ep.LocalCopy(sendCounts[rank] * mpi.Elem16)
+	}
+	if req.leader {
+		req.members = hi - lo - 1
+		// Aggregated exchange sizes: own per-node bytes scaled by node
+		// population (uniformity approximation for the members' shares).
+		req.exOutB = make([]int, nodes)
+		req.exInB = make([]int, nodes)
+		for d := 0; d < p; d++ {
+			if d < lo || d >= hi {
+				req.exOutB[d/ns] += sendCounts[d] * mpi.Elem16 * (hi - lo)
+			}
+		}
+		for s := 0; s < p; s++ {
+			if s < lo || s >= hi {
+				req.exInB[s/ns] += recvCounts[s] * mpi.Elem16 * (hi - lo)
+			}
+		}
+		// Gather receives from every member (advisory size: the member's
+		// inter-node share, approximated by the leader's own).
+		for m := lo + 1; m < hi; m++ {
+			c.ep.IrecvGrp(m, req.tag0+hierGather, sOutB, req.grp0)
+		}
+		if req.members == 0 {
+			req.postExchange()
+		}
+	} else {
+		// Member: pack and push the combined inter-node packet to the
+		// leader, post the scatter receive. Both always happen (possibly
+		// zero bytes) so the protocol shape is uniform.
+		c.Advance(int64(float64(p-(hi-lo)) * c.world.Mach.Cmp.PackPerDestNs))
+		c.ep.LocalCopy(sOutB)
+		c.ep.IsendGrp(lo, req.tag0+hierGather, sOutB, req.grp0)
+		c.ep.IrecvGrp(lo, req.tag0+hierScatter, req.sInB, req.grp0)
+	}
+	return req
+}
+
+// postExchange packs the pooled inter-node traffic and posts one combined
+// send/receive pair per peer node (leader only).
+func (r *hierSim) postExchange() {
+	c := r.c
+	p := c.Size()
+	ns := r.ns
+	nodes := (p + ns - 1) / ns
+	myNode := c.Rank() / ns
+	r.grp1 = &simnet.Group{}
+	total := 0
+	for n := 0; n < nodes; n++ {
+		if n != myNode {
+			total += r.exOutB[n]
+		}
+	}
+	c.Advance(int64(float64((nodes-1)*ns) * c.world.Mach.Cmp.PackPerDestNs))
+	c.ep.LocalCopy(total)
+	for n := 0; n < nodes; n++ {
+		if n == myNode {
+			continue
+		}
+		c.ep.IrecvGrp(n*ns, r.tag0+hierExchange, r.exInB[n], r.grp1)
+		c.ep.IsendGrp(n*ns, r.tag0+hierExchange, r.exOutB[n], r.grp1)
+	}
+	r.stage = 1
+}
+
+// postScatter unpacks the exchange traffic and forwards every member's
+// share (leader only). Member shares are approximated by the leader's own
+// inter-node receive size.
+func (r *hierSim) postScatter() {
+	c := r.c
+	ns := r.ns
+	nodes := (c.Size() + ns - 1) / ns
+	myNode := c.Rank() / ns
+	totalIn := 0
+	for n := 0; n < nodes; n++ {
+		if n != myNode {
+			totalIn += r.exInB[n]
+		}
+	}
+	c.ep.LocalCopy(totalIn) // unpack exchange packets
+	r.grp2 = &simnet.Group{}
+	lo := myNode * ns
+	c.ep.LocalCopy(r.members * r.sInB) // pack scatter packets
+	for m := lo + 1; m <= lo+r.members; m++ {
+		c.ep.IsendGrp(m, r.tag0+hierScatter, r.sInB, r.grp2)
+	}
+	r.stage = 2
+}
+
+// current returns the group gating the next stage transition.
+func (r *hierSim) current() *simnet.Group {
+	if !r.leader || r.stage == 0 {
+		return r.grp0
+	}
+	if r.stage == 1 {
+		return r.grp1
+	}
+	return r.grp2
+}
+
+func (r *hierSim) advance() bool {
+	if r.done {
+		return true
+	}
+	if !r.leader {
+		if !r.grp0.Done() {
+			return false
+		}
+		r.c.ep.LocalCopy(r.sInB) // unpack the scatter packet
+		r.done = true
+		return true
+	}
+	if r.stage == 0 {
+		if !r.grp0.Done() {
+			return false
+		}
+		r.postExchange()
+	}
+	if r.stage == 1 {
+		if !r.grp1.Done() {
+			return false
+		}
+		r.postScatter()
+	}
+	if !r.grp2.Done() {
+		return false
+	}
+	r.done = true
+	return true
+}
+
+func (r *hierSim) pendingCount() int {
+	if r.done {
+		return 0
+	}
+	return r.current().Pending()
+}
+
+func (r *hierSim) wait() {
+	for !r.advance() {
+		r.c.ep.WaitGroups(r.current())
+	}
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"testing"
+
+	"offt/internal/machine"
+	"offt/internal/mpi"
+)
+
+// simSchedules lists the exchange configurations the sim schedule tests
+// sweep (node size pinned so hier is exercised on any machine model).
+func simSchedules() []mpi.Exchange {
+	return []mpi.Exchange{
+		{Alg: mpi.CommPairwise},
+		{Alg: mpi.CommBruck},
+		{Alg: mpi.CommHier, NodeSize: 2},
+		{Alg: mpi.CommWindowed, Window: 1},
+		{Alg: mpi.CommWindowed, Window: 2},
+	}
+}
+
+// TestSchedulesComplete runs every schedule to completion across world
+// sizes, eager and rendezvous regimes, and both Test-driven and Wait-driven
+// progression.
+func TestSchedulesComplete(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 5, 8} {
+		for _, n := range []int{10, 5000} { // eager vs rendezvous payloads
+			for _, ex := range simSchedules() {
+				p, n, ex := p, n, ex
+				t.Run(ex.Alg.String(), func(t *testing.T) {
+					w := NewWorld(machine.Hopper(), p)
+					ends := make([]int64, p)
+					err := w.Run(func(c *Comm) {
+						c.SetExchange(ex)
+						counts := uniform(p, n)
+						req := c.Ialltoallv(nil, counts, nil, counts)
+						for i := 0; i < 4; i++ {
+							c.Advance(20_000)
+							c.Test(req)
+						}
+						c.Wait(req)
+						if !c.Test(req) {
+							t.Errorf("rank %d: request not complete after Wait", c.Rank())
+						}
+						ends[c.Rank()] = c.Now()
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for r, e := range ends {
+						if e <= 0 {
+							t.Errorf("p=%d n=%d rank %d finished at %d", p, n, r, e)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSchedulesDeterministic re-runs each schedule and checks bit-equal
+// virtual end times.
+func TestSchedulesDeterministic(t *testing.T) {
+	for _, ex := range simSchedules() {
+		ex := ex
+		t.Run(ex.Alg.String(), func(t *testing.T) {
+			runOnce := func() [4]int64 {
+				p := 4
+				w := NewWorld(machine.Hopper(), p)
+				var ends [4]int64
+				if err := w.Run(func(c *Comm) {
+					c.SetExchange(ex)
+					counts := uniform(p, 4096)
+					for iter := 0; iter < 3; iter++ {
+						req := c.Ialltoallv(nil, counts, nil, counts)
+						c.Advance(50_000)
+						c.Test(req)
+						c.Wait(req)
+					}
+					ends[c.Rank()] = c.Now()
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return ends
+			}
+			if a, b := runOnce(), runOnce(); a != b {
+				t.Errorf("nondeterministic: %v vs %v", a, b)
+			}
+		})
+	}
+}
+
+// TestSchedulesSparseCounts exercises the pencil-style sub-grid shape:
+// world-sized count vectors where most entries are zero.
+func TestSchedulesSparseCounts(t *testing.T) {
+	for _, ex := range simSchedules() {
+		ex := ex
+		t.Run(ex.Alg.String(), func(t *testing.T) {
+			p := 6
+			w := NewWorld(machine.Hopper(), p)
+			err := w.Run(func(c *Comm) {
+				c.SetExchange(ex)
+				// Ranks exchange only within their parity class.
+				counts := make([]int, p)
+				for r := 0; r < p; r++ {
+					if r%2 == c.Rank()%2 {
+						counts[r] = 700
+					}
+				}
+				c.Alltoallv(nil, counts, nil, counts)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSchedulesCountsAliasing is the counts-aliasing regression for the sim
+// engine: the caller overwrites both count slices immediately after posting.
+// The engine must have derived every message size synchronously at post
+// time (the mpi.Comm.Ialltoallv contract).
+func TestSchedulesCountsAliasing(t *testing.T) {
+	for _, ex := range simSchedules() {
+		ex := ex
+		t.Run(ex.Alg.String(), func(t *testing.T) {
+			p := 4
+			run := func(clobber bool) [4]int64 {
+				w := NewWorld(machine.Hopper(), p)
+				var ends [4]int64
+				if err := w.Run(func(c *Comm) {
+					c.SetExchange(ex)
+					sendCounts := uniform(p, 2000)
+					recvCounts := uniform(p, 2000)
+					req := c.Ialltoallv(nil, sendCounts, nil, recvCounts)
+					if clobber {
+						for i := range sendCounts {
+							sendCounts[i] = -1
+							recvCounts[i] = 1 << 20
+						}
+					}
+					c.Advance(30_000)
+					c.Test(req)
+					c.Wait(req)
+					ends[c.Rank()] = c.Now()
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return ends
+			}
+			if a, b := run(false), run(true); a != b {
+				t.Errorf("clobbering counts after post changed the simulation: %v vs %v", a, b)
+			}
+		})
+	}
+}
+
+// TestBruckFewerMessagesThanPairwise checks the headline message-count
+// property: at large p with tiny payloads, Bruck moves O(p log p) blocks in
+// O(log p) rounds of 1 message each, versus pairwise's p−1 messages per
+// rank.
+func TestBruckFewerMessagesThanPairwise(t *testing.T) {
+	p := 32
+	msgs := func(ex mpi.Exchange) int64 {
+		w := NewWorld(machine.UMDCluster(), p)
+		if err := w.Run(func(c *Comm) {
+			c.SetExchange(ex)
+			counts := uniform(p, 4)
+			c.Alltoallv(nil, counts, nil, counts)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s := w.Fabric().Stats
+		return s.EagerMsgs + s.RendezvousMsgs
+	}
+	pw := msgs(mpi.Exchange{Alg: mpi.CommPairwise})
+	br := msgs(mpi.Exchange{Alg: mpi.CommBruck})
+	if br >= pw/2 {
+		t.Errorf("bruck should cut message count sharply: bruck=%d pairwise=%d", br, pw)
+	}
+}
+
+// TestHierFewerInterNodeMessages checks the hierarchical schedule reduces
+// total fabric messages on a multi-node machine.
+func TestHierFewerInterNodeMessages(t *testing.T) {
+	p := 32 // 4 nodes of 8 on Hopper
+	msgs := func(ex mpi.Exchange) int64 {
+		w := NewWorld(machine.Hopper(), p)
+		if err := w.Run(func(c *Comm) {
+			c.SetExchange(ex)
+			counts := uniform(p, 8)
+			c.Alltoallv(nil, counts, nil, counts)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s := w.Fabric().Stats
+		return s.EagerMsgs + s.RendezvousMsgs
+	}
+	pw := msgs(mpi.Exchange{Alg: mpi.CommPairwise})
+	hi := msgs(mpi.Exchange{Alg: mpi.CommHier})
+	if hi >= pw {
+		t.Errorf("hier should not send more messages than pairwise: hier=%d pairwise=%d", hi, pw)
+	}
+}

@@ -57,9 +57,18 @@ type Comm struct {
 	ep    *simnet.Endpoint
 	proc  *vclock.Proc
 	seq   int // collective sequence number, consumed as the tag space
+	ex    mpi.Exchange
 }
 
-var _ mpi.Comm = (*Comm)(nil)
+var (
+	_ mpi.Comm           = (*Comm)(nil)
+	_ mpi.ExchangeSetter = (*Comm)(nil)
+)
+
+// SetExchange selects the all-to-all schedule for collectives posted from
+// now on (mpi.ExchangeSetter). Every rank must apply the same Exchange
+// before matching collectives (SPMD).
+func (c *Comm) SetExchange(ex mpi.Exchange) { c.ex = ex }
 
 // Rank returns this rank.
 func (c *Comm) Rank() int { return c.ep.Rank() }
@@ -77,11 +86,32 @@ func (c *Comm) Advance(d int64) { c.proc.Advance(d) }
 // Proc exposes the vclock process (for advanced uses in tests).
 func (c *Comm) Proc() *vclock.Proc { return c.proc }
 
-// request implements mpi.Request for this engine: one completion group
-// covering all the collective's point-to-point halves.
+// simReq is the engine-side request contract every schedule implements.
+// All methods are called by the owning rank's process only.
+type simReq interface {
+	// advance posts any newly-eligible protocol stage (next Bruck round,
+	// hierarchical phase transition, windowed send release) and reports
+	// completion. Called from Test and the wait loops; must be idempotent
+	// once complete.
+	advance() bool
+	// pendingCount returns the incomplete point-to-point halves currently
+	// outstanding, for Test's per-request cost model.
+	pendingCount() int
+	// wait blocks until the request completes, advancing stages as their
+	// completion groups drain.
+	wait()
+}
+
+// request implements mpi.Request for the pairwise schedule: one completion
+// group covering all the collective's point-to-point halves.
 type request struct {
+	c   *Comm
 	grp *simnet.Group
 }
+
+func (r *request) advance() bool     { return r.grp.Done() }
+func (r *request) pendingCount() int { return r.grp.Pending() }
+func (r *request) wait()             { r.c.ep.WaitGroups(r.grp) }
 
 func (c *Comm) nextTag() int {
 	t := c.seq
@@ -89,15 +119,44 @@ func (c *Comm) nextTag() int {
 	return t
 }
 
-// Ialltoallv starts a non-blocking all-to-all. Buffers are ignored (may be
+// nextTags reserves n consecutive sequence numbers for a multi-message
+// schedule (one per Bruck round, one per hierarchical protocol phase).
+// Consumption depends only on p and the configured schedule, so it stays
+// uniform across ranks.
+func (c *Comm) nextTags(n int) int {
+	t := c.seq
+	c.seq += n
+	return t
+}
+
+// Ialltoallv starts a non-blocking all-to-all using the configured exchange
+// schedule (SetExchange; pairwise by default). Buffers are ignored (may be
 // nil); only the counts matter. The local block is charged as a memcpy.
 func (c *Comm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) mpi.Request {
-	p, rank := c.Size(), c.Rank()
+	p := c.Size()
 	if len(sendCounts) != p || len(recvCounts) != p {
 		panic(fmt.Sprintf("sim: counts length %d/%d, want %d", len(sendCounts), len(recvCounts), p))
 	}
+	if p > 1 {
+		switch c.ex.Alg {
+		case mpi.CommBruck:
+			return c.postBruck(sendCounts, recvCounts)
+		case mpi.CommHier:
+			return c.postHier(sendCounts, recvCounts)
+		case mpi.CommWindowed:
+			if w := c.window(); w < p-1 {
+				return c.postWindowed(sendCounts, recvCounts, w)
+			}
+		}
+	}
+	return c.postPairwise(sendCounts, recvCounts)
+}
+
+// postPairwise is the historical eager schedule.
+func (c *Comm) postPairwise(sendCounts, recvCounts []int) *request {
+	p, rank := c.Size(), c.Rank()
 	tag := c.nextTag()
-	req := &request{grp: &simnet.Group{}}
+	req := &request{c: c, grp: &simnet.Group{}}
 	// Round-robin peer schedule (libNBC style): receives posted before the
 	// matching-distance send so inbound RTS always finds a posted receive.
 	// Zero-count blocks are skipped entirely, so sub-grid collectives (the
@@ -125,36 +184,39 @@ func (c *Comm) Alltoallv(send []complex128, sendCounts []int, recv []complex128,
 	c.Wait(r)
 }
 
-// Test progresses communication and reports whether all requests are done.
+// Test progresses communication, advances every request's schedule state
+// machine, and reports whether all requests are done.
 func (c *Comm) Test(reqs ...mpi.Request) bool {
 	active := 0
 	for _, r := range reqs {
 		if r != nil {
-			active += toRequest(r).grp.Pending()
+			active += toRequest(r).pendingCount()
 		}
 	}
 	c.ep.TestN(active)
+	all := true
 	for _, r := range reqs {
-		if r != nil && !toRequest(r).grp.Done() {
-			return false
+		if r != nil && !toRequest(r).advance() {
+			all = false
 		}
 	}
-	return true
+	return all
 }
 
-// Wait blocks until all requests complete.
+// Wait blocks until all requests complete. Requests are waited in argument
+// order; since collectives are SPMD the order is identical on every rank,
+// and the endpoint progresses all protocol traffic while parked, so
+// sequential waiting cannot deadlock.
 func (c *Comm) Wait(reqs ...mpi.Request) {
-	groups := make([]*simnet.Group, 0, len(reqs))
 	for _, r := range reqs {
 		if r != nil {
-			groups = append(groups, toRequest(r).grp)
+			toRequest(r).wait()
 		}
 	}
-	c.ep.WaitGroups(groups...)
 }
 
-func toRequest(r mpi.Request) *request {
-	rr, ok := r.(*request)
+func toRequest(r mpi.Request) simReq {
+	rr, ok := r.(simReq)
 	if !ok {
 		panic(fmt.Sprintf("sim: foreign request type %T", r))
 	}

@@ -18,6 +18,9 @@ type Params2D struct {
 	TA, WA int // phase A: x-tile size and window
 	TB, WB int // phase B: z-tile size and window
 	F      int // Test calls per compute step per tile
+	// Comm is the all-to-all exchange schedule used by both phases (the
+	// 11th tuned parameter); the zero value is round-robin pairwise.
+	Comm mpi.CommAlg
 }
 
 // DefaultParams2D mirrors the §4.4 default-point philosophy: some tiling,
@@ -67,11 +70,12 @@ func FromParams(p pfft.Params, g Grid2D) Params2D {
 		f = 0
 	}
 	return Params2D{
-		TA: ta,
-		WA: clamp(p.W, 1, (g.XD.MaxCount()+ta-1)/ta),
-		TB: tb,
-		WB: clamp(p.W, 1, (g.ZD.MaxCount()+tb-1)/tb),
-		F:  f,
+		TA:   ta,
+		WA:   clamp(p.W, 1, (g.XD.MaxCount()+ta-1)/ta),
+		TB:   tb,
+		WB:   clamp(p.W, 1, (g.ZD.MaxCount()+tb-1)/tb),
+		F:    f,
+		Comm: p.Comm,
 	}
 }
 
@@ -86,6 +90,8 @@ func (p Params2D) Validate(g Grid2D) error {
 		return fmt.Errorf("pencil: windows must be >= 1 (got %d, %d)", p.WA, p.WB)
 	case p.F < 0:
 		return fmt.Errorf("pencil: F=%d must be >= 0", p.F)
+	case !p.Comm.Valid():
+		return fmt.Errorf("pencil: Comm=%d is not a known exchange schedule", int(p.Comm))
 	}
 	return nil
 }
@@ -105,6 +111,9 @@ func ForwardOverlapped3D(c mpi.Comm, g Grid2D, slab []complex128, prm Params2D, 
 	if err := prm.Validate(g); err != nil {
 		return nil, err
 	}
+	// Both phases exchange over the full communicator (off-group counts are
+	// zero), so one schedule selection covers every collective below.
+	mpi.SetExchange(c, mpi.Exchange{Alg: prm.Comm})
 	p := g.P()
 	xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
 	planZ := fft.Plan1DCached(g.Nz, fft.Forward, flag).Clone()

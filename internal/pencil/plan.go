@@ -69,7 +69,9 @@ func NewPlan(c mpi.Comm, g Grid2D, v pfft.Variant, prm Params2D, flag fft.Flag) 
 	case pfft.NEW:
 		// keep prm as given
 	case pfft.Baseline, pfft.NEW0:
-		prm = Params2D{TA: g.XD.MaxCount(), WA: 1, TB: g.ZD.MaxCount(), WB: 1, F: 0}
+		// Blocking variants override the tiling but keep the caller's
+		// exchange schedule: blocking is just post+wait in both engines.
+		prm = Params2D{TA: g.XD.MaxCount(), WA: 1, TB: g.ZD.MaxCount(), WB: 1, F: 0, Comm: prm.Comm}
 	default:
 		return nil, fmt.Errorf("pencil: variant %v is not supported by the pencil decomposition (use baseline, new, or new0)", v)
 	}
@@ -255,6 +257,9 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, pfft.Breakdown, error) 
 	}
 	var b pfft.Breakdown
 	start := c.Now()
+	// Re-select the tuned exchange schedule every run: the communicator may
+	// be shared with plans tuned to a different schedule.
+	mpi.SetExchange(c, mpi.Exchange{Alg: p.prm.Comm})
 	p.mon.Init(c)
 	p.events = p.events[:0]
 	p.trcBase = 0
@@ -473,6 +478,7 @@ func (p *Plan) Backward(xp []complex128) ([]complex128, pfft.Breakdown, error) {
 	p.ensureBackward()
 	var b pfft.Breakdown
 	start := c.Now()
+	mpi.SetExchange(c, mpi.Exchange{Alg: p.prm.Comm})
 	p.events = p.events[:0]
 	xc, yc, zc, y2c := g.XC(), g.YC(), g.ZC(), g.Y2C()
 

@@ -116,6 +116,9 @@ func SimulateOverlappedGrid(m machine.Machine, pr, pc, nx, ny, nz int, prm Param
 		if err != nil {
 			panic(err)
 		}
+		// Same schedule selection as the real overlapped path; SimulateGrid
+		// stays pairwise (the pre-tunable baseline).
+		mpi.SetExchange(c, mpi.Exchange{Alg: prm.Comm})
 		cmp := m.Cmp
 		fftCost := func(rows, length int) int64 {
 			if rows <= 0 {

@@ -138,6 +138,7 @@ func (e *backEngine) run(rs *runState, slab []complex128, v Variant, prm Params)
 	e.out = slab
 
 	c, g := e.comm, e.g
+	mpi.SetExchange(c, mpi.Exchange{Alg: prm.Comm})
 	var b Breakdown
 	start := c.Now()
 	fast := OutputFast(v, g)

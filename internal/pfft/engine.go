@@ -70,12 +70,17 @@ func (rs *runState) reset(c mpi.Comm, k int) {
 // pack/unpack (no loop tiling) and no Unpack/FFTx-side overlap. The
 // expanded set is validated against the geometry.
 func ExpandParams(v Variant, g layout.Grid, prm Params) (Params, error) {
+	// The exchange schedule is orthogonal to the variant-specific expansion:
+	// every variant keeps the caller's choice (Baseline's blocking all-to-all
+	// included — blocking is just post+wait in both engines).
+	comm := prm.Comm
 	switch v {
 	case Baseline:
 		prm = DefaultParams(g)
 		prm.T, prm.W = g.Nz, 1
 		prm.Fy, prm.Fp, prm.Fu, prm.Fx = 0, 0, 0, 0
-		return prm, nil
+		prm.Comm = comm
+		return prm, prm.Validate(g)
 	case NEW0:
 		prm.Fy, prm.Fp, prm.Fu, prm.Fx = 0, 0, 0, 0
 	case TH:
@@ -83,11 +88,13 @@ func ExpandParams(v Variant, g layout.Grid, prm Params) (Params, error) {
 			T: prm.T, W: prm.W,
 			Px: g.XC(), Pz: prm.T, Uy: g.YC(), Uz: prm.T,
 			Fy: prm.Fy, Fp: prm.Fy, Fu: 0, Fx: 0,
+			Comm: comm,
 		}
 	case TH0:
 		prm = Params{
 			T: prm.T, W: prm.W,
 			Px: g.XC(), Pz: prm.T, Uy: g.YC(), Uz: prm.T,
+			Comm: comm,
 		}
 	}
 	return prm, prm.Validate(g)
@@ -113,6 +120,10 @@ func runWith(rs *runState, e Engine, v Variant, prm Params) (Breakdown, error) {
 	}
 	var b Breakdown
 	c := e.Comm()
+	// Select the tuned all-to-all schedule for every exchange this run
+	// posts. Engines without an ExchangeSetter (the single-rank self
+	// communicator) are pairwise-equivalent, so the no-op is fine.
+	mpi.SetExchange(c, mpi.Exchange{Alg: prm.Comm})
 	rec := recOf(c)
 	start := c.Now()
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"offt/internal/layout"
+	"offt/internal/mpi"
 )
 
 // Params are the ten tunable parameters of Table 1, plus the (Py×Pz)
@@ -39,6 +40,10 @@ type Params struct {
 	// the slab decomposition uses, so zero keeps every slab plan
 	// byte-for-byte identical to the pre-pencil behavior.
 	Pr int
+	// Comm is the all-to-all exchange schedule (the 11th tuned parameter).
+	// The zero value is the round-robin pairwise schedule, the historical
+	// behavior, so zeroed parameter sets are unchanged.
+	Comm mpi.CommAlg
 }
 
 // String renders the parameters in Table-3 column order; the pencil
@@ -49,6 +54,9 @@ func (p Params) String() string {
 		p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx)
 	if p.Pr > 0 {
 		s += fmt.Sprintf(" Pr=%d", p.Pr)
+	}
+	if p.Comm != mpi.CommPairwise {
+		s += fmt.Sprintf(" Comm=%s", p.Comm)
 	}
 	return s
 }
@@ -76,6 +84,8 @@ func (p Params) Validate(g layout.Grid) error {
 		return fmt.Errorf("pfft: Pr=%d must be >= 0 (0 = auto process grid)", p.Pr)
 	case p.Pr > 0 && g.P%p.Pr != 0:
 		return fmt.Errorf("pfft: Pr=%d does not divide the rank count %d", p.Pr, g.P)
+	case !p.Comm.Valid():
+		return fmt.Errorf("pfft: Comm=%d is not a known exchange schedule", int(p.Comm))
 	}
 	return nil
 }

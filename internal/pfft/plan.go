@@ -164,6 +164,7 @@ func (p *Plan) Forward(slab []complex128) ([]complex128, Breakdown, error) {
 	}
 	p.last = b
 	p.met.Observe(b)
+	p.met.ObserveComm(p.prm.Comm, b)
 	return p.fwd.Output(), b, nil
 }
 
@@ -207,6 +208,7 @@ func (p *Plan) Backward(slab []complex128) ([]complex128, Breakdown, error) {
 	}
 	p.last = b
 	p.met.Observe(b)
+	p.met.ObserveComm(p.prm.Comm, b)
 	return p.bwd.in, b, nil
 }
 

@@ -216,6 +216,7 @@ func TestForwardManyPooledRace(t *testing.T) {
 type selfComm struct {
 	now int64
 	req selfReq
+	ex  mpi.Exchange
 }
 
 type selfReq struct{}
@@ -234,43 +235,59 @@ func (c *selfComm) Ialltoallv(send []complex128, sendCounts []int, recv []comple
 func (c *selfComm) Test(reqs ...mpi.Request) bool { return true }
 func (c *selfComm) Wait(reqs ...mpi.Request)      {}
 
+// SetExchange records the selected schedule (mpi.ExchangeSetter), so the
+// allocation gates below exercise the schedule-selection path the real
+// engines take — a single rank routes every schedule identically.
+func (c *selfComm) SetExchange(ex mpi.Exchange) { c.ex = ex }
+
 // TestPlanSteadyStateAllocs is the allocation gate: once a plan exists,
-// repeated Forward executions must be (amortized) allocation-free. The
-// single-rank selfComm keeps transport envelopes out of the measurement;
-// verify.sh runs this test as the regression gate.
+// repeated Forward executions must be (amortized) allocation-free — under
+// every exchange schedule, so the schedule-selection plumbing cannot
+// sneak per-run allocations in. The single-rank selfComm keeps transport
+// envelopes out of the measurement; verify.sh runs this test as the
+// regression gate.
 func TestPlanSteadyStateAllocs(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("race-instrumented runtime allocates on its own")
 	}
-	n := 16
-	g, err := layout.NewGrid(n, n, n, 1, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := &selfComm{}
-	plan, err := NewPlan(c, g, NEW, DefaultParams(g), fft.Estimate)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer plan.Close()
-	slab := make([]complex128, g.InSize())
-	rng := rand.New(rand.NewSource(9))
-	for i := range slab {
-		slab[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
-	}
-	fill := append([]complex128(nil), slab...)
-	// Warm up once (lazy growth, request-window sizing).
-	if _, _, err := plan.Forward(slab); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		copy(slab, fill)
-		if _, _, err := plan.Forward(slab); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs > 2 {
-		t.Errorf("steady-state Forward allocates %.1f objects/op, want ~0 (<=2)", allocs)
+	for _, alg := range mpi.CommAlgs() {
+		t.Run(alg.String(), func(t *testing.T) {
+			n := 16
+			g, err := layout.NewGrid(n, n, n, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &selfComm{}
+			prm := DefaultParams(g)
+			prm.Comm = alg
+			plan, err := NewPlan(c, g, NEW, prm, fft.Estimate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plan.Close()
+			slab := make([]complex128, g.InSize())
+			rng := rand.New(rand.NewSource(9))
+			for i := range slab {
+				slab[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			}
+			fill := append([]complex128(nil), slab...)
+			// Warm up once (lazy growth, request-window sizing).
+			if _, _, err := plan.Forward(slab); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				copy(slab, fill)
+				if _, _, err := plan.Forward(slab); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("steady-state Forward allocates %.1f objects/op, want ~0 (<=2)", allocs)
+			}
+			if c.ex.Alg != alg {
+				t.Errorf("plan applied schedule %v, want %v", c.ex.Alg, alg)
+			}
+		})
 	}
 }
 
@@ -279,28 +296,34 @@ func TestPlanBackwardSteadyStateAllocs(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("race-instrumented runtime allocates on its own")
 	}
-	n := 16
-	g, err := layout.NewGrid(n, n, n, 1, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := &selfComm{}
-	plan, err := NewPlan(c, g, NEW, DefaultParams(g), fft.Estimate)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer plan.Close()
-	bslab := make([]complex128, g.OutSize())
-	if _, _, err := plan.Backward(bslab); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(10, func() {
-		if _, _, err := plan.Backward(bslab); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs > 2 {
-		t.Errorf("steady-state Backward allocates %.1f objects/op, want ~0 (<=2)", allocs)
+	for _, alg := range mpi.CommAlgs() {
+		t.Run(alg.String(), func(t *testing.T) {
+			n := 16
+			g, err := layout.NewGrid(n, n, n, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &selfComm{}
+			prm := DefaultParams(g)
+			prm.Comm = alg
+			plan, err := NewPlan(c, g, NEW, prm, fft.Estimate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plan.Close()
+			bslab := make([]complex128, g.OutSize())
+			if _, _, err := plan.Backward(bslab); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, _, err := plan.Backward(bslab); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("steady-state Backward allocates %.1f objects/op, want ~0 (<=2)", allocs)
+			}
+		})
 	}
 }
 

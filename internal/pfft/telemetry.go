@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"offt/internal/mpi"
 	"offt/internal/telemetry"
 )
 
@@ -18,6 +19,10 @@ type BreakdownObserver struct {
 	total      *telemetry.Histogram
 	overlap    *telemetry.Gauge
 	downgrades *telemetry.Counter
+	// exchange holds one histogram per all-to-all schedule (indexed by
+	// mpi.CommAlg), so operators can compare Ialltoall+Test+Wait time
+	// across schedules on one dashboard.
+	exchange []*telemetry.Histogram
 }
 
 // NewBreakdownObserver resolves handles under "<prefix>.step.<name>_ns",
@@ -34,6 +39,9 @@ func NewBreakdownObserver(r *telemetry.Registry, prefix string) *BreakdownObserv
 	}
 	for _, name := range StepNames() {
 		o.steps = append(o.steps, r.Histogram(prefix+".step."+strings.ToLower(name)+"_ns"))
+	}
+	for _, alg := range mpi.CommAlgs() {
+		o.exchange = append(o.exchange, r.Histogram(prefix+".exchange."+alg.String()+"_ns"))
 	}
 	return o
 }
@@ -54,6 +62,16 @@ func (o *BreakdownObserver) Observe(b Breakdown) {
 	}
 }
 
+// ObserveComm records one run's exchange time (post + progress + wait)
+// under the schedule that routed it, feeding the per-schedule comparison
+// histograms. No-op on a nil observer or an out-of-range schedule.
+func (o *BreakdownObserver) ObserveComm(alg mpi.CommAlg, b Breakdown) {
+	if o == nil || int(alg) >= len(o.exchange) {
+		return
+	}
+	o.exchange[alg].Observe(b.Ialltoall + b.Test + b.Wait)
+}
+
 // TraceTimeline converts per-rank step traces (index = rank) into a
 // telemetry.Timeline: one track per rank, an instant event per Downgrade,
 // and a flow arrow from each tile's all-to-all post to the Wait that
@@ -67,7 +85,7 @@ func TraceTimeline(traces [][]StepEvent) *telemetry.Timeline {
 		for _, e := range evs {
 			tl.AddSpan(telemetry.Span{
 				Track: rank, Name: e.Name, Start: e.Start, End: e.End,
-				Tile: e.Tile, Instant: e.Name == "Downgrade",
+				Tile: e.Tile, Instant: e.Start == e.End,
 			})
 			if e.Tile < 0 {
 				continue

@@ -220,6 +220,19 @@ func (c *traceComm) TransportHealth() mpi.Health {
 	return mpi.Health{}
 }
 
+// SetExchange forwards the schedule selection to the inner communicator
+// and records it, so exported timelines can attribute Post/Wait spans to
+// the exchange algorithm that produced them. Embedding hides the inner
+// engine's ExchangeSetter from type assertions, so the forwarding is
+// explicit.
+func (c *traceComm) SetExchange(ex mpi.Exchange) {
+	applied := mpi.SetExchange(c.Comm, ex)
+	// Default pairwise stays silent so untuned timelines are unchanged.
+	if applied && ex.Alg != mpi.CommPairwise {
+		c.rec.instant("Comm="+ex.Alg.String(), c.Comm.Now(), -1)
+	}
+}
+
 // RenderTimeline prints an ASCII Gantt chart of the recorded events, one
 // row per step name (Fig. 3 style), with the given number of columns.
 func RenderTimeline(w io.Writer, events []StepEvent, cols int) {

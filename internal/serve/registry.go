@@ -663,6 +663,7 @@ type PlanInfo struct {
 	Engine     string      `json:"engine"`
 	Workers    int         `json:"workers"`
 	Machine    string      `json:"machine,omitempty"`
+	Comm       string      `json:"comm,omitempty"` // non-pairwise exchange schedule
 	Params     offt.Params `json:"params"`
 	Provenance string      `json:"params_source"`
 	Execs      int64       `json:"execs"`
@@ -700,6 +701,9 @@ func (r *Registry) planInfoLocked(e *planEntry, health PlanHealth, rebuilds int6
 	}
 	if e.key.Decomp == offt.Pencil {
 		info.ProcGrid = [2]int{e.key.ProcRows, e.key.ProcCols()}
+	}
+	if e.key.Params.Comm != offt.CommPairwise {
+		info.Comm = e.key.Params.Comm.String()
 	}
 	// e.plan is written by the builder before ready closes; only read it
 	// behind that happens-before edge.

@@ -340,6 +340,14 @@ func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 	if err != nil {
 		return transformSpec{}, err
 	}
+	var commOpt []offt.Option
+	if req.Comm != "" {
+		alg, err := offt.ParseComm(req.Comm)
+		if err != nil {
+			return transformSpec{}, err
+		}
+		commOpt = append(commOpt, offt.WithComm(alg))
+	}
 	// Overflow-safe volume cap: multiply stepwise, rejecting before the
 	// product can wrap. A crafted nx=ny=nz≈2.1M request would otherwise
 	// overflow int64 to a negative volume, pass the cap, and panic in
@@ -408,6 +416,7 @@ func (s *Server) resolve(req *TransformRequest) (transformSpec, error) {
 	if req.Params != nil {
 		opts = append(opts, offt.WithParams(*req.Params))
 	}
+	opts = append(opts, commOpt...)
 	desc, err := offt.DescribePlan(opts...)
 	if err != nil {
 		return transformSpec{}, err
@@ -601,6 +610,9 @@ func (s *Server) handleTransform(hw http.ResponseWriter, r *http.Request) {
 		RequestID: obs.id,
 		CacheHit:  hadPlan,
 		QueueNs:   queueNs,
+	}
+	if spec.key.Params.Comm != offt.CommPairwise {
+		resp.Comm = spec.key.Params.Comm.String()
 	}
 	if spec.key.Decomp == offt.Pencil {
 		resp.Decomp = spec.key.Decomp.String()

@@ -44,6 +44,10 @@ type TransformRequest struct {
 	Decomp string `json:"decomp,omitempty"`
 	// Variant is the algorithm variant name (default "new").
 	Variant string `json:"variant,omitempty"`
+	// Comm pins the all-to-all exchange schedule ("pairwise", "bruck",
+	// "hier", "windowed"); omitted means the resolved parameters decide
+	// (pairwise unless a tuned entry recorded a different winner).
+	Comm string `json:"comm,omitempty"`
 	// Engine is "mem" (default, transforms the payload) or "sim"
 	// (virtual-time execution, no payload).
 	Engine string `json:"engine,omitempty"`
@@ -70,7 +74,11 @@ type TransformResponse struct {
 	RequestID string `json:"request_id,omitempty"`
 	// Decomp echoes the plan's resolved decomposition ("pencil" only;
 	// omitted for slab so pre-pencil clients see unchanged headers).
-	Decomp    string `json:"decomp,omitempty"`
+	Decomp string `json:"decomp,omitempty"`
+	// Comm echoes the plan's resolved exchange schedule (non-pairwise
+	// only; omitted for the default so pre-schedule clients see
+	// unchanged headers).
+	Comm      string `json:"comm,omitempty"`
 	CacheHit  bool   `json:"cache_hit"`
 	Execs     int64  `json:"plan_execs"`
 	ExecNs    int64  `json:"exec_ns"`

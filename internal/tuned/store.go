@@ -35,6 +35,12 @@ type Key struct {
 	// empty string is the slab decomposition, so every pre-pencil store
 	// file keeps resolving to the entries it always did.
 	Decomp string `json:"decomp,omitempty"`
+	// Comm distinguishes entries tuned with a pinned all-to-all schedule
+	// ("bruck", "hier", "windowed"). The empty string covers both the
+	// unpinned search (which may still record a non-pairwise winner in
+	// Params.Comm) and explicit pairwise, so pre-schedule store files keep
+	// resolving to the entries they always did.
+	Comm string `json:"comm,omitempty"`
 }
 
 // NewKey builds a slab-decomposition Key with the variant's canonical
@@ -53,10 +59,23 @@ func NewKeyDecomp(machine string, nx, ny, nz, ranks int, v pfft.Variant, decomp 
 	return k
 }
 
+// WithComm returns the key qualified by a pinned exchange schedule;
+// "" and "pairwise" both canonicalize to the unqualified key.
+func (k Key) WithComm(comm string) Key {
+	if comm == "pairwise" {
+		comm = ""
+	}
+	k.Comm = comm
+	return k
+}
+
 func (k Key) String() string {
 	s := fmt.Sprintf("%s %dx%dx%d p=%d %s", k.Machine, k.Nx, k.Ny, k.Nz, k.Ranks, k.Variant)
 	if k.Decomp != "" {
 		s += " " + k.Decomp
+	}
+	if k.Comm != "" {
+		s += " comm=" + k.Comm
 	}
 	return s
 }

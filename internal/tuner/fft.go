@@ -8,14 +8,42 @@ import (
 	"offt/internal/layout"
 	"offt/internal/machine"
 	"offt/internal/model"
+	"offt/internal/mpi"
 	"offt/internal/pencil"
 	"offt/internal/pfft"
 	"offt/internal/telemetry"
 )
 
-// FFTSpace builds the ten-dimensional log-reduced search space of the
+// commDim is the exchange-schedule dimension shared by every space that
+// searches the 11th parameter: one value per mpi.CommAlg, pairwise first
+// so the default point keeps the historical schedule.
+func commDim() Dim {
+	algs := mpi.CommAlgs()
+	vals := make([]int, len(algs))
+	for i, a := range algs {
+		vals[i] = int(a)
+	}
+	return Dim{Name: "Comm", Values: vals}
+}
+
+// PinComm returns a copy of space with its Comm dimension collapsed to
+// the single schedule alg, so a search explores the remaining parameters
+// under a pinned exchange (offt-tune -comm). Spaces without a Comm
+// dimension pass through unchanged.
+func PinComm(space Space, alg mpi.CommAlg) Space {
+	dims := append([]Dim(nil), space.Dims...)
+	for i, d := range dims {
+		if d.Name == "Comm" {
+			dims[i] = Dim{Name: "Comm", Values: []int{int(alg)}}
+		}
+	}
+	return Space{Dims: dims}
+}
+
+// FFTSpace builds the eleven-dimensional log-reduced search space of the
 // paper's design for geometry g (Table 1, with §4.4's reduction: powers of
-// two plus boundary values; W keeps its small dense range).
+// two plus boundary values; W keeps its small dense range), extended by
+// the all-to-all exchange schedule.
 func FFTSpace(g layout.Grid) Space {
 	maxF := 16 * g.P
 	if maxF < 64 {
@@ -32,6 +60,7 @@ func FFTSpace(g layout.Grid) Space {
 		{Name: "Fp", Values: ZeroAndPowersOfTwoUpTo(maxF)},
 		{Name: "Fu", Values: ZeroAndPowersOfTwoUpTo(maxF)},
 		{Name: "Fx", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+		commDim(),
 	}}
 }
 
@@ -40,12 +69,13 @@ func DecodeParams(cfg []int) pfft.Params {
 	return pfft.Params{
 		T: cfg[0], W: cfg[1], Px: cfg[2], Pz: cfg[3], Uy: cfg[4], Uz: cfg[5],
 		Fy: cfg[6], Fp: cfg[7], Fu: cfg[8], Fx: cfg[9],
+		Comm: mpi.CommAlg(cfg[10]),
 	}
 }
 
 // EncodeParams is the inverse of DecodeParams.
 func EncodeParams(p pfft.Params) []int {
-	return []int{p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx}
+	return []int{p.T, p.W, p.Px, p.Pz, p.Uy, p.Uz, p.Fy, p.Fp, p.Fu, p.Fx, int(p.Comm)}
 }
 
 // THSpace builds the three-dimensional space for the TH comparison model.
@@ -162,11 +192,22 @@ func TuneNEW(m machine.Machine, p, n, maxEvals int) (pfft.Params, TuneOutcome, e
 // TuneNEWWith is TuneNEW with a pluggable search strategy (§7's "other
 // optimization strategies").
 func TuneNEWWith(m machine.Machine, p, n, maxEvals int, strat Strategy) (pfft.Params, TuneOutcome, error) {
+	return TuneNEWPinned(m, p, n, maxEvals, strat, nil)
+}
+
+// TuneNEWPinned is TuneNEWWith with an optional pinned exchange schedule:
+// a non-nil pin collapses the Comm dimension so the search tunes the
+// remaining ten parameters under that schedule (the store entry should
+// then be keyed with Key.WithComm). A nil pin searches all schedules.
+func TuneNEWPinned(m machine.Machine, p, n, maxEvals int, strat Strategy, pin *mpi.CommAlg) (pfft.Params, TuneOutcome, error) {
 	g, err := layout.NewGrid(n, n, n, p, 0)
 	if err != nil {
 		return pfft.Params{}, TuneOutcome{}, err
 	}
 	space := FFTSpace(g)
+	if pin != nil {
+		space = PinComm(space, *pin)
+	}
 	var virtual int64
 	obj := func(cfg []int) float64 {
 		prm := DecodeParams(cfg)
@@ -301,6 +342,7 @@ func PencilGridSpace(nx, ny, nz, ranks int) (Space, error) {
 		{Name: "T", Values: PowersOfTwoUpTo(maxT)},
 		{Name: "W", Values: IntRange(1, 6)},
 		{Name: "Fy", Values: ZeroAndPowersOfTwoUpTo(maxF)},
+		commDim(),
 	}}, nil
 }
 
@@ -311,6 +353,7 @@ func DecodePencilGridParams(cfg []int) pfft.Params {
 	return pfft.Params{
 		T: cfg[1], W: cfg[2], Px: 1, Pz: 1, Uy: 1, Uz: 1,
 		Fy: cfg[3], Fp: cfg[3], Fu: cfg[3], Fx: cfg[3], Pr: cfg[0],
+		Comm: mpi.CommAlg(cfg[4]),
 	}
 }
 
@@ -320,9 +363,18 @@ func DecodePencilGridParams(cfg []int) pfft.Params {
 // winning Pr, ready for WithParams on a WithDecomp(Pencil) plan or a
 // decomp-keyed tuned-store entry.
 func TunePencilNEW(m machine.Machine, ranks, n, maxEvals int) (pfft.Params, TuneOutcome, error) {
+	return TunePencilNEWPinned(m, ranks, n, maxEvals, nil)
+}
+
+// TunePencilNEWPinned is TunePencilNEW with an optional pinned exchange
+// schedule (see TuneNEWPinned).
+func TunePencilNEWPinned(m machine.Machine, ranks, n, maxEvals int, pin *mpi.CommAlg) (pfft.Params, TuneOutcome, error) {
 	space, err := PencilGridSpace(n, n, n, ranks)
 	if err != nil {
 		return pfft.Params{}, TuneOutcome{}, err
+	}
+	if pin != nil {
+		space = PinComm(space, *pin)
 	}
 	var virtual int64
 	obj := func(cfg []int) float64 {
@@ -351,7 +403,7 @@ func TunePencilNEW(m machine.Machine, ranks, n, maxEvals int) (pfft.Params, Tune
 	start := time.Now()
 	sr := NelderMead(space, obj, Options{
 		MaxEvals:       maxEvals,
-		InitialSimplex: InitialSimplex(space, []int{dpr, d2.TA, d2.WA, d2.F}),
+		InitialSimplex: InitialSimplex(space, []int{dpr, d2.TA, d2.WA, d2.F, int(mpi.CommPairwise)}),
 	})
 	out := TuneOutcome{Search: sr, VirtualNs: virtual, WallNs: time.Since(start).Nanoseconds()}
 	if sr.Best == nil {

@@ -160,8 +160,8 @@ func TestFFTSpaceShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	space := FFTSpace(g)
-	if len(space.Dims) != 10 {
-		t.Fatalf("10 parameters expected, got %d", len(space.Dims))
+	if len(space.Dims) != 11 {
+		t.Fatalf("11 parameters expected (Table 1 plus Comm), got %d", len(space.Dims))
 	}
 	// The paper argues the unreduced space is huge (~10^10); even reduced
 	// it must stay large enough to justify auto-tuning.
@@ -391,7 +391,7 @@ func TestTunePencilNEWSearchesProcGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(space.Dims) != 4 || space.Dims[0].Name != "Pr" {
+	if len(space.Dims) != 5 || space.Dims[0].Name != "Pr" || space.Dims[4].Name != "Comm" {
 		t.Errorf("unexpected pencil grid space %v", space.Dims)
 	}
 }

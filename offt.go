@@ -23,6 +23,7 @@ import (
 	"offt/internal/layout"
 	"offt/internal/machine"
 	"offt/internal/model"
+	"offt/internal/mpi"
 	"offt/internal/mpi/fault"
 	"offt/internal/mpi/mem"
 	"offt/internal/pencil"
@@ -57,7 +58,41 @@ type (
 	// FaultPlan is a fully explicit deterministic fault schedule for
 	// WithFaultPlan; the named profiles are the common presets.
 	FaultPlan = fault.Plan
+	// CommAlg selects the all-to-all exchange schedule — the 11th tuned
+	// parameter (see the CommPairwise … CommWindowed constants).
+	CommAlg = mpi.CommAlg
 )
+
+// All-to-all exchange schedules accepted by WithComm and Params.Comm.
+const (
+	// CommPairwise is the round-robin pairwise exchange: p−1 rounds, one
+	// peer per round. The zero value and historical default.
+	CommPairwise = mpi.CommPairwise
+	// CommBruck is the log-p Bruck algorithm: ⌈log₂ p⌉ rounds of combined
+	// packets — fewer, larger messages, favored at large p with small
+	// per-destination tiles.
+	CommBruck = mpi.CommBruck
+	// CommHier is the node-aware hierarchical exchange: intra-node gather,
+	// leader-to-leader exchange, intra-node scatter.
+	CommHier = mpi.CommHier
+	// CommWindowed is pairwise with a cap on concurrently in-flight peer
+	// exchanges (injection throttling).
+	CommWindowed = mpi.CommWindowed
+)
+
+// CommAlgs lists every exchange schedule in display order.
+func CommAlgs() []CommAlg { return mpi.CommAlgs() }
+
+// ParseComm resolves an exchange schedule from its wire/CLI name
+// ("pairwise", "bruck", "hier", "windowed"; the empty string means
+// pairwise). Unknown names surface as a *ConfigError.
+func ParseComm(s string) (CommAlg, error) {
+	a, err := mpi.ParseCommAlg(s)
+	if err != nil {
+		return 0, &ConfigError{Field: "comm", Value: s, Reason: "want pairwise, bruck, hier, or windowed", cause: err}
+	}
+	return a, nil
+}
 
 // Canonical fault profiles accepted by WithFaults, in rough order of
 // escalation. All injection is deterministic in (profile, seed): a run
@@ -229,6 +264,7 @@ type config struct {
 	decomp      Decomp
 	variant     Variant
 	params      *Params
+	comm        *CommAlg
 	engine      EngineKind
 	machineName string
 	workers     int
@@ -259,6 +295,16 @@ func WithVariant(v Variant) Option { return func(c *config) { c.variant = v } }
 // §4.4 default point for the geometry.
 func WithParams(prm Params) Option {
 	return func(c *config) { p := prm; c.params = &p }
+}
+
+// WithComm pins the all-to-all exchange schedule, overriding whatever the
+// parameter resolution (explicit WithParams, tuned store, or default)
+// produced. Unpinned plans keep the resolved Params.Comm — pairwise
+// unless a tuned-store entry recorded a different winner. A pinned
+// schedule also qualifies tuned-store lookups, so entries tuned under
+// `offt-tune -comm` resolve distinctly from the unpinned search.
+func WithComm(a CommAlg) Option {
+	return func(c *config) { v := a; c.comm = &v }
 }
 
 // WithEngine selects the execution engine (default Mem).
@@ -876,6 +922,7 @@ func (p *Plan) forwardLockedInto(dst, data []complex128, obs *execObs) ([]comple
 		p.lastSim = res
 		p.last = res.Avg
 		p.simMet.Observe(res.Avg)
+		p.simMet.ObserveComm(p.cfg.params.Comm, res.Avg)
 		res.Net.Publish(p.cfg.reg)
 		return nil, nil
 	}

@@ -24,10 +24,18 @@ go test -race ./internal/mpi/... ./internal/pfft/... ./internal/telemetry/ ./int
 go test -race ./internal/pencil/
 go test -race -count=1 -run 'Pencil' . ./internal/serve/
 
+# Exchange-schedule leg (PR 9): the bit-identical property test drives
+# all four all-to-all schedules (pairwise, bruck, hier, windowed) through
+# the mem engine on both decompositions, forward and backward, under the
+# race detector — multi-round schedules must stay race-free and route
+# every block exactly where pairwise does.
+go test -race -count=1 -run 'CommBitIdentical' .
+
 # Allocation gate: steady-state Forward/Backward on a reusable plan must
 # run allocation-free (measured against the zero-alloc self communicator;
-# see internal/pfft/plan_test.go). -count=1 defeats the test cache so the
-# gate re-measures every run.
+# see internal/pfft/plan_test.go) — one subtest per exchange schedule, so
+# schedule plumbing cannot add per-run allocations. -count=1 defeats the
+# test cache so the gate re-measures every run.
 go test -run 'SteadyStateAllocs' -count=1 ./internal/pfft/
 
 # Observability smoke run: a real experiment with telemetry attached must
@@ -59,6 +67,19 @@ grep -q '"serve.plan_cache.hits"' BENCH_PR5.json
 go run ./cmd/offt-bench -scale paper -bench-out BENCH_PR7.json crossover
 grep -q '"pass": true' BENCH_PR7.json
 grep -q '"pencil_crossover": "ok' BENCH_PR7.json
+
+# Exchange-schedule crossover gate (PR 9): the (p, decomp) × schedule
+# sweep on the sim engine. Gates (offt-bench exits nonzero on failure):
+# a plan pinned to pairwise must match the unpinned default exactly,
+# Bruck must beat pairwise >= 1.3x at the latency-dominated point (one
+# x-plane per rank, T=1), and the tuner searching the schedule dimension
+# must land within 2% of a pairwise-only search at the 64^3/p=4 serving
+# point.
+go run ./cmd/offt-bench -scale small -bench-out BENCH_PR9.json comm-crossover
+grep -q '"pass": true' BENCH_PR9.json
+grep -q '"bruck_crossover": "ok' BENCH_PR9.json
+grep -q '"tuner_parity": "ok' BENCH_PR9.json
+grep -q '"pairwise_noregress": "ok' BENCH_PR9.json
 
 # Chaos soak gate: offt-chaos boots the service in-process and soaks it
 # under the escalating fault ladder (drop/corrupt/stall/mixed), injects
