@@ -5,6 +5,10 @@
 // and shed rate, scrapes the service's /metrics.json, and emits a single
 // BENCH_PR5.json verdict with pass/fail gates.
 //
+// -addr accepts a comma-separated list of replicas (a sharded offt-serve
+// fleet): requests round-robin across them and the scraped counters are
+// summed fleet-wide, so the hit-rate gate sees the fleet as one service.
+//
 // With no -addr it self-hosts: it starts an in-process serve.Server on a
 // loopback listener with deliberately small admission capacity (so the
 // top of the concurrency ladder sheds), and first calibrates the raw
@@ -38,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"offt"
@@ -100,7 +105,7 @@ type report struct {
 }
 
 func run() error {
-	addr := flag.String("addr", "", "target offt-serve address; empty self-hosts an in-process service on loopback")
+	addr := flag.String("addr", "", "target offt-serve address, or a comma-separated fleet to round-robin across; empty self-hosts an in-process service on loopback")
 	grid := flag.Int("grid", 64, "cubic grid edge N (transforms are N³)")
 	ranks := flag.Int("ranks", 4, "ranks per transform request")
 	decomp := flag.String("decomp", "", "decomposition for requests: slab (default) or pencil (2-D)")
@@ -159,10 +164,10 @@ func run() error {
 		Pass:    true,
 	}
 
-	base := *addr
+	tg := newTargets(*addr)
 	var srv *serve.Server
 	var httpSrv *http.Server
-	if base == "" {
+	if tg == nil {
 		rep.SelfHost = true
 		inflight := *serveInflight
 		if inflight <= 0 {
@@ -181,8 +186,8 @@ func run() error {
 		}
 		httpSrv = &http.Server{Handler: srv.Handler()}
 		go func() { _ = httpSrv.Serve(ln) }()
-		base = ln.Addr().String()
-		fmt.Printf("self-hosted offt-serve on %s (inflight=%d queue=%d)\n", base, inflight, *serveQueue)
+		tg = newTargets(ln.Addr().String())
+		fmt.Printf("self-hosted offt-serve on %s (inflight=%d queue=%d)\n", tg.addrs[0], inflight, *serveQueue)
 
 		raw, err := calibrate(*grid, *ranks, *decomp, *comm, *variant, *workers)
 		if err != nil {
@@ -196,8 +201,13 @@ func run() error {
 		MaxIdleConns:        64,
 		MaxIdleConnsPerHost: 64,
 	}}
-	if err := waitHealthy(client, base, *waitReady); err != nil {
-		return err
+	for _, b := range tg.addrs {
+		if err := waitHealthy(client, b, *waitReady); err != nil {
+			return err
+		}
+	}
+	if len(tg.addrs) > 1 {
+		fmt.Printf("round-robin across %d replicas: %s\n", len(tg.addrs), strings.Join(tg.addrs, ", "))
 	}
 
 	body, err := buildRequestBody(*grid, *ranks, *decomp, *comm, *variant, *workers, *timeoutMs)
@@ -205,8 +215,14 @@ func run() error {
 		return err
 	}
 
-	for i := 0; i < *warmup; i++ {
-		if code, err := post(client, base, body); err != nil {
+	// Warm every replica: in a sharded fleet each replica must learn the
+	// route (and the owner build the plan) before the clock starts.
+	warmups := *warmup
+	if w := 2 * len(tg.addrs); warmups < w {
+		warmups = w
+	}
+	for i := 0; i < warmups; i++ {
+		if code, err := post(client, tg.pick(), body); err != nil {
 			return fmt.Errorf("warmup request: %w", err)
 		} else if code != http.StatusOK {
 			return fmt.Errorf("warmup request: HTTP %d", code)
@@ -214,13 +230,13 @@ func run() error {
 	}
 
 	for _, m := range mults {
-		pr := runPhase(client, base, body, m, *duration)
+		pr := runPhase(client, tg, body, m, *duration)
 		rep.Phases = append(rep.Phases, pr)
 		fmt.Printf("conc %2d×: %5d req  %6.1f rps  p50 %6.2fms  p99 %6.2fms  p999 %6.2fms  min %5.2fms  max %6.2fms  shed %5.1f%%  failed %d\n",
 			m, pr.Requests, pr.RPS, pr.P50Ms, pr.P99Ms, pr.P999Ms, pr.MinMs, pr.MaxMs, 100*pr.ShedRate, pr.Failed)
 	}
 
-	rep.Counters, rep.Gauges, err = scrapeMetrics(client, base)
+	rep.Counters, rep.Gauges, err = scrapeFleet(client, tg.addrs)
 	if err != nil {
 		return fmt.Errorf("scrape /metrics.json: %w", err)
 	}
@@ -369,7 +385,55 @@ func calibrate(n, ranks int, decomp, comm, variant string, workers int) (float64
 	return float64(iters) / time.Since(start).Seconds(), nil
 }
 
-func runPhase(client *http.Client, base string, body []byte, mult int, dur time.Duration) phaseResult {
+// targets round-robins requests across one or more offt-serve replicas.
+type targets struct {
+	addrs []string
+	next  atomic.Uint64
+}
+
+// newTargets splits a comma-separated address list; nil when empty.
+func newTargets(list string) *targets {
+	var addrs []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil
+	}
+	return &targets{addrs: addrs}
+}
+
+// pick returns the next replica in rotation (safe for concurrent workers).
+func (t *targets) pick() string {
+	return t.addrs[(t.next.Add(1)-1)%uint64(len(t.addrs))]
+}
+
+// scrapeFleet sums each replica's counters into one fleet view (round-
+// robin splits the traffic, so per-replica counters each hold a slice of
+// it); gauges are instantaneous per-replica states and merge by maximum.
+func scrapeFleet(client *http.Client, addrs []string) (map[string]int64, map[string]float64, error) {
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	for _, b := range addrs {
+		c, g, err := scrapeMetrics(client, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k, v := range c {
+			counters[k] += v
+		}
+		for k, v := range g {
+			if cur, ok := gauges[k]; !ok || v > cur {
+				gauges[k] = v
+			}
+		}
+	}
+	return counters, gauges, nil
+}
+
+func runPhase(client *http.Client, tg *targets, body []byte, mult int, dur time.Duration) phaseResult {
 	pr := phaseResult{Mult: mult, Workers: mult}
 	var mu sync.Mutex
 	var lat []time.Duration
@@ -381,7 +445,7 @@ func runPhase(client *http.Client, base string, body []byte, mult int, dur time.
 			defer wg.Done()
 			for time.Now().Before(stop) {
 				t0 := time.Now()
-				code, err := post(client, base, body)
+				code, err := post(client, tg.pick(), body)
 				el := time.Since(t0)
 				mu.Lock()
 				pr.Requests++
@@ -672,7 +736,7 @@ func runObsBench(grid, ranks, workers int, variant string, duration time.Duratio
 	}
 	for i := 0; i < pairs; i++ {
 		for _, s := range []*side{plain, traced} {
-			pr := runPhase(client, s.base, body, 1, segDur)
+			pr := runPhase(client, newTargets(s.base), body, 1, segDur)
 			if pr.Failed > 0 || pr.Shed > 0 {
 				fail("clean_run", fmt.Sprintf("%s segment %d: %d failed, %d shed (%v)", s.name, i, pr.Failed, pr.Shed, pr.Failures))
 			}

@@ -1,0 +1,447 @@
+// Command offt-netbench measures what the PR 10 network tier costs and
+// proves it correct, emitting one BENCH_PR10.json verdict.
+//
+// Two measurements:
+//
+//  1. Loopback-vs-mem overhead: the same 4-rank forward transform on the
+//     in-process mem engine and on a net-engine world whose ranks are
+//     connected by real TCP sockets over 127.0.0.1. The outputs must be
+//     bit-identical; the wall-clock ratio is gated loosely (default 20×)
+//     — loopback TCP through the ack/retransmit protocol is expected to
+//     cost real time, it must not cost correctness or explode.
+//
+//  2. Forwarded-vs-direct serving latency: a 2-replica sharded
+//     offt-serve fleet in-process; a transform whose plan key the second
+//     replica owns is posted to the first (one forwarding hop) and to
+//     the owner directly. The forwarded request must carry its
+//     X-Request-Id across the hop (trace_ok: the owner's flight recorder
+//     has the record under the client's ID) and the latency ratio is
+//     gated loosely.
+//
+// Usage:
+//
+//	offt-netbench [-n 32] [-p 4] [-iters 5]
+//	              [-serve-grid 24] [-serve-iters 15]
+//	              [-max-net-overhead 20] [-max-forward-overhead 50]
+//	              [-out BENCH_PR10.json]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"offt"
+	"offt/internal/fft"
+	"offt/internal/layout"
+	"offt/internal/mpi"
+	"offt/internal/mpi/mem"
+	enginenet "offt/internal/mpi/net"
+	"offt/internal/pfft"
+	"offt/internal/serve"
+	"offt/internal/telemetry"
+)
+
+type report struct {
+	Bench string `json:"bench"`
+	Grid  [3]int `json:"grid"`
+	Ranks int    `json:"ranks"`
+	Iters int    `json:"iters"`
+
+	MemNsPerIter int64   `json:"mem_ns_per_iter"`
+	NetNsPerIter int64   `json:"net_loopback_ns_per_iter"`
+	NetOverheadX float64 `json:"net_overhead_x"`
+	BitIdentical bool    `json:"bit_identical"`
+
+	ServeGrid        [3]int  `json:"serve_grid"`
+	ServeRanks       int     `json:"serve_ranks"`
+	DirectMsP50      float64 `json:"direct_ms_p50"`
+	ForwardedMsP50   float64 `json:"forwarded_ms_p50"`
+	ForwardOverheadX float64 `json:"forward_overhead_x"`
+	TraceOK          bool    `json:"trace_ok"`
+	DrainOK          bool    `json:"drain_ok"`
+
+	Gates map[string]string `json:"gates"`
+	Pass  bool              `json:"pass"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 32, "cubic grid edge for the engine comparison")
+	p := flag.Int("p", 4, "ranks in both engine worlds")
+	iters := flag.Int("iters", 5, "timed forward transforms per engine (plus one warm-up)")
+	serveGrid := flag.Int("serve-grid", 24, "cubic grid edge for the serving-latency comparison")
+	serveIters := flag.Int("serve-iters", 15, "timed requests per serving path (plus warm-ups)")
+	maxNetOverhead := flag.Float64("max-net-overhead", 20,
+		"gate: net-engine loopback wall time must stay within this multiple of the mem engine")
+	maxForwardOverhead := flag.Float64("max-forward-overhead", 50,
+		"gate: forwarded p50 latency must stay within this multiple of direct")
+	out := flag.String("out", "BENCH_PR10.json", "report path (- for stdout)")
+	flag.Parse()
+
+	rep := report{
+		Bench: "net-engine",
+		Grid:  [3]int{*n, *n, *n}, Ranks: *p, Iters: *iters,
+		ServeGrid:  [3]int{*serveGrid, *serveGrid, *serveGrid},
+		ServeRanks: 2,
+		Gates:      map[string]string{},
+		Pass:       true,
+	}
+	fail := func(name, msg string) { rep.Gates[name] = "FAIL: " + msg; rep.Pass = false }
+	pass := func(name, msg string) { rep.Gates[name] = "ok: " + msg }
+
+	// --- Engine comparison -------------------------------------------------
+	full := seededCube(*n * *n * *n)
+
+	memNs, memOuts, err := benchMem(*p, *n, *iters, full)
+	if err != nil {
+		return fmt.Errorf("mem engine: %w", err)
+	}
+	rep.MemNsPerIter = memNs
+	fmt.Printf("mem engine:  %d ranks, %d³: %v / transform\n", *p, *n, time.Duration(memNs))
+
+	netNs, netOuts, err := benchNet(*p, *n, *iters, full)
+	if err != nil {
+		return fmt.Errorf("net engine: %w", err)
+	}
+	rep.NetNsPerIter = netNs
+	rep.NetOverheadX = round2(float64(netNs) / float64(memNs))
+	fmt.Printf("net engine:  %d ranks, %d³ over loopback TCP: %v / transform (%.1f× mem)\n",
+		*p, *n, time.Duration(netNs), rep.NetOverheadX)
+
+	rep.BitIdentical = true
+	for r := 0; r < *p && rep.BitIdentical; r++ {
+		if len(memOuts[r]) != len(netOuts[r]) {
+			rep.BitIdentical = false
+			break
+		}
+		for i := range memOuts[r] {
+			if memOuts[r][i] != netOuts[r][i] {
+				rep.BitIdentical = false
+				break
+			}
+		}
+	}
+	if rep.BitIdentical {
+		pass("bit_identical", "net == mem on every rank's slab")
+	} else {
+		fail("bit_identical", "net and mem engines disagree")
+	}
+	if rep.NetOverheadX <= *maxNetOverhead {
+		pass("net_overhead", fmt.Sprintf("%.1fx <= %.0fx", rep.NetOverheadX, *maxNetOverhead))
+	} else {
+		fail("net_overhead", fmt.Sprintf("%.1fx > %.0fx", rep.NetOverheadX, *maxNetOverhead))
+	}
+
+	// --- Serving comparison ------------------------------------------------
+	if err := benchServe(&rep, *serveGrid, *serveIters, *maxForwardOverhead, fail, pass); err != nil {
+		return fmt.Errorf("shard fleet: %w", err)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	for name, verdict := range rep.Gates {
+		fmt.Printf("gate %-18s %s\n", name, verdict)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("offt-netbench: gates failed")
+	}
+	fmt.Println("offt-netbench: all gates passed")
+	return nil
+}
+
+func seededCube(n int) []complex128 {
+	full := make([]complex128, n)
+	for i := range full {
+		full[i] = complex(float64(i%23)-11, float64(i%19)-9)
+	}
+	return full
+}
+
+// forwardBody runs warm-up + iters forward transforms on one rank and
+// reports rank 0's timed span and every rank's final output.
+func forwardBody(c mpi.Comm, full []complex128, n, p, iters int, perIterNs *int64, outs [][]complex128) error {
+	g, err := layout.NewGrid(n, n, n, p, c.Rank())
+	if err != nil {
+		return err
+	}
+	g0, err := layout.NewGrid(n, n, n, p, 0)
+	if err != nil {
+		return err
+	}
+	prm := pfft.DefaultParams(g0)
+	slab := layout.ScatterX(full, g)
+	var out []complex128
+	var t0 time.Time
+	for i := 0; i <= iters; i++ {
+		if i == 1 && c.Rank() == 0 {
+			t0 = time.Now()
+		}
+		in := append([]complex128(nil), slab...)
+		out, _, err = pfft.Forward3D(c, g, in, pfft.NEW, prm, fft.Estimate)
+		if err != nil {
+			return err
+		}
+	}
+	if c.Rank() == 0 {
+		*perIterNs = time.Since(t0).Nanoseconds() / int64(iters)
+	}
+	outs[c.Rank()] = append([]complex128(nil), out...)
+	return nil
+}
+
+func benchMem(p, n, iters int, full []complex128) (int64, [][]complex128, error) {
+	outs := make([][]complex128, p)
+	var perIter int64
+	errs := make([]error, p)
+	w := mem.NewWorld(p)
+	if err := w.Run(func(c *mem.Comm) {
+		errs[c.Rank()] = forwardBody(c, full, n, p, iters, &perIter, outs)
+	}); err != nil {
+		return 0, nil, err
+	}
+	for r, err := range errs {
+		if err != nil {
+			return 0, nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return perIter, outs, nil
+}
+
+func benchNet(p, n, iters int, full []complex128) (int64, [][]complex128, error) {
+	// The live listener goes to rank 0 (CoordListener): close-and-rebind
+	// would race the kernel reassigning the port to an outbound connection.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, nil, err
+	}
+	coord := ln.Addr().String()
+
+	outs := make([][]complex128, p)
+	var perIter int64
+	errs := make([]error, p)
+	bodyErrs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := enginenet.Config{
+				Rank: rank, Size: p, Coord: coord, World: "netbench",
+				JoinTimeout: 15 * time.Second,
+			}
+			if rank == 0 {
+				cfg.CoordListener = ln
+			}
+			w, err := enginenet.Join(cfg)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer w.Close()
+			errs[rank] = w.Run(func(c *enginenet.Comm) {
+				bodyErrs[rank] = forwardBody(c, full, n, p, iters, &perIter, outs)
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			return 0, nil, fmt.Errorf("rank %d: %w", r, errs[r])
+		}
+		if bodyErrs[r] != nil {
+			return 0, nil, fmt.Errorf("rank %d: %w", r, bodyErrs[r])
+		}
+	}
+	return perIter, outs, nil
+}
+
+// benchServe boots a 2-replica sharded fleet on loopback, posts a
+// transform owned by replica B to replica A (forwarded) and to B itself
+// (direct), and fills the serving half of the report.
+func benchServe(rep *report, grid, iters int, maxOverhead float64, fail, pass func(name, msg string)) error {
+	const ranks = 2
+	lns := make([]net.Listener, 2)
+	urls := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	srvs := make([]*serve.Server, 2)
+	https := make([]*http.Server, 2)
+	for i := range srvs {
+		s := serve.New(serve.Config{Telemetry: telemetry.NewRegistry()})
+		if err := s.EnableShard(serve.ShardConfig{Self: urls[i], Peers: urls}); err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go func(ln net.Listener) { _ = hs.Serve(ln) }(lns[i])
+		srvs[i], https[i] = s, hs
+	}
+	defer func() {
+		for _, hs := range https {
+			_ = hs.Close()
+		}
+	}()
+
+	// Find a grid size whose plan key replica B owns, using the same
+	// DescribePlan resolution the server's request path uses.
+	n, key := 0, ""
+	for cand := grid; cand <= grid+20; cand += 2 {
+		desc, err := offt.DescribePlan(
+			offt.WithGrid(cand, cand, cand),
+			offt.WithRanks(ranks),
+			offt.WithWorkers(1),
+			offt.WithMachine("laptop"),
+		)
+		if err != nil {
+			return err
+		}
+		if srvs[0].Shard().Owner(desc.String()) == urls[1] {
+			n, key = cand, desc.String()
+			break
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("no grid size in [%d,%d] hashes to replica B", grid, grid+20)
+	}
+	rep.ServeGrid = [3]int{n, n, n}
+	fmt.Printf("serving comparison: %d³ ranks=%d, key %s owned by %s\n", n, ranks, key, urls[1])
+
+	var body bytes.Buffer
+	if err := serve.WriteHeader(&body, serve.TransformRequest{Nx: n, Ny: n, Nz: n, Ranks: ranks}); err != nil {
+		return err
+	}
+	if err := serve.WritePayload(&body, seededCube(n*n*n)); err != nil {
+		return err
+	}
+	raw := body.Bytes()
+
+	post := func(url, reqID string) (int, http.Header, error) {
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/transform", bytes.NewReader(raw))
+		if err != nil {
+			return 0, nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if reqID != "" {
+			req.Header.Set("X-Request-Id", reqID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, resp.Header, nil
+	}
+
+	// Warm both paths (plan build on B, route discovery on A), checking
+	// trace propagation on the first forwarded request.
+	const traceID = "netbench-trace-0001"
+	code, hdr, err := post(urls[0], traceID)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("forwarded warm-up: HTTP %d", code)
+	}
+	rep.TraceOK = hdr.Get("X-Request-Id") == traceID && hdr.Get("X-OFFT-Shard") == urls[1]
+	if rep.TraceOK {
+		// The owner's flight recorder must hold the request under the
+		// client's ID — the trace context crossed the hop.
+		dr, err := http.Get(urls[1] + "/debug/requests/" + traceID)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, dr.Body)
+		dr.Body.Close()
+		rep.TraceOK = dr.StatusCode == http.StatusOK
+	}
+	if rep.TraceOK {
+		pass("trace_ok", "X-Request-Id crossed the hop into the owner's flight recorder")
+	} else {
+		fail("trace_ok", "trace context lost across the forwarding hop")
+	}
+	if code, _, err := post(urls[1], ""); err != nil || code != http.StatusOK {
+		return fmt.Errorf("direct warm-up: HTTP %d, %v", code, err)
+	}
+
+	measure := func(url string) (float64, error) {
+		lat := make([]float64, 0, iters)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			code, _, err := post(url, "")
+			if err != nil {
+				return 0, err
+			}
+			if code != http.StatusOK {
+				return 0, fmt.Errorf("HTTP %d", code)
+			}
+			lat = append(lat, float64(time.Since(t0).Microseconds())/1000)
+		}
+		sort.Float64s(lat)
+		return round2(lat[len(lat)/2]), nil
+	}
+	if rep.DirectMsP50, err = measure(urls[1]); err != nil {
+		return fmt.Errorf("direct: %w", err)
+	}
+	if rep.ForwardedMsP50, err = measure(urls[0]); err != nil {
+		return fmt.Errorf("forwarded: %w", err)
+	}
+	rep.ForwardOverheadX = round2(rep.ForwardedMsP50 / rep.DirectMsP50)
+	fmt.Printf("direct p50 %.2fms, forwarded p50 %.2fms (%.1f×)\n",
+		rep.DirectMsP50, rep.ForwardedMsP50, rep.ForwardOverheadX)
+	if rep.ForwardOverheadX <= maxOverhead {
+		pass("forward_overhead", fmt.Sprintf("%.1fx <= %.0fx", rep.ForwardOverheadX, maxOverhead))
+	} else {
+		fail("forward_overhead", fmt.Sprintf("%.1fx > %.0fx", rep.ForwardOverheadX, maxOverhead))
+	}
+
+	// Drain both replicas the way SIGTERM would.
+	rep.DrainOK = true
+	for i, s := range srvs {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := s.Drain(ctx)
+		cancel()
+		if err != nil {
+			rep.DrainOK = false
+			fail("drain", fmt.Sprintf("replica %d: %v", i, err))
+		}
+	}
+	if rep.DrainOK {
+		pass("drain", "both replicas drained cleanly")
+	}
+	return nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

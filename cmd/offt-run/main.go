@@ -1,11 +1,14 @@
 // Command offt-run executes one parallel 3-D FFT and prints the Fig-8
 // style per-step breakdown.
 //
-// Two engines:
+// Three engines:
 //
 //	-engine sim   cost-model run on the simulated cluster (any p/N)
 //	-engine mem   real-data run in-process (laptop sizes), verified against
 //	              the serial reference transform
+//	-engine net   real-data run as ONE rank of a multi-process TCP world;
+//	              start p processes, each with its own -rank, sharing one
+//	              -coord rendezvous address
 //
 // Usage:
 //
@@ -13,6 +16,16 @@
 //	offt-run -engine mem -p 4 -n 64 -variant NEW -verify
 //	offt-run -decomp pencil -p 128 -n 64 -engine sim   (2-D grid, p > slab cap)
 //	offt-run ... -T 32 -W 3 -Px 16 ... (override tuned/default parameters)
+//
+//	for r in 0 1 2 3; do
+//	  offt-run -engine net -p 4 -rank $r -coord 127.0.0.1:9123 -n 32 -verify &
+//	done; wait
+//
+// In net mode every process generates the same deterministic seed-42
+// input cube, runs its rank's share of the transform, and -verify checks
+// the forward/backward round-trip against the rank's own input slab
+// (Backward(Forward(x)) = Nx·Ny·Nz·x). -dump writes the rank's raw
+// forward output for bit-level cross-engine comparison.
 package main
 
 import (
@@ -58,6 +71,10 @@ func main() {
 	commName := flag.String("comm", "", "all-to-all schedule: pairwise, bruck, hier, windowed (empty = resolved default)")
 	chaosSeed := flag.Int64("chaos", 0, "chaos fault-plan seed (with -chaos-profile)")
 	chaosProfile := flag.String("chaos-profile", "none", "fault profile: none, drop, corrupt, stall, mixed")
+	rankFlag := flag.Int("rank", -1, "net engine: this process's rank in [0, p)")
+	coordFlag := flag.String("coord", "", "net engine: coordinator rendezvous address (host:port); rank 0 listens on it")
+	worldFlag := flag.String("world", "offt", "net engine: world id guarding against cross-job joins")
+	dumpFlag := flag.String("dump", "", "net engine: write this rank's raw forward output (little-endian complex128s) to a file")
 	var obs telemetry.CLI
 	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -114,6 +131,17 @@ func main() {
 	decomp, err := offt.ParseDecomp(*decompName)
 	if err != nil {
 		fatal(err)
+	}
+	if *engine == "net" {
+		runNet(*rankFlag, *coordFlag, *worldFlag, *p, *n, decomp, *prFlag, variant,
+			applyOverrides, *verify, *dumpFlag, plan, &obs)
+		if err := obs.Finish(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *rankFlag >= 0 || *coordFlag != "" || *dumpFlag != "" {
+		fatal(fmt.Errorf("-rank/-coord/-dump drive the multi-process world; they need -engine net"))
 	}
 	if decomp == offt.Pencil {
 		runPencil(*engine, *machName, *p, *prFlag, *n, variant, applyOverrides, *verify, *timeline, plan, &obs)

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"offt/internal/fft"
+	"offt/internal/layout"
+	"offt/internal/mpi"
+	"offt/internal/mpi/mem"
+	enginenet "offt/internal/mpi/net"
+	"offt/internal/pfft"
+)
+
+// buildOfftRun compiles this command into dir and returns the binary path.
+func buildOfftRun(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "offt-run")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func readDump(t *testing.T, path string) []complex128 {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read dump: %v", err)
+	}
+	if len(raw)%16 != 0 {
+		t.Fatalf("dump %s: %d bytes is not a whole number of complex128s", path, len(raw))
+	}
+	data := make([]complex128, len(raw)/16)
+	for i := range data {
+		data[i] = complex(
+			math.Float64frombits(binary.LittleEndian.Uint64(raw[16*i:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(raw[16*i+8:])),
+		)
+	}
+	return data
+}
+
+// TestNetWorldRoundTripAndMemParity spawns a real multi-process world: p
+// offt-run children over 127.0.0.1, each verifying its forward/backward
+// round-trip at 1e-9, each dumping its raw forward output. The dumps must
+// be bit-identical to the mem engine running the same transform with the
+// same parameters in-process.
+func TestNetWorldRoundTripAndMemParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	const p, n = 4, 16
+	dir := t.TempDir()
+	bin := buildOfftRun(t, dir)
+
+	for _, comm := range []string{"pairwise", "hier"} {
+		comm := comm
+		t.Run(comm, func(t *testing.T) {
+			coord := reservePort(t)
+			cmds := make([]*exec.Cmd, p)
+			outs := make([]strings.Builder, p)
+			dumps := make([]string, p)
+			for r := 0; r < p; r++ {
+				dumps[r] = filepath.Join(dir, fmt.Sprintf("%s-rank%d.bin", comm, r))
+				cmds[r] = exec.Command(bin,
+					"-engine", "net", "-p", fmt.Sprint(p), "-rank", fmt.Sprint(r),
+					"-coord", coord, "-n", fmt.Sprint(n), "-comm", comm,
+					"-verify", "-dump", dumps[r])
+				cmds[r].Stdout = &outs[r]
+				cmds[r].Stderr = &outs[r]
+				if err := cmds[r].Start(); err != nil {
+					t.Fatalf("start rank %d: %v", r, err)
+				}
+			}
+			for r := 0; r < p; r++ {
+				if err := cmds[r].Wait(); err != nil {
+					t.Fatalf("rank %d failed: %v\n%s", r, err, outs[r].String())
+				}
+				if !strings.Contains(outs[r].String(), "verification PASSED") {
+					t.Fatalf("rank %d did not verify:\n%s", r, outs[r].String())
+				}
+			}
+
+			// The same transform on the mem engine, bit for bit.
+			alg, err := mpi.ParseCommAlg(comm)
+			if err != nil {
+				t.Fatalf("alg: %v", err)
+			}
+			full := seededCube(n * n * n)
+			memOuts := make([][]complex128, p)
+			w := mem.NewWorld(p)
+			if err := w.Run(func(c *mem.Comm) {
+				g, err := layout.NewGrid(n, n, n, p, c.Rank())
+				if err != nil {
+					panic(err)
+				}
+				g0, err := layout.NewGrid(n, n, n, p, 0)
+				if err != nil {
+					panic(err)
+				}
+				prm := pfft.DefaultParams(g0)
+				prm.Comm = alg
+				out, _, err := pfft.Forward3D(c, g, layout.ScatterX(full, g), pfft.NEW, prm, fft.Estimate)
+				if err != nil {
+					panic(err)
+				}
+				memOuts[c.Rank()] = out
+			}); err != nil {
+				t.Fatalf("mem world: %v", err)
+			}
+
+			for r := 0; r < p; r++ {
+				got := readDump(t, dumps[r])
+				if len(got) != len(memOuts[r]) {
+					t.Fatalf("rank %d: net dumped %d elements, mem produced %d", r, len(got), len(memOuts[r]))
+				}
+				for i := range got {
+					if got[i] != memOuts[r][i] {
+						t.Fatalf("rank %d element %d: net %v != mem %v", r, i, got[i], memOuts[r][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func seededCube(n int) []complex128 {
+	// Mirrors offt-run's deterministic seed-42 input generation.
+	rng := rand.New(rand.NewSource(42))
+	full := make([]complex128, n)
+	for i := range full {
+		full[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return full
+}
+
+// TestNetWorldKilledChildFailsSurvivors forms a 3-rank world where the
+// test itself holds the last rank, then kills it without ever entering
+// the collectives. The surviving offt-run processes must exit promptly
+// with the typed world-failure diagnostic instead of hanging.
+func TestNetWorldKilledChildFailsSurvivors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	const p, n = 3, 16
+	dir := t.TempDir()
+	bin := buildOfftRun(t, dir)
+	coord := reservePort(t)
+
+	cmds := make([]*exec.Cmd, p-1)
+	outs := make([]strings.Builder, p-1)
+	for r := 0; r < p-1; r++ {
+		cmds[r] = exec.Command(bin,
+			"-engine", "net", "-p", fmt.Sprint(p), "-rank", fmt.Sprint(r),
+			"-coord", coord, "-n", fmt.Sprint(n))
+		cmds[r].Stdout = &outs[r]
+		cmds[r].Stderr = &outs[r]
+		if err := cmds[r].Start(); err != nil {
+			t.Fatalf("start rank %d: %v", r, err)
+		}
+	}
+
+	// The victim: join the world (so the survivors' bootstrap completes and
+	// their transforms start waiting on rank 2's blocks), then die abruptly
+	// — a Close on a never-run world tears the connections down with no
+	// graceful-departure marker, exactly like a killed process.
+	victim, err := enginenet.Join(enginenet.Config{
+		Rank: p - 1, Size: p, Coord: coord, JoinTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("victim join: %v", err)
+	}
+	victim.Close()
+
+	start := time.Now()
+	for r := 0; r < p-1; r++ {
+		err := cmds[r].Wait()
+		if err == nil {
+			t.Fatalf("rank %d exited cleanly despite a dead peer:\n%s", r, outs[r].String())
+		}
+		log := outs[r].String()
+		if !strings.Contains(log, "offt: plan world failed") || !strings.Contains(log, "world failed: connection to rank") {
+			t.Fatalf("rank %d did not surface the world failure:\n%s", r, log)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("survivors took %v to die; they were hanging, not failing", elapsed)
+	}
+}

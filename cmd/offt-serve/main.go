@@ -10,11 +10,20 @@
 //	           [-timeout 10s] [-drain-timeout 30s] [-watchdog 20s]
 //	           [-chaos-profile mixed] [-chaos-seed 1]
 //	           [-metrics snap.json] [-pprof localhost:6060]
+//	           [-shard-of http://host:port -peers url1,url2,...]
 //
 // The service itself always exposes /metrics (Prometheus text) and
 // /metrics.json next to /v1/transform, /v1/plans and /healthz; -metrics
 // additionally writes a final snapshot on exit and -pprof starts the
 // shared debug server.
+//
+// Sharded fleet: start each replica with -shard-of (its own advertised
+// URL) and -peers (every replica's URL). Plan keys consistent-hash to
+// one owning replica; any replica accepts any request and forwards
+// non-owned keys to the owner over the same wire format, so clients can
+// spray the whole fleet while each plan's world stays hot on exactly one
+// process. A draining replica (SIGTERM) reroutes fresh requests to live
+// peers instead of shedding them.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +79,10 @@ func run() error {
 	sloObjective := flag.Duration("slo-objective", 0, "transform latency objective (0 = default 250ms)")
 	sloWindow := flag.Duration("slo-window", 0, "rolling SLO error-budget window (0 = default 1m)")
 	sloBudget := flag.Float64("slo-budget", 0, "allowed bad fraction inside the SLO window (0 = default 0.01)")
+	shardOf := flag.String("shard-of", "",
+		"this replica's advertised base URL within a sharded fleet (e.g. http://10.0.0.1:8080); requires -peers")
+	peers := flag.String("peers", "",
+		"comma-separated base URLs of every fleet replica (self included); plan keys consistent-hash to one owner and non-owned requests forward to it")
 	var obs telemetry.CLI
 	obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -156,6 +170,18 @@ func run() error {
 		SLOWindow:        *sloWindow,
 		SLOBudget:        *sloBudget,
 	})
+
+	if *shardOf != "" || *peers != "" {
+		if *shardOf == "" || *peers == "" {
+			return fmt.Errorf("sharded mode needs both -shard-of and -peers")
+		}
+		cfg := serve.ShardConfig{Self: *shardOf, Peers: strings.Split(*peers, ",")}
+		if err := srv.EnableShard(cfg); err != nil {
+			return err
+		}
+		sh := srv.Shard()
+		fmt.Printf("sharded fleet: self=%s peers=%s\n", sh.SelfURL(), strings.Join(sh.Peers(), ","))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

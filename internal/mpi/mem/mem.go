@@ -27,6 +27,7 @@ import (
 	"offt/internal/machine"
 	"offt/internal/mpi"
 	"offt/internal/mpi/fault"
+	"offt/internal/mpi/sched"
 	"offt/internal/telemetry"
 )
 
@@ -331,191 +332,66 @@ func (c *Comm) Now() int64 { return time.Since(c.world.epoch).Nanoseconds() }
 // persistent transport faults).
 func (c *Comm) TransportHealth() mpi.Health { return c.world.Health() }
 
-// memReq is the engine-side request contract every schedule implements.
-// All methods are called only by the owning rank's goroutine; the *Locked
-// ones additionally hold w.mu.
-type memReq interface {
-	// drain claims whatever has arrived, releases any schedule-gated sends
-	// that became eligible, and reports completion.
-	drain() bool
-	// availLocked reports whether the mailbox holds something this request
-	// can consume right now — waitInner's park predicate.
-	availLocked() bool
-	// missing summarizes incomplete work as (collective sequence numbers,
-	// source ranks) for the watchdog and deadline diagnostics.
-	missing() (seqs []int, from []int)
-}
+// ---- sched.Port implementation --------------------------------------------
+//
+// The schedule state machines (package mpi/sched) drive the engine through
+// this surface; these methods exist for them, not for FFT code.
 
-// request tracks a pending pairwise all-to-all: which source blocks are
-// still outstanding and where to copy them. It is also the receive core
-// the windowed schedule embeds.
-type request struct {
-	c          *Comm
-	tag        int
-	recv       []complex128
-	recvCounts []int
-	offsets    []int
-	pending    map[int]bool // source ranks not yet copied in
-}
-
-func (c *Comm) nextTag() int {
-	t := c.seq
-	c.seq++
-	return t
-}
-
-// nextTags reserves n consecutive sequence numbers for a multi-message
-// schedule (one per Bruck round, one per hierarchical protocol phase) so
-// deliveries of different rounds can never be confused even when the
-// transport reorders them.
-func (c *Comm) nextTags(n int) int {
+// NextTags reserves n consecutive collective sequence numbers for a
+// multi-message schedule (one per Bruck round, one per hierarchical
+// protocol phase) so deliveries of different rounds can never be confused
+// even when the transport reorders them.
+func (c *Comm) NextTags(n int) int {
 	t := c.seq
 	c.seq += n
 	return t
 }
+
+// Send hands one block from this rank to dst to the transport
+// (eager-buffered: the payload is copied at call time).
+func (c *Comm) Send(dst, tag int, data []complex128) {
+	c.world.send(c.rank, dst, tag, data)
+}
+
+// TryClaim removes and returns the first mailbox message from (src, tag).
+func (c *Comm) TryClaim(src, tag int) ([]complex128, bool) {
+	return c.world.tryClaim(c.rank, mkey{src, tag})
+}
+
+// Queued reports whether a message from (src, tag) is in the mailbox.
+// Called with w.mu held (waitInner's park predicate).
+func (c *Comm) Queued(src, tag int) bool {
+	return len(c.world.boxes[c.rank][mkey{src, tag}]) > 0
+}
+
+// Scratch returns the rank's reusable packet-assembly buffer, grown to n.
+func (c *Comm) Scratch(n int) []complex128 {
+	if cap(c.pkt) < n {
+		c.pkt = make([]complex128, n)
+	}
+	return c.pkt[:n]
+}
+
+// NodeSize is the machine model's ranks-per-node grouping, the default for
+// the hierarchical schedule when the Exchange does not pin one.
+func (c *Comm) NodeSize() int { return c.world.mach.CoresPerNode }
+
+var _ sched.Port = (*Comm)(nil)
 
 // Ialltoallv starts a non-blocking all-to-all with real payloads using the
 // configured exchange schedule (SetExchange; pairwise by default). The send
 // buffer is copied out as messages are handed to the transport; inbound
 // blocks are copied into recv during Test/Wait (the caller's CPU does the
 // "progression" work, like the paper's manual progression). All schedules
-// deliver bit-identical receive buffers.
+// deliver bit-identical receive buffers (see package mpi/sched).
 func (c *Comm) Ialltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) mpi.Request {
-	p := c.Size()
-	if len(sendCounts) != p || len(recvCounts) != p {
-		panic(fmt.Sprintf("mem: counts length %d/%d, want %d", len(sendCounts), len(recvCounts), p))
-	}
-	offsets := make([]int, p)
-	off := 0
-	for s := 0; s < p; s++ {
-		offsets[s] = off
-		off += recvCounts[s]
-	}
-	if off > len(recv) {
-		panic(fmt.Sprintf("mem: recv buffer %d too small for counts (%d)", len(recv), off))
-	}
-	soff := make([]int, p)
-	o := 0
-	for r := 0; r < p; r++ {
-		soff[r] = o
-		o += sendCounts[r]
-	}
-	if o > len(send) {
-		panic(fmt.Sprintf("mem: send buffer %d too small for counts (%d)", len(send), o))
-	}
-	if p > 1 {
-		switch c.ex.Alg {
-		case mpi.CommBruck:
-			return c.postBruck(send, sendCounts, soff, recv, recvCounts, offsets)
-		case mpi.CommHier:
-			return c.postHier(send, sendCounts, soff, recv, recvCounts, offsets)
-		case mpi.CommWindowed:
-			if w := c.window(); w < p-1 {
-				return c.postWindowed(send, sendCounts, soff, recv, recvCounts, offsets, w)
-			}
-		}
-	}
-	return c.postPairwise(send, sendCounts, soff, recv, recvCounts, offsets)
-}
-
-// postPairwise is the historical eager schedule: every peer's block is
-// handed to the transport at post time, in round-robin distance order.
-func (c *Comm) postPairwise(send []complex128, sendCounts, soff []int, recv []complex128, recvCounts, offsets []int) *request {
-	w, p, rank := c.world, c.world.p, c.rank
-	tag := c.nextTag()
-	req := c.newRequest(tag, recv, recvCounts, offsets)
-	// Zero-count blocks are skipped on both sides, so sub-grid collectives
-	// only touch their real peers.
-	for i := 1; i < p; i++ {
-		dst := (rank + i) % p
-		if sendCounts[dst] > 0 {
-			w.send(rank, dst, tag, send[soff[dst]:soff[dst]+sendCounts[dst]])
-		}
-	}
-	copy(recv[offsets[rank]:offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
-	return req
-}
-
-// newRequest builds the receive-tracking core shared by the pairwise and
-// windowed schedules. The counts are copied: callers may reuse the backing
-// arrays for the next collective while this request is still in flight
-// (the Ialltoallv counts-aliasing contract).
-func (c *Comm) newRequest(tag int, recv []complex128, recvCounts, offsets []int) *request {
-	p := c.world.p
-	rc := append([]int(nil), recvCounts...)
-	req := &request{c: c, tag: tag, recv: recv, recvCounts: rc, offsets: offsets, pending: make(map[int]bool, p)}
-	for s := 0; s < p; s++ {
-		if s != c.rank && rc[s] > 0 {
-			req.pending[s] = true
-		}
-	}
-	return req
-}
-
-// window resolves the windowed schedule's in-flight cap.
-func (c *Comm) window() int {
-	if c.ex.Window > 0 {
-		return c.ex.Window
-	}
-	return mpi.DefaultWindow
-}
-
-// nodeSize resolves the hierarchical schedule's ranks-per-node grouping.
-func (c *Comm) nodeSize() int {
-	ns := c.ex.NodeSize
-	if ns <= 0 {
-		ns = c.world.mach.CoresPerNode
-	}
-	if ns < 1 {
-		ns = 1
-	}
-	return ns
+	return sched.Post(c, c.ex, send, sendCounts, recv, recvCounts)
 }
 
 // Alltoallv performs a blocking all-to-all.
 func (c *Comm) Alltoallv(send []complex128, sendCounts []int, recv []complex128, recvCounts []int) {
 	r := c.Ialltoallv(send, sendCounts, recv, recvCounts)
 	c.Wait(r)
-}
-
-// drain claims every available pending block of req, copying payloads into
-// the receive buffer. Returns true when the request is complete.
-func (req *request) drain() bool {
-	c := req.c
-	w := c.world
-	for s := range req.pending {
-		if data, ok := w.tryClaim(c.rank, mkey{s, req.tag}); ok {
-			if len(data) != req.recvCounts[s] {
-				panic(fmt.Sprintf("mem: rank %d got %d elements from %d, want %d", c.rank, len(data), s, req.recvCounts[s]))
-			}
-			copy(req.recv[req.offsets[s]:req.offsets[s]+len(data)], data)
-			delete(req.pending, s)
-		}
-	}
-	return len(req.pending) == 0
-}
-
-// availLocked reports whether any pending source's block is in the mailbox.
-func (req *request) availLocked() bool {
-	w := req.c.world
-	for s := range req.pending {
-		if len(w.boxes[req.c.rank][mkey{s, req.tag}]) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// missing summarizes the incomplete sources for diagnostics.
-func (req *request) missing() (seqs, from []int) {
-	if len(req.pending) == 0 {
-		return nil, nil
-	}
-	seqs = []int{req.tag}
-	for s := range req.pending {
-		from = append(from, s)
-	}
-	return seqs, from
 }
 
 // Test drains whatever has arrived and reports completion.
@@ -525,7 +401,7 @@ func (c *Comm) Test(reqs ...mpi.Request) bool {
 		if r == nil {
 			continue
 		}
-		if !r.(memReq).drain() {
+		if !r.(sched.Request).Drain() {
 			all = false
 		}
 	}
@@ -596,7 +472,7 @@ func (c *Comm) waitInner(reqs []mpi.Request, limit time.Duration) error {
 			if r == nil {
 				continue
 			}
-			if r.(memReq).availLocked() {
+			if r.(sched.Request).Queued() {
 				avail = true
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"offt/internal/mpi"
+	"offt/internal/mpi/envelope"
 	"offt/internal/mpi/fault"
 )
 
@@ -34,18 +35,12 @@ func (s *counters) snapshot() mpi.Health {
 	}
 }
 
-// envelope is one sequence-numbered, checksummed message of the
-// self-healing transport.
-type envelope struct {
-	id            int64
-	src, dst, tag int
-	sum           uint64
-	data          []complex128
-}
-
-// outMsg tracks an unacknowledged envelope on the sender side.
+// outMsg tracks an unacknowledged envelope on the sender side. The
+// envelope format itself — and its binary wire framing, used by the net
+// engine — lives in the shared package mpi/envelope; the mem engine
+// delivers the same struct through memory.
 type outMsg struct {
-	env   *envelope
+	env   *envelope.Envelope
 	timer *time.Timer
 }
 
@@ -100,7 +95,8 @@ func (w *World) deposit(dst int, k mkey, m message) {
 // attempt 0. The message stays outstanding — with a pending retransmit
 // timer — until a delivery is acknowledged by the receiver side.
 func (w *World) sendEnvelope(src, dst, tag int, data []complex128) {
-	env := &envelope{src: src, dst: dst, tag: tag, sum: fault.Checksum(data), data: data}
+	env := &envelope.Envelope{Src: src, Dst: dst, Tag: tag, Data: data}
+	env.Seal()
 	om := &outMsg{env: env}
 	w.mu.Lock()
 	if w.closed {
@@ -108,8 +104,8 @@ func (w *World) sendEnvelope(src, dst, tag int, data []complex128) {
 		return
 	}
 	w.nextID++
-	env.id = w.nextID
-	w.outstanding[env.id] = om
+	env.ID = w.nextID
+	w.outstanding[env.ID] = om
 	w.mu.Unlock()
 	w.transmit(om, 0)
 }
@@ -121,7 +117,7 @@ func (w *World) sendEnvelope(src, dst, tag int, data []complex128) {
 func (w *World) transmit(om *outMsg, attempt int) {
 	env := om.env
 	w.mu.Lock()
-	if w.closed || w.failed != nil || w.outstanding[env.id] != om {
+	if w.closed || w.failed != nil || w.outstanding[env.ID] != om {
 		w.mu.Unlock()
 		return
 	}
@@ -129,29 +125,29 @@ func (w *World) transmit(om *outMsg, attempt int) {
 	if attempt > 0 {
 		w.stats.retransmits.Add(1)
 	}
-	d := w.plan.Decide(env.src, env.dst, env.tag, env.id, attempt)
+	d := w.plan.Decide(env.Src, env.Dst, env.Tag, env.ID, attempt)
 	now := time.Since(w.epoch).Nanoseconds()
 	// Per-rank degradation: a stalled NIC holds the message until the
 	// window closes; a slow NIC scales the emulated link delay.
-	delay := w.plan.StallEnd(env.src, now) - now + d.DelayNs
+	delay := w.plan.StallEnd(env.Src, now) - now + d.DelayNs
 	if w.delayed {
-		bytes := len(env.data) * mpi.Elem16
-		link := float64(w.mach.Latency(env.src, env.dst)) +
-			float64(bytes)*w.mach.EffNsPerByte(env.src, env.dst, w.mach.Nodes(w.p))
-		delay += int64(link * w.plan.NICFactor(env.src) * w.plan.LinkFactor(env.src, env.dst, now))
+		bytes := len(env.Data) * mpi.Elem16
+		link := float64(w.mach.Latency(env.Src, env.Dst)) +
+			float64(bytes)*w.mach.EffNsPerByte(env.Src, env.Dst, w.mach.Nodes(w.p))
+		delay += int64(link * w.plan.NICFactor(env.Src) * w.plan.LinkFactor(env.Src, env.Dst, now))
 	}
 	if d.Drop {
 		w.stats.dropsInjected.Add(1)
 	} else {
-		payload := env.data
+		payload := env.Data
 		if d.Corrupt {
 			w.stats.corruptionsInjected.Add(1)
-			payload = fault.CorruptCopy(env.data, uint64(env.id)<<8^uint64(attempt))
+			payload = fault.CorruptCopy(env.Data, uint64(env.ID)<<8^uint64(attempt))
 		}
 		w.deliverAfter(delay, env, payload)
 		if d.Duplicate {
 			w.stats.duplicatesInjected.Add(1)
-			w.deliverAfter(delay, env, env.data)
+			w.deliverAfter(delay, env, env.Data)
 		}
 	}
 	rto := w.rto
@@ -160,7 +156,7 @@ func (w *World) transmit(om *outMsg, attempt int) {
 	}
 	next := attempt + 1
 	w.mu.Lock()
-	if w.outstanding[env.id] == om && !w.closed && w.failed == nil {
+	if w.outstanding[env.ID] == om && !w.closed && w.failed == nil {
 		if attempt > 0 {
 			w.stats.backoffs.Add(1)
 		}
@@ -170,7 +166,7 @@ func (w *World) transmit(om *outMsg, attempt int) {
 }
 
 // deliverAfter schedules (or performs) one delivery of a payload copy.
-func (w *World) deliverAfter(delayNs int64, env *envelope, payload []complex128) {
+func (w *World) deliverAfter(delayNs int64, env *envelope.Envelope, payload []complex128) {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -189,8 +185,8 @@ func (w *World) deliverAfter(delayNs int64, env *envelope, payload []complex128)
 // verify the checksum (corrupted deliveries are dropped and recovered by
 // retransmission), discard duplicates, acknowledge, then deposit into the
 // mailbox.
-func (w *World) deliverEnvelope(env *envelope, payload []complex128) {
-	ok := fault.Checksum(payload) == env.sum
+func (w *World) deliverEnvelope(env *envelope.Envelope, payload []complex128) {
+	ok := envelope.Checksum(payload) == env.Sum
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.inFlight--
@@ -202,17 +198,17 @@ func (w *World) deliverEnvelope(env *envelope, payload []complex128) {
 		w.stats.corruptionsDetected.Add(1)
 		return
 	}
-	if _, dup := w.seen[env.dst][env.id]; dup {
+	if _, dup := w.seen[env.Dst][env.ID]; dup {
 		w.stats.dedups.Add(1)
-		w.ackLocked(env.id)
+		w.ackLocked(env.ID)
 		return
 	}
-	w.seen[env.dst][env.id] = struct{}{}
-	w.ackLocked(env.id)
+	w.seen[env.Dst][env.ID] = struct{}{}
+	w.ackLocked(env.ID)
 	w.stats.delivered.Add(1)
-	k := mkey{env.src, env.tag}
-	w.boxes[env.dst][k] = append(w.boxes[env.dst][k], message{data: payload})
-	w.conds[env.dst].Broadcast()
+	k := mkey{env.Src, env.Tag}
+	w.boxes[env.Dst][k] = append(w.boxes[env.Dst][k], message{data: payload})
+	w.conds[env.Dst].Broadcast()
 }
 
 // ackLocked retires an outstanding envelope and stops its retransmit

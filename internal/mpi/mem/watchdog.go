@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"offt/internal/mpi"
+	"offt/internal/mpi/sched"
 )
 
 // blockInfo describes what a parked rank is blocked on, for the deadlock
@@ -36,7 +37,7 @@ func waitBlockInfoLocked(reqs []mpi.Request) blockInfo {
 		if r == nil {
 			continue
 		}
-		seqs, missing := r.(memReq).missing()
+		seqs, missing := r.(sched.Request).Missing()
 		if len(seqs) == 0 {
 			continue
 		}
@@ -84,7 +85,7 @@ func (c *Comm) deadlineErrLocked(reqs []mpi.Request, limit time.Duration) *Deadl
 		if r == nil {
 			continue
 		}
-		seqs, from := r.(memReq).missing()
+		seqs, from := r.(sched.Request).Missing()
 		if len(seqs) == 0 {
 			continue
 		}

@@ -1,0 +1,340 @@
+package net
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"offt/internal/mpi"
+	"offt/internal/mpi/envelope"
+	"offt/internal/mpi/fault"
+)
+
+// maxFrameBytes bounds one wire frame (guards a malformed or hostile peer
+// from forcing a huge allocation). 1 GiB covers any exchange this repo can
+// produce with a wide margin.
+const maxFrameBytes = 1 << 30
+
+// maxBackoff caps the exponential retransmission backoff at rto << maxBackoff.
+const maxBackoff = 4
+
+// counters aggregates transport-recovery activity world-wide, mirroring
+// the mem engine's counter set so mpi.Health means the same thing on both
+// engines. All fields are updated atomically.
+type counters struct {
+	sent, delivered                    atomic.Int64
+	dropsInjected, corruptionsInjected atomic.Int64
+	duplicatesInjected, retransmits    atomic.Int64
+	dedups, corruptionsDetected        atomic.Int64
+	acks, backoffs                     atomic.Int64
+}
+
+func (s *counters) snapshot() mpi.Health {
+	return mpi.Health{
+		Sent:                s.sent.Load(),
+		Delivered:           s.delivered.Load(),
+		DropsInjected:       s.dropsInjected.Load(),
+		CorruptionsInjected: s.corruptionsInjected.Load(),
+		DuplicatesInjected:  s.duplicatesInjected.Load(),
+		Retransmits:         s.retransmits.Load(),
+		Dedups:              s.dedups.Load(),
+		CorruptionsDetected: s.corruptionsDetected.Load(),
+		Acks:                s.acks.Load(),
+		Backoffs:            s.backoffs.Load(),
+	}
+}
+
+// outMsg tracks an unacknowledged envelope on the sender side. frame
+// caches the clean encoding for retransmission.
+type outMsg struct {
+	env   *envelope.Envelope
+	frame []byte
+	timer *time.Timer
+}
+
+// peer is one TCP connection to another rank: a reader goroutine (owned by
+// the World) decodes inbound frames; a writer goroutine drains the
+// unbounded outbox. The outbox is unbounded deliberately — the receive
+// path enqueues acks, so a bounded queue could deadlock the protocol.
+type peer struct {
+	rank int
+	conn connLike
+
+	fin atomic.Bool // peer sent its graceful-departure marker
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]byte
+	closing bool  // drain the queue, then exit the writer
+	dead    bool  // conn failed; enqueue becomes a no-op
+	werr    error // the write error that killed the conn, if any
+	done    chan struct{}
+}
+
+// connLike is the subset of net.Conn the transport uses (test seam).
+type connLike interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	Close() error
+}
+
+// writeCloser is the optional half-close a *net.TCPConn provides: the
+// graceful teardown flushes, sends TCP FIN, and keeps reading, so neither
+// side ever closes with unread data in its receive buffer (which would
+// RST the connection and destroy in-flight frames on the other side).
+type writeCloser interface {
+	CloseWrite() error
+}
+
+func newPeer(rank int, conn connLike) *peer {
+	pe := &peer{rank: rank, conn: conn, done: make(chan struct{})}
+	pe.cond = sync.NewCond(&pe.mu)
+	return pe
+}
+
+// enqueue hands one encoded frame to the writer. Never blocks.
+func (pe *peer) enqueue(frame []byte) {
+	pe.mu.Lock()
+	if pe.closing || pe.dead {
+		pe.mu.Unlock()
+		return
+	}
+	pe.queue = append(pe.queue, frame)
+	pe.cond.Signal()
+	pe.mu.Unlock()
+}
+
+// beginClose tells the writer to drain what is queued and exit; further
+// enqueues are dropped.
+func (pe *peer) beginClose() {
+	pe.mu.Lock()
+	pe.closing = true
+	pe.cond.Broadcast()
+	pe.mu.Unlock()
+}
+
+// writer is the per-peer write loop: it batches whatever is queued and
+// puts it on the wire. After a close-drain it half-closes the connection
+// (TCP FIN), leaving the read side open so the reader can drain the peer.
+// On write error it marks the peer dead and tears the connection down;
+// the reader is the single failure arbiter (it sees the resulting read
+// error, and knows whether the peer departed gracefully).
+func (w *World) writer(pe *peer) {
+	defer close(pe.done)
+	for {
+		pe.mu.Lock()
+		for len(pe.queue) == 0 && !pe.closing {
+			pe.cond.Wait()
+		}
+		if len(pe.queue) == 0 && pe.closing {
+			pe.mu.Unlock()
+			if cw, ok := pe.conn.(writeCloser); ok {
+				cw.CloseWrite()
+			}
+			return
+		}
+		batch := pe.queue
+		pe.queue = nil
+		pe.mu.Unlock()
+		for _, frame := range batch {
+			if _, err := pe.conn.Write(frame); err != nil {
+				pe.mu.Lock()
+				pe.dead = true
+				pe.queue = nil
+				pe.werr = err
+				pe.mu.Unlock()
+				pe.conn.Close() // kick the reader; it decides the failure
+				return
+			}
+		}
+	}
+}
+
+// reader is the per-peer read loop: length-prefixed frames are decoded
+// into data deliveries, acks, and the fin departure marker. Any read
+// error on a live world whose peer did not announce a graceful exit is a
+// lost peer — the world fails rather than hang.
+func (w *World) reader(pe *peer) {
+	defer w.wg.Done()
+	var scratch []byte
+	for {
+		fr, s, err := envelope.Read(pe.conn, maxFrameBytes, scratch)
+		scratch = s
+		if err != nil {
+			pe.mu.Lock()
+			if pe.werr != nil {
+				err = pe.werr
+			}
+			pe.mu.Unlock()
+			w.connLost(pe, err)
+			return
+		}
+		switch fr.Kind {
+		case envelope.KindData:
+			w.deliverData(&fr.Env)
+		case envelope.KindAck:
+			w.ack(fr.AckID)
+		case envelope.KindFin:
+			pe.fin.Store(true)
+		}
+	}
+}
+
+// send routes one block from this rank to dst, copying the payload at call
+// time (eager-buffered semantics). Every message rides the self-healing
+// envelope protocol: sequence id, checksum, receiver dedup, ack/retransmit
+// with capped backoff. With an inactive fault plan the protocol is pure
+// bookkeeping on top of TCP; with an active one, injected drops,
+// corruptions, duplicates and stalls are applied above the socket exactly
+// like the mem engine applies them above its mailbox.
+func (w *World) send(dst, tag int, data []complex128) {
+	if dst == w.rank {
+		panic("net: schedule sent to self")
+	}
+	cp := make([]complex128, len(data))
+	copy(cp, data)
+	w.stats.sent.Add(1)
+	env := &envelope.Envelope{Src: w.rank, Dst: dst, Tag: tag, Data: cp}
+	env.Seal()
+	om := &outMsg{env: env}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.nextID++
+	env.ID = w.nextID
+	w.outstanding[env.ID] = om
+	w.mu.Unlock()
+	w.transmit(om, 0)
+}
+
+// transmit performs one delivery attempt of an outstanding envelope,
+// rolling the fault plan for this attempt, and arms the retransmission
+// timer with capped exponential backoff. Acknowledged (or dead-world)
+// messages are left alone.
+func (w *World) transmit(om *outMsg, attempt int) {
+	env := om.env
+	w.mu.Lock()
+	if w.closed || w.failed != nil || w.outstanding[env.ID] != om {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	if attempt > 0 {
+		w.stats.retransmits.Add(1)
+	}
+	d := w.plan.Decide(env.Src, env.Dst, env.Tag, env.ID, attempt)
+	now := time.Since(w.epoch).Nanoseconds()
+	// Per-rank degradation: a stalled NIC holds the frame until the window
+	// closes; link-factor delay emulation is left to TCP itself here.
+	delay := w.plan.StallEnd(env.Src, now) - now + d.DelayNs
+	if d.Drop {
+		w.stats.dropsInjected.Add(1)
+	} else {
+		if om.frame == nil {
+			om.frame = envelope.AppendData(nil, env)
+		}
+		frame := om.frame
+		if d.Corrupt {
+			w.stats.corruptionsInjected.Add(1)
+			ce := *env // keep the clean checksum: the receiver must detect
+			ce.Data = fault.CorruptCopy(env.Data, uint64(env.ID)<<8^uint64(attempt))
+			frame = envelope.AppendData(nil, &ce)
+		}
+		pe := w.peers[env.Dst]
+		w.enqueueAfter(pe, frame, delay)
+		if d.Duplicate {
+			w.stats.duplicatesInjected.Add(1)
+			w.enqueueAfter(pe, om.frame, delay)
+		}
+	}
+	rto := w.rto
+	for i := 0; i < attempt && i < maxBackoff; i++ {
+		rto *= 2
+	}
+	next := attempt + 1
+	w.mu.Lock()
+	if w.outstanding[env.ID] == om && !w.closed && w.failed == nil {
+		if attempt > 0 {
+			w.stats.backoffs.Add(1)
+		}
+		om.timer = time.AfterFunc(time.Duration(delay)+rto, func() { w.transmit(om, next) })
+	}
+	w.mu.Unlock()
+}
+
+// enqueueAfter hands a frame to the peer's writer, optionally after an
+// injected delay.
+func (w *World) enqueueAfter(pe *peer, frame []byte, delayNs int64) {
+	if delayNs <= 0 {
+		pe.enqueue(frame)
+		return
+	}
+	time.AfterFunc(time.Duration(delayNs), func() { pe.enqueue(frame) })
+}
+
+// deliverData is the receiver side of the self-healing transport: verify
+// the checksum (corrupted deliveries are dropped and recovered by the
+// sender's retransmission), discard duplicates, acknowledge, then deposit
+// into the mailbox. Acks ride the peer's outbox like any frame — they are
+// never fault-injected (the reliable control plane).
+func (w *World) deliverData(env *envelope.Envelope) {
+	if !env.Verify() {
+		w.stats.corruptionsDetected.Add(1)
+		return
+	}
+	ackFrame := envelope.AppendAck(nil, env.ID, w.rank)
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	key := seenKey{src: env.Src, id: env.ID}
+	if _, dup := w.seen[key]; dup {
+		w.stats.dedups.Add(1)
+		w.mu.Unlock()
+		w.peers[env.Src].enqueue(ackFrame)
+		return
+	}
+	w.seen[key] = struct{}{}
+	w.stats.delivered.Add(1)
+	k := mkey{src: env.Src, tag: env.Tag}
+	w.box[k] = append(w.box[k], message{data: env.Data})
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.peers[env.Src].enqueue(ackFrame)
+}
+
+// ack retires an outstanding envelope and stops its retransmit timer.
+func (w *World) ack(id int64) {
+	w.mu.Lock()
+	om, live := w.outstanding[id]
+	if live {
+		if om.timer != nil {
+			om.timer.Stop()
+		}
+		delete(w.outstanding, id)
+		w.stats.acks.Add(1)
+	}
+	w.mu.Unlock()
+}
+
+// connLost handles a failed peer connection: on a live world it is fatal
+// (the missing rank would otherwise hang every collective — surfacing a
+// world failure is the net engine's ErrWorldFailed semantics). It is
+// expected teardown noise when this world is shutting down, finished its
+// teardown barrier, or the peer announced a graceful departure (fin
+// frame) before the EOF. TCP ordering makes the fin check race-free: the
+// reader observes EOF only after consuming every frame the peer flushed,
+// so a graceful peer's fin — and all data before it — have already been
+// processed by the time the read error surfaces.
+func (w *World) connLost(pe *peer, err error) {
+	w.mu.Lock()
+	quiet := w.closed || w.done || pe.fin.Load()
+	w.mu.Unlock()
+	if quiet {
+		return
+	}
+	w.fail(&PeerError{Rank: w.rank, Peer: pe.rank, Err: err})
+}

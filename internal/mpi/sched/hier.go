@@ -1,0 +1,361 @@
+package sched
+
+import (
+	"fmt"
+
+	"offt/internal/mpi"
+)
+
+// Hierarchical protocol phases, one collective sequence number each.
+const (
+	hierDirect   = iota // intra-node peer blocks, sent raw
+	hierGather          // member → leader: combined inter-node packet [(dest+i·len) payload]·n, count-prefixed
+	hierExchange        // leader ↔ leader: combined per-node packet [(origin+i·dest), (len), payload]·n, count-prefixed
+	hierScatter         // leader → member: combined packet [(origin+i·len) payload]·n, count-prefixed
+	hierTags
+)
+
+// hierBlock is one inter-node block staged on a leader.
+type hierBlock struct {
+	origin, dest int
+	data         []complex128
+}
+
+// hierRequest runs the node-aware exchange: same-node blocks go directly
+// (hierDirect); inter-node blocks ride member→leader→leader→member with
+// combined packets, cutting fabric messages from p² to nodes². Leaders
+// gate the exchange phase on all members' gather packets and the scatter
+// phase on all peer leaders' exchange packets; every packet is sent even
+// when empty so the phase machine never stalls.
+type hierRequest struct {
+	port       Port
+	baseTag    int
+	recv       []complex128
+	recvCounts []int
+	offsets    []int
+	remaining  int // foreign blocks not yet placed into recv
+
+	nodeSize int
+	leader   int // first rank of this node
+
+	directPending map[int]bool // same-node peers whose direct block is missing
+
+	// Leader-only state.
+	isLeader        bool
+	stage           int          // 0 awaiting gathers, 1 awaiting exchanges, 2 all sends out
+	gatherPending   map[int]bool // members whose gather packet is missing
+	exchangePending map[int]bool // peer leaders whose packet is missing
+	pool            []hierBlock  // staged blocks (outbound in stage 0, scatter in stage 1)
+
+	// Member-only state.
+	scatterDone bool
+}
+
+func postHier(port Port, ex mpi.Exchange, send []complex128, sendCounts, soff []int, recv []complex128, recvCounts, offsets []int) Request {
+	p, rank := port.Size(), port.Rank()
+	ns := nodeSize(port, ex)
+	nodes := (p + ns - 1) / ns
+	if nodes == 1 {
+		// One node: the hierarchy is pure direct exchange — identical to
+		// pairwise (a consistent choice world-wide, since the topology is).
+		return postPairwise(port, send, sendCounts, soff, recv, recvCounts, offsets)
+	}
+	node := rank / ns
+	req := &hierRequest{
+		port: port, baseTag: port.NextTags(hierTags),
+		recv: recv, recvCounts: append([]int(nil), recvCounts...), offsets: offsets,
+		nodeSize: ns, leader: node * ns, isLeader: rank == node*ns,
+		directPending: map[int]bool{},
+	}
+	lo, hi := node*ns, (node+1)*ns
+	if hi > p {
+		hi = p
+	}
+	for s := 0; s < p; s++ {
+		if s == rank || req.recvCounts[s] == 0 {
+			continue
+		}
+		req.remaining++
+		if s >= lo && s < hi {
+			req.directPending[s] = true
+		}
+	}
+	// Direct intra-node blocks and the self copy.
+	for q := lo; q < hi; q++ {
+		if q != rank && sendCounts[q] > 0 {
+			port.Send(q, req.baseTag+hierDirect, send[soff[q]:soff[q]+sendCounts[q]])
+		}
+	}
+	copy(recv[offsets[rank]:offsets[rank]+sendCounts[rank]], send[soff[rank]:soff[rank]+sendCounts[rank]])
+	if req.isLeader {
+		req.gatherPending = map[int]bool{}
+		for m := lo + 1; m < hi; m++ {
+			req.gatherPending[m] = true
+		}
+		req.exchangePending = map[int]bool{}
+		for n := 0; n < nodes; n++ {
+			if n != node {
+				req.exchangePending[n*ns] = true
+			}
+		}
+		// The leader's own inter-node blocks join the pool directly.
+		for d := 0; d < p; d++ {
+			if (d < lo || d >= hi) && sendCounts[d] > 0 {
+				req.pool = append(req.pool, hierBlock{origin: rank, dest: d, data: send[soff[d] : soff[d]+sendCounts[d]]})
+			}
+		}
+		if len(req.gatherPending) == 0 {
+			req.sendExchange()
+		}
+	} else {
+		// Members push their combined inter-node packet to the leader
+		// immediately: [n, (dest+i·len, payload)·n].
+		size, n := 1, 0
+		for d := 0; d < p; d++ {
+			if (d < lo || d >= hi) && sendCounts[d] > 0 {
+				size += 1 + sendCounts[d]
+				n++
+			}
+		}
+		pkt := port.Scratch(size)
+		pkt[0] = complex(float64(n), 0)
+		pos := 1
+		for d := 0; d < p; d++ {
+			if (d < lo || d >= hi) && sendCounts[d] > 0 {
+				pkt[pos] = complex(float64(d), float64(sendCounts[d]))
+				pos++
+				copy(pkt[pos:pos+sendCounts[d]], send[soff[d]:soff[d]+sendCounts[d]])
+				pos += sendCounts[d]
+			}
+		}
+		port.Send(req.leader, req.baseTag+hierGather, pkt)
+	}
+	return req
+}
+
+// nodeBounds returns the rank range [lo, hi) of this rank's node.
+func (r *hierRequest) nodeBounds() (int, int) {
+	p := r.port.Size()
+	lo := r.leader
+	hi := lo + r.nodeSize
+	if hi > p {
+		hi = p
+	}
+	return lo, hi
+}
+
+// place copies one arrived foreign block into the receive buffer.
+func (r *hierRequest) place(origin int, data []complex128) {
+	if len(data) != r.recvCounts[origin] {
+		panic(fmt.Sprintf("mpi/sched: hier: rank %d got %d elements from %d, want %d", r.port.Rank(), len(data), origin, r.recvCounts[origin]))
+	}
+	copy(r.recv[r.offsets[origin]:r.offsets[origin]+len(data)], data)
+	r.remaining--
+}
+
+// sendExchange flushes the pooled inter-node blocks as one combined packet
+// per peer node (always sent, even empty) and enters stage 1.
+func (r *hierRequest) sendExchange() {
+	port := r.port
+	p := port.Size()
+	ns := r.nodeSize
+	nodes := (p + ns - 1) / ns
+	myNode := r.leader / ns
+	for n := 0; n < nodes; n++ {
+		if n == myNode {
+			continue
+		}
+		size, cnt := 1, 0
+		for _, b := range r.pool {
+			if b.dest/ns == n {
+				size += 2 + len(b.data)
+				cnt++
+			}
+		}
+		pkt := port.Scratch(size)
+		pkt[0] = complex(float64(cnt), 0)
+		pos := 1
+		for _, b := range r.pool {
+			if b.dest/ns != n {
+				continue
+			}
+			pkt[pos] = complex(float64(b.origin), float64(b.dest))
+			pkt[pos+1] = complex(float64(len(b.data)), 0)
+			pos += 2
+			copy(pkt[pos:pos+len(b.data)], b.data)
+			pos += len(b.data)
+		}
+		port.Send(n*ns, r.baseTag+hierExchange, pkt)
+	}
+	r.pool = r.pool[:0]
+	r.stage = 1
+}
+
+// sendScatter forwards the blocks received for this node's members
+// (always one packet per member, even empty) and enters stage 2.
+func (r *hierRequest) sendScatter() {
+	port := r.port
+	lo, hi := r.nodeBounds()
+	for m := lo + 1; m < hi; m++ {
+		size, cnt := 1, 0
+		for _, b := range r.pool {
+			if b.dest == m {
+				size += 1 + len(b.data)
+				cnt++
+			}
+		}
+		pkt := port.Scratch(size)
+		pkt[0] = complex(float64(cnt), 0)
+		pos := 1
+		for _, b := range r.pool {
+			if b.dest != m {
+				continue
+			}
+			pkt[pos] = complex(float64(b.origin), float64(len(b.data)))
+			pos++
+			copy(pkt[pos:pos+len(b.data)], b.data)
+			pos += len(b.data)
+		}
+		port.Send(m, r.baseTag+hierScatter, pkt)
+	}
+	r.pool = r.pool[:0]
+	r.stage = 2
+}
+
+func (r *hierRequest) Drain() bool {
+	port := r.port
+	for q := range r.directPending {
+		if data, ok := port.TryClaim(q, r.baseTag+hierDirect); ok {
+			r.place(q, data)
+			delete(r.directPending, q)
+		}
+	}
+	if r.isLeader {
+		if r.stage == 0 {
+			for m := range r.gatherPending {
+				data, ok := port.TryClaim(m, r.baseTag+hierGather)
+				if !ok {
+					continue
+				}
+				n := int(real(data[0]))
+				pos := 1
+				for i := 0; i < n; i++ {
+					dest := int(real(data[pos]))
+					ln := int(imag(data[pos]))
+					pos++
+					r.pool = append(r.pool, hierBlock{origin: m, dest: dest, data: data[pos : pos+ln]})
+					pos += ln
+				}
+				delete(r.gatherPending, m)
+			}
+			if len(r.gatherPending) == 0 {
+				r.sendExchange()
+			}
+		}
+		if r.stage == 1 {
+			for l := range r.exchangePending {
+				data, ok := port.TryClaim(l, r.baseTag+hierExchange)
+				if !ok {
+					continue
+				}
+				n := int(real(data[0]))
+				pos := 1
+				for i := 0; i < n; i++ {
+					origin := int(real(data[pos]))
+					dest := int(imag(data[pos]))
+					ln := int(real(data[pos+1]))
+					pos += 2
+					payload := data[pos : pos+ln]
+					pos += ln
+					if dest == port.Rank() {
+						r.place(origin, payload)
+					} else {
+						r.pool = append(r.pool, hierBlock{origin: origin, dest: dest, data: payload})
+					}
+				}
+				delete(r.exchangePending, l)
+			}
+			if len(r.exchangePending) == 0 {
+				r.sendScatter()
+			}
+		}
+		done := r.stage == 2 && len(r.directPending) == 0
+		if done && r.remaining != 0 {
+			panic(fmt.Sprintf("mpi/sched: hier: leader %d finished protocol with %d blocks missing", port.Rank(), r.remaining))
+		}
+		return done
+	}
+	if !r.scatterDone {
+		if data, ok := port.TryClaim(r.leader, r.baseTag+hierScatter); ok {
+			n := int(real(data[0]))
+			pos := 1
+			for i := 0; i < n; i++ {
+				origin := int(real(data[pos]))
+				ln := int(imag(data[pos]))
+				pos++
+				r.place(origin, data[pos:pos+ln])
+				pos += ln
+			}
+			r.scatterDone = true
+		}
+	}
+	done := r.scatterDone && len(r.directPending) == 0
+	if done && r.remaining != 0 {
+		panic(fmt.Sprintf("mpi/sched: hier: rank %d finished protocol with %d blocks missing", port.Rank(), r.remaining))
+	}
+	return done
+}
+
+func (r *hierRequest) Queued() bool {
+	port := r.port
+	for q := range r.directPending {
+		if port.Queued(q, r.baseTag+hierDirect) {
+			return true
+		}
+	}
+	if r.isLeader {
+		if r.stage == 0 {
+			for m := range r.gatherPending {
+				if port.Queued(m, r.baseTag+hierGather) {
+					return true
+				}
+			}
+		}
+		if r.stage == 1 {
+			for l := range r.exchangePending {
+				if port.Queued(l, r.baseTag+hierExchange) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return !r.scatterDone && port.Queued(r.leader, r.baseTag+hierScatter)
+}
+
+func (r *hierRequest) Missing() (seqs, from []int) {
+	if len(r.directPending) > 0 {
+		seqs = append(seqs, r.baseTag+hierDirect)
+		for q := range r.directPending {
+			from = append(from, q)
+		}
+	}
+	if r.isLeader {
+		if r.stage == 0 && len(r.gatherPending) > 0 {
+			seqs = append(seqs, r.baseTag+hierGather)
+			for m := range r.gatherPending {
+				from = append(from, m)
+			}
+		}
+		if r.stage == 1 && len(r.exchangePending) > 0 {
+			seqs = append(seqs, r.baseTag+hierExchange)
+			for l := range r.exchangePending {
+				from = append(from, l)
+			}
+		}
+	} else if !r.scatterDone {
+		seqs = append(seqs, r.baseTag+hierScatter)
+		from = append(from, r.leader)
+	}
+	return seqs, from
+}

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -139,6 +140,7 @@ type Server struct {
 	adm      *Admission
 	mux      *http.ServeMux
 	draining atomic.Bool
+	shard    *ShardRouter // nil when unsharded; see EnableShard
 
 	requests      *telemetry.Counter
 	transNs       *telemetry.Histogram
@@ -236,6 +238,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.adm.Drain()
 	waitErr := s.adm.WaitIdle(ctx)
 	closeErr := s.registry.CloseAll()
+	if s.shard != nil {
+		// Stop probing peers; routing stays live off the last-known peer
+		// table so late-arriving requests still reroute to live replicas.
+		s.shard.Stop()
+	}
 	if waitErr != nil {
 		return waitErr
 	}
@@ -285,7 +292,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"plans":          rh.Plans,
 		"inflight_ranks": s.adm.InUse(),
@@ -301,7 +308,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"flight": map[string]any{
 			"slow_threshold_ns": s.flight.Threshold(),
 		},
-	})
+	}
+	if s.shard != nil {
+		body["shard"] = map[string]any{
+			"self":           s.shard.SelfURL(),
+			"peers":          s.shard.Health(),
+			"local":          s.shard.localC.Value(),
+			"forwarded":      s.shard.forwardC.Value(),
+			"forward_errors": s.shard.forwardErrC.Value(),
+			"drain_reroutes": s.shard.reroutedC.Value(),
+		}
+	}
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
@@ -507,13 +525,25 @@ func (s *Server) handleTransform(hw http.ResponseWriter, r *http.Request) {
 	defer obs.finish()
 	w := obs.w
 
-	if s.draining.Load() {
+	// A forwarded request already crossed one replica hop: it executes
+	// here no matter what the local ring says (loop guard), and a
+	// draining receiver sheds it with 503 so the forwarder retries a
+	// live replica. Client-originated requests on a draining sharded
+	// replica instead reroute (routeTransform excludes self).
+	forwarded := s.shard != nil && r.Header.Get(shardForwardedHeader) != ""
+	if s.draining.Load() && (s.shard == nil || forwarded) {
 		obs.fail(ErrDraining)
 		s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
 		return
 	}
+	rawHdr, err := ReadRawHeader(r.Body)
+	if err != nil {
+		obs.fail(err)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	var req TransformRequest
-	if err := ReadHeader(r.Body, &req); err != nil {
+	if err := DecodeRawHeader(rawHdr, &req); err != nil {
 		obs.fail(err)
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -529,6 +559,26 @@ func (s *Server) handleTransform(hw http.ResponseWriter, r *http.Request) {
 		obs.decomp = spec.key.Decomp.String()
 	}
 
+	if s.shard != nil && !forwarded {
+		s.routeTransform(obs, r, spec, rawHdr)
+		return
+	}
+	if forwarded {
+		// Count forwarded-in executions as local work: the shard section
+		// of /healthz then shows where the fleet actually executes.
+		s.shard.localC.Inc()
+	}
+	s.executeTransform(obs, r, spec, r.Body)
+}
+
+// executeTransform runs a resolved transform locally: admission, plan
+// acquisition, watchdogged execution, response streaming. payload is the
+// request body positioned just past the header (or a replayed buffer
+// when the shard router fell back to local execution after a failed
+// forward).
+func (s *Server) executeTransform(obs *reqObs, r *http.Request, spec transformSpec, payload io.Reader) {
+	w := obs.w
+
 	// Admission: bounded wait for rank-weight capacity. The deadline
 	// covers queueing and execution both. The trace context rides the
 	// request context so the plan's execution path can emit spans into it.
@@ -540,7 +590,7 @@ func (s *Server) handleTransform(hw http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	queued := time.Now()
 	queueSpan := obs.tc.Begin("queue")
-	err = s.adm.Acquire(ctx, spec.weight)
+	err := s.adm.Acquire(ctx, spec.weight)
 	obs.tc.End(queueSpan)
 	obs.queueNs = time.Since(queued).Nanoseconds()
 	if err != nil {
@@ -656,7 +706,7 @@ func (s *Server) handleTransform(hw http.ResponseWriter, r *http.Request) {
 			s.putBuf(in)
 		}
 	}()
-	if err := ReadPayloadInto(r.Body, in); err != nil {
+	if err := ReadPayloadInto(payload, in); err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}

@@ -1,0 +1,541 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"offt"
+	"offt/internal/telemetry"
+)
+
+// Sharded serving: a small fleet of offt-serve replicas where each plan
+// key has one owner. Plans carry live worlds of rank goroutines, so two
+// replicas serving the same key would each pay the world's memory and
+// warm-up; routing every key to a consistent owner keeps exactly one hot
+// plan per key fleet-wide. The router is embedded in every replica — any
+// replica accepts any request and forwards non-owned keys over the same
+// binary wire format the client spoke, so clients need no fleet awareness
+// and no separate proxy tier exists to fail.
+//
+// Placement is a consistent-hash ring (64 virtual nodes per replica,
+// FNV-1a over "url|vnode"): adding or removing a replica remaps only
+// ~1/n of the key space, so a rolling restart does not cold-start every
+// plan in the fleet. Health is gossip-free: each replica polls its peers'
+// /healthz and routes around peers that are down or draining; a forward
+// that fails marks the peer down immediately and retries the next owner,
+// falling back to serving locally so a fleet of one healthy replica
+// still answers everything.
+
+const (
+	// shardForwardedHeader marks a request that already crossed one
+	// replica-to-replica hop. A receiver serves it locally no matter what
+	// its own ring says — two replicas with momentarily divergent health
+	// views must not ping-pong a request between them.
+	shardForwardedHeader = "X-OFFT-Forwarded"
+	// shardViaHeader tells the client which replica actually executed a
+	// forwarded transform (debugging aid; the X-Request-Id is unchanged
+	// across the hop, so traces correlate without it).
+	shardViaHeader = "X-OFFT-Shard"
+)
+
+// ShardConfig parameterizes a replica's view of the fleet.
+type ShardConfig struct {
+	// Self is this replica's advertised base URL — the one that appears
+	// in every replica's Peers list ("http://host:port"; a bare
+	// host:port gets the scheme prefixed).
+	Self string
+	// Peers lists every replica's base URL, self included (self is
+	// appended when missing). Order does not matter: placement depends
+	// only on the URL strings, so every replica computes the same ring.
+	Peers []string
+	// VNodes is the virtual-node count per replica on the hash ring
+	// (default 64; more vnodes = smoother key balance).
+	VNodes int
+	// HealthInterval is the peer /healthz polling period (default 2s).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// Client performs forwards and probes (default: a dedicated client
+	// with keep-alive pooling per peer).
+	Client *http.Client
+}
+
+func (c *ShardConfig) fill() {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        32,
+			MaxIdleConnsPerHost: 8,
+		}}
+	}
+}
+
+// shardPeer is one replica's health-tracked view of another (or itself).
+type shardPeer struct {
+	url  string
+	self bool
+
+	mu        sync.Mutex
+	up        bool
+	draining  bool
+	lastCheck time.Time
+	lastErr   string
+}
+
+func (p *shardPeer) alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up && !p.draining
+}
+
+func (p *shardPeer) set(up, draining bool, errMsg string) {
+	p.mu.Lock()
+	p.up, p.draining, p.lastCheck, p.lastErr = up, draining, time.Now(), errMsg
+	p.mu.Unlock()
+}
+
+// ShardPeerHealth is one ring entry in the /healthz shard section.
+type ShardPeerHealth struct {
+	URL      string `json:"url"`
+	Self     bool   `json:"self,omitempty"`
+	Up       bool   `json:"up"`
+	Draining bool   `json:"draining,omitempty"`
+	AgeMs    int64  `json:"last_check_age_ms,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+type ringPoint struct {
+	hash uint64
+	peer *shardPeer
+}
+
+// ShardRouter owns a replica's ring, peer health, and forwarding client.
+type ShardRouter struct {
+	self  *shardPeer
+	peers []*shardPeer
+	ring  []ringPoint
+
+	client       *http.Client
+	interval     time.Duration
+	probeTimeout time.Duration
+	log          *telemetry.Logger
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+
+	localC      *telemetry.Counter
+	forwardC    *telemetry.Counter
+	forwardErrC *telemetry.Counter
+	reroutedC   *telemetry.Counter
+	probeC      *telemetry.Counter
+}
+
+// NewShardRouter validates cfg and builds the ring. The health loop does
+// not run until Start.
+func NewShardRouter(cfg ShardConfig, reg *telemetry.Registry, log *telemetry.Logger) (*ShardRouter, error) {
+	cfg.fill()
+	self, err := normalizeShardURL(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard self URL: %w", err)
+	}
+	seen := map[string]bool{}
+	var urls []string
+	for _, p := range append(append([]string(nil), cfg.Peers...), cfg.Self) {
+		u, err := normalizeShardURL(p)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard peer URL %q: %w", p, err)
+		}
+		if !seen[u] {
+			seen[u] = true
+			urls = append(urls, u)
+		}
+	}
+	sort.Strings(urls)
+	sr := &ShardRouter{
+		client:       cfg.Client,
+		interval:     cfg.HealthInterval,
+		probeTimeout: cfg.ProbeTimeout,
+		log:          log,
+		stopc:        make(chan struct{}),
+		localC:       reg.Counter("serve.shard.local"),
+		forwardC:     reg.Counter("serve.shard.forwarded"),
+		forwardErrC:  reg.Counter("serve.shard.forward_errors"),
+		reroutedC:    reg.Counter("serve.shard.drain_reroutes"),
+		probeC:       reg.Counter("serve.shard.probes"),
+	}
+	for _, u := range urls {
+		// Peers start optimistically up so cold-start forwards are tried
+		// before the first probe round lands; a failed forward demotes
+		// immediately.
+		pe := &shardPeer{url: u, self: u == self, up: true}
+		if pe.self {
+			sr.self = pe
+		}
+		sr.peers = append(sr.peers, pe)
+		for i := 0; i < cfg.VNodes; i++ {
+			sr.ring = append(sr.ring, ringPoint{
+				hash: fnv64(u + "|" + strconv.Itoa(i)),
+				peer: pe,
+			})
+		}
+	}
+	if sr.self == nil {
+		// Unreachable: self is always merged into the peer set above.
+		return nil, fmt.Errorf("serve: shard self %s missing from the peer set", self)
+	}
+	sort.Slice(sr.ring, func(i, j int) bool {
+		if sr.ring[i].hash != sr.ring[j].hash {
+			return sr.ring[i].hash < sr.ring[j].hash
+		}
+		return sr.ring[i].peer.url < sr.ring[j].peer.url
+	})
+	return sr, nil
+}
+
+// normalizeShardURL canonicalizes a replica URL so the same replica
+// hashes identically fleet-wide regardless of how each config spells it.
+func normalizeShardURL(s string) (string, error) {
+	s = strings.TrimRight(strings.TrimSpace(s), "/")
+	if s == "" {
+		return "", fmt.Errorf("empty URL")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("scheme %q (want http or https)", u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("no host in %q", s)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// fnv64 hashes a ring string: FNV-1a for the content, then a
+// splitmix64-style finalizer. Raw FNV-1a diffuses suffix changes poorly
+// — vnode strings differ only in their trailing index, and without the
+// finalizer a 3-replica ring came out 9%/27%/64%.
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SelfURL returns this replica's canonical advertised URL.
+func (sr *ShardRouter) SelfURL() string { return sr.self.url }
+
+// Peers returns the fleet's canonical URLs in ring-construction order.
+func (sr *ShardRouter) Peers() []string {
+	out := make([]string, len(sr.peers))
+	for i, pe := range sr.peers {
+		out[i] = pe.url
+	}
+	return out
+}
+
+// Owner returns the key's primary owner URL, health ignored — the pure
+// placement function (tests, debugging, client-side steering).
+func (sr *ShardRouter) Owner(key string) string {
+	i := sr.ringIndex(key)
+	return sr.ring[i].peer.url
+}
+
+func (sr *ShardRouter) ringIndex(key string) int {
+	h := fnv64(key)
+	i := sort.Search(len(sr.ring), func(i int) bool { return sr.ring[i].hash >= h })
+	if i == len(sr.ring) {
+		i = 0
+	}
+	return i
+}
+
+// pick walks the ring clockwise from the key's hash and returns the
+// first usable replica: not in tried, not believed down or draining, and
+// not self when avoidSelf is set (the drain path). Self needs no health
+// check — a replica that is executing pick is by definition up.
+func (sr *ShardRouter) pick(key string, avoidSelf bool, tried map[string]bool) (*shardPeer, bool) {
+	i := sr.ringIndex(key)
+	seen := 0
+	visited := make(map[*shardPeer]bool, len(sr.peers))
+	for k := 0; k < len(sr.ring) && seen < len(sr.peers); k++ {
+		pe := sr.ring[(i+k)%len(sr.ring)].peer
+		if visited[pe] {
+			continue
+		}
+		visited[pe] = true
+		seen++
+		if tried[pe.url] {
+			continue
+		}
+		if pe.self {
+			if avoidSelf {
+				continue
+			}
+			return pe, true
+		}
+		if pe.alive() {
+			return pe, true
+		}
+	}
+	return nil, false
+}
+
+// markDown demotes a peer after a failed forward so subsequent picks
+// route around it until a health probe brings it back.
+func (sr *ShardRouter) markDown(pe *shardPeer, err error) {
+	pe.set(false, false, err.Error())
+	sr.log.Warn("shard.peer_down", "peer", pe.url, "error", err.Error())
+}
+
+// Start launches the health loop: one immediate probe round, then one
+// every HealthInterval until Stop.
+func (sr *ShardRouter) Start() {
+	sr.wg.Add(1)
+	go func() {
+		defer sr.wg.Done()
+		sr.probeAll()
+		t := time.NewTicker(sr.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-sr.stopc:
+				return
+			case <-t.C:
+				sr.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop halts the health loop. Routing keeps working off the last-known
+// health state — a draining server still forwards until the process
+// exits. Idempotent.
+func (sr *ShardRouter) Stop() {
+	sr.stopOnce.Do(func() { close(sr.stopc) })
+	sr.wg.Wait()
+}
+
+func (sr *ShardRouter) probeAll() {
+	var wg sync.WaitGroup
+	for _, pe := range sr.peers {
+		if pe.self {
+			continue
+		}
+		wg.Add(1)
+		go func(pe *shardPeer) {
+			defer wg.Done()
+			sr.probe(pe)
+		}(pe)
+	}
+	wg.Wait()
+}
+
+func (sr *ShardRouter) probe(pe *shardPeer) {
+	sr.probeC.Inc()
+	ctx, cancel := context.WithTimeout(context.Background(), sr.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, pe.url+"/healthz", nil)
+	if err != nil {
+		pe.set(false, false, err.Error())
+		return
+	}
+	resp, err := sr.client.Do(req)
+	if err != nil {
+		pe.set(false, false, err.Error())
+		return
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		// "ok" and "degraded" both accept traffic (a quarantined plan on
+		// a peer says nothing about the keys this router would send it).
+		pe.set(true, false, "")
+	case body.Status == "draining":
+		pe.set(true, true, "")
+	default:
+		pe.set(false, false, fmt.Sprintf("healthz HTTP %d", resp.StatusCode))
+	}
+}
+
+// Health returns the ring's peer table for /healthz.
+func (sr *ShardRouter) Health() []ShardPeerHealth {
+	out := make([]ShardPeerHealth, 0, len(sr.peers))
+	for _, pe := range sr.peers {
+		pe.mu.Lock()
+		h := ShardPeerHealth{URL: pe.url, Self: pe.self, Up: pe.up, Draining: pe.draining, Err: pe.lastErr}
+		if pe.self {
+			h.Up = true // a replica reporting its own table is up
+		} else if !pe.lastCheck.IsZero() {
+			h.AgeMs = time.Since(pe.lastCheck).Milliseconds()
+		}
+		pe.mu.Unlock()
+		out = append(out, h)
+	}
+	return out
+}
+
+// forward replays one wire-format transform to target. The X-Request-Id
+// crosses the hop unchanged so the owner's flight recorder, logs, and
+// span tree file under the same ID the client holds.
+func (sr *ShardRouter) forward(ctx context.Context, target, reqID string, rawHdr, payload []byte) (*http.Response, error) {
+	body := io.MultiReader(bytes.NewReader(rawHdr), bytes.NewReader(payload))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/transform", body)
+	if err != nil {
+		return nil, err
+	}
+	req.ContentLength = int64(len(rawHdr) + len(payload))
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-Request-Id", reqID)
+	req.Header.Set(shardForwardedHeader, "1")
+	sr.forwardC.Inc()
+	return sr.client.Do(req)
+}
+
+// EnableShard puts the server in sharded mode and starts the router's
+// health loop. Call once, before serving traffic; Drain stops the loop.
+func (s *Server) EnableShard(cfg ShardConfig) error {
+	sr, err := NewShardRouter(cfg, s.cfg.Telemetry, s.log)
+	if err != nil {
+		return err
+	}
+	s.shard = sr
+	sr.Start()
+	return nil
+}
+
+// Shard returns the router, nil when the server is unsharded.
+func (s *Server) Shard() *ShardRouter { return s.shard }
+
+// routeTransform decides where a client-originated transform executes.
+// Owned keys run locally; everything else is forwarded to the owner,
+// retrying down-ring on peer failure and falling back to local execution
+// when this replica is the last one standing. During drain, self is
+// excluded — requests reroute to live peers instead of shedding 503.
+func (s *Server) routeTransform(obs *reqObs, r *http.Request, spec transformSpec, rawHdr []byte) {
+	w := obs.w
+	draining := s.draining.Load()
+	key := spec.key.String()
+	pe, ok := s.shard.pick(key, draining, nil)
+	if !ok {
+		if draining {
+			obs.fail(ErrDraining)
+			s.writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		} else {
+			err := fmt.Errorf("serve: no live replica for plan %s", key)
+			obs.fail(err)
+			s.writeError(w, http.StatusBadGateway, err)
+		}
+		return
+	}
+	if pe.self {
+		s.shard.localC.Inc()
+		s.executeTransform(obs, r, spec, r.Body)
+		return
+	}
+	if draining {
+		s.shard.reroutedC.Inc()
+		obs.reasons = append(obs.reasons, "drain-reroute")
+	}
+
+	// Buffer the payload so a failed forward can replay it to the next
+	// candidate. The size is already validated against MaxElements and
+	// matches what local execution would have allocated anyway.
+	var payload []byte
+	if spec.key.Engine != offt.Sim {
+		payload = make([]byte, 16*spec.key.Nx*spec.key.Ny*spec.key.Nz)
+		if _, err := io.ReadFull(r.Body, payload); err != nil {
+			err = fmt.Errorf("serve: reading payload: %w", err)
+			obs.fail(err)
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	tried := map[string]bool{}
+	for {
+		resp, err := s.shard.forward(r.Context(), pe.url, obs.id, rawHdr, payload)
+		if err == nil && resp.StatusCode < http.StatusInternalServerError {
+			// Success or a caller-attributable status (4xx, 429): relay
+			// verbatim. Only 5xx means "try another replica".
+			s.relayForwarded(obs, resp, pe.url)
+			return
+		}
+		if err != nil {
+			s.shard.markDown(pe, err)
+		} else {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			s.shard.markDown(pe, fmt.Errorf("transform HTTP %d", resp.StatusCode))
+		}
+		s.shard.forwardErrC.Inc()
+		tried[pe.url] = true
+		pe, ok = s.shard.pick(key, draining, tried)
+		if !ok {
+			ferr := fmt.Errorf("serve: every replica for plan %s failed or is draining", key)
+			obs.fail(ferr)
+			s.writeError(w, http.StatusBadGateway, ferr)
+			return
+		}
+		if pe.self {
+			s.shard.localC.Inc()
+			s.executeTransform(obs, r, spec, bytes.NewReader(payload))
+			return
+		}
+	}
+}
+
+// relayForwarded streams the owner's response back to the client.
+func (s *Server) relayForwarded(obs *reqObs, resp *http.Response, target string) {
+	defer resp.Body.Close()
+	w := obs.w
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "" {
+		w.Header().Set("Content-Length", cl)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(shardViaHeader, target)
+	obs.reasons = append(obs.reasons, "forwarded")
+	if resp.StatusCode >= 400 {
+		obs.fail(fmt.Errorf("serve: replica %s answered HTTP %d", target, resp.StatusCode))
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

@@ -128,24 +128,41 @@ func WriteHeader(w io.Writer, hdr any) error {
 	return err
 }
 
-// ReadHeader reads a length-prefixed JSON header into dst.
-func ReadHeader(r io.Reader, dst any) error {
+// ReadRawHeader reads a length-prefixed header block and returns it raw,
+// 4-byte prefix included, so a router can decode it AND replay the exact
+// bytes when forwarding the request to another replica.
+func ReadRawHeader(r io.Reader) ([]byte, error) {
 	var lenbuf [4]byte
 	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
-		return fmt.Errorf("serve: reading header length: %w", err)
+		return nil, fmt.Errorf("serve: reading header length: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenbuf[:])
 	if n == 0 || n > maxHeaderBytes {
-		return fmt.Errorf("serve: header length %d outside (0, %d]", n, maxHeaderBytes)
+		return nil, fmt.Errorf("serve: header length %d outside (0, %d]", n, maxHeaderBytes)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("serve: reading %d-byte header: %w", n, err)
+	raw := make([]byte, 4+n)
+	copy(raw, lenbuf[:])
+	if _, err := io.ReadFull(r, raw[4:]); err != nil {
+		return nil, fmt.Errorf("serve: reading %d-byte header: %w", n, err)
 	}
-	if err := json.Unmarshal(buf, dst); err != nil {
+	return raw, nil
+}
+
+// DecodeRawHeader decodes a block returned by ReadRawHeader into dst.
+func DecodeRawHeader(raw []byte, dst any) error {
+	if err := json.Unmarshal(raw[4:], dst); err != nil {
 		return fmt.Errorf("serve: decoding header: %w", err)
 	}
 	return nil
+}
+
+// ReadHeader reads a length-prefixed JSON header into dst.
+func ReadHeader(r io.Reader, dst any) error {
+	raw, err := ReadRawHeader(r)
+	if err != nil {
+		return err
+	}
+	return DecodeRawHeader(raw, dst)
 }
 
 // chunkBytes is the copy-buffer size for payload streaming: large enough

@@ -31,6 +31,20 @@ go test -race -count=1 -run 'Pencil' . ./internal/serve/
 # every block exactly where pairwise does.
 go test -race -count=1 -run 'CommBitIdentical' .
 
+# Net-engine leg (PR 10): the TCP transport's package tests under the
+# race detector — all four exchange schedules over a real loopback mesh
+# (raw alltoallv vs the mem engine bit for bit), the pfft parity tests on
+# both decompositions (slab and pencil), the dissemination barrier, chaos
+# recovery under forced drop/corrupt, and peer-loss world failure.
+# -count=1 defeats the cache so the sockets are really opened every run.
+go test -race -count=1 ./internal/mpi/envelope/ ./internal/mpi/net/
+
+# Multi-process leg: spawn real offt-run -engine net children over
+# 127.0.0.1, assert the forward/backward round-trip at 1e-9 and
+# bit-identical dumps vs the mem engine, and assert survivors of a killed
+# rank exit with the typed world failure instead of hanging.
+go test -count=1 -run 'NetWorld' ./cmd/offt-run/
+
 # Allocation gate: steady-state Forward/Backward on a reusable plan must
 # run allocation-free (measured against the zero-alloc self communicator;
 # see internal/pfft/plan_test.go) — one subtest per exchange schedule, so
@@ -122,4 +136,39 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q '"pass": true' BENCH_PR5_smoke.json
 grep -q '"event":"request.done"' /tmp/offt-serve-smoke.log
-rm -f BENCH_PR5_smoke.json /tmp/offt-serve-smoke /tmp/offt-serve-smoke.log
+
+# 2-shard fleet smoke (PR 10): two offt-serve replicas with the
+# consistent-hash router between them, driven round-robin by offt-load's
+# comma-separated -addr. Every request names the same plan key, so one
+# replica owns it and the other must forward — the healthz shard section
+# of at least one replica must show a nonzero forward count. Both
+# replicas then drain cleanly on SIGTERM.
+/tmp/offt-serve-smoke -addr 127.0.0.1:18091 \
+    -shard-of http://127.0.0.1:18091 \
+    -peers http://127.0.0.1:18091,http://127.0.0.1:18092 &
+SHARD1_PID=$!
+/tmp/offt-serve-smoke -addr 127.0.0.1:18092 \
+    -shard-of http://127.0.0.1:18092 \
+    -peers http://127.0.0.1:18091,http://127.0.0.1:18092 &
+SHARD2_PID=$!
+trap 'kill "$SERVE_PID" "$SHARD1_PID" "$SHARD2_PID" 2>/dev/null || true' EXIT
+go run ./cmd/offt-load -addr 127.0.0.1:18091,127.0.0.1:18092 -conc 1 \
+    -duration 1s -warmup 2 -gate auto -out BENCH_PR10_smoke.json -wait-ready 10s
+grep -q '"pass": true' BENCH_PR10_smoke.json
+{ curl -sf http://127.0.0.1:18091/healthz || true; \
+  curl -sf http://127.0.0.1:18092/healthz || true; } \
+    | grep -q '"forwarded":[1-9]'
+kill -TERM "$SHARD1_PID" "$SHARD2_PID"
+wait "$SHARD1_PID"
+wait "$SHARD2_PID"
+
+# PR 10 benchmark: loopback-net-vs-mem engine overhead (bit-identical
+# outputs required, wall-clock gated loosely) and forwarded-vs-direct
+# serving latency through a 2-replica fleet with trace propagation and a
+# clean double drain. offt-netbench exits nonzero when a gate fails.
+go run ./cmd/offt-netbench -out BENCH_PR10.json
+grep -q '"pass": true' BENCH_PR10.json
+grep -q '"bit_identical": true' BENCH_PR10.json
+grep -q '"trace_ok": true' BENCH_PR10.json
+
+rm -f BENCH_PR5_smoke.json BENCH_PR10_smoke.json /tmp/offt-serve-smoke /tmp/offt-serve-smoke.log
